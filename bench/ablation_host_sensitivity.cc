@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation study of the host baseline (DESIGN.md Section 7):
+ *
+ *   1. LLC capacity sweep for texture tiling — the locality cliff:
+ *      once the rasterized bitmap fits in the LLC, the kernel stops
+ *      being a PIM target (its movement evaporates).
+ *   2. Coherence dirty-fraction sweep — how offload cost scales with
+ *      how much of the kernel footprint the host recently wrote.
+ *   3. Texture size sweep — the paper's observation that the PIM
+ *      speedup grows with working-set size (Section 10.1).
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "core/coherence.h"
+#include "sim/hierarchy.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace {
+
+using namespace pim;
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+core::RunReport
+TileOnHost(int texture_px, Bytes llc_size)
+{
+    Rng rng(9);
+    browser::Bitmap linear(texture_px, texture_px);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(texture_px, texture_px);
+
+    sim::HierarchyConfig hier = sim::HostHierarchyConfig();
+    hier.llc->size = llc_size;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly,
+                         core::CpuComputeModel(), hier);
+    browser::TileTexture(linear, tiled, ctx);
+    return ctx.Report("tiling");
+}
+
+void
+BM_TileHostBaseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            TileOnHost(256, 2_MiB).TotalEnergyPj());
+    }
+}
+BENCHMARK(BM_TileHostBaseline)->Unit(benchmark::kMillisecond);
+
+void
+PrintAblations()
+{
+    // --- 1. LLC capacity vs. texture tiling movement.
+    {
+        Table table(
+            "Ablation 5 — LLC capacity vs tiling movement (512x512)");
+        table.SetHeader({"LLC", "off-chip MB", "movement share",
+                         "MPKI"});
+        for (const Bytes llc : {Bytes{512_KiB}, Bytes{1_MiB},
+                                Bytes{2_MiB}, Bytes{4_MiB},
+                                Bytes{8_MiB}}) {
+            const auto r = TileOnHost(512, llc);
+            table.AddRow({
+                Table::Num(static_cast<double>(llc) / (1 << 20), 1) +
+                    " MiB",
+                Table::Num(r.counters.OffChipBytes() / 1.0e6, 2),
+                Table::Pct(r.energy.DataMovementFraction()),
+                Table::Num(r.Mpki(), 1),
+            });
+        }
+        table.Print();
+    }
+
+    // --- 2. Coherence dirty fraction.
+    {
+        Table table("Ablation 6 — offload coherence vs dirty fraction "
+                    "(4 MiB footprint)");
+        table.SetHeader({"dirty fraction", "messages", "writebacks",
+                         "energy (uJ)", "latency (us)"});
+        for (const double dirty : {0.0, 0.05, 0.1, 0.25, 0.5}) {
+            core::CoherenceParams params;
+            params.host_dirty_fraction = dirty;
+            params.host_resident_fraction = std::max(dirty, 0.2);
+            const auto cost = core::EstimateOffloadCoherence(
+                4_MiB, 4_MiB, params);
+            table.AddRow({
+                Table::Pct(dirty),
+                std::to_string(cost.messages),
+                std::to_string(cost.dirty_writebacks),
+                Table::Num(cost.energy_pj / 1e6, 1),
+                Table::Num(cost.time_ns / 1e3, 1),
+            });
+        }
+        table.Print();
+    }
+
+    // --- 3. Texture size sweep (paper: speedup grows with size).
+    {
+        Table table("Ablation 7 — PIM-Acc speedup vs texture size");
+        table.SetHeader(
+            {"texture", "CPU (us)", "PIM-Acc (us)", "speedup"});
+        for (const int px : {128, 256, 512, 1024}) {
+            Rng rng(10);
+            browser::Bitmap linear(px, px);
+            linear.Randomize(rng);
+            core::OffloadRuntime rt;
+            const auto reports = rt.RunAll(
+                "tiling", {linear.size_bytes(), linear.size_bytes()},
+                [&](ExecutionContext &ctx) {
+                    browser::TiledTexture tiled(px, px);
+                    browser::TileTexture(linear, tiled, ctx);
+                });
+            table.AddRow({
+                std::to_string(px) + "x" + std::to_string(px),
+                Table::Num(reports[0].TotalTimeNs() / 1e3, 1),
+                Table::Num(reports[2].TotalTimeNs() / 1e3, 1),
+                Table::Num(reports[0].TotalTimeNs() /
+                               reports[2].TotalTimeNs(),
+                           2) +
+                    "x",
+            });
+        }
+        table.Print();
+    }
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintAblations)

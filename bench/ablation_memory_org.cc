@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Memory-organization study: feed each PIM target's recorded access
+ * stream through the bank/row-buffer DRAM model and the vault
+ * interleaving analyzer.
+ *
+ * Two questions from the paper's design space:
+ *  - how row-buffer-friendly is each kernel's raw access pattern
+ *    (what the FR-FCFS scheduler of Table 1 has to work with), and
+ *  - does each kernel's footprint spread across vaults well enough to
+ *    feed per-vault PIM logic in parallel?
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "core/vault_analyzer.h"
+#include "sim/dram_timing.h"
+#include "sim/trace.h"
+#include "workloads/browser/lzo.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/texture_tiler.h"
+#include "workloads/ml/pack.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/video_gen.h"
+
+namespace {
+
+using namespace pim;
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+/** Record a kernel's raw access stream. */
+sim::AccessTrace
+Record(const std::function<void(ExecutionContext &)> &kernel)
+{
+    sim::AccessTrace trace;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ctx.AttachTrace(trace);
+    kernel(ctx);
+    return trace;
+}
+
+void
+BM_BankModelThroughput(benchmark::State &state)
+{
+    sim::DramBankModel model;
+    Address addr = 0;
+    for (auto _ : state) {
+        model.Access(addr, 64, sim::AccessType::kRead);
+        addr += 64;
+        benchmark::DoNotOptimize(addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankModelThroughput);
+
+void
+PrintMemoryOrgStudy()
+{
+    Rng rng(0x0E6);
+
+    struct NamedTrace
+    {
+        const char *name;
+        sim::AccessTrace trace;
+    };
+    std::vector<NamedTrace> traces;
+
+    // Texture tiling.
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    traces.push_back({"Texture Tiling", Record([&](ExecutionContext &c) {
+                          browser::TiledTexture tiled(512, 512);
+                          browser::TileTexture(linear, tiled, c);
+                      })});
+
+    // LZO compression of page-like data.
+    pim::SimBuffer<std::uint8_t> pages(256 * 1024);
+    browser::FillPageLikeData(pages, rng, 0.4);
+    traces.push_back({"Compression", Record([&](ExecutionContext &c) {
+                          pim::SimBuffer<std::uint8_t> dst(
+                              browser::LzoCompressBound(pages.size()));
+                          browser::LzoCompress(pages, pages.size(), dst,
+                                               c);
+                      })});
+
+    // gemmlowp-style packing.
+    ml::Matrix<std::uint8_t> lhs(512, 768);
+    lhs.Randomize(rng);
+    traces.push_back({"Packing", Record([&](ExecutionContext &c) {
+                          ml::PackedMatrix packed(512, 768);
+                          ml::PackLhs(lhs, packed, c);
+                      })});
+
+    // Sub-pixel interpolation over a frame.
+    video::VideoGenConfig cfg;
+    cfg.width = 640;
+    cfg.height = 384;
+    const auto frames = video::GenerateClip(cfg, 1);
+    traces.push_back(
+        {"Sub-Pixel Interp", Record([&](ExecutionContext &c) {
+             video::PredBlock block(16, 16);
+             for (int y = 0; y < cfg.height; y += 16) {
+                 for (int x = 0; x < cfg.width; x += 16) {
+                     video::InterpolateBlock(frames[0].y, x, y,
+                                             video::MotionVector{3, 5},
+                                             block, c);
+                 }
+             }
+         })});
+
+    Table table("Memory organization — per-kernel stream character");
+    table.SetHeader({"kernel", "accesses", "row-buffer hit rate",
+                     "avg DRAM latency (ns)", "vault balance",
+                     "effective PIM lanes"});
+    for (const auto &t : traces) {
+        sim::DramBankModel banks;
+        core::VaultTrafficAnalyzer vaults(16);
+        t.trace.ReplayInto(banks);
+        t.trace.ReplayInto(vaults);
+        table.AddRow({
+            t.name,
+            std::to_string(t.trace.size()),
+            Table::Pct(banks.stats().HitRate()),
+            Table::Num(banks.AverageLatencyNs(), 1),
+            Table::Pct(vaults.Balance()),
+            Table::Num(vaults.EffectiveLanes(), 1),
+        });
+    }
+    table.Print();
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintMemoryOrgStudy)

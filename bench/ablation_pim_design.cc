@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Ablation study of the PIM design choices (DESIGN.md Section 7):
+ *
+ *   1. PIM-core SIMD width (the paper picks 4 "empirically")
+ *   2. internal (in-stack) bandwidth available to PIM logic
+ *   3. number of cooperating vault PIM cores
+ *   4. accelerator in-memory logic unit count (the paper picks 4)
+ *
+ * Each sweep runs the texture-tiling kernel (memory-bound) and the
+ * motion-estimation kernel (compute-lean but SIMD-heavy) on a custom
+ * execution context and reports runtime and energy.
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "sim/hierarchy.h"
+#include "workloads/browser/texture_tiler.h"
+#include "workloads/video/motion.h"
+#include "workloads/video/video_gen.h"
+
+namespace {
+
+using namespace pim;
+using core::ComputeModel;
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+/** Run the tiling kernel on a context built from @p model / @p hier. */
+core::RunReport
+RunTiling(const ComputeModel &model, const sim::HierarchyConfig &hier)
+{
+    Rng rng(1);
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(512, 512);
+    ExecutionContext ctx(ExecutionTarget::kPimCore, model, hier);
+    browser::TileTexture(linear, tiled, ctx);
+    return ctx.Report("tiling");
+}
+
+/** Run a one-frame ME sweep on a context built from @p model. */
+core::RunReport
+RunMotionEstimation(const ComputeModel &model,
+                    const sim::HierarchyConfig &hier)
+{
+    video::VideoGenConfig cfg;
+    cfg.width = 320;
+    cfg.height = 192;
+    const auto frames = video::GenerateClip(cfg, 4);
+    ExecutionContext ctx(ExecutionTarget::kPimCore, model, hier);
+    const std::vector<const video::Plane *> refs = {
+        &frames[0].y, &frames[1].y, &frames[2].y};
+    for (int y = 0; y < cfg.height; y += 16) {
+        for (int x = 0; x < cfg.width; x += 16) {
+            video::DiamondSearch(frames[3].y, refs, x, y,
+                                 video::MotionSearchParams{}, ctx);
+        }
+    }
+    return ctx.Report("motion-estimation");
+}
+
+void
+BM_AblationProbe(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            RunTiling(core::PimCoreComputeModel(),
+                      sim::PimCoreHierarchyConfig())
+                .TotalTimeNs());
+    }
+}
+BENCHMARK(BM_AblationProbe)->Unit(benchmark::kMillisecond);
+
+void
+PrintAblations()
+{
+    // --- 1. SIMD width of the PIM core.
+    {
+        Table table("Ablation 1 — PIM core SIMD width (ME kernel)");
+        table.SetHeader({"simd width", "runtime (us)", "energy (uJ)",
+                         "binding bound"});
+        for (const std::uint32_t width : {1u, 2u, 4u, 8u, 16u}) {
+            ComputeModel model = core::PimCoreComputeModel();
+            model.simd_width = width;
+            const auto r = RunMotionEstimation(
+                model, sim::PimCoreHierarchyConfig());
+            table.AddRow({
+                std::to_string(width),
+                Table::Num(r.TotalTimeNs() / 1e3, 1),
+                Table::Num(r.TotalEnergyPj() / 1e6, 1),
+                r.timing.Bound(),
+            });
+        }
+        table.Print();
+    }
+
+    // --- 2. Internal bandwidth available to the PIM logic.
+    {
+        Table table(
+            "Ablation 2 — in-stack bandwidth (texture tiling kernel)");
+        table.SetHeader(
+            {"bandwidth (GB/s)", "runtime (us)", "binding bound"});
+        for (const double gbps : {32.0, 64.0, 128.0, 256.0, 512.0}) {
+            sim::HierarchyConfig hier = sim::PimCoreHierarchyConfig();
+            hier.dram.bandwidth_gbps = gbps;
+            const auto r =
+                RunTiling(core::PimCoreComputeModel(), hier);
+            table.AddRow({
+                Table::Num(gbps, 0),
+                Table::Num(r.TotalTimeNs() / 1e3, 1),
+                r.timing.Bound(),
+            });
+        }
+        table.Print();
+    }
+
+    // --- 3. Cooperating vault PIM cores.
+    {
+        Table table("Ablation 3 — cooperating vault cores (ME kernel)");
+        table.SetHeader({"PIM cores", "runtime (us)", "speedup vs 1"});
+        double base = 0.0;
+        for (const double lanes : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+            ComputeModel model = core::PimCoreComputeModel();
+            model.parallel_lanes = lanes;
+            const auto r = RunMotionEstimation(
+                model, sim::PimCoreHierarchyConfig());
+            if (base == 0.0) {
+                base = r.TotalTimeNs();
+            }
+            table.AddRow({
+                Table::Num(lanes, 0),
+                Table::Num(r.TotalTimeNs() / 1e3, 1),
+                Table::Num(base / r.TotalTimeNs(), 2) + "x",
+            });
+        }
+        table.Print();
+    }
+
+    // --- 4. Accelerator in-memory logic unit count.
+    {
+        Table table(
+            "Ablation 4 — accelerator logic units (ME kernel)");
+        table.SetHeader({"units", "runtime (us)", "binding bound"});
+        for (const std::uint32_t units : {1u, 2u, 4u, 8u}) {
+            const ComputeModel model =
+                core::PimAccelComputeModel(units, 16.0);
+            const auto r = RunMotionEstimation(
+                model, sim::PimAccelHierarchyConfig());
+            table.AddRow({
+                std::to_string(units),
+                Table::Num(r.TotalTimeNs() / 1e3, 1),
+                r.timing.Bound(),
+            });
+        }
+        table.Print();
+    }
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintAblations)

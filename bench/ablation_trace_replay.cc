@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace-driven what-if study: record a kernel's memory access stream
+ * once, then replay it through different memory organizations — the
+ * paper's trace-based methodology, and the cheap way to sweep design
+ * points without re-running kernels.
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "sim/hierarchy.h"
+#include "sim/trace.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace {
+
+using namespace pim;
+
+/** Record the texture-tiling access stream once. */
+sim::AccessTrace
+RecordTilingTrace()
+{
+    Rng rng(21);
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(512, 512);
+
+    sim::AccessTrace trace;
+    core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+    ctx.AttachTrace(trace);
+    browser::TileTexture(linear, tiled, ctx);
+    return trace;
+}
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const sim::AccessTrace trace = RecordTilingTrace();
+    for (auto _ : state) {
+        sim::MemoryHierarchy mh(sim::HostHierarchyConfig());
+        trace.ReplayInto(mh.Top());
+        benchmark::DoNotOptimize(mh.Snapshot().dram.TotalBytes());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+void
+PrintTraceStudy()
+{
+    const sim::AccessTrace trace = RecordTilingTrace();
+
+    Table table("Trace replay — tiling stream vs memory organization");
+    table.SetHeader({"organization", "L1 miss rate", "off-chip MB",
+                     "movement energy (uJ)"});
+
+    const auto replay = [&](const char *name,
+                            const sim::HierarchyConfig &hier) {
+        sim::MemoryHierarchy mh(hier);
+        trace.ReplayInto(mh.Top());
+        const auto pc = mh.Snapshot();
+        sim::EnergyModel energy;
+        table.AddRow({
+            name,
+            Table::Pct(pc.l1.MissRate()),
+            Table::Num(pc.dram.TotalBytes() / 1.0e6, 2),
+            Table::Num(
+                energy.MemoryEnergy(pc, hier.dram).Total() / 1e6, 1),
+        });
+    };
+
+    replay("host (64K L1 + 2M LLC, LPDDR3)", sim::HostHierarchyConfig());
+    sim::HierarchyConfig big_llc = sim::HostHierarchyConfig();
+    big_llc.llc->size = 8_MiB;
+    replay("host with 8M LLC", big_llc);
+    replay("host on 3D-stacked channel",
+           sim::HostStackedHierarchyConfig());
+    replay("PIM core (32K L1, in-stack)", sim::PimCoreHierarchyConfig());
+    replay("PIM accelerator buffer", sim::PimAccelHierarchyConfig());
+    table.Print();
+
+    std::printf("trace: %zu accesses, %.1f MB touched\n\n", trace.size(),
+                trace.TotalBytes() / 1.0e6);
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintTraceStudy)

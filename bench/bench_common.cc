@@ -1,0 +1,266 @@
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "workloads/browser/color_blitter.h"
+#include "workloads/browser/lzo.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/texture_tiler.h"
+#include "workloads/ml/pack.h"
+#include "workloads/ml/quantize.h"
+#include "workloads/video/deblock.h"
+#include "workloads/video/decoder.h"
+#include "workloads/video/encoder.h"
+#include "workloads/video/motion.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/video_gen.h"
+
+namespace pim::bench {
+
+using core::ExecutionContext;
+using core::OffloadFootprint;
+using core::OffloadRuntime;
+
+KernelResult
+RunKernelAllTargets(
+    const std::string &name, const OffloadFootprint &footprint,
+    const std::function<void(ExecutionContext &)> &kernel)
+{
+    OffloadRuntime rt;
+    const auto reports = rt.RunAll(name, footprint, kernel);
+    return {name, reports[0], reports[1], reports[2]};
+}
+
+std::vector<KernelResult>
+RunBrowserKernels()
+{
+    Rng rng(0xB10);
+    std::vector<KernelResult> results;
+
+    // Texture tiling: 512x512 RGBA tiles (Section 9).
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    results.push_back(RunKernelAllTargets(
+        "Texture Tiling", {linear.size_bytes(), linear.size_bytes()},
+        [&](ExecutionContext &ctx) {
+            browser::TiledTexture tiled(512, 512);
+            browser::TileTexture(linear, tiled, ctx);
+        }));
+
+    // Color blitting: random bitmaps blended into a 1024x1024 target.
+    browser::Bitmap sprite(256, 256);
+    sprite.Randomize(rng);
+    results.push_back(RunKernelAllTargets(
+        "Color Blitting",
+        {sprite.size_bytes(), Bytes{1024} * 1024 * 4},
+        [&](ExecutionContext &ctx) {
+            browser::Bitmap target(1024, 1024, 0x80808080);
+            browser::ColorBlitter blitter(target, ctx);
+            for (int y = 0; y < 1024; y += 256) {
+                for (int x = 0; x < 1024; x += 256) {
+                    blitter.BlitSrcOver(sprite, x, y);
+                }
+            }
+        }));
+
+    // Compression / decompression: Chromebook-like page data.
+    pim::SimBuffer<std::uint8_t> pages(256 * 1024);
+    browser::FillPageLikeData(pages, rng, 0.4);
+    pim::SimBuffer<std::uint8_t> compressed(
+        browser::LzoCompressBound(pages.size()));
+    std::size_t csize = 0;
+    results.push_back(RunKernelAllTargets(
+        "Compression", {pages.size_bytes(), pages.size_bytes() / 2},
+        [&](ExecutionContext &ctx) {
+            csize = browser::LzoCompress(pages, pages.size(), compressed,
+                                         ctx);
+        }));
+
+    results.push_back(RunKernelAllTargets(
+        "Decompression", {csize, pages.size_bytes()},
+        [&](ExecutionContext &ctx) {
+            pim::SimBuffer<std::uint8_t> out(pages.size());
+            browser::LzoDecompress(compressed, csize, out, ctx);
+        }));
+
+    return results;
+}
+
+std::vector<KernelResult>
+RunTfKernels()
+{
+    Rng rng(0x7F);
+    std::vector<KernelResult> results;
+
+    // Packing: a large GEMM operand (network-scale matrix chunk).
+    ml::Matrix<std::uint8_t> lhs(1024, 1152);
+    lhs.Randomize(rng);
+    results.push_back(RunKernelAllTargets(
+        "Packing", {lhs.size_bytes(), lhs.size_bytes()},
+        [&](ExecutionContext &ctx) {
+            ml::PackedMatrix packed(1024, 1152);
+            ml::PackLhs(lhs, packed, ctx);
+        }));
+
+    // Quantization: re-quantize a 32-bit GEMM result matrix.
+    ml::Matrix<std::int32_t> result32(1024, 512);
+    for (int r = 0; r < result32.rows(); ++r) {
+        for (int c = 0; c < result32.cols(); ++c) {
+            result32.At(r, c) =
+                static_cast<std::int32_t>(rng.Range(-1000000, 1000000));
+        }
+    }
+    results.push_back(RunKernelAllTargets(
+        "Quantization",
+        {result32.size_bytes(), result32.size_bytes() / 4},
+        [&](ExecutionContext &ctx) {
+            ml::Matrix<std::uint8_t> out(1024, 512);
+            ml::RequantizeResult(result32, out, ctx);
+        }));
+
+    return results;
+}
+
+std::vector<KernelResult>
+RunVideoKernels()
+{
+    std::vector<KernelResult> results;
+
+    // Full-HD+ stand-in for the paper's 4K decode input (DESIGN.md):
+    // large enough that frames stream through the host LLC instead of
+    // living in it, as the paper's 4K frames do.
+    video::VideoGenConfig cfg;
+    cfg.width = 1920;
+    cfg.height = 1088;
+    const auto frames = video::GenerateClip(cfg, 4);
+
+    // Sub-pixel interpolation over every macroblock of a frame.
+    results.push_back(RunKernelAllTargets(
+        "Sub-Pixel Interpolation", {frames[0].y.size_bytes(), 0},
+        [&](ExecutionContext &ctx) {
+            video::PredBlock block(16, 16);
+            for (int y = 0; y < cfg.height; y += 16) {
+                for (int x = 0; x < cfg.width; x += 16) {
+                    video::InterpolateBlock(
+                        frames[0].y, x, y,
+                        video::MotionVector{5, 3}, block, ctx);
+                }
+            }
+        }));
+
+    // Deblocking filter over a frame.
+    results.push_back(RunKernelAllTargets(
+        "Deblocking Filter",
+        {frames[1].y.size_bytes(), frames[1].y.size_bytes()},
+        [&](ExecutionContext &ctx) {
+            video::Frame work = frames[1];
+            video::DeblockPlane(work.y, video::DeblockParams{}, ctx);
+        }));
+
+    // Motion estimation over three reference frames (HD input, as the
+    // paper's encoder study uses).
+    video::VideoGenConfig hd_cfg;
+    hd_cfg.width = 1280;
+    hd_cfg.height = 720;
+    const auto hd_frames = video::GenerateClip(hd_cfg, 4);
+    results.push_back(RunKernelAllTargets(
+        "Motion Estimation", {3 * hd_frames[0].y.size_bytes(), 0},
+        [&](ExecutionContext &ctx) {
+            const std::vector<const video::Plane *> refs = {
+                &hd_frames[0].y, &hd_frames[1].y, &hd_frames[2].y};
+            for (int y = 0; y < hd_cfg.height; y += 16) {
+                for (int x = 0; x < hd_cfg.width; x += 16) {
+                    video::DiamondSearch(hd_frames[3].y, refs, x, y,
+                                         video::MotionSearchParams{},
+                                         ctx);
+                }
+            }
+        }));
+
+    return results;
+}
+
+void
+AddEnergyRow(Table &table, const std::string &kernel,
+             const core::RunReport &report, double baseline_pj)
+{
+    const auto &e = report.energy;
+    table.AddRow({
+        kernel,
+        report.target_name,
+        Table::Num(e.Total() / baseline_pj, 3),
+        Table::Num(e.compute / baseline_pj, 3),
+        Table::Num(e.l1 / baseline_pj, 3),
+        Table::Num(e.llc / baseline_pj, 3),
+        Table::Num(e.interconnect / baseline_pj, 3),
+        Table::Num(e.memctrl / baseline_pj, 3),
+        Table::Num(e.dram / baseline_pj, 3),
+    });
+}
+
+void
+RunSwEncoder(int width, int height, int frames,
+             video::CodecPhases &phases)
+{
+    video::VideoGenConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    video::VideoGenerator gen(cfg);
+    video::Vp9Encoder encoder(width, height);
+    ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+    for (int i = 0; i < frames; ++i) {
+        const video::Frame frame = gen.NextFrame();
+        encoder.EncodeFrame(frame, ctx, &phases);
+    }
+}
+
+void
+RunSwDecoder(int width, int height, int frames,
+             video::CodecPhases &phases)
+{
+    video::VideoGenConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    video::VideoGenerator gen(cfg);
+    video::Vp9Encoder encoder(width, height);
+    video::Vp9Decoder decoder;
+    ExecutionContext ectx(core::ExecutionTarget::kCpuOnly);
+    ExecutionContext dctx(core::ExecutionTarget::kCpuOnly);
+    for (int i = 0; i < frames; ++i) {
+        const video::Frame frame = gen.NextFrame();
+        const auto enc = encoder.EncodeFrame(frame, ectx);
+        decoder.DecodeFrame(enc.bitstream, dctx, &phases);
+    }
+}
+
+void
+PrintKernelFigure(const std::string &figure,
+                  const std::vector<KernelResult> &results)
+{
+    Table energy(figure + " — normalized energy (CPU-Only = 1.0)");
+    energy.SetHeader({"kernel", "target", "total", "CPU", "L1", "LLC",
+                      "interconnect", "memctrl", "DRAM"});
+    for (const auto &r : results) {
+        const double base = r.cpu.TotalEnergyPj();
+        AddEnergyRow(energy, r.name, r.cpu, base);
+        AddEnergyRow(energy, r.name, r.pim_core, base);
+        AddEnergyRow(energy, r.name, r.pim_acc, base);
+    }
+    energy.Print();
+
+    Table runtime(figure + " — normalized runtime (CPU-Only = 1.0)");
+    runtime.SetHeader(
+        {"kernel", "CPU-Only", "PIM-Core", "PIM-Acc", "speedup(acc)"});
+    for (const auto &r : results) {
+        const double base = r.cpu.TotalTimeNs();
+        runtime.AddRow({
+            r.name,
+            "1.000",
+            Table::Num(r.pim_core.TotalTimeNs() / base, 3),
+            Table::Num(r.pim_acc.TotalTimeNs() / base, 3),
+            Table::Num(r.Speedup(r.pim_acc), 2) + "x",
+        });
+    }
+    runtime.Print();
+}
+
+} // namespace pim::bench

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure bench binaries: a common
+ * main() that runs registered google-benchmark timers and then prints
+ * the paper-figure tables, plus kernel runners shared by Figures 18,
+ * 19, 20, and the headline summary.
+ */
+
+#ifndef PIM_BENCH_BENCH_COMMON_H
+#define PIM_BENCH_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/offload_runtime.h"
+
+namespace pim::bench {
+
+/** The (CPU-Only, PIM-Core, PIM-Acc) reports for one kernel. */
+struct KernelResult
+{
+    std::string name;
+    core::RunReport cpu;
+    core::RunReport pim_core;
+    core::RunReport pim_acc;
+
+    double
+    EnergySaving(const core::RunReport &pim) const
+    {
+        return 1.0 - pim.TotalEnergyPj() / cpu.TotalEnergyPj();
+    }
+
+    double
+    Speedup(const core::RunReport &pim) const
+    {
+        return cpu.TotalTimeNs() / pim.TotalTimeNs();
+    }
+};
+
+/** Run @p kernel on all three targets through the offload runtime. */
+KernelResult RunKernelAllTargets(
+    const std::string &name, const core::OffloadFootprint &footprint,
+    const std::function<void(core::ExecutionContext &)> &kernel);
+
+/** The paper's browser kernels (Figure 18 inputs, Section 9). */
+std::vector<KernelResult> RunBrowserKernels();
+
+/** The paper's TensorFlow kernels (Figure 19 left). */
+std::vector<KernelResult> RunTfKernels();
+
+/** The paper's video kernels (Figure 20 inputs, Section 9). */
+std::vector<KernelResult> RunVideoKernels();
+
+/**
+ * Print a Figure 18/20-style pair of tables: normalized energy by
+ * component and normalized runtime, per kernel and target.
+ */
+void PrintKernelFigure(const std::string &figure,
+                       const std::vector<KernelResult> &results);
+
+/** Append one target's normalized-energy row. */
+void AddEnergyRow(Table &table, const std::string &kernel,
+                  const core::RunReport &report, double baseline_pj);
+
+} // namespace pim::bench
+
+#include "workloads/video/codec.h"
+
+namespace pim::bench {
+
+/**
+ * Run the software encoder over a synthetic clip; fills the encoder's
+ * per-function phase buckets (Figure 15 input).  Resolutions are
+ * scaled stand-ins for the paper's HD/4K clips (DESIGN.md).
+ */
+void RunSwEncoder(int width, int height, int frames,
+                  video::CodecPhases &phases);
+
+/**
+ * Encode then decode a synthetic clip; fills the *decoder's* phase
+ * buckets (Figures 10/11 input).
+ */
+void RunSwDecoder(int width, int height, int frames,
+                  video::CodecPhases &phases);
+
+} // namespace pim::bench
+
+/**
+ * Standard bench main: run google-benchmark timers, then print the
+ * figure tables via @p print_fn.
+ */
+#define PIM_BENCH_MAIN(print_fn)                                         \
+    int main(int argc, char **argv)                                     \
+    {                                                                    \
+        ::benchmark::Initialize(&argc, argv);                            \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+            return 1;                                                    \
+        }                                                                \
+        ::benchmark::RunSpecifiedBenchmarks();                           \
+        print_fn();                                                      \
+        return 0;                                                        \
+    }
+
+#endif // PIM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4: bytes per second swapped out to ZRAM (left series) and in
+ * from ZRAM (right series) while a user cycles through tabs, plus the
+ * Section 4.3.1 totals and energy/time shares of compression.
+ */
+
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/tab_switch.h"
+#include "workloads/browser/zram.h"
+
+namespace {
+
+using namespace pim;
+
+void
+BM_ZramSwapOutPage(benchmark::State &state)
+{
+    Rng rng(4);
+    browser::ZramPool pool;
+    core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> page(browser::ZramPool::kPageBytes);
+    browser::FillPageLikeData(page, rng, 0.4);
+    pim::SimBuffer<std::uint8_t> restore(browser::ZramPool::kPageBytes);
+    for (auto _ : state) {
+        const auto out = pool.SwapOut(page, ctx);
+        pool.SwapIn(out.handle, restore, ctx);
+        benchmark::DoNotOptimize(restore.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        browser::ZramPool::kPageBytes);
+}
+BENCHMARK(BM_ZramSwapOutPage);
+
+void
+PrintFigure4()
+{
+    browser::TabSwitchConfig cfg; // 50 tabs, 2 passes (scaled footprints)
+    const auto r = browser::SimulateTabSwitching(cfg);
+
+    Table series("Figure 4 — ZRAM swap traffic over time (MB/s)");
+    series.SetHeader({"t (s)", "swapped out", "swapped in"});
+    // Print only seconds with activity plus every 20th second, to keep
+    // the series readable while preserving its spiky shape.
+    for (std::size_t t = 0; t < r.swap_out_mb_per_s.size(); ++t) {
+        const double out = r.swap_out_mb_per_s[t];
+        const double in = r.swap_in_mb_per_s[t];
+        if (out > 0.0 || in > 0.0 || t % 20 == 0) {
+            series.AddRow({std::to_string(t), Table::Num(out, 2),
+                           Table::Num(in, 2)});
+        }
+    }
+    series.Print();
+
+    Table summary("Figure 4 / Section 4.3.1 — totals");
+    summary.SetHeader({"metric", "value"});
+    summary.AddRow({"total swapped out (MB)",
+                    Table::Num(r.total_swapped_out / 1.0e6, 2)});
+    summary.AddRow({"total swapped in (MB)",
+                    Table::Num(r.total_swapped_in / 1.0e6, 2)});
+    summary.AddRow(
+        {"compression ratio", Table::Num(r.compression_ratio, 2)});
+    summary.AddRow({"compression share of energy",
+                    Table::Pct(r.CompressionEnergyFraction())});
+    summary.AddRow({"compression share of time",
+                    Table::Pct(r.CompressionTimeFraction())});
+    summary.Print();
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintFigure4)

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 6: energy breakdown of TensorFlow Mobile inference — the
+ * fraction of system energy spent in packing, quantization,
+ * Conv2D/MatMul, and everything else, for the four input networks.
+ */
+
+#include "bench_common.h"
+
+#include "workloads/ml/inference.h"
+#include "workloads/ml/network.h"
+
+namespace {
+
+using namespace pim;
+
+void
+BM_InferResidualGru(benchmark::State &state)
+{
+    const auto net = ml::ResidualGru();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ml::RunInference(net, ml::EvalScale{0.5, 0.125})
+                .TotalEnergy());
+    }
+}
+BENCHMARK(BM_InferResidualGru)->Unit(benchmark::kMillisecond);
+
+void
+PrintFigure6()
+{
+    Table table("Figure 6 — inference energy breakdown by function");
+    table.SetHeader({"network", "packing", "quantization",
+                     "Conv2D+MatMul", "other"});
+    double pack_sum = 0.0;
+    double quant_sum = 0.0;
+    const auto networks = ml::AllNetworks();
+    for (const auto &net : networks) {
+        const auto r = ml::RunInference(net, ml::EvalScale{});
+        const double total = r.TotalEnergy();
+        table.AddRow({
+            r.network,
+            Table::Pct(r.packing.energy.Total() / total),
+            Table::Pct(r.quantization.energy.Total() / total),
+            Table::Pct(r.gemm.energy.Total() / total),
+            Table::Pct(r.other.energy.Total() / total),
+        });
+        pack_sum += r.packing.energy.Total() / total;
+        quant_sum += r.quantization.energy.Total() / total;
+    }
+    const double n = static_cast<double>(networks.size());
+    table.AddRow({"AVG", Table::Pct(pack_sum / n),
+                  Table::Pct(quant_sum / n), "", ""});
+    table.Print();
+
+    Table note("Figure 6 — paper checkpoints");
+    note.SetHeader({"claim", "paper", "measured"});
+    note.AddRow({"packing+quantization share (avg)", "39.3%",
+                 Table::Pct((pack_sum + quant_sum) / n)});
+    note.Print();
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintFigure6)

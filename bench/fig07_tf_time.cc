@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 7: execution-time breakdown of TensorFlow Mobile inference —
+ * packing, quantization, Conv2D/MatMul, and other — for the four
+ * input networks.
+ */
+
+#include "bench_common.h"
+
+#include "workloads/ml/inference.h"
+#include "workloads/ml/network.h"
+
+namespace {
+
+using namespace pim;
+
+void
+BM_InferVgg19Scaled(benchmark::State &state)
+{
+    const auto net = ml::Vgg19();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ml::RunInference(net, ml::EvalScale{0.25, 0.125})
+                .TotalTime());
+    }
+}
+BENCHMARK(BM_InferVgg19Scaled)->Unit(benchmark::kMillisecond);
+
+void
+PrintFigure7()
+{
+    Table table("Figure 7 — inference time breakdown by function");
+    table.SetHeader({"network", "packing", "quantization",
+                     "Conv2D+MatMul", "other"});
+    double pq_sum = 0.0;
+    const auto networks = ml::AllNetworks();
+    for (const auto &net : networks) {
+        const auto r = ml::RunInference(net, ml::EvalScale{});
+        const double total = r.TotalTime();
+        table.AddRow({
+            r.network,
+            Table::Pct(r.packing.time_ns / total),
+            Table::Pct(r.quantization.time_ns / total),
+            Table::Pct(r.gemm.time_ns / total),
+            Table::Pct(r.other.time_ns / total),
+        });
+        pq_sum += (r.packing.time_ns + r.quantization.time_ns) / total;
+    }
+    table.Print();
+
+    Table note("Figure 7 — paper checkpoints");
+    note.SetHeader({"claim", "paper", "measured"});
+    note.AddRow({"packing+quantization share of time (avg)", "27.4%",
+                 Table::Pct(pq_sum /
+                            static_cast<double>(networks.size()))});
+    note.Print();
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintFigure7)

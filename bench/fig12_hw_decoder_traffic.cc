@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 12: off-chip traffic breakdown of the VP9 *hardware* decoder
+ * for one HD and one 4K frame, with and without lossless frame
+ * compression.
+ */
+
+#include "bench_common.h"
+
+#include "workloads/video/hw_model.h"
+
+namespace {
+
+using namespace pim;
+using video::HwDecoderTraffic;
+using video::HwResolution;
+
+void
+BM_HwDecoderTrafficModel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            HwDecoderTraffic(HwResolution::k4k, true).Total());
+    }
+}
+BENCHMARK(BM_HwDecoderTrafficModel);
+
+void
+AddRow(Table &table, const char *config,
+       const video::HwTrafficBreakdown &t)
+{
+    table.AddRow({
+        config,
+        Table::Num(t.reference_frame, 2),
+        Table::Num(t.compression_info, 2),
+        Table::Num(t.decoder_data, 2),
+        Table::Num(t.recon_metadata, 2),
+        Table::Num(t.deblocking, 2),
+        Table::Num(t.reconstructed_frame, 2),
+        Table::Num(t.Total(), 2),
+        Table::Pct(t.ReferenceShare()),
+    });
+}
+
+void
+PrintFigure12()
+{
+    Table table("Figure 12 — HW decoder off-chip traffic per frame (MB)");
+    table.SetHeader({"config", "reference", "compr.info", "decoder data",
+                     "recon metadata", "deblocking", "recon frame",
+                     "total", "ref share"});
+    AddRow(table, "HD, no compression",
+           HwDecoderTraffic(HwResolution::kHd, false));
+    AddRow(table, "HD, with compression",
+           HwDecoderTraffic(HwResolution::kHd, true));
+    AddRow(table, "4K, no compression",
+           HwDecoderTraffic(HwResolution::k4k, false));
+    AddRow(table, "4K, with compression",
+           HwDecoderTraffic(HwResolution::k4k, true));
+    table.Print();
+
+    Table note("Figure 12 — paper checkpoints");
+    note.SetHeader({"claim", "paper", "measured"});
+    note.AddRow({"4K reference share, no compression", "59.6%",
+                 Table::Pct(HwDecoderTraffic(HwResolution::k4k, false)
+                                .ReferenceShare())});
+    note.AddRow({"HD reference share, no compression", "75.5%",
+                 Table::Pct(HwDecoderTraffic(HwResolution::kHd, false)
+                                .ReferenceShare())});
+    note.AddRow(
+        {"4K / HD traffic ratio", "4.6x (their clips); per-pixel "
+                                  "scaling gives ~5-9x here",
+         Table::Num(HwDecoderTraffic(HwResolution::k4k, false).Total() /
+                        HwDecoderTraffic(HwResolution::kHd, false)
+                            .Total(),
+                    1) +
+             "x"});
+    note.Print();
+}
+
+} // namespace
+
+PIM_BENCH_MAIN(PrintFigure12)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scenario: what PIM does for real browser interactions.
+ *
+ * Simulates the paper's page-scrolling study (Section 4.2) over all
+ * six page profiles, then repeats it with texture tiling and color
+ * blitting offloaded to PIM accelerators — including the coherence
+ * cost the offload runtime charges — and reports the whole-interaction
+ * energy saved.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/browser/scroll_sim.h"
+#include "workloads/browser/tab_switch.h"
+#include "workloads/browser/webpage.h"
+
+int
+main()
+{
+    using namespace pim;
+
+    Table table("Page scrolling: host vs. PIM-offloaded kernels");
+    table.SetHeader({"page", "host energy (mJ)", "PIM energy (mJ)",
+                     "saved", "kernel share (host)"});
+
+    double total_host = 0.0;
+    double total_pim = 0.0;
+    for (const auto &profile : browser::AllPageProfiles()) {
+        const auto host = browser::SimulateScroll(profile, false);
+        const auto pim = browser::SimulateScroll(profile, true);
+        total_host += host.TotalEnergy();
+        total_pim += pim.TotalEnergy();
+        table.AddRow({
+            profile.name,
+            Table::Num(PicoToMilliJoules(host.TotalEnergy()), 2),
+            Table::Num(PicoToMilliJoules(pim.TotalEnergy()), 2),
+            Table::Pct(1.0 - pim.TotalEnergy() / host.TotalEnergy()),
+            Table::Pct(host.TilingFraction() + host.BlittingFraction()),
+        });
+    }
+    table.Print();
+    std::printf("Across all pages, offloading the two PIM targets cuts "
+                "scroll energy by %.1f%%.\n\n",
+                (1.0 - total_pim / total_host) * 100.0);
+
+    // Tab switching: ZRAM compression on the host vs. in memory.
+    browser::TabSwitchConfig cfg;
+    cfg.tabs = 20;
+    cfg.passes = 2;
+    const auto host_tabs = browser::SimulateTabSwitching(
+        cfg, core::ExecutionTarget::kCpuOnly);
+    const auto pim_tabs = browser::SimulateTabSwitching(
+        cfg, core::ExecutionTarget::kPimAccel);
+
+    Table tabs("Tab switching: ZRAM compression placement");
+    tabs.SetHeader({"metric", "host compression", "PIM compression"});
+    tabs.AddRow({"compression energy (mJ)",
+                 Table::Num(PicoToMilliJoules(
+                                host_tabs.compression_energy.Total()),
+                            3),
+                 Table::Num(PicoToMilliJoules(
+                                pim_tabs.compression_energy.Total()),
+                            3)});
+    tabs.AddRow({"compression share of energy",
+                 Table::Pct(host_tabs.CompressionEnergyFraction()),
+                 Table::Pct(pim_tabs.CompressionEnergyFraction())});
+    tabs.AddRow({"compression ratio",
+                 Table::Num(host_tabs.compression_ratio, 2),
+                 Table::Num(pim_tabs.compression_ratio, 2)});
+    tabs.Print();
+    return 0;
+}

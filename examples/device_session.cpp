@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Scenario: a day-in-the-life consumer-device session — the paper's
+ * bottom line applied end to end.
+ *
+ * The session mixes all four workloads (browse + tab switching,
+ * a burst of on-device inference, and a short video transcode), runs
+ * it twice — everything on the host, then with every identified PIM
+ * target offloaded — and reports the whole-session energy difference,
+ * the repo-level analogue of the paper's "55.4% of total system
+ * energy" headline.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/browser/scroll_sim.h"
+#include "workloads/browser/tab_switch.h"
+#include "workloads/browser/webpage.h"
+#include "workloads/ml/inference.h"
+#include "workloads/ml/network.h"
+#include "workloads/video/decoder.h"
+#include "workloads/video/encoder.h"
+#include "workloads/video/video_gen.h"
+
+namespace {
+
+using namespace pim;
+
+struct SessionTotals
+{
+    double browse_mj = 0;
+    double tabs_mj = 0;
+    double inference_mj = 0;
+    double video_mj = 0;
+
+    double
+    Total() const
+    {
+        return browse_mj + tabs_mj + inference_mj + video_mj;
+    }
+};
+
+SessionTotals
+RunSession(bool use_pim)
+{
+    SessionTotals totals;
+    const auto target = use_pim ? core::ExecutionTarget::kPimAccel
+                                : core::ExecutionTarget::kCpuOnly;
+
+    // --- Browse three pages.
+    for (const auto &profile :
+         {browser::GoogleDocsProfile(), browser::GmailProfile(),
+          browser::TwitterProfile()}) {
+        totals.browse_mj += PicoToMilliJoules(
+            browser::SimulateScroll(profile, use_pim).TotalEnergy());
+    }
+
+    // --- Cycle through tabs (ZRAM compression on the chosen target).
+    browser::TabSwitchConfig tabs;
+    tabs.tabs = 12;
+    tabs.passes = 2;
+    tabs.memory_budget = 1_MiB; // force real swap pressure
+    const auto tab_result = browser::SimulateTabSwitching(tabs, target);
+    totals.tabs_mj =
+        PicoToMilliJoules(tab_result.compression_energy.Total() +
+                          tab_result.other_energy.Total());
+
+    // --- One inference pass (packing/quantization on the target).
+    const auto inference = ml::RunInference(
+        ml::Vgg19(), ml::EvalScale{0.5, 0.5}, target);
+    totals.inference_mj = PicoToMilliJoules(inference.TotalEnergy());
+
+    // --- Transcode a short clip.  The software codec runs on the
+    // host either way; with PIM, the decoder-side MC/deblock savings
+    // are modeled by the HW-codec path in fig21, so here we charge
+    // the software pipeline unchanged and let the kernels that *are*
+    // offloaded (above) carry the session-level difference.
+    video::VideoGenConfig cfg;
+    cfg.width = 320;
+    cfg.height = 192;
+    video::VideoGenerator gen(cfg);
+    video::Vp9Encoder encoder(cfg.width, cfg.height);
+    video::Vp9Decoder decoder;
+    core::ExecutionContext vctx(core::ExecutionTarget::kCpuOnly);
+    video::CodecPhases enc_phases;
+    video::CodecPhases dec_phases;
+    for (int i = 0; i < 4; ++i) {
+        const auto frame = gen.NextFrame();
+        const auto enc = encoder.EncodeFrame(frame, vctx, &enc_phases);
+        decoder.DecodeFrame(enc.bitstream, vctx, &dec_phases);
+    }
+    double video_pj = enc_phases.Total().energy.Total() +
+                      dec_phases.Total().energy.Total();
+    if (use_pim) {
+        // Offloaded video kernels (subpel, deblock, ME) at the Figure
+        // 20 measured savings (~70% kernel-level, PIM-Acc).
+        const double offloaded =
+            enc_phases.me.energy.Total() +
+            enc_phases.subpel.energy.Total() +
+            enc_phases.deblock.energy.Total() +
+            dec_phases.subpel.energy.Total() +
+            dec_phases.deblock.energy.Total();
+        video_pj -= offloaded * 0.70;
+    }
+    totals.video_mj = PicoToMilliJoules(video_pj);
+
+    return totals;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SessionTotals host = RunSession(false);
+    const SessionTotals pim = RunSession(true);
+
+    Table table("Device session energy (mJ): host vs PIM offload");
+    table.SetHeader({"activity", "host", "PIM", "saved"});
+    const auto row = [&](const char *name, double h, double p) {
+        table.AddRow({name, Table::Num(h, 2), Table::Num(p, 2),
+                      Table::Pct(1.0 - p / h)});
+    };
+    row("browsing (3 pages)", host.browse_mj, pim.browse_mj);
+    row("tab switching (12 tabs x2)", host.tabs_mj, pim.tabs_mj);
+    row("inference (VGG-19)", host.inference_mj, pim.inference_mj);
+    row("video transcode (4 frames)", host.video_mj, pim.video_mj);
+    row("whole session", host.Total(), pim.Total());
+    table.Print();
+
+    std::printf(
+        "Whole-session saving: %.1f%%.  The paper's 55.4%% average is\n"
+        "measured over its evaluated kernels/workloads, where the PIM\n"
+        "targets dominate; in a mixed session the non-offloadable work\n"
+        "(layout, script, GEMM itself) dilutes the total, which is\n"
+        "exactly the Amdahl framing the per-kernel figures quantify.\n",
+        (1.0 - pim.Total() / host.Total()) * 100.0);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scenario: quantized mobile inference with PIM-assisted packing and
+ * quantization (the paper's Section 5).
+ *
+ * Runs the four evaluated networks through the full per-layer pipeline
+ * (quantize -> im2col -> pack -> GEMM -> unpack -> re-quantize), first
+ * entirely on the host, then with the data-reorganization phases on a
+ * PIM accelerator while the host keeps the GEMM kernel.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/ml/inference.h"
+#include "workloads/ml/network.h"
+
+int
+main()
+{
+    using namespace pim;
+
+    const ml::EvalScale scale; // see DESIGN.md on evaluation scaling
+
+    Table table("Quantized inference: host vs. PIM pack/quantize");
+    table.SetHeader({"network", "layers", "host energy (mJ)",
+                     "PIM energy (mJ)", "saved",
+                     "pack+quant share (host)"});
+
+    for (const auto &net : ml::AllNetworks()) {
+        const auto host = ml::RunInference(
+            net, scale, core::ExecutionTarget::kCpuOnly);
+        const auto pim = ml::RunInference(
+            net, scale, core::ExecutionTarget::kPimAccel);
+
+        table.AddRow({
+            net.name,
+            std::to_string(net.TotalLayerInvocations()),
+            Table::Num(PicoToMilliJoules(host.TotalEnergy()), 3),
+            Table::Num(PicoToMilliJoules(pim.TotalEnergy()), 3),
+            Table::Pct(1.0 - pim.TotalEnergy() / host.TotalEnergy()),
+            Table::Pct(host.PackingEnergyFraction() +
+                       host.QuantizationEnergyFraction()),
+        });
+    }
+    table.Print();
+
+    std::printf(
+        "The GEMM kernel itself stays on the CPU in both columns; PIM\n"
+        "absorbs only the data-reorganization phases the paper\n"
+        "identifies as PIM targets (packing, unpacking, quantization).\n"
+        "The offload policy is per-layer: matrices that fit the host\n"
+        "LLC at this evaluation scale stay on the CPU (offloading them\n"
+        "would only add vault traffic), which is why the networks made\n"
+        "of many small layers show little change here while VGG-19's\n"
+        "LLC-busting GEMMs benefit substantially.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Owned, cache-line-aligned buffers with a stable simulated base address.
+ *
+ * Workload kernels operate on real host memory (so results are checkable)
+ * while the instrumentation layer needs *simulated* addresses that are
+ * stable and disjoint per buffer.  SimBuffer allocates host storage and
+ * reserves a region of the simulated address space for it.
+ */
+
+#ifndef PIM_COMMON_BUFFER_H
+#define PIM_COMMON_BUFFER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.h"
+#include "types.h"
+
+namespace pim {
+
+/** Process-wide allocator of disjoint simulated address ranges. */
+class SimAddressSpace
+{
+  public:
+    /** Reserve @p bytes and return the simulated base (line aligned). */
+    static Address
+    Reserve(Bytes bytes)
+    {
+        Address &next = NextRef();
+        const Address base = next;
+        const Bytes rounded =
+            (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+        next += rounded + kCacheLineBytes; // guard line between buffers
+        return base;
+    }
+
+    /** Testing hook: reset the allocation cursor. */
+    static void ResetForTest() { NextRef() = kBase; }
+
+  private:
+    static constexpr Address kBase = 0x1000'0000ULL;
+
+    static Address &
+    NextRef()
+    {
+        static Address next = kBase;
+        return next;
+    }
+};
+
+/**
+ * A typed host-memory buffer paired with a simulated address range.
+ *
+ * @tparam T element type (trivially copyable).
+ */
+template <typename T>
+class SimBuffer
+{
+  public:
+    SimBuffer() = default;
+
+    explicit SimBuffer(std::size_t count, T fill = T())
+        : data_(count, fill),
+          sim_base_(SimAddressSpace::Reserve(count * sizeof(T)))
+    {
+    }
+
+    std::size_t size() const { return data_.size(); }
+    Bytes size_bytes() const { return data_.size() * sizeof(T); }
+    bool empty() const { return data_.empty(); }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T &
+    at(std::size_t i)
+    {
+        PIM_ASSERT(i < data_.size(), "index %zu out of %zu", i, data_.size());
+        return data_[i];
+    }
+    const T &
+    at(std::size_t i) const
+    {
+        PIM_ASSERT(i < data_.size(), "index %zu out of %zu", i, data_.size());
+        return data_[i];
+    }
+
+    /** Simulated base address of element 0. */
+    Address sim_base() const { return sim_base_; }
+
+    /** Simulated address of element @p i. */
+    Address
+    SimAddr(std::size_t i) const
+    {
+        return sim_base_ + static_cast<Address>(i * sizeof(T));
+    }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+  private:
+    std::vector<T> data_;
+    Address sim_base_ = 0;
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_BUFFER_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic / fatal / warn / inform.
+ *
+ * panic()  — an internal invariant was violated (a framework bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something works but is suspicious; execution continues.
+ * inform() — plain status output.
+ */
+
+#ifndef PIM_COMMON_LOGGING_H
+#define PIM_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace pim {
+
+namespace detail {
+
+template <typename... Args>
+std::string
+FormatMessage(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt,
+                                    std::forward<Args>(args)...);
+        if (n <= 0) {
+            return std::string(fmt);
+        }
+        std::string out(static_cast<std::size_t>(n), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt,
+                      std::forward<Args>(args)...);
+        return out;
+    }
+}
+
+[[noreturn]] void PanicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void FatalImpl(const std::string &msg);
+void WarnImpl(const std::string &msg);
+void InformImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message; use for internal invariant violations. */
+#define PIM_PANIC(...)                                                       \
+    ::pim::detail::PanicImpl(__FILE__, __LINE__,                             \
+                             ::pim::detail::FormatMessage(__VA_ARGS__))
+
+/** Exit(1) with a message; use for invalid user configuration. */
+#define PIM_FATAL(...)                                                       \
+    ::pim::detail::FatalImpl(::pim::detail::FormatMessage(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define PIM_WARN(...)                                                        \
+    ::pim::detail::WarnImpl(::pim::detail::FormatMessage(__VA_ARGS__))
+
+/** Print a status message. */
+#define PIM_INFORM(...)                                                      \
+    ::pim::detail::InformImpl(::pim::detail::FormatMessage(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message on failure. */
+#define PIM_ASSERT(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            PIM_PANIC("assertion failed: %s: %s", #cond,                     \
+                      ::pim::detail::FormatMessage(__VA_ARGS__).c_str());    \
+        }                                                                    \
+    } while (false)
+
+} // namespace pim
+
+#endif // PIM_COMMON_LOGGING_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic workload generators (web pages, video frames, matrices,
+ * swap traffic) must be reproducible run-to-run, so they draw from this
+ * splitmix64/xoshiro256** generator seeded explicitly — never from
+ * std::random_device or time.
+ */
+
+#ifndef PIM_COMMON_RNG_H
+#define PIM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace pim {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.  Deterministic, fast, and
+ * good enough for workload synthesis (not for cryptography).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { Reseed(seed); }
+
+    /** Re-initialize the full state from a 64-bit seed. */
+    void
+    Reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into 4 state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t
+    Next64()
+    {
+        const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    Below(std::uint64_t bound)
+    {
+        return Next64() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    Range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        Below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    NextDouble()
+    {
+        return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    Chance(double p)
+    {
+        return NextDouble() < p;
+    }
+
+    /** Uniform byte. */
+    std::uint8_t NextByte() { return static_cast<std::uint8_t>(Next64()); }
+
+  private:
+    static std::uint64_t
+    Rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_RNG_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters and fixed-bin histograms.
+ *
+ * Mirrors the role of gem5's stats package at a fraction of the machinery:
+ * workload drivers and models expose their counters through a StatGroup so
+ * benches can dump everything uniformly.
+ */
+
+#ifndef PIM_COMMON_STATS_H
+#define PIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging.h"
+
+namespace pim {
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void Add(std::uint64_t n = 1) { value_ += n; }
+    void Reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Fixed-width-bin histogram over [0, bins * bin_width). */
+class Histogram
+{
+  public:
+    Histogram(std::size_t bins, double bin_width)
+        : counts_(bins, 0), bin_width_(bin_width)
+    {
+        PIM_ASSERT(bins > 0 && bin_width > 0.0, "bad histogram shape");
+    }
+
+    /** Record one sample; values beyond the top bin clamp into it. */
+    void
+    Sample(double v)
+    {
+        if (v < 0.0) {
+            v = 0.0;
+        }
+        auto bin = static_cast<std::size_t>(v / bin_width_);
+        if (bin >= counts_.size()) {
+            bin = counts_.size() - 1;
+        }
+        ++counts_[bin];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+    double bin_width() const { return bin_width_; }
+    std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+
+    /** Mean of samples using bin centers. */
+    double
+    Mean() const
+    {
+        if (total_ == 0) {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            sum += (static_cast<double>(i) + 0.5) * bin_width_ *
+                   static_cast<double>(counts_[i]);
+        }
+        return sum / static_cast<double>(total_);
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    double bin_width_;
+    std::uint64_t total_ = 0;
+};
+
+/** A bag of named double-valued statistics for uniform dumping. */
+class StatGroup
+{
+  public:
+    void Set(const std::string &name, double v) { values_[name] = v; }
+    void
+    Accumulate(const std::string &name, double v)
+    {
+        values_[name] += v;
+    }
+
+    bool Has(const std::string &name) const { return values_.count(name); }
+
+    double
+    Get(const std::string &name) const
+    {
+        auto it = values_.find(name);
+        PIM_ASSERT(it != values_.end(), "unknown stat '%s'", name.c_str());
+        return it->second;
+    }
+
+    const std::map<std::string, double> &values() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_STATS_H

@@ -1,0 +1,115 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.h"
+
+namespace pim {
+
+void
+Table::SetHeader(std::vector<std::string> header)
+{
+    PIM_ASSERT(rows_.empty(), "header must be set before rows");
+    header_ = std::move(header);
+}
+
+void
+Table::AddRow(std::vector<std::string> row)
+{
+    PIM_ASSERT(header_.empty() || row.size() == header_.size(),
+               "row width %zu != header width %zu", row.size(),
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::Num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::Pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::ToText() const
+{
+    // Compute per-column widths over header and rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size()) {
+            widths.resize(row.size(), 0);
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &row : rows_) {
+        widen(row);
+    }
+
+    std::string out;
+    out += "== " + title_ + " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += row[i];
+            if (i + 1 < row.size()) {
+                out.append(widths[i] - row[i].size() + 2, ' ');
+            }
+        }
+        out += '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        }
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out;
+}
+
+std::string
+Table::ToCsv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += row[i];
+            if (i + 1 < row.size()) {
+                out += ',';
+            }
+        }
+        out += '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+    }
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out;
+}
+
+void
+Table::Print() const
+{
+    std::fputs(ToText().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace pim

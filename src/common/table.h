@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harnesses to emit the same
+ * rows/series the paper's tables and figures report.
+ *
+ * Output goals: aligned columns, stable ordering, machine-greppable
+ * (no box-drawing characters), and a CSV dump for plotting.
+ */
+
+#ifndef PIM_COMMON_TABLE_H
+#define PIM_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/** A rectangular table of strings with a title and column headers. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must be called before adding rows. */
+    void SetHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string Num(double v, int precision = 2);
+
+    /** Format a percentage ("12.3%"). */
+    static std::string Pct(double fraction, int precision = 1);
+
+    /** Render as aligned plain text. */
+    std::string ToText() const;
+
+    /** Render as CSV (header + rows). */
+    std::string ToCsv() const;
+
+    /** Print ToText() to stdout. */
+    void Print() const;
+
+    const std::string &title() const { return title_; }
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_TABLE_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The simulator is counter-driven: almost everything is a 64-bit count
+ * (bytes, accesses, instructions, cycles) or an energy quantity in
+ * picojoules.  Keeping the unit conventions in one place avoids an entire
+ * class of "was that pJ or nJ?" bugs.
+ */
+
+#ifndef PIM_COMMON_TYPES_H
+#define PIM_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace pim {
+
+/** Byte address within a simulated address space. */
+using Address = std::uint64_t;
+
+/** Count of clock cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Energy in picojoules.  Double because per-event constants are < 1 pJ. */
+using PicoJoules = double;
+
+/** Time in nanoseconds. */
+using Nanoseconds = double;
+
+/** Number of bytes moved, stored, or accessed. */
+using Bytes = std::uint64_t;
+
+/** Width of a cache line in this framework (LPDDR/HBM transfer unit). */
+inline constexpr Bytes kCacheLineBytes = 64;
+
+/** Kibibyte / mebibyte / gibibyte helpers for configuration literals. */
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 10;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 20;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 30;
+}
+
+/** Round @p addr down to the start of its cache line. */
+inline constexpr Address
+LineAlign(Address addr)
+{
+    return addr & ~static_cast<Address>(kCacheLineBytes - 1);
+}
+
+/** Number of cache lines spanned by the byte range [addr, addr + bytes). */
+inline constexpr std::uint64_t
+LinesSpanned(Address addr, Bytes bytes)
+{
+    if (bytes == 0) {
+        return 0;
+    }
+    const Address first = LineAlign(addr);
+    const Address last = LineAlign(addr + bytes - 1);
+    return (last - first) / kCacheLineBytes + 1;
+}
+
+/** Convert picojoules to millijoules (used when printing paper figures). */
+inline constexpr double
+PicoToMilliJoules(PicoJoules pj)
+{
+    return pj * 1e-9;
+}
+
+/** Convert a cycle count at @p ghz to nanoseconds. */
+inline constexpr Nanoseconds
+CyclesToNs(Cycles cycles, double ghz)
+{
+    return static_cast<double>(cycles) / ghz;
+}
+
+} // namespace pim
+
+#endif // PIM_COMMON_TYPES_H

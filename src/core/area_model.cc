@@ -1,0 +1,95 @@
+#include "core/area_model.h"
+
+namespace pim::core {
+
+PimLogicArea
+PimCoreArea()
+{
+    return {"pim-core", 0.33};
+}
+
+PimLogicArea
+TextureTilingAccelArea()
+{
+    return {"texture-tiling-accel", 0.25};
+}
+
+PimLogicArea
+ColorBlittingAccelArea()
+{
+    return {"color-blitting-accel", 0.25};
+}
+
+PimLogicArea
+CompressionAccelArea()
+{
+    return {"compression-accel", 0.25};
+}
+
+PimLogicArea
+PackingAccelArea()
+{
+    return {"packing-accel", 0.25};
+}
+
+PimLogicArea
+QuantizationAccelArea()
+{
+    return {"quantization-accel", 0.25};
+}
+
+PimLogicArea
+SubPixelInterpAccelArea()
+{
+    return {"subpel-interp-accel", 0.21};
+}
+
+PimLogicArea
+DeblockingAccelArea()
+{
+    return {"deblocking-accel", 0.12};
+}
+
+PimLogicArea
+MotionEstimationAccelArea()
+{
+    return {"motion-estimation-accel", 1.24};
+}
+
+PimLogicArea
+McDeblockAccelArea()
+{
+    return {"mc-deblock-accel", 0.33};
+}
+
+std::vector<PimLogicArea>
+AllPimLogicAreas()
+{
+    return {
+        PimCoreArea(),
+        TextureTilingAccelArea(),
+        ColorBlittingAccelArea(),
+        CompressionAccelArea(),
+        PackingAccelArea(),
+        QuantizationAccelArea(),
+        SubPixelInterpAccelArea(),
+        DeblockingAccelArea(),
+        MotionEstimationAccelArea(),
+        McDeblockAccelArea(),
+    };
+}
+
+double
+FractionOfVaultBudget(const PimLogicArea &logic,
+                      const VaultAreaBudget &budget)
+{
+    return logic.area_mm2 / budget.min_mm2;
+}
+
+bool
+FitsVaultBudget(const PimLogicArea &logic, const VaultAreaBudget &budget)
+{
+    return logic.area_mm2 <= budget.min_mm2;
+}
+
+} // namespace pim::core

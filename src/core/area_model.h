@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logic-layer area model (the paper's Section 3.3 and the per-kernel
+ * accelerator areas of Sections 4-7).
+ *
+ * An HMC-like stack exposes 50-60 mm^2 of logic-layer area; with 16
+ * vaults that is roughly 3.5-4.4 mm^2 per vault for PIM logic.  The
+ * paper's feasibility rule: a PIM core (0.33 mm^2, Cortex-R8 footprint)
+ * or a per-workload accelerator must fit within the per-vault budget.
+ */
+
+#ifndef PIM_CORE_AREA_MODEL_H
+#define PIM_CORE_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace pim::core {
+
+/** Square millimeters at the paper's 22 nm logic process. */
+using SquareMm = double;
+
+/** Per-vault area budget for new PIM logic. */
+struct VaultAreaBudget
+{
+    SquareMm min_mm2 = 3.5;
+    SquareMm max_mm2 = 4.4;
+};
+
+/** One piece of PIM logic and its estimated area. */
+struct PimLogicArea
+{
+    std::string name;
+    SquareMm area_mm2;
+};
+
+/** The paper's published area estimates. */
+PimLogicArea PimCoreArea();              ///< 0.33 mm^2 (Cortex-R8).
+PimLogicArea TextureTilingAccelArea();   ///< <0.25 mm^2, 4 tiling units.
+PimLogicArea ColorBlittingAccelArea();   ///< same 4 units, new control.
+PimLogicArea CompressionAccelArea();     ///< <0.25 mm^2 (LZO-class).
+PimLogicArea PackingAccelArea();         ///< same 4 units, new control.
+PimLogicArea QuantizationAccelArea();    ///< same 4 units, new control.
+PimLogicArea SubPixelInterpAccelArea();  ///< 0.21 mm^2.
+PimLogicArea DeblockingAccelArea();      ///< 0.12 mm^2.
+PimLogicArea MotionEstimationAccelArea(); ///< 1.24 mm^2.
+PimLogicArea McDeblockAccelArea();       ///< 0.33 mm^2 (decoder MC+DF).
+
+/** All of the above, for inventory-style reporting. */
+std::vector<PimLogicArea> AllPimLogicAreas();
+
+/** Fraction of the per-vault budget consumed (against the minimum). */
+double FractionOfVaultBudget(const PimLogicArea &logic,
+                             const VaultAreaBudget &budget = {});
+
+/** Paper feasibility rule: fits within the per-vault minimum budget. */
+bool FitsVaultBudget(const PimLogicArea &logic,
+                     const VaultAreaBudget &budget = {});
+
+} // namespace pim::core
+
+#endif // PIM_CORE_AREA_MODEL_H

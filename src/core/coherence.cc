@@ -1,0 +1,51 @@
+#include "core/coherence.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pim::core {
+
+CoherenceCost
+EstimateOffloadCoherence(Bytes input_bytes, Bytes output_bytes,
+                         const CoherenceParams &params)
+{
+    PIM_ASSERT(params.host_dirty_fraction >= 0.0 &&
+                   params.host_dirty_fraction <= 1.0,
+               "dirty fraction out of range");
+    PIM_ASSERT(params.host_resident_fraction >= params.host_dirty_fraction,
+               "resident fraction must include dirty fraction");
+
+    CoherenceCost cost;
+    const auto in_lines = (input_bytes + kCacheLineBytes - 1) /
+                          kCacheLineBytes;
+    const auto out_lines = (output_bytes + kCacheLineBytes - 1) /
+                           kCacheLineBytes;
+
+    // Host-resident input lines must be invalidated; dirty ones written
+    // back.  Output lines need one ownership-transfer message batch that
+    // the directories amortize per region, modeled as one message per
+    // 64 lines (a 4 KiB region grant).
+    const auto resident = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(in_lines) *
+                     params.host_resident_fraction));
+    const auto dirty = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(in_lines) *
+                     params.host_dirty_fraction));
+
+    cost.flushed_lines = resident;
+    cost.dirty_writebacks = dirty;
+    cost.messages = resident + out_lines / 64 + 2; // +launch/+complete
+
+    cost.energy_pj =
+        static_cast<double>(cost.messages) * params.pj_per_message +
+        static_cast<double>(dirty) * params.pj_per_flushed_line;
+
+    const double flush_bytes =
+        static_cast<double>(dirty) * static_cast<double>(kCacheLineBytes);
+    cost.time_ns = params.launch_latency_ns +
+                   flush_bytes / params.flush_bandwidth_gbps;
+    return cost;
+}
+
+} // namespace pim::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CPU<->PIM coherence model (the paper's Section 8.2).
+ *
+ * The design keeps a PIM-side directory in the logic layer; the CPU-side
+ * directory remains the system's main coherence point.  At offload launch
+ * the host flushes its dirty copies of the kernel's input footprint and
+ * exchanges request/acknowledge messages; at completion the PIM-side
+ * directory publishes the output footprint back.  The model charges
+ * per-message energy/latency and per-flushed-line writeback traffic.
+ */
+
+#ifndef PIM_CORE_COHERENCE_H
+#define PIM_CORE_COHERENCE_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pim::core {
+
+/** Tunables of the fine-grained coherence scheme. */
+struct CoherenceParams
+{
+    /** Fraction of the input footprint assumed dirty in host caches. */
+    double host_dirty_fraction = 0.05;
+    /** Fraction of the input footprint resident (clean) in host caches. */
+    double host_resident_fraction = 0.20;
+    /** Energy per coherence message (directory lookup + link flit). */
+    PicoJoules pj_per_message = 120.0;
+    /** Latency per message batch (messages pipeline; one round trip). */
+    Nanoseconds launch_latency_ns = 500.0;
+    /** Off-chip writeback cost per flushed dirty line (64 B x 160 pJ/B). */
+    PicoJoules pj_per_flushed_line = 64.0 * 160.0;
+    /** Sustainable flush bandwidth for dirty lines (GB/s). */
+    double flush_bandwidth_gbps = 16.0;
+};
+
+/** Cost of keeping one offload coherent. */
+struct CoherenceCost
+{
+    std::uint64_t messages = 0;
+    std::uint64_t flushed_lines = 0;
+    std::uint64_t dirty_writebacks = 0;
+    PicoJoules energy_pj = 0;
+    Nanoseconds time_ns = 0;
+};
+
+/**
+ * Estimate the coherence cost of offloading a kernel whose inputs span
+ * @p input_bytes and outputs span @p output_bytes of host-visible memory.
+ */
+CoherenceCost EstimateOffloadCoherence(Bytes input_bytes, Bytes output_bytes,
+                                       const CoherenceParams &params = {});
+
+} // namespace pim::core
+
+#endif // PIM_CORE_COHERENCE_H

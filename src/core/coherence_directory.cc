@@ -1,0 +1,102 @@
+#include "core/coherence_directory.h"
+
+namespace pim::core {
+
+namespace {
+
+/** Apply @p fn to every line base address in [addr, addr+bytes). */
+template <typename Fn>
+void
+ForEachLine(Address addr, Bytes bytes, Fn fn)
+{
+    if (bytes == 0) {
+        return;
+    }
+    Address cur = LineAlign(addr);
+    const Address end = addr + bytes;
+    for (; cur < end; cur += kCacheLineBytes) {
+        fn(cur);
+    }
+}
+
+} // namespace
+
+void
+CoherenceDirectory::HostRead(Address addr, Bytes bytes)
+{
+    ForEachLine(addr, bytes, [this](Address line) {
+        auto [it, inserted] = lines_.try_emplace(line,
+                                                 LineOwner::kHostClean);
+        if (!inserted && it->second == LineOwner::kPimOwned) {
+            // Host pulls the line back from the PIM-side directory.
+            it->second = LineOwner::kHostClean;
+            ++stats_.pim_handoffs;
+            ++stats_.messages;
+        }
+    });
+}
+
+void
+CoherenceDirectory::HostWrite(Address addr, Bytes bytes)
+{
+    ForEachLine(addr, bytes, [this](Address line) {
+        auto [it, inserted] = lines_.try_emplace(line,
+                                                 LineOwner::kHostDirty);
+        if (!inserted) {
+            if (it->second == LineOwner::kPimOwned) {
+                ++stats_.pim_handoffs;
+                ++stats_.messages;
+            }
+            it->second = LineOwner::kHostDirty;
+        }
+    });
+}
+
+std::uint64_t
+CoherenceDirectory::OffloadBegin(Address addr, Bytes bytes)
+{
+    std::uint64_t messages = 2; // launch request + acknowledge
+    ForEachLine(addr, bytes, [this, &messages](Address line) {
+        auto [it, inserted] = lines_.try_emplace(line,
+                                                 LineOwner::kPimOwned);
+        if (inserted) {
+            return; // never host-cached: silent transfer
+        }
+        switch (it->second) {
+          case LineOwner::kHostDirty:
+            ++stats_.host_writebacks;
+            ++messages;
+            break;
+          case LineOwner::kHostClean:
+            ++stats_.host_invalidations;
+            ++messages;
+            break;
+          case LineOwner::kPimOwned:
+            break; // already PIM-side
+        }
+        it->second = LineOwner::kPimOwned;
+    });
+    stats_.messages += messages;
+    return messages;
+}
+
+std::uint64_t
+CoherenceDirectory::OffloadEnd(Address addr, Bytes bytes)
+{
+    // Completion hands regions (4 KiB grants) back to the host-side
+    // directory; individual lines flip lazily on the next host access.
+    const std::uint64_t regions =
+        (LinesSpanned(addr, bytes) + 63) / 64;
+    const std::uint64_t messages = regions + 1; // grants + completion
+    stats_.messages += messages;
+    return messages;
+}
+
+LineOwner
+CoherenceDirectory::OwnerOf(Address addr) const
+{
+    const auto it = lines_.find(LineAlign(addr));
+    return it == lines_.end() ? LineOwner::kHostClean : it->second;
+}
+
+} // namespace pim::core

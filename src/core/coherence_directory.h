@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stateful CPU<->PIM coherence directory (the paper's Section 8.2).
+ *
+ * The analytic EstimateOffloadCoherence() in coherence.h prices an
+ * offload from assumed resident/dirty fractions; this class instead
+ * *tracks* line ownership across a sequence of host accesses and
+ * offloads, producing exact message/flush counts for a workload run:
+ *
+ *   - the CPU-side directory is the system's main coherence point;
+ *   - a PIM-side directory in the logic layer owns lines while PIM
+ *     logic works on them;
+ *   - offload launch transfers the kernel footprint PIM-ward (flushing
+ *     the host's dirty copies); completion transfers the output
+ *     footprint back host-ward.
+ *
+ * Granularity is the cache line.  The directory tracks state only for
+ * lines it has seen, so memory cost is proportional to the touched
+ * footprint.
+ */
+
+#ifndef PIM_CORE_COHERENCE_DIRECTORY_H
+#define PIM_CORE_COHERENCE_DIRECTORY_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace pim::core {
+
+/** Ownership state of one cache line. */
+enum class LineOwner : std::uint8_t
+{
+    kHostClean, ///< Host may have a clean cached copy.
+    kHostDirty, ///< Host holds the only up-to-date copy.
+    kPimOwned,  ///< PIM logic owns the line; host copies invalid.
+};
+
+/** Message/flush counters accumulated by the directory. */
+struct DirectoryStats
+{
+    std::uint64_t host_writebacks = 0;   ///< Dirty lines flushed host->DRAM.
+    std::uint64_t host_invalidations = 0; ///< Clean host copies dropped.
+    std::uint64_t pim_handoffs = 0;      ///< Lines returned PIM->host.
+    std::uint64_t messages = 0;          ///< Directory protocol messages.
+
+    std::uint64_t
+    Total() const
+    {
+        return host_writebacks + host_invalidations + pim_handoffs;
+    }
+};
+
+/** The two-directory coherence tracker. */
+class CoherenceDirectory
+{
+  public:
+    /** Record a host read of [addr, addr+bytes). */
+    void HostRead(Address addr, Bytes bytes);
+
+    /** Record a host write of [addr, addr+bytes). */
+    void HostWrite(Address addr, Bytes bytes);
+
+    /**
+     * Transfer the range PIM-ward at offload launch: dirty host lines
+     * are written back, clean ones invalidated, and ownership moves to
+     * the PIM-side directory.  Returns messages generated.
+     */
+    std::uint64_t OffloadBegin(Address addr, Bytes bytes);
+
+    /**
+     * Return the range host-ward at offload completion.  PIM-owned
+     * lines hand off with one message per region grant (64 lines).
+     */
+    std::uint64_t OffloadEnd(Address addr, Bytes bytes);
+
+    /** Current owner of the line containing @p addr. */
+    LineOwner OwnerOf(Address addr) const;
+
+    const DirectoryStats &stats() const { return stats_; }
+    std::size_t tracked_lines() const { return lines_.size(); }
+    void ResetStats() { stats_ = DirectoryStats{}; }
+
+  private:
+    std::unordered_map<Address, LineOwner> lines_;
+    DirectoryStats stats_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_COHERENCE_DIRECTORY_H

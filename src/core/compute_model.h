@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Device compute models: the host CPU, the general-purpose PIM core, and
+ * fixed-function PIM accelerators (the paper's Section 3.3).
+ *
+ * A compute model converts a kernel's dynamic operation mix into
+ * (1) issue-limited execution time and (2) compute energy.  Together with
+ * the memory hierarchy attached to the device, this yields the paper's
+ * CPU-Only / PIM-Core / PIM-Acc comparison points.
+ */
+
+#ifndef PIM_CORE_COMPUTE_MODEL_H
+#define PIM_CORE_COMPUTE_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sim/op_counter.h"
+#include "sim/timing_model.h"
+
+namespace pim::core {
+
+/** The paper's three evaluated execution targets. */
+enum class ExecutionTarget
+{
+    kCpuOnly,
+    kPimCore,
+    kPimAccel,
+};
+
+/** Printable name ("CPU-Only", "PIM-Core", "PIM-Acc"). */
+const char *TargetName(ExecutionTarget target);
+
+/**
+ * Parameters of one compute device.
+ *
+ * Issue model: SIMD-eligible operations retire simd_width at a time; the
+ * resulting issue-slot count drains at sustained_ipc slots per cycle.
+ */
+struct ComputeModel
+{
+    std::string name;
+    double freq_ghz = 2.0;
+    double sustained_ipc = 1.0;
+    std::uint32_t simd_width = 1;
+    PicoJoules pj_per_op = 100.0;
+    sim::MemTimingParams mem_timing;
+
+    /**
+     * Concurrent execution lanes the kernel is partitioned across.
+     * The paper places one PIM core per vault and interleaves data
+     * across vaults, so an offloaded kernel runs on the PIM cores of
+     * the vaults holding its data (we conservatively model 4 of 16);
+     * host kernels run on one SoC core, as in the paper's
+     * microbenchmark methodology.  Total ops (and thus energy) are
+     * unchanged; only issue-limited time divides.
+     */
+    double parallel_lanes = 1.0;
+
+    /**
+     * Issue slots consumed by the mix @p ops: SIMD-eligible element
+     * operations retire simd_width per slot, the rest one per slot.
+     */
+    double
+    IssueSlots(const sim::OpCounts &ops) const
+    {
+        const auto total = static_cast<double>(ops.Total());
+        const auto simd = static_cast<double>(ops.simd_eligible);
+        return (total - simd) + simd / static_cast<double>(simd_width);
+    }
+
+    /** Issue-limited time for the mix @p ops. */
+    Nanoseconds
+    IssueTime(const sim::OpCounts &ops) const
+    {
+        return IssueSlots(ops) / sustained_ipc / freq_ghz /
+               parallel_lanes;
+    }
+
+    /**
+     * Compute (core/accelerator) energy for the mix @p ops, charged
+     * per issue slot: a SIMD instruction costs about as much to fetch,
+     * issue, and retire as a scalar one, which is exactly why
+     * vectorized kernels are energy-efficient on the CPU.
+     */
+    PicoJoules
+    ComputeEnergy(const sim::OpCounts &ops) const
+    {
+        return pj_per_op * IssueSlots(ops);
+    }
+};
+
+/**
+ * The host SoC core (Table 1): out-of-order, 8-wide issue, 2 GHz.
+ * Sustained IPC on these streaming kernels is well below peak; the model
+ * uses 4 slots/cycle with a 4-wide (128-bit) SIMD unit.
+ */
+ComputeModel CpuComputeModel();
+
+/**
+ * The PIM core (Table 1): 1-wide in-order, 4-wide SIMD, 32 KiB L1,
+ * Cortex-R8-class energy (conservative, per Section 3.1).
+ */
+ComputeModel PimCoreComputeModel();
+
+/**
+ * A fixed-function PIM accelerator: @p units in-memory logic units, each
+ * retiring @p ops_per_cycle element operations per cycle; 20x the CPU's
+ * compute energy efficiency (Section 3.1).
+ */
+ComputeModel PimAccelComputeModel(std::uint32_t units = 4,
+                                  double ops_per_cycle = 16.0);
+
+/** The model matching an execution target (accelerator uses defaults). */
+ComputeModel ModelForTarget(ExecutionTarget target);
+
+} // namespace pim::core
+
+#endif // PIM_CORE_COMPUTE_MODEL_H

@@ -1,0 +1,86 @@
+#include "core/execution_context.h"
+
+#include "common/logging.h"
+
+namespace pim::core {
+
+namespace {
+
+sim::HierarchyConfig
+HierarchyForTarget(ExecutionTarget target)
+{
+    switch (target) {
+      case ExecutionTarget::kCpuOnly:
+        return sim::HostHierarchyConfig();
+      case ExecutionTarget::kPimCore:
+        return sim::PimCoreHierarchyConfig();
+      case ExecutionTarget::kPimAccel:
+        return sim::PimAccelHierarchyConfig();
+    }
+    PIM_PANIC("unknown execution target");
+}
+
+} // namespace
+
+ExecutionContext::ExecutionContext(ExecutionTarget target)
+    : ExecutionContext(target, ModelForTarget(target),
+                       HierarchyForTarget(target))
+{
+}
+
+ExecutionContext::ExecutionContext(ExecutionTarget target,
+                                   ComputeModel compute,
+                                   const sim::HierarchyConfig &hierarchy)
+    : target_(target), compute_(std::move(compute)), hierarchy_(hierarchy),
+      port_(hierarchy_.Top())
+{
+}
+
+RunReport
+ExecutionContext::Report(const std::string &kernel_name) const
+{
+    RunReport r;
+    r.kernel = kernel_name;
+    r.target = target_;
+    r.target_name = TargetName(target_);
+    r.ops = ops_.counts();
+    r.counters = hierarchy_.Snapshot();
+
+    r.energy =
+        energy_model_.MemoryEnergy(r.counters, hierarchy_.config().dram);
+    r.energy.compute = compute_.ComputeEnergy(r.ops);
+
+    const Nanoseconds issue = compute_.IssueTime(r.ops);
+    r.timing = sim::EvaluateTiming(issue, r.counters,
+                                   hierarchy_.config().dram,
+                                   compute_.mem_timing);
+    return r;
+}
+
+void
+ExecutionContext::Reset(bool drain_caches)
+{
+    if (drain_caches) {
+        hierarchy_.Drain();
+    }
+    hierarchy_.ResetStats();
+    port_.ResetTotals();
+    ops_.Reset();
+}
+
+std::vector<RunReport>
+RunOnAllTargets(const std::string &kernel_name,
+                const std::function<void(ExecutionContext &)> &kernel)
+{
+    std::vector<RunReport> reports;
+    for (ExecutionTarget target :
+         {ExecutionTarget::kCpuOnly, ExecutionTarget::kPimCore,
+          ExecutionTarget::kPimAccel}) {
+        ExecutionContext ctx(target);
+        kernel(ctx);
+        reports.push_back(ctx.Report(kernel_name));
+    }
+    return reports;
+}
+
+} // namespace pim::core

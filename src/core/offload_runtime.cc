@@ -1,0 +1,79 @@
+#include "core/offload_runtime.h"
+
+#include "core/coherence_directory.h"
+
+namespace pim::core {
+
+RunReport
+OffloadRuntime::Run(
+    const std::string &kernel_name, ExecutionTarget target,
+    const OffloadFootprint &footprint,
+    const std::function<void(ExecutionContext &)> &kernel) const
+{
+    ExecutionContext ctx(target);
+    kernel(ctx);
+    RunReport report = ctx.Report(kernel_name);
+
+    if (target != ExecutionTarget::kCpuOnly) {
+        const CoherenceCost cost = EstimateOffloadCoherence(
+            footprint.input_bytes, footprint.output_bytes, coherence_);
+        report.overhead_ns = cost.time_ns;
+        // Coherence messages/flushes cross the off-chip interconnect.
+        report.energy.interconnect += cost.energy_pj;
+    }
+    return report;
+}
+
+RunReport
+OffloadRuntime::RunTracked(
+    const std::string &kernel_name, ExecutionTarget target,
+    Address input_base, Bytes input_bytes, Address output_base,
+    Bytes output_bytes, CoherenceDirectory &directory,
+    const std::function<void(ExecutionContext &)> &kernel) const
+{
+    ExecutionContext ctx(target);
+    if (target == ExecutionTarget::kCpuOnly) {
+        // Host execution: the directory just observes the accesses.
+        kernel(ctx);
+        directory.HostRead(input_base, input_bytes);
+        directory.HostWrite(output_base, output_bytes);
+        return ctx.Report(kernel_name);
+    }
+
+    const DirectoryStats before = directory.stats();
+    std::uint64_t messages =
+        directory.OffloadBegin(input_base, input_bytes);
+    messages += directory.OffloadBegin(output_base, output_bytes);
+
+    kernel(ctx);
+    messages += directory.OffloadEnd(output_base, output_bytes);
+
+    RunReport report = ctx.Report(kernel_name);
+    const std::uint64_t writebacks =
+        directory.stats().host_writebacks - before.host_writebacks;
+
+    report.energy.interconnect +=
+        static_cast<double>(messages) * coherence_.pj_per_message +
+        static_cast<double>(writebacks) * coherence_.pj_per_flushed_line;
+    const double flush_bytes = static_cast<double>(writebacks) *
+                               static_cast<double>(kCacheLineBytes);
+    report.overhead_ns = coherence_.launch_latency_ns +
+                         flush_bytes / coherence_.flush_bandwidth_gbps;
+    return report;
+}
+
+std::vector<RunReport>
+OffloadRuntime::RunAll(
+    const std::string &kernel_name, const OffloadFootprint &footprint,
+    const std::function<void(ExecutionContext &)> &kernel) const
+{
+    std::vector<RunReport> reports;
+    for (ExecutionTarget target :
+         {ExecutionTarget::kCpuOnly, ExecutionTarget::kPimCore,
+          ExecutionTarget::kPimAccel}) {
+        reports.push_back(Run(kernel_name, target, footprint, kernel));
+    }
+    return reports;
+}
+
+} // namespace pim::core

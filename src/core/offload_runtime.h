@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The offload interface (the paper's Section 8.1): a kernel region is
+ * marked for PIM execution, the runtime makes the host caches coherent
+ * with the PIM view, dispatches the kernel to the chosen PIM logic, and
+ * accounts launch/coherence overheads in the report.
+ *
+ * In the paper this is a pair of compiler macros lowered to two ISA
+ * instructions; here it is an explicit runtime call that plays the same
+ * role for the simulated device.
+ */
+
+#ifndef PIM_CORE_OFFLOAD_RUNTIME_H
+#define PIM_CORE_OFFLOAD_RUNTIME_H
+
+#include <functional>
+#include <string>
+
+#include "core/coherence.h"
+#include "core/execution_context.h"
+
+namespace pim::core {
+
+/** Declared memory footprint of an offloaded kernel. */
+struct OffloadFootprint
+{
+    Bytes input_bytes = 0;  ///< Host-produced data the kernel reads.
+    Bytes output_bytes = 0; ///< Data the kernel writes for the host.
+};
+
+/**
+ * Dispatches kernels to execution targets and charges offload costs.
+ * CPU-Only runs have no offload cost; PIM runs pay the coherence
+ * launch/flush estimate for their declared footprint.
+ */
+class OffloadRuntime
+{
+  public:
+    OffloadRuntime() = default;
+    explicit OffloadRuntime(CoherenceParams coherence)
+        : coherence_(coherence)
+    {
+    }
+
+    /**
+     * Execute @p kernel on @p target and return the measured report,
+     * including coherence/launch overhead for PIM targets.
+     *
+     * The kernel receives a fresh ExecutionContext for the target; it
+     * must perform all its instrumented work through ctx.mem()/ctx.ops().
+     */
+    RunReport
+    Run(const std::string &kernel_name, ExecutionTarget target,
+        const OffloadFootprint &footprint,
+        const std::function<void(ExecutionContext &)> &kernel) const;
+
+    /** Run on all three targets (paper Figures 18-20 shape). */
+    std::vector<RunReport>
+    RunAll(const std::string &kernel_name, const OffloadFootprint &footprint,
+           const std::function<void(ExecutionContext &)> &kernel) const;
+
+    /**
+     * Like Run(), but derives the coherence cost from a *tracked*
+     * directory (see coherence_directory.h) instead of the analytic
+     * resident/dirty-fraction estimate: the caller records the host's
+     * prior accesses into @p directory, and the offload flushes exactly
+     * the lines the host actually holds.
+     *
+     * @param input_base  simulated base address of the kernel's input
+     * @param output_base simulated base address of the kernel's output
+     */
+    RunReport
+    RunTracked(const std::string &kernel_name, ExecutionTarget target,
+               Address input_base, Bytes input_bytes, Address output_base,
+               Bytes output_bytes, class CoherenceDirectory &directory,
+               const std::function<void(ExecutionContext &)> &kernel)
+        const;
+
+    const CoherenceParams &coherence_params() const { return coherence_; }
+
+  private:
+    CoherenceParams coherence_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_OFFLOAD_RUNTIME_H

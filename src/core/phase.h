@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Phase-bucketed measurement: attribute one warm context's activity to
+ * named pipeline phases (the per-function breakdowns of the paper's
+ * Figures 1, 6, 7, 10, 11, and 15).
+ *
+ * Usage: run some work through a context, then Take(ctx) into the
+ * bucket for that phase; Take snapshots the pending counters and
+ * resets them without draining the caches.
+ */
+
+#ifndef PIM_CORE_PHASE_H
+#define PIM_CORE_PHASE_H
+
+#include <cstdint>
+
+#include "core/execution_context.h"
+
+namespace pim::core {
+
+/** Accumulated measurement of one named phase. */
+struct PhaseTotals
+{
+    sim::EnergyBreakdown energy;
+    Nanoseconds time_ns = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    Bytes offchip_bytes = 0;
+
+    /** Absorb the context's pending measurement and reset it (warm). */
+    void
+    Take(ExecutionContext &ctx, const char *name = "phase")
+    {
+        const RunReport r = ctx.Report(name);
+        energy += r.energy;
+        time_ns += r.timing.Total();
+        instructions += r.ops.Total();
+        llc_misses += r.counters.has_llc ? r.counters.llc.Misses()
+                                         : r.counters.l1.Misses();
+        offchip_bytes += r.counters.OffChipBytes();
+        ctx.Reset(/*drain_caches=*/false);
+    }
+
+    PhaseTotals &
+    operator+=(const PhaseTotals &o)
+    {
+        energy += o.energy;
+        time_ns += o.time_ns;
+        instructions += o.instructions;
+        llc_misses += o.llc_misses;
+        offchip_bytes += o.offchip_bytes;
+        return *this;
+    }
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_PHASE_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The paper's Section 8.1 offload interface, as source-level markers.
+ *
+ * The paper marks PIM-target code regions with a pair of macros the
+ * compiler lowers to PIM-launch/PIM-end instructions.  This header
+ * provides the equivalent ergonomics for the simulated device: the
+ * marked block runs on the chosen target via the offload runtime, and
+ * the report lands in the named variable.
+ *
+ *   core::OffloadRuntime rt;
+ *   core::RunReport report;
+ *   PIM_OFFLOAD(rt, report, core::ExecutionTarget::kPimAccel,
+ *               "texture-tiling",
+ *               (core::OffloadFootprint{in_bytes, out_bytes}), ctx) {
+ *       browser::TileTexture(linear, tiled, ctx);
+ *   } PIM_OFFLOAD_END;
+ */
+
+#ifndef PIM_CORE_PIM_OFFLOAD_MACROS_H
+#define PIM_CORE_PIM_OFFLOAD_MACROS_H
+
+#include "core/offload_runtime.h"
+
+/**
+ * Begin an offloaded region.  @p runtime is an OffloadRuntime lvalue,
+ * @p report a RunReport lvalue that receives the measurement,
+ * @p target the ExecutionTarget, @p name a kernel label, @p footprint
+ * an OffloadFootprint (parenthesize braced initializers), and
+ * @p ctx_var the name the block uses for its ExecutionContext.
+ */
+#define PIM_OFFLOAD(runtime, report, target, name, footprint, ctx_var)   \
+    (report) = (runtime).Run(                                            \
+        (name), (target), (footprint),                                   \
+        [&](::pim::core::ExecutionContext &ctx_var)
+
+/** Close a PIM_OFFLOAD region. */
+#define PIM_OFFLOAD_END )
+
+#endif // PIM_CORE_PIM_OFFLOAD_MACROS_H

@@ -1,0 +1,59 @@
+#include "core/pim_target.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pim::core {
+
+PimTargetVerdict
+EvaluatePimTarget(const std::vector<FunctionEnergyShare> &function_shares,
+                  std::size_t candidate, const RunReport &cpu_report,
+                  const RunReport &pim_report,
+                  const PimLogicArea &accel_area,
+                  const PimTargetThresholds &thresholds)
+{
+    PIM_ASSERT(candidate < function_shares.size(),
+               "candidate index %zu out of %zu", candidate,
+               function_shares.size());
+
+    PimTargetVerdict v;
+    const FunctionEnergyShare &f = function_shares[candidate];
+    v.function_name = f.name;
+
+    PicoJoules workload_total = 0;
+    PicoJoules max_energy = 0;
+    for (const auto &share : function_shares) {
+        workload_total += share.total_pj;
+        max_energy = std::max(max_energy, share.total_pj);
+    }
+
+    // (1) Highest-energy function (ties count).
+    v.top_energy_function = f.total_pj >= max_energy && f.total_pj > 0;
+
+    // (2) Its data movement is a significant fraction of workload energy.
+    v.movement_fraction_of_workload =
+        workload_total > 0 ? f.movement_pj / workload_total : 0.0;
+    v.significant_movement = v.movement_fraction_of_workload >=
+                             thresholds.workload_energy_fraction;
+
+    // (3) Memory-intensive: LLC MPKI above threshold on the host.
+    v.mpki = cpu_report.Mpki();
+    v.memory_intensive = v.mpki > thresholds.mpki_threshold;
+
+    // (4) Movement is the single largest component of its own energy.
+    v.movement_fraction_of_function =
+        f.total_pj > 0 ? f.movement_pj / f.total_pj : 0.0;
+    v.movement_dominates = v.movement_fraction_of_function > 0.5;
+
+    // (5) No performance loss when run on the PIM logic.
+    v.no_perf_loss_on_pim =
+        pim_report.TotalTimeNs() <= cpu_report.TotalTimeNs();
+
+    // (6) Proposed accelerator fits the per-vault budget.
+    v.area_fits = FitsVaultBudget(accel_area);
+
+    return v;
+}
+
+} // namespace pim::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PIM-target identification (the paper's Section 3.2).
+ *
+ * A function is a *PIM target candidate* if:
+ *   (1) it consumes the most energy among the workload's functions,
+ *   (2) its data movement is a significant fraction of workload energy,
+ *   (3) it is memory-intensive (LLC MPKI > 10), and
+ *   (4) data movement is the largest component of its own energy.
+ * A candidate becomes a *PIM target* if additionally:
+ *   (5) it suffers no performance loss on PIM logic, and
+ *   (6) its PIM logic fits the per-vault area budget.
+ */
+
+#ifndef PIM_CORE_PIM_TARGET_H
+#define PIM_CORE_PIM_TARGET_H
+
+#include <string>
+#include <vector>
+
+#include "core/area_model.h"
+#include "core/execution_context.h"
+
+namespace pim::core {
+
+/** Thresholds used by the identification rules. */
+struct PimTargetThresholds
+{
+    double mpki_threshold = 10.0;
+    /** "Significant fraction of total workload energy" cutoff. */
+    double workload_energy_fraction = 0.10;
+};
+
+/** Outcome of the four candidate criteria plus the two feasibility checks. */
+struct PimTargetVerdict
+{
+    std::string function_name;
+
+    bool top_energy_function = false;  ///< Criterion 1.
+    bool significant_movement = false; ///< Criterion 2.
+    bool memory_intensive = false;     ///< Criterion 3 (MPKI > 10).
+    bool movement_dominates = false;   ///< Criterion 4.
+    bool no_perf_loss_on_pim = false;  ///< Feasibility a.
+    bool area_fits = false;            ///< Feasibility b.
+
+    double mpki = 0.0;
+    double movement_fraction_of_workload = 0.0;
+    double movement_fraction_of_function = 0.0;
+
+    bool
+    IsCandidate() const
+    {
+        return top_energy_function && significant_movement &&
+               memory_intensive && movement_dominates;
+    }
+
+    bool IsPimTarget() const
+    {
+        return IsCandidate() && no_perf_loss_on_pim && area_fits;
+    }
+};
+
+/** Energy attribution of one function within a whole-workload run. */
+struct FunctionEnergyShare
+{
+    std::string name;
+    PicoJoules total_pj = 0;
+    PicoJoules movement_pj = 0;
+};
+
+/**
+ * Apply the Section 3.2 rules.
+ *
+ * @param function_shares    per-function energy attribution for the whole
+ *                           workload (the candidate must rank within the
+ *                           top `top_k` functions by energy)
+ * @param candidate          which entry of @p function_shares to judge
+ * @param cpu_report         the kernel measured on the host
+ * @param pim_report         the kernel measured on PIM logic
+ * @param accel_area         the accelerator area proposed for it
+ */
+PimTargetVerdict
+EvaluatePimTarget(const std::vector<FunctionEnergyShare> &function_shares,
+                  std::size_t candidate, const RunReport &cpu_report,
+                  const RunReport &pim_report,
+                  const PimLogicArea &accel_area,
+                  const PimTargetThresholds &thresholds = {});
+
+} // namespace pim::core
+
+#endif // PIM_CORE_PIM_TARGET_H

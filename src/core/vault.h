@@ -1,0 +1,73 @@
+/**
+ * @file
+ * HMC/HBM-like 3D-stacked memory organization: vertical vaults, each with
+ * its own slice of capacity/bandwidth and one piece of PIM logic in the
+ * logic layer.
+ */
+
+#ifndef PIM_CORE_VAULT_H
+#define PIM_CORE_VAULT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/area_model.h"
+#include "sim/system_config.h"
+
+namespace pim::core {
+
+/** Static view of one vault's resources. */
+struct Vault
+{
+    std::uint32_t index = 0;
+    Bytes capacity = 0;
+    double internal_bandwidth_gbps = 0;
+    VaultAreaBudget area_budget;
+};
+
+/** The stack: capacity/bandwidth divided evenly across vaults. */
+class StackedMemory
+{
+  public:
+    explicit StackedMemory(
+        const sim::StackedMemoryConfig &config = sim::StackedMemoryConfig{})
+        : config_(config)
+    {
+    }
+
+    std::uint32_t vault_count() const { return config_.vaults; }
+
+    Vault
+    vault(std::uint32_t index) const
+    {
+        Vault v;
+        v.index = index;
+        v.capacity = config_.capacity / config_.vaults;
+        v.internal_bandwidth_gbps =
+            config_.internal_bandwidth_gbps / config_.vaults;
+        return v;
+    }
+
+    /** Aggregate internal bandwidth available to PIM logic. */
+    double
+    internal_bandwidth_gbps() const
+    {
+        return config_.internal_bandwidth_gbps;
+    }
+
+    /** Off-chip channel bandwidth seen by the host SoC. */
+    double
+    offchip_bandwidth_gbps() const
+    {
+        return config_.offchip_bandwidth_gbps;
+    }
+
+    const sim::StackedMemoryConfig &config() const { return config_; }
+
+  private:
+    sim::StackedMemoryConfig config_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_VAULT_H

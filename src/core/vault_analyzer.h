@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Vault interleaving and per-vault traffic analysis.
+ *
+ * The paper places one piece of PIM logic per vault and interleaves
+ * addresses across vaults; a PIM kernel's data must therefore spread
+ * evenly or some vaults' logic sits idle while one is saturated.  The
+ * analyzer bins an access stream by vault and reports the balance —
+ * the quantity that justifies the `parallel_lanes` speedup model.
+ */
+
+#ifndef PIM_CORE_VAULT_ANALYZER_H
+#define PIM_CORE_VAULT_ANALYZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/access.h"
+#include "sim/system_config.h"
+
+namespace pim::core {
+
+/** Address-to-vault mapping: lines interleave round-robin. */
+inline std::uint32_t
+VaultOf(Address addr, std::uint32_t vaults)
+{
+    return static_cast<std::uint32_t>((addr / kCacheLineBytes) % vaults);
+}
+
+/** MemorySink that bins traffic by destination vault. */
+class VaultTrafficAnalyzer final : public sim::MemorySink
+{
+  public:
+    explicit VaultTrafficAnalyzer(
+        std::uint32_t vaults = sim::StackedMemoryConfig{}.vaults)
+        : bytes_(vaults, 0)
+    {
+    }
+
+    void
+    Access(Address addr, Bytes bytes, sim::AccessType) override
+    {
+        if (bytes == 0) {
+            return;
+        }
+        Address cur = LineAlign(addr);
+        const Address end = addr + bytes;
+        for (; cur < end; cur += kCacheLineBytes) {
+            const Bytes chunk =
+                std::min<Bytes>(kCacheLineBytes, end - cur);
+            bytes_[VaultOf(cur, vault_count())] += chunk;
+        }
+    }
+
+    std::uint32_t
+    vault_count() const
+    {
+        return static_cast<std::uint32_t>(bytes_.size());
+    }
+
+    Bytes vault_bytes(std::uint32_t v) const { return bytes_.at(v); }
+
+    Bytes
+    TotalBytes() const
+    {
+        Bytes total = 0;
+        for (const Bytes b : bytes_) {
+            total += b;
+        }
+        return total;
+    }
+
+    /**
+     * Load balance in (0, 1]: mean vault traffic over max vault
+     * traffic.  1.0 = perfectly even; 1/vaults = everything in one.
+     */
+    double
+    Balance() const
+    {
+        Bytes max_bytes = 0;
+        for (const Bytes b : bytes_) {
+            max_bytes = std::max(max_bytes, b);
+        }
+        if (max_bytes == 0) {
+            return 1.0;
+        }
+        const double mean = static_cast<double>(TotalBytes()) /
+                            static_cast<double>(bytes_.size());
+        return mean / static_cast<double>(max_bytes);
+    }
+
+    /**
+     * Effective parallel lanes the traffic supports: vaults weighted
+     * by their share of an even split (== vaults x Balance()).
+     */
+    double
+    EffectiveLanes() const
+    {
+        return Balance() * static_cast<double>(vault_count());
+    }
+
+  private:
+    std::vector<Bytes> bytes_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_VAULT_ANALYZER_H

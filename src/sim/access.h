@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory access primitives: the stream interface between instrumented
+ * workload kernels and the memory-hierarchy models.
+ *
+ * Kernels perform real computation on host memory and, alongside, report
+ * every simulated load/store to a MemorySink.  The sink is typically the
+ * top of a cache hierarchy; the terminal sink is a DRAM counter.
+ */
+
+#ifndef PIM_SIM_ACCESS_H
+#define PIM_SIM_ACCESS_H
+
+#include "common/types.h"
+
+namespace pim::sim {
+
+/** Direction of a memory access. */
+enum class AccessType { kRead, kWrite };
+
+/**
+ * Receiver of a stream of memory accesses.
+ *
+ * Implementations: Cache (forwards misses downward), DramCounter
+ * (terminal), TrafficTap (pass-through byte counter).
+ */
+class MemorySink
+{
+  public:
+    virtual ~MemorySink() = default;
+
+    /**
+     * Process an access.  @p addr is a simulated address; @p bytes may
+     * span multiple cache lines (implementations split as needed).
+     */
+    virtual void Access(Address addr, Bytes bytes, AccessType type) = 0;
+};
+
+/** A sink that discards accesses (used to run kernels untraced). */
+class NullSink final : public MemorySink
+{
+  public:
+    void Access(Address, Bytes, AccessType) override {}
+};
+
+/**
+ * Convenience wrapper kernels hold by reference: read/write verbs plus a
+ * running total, independent of what hierarchy sits behind it.
+ */
+class MemPort
+{
+  public:
+    explicit MemPort(MemorySink &sink) : sink_(&sink) {}
+
+    /** Re-point the port at a different sink (e.g., a trace tee). */
+    void Rebind(MemorySink &sink) { sink_ = &sink; }
+
+    void
+    Read(Address addr, Bytes bytes)
+    {
+        bytes_read_ += bytes;
+        sink_->Access(addr, bytes, AccessType::kRead);
+    }
+
+    void
+    Write(Address addr, Bytes bytes)
+    {
+        bytes_written_ += bytes;
+        sink_->Access(addr, bytes, AccessType::kWrite);
+    }
+
+    Bytes bytes_read() const { return bytes_read_; }
+    Bytes bytes_written() const { return bytes_written_; }
+
+    /** Reset the running byte totals (the sink keeps its own stats). */
+    void
+    ResetTotals()
+    {
+        bytes_read_ = 0;
+        bytes_written_ = 0;
+    }
+
+  private:
+    MemorySink *sink_;
+    Bytes bytes_read_ = 0;
+    Bytes bytes_written_ = 0;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_ACCESS_H

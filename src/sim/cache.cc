@@ -1,0 +1,144 @@
+#include "sim/cache.h"
+
+#include "common/logging.h"
+
+namespace pim::sim {
+
+Cache::Cache(const CacheConfig &config, MemorySink &below)
+    : config_(config), below_(&below)
+{
+    PIM_ASSERT(config_.line_bytes > 0 &&
+                   (config_.line_bytes & (config_.line_bytes - 1)) == 0,
+               "line size must be a power of two");
+    PIM_ASSERT(config_.associativity > 0, "associativity must be nonzero");
+    const Bytes set_bytes = config_.line_bytes * config_.associativity;
+    PIM_ASSERT(config_.size % set_bytes == 0,
+               "cache size %llu not divisible by assoc*line %llu",
+               static_cast<unsigned long long>(config_.size),
+               static_cast<unsigned long long>(set_bytes));
+    num_sets_ = config_.size / set_bytes;
+    lines_.resize(num_sets_ * config_.associativity);
+}
+
+std::size_t
+Cache::SetIndex(Address line_addr) const
+{
+    return static_cast<std::size_t>((line_addr / config_.line_bytes) %
+                                    num_sets_);
+}
+
+void
+Cache::Access(Address addr, Bytes bytes, AccessType type)
+{
+    if (bytes == 0) {
+        return;
+    }
+    const Bytes line = config_.line_bytes;
+    Address cur = addr & ~(line - 1);
+    const Address end = addr + bytes;
+    for (; cur < end; cur += line) {
+        AccessLine(cur, type);
+    }
+}
+
+void
+Cache::AccessLine(Address line_addr, AccessType type)
+{
+    const std::size_t set = SetIndex(line_addr);
+    Line *base = &lines_[set * config_.associativity];
+    ++tick_;
+
+    // Probe the set.
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        Line &l = base[way];
+        if (l.valid && l.tag == line_addr) {
+            l.lru = tick_;
+            if (type == AccessType::kWrite) {
+                l.dirty = true;
+                ++stats_.write_hits;
+            } else {
+                ++stats_.read_hits;
+            }
+            return;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lru < victim->lru) {
+            victim = &l;
+        }
+    }
+
+    // Miss: evict victim (writeback if dirty), then fill from below.
+    if (type == AccessType::kWrite) {
+        ++stats_.write_misses;
+    } else {
+        ++stats_.read_misses;
+    }
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        below_->Access(victim->tag, config_.line_bytes, AccessType::kWrite);
+    }
+    below_->Access(line_addr, config_.line_bytes, AccessType::kRead);
+    victim->valid = true;
+    victim->dirty = (type == AccessType::kWrite);
+    victim->tag = line_addr;
+    victim->lru = tick_;
+}
+
+void
+Cache::FlushAll()
+{
+    for (Line &l : lines_) {
+        if (l.valid && l.dirty) {
+            ++stats_.writebacks;
+            below_->Access(l.tag, config_.line_bytes, AccessType::kWrite);
+        }
+        l = Line{};
+    }
+}
+
+std::uint64_t
+Cache::FlushRange(Address base, Bytes bytes)
+{
+    if (bytes == 0) {
+        return 0;
+    }
+    const Bytes line = config_.line_bytes;
+    Address cur = base & ~(line - 1);
+    const Address end = base + bytes;
+    std::uint64_t flushed = 0;
+    for (; cur < end; cur += line) {
+        const std::size_t set = SetIndex(cur);
+        Line *set_base = &lines_[set * config_.associativity];
+        for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+            Line &l = set_base[way];
+            if (l.valid && l.tag == cur) {
+                if (l.dirty) {
+                    ++stats_.writebacks;
+                    below_->Access(l.tag, line, AccessType::kWrite);
+                }
+                l = Line{};
+                ++flushed;
+                break;
+            }
+        }
+    }
+    return flushed;
+}
+
+bool
+Cache::Contains(Address addr) const
+{
+    const Address line_addr = addr & ~(config_.line_bytes - 1);
+    const std::size_t set = SetIndex(line_addr);
+    const Line *base = &lines_[set * config_.associativity];
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == line_addr) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pim::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache model with LRU
+ * replacement.
+ *
+ * This is a *functional traffic* model: it tracks tags and dirty bits to
+ * produce hit/miss/writeback counts and the miss stream it forwards to the
+ * level below.  It does not store data (kernels compute on host memory).
+ */
+
+#ifndef PIM_SIM_CACHE_H
+#define PIM_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/access.h"
+
+namespace pim::sim {
+
+/** Geometry and identity of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    Bytes size = 64_KiB;
+    std::uint32_t associativity = 4;
+    Bytes line_bytes = kCacheLineBytes;
+};
+
+/** Aggregate statistics for one cache level. */
+struct CacheStats
+{
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t writebacks = 0;
+
+    std::uint64_t Hits() const { return read_hits + write_hits; }
+    std::uint64_t Misses() const { return read_misses + write_misses; }
+    std::uint64_t Accesses() const { return Hits() + Misses(); }
+
+    double
+    MissRate() const
+    {
+        const auto total = Accesses();
+        return total == 0 ? 0.0
+                          : static_cast<double>(Misses()) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * One level of cache.  Accesses are split into line-granular probes; each
+ * miss fills the line from the level below and may evict a dirty victim
+ * (written back below).
+ */
+class Cache final : public MemorySink
+{
+  public:
+    /**
+     * @param config geometry; size must be divisible by
+     *               associativity * line_bytes.
+     * @param below  next level (LLC or DRAM counter); not owned.
+     */
+    Cache(const CacheConfig &config, MemorySink &below);
+
+    void Access(Address addr, Bytes bytes, AccessType type) override;
+
+    /** Invalidate every line, writing back dirty ones. */
+    void FlushAll();
+
+    /**
+     * Flush (writeback + invalidate) all cached lines overlapping
+     * [base, base + bytes).  Returns the number of lines flushed; dirty
+     * writebacks are sent below and counted in stats.
+     *
+     * Used by the offload runtime's coherence protocol.
+     */
+    std::uint64_t FlushRange(Address base, Bytes bytes);
+
+    /** True if the line containing @p addr is resident. */
+    bool Contains(Address addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+    /** Zero the statistics; contents are kept. */
+    void ResetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Line
+    {
+        Address tag = 0;
+        std::uint64_t lru = 0; // larger == more recently used
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    void AccessLine(Address line_addr, AccessType type);
+    std::size_t SetIndex(Address line_addr) const;
+
+    CacheConfig config_;
+    MemorySink *below_;
+    std::vector<Line> lines_; // sets_ x associativity, row-major
+    std::size_t num_sets_;
+    std::uint64_t tick_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_CACHE_H

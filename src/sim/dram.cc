@@ -1,0 +1,44 @@
+#include "sim/dram.h"
+
+namespace pim::sim {
+
+DramConfig
+Lpddr3Config()
+{
+    DramConfig c;
+    c.name = "lpddr3";
+    c.bandwidth_gbps = 32.0;
+    c.access_latency_ns = 120.0;
+    c.dram_pj_per_byte = 80.0;         // ~10 pJ/bit device energy
+    c.interconnect_pj_per_byte = 60.0; // off-chip PHY + trace
+    c.memctrl_pj_per_byte = 20.0;
+    return c;
+}
+
+DramConfig
+StackedInternalConfig()
+{
+    DramConfig c;
+    c.name = "3d-stacked-internal";
+    c.bandwidth_gbps = 256.0;
+    c.access_latency_ns = 60.0; // no off-chip hop, same DRAM core timing
+    c.dram_pj_per_byte = 32.0;        // ~4 pJ/bit device energy
+    c.interconnect_pj_per_byte = 8.0; // TSV hop only
+    c.memctrl_pj_per_byte = 8.0;      // per-vault controller
+    return c;
+}
+
+DramConfig
+StackedExternalConfig()
+{
+    DramConfig c;
+    c.name = "3d-stacked-external";
+    c.bandwidth_gbps = 32.0;
+    c.access_latency_ns = 110.0;
+    c.dram_pj_per_byte = 32.0;
+    c.interconnect_pj_per_byte = 60.0; // still crosses the off-chip link
+    c.memctrl_pj_per_byte = 20.0;
+    return c;
+}
+
+} // namespace pim::sim

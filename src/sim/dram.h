@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Terminal memory devices: byte/request counters with the physical
+ * parameters (latency, bandwidth, energy rates) of the channel they model.
+ *
+ * Two device flavors appear in the paper's evaluated system (Table 1):
+ *  - the baseline off-chip LPDDR3 channel (32 GB/s), and
+ *  - the internal logic-layer path of 3D-stacked memory (256 GB/s),
+ *    which PIM logic uses.
+ */
+
+#ifndef PIM_SIM_DRAM_H
+#define PIM_SIM_DRAM_H
+
+#include <string>
+
+#include "common/types.h"
+#include "sim/access.h"
+
+namespace pim::sim {
+
+/** Physical parameters of a memory path. */
+struct DramConfig
+{
+    std::string name = "lpddr3";
+    double bandwidth_gbps = 32.0;     ///< Sustainable bandwidth, GB/s.
+    double access_latency_ns = 120.0; ///< Loaded average access latency.
+    /// Energy per byte for the DRAM device itself (array + peripheral).
+    double dram_pj_per_byte = 80.0;
+    /// Energy per byte on the interconnect between compute and DRAM
+    /// (off-chip PHY + board trace, or TSVs for in-stack access).
+    double interconnect_pj_per_byte = 60.0;
+    /// Energy per byte attributed to the memory controller.
+    double memctrl_pj_per_byte = 20.0;
+};
+
+/** The paper's baseline consumer-device channel: LPDDR3, 2 GB, 32 GB/s. */
+DramConfig Lpddr3Config();
+
+/**
+ * Internal path of HBM/HMC-like 3D-stacked memory as seen by logic-layer
+ * PIM: 256 GB/s aggregate, short TSV hop, no off-chip PHY.
+ */
+DramConfig StackedInternalConfig();
+
+/**
+ * Off-chip path of the 3D-stacked part as seen by the host SoC
+ * (32 GB/s channel, Table 1).  Energy rates match LPDDR3-class I/O.
+ */
+DramConfig StackedExternalConfig();
+
+/** Traffic statistics of a memory device. */
+struct DramStats
+{
+    std::uint64_t read_requests = 0;
+    std::uint64_t write_requests = 0;
+    Bytes read_bytes = 0;
+    Bytes write_bytes = 0;
+
+    Bytes TotalBytes() const { return read_bytes + write_bytes; }
+    std::uint64_t
+    TotalRequests() const
+    {
+        return read_requests + write_requests;
+    }
+};
+
+/** Terminal MemorySink: counts traffic reaching the memory device. */
+class DramCounter final : public MemorySink
+{
+  public:
+    explicit DramCounter(DramConfig config) : config_(std::move(config)) {}
+
+    void
+    Access(Address, Bytes bytes, AccessType type) override
+    {
+        if (type == AccessType::kRead) {
+            ++stats_.read_requests;
+            stats_.read_bytes += bytes;
+        } else {
+            ++stats_.write_requests;
+            stats_.write_bytes += bytes;
+        }
+    }
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return config_; }
+    void ResetStats() { stats_ = DramStats{}; }
+
+  private:
+    DramConfig config_;
+    DramStats stats_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_DRAM_H

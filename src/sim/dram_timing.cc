@@ -1,0 +1,86 @@
+#include "sim/dram_timing.h"
+
+#include "common/logging.h"
+
+namespace pim::sim {
+
+DramBankModel::DramBankModel(DramBankConfig config)
+    : config_(config),
+      open_row_(config.banks, -1)
+{
+    PIM_ASSERT(config_.banks > 0, "need at least one bank");
+    PIM_ASSERT(config_.row_bytes >= kCacheLineBytes &&
+                   (config_.row_bytes & (config_.row_bytes - 1)) == 0,
+               "row size must be a power-of-two number of lines");
+}
+
+std::uint32_t
+DramBankModel::BankOf(Address addr) const
+{
+    // Consecutive rows map to consecutive banks (row:bank:column),
+    // the common interleave for streaming bandwidth.
+    return static_cast<std::uint32_t>((addr / config_.row_bytes) %
+                                      config_.banks);
+}
+
+std::uint64_t
+DramBankModel::RowOf(Address addr) const
+{
+    return addr / config_.row_bytes / config_.banks;
+}
+
+void
+DramBankModel::Access(Address addr, Bytes bytes, AccessType)
+{
+    if (bytes == 0) {
+        return;
+    }
+    Address cur = LineAlign(addr);
+    const Address end = addr + bytes;
+    for (; cur < end; cur += kCacheLineBytes) {
+        const std::uint32_t bank = BankOf(cur);
+        const auto row = static_cast<std::int64_t>(RowOf(cur));
+        ++stats_.accesses;
+        if (open_row_[bank] == row) {
+            ++stats_.row_hits;
+        } else if (open_row_[bank] < 0) {
+            ++stats_.row_misses;
+            open_row_[bank] = row;
+        } else {
+            ++stats_.conflicts;
+            open_row_[bank] = row;
+        }
+    }
+}
+
+double
+DramBankModel::AverageLatencyNs() const
+{
+    if (stats_.accesses == 0) {
+        return 0.0;
+    }
+    const double hit = config_.t_cas_ns;
+    const double miss = config_.t_rcd_ns + config_.t_cas_ns;
+    const double conflict =
+        config_.t_rp_ns + config_.t_rcd_ns + config_.t_cas_ns;
+    return (static_cast<double>(stats_.row_hits) * hit +
+            static_cast<double>(stats_.row_misses) * miss +
+            static_cast<double>(stats_.conflicts) * conflict) /
+           static_cast<double>(stats_.accesses);
+}
+
+PicoJoules
+DramBankModel::ActivationEnergyPj() const
+{
+    return static_cast<double>(stats_.row_misses + stats_.conflicts) *
+           config_.activate_pj;
+}
+
+void
+DramBankModel::Reset()
+{
+    open_row_.assign(config_.banks, -1);
+    stats_ = RowBufferStats{};
+}
+
+} // namespace pim::sim

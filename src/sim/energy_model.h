@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Counter-driven energy model (the paper's Section 3.1 methodology).
+ *
+ * Total system energy is the sum over components of event counts times
+ * per-event energy constants: CPU cores (or PIM logic), L1, LLC, the
+ * compute<->memory interconnect, the memory controller, and DRAM.  The
+ * component set matches the paper's Figures 2, 11, 18, 19, and 20.
+ *
+ * Constants are first-order estimates in the spirit of CACTI-P (caches),
+ * LPDDR3/HBM datasheet-derived pJ/bit (memory paths), and published
+ * per-instruction core energies; see DESIGN.md for the substitution note.
+ */
+
+#ifndef PIM_SIM_ENERGY_MODEL_H
+#define PIM_SIM_ENERGY_MODEL_H
+
+#include "common/types.h"
+#include "sim/op_counter.h"
+#include "sim/perf_counters.h"
+
+namespace pim::sim {
+
+/** Energy by component, in picojoules.  Mirrors the paper's figures. */
+struct EnergyBreakdown
+{
+    PicoJoules compute = 0;      ///< CPU core / PIM core / accelerator.
+    PicoJoules l1 = 0;           ///< L1 (or accelerator buffer).
+    PicoJoules llc = 0;          ///< Shared LLC (host only).
+    PicoJoules interconnect = 0; ///< Off-chip link or TSVs.
+    PicoJoules memctrl = 0;      ///< Memory/vault controller.
+    PicoJoules dram = 0;         ///< DRAM device.
+
+    PicoJoules
+    Total() const
+    {
+        return compute + l1 + llc + interconnect + memctrl + dram;
+    }
+
+    /**
+     * The paper's "data movement" energy: everything except compute
+     * (caches + interconnect + memory controller + DRAM).
+     */
+    PicoJoules DataMovement() const { return Total() - compute; }
+
+    double
+    DataMovementFraction() const
+    {
+        const PicoJoules t = Total();
+        return t <= 0 ? 0.0 : DataMovement() / t;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        compute += o.compute;
+        l1 += o.l1;
+        llc += o.llc;
+        interconnect += o.interconnect;
+        memctrl += o.memctrl;
+        dram += o.dram;
+        return *this;
+    }
+
+    friend EnergyBreakdown
+    operator+(EnergyBreakdown a, const EnergyBreakdown &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+/** Cache access energy constants (per line-granular access). */
+struct CacheEnergyRates
+{
+    PicoJoules l1_per_access = 20.0;   ///< 64 KiB L1, CACTI-class.
+    PicoJoules llc_per_access = 100.0; ///< 2 MiB LLC, CACTI-class.
+};
+
+/**
+ * Computes the memory-side energy components from a counter snapshot.
+ * Compute energy is added by the ComputeModel (core layer), which knows
+ * the device's per-operation costs.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel() = default;
+    explicit EnergyModel(CacheEnergyRates rates) : rates_(rates) {}
+
+    /**
+     * Memory-side energy for one kernel run.
+     *
+     * @param pc   counter snapshot from the hierarchy
+     * @param dram physical parameters of the memory path used
+     */
+    EnergyBreakdown
+    MemoryEnergy(const PerfCounters &pc, const DramConfig &dram) const
+    {
+        EnergyBreakdown e;
+        e.l1 = rates_.l1_per_access *
+               static_cast<double>(pc.l1.Accesses() + pc.l1.writebacks);
+        if (pc.has_llc) {
+            e.llc = rates_.llc_per_access *
+                    static_cast<double>(pc.llc.Accesses() +
+                                        pc.llc.writebacks);
+        }
+        const auto bytes = static_cast<double>(pc.dram.TotalBytes());
+        e.interconnect = dram.interconnect_pj_per_byte * bytes;
+        e.memctrl = dram.memctrl_pj_per_byte * bytes;
+        e.dram = dram.dram_pj_per_byte * bytes;
+        return e;
+    }
+
+    const CacheEnergyRates &rates() const { return rates_; }
+
+  private:
+    CacheEnergyRates rates_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_ENERGY_MODEL_H

@@ -1,0 +1,101 @@
+#include "sim/hierarchy.h"
+
+namespace pim::sim {
+
+HierarchyConfig
+HostHierarchyConfig()
+{
+    HierarchyConfig h;
+    h.name = "host-lpddr3";
+    h.l1 = CacheConfig{"l1d", 64_KiB, 4, kCacheLineBytes};
+    h.llc = CacheConfig{"llc", 2_MiB, 8, kCacheLineBytes};
+    h.dram = Lpddr3Config();
+    return h;
+}
+
+HierarchyConfig
+HostStackedHierarchyConfig()
+{
+    HierarchyConfig h = HostHierarchyConfig();
+    h.name = "host-3dstacked";
+    h.dram = StackedExternalConfig();
+    return h;
+}
+
+HierarchyConfig
+PimCoreHierarchyConfig()
+{
+    HierarchyConfig h;
+    h.name = "pim-core";
+    h.l1 = CacheConfig{"pim-l1", 32_KiB, 4, kCacheLineBytes};
+    h.llc = std::nullopt;
+    h.dram = StackedInternalConfig();
+    return h;
+}
+
+HierarchyConfig
+PimAccelHierarchyConfig()
+{
+    HierarchyConfig h;
+    h.name = "pim-accel";
+    // The accelerator's 32 KiB working buffer, modeled as an 8-way cache.
+    h.l1 = CacheConfig{"accel-buffer", 32_KiB, 8, kCacheLineBytes};
+    h.llc = std::nullopt;
+    h.dram = StackedInternalConfig();
+    return h;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : config_(config), dram_(std::make_unique<DramCounter>(config.dram))
+{
+    MemorySink *below = dram_.get();
+    if (config_.llc) {
+        llc_ = std::make_unique<Cache>(*config_.llc, *below);
+        below = llc_.get();
+    }
+    l1_ = std::make_unique<Cache>(config_.l1, *below);
+}
+
+PerfCounters
+MemoryHierarchy::Snapshot() const
+{
+    PerfCounters pc;
+    pc.l1 = l1_->stats();
+    if (llc_) {
+        pc.llc = llc_->stats();
+        pc.has_llc = true;
+    }
+    pc.dram = dram_->stats();
+    return pc;
+}
+
+void
+MemoryHierarchy::ResetStats()
+{
+    l1_->ResetStats();
+    if (llc_) {
+        llc_->ResetStats();
+    }
+    dram_->ResetStats();
+}
+
+void
+MemoryHierarchy::Drain()
+{
+    l1_->FlushAll();
+    if (llc_) {
+        llc_->FlushAll();
+    }
+}
+
+std::uint64_t
+MemoryHierarchy::FlushRange(Address base, Bytes bytes)
+{
+    std::uint64_t flushed = l1_->FlushRange(base, bytes);
+    if (llc_) {
+        flushed += llc_->FlushRange(base, bytes);
+    }
+    return flushed;
+}
+
+} // namespace pim::sim

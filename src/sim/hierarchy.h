@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Composed memory hierarchies.
+ *
+ * Three shapes appear in the evaluation:
+ *  - Host SoC:   L1 (64 KiB, private) -> LLC (2 MiB, shared) -> off-chip DRAM
+ *  - PIM core:   L1 (32 KiB)                                -> vault DRAM
+ *  - PIM accel:  scratch buffer (32 KiB)                    -> vault DRAM
+ *
+ * The hierarchy is the MemorySink handed to instrumented kernels; after a
+ * run it is snapshotted into PerfCounters.
+ */
+
+#ifndef PIM_SIM_HIERARCHY_H
+#define PIM_SIM_HIERARCHY_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/perf_counters.h"
+
+namespace pim::sim {
+
+/** Configuration of a full hierarchy. */
+struct HierarchyConfig
+{
+    std::string name = "host";
+    CacheConfig l1;
+    std::optional<CacheConfig> llc; ///< Absent for PIM hierarchies.
+    DramConfig dram;
+};
+
+/** The paper's host SoC hierarchy (Table 1). */
+HierarchyConfig HostHierarchyConfig();
+
+/** Host SoC attached to 3D-stacked DRAM over the off-chip channel. */
+HierarchyConfig HostStackedHierarchyConfig();
+
+/** PIM core hierarchy: 32 KiB L1 directly on the vault. */
+HierarchyConfig PimCoreHierarchyConfig();
+
+/** PIM accelerator hierarchy: 32 KiB scratch buffer on the vault. */
+HierarchyConfig PimAccelHierarchyConfig();
+
+/**
+ * An owning composition of cache levels over a DRAM counter.
+ * Top() is the sink kernels write their access stream into.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config);
+
+    MemoryHierarchy(const MemoryHierarchy &) = delete;
+    MemoryHierarchy &operator=(const MemoryHierarchy &) = delete;
+
+    /** The sink kernels should access. */
+    MemorySink &Top() { return *l1_; }
+
+    Cache &l1() { return *l1_; }
+    Cache *llc() { return llc_.get(); } ///< May be null.
+    DramCounter &dram() { return *dram_; }
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Counter snapshot for the energy/timing models. */
+    PerfCounters Snapshot() const;
+
+    /** Zero all statistics (cache contents are kept warm). */
+    void ResetStats();
+
+    /** Writeback + invalidate everything (cold start). */
+    void Drain();
+
+    /**
+     * Flush all cached copies of [base, base+bytes); returns lines
+     * flushed across levels.  Used for offload coherence.
+     */
+    std::uint64_t FlushRange(Address base, Bytes bytes);
+
+  private:
+    HierarchyConfig config_;
+    std::unique_ptr<DramCounter> dram_;
+    std::unique_ptr<Cache> llc_; // may be null
+    std::unique_ptr<Cache> l1_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_HIERARCHY_H

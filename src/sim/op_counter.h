@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Kernel operation-mix reporting.
+ *
+ * Instrumented kernels report the dynamic operations they execute; the
+ * compute models (CPU / PIM core / PIM accelerator) turn the mix into
+ * cycles and energy.  Counts are dynamic-instruction-level, amortized
+ * (a kernel may report per row or per block rather than per iteration).
+ */
+
+#ifndef PIM_SIM_OP_COUNTER_H
+#define PIM_SIM_OP_COUNTER_H
+
+#include <cstdint>
+
+namespace pim::sim {
+
+/** Dynamic operation counts for one kernel execution. */
+struct OpCounts
+{
+    std::uint64_t alu = 0;    ///< Integer add/sub/logic/shift/compare.
+    std::uint64_t mul = 0;    ///< Integer multiply (and MAC).
+    std::uint64_t branch = 0; ///< Taken-or-not control operations.
+    std::uint64_t load = 0;   ///< Load instructions (not bytes).
+    std::uint64_t store = 0;  ///< Store instructions (not bytes).
+
+    /**
+     * Of the alu+mul work above, how many operations are data-parallel
+     * (vectorizable by a SIMD unit).  Always <= alu + mul.
+     */
+    std::uint64_t simd_eligible = 0;
+
+    std::uint64_t
+    Total() const
+    {
+        return alu + mul + branch + load + store;
+    }
+
+    OpCounts &
+    operator+=(const OpCounts &o)
+    {
+        alu += o.alu;
+        mul += o.mul;
+        branch += o.branch;
+        load += o.load;
+        store += o.store;
+        simd_eligible += o.simd_eligible;
+        return *this;
+    }
+};
+
+/** Mutable accumulator kernels hold by reference. */
+class OpCounter
+{
+  public:
+    void Alu(std::uint64_t n = 1) { counts_.alu += n; }
+    void Mul(std::uint64_t n = 1) { counts_.mul += n; }
+    void Branch(std::uint64_t n = 1) { counts_.branch += n; }
+    void Load(std::uint64_t n = 1) { counts_.load += n; }
+    void Store(std::uint64_t n = 1) { counts_.store += n; }
+    void SimdEligible(std::uint64_t n = 1) { counts_.simd_eligible += n; }
+
+    /** Shorthand: n ALU ops, all SIMD-eligible. */
+    void
+    VectorAlu(std::uint64_t n)
+    {
+        counts_.alu += n;
+        counts_.simd_eligible += n;
+    }
+
+    /** Shorthand: n multiplies, all SIMD-eligible. */
+    void
+    VectorMul(std::uint64_t n)
+    {
+        counts_.mul += n;
+        counts_.simd_eligible += n;
+    }
+
+    const OpCounts &counts() const { return counts_; }
+    void Reset() { counts_ = OpCounts{}; }
+
+  private:
+    OpCounts counts_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_OP_COUNTER_H

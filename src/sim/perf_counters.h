@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The "hardware performance counters" the workload analysis reads:
+ * per-level cache statistics plus memory-device traffic, snapshotted from
+ * a hierarchy after a kernel run.
+ */
+
+#ifndef PIM_SIM_PERF_COUNTERS_H
+#define PIM_SIM_PERF_COUNTERS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+
+namespace pim::sim {
+
+/** Snapshot of all memory-system counters for one kernel execution. */
+struct PerfCounters
+{
+    CacheStats l1;
+    CacheStats llc;       ///< Zero if the hierarchy has no LLC.
+    bool has_llc = false; ///< Whether the llc field is meaningful.
+    DramStats dram;
+
+    /** Bytes that crossed the compute<->DRAM boundary. */
+    Bytes OffChipBytes() const { return dram.TotalBytes(); }
+
+    /**
+     * Last-level-cache misses per kilo-instruction given a kernel's
+     * instruction count — the paper's memory-intensity criterion
+     * (PIM target candidates have MPKI > 10, Section 3.2).
+     */
+    double
+    Mpki(std::uint64_t instructions) const
+    {
+        if (instructions == 0) {
+            return 0.0;
+        }
+        const auto misses = has_llc ? llc.Misses() : l1.Misses();
+        return 1000.0 * static_cast<double>(misses) /
+               static_cast<double>(instructions);
+    }
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_PERF_COUNTERS_H

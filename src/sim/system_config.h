@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The evaluated system configuration (the paper's Table 1), collected in
+ * one place so benches and docs print exactly what the models use.
+ */
+
+#ifndef PIM_SIM_SYSTEM_CONFIG_H
+#define PIM_SIM_SYSTEM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pim::sim {
+
+/** SoC-side configuration (Table 1, "SoC" row). */
+struct SocConfig
+{
+    std::uint32_t cores = 4;
+    std::uint32_t issue_width = 8; ///< OoO, 8-wide issue.
+    double freq_ghz = 2.0;
+    Bytes l1_size = 64_KiB;
+    std::uint32_t l1_assoc = 4;
+    Bytes llc_size = 2_MiB;
+    std::uint32_t llc_assoc = 8;
+    std::string coherence = "MESI";
+};
+
+/** PIM core configuration (Table 1, "PIM Core" row). */
+struct PimCoreConfig
+{
+    std::uint32_t cores_per_vault = 1;
+    std::uint32_t issue_width = 1; ///< Single-issue, in-order.
+    std::uint32_t simd_width = 4;  ///< Empirically chosen in the paper.
+    double freq_ghz = 2.0;
+    Bytes l1_size = 32_KiB;
+    std::uint32_t l1_assoc = 4;
+};
+
+/** 3D-stacked memory configuration (Table 1, "3D-Stacked Memory" row). */
+struct StackedMemoryConfig
+{
+    Bytes capacity = 2_GiB;
+    std::uint32_t vaults = 16;
+    double internal_bandwidth_gbps = 256.0;
+    double offchip_bandwidth_gbps = 32.0;
+};
+
+/** Baseline memory configuration (Table 1, "Baseline Memory" row). */
+struct BaselineMemoryConfig
+{
+    std::string type = "LPDDR3";
+    Bytes capacity = 2_GiB;
+    std::string scheduler = "FR-FCFS";
+    double bandwidth_gbps = 32.0;
+};
+
+/** Full Table 1. */
+struct SystemConfig
+{
+    SocConfig soc;
+    PimCoreConfig pim_core;
+    StackedMemoryConfig stacked;
+    BaselineMemoryConfig baseline;
+};
+
+/** The default evaluated system. */
+inline SystemConfig
+DefaultSystemConfig()
+{
+    return SystemConfig{};
+}
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_SYSTEM_CONFIG_H

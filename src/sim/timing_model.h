@@ -1,0 +1,99 @@
+/**
+ * @file
+ * First-order analytic timing model.
+ *
+ * A kernel's execution time is bounded by three resources, and the model
+ * takes the binding constraint:
+ *
+ *   t_issue  — dynamic operations through the core's issue machinery
+ *   t_mem    — exposed memory latency: per-level (LLC, DRAM) access
+ *              latencies divided by the achievable memory-level
+ *              parallelism (MLP)
+ *   t_bw     — bytes over the memory channel at its sustainable bandwidth
+ *
+ *   t = max(t_issue, t_mem, t_bw)
+ *
+ * This captures exactly the effects the paper attributes PIM speedups to:
+ * streaming kernels on the host are latency/bandwidth bound; PIM logic
+ * sees 8x bandwidth and a shorter access path, while a 1-wide PIM core
+ * can become issue-bound on compute-heavier kernels (e.g., the paper's
+ * motion-estimation results).
+ */
+
+#ifndef PIM_SIM_TIMING_MODEL_H
+#define PIM_SIM_TIMING_MODEL_H
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "sim/dram.h"
+#include "sim/perf_counters.h"
+
+namespace pim::sim {
+
+/** Memory-path latency/parallelism parameters for the timing model. */
+struct MemTimingParams
+{
+    double llc_hit_latency_ns = 10.0; ///< Loaded LLC hit latency.
+    double mlp = 6.0;                 ///< Outstanding-miss parallelism.
+};
+
+/** Result of a timing evaluation, with the binding bound identified. */
+struct TimingResult
+{
+    Nanoseconds issue_ns = 0;
+    Nanoseconds memory_ns = 0;
+    Nanoseconds bandwidth_ns = 0;
+
+    Nanoseconds
+    Total() const
+    {
+        return std::max({issue_ns, memory_ns, bandwidth_ns});
+    }
+
+    /** Name of the binding constraint ("issue" | "latency" | "bandwidth"). */
+    const char *
+    Bound() const
+    {
+        const Nanoseconds t = Total();
+        if (t == bandwidth_ns && bandwidth_ns >= memory_ns) {
+            return "bandwidth";
+        }
+        return t == issue_ns ? "issue" : "latency";
+    }
+};
+
+/**
+ * Combine issue time (supplied by the compute model) with memory-side
+ * bounds from the counters.
+ *
+ * @param issue_ns compute-issue time from the device model
+ * @param pc       counter snapshot for the run
+ * @param dram     memory path parameters
+ * @param mem      latency/MLP parameters
+ */
+inline TimingResult
+EvaluateTiming(Nanoseconds issue_ns, const PerfCounters &pc,
+               const DramConfig &dram, const MemTimingParams &mem)
+{
+    TimingResult t;
+    t.issue_ns = issue_ns;
+
+    double latency_ns = 0.0;
+    if (pc.has_llc) {
+        latency_ns += static_cast<double>(pc.llc.Accesses()) *
+                      mem.llc_hit_latency_ns;
+    }
+    latency_ns += static_cast<double>(pc.dram.TotalRequests()) *
+                  dram.access_latency_ns;
+    t.memory_ns = latency_ns / std::max(1.0, mem.mlp);
+
+    const double bytes = static_cast<double>(pc.dram.TotalBytes());
+    t.bandwidth_ns = bytes / dram.bandwidth_gbps; // GB/s == bytes/ns
+
+    return t;
+}
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_TIMING_MODEL_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory access trace recording and replay.
+ *
+ * The paper's methodology is trace-heavy (the repro gate this project
+ * works around): kernels were profiled once and their traffic analyzed
+ * under different memory organizations.  This module provides the same
+ * leverage — record a kernel's access stream once, then replay it
+ * through any hierarchy (different LLC sizes, PIM configurations,
+ * line sizes) without re-running the kernel's computation.
+ */
+
+#ifndef PIM_SIM_TRACE_H
+#define PIM_SIM_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/access.h"
+
+namespace pim::sim {
+
+/** One recorded access. */
+struct TraceEntry
+{
+    Address addr;
+    std::uint32_t bytes;
+    AccessType type;
+};
+
+/** A recorded access stream. */
+class AccessTrace
+{
+  public:
+    void
+    Append(Address addr, Bytes bytes, AccessType type)
+    {
+        entries_.push_back(
+            {addr, static_cast<std::uint32_t>(bytes), type});
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    const TraceEntry &operator[](std::size_t i) const
+    {
+        return entries_[i];
+    }
+
+    /** Total bytes accessed (reads + writes). */
+    Bytes
+    TotalBytes() const
+    {
+        Bytes total = 0;
+        for (const auto &e : entries_) {
+            total += e.bytes;
+        }
+        return total;
+    }
+
+    /** Replay every access into @p sink, in order. */
+    void
+    ReplayInto(MemorySink &sink) const
+    {
+        for (const auto &e : entries_) {
+            sink.Access(e.addr, e.bytes, e.type);
+        }
+    }
+
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    std::vector<TraceEntry> entries_;
+};
+
+/**
+ * A tee: forwards every access to the level below while appending it
+ * to a trace.  Interpose between a kernel and its hierarchy to capture
+ * the stream without perturbing the measurement.
+ */
+class TraceRecorder final : public MemorySink
+{
+  public:
+    TraceRecorder(AccessTrace &trace, MemorySink &below)
+        : trace_(&trace), below_(&below)
+    {
+    }
+
+    void
+    Access(Address addr, Bytes bytes, AccessType type) override
+    {
+        trace_->Append(addr, bytes, type);
+        below_->Access(addr, bytes, type);
+    }
+
+  private:
+    AccessTrace *trace_;
+    MemorySink *below_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_TRACE_H

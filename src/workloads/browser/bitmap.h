@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RGBA bitmap containers used by the rasterization/tiling kernels.
+ *
+ * Pixels are 32-bit RGBA (8 bits per channel) stored row-major, matching
+ * the rasterized textures Chrome's compositor consumes (Section 4.1).
+ */
+
+#ifndef PIM_BROWSER_BITMAP_H
+#define PIM_BROWSER_BITMAP_H
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pim::browser {
+
+/** Pack four 8-bit channels into an RGBA pixel. */
+inline constexpr std::uint32_t
+MakePixel(std::uint8_t r, std::uint8_t g, std::uint8_t b, std::uint8_t a)
+{
+    return static_cast<std::uint32_t>(r) |
+           (static_cast<std::uint32_t>(g) << 8) |
+           (static_cast<std::uint32_t>(b) << 16) |
+           (static_cast<std::uint32_t>(a) << 24);
+}
+
+inline constexpr std::uint8_t PixelR(std::uint32_t p) { return p & 0xff; }
+inline constexpr std::uint8_t
+PixelG(std::uint32_t p)
+{
+    return (p >> 8) & 0xff;
+}
+inline constexpr std::uint8_t
+PixelB(std::uint32_t p)
+{
+    return (p >> 16) & 0xff;
+}
+inline constexpr std::uint8_t
+PixelA(std::uint32_t p)
+{
+    return (p >> 24) & 0xff;
+}
+
+/** A row-major RGBA bitmap with a simulated address range. */
+class Bitmap
+{
+  public:
+    Bitmap(int width, int height, std::uint32_t fill = 0)
+        : width_(width), height_(height),
+          pixels_(static_cast<std::size_t>(width) * height, fill)
+    {
+        PIM_ASSERT(width > 0 && height > 0, "bitmap must be non-empty");
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    Bytes size_bytes() const { return pixels_.size_bytes(); }
+
+    std::uint32_t &
+    At(int x, int y)
+    {
+        return pixels_[Index(x, y)];
+    }
+    std::uint32_t
+    At(int x, int y) const
+    {
+        return pixels_[Index(x, y)];
+    }
+
+    /** Simulated address of pixel (x, y). */
+    Address
+    SimAddr(int x, int y) const
+    {
+        return pixels_.SimAddr(Index(x, y));
+    }
+
+    pim::SimBuffer<std::uint32_t> &pixels() { return pixels_; }
+    const pim::SimBuffer<std::uint32_t> &pixels() const { return pixels_; }
+
+    /** Fill with deterministic pseudo-random content. */
+    void
+    Randomize(Rng &rng)
+    {
+        for (auto &p : pixels_) {
+            p = static_cast<std::uint32_t>(rng.Next64());
+        }
+    }
+
+  private:
+    std::size_t
+    Index(int x, int y) const
+    {
+        PIM_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+                   "pixel (%d,%d) out of %dx%d", x, y, width_, height_);
+        return static_cast<std::size_t>(y) * width_ + x;
+    }
+
+    int width_;
+    int height_;
+    pim::SimBuffer<std::uint32_t> pixels_;
+};
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_BITMAP_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Color blitting (the paper's Section 4.2.2, second PIM target).
+ *
+ * During rasterization Skia's high-level draw calls bottom out in a color
+ * blitter that copies/combines blocks of pixels: solid fills (memset-
+ * like), source-over alpha compositing, and span copies used for lines,
+ * path fills, and double buffering.  Simple arithmetic, streaming access
+ * pattern, large bitmaps.
+ */
+
+#ifndef PIM_BROWSER_COLOR_BLITTER_H
+#define PIM_BROWSER_COLOR_BLITTER_H
+
+#include <cstdint>
+
+#include "core/execution_context.h"
+#include "workloads/browser/bitmap.h"
+
+namespace pim::browser {
+
+/** Integer rectangle (half-open: [x, x+w) x [y, y+h)). */
+struct Rect
+{
+    int x = 0;
+    int y = 0;
+    int w = 0;
+    int h = 0;
+};
+
+/** Porter-Duff source-over of @p src over @p dst with premultiply. */
+std::uint32_t SrcOverPixel(std::uint32_t dst, std::uint32_t src);
+
+/**
+ * Skia-style color blitter bound to a destination bitmap and an
+ * execution context that observes its memory traffic.
+ */
+class ColorBlitter
+{
+  public:
+    ColorBlitter(Bitmap &dst, core::ExecutionContext &ctx)
+        : dst_(&dst), ctx_(&ctx)
+    {
+    }
+
+    /** Solid fill (opaque color): the memset-like fast path. */
+    void FillRect(const Rect &rect, std::uint32_t color);
+
+    /** Source-over blend a translucent solid color onto the rect. */
+    void BlendRect(const Rect &rect, std::uint32_t color);
+
+    /**
+     * Source-over blit of bitmap @p src with its top-left at (x, y);
+     * the alpha-compositing path used when combining two images or
+     * primitives.
+     */
+    void BlitSrcOver(const Bitmap &src, int x, int y);
+
+    /** Opaque copy of @p src (double-buffering / memcopy path). */
+    void BlitCopy(const Bitmap &src, int x, int y);
+
+    /**
+     * Text-like blitting: many small glyph-sized blend rectangles laid
+     * out in rows; models the font rasterization output path.
+     * @return the number of glyph cells drawn.
+     */
+    int DrawTextRun(const Rect &area, int glyph_w, int glyph_h,
+                    std::uint32_t color);
+
+  private:
+    Rect ClipToDst(const Rect &rect) const;
+
+    Bitmap *dst_;
+    core::ExecutionContext *ctx_;
+};
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_COLOR_BLITTER_H

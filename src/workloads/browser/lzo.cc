@@ -1,0 +1,274 @@
+#include "workloads/browser/lzo.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pim::browser {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 12;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+std::uint32_t
+Read32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+HashOf(std::uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Emit a length with 4-bit base + 255-continuation extension bytes. */
+std::size_t
+EmitLength(std::uint8_t *dst, std::size_t pos, std::size_t len)
+{
+    len -= 15; // the 15 already lives in the token nibble
+    while (len >= 255) {
+        dst[pos++] = 255;
+        len -= 255;
+    }
+    dst[pos++] = static_cast<std::uint8_t>(len);
+    return pos;
+}
+
+} // namespace
+
+std::size_t
+LzoCompressBound(std::size_t n)
+{
+    // Worst case: all literals; one token per 15 literals plus extension
+    // bytes.  n + n/255 + 16 is the standard safe bound.
+    return n + n / 255 + 16;
+}
+
+std::size_t
+LzoCompress(const pim::SimBuffer<std::uint8_t> &src, std::size_t src_len,
+            pim::SimBuffer<std::uint8_t> &dst,
+            core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(src_len <= src.size(), "src_len exceeds buffer");
+    PIM_ASSERT(dst.size() >= LzoCompressBound(src_len),
+               "dst capacity %zu below bound %zu", dst.size(),
+               LzoCompressBound(src_len));
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    // The 16 KiB position hash table lives in (and mostly stays in) the
+    // L1/accelerator buffer; its simulated address range is stable so
+    // repeated compress calls keep it warm, as the real ZRAM path does.
+    static thread_local std::uint32_t hash_table[kHashSize];
+    std::memset(hash_table, 0xff, sizeof(hash_table));
+    static thread_local pim::SimBuffer<std::uint32_t> ht_shadow(kHashSize);
+
+    const std::uint8_t *in = src.data();
+    std::uint8_t *out = dst.data();
+    std::size_t out_pos = 0;
+    std::size_t pos = 0;
+    std::size_t lit_start = 0;
+
+    auto emit_run = [&](std::size_t match_off, std::size_t match_len) {
+        const std::size_t lit_len = pos - lit_start;
+        const std::size_t token_pos = out_pos++;
+        std::uint8_t token = 0;
+
+        // Literal length nibble (+ extension).
+        if (lit_len >= 15) {
+            token |= 0xf0;
+            out_pos = EmitLength(out, out_pos, lit_len);
+        } else {
+            token |= static_cast<std::uint8_t>(lit_len << 4);
+        }
+        // Literal bytes.
+        std::memcpy(out + out_pos, in + lit_start, lit_len);
+        if (lit_len > 0) {
+            mem.Read(src.SimAddr(lit_start), lit_len);
+            mem.Write(dst.SimAddr(out_pos), lit_len);
+            ops.Load((lit_len + 15) / 16);
+            ops.Store((lit_len + 15) / 16);
+        }
+        out_pos += lit_len;
+
+        if (match_len > 0) {
+            // Offset (2 bytes LE) + match length nibble (+ extension).
+            out[out_pos++] = static_cast<std::uint8_t>(match_off & 0xff);
+            out[out_pos++] = static_cast<std::uint8_t>(match_off >> 8);
+            const std::size_t stored = match_len - kMinMatch;
+            if (stored >= 15) {
+                token |= 0x0f;
+                out_pos = EmitLength(out, out_pos, stored);
+            } else {
+                token |= static_cast<std::uint8_t>(stored);
+            }
+            mem.Write(dst.SimAddr(out_pos > 3 ? out_pos - 3 : 0), 3);
+            ops.Store(1);
+        }
+        out[token_pos] = token;
+        ops.Alu(4);
+        ops.Branch(2);
+    };
+
+    while (pos + kMinMatch <= src_len) {
+        const std::uint32_t v = Read32(in + pos);
+        const std::uint32_t h = HashOf(v);
+        const std::uint32_t cand = hash_table[h];
+        hash_table[h] = static_cast<std::uint32_t>(pos);
+
+        // Hash probe: one input load + one table load + one table store.
+        mem.Read(src.SimAddr(pos), 4);
+        mem.Read(ht_shadow.SimAddr(h), 4);
+        mem.Write(ht_shadow.SimAddr(h), 4);
+        ops.Load(2);
+        ops.Store(1);
+        ops.Mul(1);
+        ops.Alu(3);
+        ops.Branch(1);
+
+        if (cand != 0xffffffffu && pos - cand <= kMaxOffset &&
+            Read32(in + cand) == v) {
+            // Extend the match forward.
+            std::size_t len = kMinMatch;
+            while (pos + len < src_len && in[cand + len] == in[pos + len]) {
+                ++len;
+            }
+            mem.Read(src.SimAddr(cand), len);
+            mem.Read(src.SimAddr(pos), len);
+            ops.Load(2 * ((len + 15) / 16));
+            ops.Alu((len + 15) / 16);
+            ops.Branch(1);
+
+            emit_run(pos - cand, len);
+            pos += len;
+            lit_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+
+    // Trailing literals (token with match nibble 0 and no offset).
+    pos = src_len;
+    {
+        const std::size_t lit_len = pos - lit_start;
+        const std::size_t token_pos = out_pos++;
+        std::uint8_t token = 0;
+        if (lit_len >= 15) {
+            token = 0xf0;
+            out_pos = EmitLength(out, out_pos, lit_len);
+        } else {
+            token = static_cast<std::uint8_t>(lit_len << 4);
+        }
+        std::memcpy(out + out_pos, in + lit_start, lit_len);
+        if (lit_len > 0) {
+            mem.Read(src.SimAddr(lit_start), lit_len);
+            mem.Write(dst.SimAddr(out_pos), lit_len);
+            ops.Load((lit_len + 15) / 16);
+            ops.Store((lit_len + 15) / 16);
+        }
+        out_pos += lit_len;
+        out[token_pos] = token;
+    }
+    return out_pos;
+}
+
+std::size_t
+LzoDecompress(const pim::SimBuffer<std::uint8_t> &src, std::size_t src_len,
+              pim::SimBuffer<std::uint8_t> &dst,
+              core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(src_len <= src.size(), "src_len exceeds buffer");
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    const std::uint8_t *in = src.data();
+    std::uint8_t *out = dst.data();
+    std::size_t in_pos = 0;
+    std::size_t out_pos = 0;
+
+    auto read_extension = [&](std::size_t base) {
+        std::size_t len = base;
+        std::uint8_t b;
+        do {
+            PIM_ASSERT(in_pos < src_len, "truncated length extension");
+            b = in[in_pos++];
+            len += b;
+            ops.Load(1);
+            ops.Alu(1);
+            ops.Branch(1);
+        } while (b == 255);
+        return len;
+    };
+
+    while (in_pos < src_len) {
+        const std::uint8_t token = in[in_pos++];
+        mem.Read(src.SimAddr(in_pos - 1), 1);
+        ops.Load(1);
+        ops.Alu(2);
+        ops.Branch(1);
+
+        // Literals.
+        std::size_t lit_len = token >> 4;
+        if (lit_len == 15) {
+            lit_len = read_extension(15);
+        }
+        if (lit_len > 0) {
+            PIM_ASSERT(in_pos + lit_len <= src_len, "truncated literals");
+            PIM_ASSERT(out_pos + lit_len <= dst.size(), "dst overflow");
+            std::memcpy(out + out_pos, in + in_pos, lit_len);
+            mem.Read(src.SimAddr(in_pos), lit_len);
+            mem.Write(dst.SimAddr(out_pos), lit_len);
+            ops.Load((lit_len + 15) / 16);
+            ops.Store((lit_len + 15) / 16);
+            in_pos += lit_len;
+            out_pos += lit_len;
+        }
+
+        if (in_pos >= src_len) {
+            break; // final token carries only literals
+        }
+
+        // Match.
+        PIM_ASSERT(in_pos + 2 <= src_len, "truncated offset");
+        const std::size_t offset =
+            static_cast<std::size_t>(in[in_pos]) |
+            (static_cast<std::size_t>(in[in_pos + 1]) << 8);
+        in_pos += 2;
+        mem.Read(src.SimAddr(in_pos - 2), 2);
+        ops.Load(1);
+        ops.Alu(2);
+
+        std::size_t match_len = (token & 0x0f);
+        if (match_len == 15) {
+            match_len = read_extension(15) + kMinMatch;
+        } else {
+            match_len += kMinMatch;
+        }
+
+        PIM_ASSERT(offset > 0 && offset <= out_pos,
+                   "bad match offset %zu at out %zu", offset, out_pos);
+        PIM_ASSERT(out_pos + match_len <= dst.size(), "dst overflow");
+
+        // Byte-wise copy handles overlapping matches (RLE-style).
+        for (std::size_t i = 0; i < match_len; ++i) {
+            out[out_pos + i] = out[out_pos - offset + i];
+        }
+        mem.Read(dst.SimAddr(out_pos - offset), match_len);
+        mem.Write(dst.SimAddr(out_pos), match_len);
+        ops.Load((match_len + 15) / 16);
+        ops.Store((match_len + 15) / 16);
+        ops.Branch(1);
+        out_pos += match_len;
+    }
+    return out_pos;
+}
+
+} // namespace pim::browser

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * An LZO-class byte-oriented LZ77 codec (the paper's Section 4.3 PIM
+ * target).
+ *
+ * Chrome's ZRAM swap compresses inactive-tab pages with LZO, an
+ * algorithm that favors speed over ratio: greedy hash-table match
+ * finding, byte-granular tokens, no entropy stage.  This implementation
+ * follows the same design point (LZ4/LZO token family): a 4-bit literal
+ * length + 4-bit match length token, 16-bit match offsets within a
+ * 64 KiB window, 255-continuation length extensions.
+ *
+ * The codec is *real*: Compress followed by Decompress reproduces the
+ * input exactly (property-tested), and compression ratios on page-like
+ * data are in LZO's typical 2-4x range.
+ */
+
+#ifndef PIM_BROWSER_LZO_H
+#define PIM_BROWSER_LZO_H
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "core/execution_context.h"
+
+namespace pim::browser {
+
+/** Worst-case compressed size for @p n input bytes. */
+std::size_t LzoCompressBound(std::size_t n);
+
+/**
+ * Compress @p src_len bytes of @p src into @p dst.
+ *
+ * @param dst must have capacity >= LzoCompressBound(src_len)
+ * @param ctx execution context observing the kernel's traffic/ops
+ * @return the compressed size in bytes
+ */
+std::size_t LzoCompress(const pim::SimBuffer<std::uint8_t> &src,
+                        std::size_t src_len,
+                        pim::SimBuffer<std::uint8_t> &dst,
+                        core::ExecutionContext &ctx);
+
+/**
+ * Decompress @p src_len compressed bytes into @p dst.
+ *
+ * @param dst must have capacity for the original data
+ * @return the decompressed size in bytes
+ */
+std::size_t LzoDecompress(const pim::SimBuffer<std::uint8_t> &src,
+                          std::size_t src_len,
+                          pim::SimBuffer<std::uint8_t> &dst,
+                          core::ExecutionContext &ctx);
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_LZO_H

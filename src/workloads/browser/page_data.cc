@@ -1,0 +1,78 @@
+#include "workloads/browser/page_data.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pim::browser {
+
+namespace {
+
+const char *const kDomTokens[] = {
+    "<div class=\"kix-paragraphrenderer\">",
+    "style=\"font-family:Arial;font-size:11pt\"",
+    "{\"type\":\"mutation\",\"target\":",
+    "function(e){return e.preventDefault()}",
+    "https://docs.google.com/document/d/",
+};
+
+} // namespace
+
+void
+FillPageLikeData(pim::SimBuffer<std::uint8_t> &page, Rng &rng,
+                 double entropy)
+{
+    PIM_ASSERT(entropy >= 0.0 && entropy <= 1.0,
+               "entropy %.2f out of [0,1]", entropy);
+
+    std::size_t pos = 0;
+    const std::size_t n = page.size();
+    while (pos < n) {
+        const double roll = rng.NextDouble();
+        if (roll < (1.0 - entropy) * 0.45) {
+            // Zero run: untouched or zero-initialized allocator pages.
+            const std::size_t len =
+                std::min<std::size_t>(n - pos, 64 + rng.Below(448));
+            std::memset(page.data() + pos, 0, len);
+            pos += len;
+        } else if (roll < (1.0 - entropy) * 0.75) {
+            // Repeated DOM/JS token.
+            const char *tok =
+                kDomTokens[rng.Below(sizeof(kDomTokens) /
+                                     sizeof(kDomTokens[0]))];
+            const std::size_t tok_len = std::strlen(tok);
+            const int repeats = 1 + static_cast<int>(rng.Below(6));
+            for (int r = 0; r < repeats && pos < n; ++r) {
+                const std::size_t len =
+                    std::min<std::size_t>(n - pos, tok_len);
+                std::memcpy(page.data() + pos, tok, len);
+                pos += len;
+            }
+        } else if (roll < (1.0 - entropy)) {
+            // Pointer-dense region: 8-byte values sharing high bytes.
+            const std::uint64_t base = 0x00007f3400000000ULL +
+                                       (rng.Next64() & 0x00ffffffULL);
+            std::size_t count = 8 + rng.Below(56);
+            while (count-- > 0 && pos + 8 <= n) {
+                const std::uint64_t v = base + rng.Below(0x10000) * 16;
+                std::memcpy(page.data() + pos, &v, 8);
+                pos += 8;
+            }
+            if (pos + 8 > n) {
+                while (pos < n) {
+                    page[pos++] = 0;
+                }
+            }
+        } else {
+            // Incompressible bytes (media, compressed resources).
+            const std::size_t len =
+                std::min<std::size_t>(n - pos, 32 + rng.Below(224));
+            for (std::size_t i = 0; i < len; ++i) {
+                page[pos + i] = rng.NextByte();
+            }
+            pos += len;
+        }
+    }
+}
+
+} // namespace pim::browser

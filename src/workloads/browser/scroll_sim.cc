@@ -1,0 +1,196 @@
+#include "workloads/browser/scroll_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/coherence.h"
+#include "workloads/browser/color_blitter.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace pim::browser {
+
+namespace {
+
+/** Accumulate the context's pending measurement into a phase bucket. */
+struct PhaseBucket
+{
+    sim::EnergyBreakdown energy;
+    Nanoseconds time_ns = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+
+    void
+    Take(core::ExecutionContext &ctx, const char *name)
+    {
+        const core::RunReport r = ctx.Report(name);
+        energy += r.energy;
+        time_ns += r.timing.Total();
+        instructions += r.ops.Total();
+        llc_misses += r.counters.has_llc ? r.counters.llc.Misses()
+                                         : r.counters.l1.Misses();
+        ctx.Reset(/*drain_caches=*/false); // keep the hierarchy warm
+    }
+};
+
+/** Layout/style/JS work: branchy tree walks over the DOM/JS heap. */
+void
+RunOtherWork(core::ExecutionContext &ctx,
+             pim::SimBuffer<std::uint8_t> &heap, std::size_t &heap_cursor,
+             const PageProfile &profile)
+{
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    // Touch the heap with a mostly-sequential, partly-reused pattern.
+    const auto bytes =
+        static_cast<Bytes>(profile.other_bytes_per_frame);
+    Bytes done = 0;
+    while (done < bytes) {
+        const Bytes chunk = std::min<Bytes>(4096, bytes - done);
+        if (heap_cursor + chunk > heap.size()) {
+            heap_cursor = 0;
+        }
+        mem.Read(heap.SimAddr(heap_cursor), chunk);
+        // ~1/5 of touched lines are written (style/layout results).
+        mem.Write(heap.SimAddr(heap_cursor), chunk / 5);
+        heap_cursor += chunk;
+        done += chunk;
+        ops.Load(chunk / 16);
+        ops.Store(chunk / 80);
+    }
+
+    // Scalar, branchy computation: not SIMD-friendly.
+    const auto total = static_cast<std::uint64_t>(
+        profile.layout_ops_per_frame);
+    ops.Alu(total * 55 / 100);
+    ops.Mul(total * 10 / 100);
+    ops.Branch(total * 35 / 100);
+}
+
+/** Rasterize one texture's worth of newly exposed content. */
+void
+RasterizeTexture(core::ExecutionContext &ctx, Bitmap &texture,
+                 Bitmap &image_source, const PageProfile &profile,
+                 Rng &rng)
+{
+    ColorBlitter blitter(texture, ctx);
+    const int edge = profile.texture_px;
+
+    // Background fill for the fill_fraction share of the texture.
+    const int fill_rows = static_cast<int>(edge * profile.fill_fraction);
+    if (fill_rows > 0) {
+        blitter.FillRect({0, 0, edge, fill_rows},
+                         MakePixel(250, 250, 250, 255));
+    }
+
+    // Text runs over the text share.
+    const int text_rows = static_cast<int>(edge * profile.text_fraction);
+    if (text_rows > 0) {
+        blitter.DrawTextRun({0, fill_rows, edge, text_rows}, 8, 12,
+                            MakePixel(32, 32, 32, 220));
+    }
+
+    // Image blits over the remaining share.
+    const int image_rows = static_cast<int>(edge * profile.image_fraction);
+    int y = fill_rows + text_rows;
+    while (image_rows > 0 && y < edge) {
+        const int x =
+            static_cast<int>(rng.Below(static_cast<std::uint64_t>(
+                std::max(1, edge - image_source.width()))));
+        blitter.BlitSrcOver(image_source, x, y);
+        y += image_source.height();
+    }
+}
+
+} // namespace
+
+ScrollResult
+SimulateScroll(const PageProfile &profile, bool offload_kernels)
+{
+    Rng rng(0xC0FFEE ^ std::hash<std::string>{}(profile.name));
+
+    // Host context runs "other" always; kernels run either on the host
+    // (same warm context) or on a PIM accelerator context.
+    core::ExecutionContext host(core::ExecutionTarget::kCpuOnly);
+    core::ExecutionContext pim(core::ExecutionTarget::kPimAccel);
+    core::ExecutionContext &kernel_ctx = offload_kernels ? pim : host;
+
+    // Stable buffers reused across frames.
+    Bitmap texture(profile.texture_px, profile.texture_px);
+    TiledTexture tiled(profile.texture_px, profile.texture_px);
+    Bitmap image_source(128, 128);
+    image_source.Randomize(rng);
+    pim::SimBuffer<std::uint8_t> heap(8u << 20);
+    std::size_t heap_cursor = 0;
+
+    PhaseBucket other_bucket;
+    PhaseBucket blit_bucket;
+    PhaseBucket tile_bucket;
+
+    const double viewport_px = static_cast<double>(profile.viewport_w) *
+                               profile.viewport_h;
+    const double texture_area = static_cast<double>(profile.texture_px) *
+                                profile.texture_px;
+    const int textures_per_frame = std::max(
+        1, static_cast<int>(std::lround(
+               viewport_px * profile.new_content_per_frame /
+               texture_area)));
+
+    for (int frame = 0; frame < profile.scroll_frames; ++frame) {
+        // (1) Layout + script.
+        RunOtherWork(host, heap, heap_cursor, profile);
+        other_bucket.Take(host, "other");
+
+        for (int t = 0; t < textures_per_frame; ++t) {
+            // (2) Rasterization (color blitting).
+            RasterizeTexture(kernel_ctx, texture, image_source, profile,
+                             rng);
+            blit_bucket.Take(kernel_ctx, "color-blitting");
+
+            // (3) Texture tiling for the compositor.
+            TileTexture(texture, tiled, kernel_ctx);
+            tile_bucket.Take(kernel_ctx, "texture-tiling");
+
+            // (4) Compositing: the GPU streams the tiles back out.
+            host.mem().Read(tiled.storage().SimAddr(0),
+                            tiled.size_bytes());
+            host.ops().Load(tiled.size_bytes() / 64);
+            host.ops().Alu(tiled.size_bytes() / 64);
+        }
+        other_bucket.Take(host, "compositing");
+    }
+
+    if (offload_kernels) {
+        // Charge per-frame offload coherence for the two PIM kernels.
+        const core::CoherenceCost cost = core::EstimateOffloadCoherence(
+            static_cast<Bytes>(texture.size_bytes()) *
+                static_cast<Bytes>(textures_per_frame *
+                                   profile.scroll_frames),
+            static_cast<Bytes>(tiled.size_bytes()) *
+                static_cast<Bytes>(textures_per_frame *
+                                   profile.scroll_frames));
+        tile_bucket.energy.interconnect += cost.energy_pj;
+        tile_bucket.time_ns += cost.time_ns;
+    }
+
+    ScrollResult result;
+    result.page_name = profile.name;
+    result.tiling_energy = tile_bucket.energy;
+    result.blitting_energy = blit_bucket.energy;
+    result.other_energy = other_bucket.energy;
+    result.tiling_time_ns = tile_bucket.time_ns;
+    result.blitting_time_ns = blit_bucket.time_ns;
+    result.other_time_ns = other_bucket.time_ns;
+    result.tiling_instructions = tile_bucket.instructions;
+    result.blitting_instructions = blit_bucket.instructions;
+    result.other_instructions = other_bucket.instructions;
+    result.instructions = tile_bucket.instructions +
+                          blit_bucket.instructions +
+                          other_bucket.instructions;
+    result.llc_misses = tile_bucket.llc_misses + blit_bucket.llc_misses +
+                        other_bucket.llc_misses;
+    return result;
+}
+
+} // namespace pim::browser

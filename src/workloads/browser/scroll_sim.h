@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Page-scrolling simulation (the paper's Section 4.2).
+ *
+ * Each scroll frame (1) recomputes layout and runs script ("other"),
+ * (2) rasterizes newly exposed render objects through the color blitter,
+ * (3) converts the rasterized bitmaps to 4 KiB tiled textures, and
+ * (4) composites (GPU reads the tiles).  The driver measures each phase
+ * separately on one warm host context, producing the per-function energy
+ * attribution of Figures 1 and 2.
+ */
+
+#ifndef PIM_BROWSER_SCROLL_SIM_H
+#define PIM_BROWSER_SCROLL_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/browser/webpage.h"
+
+namespace pim::browser {
+
+/** Energy/time attribution of one scroll interaction. */
+struct ScrollResult
+{
+    std::string page_name;
+
+    sim::EnergyBreakdown tiling_energy;
+    sim::EnergyBreakdown blitting_energy;
+    sim::EnergyBreakdown other_energy;
+
+    Nanoseconds tiling_time_ns = 0;
+    Nanoseconds blitting_time_ns = 0;
+    Nanoseconds other_time_ns = 0;
+
+    std::uint64_t tiling_instructions = 0;
+    std::uint64_t blitting_instructions = 0;
+    std::uint64_t other_instructions = 0;
+
+    std::uint64_t llc_misses = 0;
+    std::uint64_t instructions = 0;
+
+    PicoJoules
+    TotalEnergy() const
+    {
+        return tiling_energy.Total() + blitting_energy.Total() +
+               other_energy.Total();
+    }
+
+    Nanoseconds
+    TotalTime() const
+    {
+        return tiling_time_ns + blitting_time_ns + other_time_ns;
+    }
+
+    double TilingFraction() const
+    {
+        return tiling_energy.Total() / TotalEnergy();
+    }
+    double BlittingFraction() const
+    {
+        return blitting_energy.Total() / TotalEnergy();
+    }
+
+    /** Whole-interaction LLC misses per kilo-instruction. */
+    double
+    Mpki() const
+    {
+        return instructions == 0 ? 0.0
+                                 : 1000.0 * static_cast<double>(llc_misses) /
+                                       static_cast<double>(instructions);
+    }
+};
+
+/**
+ * Runs the scroll interaction for one page profile.
+ *
+ * @param offload_kernels if true, texture tiling and color blitting run
+ *        on PIM accelerator contexts (with offload coherence overheads)
+ *        while "other" work stays on the host — the Section 4.2.2
+ *        CPU+PIM organization.
+ */
+ScrollResult SimulateScroll(const PageProfile &profile,
+                            bool offload_kernels = false);
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_SCROLL_SIM_H

@@ -1,0 +1,161 @@
+#include "workloads/browser/tab_switch.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/zram.h"
+
+namespace pim::browser {
+
+namespace {
+
+/** One browser tab: its pages and their swap state. */
+struct Tab
+{
+    std::vector<std::unique_ptr<pim::SimBuffer<std::uint8_t>>> pages;
+    std::vector<std::uint64_t> zram_handles; // nonzero => compressed
+    bool resident = true;
+
+    Bytes
+    FootprintBytes() const
+    {
+        return static_cast<Bytes>(pages.size()) * ZramPool::kPageBytes;
+    }
+};
+
+/** Take the pending measurement from a context into (energy, time). */
+void
+TakeMeasurement(core::ExecutionContext &ctx, const char *name,
+                sim::EnergyBreakdown &energy, Nanoseconds &time_ns)
+{
+    const core::RunReport r = ctx.Report(name);
+    energy += r.energy;
+    time_ns += r.timing.Total();
+    ctx.Reset(/*drain_caches=*/false);
+}
+
+} // namespace
+
+TabSwitchResult
+SimulateTabSwitching(const TabSwitchConfig &config,
+                     core::ExecutionTarget compression_target)
+{
+    PIM_ASSERT(config.tabs > 0 && config.passes > 0, "empty workload");
+    Rng rng(config.seed);
+
+    // Build tabs with page-like content.
+    std::vector<Tab> tabs(static_cast<std::size_t>(config.tabs));
+    for (auto &tab : tabs) {
+        const Bytes footprint =
+            config.min_tab_bytes +
+            rng.Below(config.max_tab_bytes - config.min_tab_bytes + 1);
+        const std::size_t pages =
+            std::max<std::size_t>(1, footprint / ZramPool::kPageBytes);
+        for (std::size_t p = 0; p < pages; ++p) {
+            auto page = std::make_unique<pim::SimBuffer<std::uint8_t>>(
+                ZramPool::kPageBytes);
+            FillPageLikeData(*page, rng);
+            tab.pages.push_back(std::move(page));
+        }
+        tab.zram_handles.assign(tab.pages.size(), 0);
+    }
+
+    ZramPool pool;
+    core::ExecutionContext host(core::ExecutionTarget::kCpuOnly);
+    core::ExecutionContext compressor_ctx(compression_target);
+    core::ExecutionContext &comp =
+        compression_target == core::ExecutionTarget::kCpuOnly
+            ? host
+            : compressor_ctx;
+
+    const int total_switches = config.tabs * config.passes;
+    const double total_seconds = total_switches * config.dwell_seconds;
+    const auto bins = static_cast<std::size_t>(total_seconds) + 1;
+
+    TabSwitchResult result;
+    result.swap_out_mb_per_s.assign(bins, 0.0);
+    result.swap_in_mb_per_s.assign(bins, 0.0);
+
+    std::deque<int> lru; // front == least recently used resident tab
+    Bytes resident_bytes = 0;
+    pim::SimBuffer<std::uint8_t> page_out(ZramPool::kPageBytes);
+
+    double now_seconds = 0.0;
+    for (int sw = 0; sw < total_switches; ++sw) {
+        const int tab_index = sw % config.tabs;
+        Tab &tab = tabs[static_cast<std::size_t>(tab_index)];
+        const auto bin = static_cast<std::size_t>(now_seconds);
+
+        // Swap the tab in if it was compressed.
+        if (!tab.resident) {
+            for (std::size_t p = 0; p < tab.pages.size(); ++p) {
+                if (tab.zram_handles[p] != 0) {
+                    pool.SwapIn(tab.zram_handles[p], *tab.pages[p], comp);
+                    tab.zram_handles[p] = 0;
+                    result.total_swapped_in += ZramPool::kPageBytes;
+                    result.swap_in_mb_per_s[bin] +=
+                        ZramPool::kPageBytes / 1.0e6;
+                }
+            }
+            tab.resident = true;
+        }
+        std::erase(lru, tab_index);
+        lru.push_back(tab_index);
+
+        // Recompute resident footprint.
+        resident_bytes = 0;
+        for (const Tab &t : tabs) {
+            if (t.resident) {
+                resident_bytes += t.FootprintBytes();
+            }
+        }
+
+        // "Other" work: render/scroll the active tab — layout, style,
+        // paint, and composite passes over its page memory, plus the
+        // script work of restoring the tab.
+        for (int pass = 0; pass < 3; ++pass) {
+            for (const auto &page : tab.pages) {
+                host.mem().Read(page->SimAddr(0), ZramPool::kPageBytes);
+                host.mem().Write(page->SimAddr(0),
+                                 ZramPool::kPageBytes / 4);
+                host.ops().Load(ZramPool::kPageBytes / 8);
+                host.ops().Store(ZramPool::kPageBytes / 32);
+                host.ops().Alu(ZramPool::kPageBytes);
+                host.ops().Branch(ZramPool::kPageBytes / 8);
+            }
+        }
+        host.ops().Alu(2'000'000); // per-switch script/layout compute
+        TakeMeasurement(host, "tab-other", result.other_energy,
+                        result.other_time_ns);
+
+        // Memory pressure: compress LRU tabs until under budget.
+        while (resident_bytes > config.memory_budget && lru.size() > 1) {
+            const int victim_index = lru.front();
+            lru.pop_front();
+            Tab &victim = tabs[static_cast<std::size_t>(victim_index)];
+            for (std::size_t p = 0; p < victim.pages.size(); ++p) {
+                const auto out = pool.SwapOut(*victim.pages[p], comp);
+                victim.zram_handles[p] = out.handle;
+                result.total_swapped_out += ZramPool::kPageBytes;
+                result.swap_out_mb_per_s[bin] +=
+                    ZramPool::kPageBytes / 1.0e6;
+            }
+            victim.resident = false;
+            resident_bytes -= victim.FootprintBytes();
+        }
+        TakeMeasurement(comp, "tab-compression", result.compression_energy,
+                        result.compression_time_ns);
+
+        now_seconds += config.dwell_seconds;
+    }
+
+    // Bins are 1 s wide, so binned MB are already MB/s.
+    result.compression_ratio = pool.stats().CompressionRatio();
+    return result;
+}
+
+} // namespace pim::browser

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tab-switching simulation (the paper's Section 4.3).
+ *
+ * A user cycles through N tabs, scrolling each for a few seconds.  When
+ * resident page memory exceeds the budget, the OS compresses the
+ * least-recently-used tab's pages into ZRAM; switching back to a
+ * compressed tab swaps its pages in (decompression).  The driver
+ * records the paper's Figure 4 time series (MB/s swapped out/in per
+ * simulated second) and the energy/time share of compression work.
+ *
+ * Scale note (DESIGN.md): footprints are scaled down from real tabs so
+ * the instrumented codec runs in seconds; the series *shape* (bursts at
+ * switch instants, steady-state rate set by footprint/dwell) and the
+ * energy shares are footprint-scale-free.
+ */
+
+#ifndef PIM_BROWSER_TAB_SWITCH_H
+#define PIM_BROWSER_TAB_SWITCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/execution_context.h"
+
+namespace pim::browser {
+
+/** Workload parameters for the tab-switching study. */
+struct TabSwitchConfig
+{
+    int tabs = 50;
+    Bytes min_tab_bytes = 128_KiB;
+    Bytes max_tab_bytes = 512_KiB;
+    /** Resident (uncompressed) memory budget before swapping starts. */
+    Bytes memory_budget = 4_MiB;
+    double dwell_seconds = 4.0; ///< Time spent per tab before switching.
+    int passes = 2;             ///< Cycles through the tab list.
+    std::uint64_t seed = 0x7AB5;
+};
+
+/** Measured outcome of the tab-switching run. */
+struct TabSwitchResult
+{
+    /** MB swapped out/in per simulated second (Figure 4's two series). */
+    std::vector<double> swap_out_mb_per_s;
+    std::vector<double> swap_in_mb_per_s;
+
+    Bytes total_swapped_out = 0; ///< Uncompressed bytes compressed.
+    Bytes total_swapped_in = 0;  ///< Uncompressed bytes decompressed.
+    double compression_ratio = 0.0;
+
+    sim::EnergyBreakdown compression_energy; ///< Compress + decompress.
+    sim::EnergyBreakdown other_energy;       ///< Render/scroll/reload.
+    Nanoseconds compression_time_ns = 0;
+    Nanoseconds other_time_ns = 0;
+
+    double
+    CompressionEnergyFraction() const
+    {
+        const PicoJoules total =
+            compression_energy.Total() + other_energy.Total();
+        return total <= 0 ? 0.0 : compression_energy.Total() / total;
+    }
+
+    double
+    CompressionTimeFraction() const
+    {
+        const Nanoseconds total = compression_time_ns + other_time_ns;
+        return total <= 0 ? 0.0 : compression_time_ns / total;
+    }
+};
+
+/**
+ * Run the tab-switching workload with compression executing on
+ * @p compression_target (CPU baseline, or PIM logic per Section 4.3.2).
+ */
+TabSwitchResult
+SimulateTabSwitching(const TabSwitchConfig &config,
+                     core::ExecutionTarget compression_target =
+                         core::ExecutionTarget::kCpuOnly);
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_TAB_SWITCH_H

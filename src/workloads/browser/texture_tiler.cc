@@ -1,0 +1,142 @@
+#include "workloads/browser/texture_tiler.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pim::browser {
+
+TiledTexture::TiledTexture(int width_px, int height_px)
+    : width_px_(width_px), height_px_(height_px),
+      tiles_x_((width_px + TileFormat::kTileWidthPx - 1) /
+               TileFormat::kTileWidthPx),
+      tiles_y_((height_px + TileFormat::kTileRows - 1) /
+               TileFormat::kTileRows),
+      storage_(static_cast<std::size_t>(tiles_x_) * tiles_y_ *
+               TileFormat::kTileRows * TileFormat::kTileWidthPx)
+{
+    PIM_ASSERT(width_px > 0 && height_px > 0, "texture must be non-empty");
+}
+
+std::size_t
+TiledTexture::TiledIndex(int x, int y) const
+{
+    PIM_ASSERT(x >= 0 && x < width_px_ && y >= 0 && y < height_px_,
+               "pixel (%d,%d) out of %dx%d", x, y, width_px_, height_px_);
+    const int tx = x / TileFormat::kTileWidthPx;
+    const int ty = y / TileFormat::kTileRows;
+    const int in_x = x % TileFormat::kTileWidthPx;
+    const int in_y = y % TileFormat::kTileRows;
+    const std::size_t tile_index =
+        static_cast<std::size_t>(ty) * tiles_x_ + tx;
+    return tile_index * TileFormat::kTileRows * TileFormat::kTileWidthPx +
+           static_cast<std::size_t>(in_y) * TileFormat::kTileWidthPx + in_x;
+}
+
+std::uint32_t
+TiledTexture::PixelAt(int x, int y) const
+{
+    return storage_[TiledIndex(x, y)];
+}
+
+void
+TiledTexture::SetPixelAt(int x, int y, std::uint32_t value)
+{
+    storage_[TiledIndex(x, y)] = value;
+}
+
+namespace {
+
+/**
+ * Account the op mix of copying one 128-byte tile row with a SIMD
+ * memcopy loop: 8 16-byte loads + 8 stores, address arithmetic for the
+ * strided source, and the loop branch.
+ */
+void
+CountRowCopyOps(sim::OpCounter &ops)
+{
+    ops.Load(8);
+    ops.Store(8);
+    ops.Alu(4); // address generation: linear offset, tiled offset
+    ops.Branch(1);
+}
+
+} // namespace
+
+void
+TileTexture(const Bitmap &linear, TiledTexture &tiled,
+            core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(linear.width() == tiled.width_px() &&
+                   linear.height() == tiled.height_px(),
+               "bitmap %dx%d does not match texture %dx%d", linear.width(),
+               linear.height(), tiled.width_px(), tiled.height_px());
+    PIM_ASSERT(linear.width() % TileFormat::kTileWidthPx == 0 &&
+                   linear.height() % TileFormat::kTileRows == 0,
+               "texture dimensions must be tile-aligned");
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    const int row_px = TileFormat::kTileWidthPx;
+    for (int ty = 0; ty < tiled.tiles_y(); ++ty) {
+        for (int tx = 0; tx < tiled.tiles_x(); ++tx) {
+            for (int r = 0; r < TileFormat::kTileRows; ++r) {
+                const int y = ty * TileFormat::kTileRows + r;
+                const int x0 = tx * row_px;
+                // Real copy of the 128-byte span.
+                for (int i = 0; i < row_px; ++i) {
+                    tiled.SetPixelAt(x0 + i, y, linear.At(x0 + i, y));
+                }
+                // Strided read from the linear bitmap, streaming write
+                // into the tile.
+                mem.Read(linear.SimAddr(x0, y),
+                         TileFormat::kTileWidthBytes);
+                const std::size_t dst_index =
+                    (static_cast<std::size_t>(ty) * tiled.tiles_x() + tx) *
+                        TileFormat::kTileRows * row_px +
+                    static_cast<std::size_t>(r) * row_px;
+                mem.Write(tiled.storage().SimAddr(dst_index),
+                          TileFormat::kTileWidthBytes);
+                CountRowCopyOps(ops);
+            }
+        }
+    }
+}
+
+void
+UntileTexture(const TiledTexture &tiled, Bitmap &linear,
+              core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(linear.width() == tiled.width_px() &&
+                   linear.height() == tiled.height_px(),
+               "bitmap %dx%d does not match texture %dx%d", linear.width(),
+               linear.height(), tiled.width_px(), tiled.height_px());
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    const int row_px = TileFormat::kTileWidthPx;
+    for (int ty = 0; ty < tiled.tiles_y(); ++ty) {
+        for (int tx = 0; tx < tiled.tiles_x(); ++tx) {
+            for (int r = 0; r < TileFormat::kTileRows; ++r) {
+                const int y = ty * TileFormat::kTileRows + r;
+                const int x0 = tx * row_px;
+                for (int i = 0; i < row_px; ++i) {
+                    linear.At(x0 + i, y) = tiled.PixelAt(x0 + i, y);
+                }
+                const std::size_t src_index =
+                    (static_cast<std::size_t>(ty) * tiled.tiles_x() + tx) *
+                        TileFormat::kTileRows * row_px +
+                    static_cast<std::size_t>(r) * row_px;
+                mem.Read(tiled.storage().SimAddr(src_index),
+                         TileFormat::kTileWidthBytes);
+                mem.Write(linear.SimAddr(x0, y),
+                          TileFormat::kTileWidthBytes);
+                CountRowCopyOps(ops);
+            }
+        }
+    }
+}
+
+} // namespace pim::browser

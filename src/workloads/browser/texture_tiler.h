@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Texture tiling (the paper's Section 4.2.2, first PIM target).
+ *
+ * After rasterization Chrome's graphics driver converts each linear
+ * rasterized bitmap into 4 KiB texture tiles so the GPU composites with
+ * good locality (Intel i965-style Y-tiling: 128-byte-wide, 32-row tiles;
+ * at 4 B/pixel a tile covers 32x32 pixels).  The conversion itself reads
+ * the linear bitmap with a strided pattern and streams tiles out —
+ * memcopy, basic arithmetic and bitwise ops with poor cache locality.
+ */
+
+#ifndef PIM_BROWSER_TEXTURE_TILER_H
+#define PIM_BROWSER_TEXTURE_TILER_H
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "core/execution_context.h"
+#include "workloads/browser/bitmap.h"
+
+namespace pim::browser {
+
+/** Geometry of the 4 KiB tile format. */
+struct TileFormat
+{
+    static constexpr int kTileBytes = 4096;
+    static constexpr int kTileWidthBytes = 128;
+    static constexpr int kTileRows = 32;
+    static constexpr int kTileWidthPx = kTileWidthBytes / 4; // RGBA
+};
+
+/** A tiled texture: tiles stored contiguously, row-major by tile. */
+class TiledTexture
+{
+  public:
+    TiledTexture(int width_px, int height_px);
+
+    int width_px() const { return width_px_; }
+    int height_px() const { return height_px_; }
+    int tiles_x() const { return tiles_x_; }
+    int tiles_y() const { return tiles_y_; }
+
+    /** Pixel lookup through the tiled layout (for verification). */
+    std::uint32_t PixelAt(int x, int y) const;
+    void SetPixelAt(int x, int y, std::uint32_t value);
+
+    pim::SimBuffer<std::uint32_t> &storage() { return storage_; }
+    const pim::SimBuffer<std::uint32_t> &storage() const { return storage_; }
+
+    Bytes size_bytes() const { return storage_.size_bytes(); }
+
+  private:
+    std::size_t TiledIndex(int x, int y) const;
+
+    int width_px_;
+    int height_px_;
+    int tiles_x_;
+    int tiles_y_;
+    pim::SimBuffer<std::uint32_t> storage_;
+};
+
+/**
+ * The glTexImage2D-style tiling kernel: converts @p linear into
+ * @p tiled, streaming every access through @p ctx.
+ *
+ * The linear bitmap's dimensions must be tile-aligned (the driver pads
+ * textures to tile boundaries before upload).
+ */
+void TileTexture(const Bitmap &linear, TiledTexture &tiled,
+                 core::ExecutionContext &ctx);
+
+/** The inverse conversion (tiled texture back to a linear bitmap). */
+void UntileTexture(const TiledTexture &tiled, Bitmap &linear,
+                   core::ExecutionContext &ctx);
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_TEXTURE_TILER_H

@@ -1,0 +1,98 @@
+#include "workloads/browser/webpage.h"
+
+namespace pim::browser {
+
+PageProfile
+GoogleDocsProfile()
+{
+    PageProfile p;
+    p.name = "GoogleDocs";
+    p.new_content_per_frame = 0.35; // dense document, steady scroll
+    p.text_fraction = 0.60;
+    p.image_fraction = 0.05;
+    p.fill_fraction = 0.35;
+    p.layout_ops_per_frame = 2.62e6;
+    p.other_bytes_per_frame = 2.3e6;
+    return p;
+}
+
+PageProfile
+GmailProfile()
+{
+    PageProfile p;
+    p.name = "Gmail";
+    p.new_content_per_frame = 0.28;
+    p.text_fraction = 0.55;
+    p.image_fraction = 0.10;
+    p.fill_fraction = 0.35;
+    p.layout_ops_per_frame = 3.33e6; // heavy JS application
+    p.other_bytes_per_frame = 3.4e6;
+    return p;
+}
+
+PageProfile
+GoogleCalendarProfile()
+{
+    PageProfile p;
+    p.name = "GoogleCalendar";
+    p.new_content_per_frame = 0.25;
+    p.text_fraction = 0.35;
+    p.image_fraction = 0.05;
+    p.fill_fraction = 0.60; // grid of solid cells
+    p.layout_ops_per_frame = 2.86e6;
+    p.other_bytes_per_frame = 3.0e6;
+    return p;
+}
+
+PageProfile
+WordPressProfile()
+{
+    PageProfile p;
+    p.name = "WordPress";
+    p.new_content_per_frame = 0.32;
+    p.text_fraction = 0.45;
+    p.image_fraction = 0.30; // media-heavy blog content
+    p.fill_fraction = 0.25;
+    p.layout_ops_per_frame = 3.33e6;
+    p.other_bytes_per_frame = 2.3e6;
+    return p;
+}
+
+PageProfile
+TwitterProfile()
+{
+    PageProfile p;
+    p.name = "Twitter";
+    p.new_content_per_frame = 0.40; // infinite feed, fast scroll
+    p.text_fraction = 0.40;
+    p.image_fraction = 0.35;
+    p.fill_fraction = 0.25;
+    p.layout_ops_per_frame = 2.86e6;
+    p.other_bytes_per_frame = 3.4e6;
+    return p;
+}
+
+PageProfile
+AnimationProfile()
+{
+    PageProfile p;
+    p.name = "Animation";
+    p.new_content_per_frame = 0.85; // nearly full-screen repaint
+    p.scroll_frames = 8;
+    p.text_fraction = 0.10;
+    p.image_fraction = 0.45;
+    p.fill_fraction = 0.45;
+    p.layout_ops_per_frame = 1.78e6; // little layout, mostly paint
+    p.other_bytes_per_frame = 1.8e6;
+    return p;
+}
+
+std::vector<PageProfile>
+AllPageProfiles()
+{
+    return {GoogleDocsProfile(),   GmailProfile(),
+            GoogleCalendarProfile(), WordPressProfile(),
+            TwitterProfile(),      AnimationProfile()};
+}
+
+} // namespace pim::browser

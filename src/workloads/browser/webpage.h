@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parameterized synthetic web-page profiles (substitution for the
+ * paper's Telemetry-driven real pages; see DESIGN.md).
+ *
+ * A profile encodes what drives scrolling cost: how much new content a
+ * scroll frame exposes, how that content splits between text, images,
+ * and solid fills (rasterization/blitting volume), the texture geometry
+ * handed to the driver for tiling, and how much non-kernel "other" work
+ * (layout, JS, compositing) the page performs.
+ */
+
+#ifndef PIM_BROWSER_WEBPAGE_H
+#define PIM_BROWSER_WEBPAGE_H
+
+#include <string>
+#include <vector>
+
+namespace pim::browser {
+
+/** Scroll-behaviour parameters of one page. */
+struct PageProfile
+{
+    std::string name;
+
+    int viewport_w = 1366; ///< Chromebook-class display.
+    int viewport_h = 768;
+
+    int scroll_frames = 6; ///< Frames simulated per scroll interaction.
+
+    /** Fraction of the viewport newly rasterized per frame. */
+    double new_content_per_frame = 0.30;
+
+    int texture_px = 512; ///< Square rasterized-texture edge (pixels).
+
+    /** How newly exposed area splits across blitter paths (sums ~1). */
+    double text_fraction = 0.45;
+    double image_fraction = 0.20;
+    double fill_fraction = 0.35;
+
+    /** Layout/style/JS compute per frame, in dynamic operations. */
+    double layout_ops_per_frame = 9.0e6;
+
+    /** Bytes of DOM/style/JS heap touched per frame by "other" work. */
+    double other_bytes_per_frame = 2.5e6;
+};
+
+/** The six pages of the paper's Figure 1. */
+PageProfile GoogleDocsProfile();
+PageProfile GmailProfile();
+PageProfile GoogleCalendarProfile();
+PageProfile WordPressProfile();
+PageProfile TwitterProfile();
+PageProfile AnimationProfile();
+
+/** All six, in the paper's figure order. */
+std::vector<PageProfile> AllPageProfiles();
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_WEBPAGE_H

@@ -1,0 +1,92 @@
+#include "workloads/browser/zram.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "workloads/browser/lzo.h"
+
+namespace pim::browser {
+
+ZramPool::ZramPool()
+    : scratch_compressed_(LzoCompressBound(kPageBytes)),
+      scratch_page_(kPageBytes)
+{
+}
+
+ZramPool::SwapOutResult
+ZramPool::SwapOut(const pim::SimBuffer<std::uint8_t> &page,
+                  core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(page.size() == kPageBytes, "ZRAM pages are 4 KiB");
+
+    // zram's same-fill fast path: a page of one repeated byte is
+    // stored as an 8-byte marker, skipping the compressor entirely.
+    bool same_filled = true;
+    const std::uint8_t fill = page[0];
+    for (std::size_t i = 1; i < kPageBytes; ++i) {
+        if (page[i] != fill) {
+            same_filled = false;
+            break;
+        }
+    }
+
+    StoredPage stored;
+    std::size_t csize;
+    if (same_filled) {
+        stored.same_filled = true;
+        stored.fill_value = fill;
+        csize = 8; // the marker word
+        // One scan of the page, no compressor work, no stored data.
+        ctx.mem().Read(page.SimAddr(0), kPageBytes);
+        ctx.ops().Load(kPageBytes / 16);
+        ctx.ops().VectorAlu(kPageBytes / 16);
+        ++stats_.same_filled_pages;
+    } else {
+        csize = LzoCompress(page, kPageBytes, scratch_compressed_, ctx);
+        stored.data.assign(scratch_compressed_.data(),
+                           scratch_compressed_.data() + csize);
+    }
+    const std::uint64_t handle = next_handle_++;
+    store_.emplace(handle, std::move(stored));
+
+    ++stats_.pages_swapped_out;
+    stats_.uncompressed_out_bytes += kPageBytes;
+    stats_.compressed_bytes += csize;
+    stats_.cumulative_compressed_bytes += csize;
+    return {handle, csize};
+}
+
+Bytes
+ZramPool::SwapIn(std::uint64_t handle,
+                 pim::SimBuffer<std::uint8_t> &page_out,
+                 core::ExecutionContext &ctx)
+{
+    auto it = store_.find(handle);
+    PIM_ASSERT(it != store_.end(), "unknown ZRAM handle %llu",
+               static_cast<unsigned long long>(handle));
+    PIM_ASSERT(page_out.size() >= kPageBytes, "output page too small");
+
+    std::size_t csize;
+    if (it->second.same_filled) {
+        csize = 8;
+        std::memset(page_out.data(), it->second.fill_value, kPageBytes);
+        // memset-class restore: streaming stores only.
+        ctx.mem().Write(page_out.SimAddr(0), kPageBytes);
+        ctx.ops().Store(kPageBytes / 16);
+    } else {
+        csize = it->second.data.size();
+        std::memcpy(scratch_compressed_.data(), it->second.data.data(),
+                    csize);
+        const std::size_t n =
+            LzoDecompress(scratch_compressed_, csize, page_out, ctx);
+        PIM_ASSERT(n == kPageBytes, "decompressed %zu != page size", n);
+    }
+
+    ++stats_.pages_swapped_in;
+    stats_.uncompressed_in_bytes += kPageBytes;
+    stats_.compressed_bytes -= csize;
+    store_.erase(it);
+    return kPageBytes;
+}
+
+} // namespace pim::browser

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ZRAM: the DRAM-backed compressed swap pool Chrome uses for inactive
+ * tabs (the paper's Section 4.3).
+ *
+ * When available memory drops below a threshold, pages of inactive tabs
+ * are compressed (LZO) and parked in an in-DRAM pool; switching back to
+ * the tab decompresses them, avoiding disk I/O.
+ */
+
+#ifndef PIM_BROWSER_ZRAM_H
+#define PIM_BROWSER_ZRAM_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "core/execution_context.h"
+
+namespace pim::browser {
+
+/** Pool-wide statistics. */
+struct ZramStats
+{
+    std::uint64_t pages_swapped_out = 0;
+    std::uint64_t pages_swapped_in = 0;
+    /** Pages stored as same-fill markers (zram's zero-page path). */
+    std::uint64_t same_filled_pages = 0;
+    Bytes uncompressed_out_bytes = 0; ///< Original bytes swapped out.
+    Bytes compressed_bytes = 0;       ///< Bytes currently stored.
+    Bytes cumulative_compressed_bytes = 0; ///< All compressed output.
+    Bytes uncompressed_in_bytes = 0;  ///< Original bytes swapped back in.
+
+    /** Average ratio over everything ever swapped out. */
+    double
+    CompressionRatio() const
+    {
+        return cumulative_compressed_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(uncompressed_out_bytes) /
+                         static_cast<double>(cumulative_compressed_bytes);
+    }
+};
+
+/**
+ * The compressed page pool.  Pages are 4 KiB; SwapOut compresses and
+ * stores, SwapIn retrieves and decompresses (removing the entry).
+ * All compression work streams through the supplied execution context.
+ */
+class ZramPool
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    ZramPool();
+
+    /**
+     * Compress @p page (kPageBytes long) into the pool.
+     * @return a handle for SwapIn plus the compressed size.
+     */
+    struct SwapOutResult
+    {
+        std::uint64_t handle;
+        Bytes compressed_bytes;
+    };
+    SwapOutResult SwapOut(const pim::SimBuffer<std::uint8_t> &page,
+                          core::ExecutionContext &ctx);
+
+    /**
+     * Decompress the page behind @p handle into @p page_out and drop it
+     * from the pool.  @return the decompressed size (== kPageBytes).
+     */
+    Bytes SwapIn(std::uint64_t handle,
+                 pim::SimBuffer<std::uint8_t> &page_out,
+                 core::ExecutionContext &ctx);
+
+    const ZramStats &stats() const { return stats_; }
+    std::size_t resident_pages() const { return store_.size(); }
+
+  private:
+    struct StoredPage
+    {
+        std::vector<std::uint8_t> data; ///< Empty for same-fill pages.
+        bool same_filled = false;
+        std::uint8_t fill_value = 0;
+    };
+
+    std::uint64_t next_handle_ = 1;
+    std::unordered_map<std::uint64_t, StoredPage> store_;
+    ZramStats stats_;
+    // Scratch buffers reused across operations (sim address stable).
+    pim::SimBuffer<std::uint8_t> scratch_compressed_;
+    pim::SimBuffer<std::uint8_t> scratch_page_;
+};
+
+} // namespace pim::browser
+
+#endif // PIM_BROWSER_ZRAM_H

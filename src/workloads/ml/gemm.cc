@@ -1,0 +1,111 @@
+#include "workloads/ml/gemm.h"
+
+#include "common/logging.h"
+
+namespace pim::ml {
+
+namespace {
+constexpr int kPanel = PackBlocking::kPanel;
+}
+
+void
+QuantizedGemm(const PackedMatrix &lhs, std::int32_t za,
+              const PackedMatrix &rhs, std::int32_t zb,
+              PackedResult &result, core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(lhs.depth() == rhs.depth(), "depth mismatch %d vs %d",
+               lhs.depth(), rhs.depth());
+    PIM_ASSERT(result.rows() == lhs.outer() && result.cols() == rhs.outer(),
+               "result shape mismatch");
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    const int depth = lhs.depth();
+
+    const std::uint8_t *lhs_base = lhs.storage().data();
+    const std::uint8_t *rhs_base = rhs.storage().data();
+
+    for (int bi = 0; bi < lhs.panels(); ++bi) {
+        const std::uint8_t *pa =
+            lhs_base + static_cast<std::size_t>(bi) * kPanel * depth;
+        for (int bj = 0; bj < rhs.panels(); ++bj) {
+            const std::uint8_t *pb =
+                rhs_base + static_cast<std::size_t>(bj) * kPanel * depth;
+            std::int32_t acc[kPanel][kPanel] = {};
+            for (int k = 0; k < depth; ++k) {
+                const std::uint8_t *ak = pa + static_cast<std::size_t>(k) *
+                                                  kPanel;
+                const std::uint8_t *bk = pb + static_cast<std::size_t>(k) *
+                                                  kPanel;
+                for (int r = 0; r < kPanel; ++r) {
+                    const std::int32_t a =
+                        static_cast<std::int32_t>(ak[r]) - za;
+                    for (int c = 0; c < kPanel; ++c) {
+                        acc[r][c] +=
+                            a * (static_cast<std::int32_t>(bk[c]) - zb);
+                    }
+                }
+            }
+            for (int r = 0; r < kPanel; ++r) {
+                const int rr = bi * kPanel + r;
+                if (rr >= result.rows()) {
+                    break;
+                }
+                for (int c = 0; c < kPanel; ++c) {
+                    const int cc = bj * kPanel + c;
+                    if (cc >= result.cols()) {
+                        break;
+                    }
+                    result.Set(rr, cc, acc[r][c]);
+                }
+            }
+
+            // Traffic: both panel slices stream through once per
+            // micro-tile; the accumulators live in registers, and the
+            // micro-tile result is written once.
+            mem.Read(lhs.storage().SimAddr(
+                         static_cast<std::size_t>(bi) * kPanel * depth),
+                     static_cast<Bytes>(kPanel) * depth);
+            mem.Read(rhs.storage().SimAddr(
+                         static_cast<std::size_t>(bj) * kPanel * depth),
+                     static_cast<Bytes>(kPanel) * depth);
+            mem.Write(result.storage().SimAddr(
+                          (static_cast<std::size_t>(bi) *
+                               result.block_cols() +
+                           bj) *
+                          kPanel * kPanel),
+                      static_cast<Bytes>(kPanel) * kPanel *
+                          sizeof(std::int32_t));
+
+            // One fused multiply-accumulate per element product.
+            const auto macs = static_cast<std::uint64_t>(kPanel) *
+                              kPanel * depth;
+            ops.VectorMul(macs);
+            ops.Load(2 * static_cast<std::uint64_t>(kPanel) * depth / 16);
+            ops.Store(static_cast<std::uint64_t>(kPanel) * kPanel / 4);
+            ops.Branch(static_cast<std::uint64_t>(depth));
+        }
+    }
+}
+
+void
+ReferenceGemm(const Matrix<std::uint8_t> &lhs, std::int32_t za,
+              const Matrix<std::uint8_t> &rhs, std::int32_t zb,
+              Matrix<std::int32_t> &result)
+{
+    PIM_ASSERT(lhs.cols() == rhs.rows(), "shape mismatch");
+    PIM_ASSERT(result.rows() == lhs.rows() && result.cols() == rhs.cols(),
+               "result shape mismatch");
+    for (int r = 0; r < lhs.rows(); ++r) {
+        for (int c = 0; c < rhs.cols(); ++c) {
+            std::int64_t acc = 0;
+            for (int k = 0; k < lhs.cols(); ++k) {
+                acc += (static_cast<std::int32_t>(lhs.At(r, k)) - za) *
+                       (static_cast<std::int32_t>(rhs.At(k, c)) - zb);
+            }
+            result.At(r, c) = static_cast<std::int32_t>(acc);
+        }
+    }
+}
+
+} // namespace pim::ml

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Quantized GEMM kernel over packed operands (gemmlowp's inner kernel).
+ *
+ * Computes C[r][c] = sum_k (A[r][k] - za) * (B[c][k] - zb) as int32,
+ * walking kPanel x kPanel micro-tiles, exactly the structure the packed
+ * layouts are built for.  In the paper's pipeline the CPU runs this
+ * kernel while PIM logic performs packing and (re)quantization.
+ */
+
+#ifndef PIM_ML_GEMM_H
+#define PIM_ML_GEMM_H
+
+#include "core/execution_context.h"
+#include "workloads/ml/pack.h"
+#include "workloads/ml/quantize.h"
+#include "workloads/ml/tensor.h"
+
+namespace pim::ml {
+
+/**
+ * Run the packed quantized GEMM: result (M x N) from LHS (M x K) and
+ * RHS (K x N), with zero points @p za / @p zb subtracted.
+ */
+void QuantizedGemm(const PackedMatrix &lhs, std::int32_t za,
+                   const PackedMatrix &rhs, std::int32_t zb,
+                   PackedResult &result, core::ExecutionContext &ctx);
+
+/** Naive reference GEMM for verification (uninstrumented). */
+void ReferenceGemm(const Matrix<std::uint8_t> &lhs, std::int32_t za,
+                   const Matrix<std::uint8_t> &rhs, std::int32_t zb,
+                   Matrix<std::int32_t> &result);
+
+} // namespace pim::ml
+
+#endif // PIM_ML_GEMM_H

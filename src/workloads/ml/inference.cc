@@ -1,0 +1,150 @@
+#include "workloads/ml/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/ml/conv2d.h"
+#include "workloads/ml/gemm.h"
+#include "workloads/ml/pack.h"
+#include "workloads/ml/quantize.h"
+
+namespace pim::ml {
+
+namespace {
+
+int
+ScaleDim(int dim, double factor, int min_dim)
+{
+    if (dim <= min_dim) {
+        return dim;
+    }
+    return std::max(min_dim,
+                    static_cast<int>(std::lround(dim * factor)));
+}
+
+void
+Take(core::ExecutionContext &ctx, const char *name, PhaseTotals &phase)
+{
+    const core::RunReport r = ctx.Report(name);
+    phase.energy += r.energy;
+    phase.time_ns += r.timing.Total();
+    phase.instructions += r.ops.Total();
+    phase.llc_misses += r.counters.has_llc ? r.counters.llc.Misses()
+                                           : r.counters.l1.Misses();
+    ctx.Reset(/*drain_caches=*/false);
+}
+
+} // namespace
+
+LayerSpec
+ScaleLayer(const LayerSpec &layer, const EvalScale &scale)
+{
+    LayerSpec s = layer;
+    s.in_h = ScaleDim(layer.in_h, scale.spatial, scale.min_dim);
+    s.in_w = ScaleDim(layer.in_w, scale.spatial, scale.min_dim);
+    s.in_ch = ScaleDim(layer.in_ch, scale.channels, scale.min_dim);
+    s.out_ch = ScaleDim(layer.out_ch, scale.channels, scale.min_dim);
+    s.kernel = std::min(layer.kernel, s.in_h);
+    return s;
+}
+
+InferenceResult
+RunInference(const NetworkSpec &network, const EvalScale &scale,
+             core::ExecutionTarget pack_quant_target)
+{
+    Rng rng(0x1A7E57 ^ std::hash<std::string>{}(network.name));
+
+    core::ExecutionContext host(core::ExecutionTarget::kCpuOnly);
+    core::ExecutionContext pim_ctx(pack_quant_target);
+
+    InferenceResult result;
+    result.network = network.name;
+
+    for (const LayerSpec &full_layer : network.layers) {
+        const LayerSpec layer = ScaleLayer(full_layer, scale);
+
+        // Offload policy: only layers whose operand matrices spill the
+        // host LLC benefit from in-memory packing/quantization.
+        const Bytes layer_bytes =
+            static_cast<Bytes>(layer.gemm_m()) * layer.gemm_k() +
+            static_cast<Bytes>(layer.gemm_k()) * layer.gemm_n() +
+            static_cast<Bytes>(layer.gemm_m()) * layer.gemm_n() * 4;
+        const bool offload =
+            pack_quant_target != core::ExecutionTarget::kCpuOnly &&
+            layer_bytes >= scale.min_offload_bytes;
+        core::ExecutionContext &pq = offload ? pim_ctx : host;
+
+        // Per-layer-spec operands are reused across repeats.
+        const auto m = static_cast<int>(layer.gemm_m());
+        const auto k = static_cast<int>(layer.gemm_k());
+        const auto n = static_cast<int>(layer.gemm_n());
+
+        Matrix<float> activations(layer.in_h * layer.in_w, layer.in_ch);
+        activations.Randomize(rng);
+        Matrix<std::uint8_t> quantized(layer.in_h * layer.in_w,
+                                       layer.in_ch);
+        ImageU8 image(layer.in_h, layer.in_w, layer.in_ch);
+        Matrix<std::uint8_t> patches(m, k);
+        Matrix<std::uint8_t> weights(k, n);
+        weights.Randomize(rng);
+        PackedMatrix packed_lhs(m, k);
+        PackedMatrix packed_rhs(n, k);
+        PackedResult packed_result(m, n);
+        Matrix<std::int32_t> result32(m, n);
+        Matrix<std::uint8_t> result8(m, n);
+
+        for (int rep = 0; rep < full_layer.repeat; ++rep) {
+            // --- Quantization: float activations -> uint8.
+            const QuantParams qa = QuantizeFloat(activations, quantized,
+                                                 pq);
+            Take(pq, "quantize-input", result.quantization);
+
+            // --- Other: move the quantized matrix into HWC image form.
+            for (int y = 0; y < layer.in_h; ++y) {
+                for (int x = 0; x < layer.in_w; ++x) {
+                    for (int ch = 0; ch < layer.in_ch; ++ch) {
+                        image.At(y, x, ch) =
+                            quantized.At(y * layer.in_w + x, ch);
+                    }
+                }
+            }
+            host.mem().Read(quantized.SimAddr(0, 0),
+                            quantized.size_bytes());
+            host.mem().Write(image.buffer().SimAddr(0),
+                             quantized.size_bytes());
+            host.ops().Load(quantized.size_bytes() / 16);
+            host.ops().Store(quantized.size_bytes() / 16);
+            Take(host, "activation-copy", result.other);
+
+            // --- Conv2D: im2col on the host (part of the kernel).
+            Im2Col(image, layer,
+                   static_cast<std::uint8_t>(qa.zero_point), patches,
+                   host);
+            Take(host, "im2col", result.gemm);
+
+            // --- Packing (PIM target).
+            PackLhs(patches, packed_lhs, pq);
+            PackRhs(weights, packed_rhs, pq);
+            Take(pq, "pack", result.packing);
+
+            // --- GEMM kernel on the host.
+            QuantizedGemm(packed_lhs, qa.zero_point, packed_rhs, 128,
+                          packed_result, host);
+            Take(host, "gemm", result.gemm);
+
+            // --- Unpack (PIM target, same unit as packing).
+            UnpackResult(packed_result, result32, pq);
+            Take(pq, "unpack", result.packing);
+
+            // --- Re-quantization (PIM target).
+            RequantizeResult(result32, result8, pq);
+            Take(pq, "requantize", result.quantization);
+        }
+    }
+    return result;
+}
+
+} // namespace pim::ml

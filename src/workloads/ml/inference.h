@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end quantized inference driver (the paper's Section 5
+ * TensorFlow Mobile pipeline, Figure 8):
+ *
+ *   per layer: quantize input -> im2col -> pack LHS/RHS -> GEMM kernel
+ *              -> unpack -> re-quantize result -> next layer
+ *
+ * Packing and (re)quantization can be redirected to PIM logic while the
+ * host runs im2col + the GEMM kernel, reproducing the Figure 19 study.
+ */
+
+#ifndef PIM_ML_INFERENCE_H
+#define PIM_ML_INFERENCE_H
+
+#include <string>
+
+#include "core/execution_context.h"
+#include "workloads/ml/network.h"
+
+namespace pim::ml {
+
+/**
+ * Evaluation-scale knobs (DESIGN.md substitution note): full-resolution
+ * networks are too large for an instrumented run, so spatial extents and
+ * channel counts are scaled down uniformly; layer *counts* — which drive
+ * per-invocation quantization overhead — are preserved exactly.
+ */
+struct EvalScale
+{
+    double spatial = 0.5;
+    double channels = 0.5;
+    int min_dim = 4; ///< Floor for any scaled dimension.
+
+    /**
+     * Offload policy: packing/quantization of a layer is sent to PIM
+     * only when the layer's matrices exceed this footprint — smaller
+     * layers live in the host LLC, where offloading just adds vault
+     * traffic (the Section 3.2 "would it lose?" check, applied per
+     * invocation).
+     */
+    Bytes min_offload_bytes = 1_MiB;
+};
+
+/** Scale one layer's dimensions. */
+LayerSpec ScaleLayer(const LayerSpec &layer, const EvalScale &scale);
+
+/** Aggregated measurement of one pipeline phase across all layers. */
+struct PhaseTotals
+{
+    sim::EnergyBreakdown energy;
+    Nanoseconds time_ns = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+};
+
+/** Per-phase result of one inference pass. */
+struct InferenceResult
+{
+    std::string network;
+
+    PhaseTotals packing;      ///< Pack LHS/RHS + unpack result.
+    PhaseTotals quantization; ///< Input quantize + result re-quantize.
+    PhaseTotals gemm;         ///< im2col + the GEMM kernel (Conv2D).
+    PhaseTotals other;        ///< Activation handling, bookkeeping.
+
+    PicoJoules
+    TotalEnergy() const
+    {
+        return packing.energy.Total() + quantization.energy.Total() +
+               gemm.energy.Total() + other.energy.Total();
+    }
+
+    Nanoseconds
+    TotalTime() const
+    {
+        return packing.time_ns + quantization.time_ns + gemm.time_ns +
+               other.time_ns;
+    }
+
+    double PackingEnergyFraction() const
+    {
+        return packing.energy.Total() / TotalEnergy();
+    }
+    double QuantizationEnergyFraction() const
+    {
+        return quantization.energy.Total() / TotalEnergy();
+    }
+};
+
+/**
+ * Run one inference pass over @p network.
+ *
+ * @param pack_quant_target where packing/unpacking and quantization
+ *        execute (kCpuOnly reproduces the baseline; PIM targets
+ *        reproduce the Section 5.3 offload)
+ */
+InferenceResult RunInference(const NetworkSpec &network,
+                             const EvalScale &scale = {},
+                             core::ExecutionTarget pack_quant_target =
+                                 core::ExecutionTarget::kCpuOnly);
+
+} // namespace pim::ml
+
+#endif // PIM_ML_INFERENCE_H

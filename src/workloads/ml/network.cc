@@ -1,0 +1,141 @@
+#include "workloads/ml/network.h"
+
+namespace pim::ml {
+
+int
+NetworkSpec::TotalLayerInvocations() const
+{
+    int total = 0;
+    for (const auto &l : layers) {
+        total += l.repeat;
+    }
+    return total;
+}
+
+std::int64_t
+NetworkSpec::TotalMacs() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers) {
+        total += l.repeat * l.gemm_m() * l.gemm_k() * l.gemm_n();
+    }
+    return total;
+}
+
+NetworkSpec
+Vgg19()
+{
+    NetworkSpec n;
+    n.name = "VGG-19";
+    n.layers = {
+        {"conv1", 224, 224, 3, 64, 3, 1, 1},
+        {"conv1b", 224, 224, 64, 64, 3, 1, 1},
+        {"conv2", 112, 112, 64, 128, 3, 1, 1},
+        {"conv2b", 112, 112, 128, 128, 3, 1, 1},
+        {"conv3", 56, 56, 128, 256, 3, 1, 1},
+        {"conv3x", 56, 56, 256, 256, 3, 1, 3},
+        {"conv4", 28, 28, 256, 512, 3, 1, 1},
+        {"conv4x", 28, 28, 512, 512, 3, 1, 3},
+        {"conv5x", 14, 14, 512, 512, 3, 1, 4},
+        {"fc6", 1, 1, 25088, 4096, 1, 1, 1},
+        {"fc7", 1, 1, 4096, 4096, 1, 1, 1},
+        {"fc8", 1, 1, 4096, 1000, 1, 1, 1},
+    };
+    return n;
+}
+
+NetworkSpec
+ResNetV2_152()
+{
+    // Bottleneck stages: 3 + 8 + 36 + 3 blocks of [1x1, 3x3, 1x1],
+    // plus the stem conv and final FC: 152 weight layers, and the
+    // paper's 156 Conv2D invocations once projection shortcuts count.
+    NetworkSpec n;
+    n.name = "ResNet-V2-152";
+    n.layers = {
+        {"stem", 224, 224, 3, 64, 7, 2, 1},
+        // Stage 1: 56x56, width 64 -> 256.
+        {"s1.reduce", 56, 56, 256, 64, 1, 1, 3},
+        {"s1.conv3", 56, 56, 64, 64, 3, 1, 3},
+        {"s1.expand", 56, 56, 64, 256, 1, 1, 3},
+        {"s1.proj", 56, 56, 64, 256, 1, 1, 1},
+        // Stage 2: 28x28, width 128 -> 512.
+        {"s2.reduce", 28, 28, 512, 128, 1, 1, 8},
+        {"s2.conv3", 28, 28, 128, 128, 3, 1, 8},
+        {"s2.expand", 28, 28, 128, 512, 1, 1, 8},
+        {"s2.proj", 28, 28, 256, 512, 1, 1, 1},
+        // Stage 3: 14x14, width 256 -> 1024.
+        {"s3.reduce", 14, 14, 1024, 256, 1, 1, 36},
+        {"s3.conv3", 14, 14, 256, 256, 3, 1, 36},
+        {"s3.expand", 14, 14, 256, 1024, 1, 1, 36},
+        {"s3.proj", 14, 14, 512, 1024, 1, 1, 1},
+        // Stage 4: 7x7, width 512 -> 2048.
+        {"s4.reduce", 7, 7, 2048, 512, 1, 1, 3},
+        {"s4.conv3", 7, 7, 512, 512, 3, 1, 3},
+        {"s4.expand", 7, 7, 512, 2048, 1, 1, 3},
+        {"s4.proj", 7, 7, 1024, 2048, 1, 1, 1},
+        {"fc", 1, 1, 2048, 1000, 1, 1, 1},
+    };
+    return n;
+}
+
+NetworkSpec
+InceptionResNetV2()
+{
+    // Approximated: the real network mixes 1x1/3x3/1x7/7x1 branches in
+    // 10 + 20 + 10 residual blocks over 35/17/8 grids.  We keep the
+    // block counts and grid sizes with square-kernel equivalents.
+    NetworkSpec n;
+    n.name = "Inception-ResNet-V2";
+    n.layers = {
+        {"stem1", 149, 149, 3, 32, 3, 1, 1},
+        {"stem2", 147, 147, 32, 64, 3, 1, 2},
+        {"stemA", 73, 73, 64, 96, 3, 1, 2},
+        // Block A x10: three branches (1x1, 1x1->3x3, 1x1->3x3->3x3).
+        {"A.1x1", 35, 35, 320, 32, 1, 1, 30},
+        {"A.3x3", 35, 35, 32, 48, 3, 1, 30},
+        {"A.join", 35, 35, 128, 320, 1, 1, 10},
+        // Block B x20: 1x1 + factorized 7x7 branch.
+        {"B.1x1", 17, 17, 1088, 128, 1, 1, 40},
+        {"B.7x7", 17, 17, 128, 160, 3, 1, 20}, // 1x7+7x1 as one 3x3-cost
+        {"B.join", 17, 17, 384, 1088, 1, 1, 20},
+        // Block C x10.
+        {"C.1x1", 8, 8, 2080, 192, 1, 1, 20},
+        {"C.3x3", 8, 8, 192, 224, 3, 1, 10},
+        {"C.join", 8, 8, 448, 2080, 1, 1, 10},
+        {"fc", 1, 1, 1536, 1000, 1, 1, 1},
+    };
+    return n;
+}
+
+NetworkSpec
+ResidualGru()
+{
+    // Toderici et al. full-resolution image compression: an encoder /
+    // decoder pair of stacked convolutional GRU cells unrolled over 8
+    // iterations.  Each GRU cell step applies gate convolutions on the
+    // input and hidden state; dimensions follow the 32x32-patch model.
+    NetworkSpec n;
+    n.name = "Residual-GRU";
+    n.layers = {
+        {"enc.init", 32, 32, 3, 64, 3, 2, 1},
+        // 8 iterations x 3 encoder GRU cells (input + hidden convs).
+        {"enc.gru.in", 16, 16, 64, 256, 3, 2, 24},
+        {"enc.gru.h", 8, 8, 256, 256, 1, 1, 24},
+        {"binarizer", 2, 2, 512, 32, 1, 1, 8},
+        // 8 iterations x 4 decoder GRU cells.
+        {"dec.gru.in", 2, 2, 32, 512, 1, 1, 32},
+        {"dec.gru.h", 4, 4, 512, 512, 1, 1, 32},
+        {"dec.up", 8, 8, 512, 256, 3, 1, 24},
+        {"dec.out", 32, 32, 64, 3, 1, 1, 8},
+    };
+    return n;
+}
+
+std::vector<NetworkSpec>
+AllNetworks()
+{
+    return {ResNetV2_152(), Vgg19(), ResidualGru(), InceptionResNetV2()};
+}
+
+} // namespace pim::ml

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layer tables for the paper's four input networks (Section 3.1):
+ * VGG-19, ResNet-v2-152, Inception-ResNet-v2, and Residual-GRU.
+ *
+ * Substitution note (DESIGN.md): we do not run the real pretrained
+ * models; what drives the paper's Figures 6/7/19 is the *shape* of each
+ * network — how many Conv2D/MatMul invocations it makes and the GEMM
+ * dimensions each lowers to, since packing cost scales with matrix
+ * area and quantization cost scales with invocation count times matrix
+ * size.  The tables below reproduce those shapes (ResNet's 156 Conv2D
+ * operations vs. VGG's 19 weight layers, etc.).
+ */
+
+#ifndef PIM_ML_NETWORK_H
+#define PIM_ML_NETWORK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pim::ml {
+
+/** One Conv2D (or MatMul, with spatial 1x1) layer. */
+struct LayerSpec
+{
+    std::string name;
+    int in_h = 1;
+    int in_w = 1;
+    int in_ch = 1;
+    int out_ch = 1;
+    int kernel = 1; ///< Square kernel edge; 1 for MatMul layers.
+    int stride = 1;
+    int repeat = 1; ///< Consecutive identical layers.
+
+    int out_h() const { return (in_h - 1) / stride + 1; }
+    int out_w() const { return (in_w - 1) / stride + 1; }
+
+    /** GEMM dimensions this layer lowers to (M x K times K x N). */
+    std::int64_t gemm_m() const
+    {
+        return static_cast<std::int64_t>(out_h()) * out_w();
+    }
+    std::int64_t gemm_k() const
+    {
+        return static_cast<std::int64_t>(kernel) * kernel * in_ch;
+    }
+    std::int64_t gemm_n() const { return out_ch; }
+};
+
+/** A whole network: an ordered list of layers. */
+struct NetworkSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Total Conv2D/MatMul invocations (expands repeats). */
+    int TotalLayerInvocations() const;
+    /** Total multiply-accumulates across the network. */
+    std::int64_t TotalMacs() const;
+};
+
+NetworkSpec Vgg19();             ///< 16 conv + 3 FC; few, huge GEMMs.
+NetworkSpec ResNetV2_152();      ///< 156 Conv2D; many bottlenecks.
+NetworkSpec InceptionResNetV2(); ///< ~190 small mixed convolutions.
+NetworkSpec ResidualGru();       ///< Recurrent image-compression net.
+
+/** The paper's four evaluated networks, in figure order. */
+std::vector<NetworkSpec> AllNetworks();
+
+} // namespace pim::ml
+
+#endif // PIM_ML_NETWORK_H

@@ -1,0 +1,199 @@
+#include "workloads/ml/pack.h"
+
+#include "common/logging.h"
+
+namespace pim::ml {
+
+namespace {
+constexpr int kPanel = PackBlocking::kPanel;
+}
+
+PackedMatrix::PackedMatrix(int outer, int depth)
+    : outer_(outer), depth_(depth),
+      panels_((outer + kPanel - 1) / kPanel),
+      storage_(static_cast<std::size_t>(panels_) * kPanel * depth, 0)
+{
+    PIM_ASSERT(outer > 0 && depth > 0, "packed matrix must be non-empty");
+}
+
+std::size_t
+PackedMatrix::StorageIndex(int o, int k) const
+{
+    PIM_ASSERT(o >= 0 && o < panels_ * kPanel && k >= 0 && k < depth_,
+               "(%d,%d) out of packed %dx%d", o, k, panels_ * kPanel,
+               depth_);
+    const int panel = o / kPanel;
+    const int lane = o % kPanel;
+    return static_cast<std::size_t>(panel) * kPanel * depth_ +
+           static_cast<std::size_t>(k) * kPanel + lane;
+}
+
+std::uint8_t
+PackedMatrix::At(int o, int k) const
+{
+    return storage_[StorageIndex(o, k)];
+}
+
+void
+PackedMatrix::Set(int o, int k, std::uint8_t v)
+{
+    storage_[StorageIndex(o, k)] = v;
+}
+
+PackedResult::PackedResult(int rows, int cols)
+    : rows_(rows), cols_(cols), block_rows_((rows + kPanel - 1) / kPanel),
+      block_cols_((cols + kPanel - 1) / kPanel),
+      storage_(static_cast<std::size_t>(block_rows_) * block_cols_ *
+                   kPanel * kPanel,
+               0)
+{
+    PIM_ASSERT(rows > 0 && cols > 0, "result must be non-empty");
+}
+
+std::size_t
+PackedResult::StorageIndex(int r, int c) const
+{
+    PIM_ASSERT(r >= 0 && r < block_rows_ * kPanel && c >= 0 &&
+                   c < block_cols_ * kPanel,
+               "(%d,%d) out of blocks", r, c);
+    const int br = r / kPanel;
+    const int bc = c / kPanel;
+    const int ir = r % kPanel;
+    const int ic = c % kPanel;
+    return (static_cast<std::size_t>(br) * block_cols_ + bc) * kPanel *
+               kPanel +
+           static_cast<std::size_t>(ir) * kPanel + ic;
+}
+
+std::int32_t
+PackedResult::At(int r, int c) const
+{
+    return storage_[StorageIndex(r, c)];
+}
+
+void
+PackedResult::Set(int r, int c, std::int32_t v)
+{
+    storage_[StorageIndex(r, c)] = v;
+}
+
+void
+PackLhs(const Matrix<std::uint8_t> &src, PackedMatrix &dst,
+        core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(src.rows() == dst.outer() && src.cols() == dst.depth(),
+               "LHS %dx%d does not match packed %dx%d", src.rows(),
+               src.cols(), dst.outer(), dst.depth());
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    const int depth = dst.depth();
+
+    for (int panel = 0; panel < dst.panels(); ++panel) {
+        const int r0 = panel * kPanel;
+        // Gather kPanel source rows into depth-major panel storage.
+        for (int k = 0; k < depth; ++k) {
+            for (int lane = 0; lane < kPanel; ++lane) {
+                const int r = r0 + lane;
+                const std::uint8_t v =
+                    r < src.rows() ? src.At(r, k) : 0;
+                dst.Set(r0 + lane, k, v);
+            }
+        }
+        // Traffic: each source row is read once (streaming), but the
+        // destination interleaves lanes, so writes go out depth-major.
+        for (int lane = 0; lane < kPanel; ++lane) {
+            const int r = r0 + lane;
+            if (r < src.rows()) {
+                mem.Read(src.SimAddr(r, 0), static_cast<Bytes>(depth));
+                ops.Load((static_cast<Bytes>(depth) + 15) / 16);
+            }
+        }
+        mem.Write(dst.storage().SimAddr(
+                      static_cast<std::size_t>(panel) * kPanel * depth),
+                  static_cast<Bytes>(kPanel) * depth);
+        ops.Store((static_cast<Bytes>(kPanel) * depth + 15) / 16);
+        // Index arithmetic: interleave shuffles per 16-byte group.
+        ops.VectorAlu(static_cast<Bytes>(kPanel) * depth / 8);
+        ops.Branch(static_cast<std::uint64_t>(depth) / 16 + 1);
+    }
+}
+
+void
+PackRhs(const Matrix<std::uint8_t> &src, PackedMatrix &dst,
+        core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(src.cols() == dst.outer() && src.rows() == dst.depth(),
+               "RHS %dx%d does not match packed outer %d depth %d",
+               src.rows(), src.cols(), dst.outer(), dst.depth());
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    const int depth = dst.depth();
+
+    for (int panel = 0; panel < dst.panels(); ++panel) {
+        const int c0 = panel * kPanel;
+        for (int k = 0; k < depth; ++k) {
+            for (int lane = 0; lane < kPanel; ++lane) {
+                const int c = c0 + lane;
+                const std::uint8_t v =
+                    c < src.cols() ? src.At(k, c) : 0;
+                dst.Set(c0 + lane, k, v);
+            }
+            // Column gather: one strided read of kPanel bytes per k.
+            mem.Read(src.SimAddr(k, std::min(c0, src.cols() - 1)),
+                     kPanel);
+            ops.Load(1);
+            ops.Alu(2);
+        }
+        mem.Write(dst.storage().SimAddr(
+                      static_cast<std::size_t>(panel) * kPanel * depth),
+                  static_cast<Bytes>(kPanel) * depth);
+        ops.Store((static_cast<Bytes>(kPanel) * depth + 15) / 16);
+        ops.Branch(static_cast<std::uint64_t>(depth) / 16 + 1);
+    }
+}
+
+void
+UnpackResult(const PackedResult &src, Matrix<std::int32_t> &dst,
+             core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "result %dx%d does not match %dx%d", src.rows(), src.cols(),
+               dst.rows(), dst.cols());
+
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    for (int br = 0; br < src.block_rows(); ++br) {
+        for (int bc = 0; bc < src.block_cols(); ++bc) {
+            const int r0 = br * kPanel;
+            const int c0 = bc * kPanel;
+            for (int ir = 0; ir < kPanel; ++ir) {
+                const int r = r0 + ir;
+                if (r >= dst.rows()) {
+                    break;
+                }
+                for (int ic = 0; ic < kPanel; ++ic) {
+                    const int c = c0 + ic;
+                    if (c >= dst.cols()) {
+                        break;
+                    }
+                    dst.At(r, c) = src.At(r, c);
+                }
+                // Block row read is contiguous; destination write is a
+                // short strided row segment.
+                mem.Read(src.storage().SimAddr(src.StorageIndex(r, c0)),
+                         kPanel * sizeof(std::int32_t));
+                mem.Write(dst.SimAddr(r, std::min(c0, dst.cols() - 1)),
+                          kPanel * sizeof(std::int32_t));
+                ops.Load(2);
+                ops.Store(2);
+                ops.Alu(4);
+            }
+            ops.Branch(kPanel);
+        }
+    }
+}
+
+} // namespace pim::ml

@@ -1,0 +1,138 @@
+#include "workloads/ml/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pim::ml {
+
+namespace {
+
+/** Instrument one full scan of a matrix at row granularity. */
+template <typename T>
+void
+CountScan(const Matrix<T> &m, core::ExecutionContext &ctx, bool writes,
+          const Matrix<std::uint8_t> *out)
+{
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    const Bytes row_bytes = static_cast<Bytes>(m.cols()) * sizeof(T);
+    for (int r = 0; r < m.rows(); ++r) {
+        mem.Read(m.SimAddr(r, 0), row_bytes);
+        ops.Load((row_bytes + 15) / 16);
+        // Min/max scan: two compares per element, SIMD-friendly.
+        ops.VectorAlu(2 * static_cast<std::uint64_t>(m.cols()));
+        ops.Branch(1);
+        if (writes && out != nullptr) {
+            mem.Write(out->SimAddr(r, 0),
+                      static_cast<Bytes>(out->cols()));
+            ops.Store((static_cast<Bytes>(out->cols()) + 15) / 16);
+            // Convert: multiply + add + clamp + narrow per element.
+            ops.VectorMul(static_cast<std::uint64_t>(m.cols()));
+            ops.VectorAlu(3 * static_cast<std::uint64_t>(m.cols()));
+        }
+    }
+}
+
+} // namespace
+
+MinMax<float>
+FindMinMax(const Matrix<float> &m, core::ExecutionContext &ctx)
+{
+    float mn = m.At(0, 0);
+    float mx = m.At(0, 0);
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            mn = std::min(mn, m.At(r, c));
+            mx = std::max(mx, m.At(r, c));
+        }
+    }
+    CountScan(m, ctx, /*writes=*/false, nullptr);
+    return {mn, mx};
+}
+
+MinMax<std::int32_t>
+FindMinMax(const Matrix<std::int32_t> &m, core::ExecutionContext &ctx)
+{
+    std::int32_t mn = m.At(0, 0);
+    std::int32_t mx = m.At(0, 0);
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) {
+            mn = std::min(mn, m.At(r, c));
+            mx = std::max(mx, m.At(r, c));
+        }
+    }
+    CountScan(m, ctx, /*writes=*/false, nullptr);
+    return {mn, mx};
+}
+
+QuantParams
+ChooseQuantParams(float min_value, float max_value)
+{
+    // The representable range must include zero (gemmlowp requirement).
+    min_value = std::min(min_value, 0.0f);
+    max_value = std::max(max_value, 0.0f);
+    if (min_value == max_value) {
+        return {1.0f, 0};
+    }
+    QuantParams p;
+    p.scale = (max_value - min_value) / 255.0f;
+    const float zp = -min_value / p.scale;
+    p.zero_point = static_cast<std::int32_t>(std::lround(
+        std::clamp(zp, 0.0f, 255.0f)));
+    return p;
+}
+
+QuantParams
+QuantizeFloat(const Matrix<float> &in, Matrix<std::uint8_t> &out,
+              core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(in.rows() == out.rows() && in.cols() == out.cols(),
+               "shape mismatch");
+    const MinMax<float> range = FindMinMax(in, ctx);
+    const QuantParams p = ChooseQuantParams(range.min_value,
+                                            range.max_value);
+    for (int r = 0; r < in.rows(); ++r) {
+        for (int c = 0; c < in.cols(); ++c) {
+            const float q = in.At(r, c) / p.scale +
+                            static_cast<float>(p.zero_point);
+            out.At(r, c) = static_cast<std::uint8_t>(
+                std::clamp(std::lround(q), 0L, 255L));
+        }
+    }
+    CountScan(in, ctx, /*writes=*/true, &out);
+    return p;
+}
+
+QuantParams
+RequantizeResult(const Matrix<std::int32_t> &in, Matrix<std::uint8_t> &out,
+                 core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(in.rows() == out.rows() && in.cols() == out.cols(),
+               "shape mismatch");
+    const MinMax<std::int32_t> range = FindMinMax(in, ctx);
+    const QuantParams p =
+        ChooseQuantParams(static_cast<float>(range.min_value),
+                          static_cast<float>(range.max_value));
+    for (int r = 0; r < in.rows(); ++r) {
+        for (int c = 0; c < in.cols(); ++c) {
+            const float q = static_cast<float>(in.At(r, c)) / p.scale +
+                            static_cast<float>(p.zero_point);
+            out.At(r, c) = static_cast<std::uint8_t>(
+                std::clamp(std::lround(q), 0L, 255L));
+        }
+    }
+    CountScan(in, ctx, /*writes=*/true, &out);
+    return p;
+}
+
+float
+Dequantize(std::uint8_t q, const QuantParams &params)
+{
+    return params.scale *
+           (static_cast<float>(q) -
+            static_cast<float>(params.zero_point));
+}
+
+} // namespace pim::ml

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quantization kernels (the paper's Section 5.3, second PIM target).
+ *
+ * TensorFlow Mobile quantizes each Conv2D's 32-bit input matrix to 8-bit
+ * before GEMM and re-quantizes the 32-bit result matrix afterwards
+ * (Figure 8): two full scans per matrix — one to find min/max, one to
+ * convert — which is pure data movement plus shift/add/multiply.
+ */
+
+#ifndef PIM_ML_QUANTIZE_H
+#define PIM_ML_QUANTIZE_H
+
+#include <cstdint>
+
+#include "core/execution_context.h"
+#include "workloads/ml/tensor.h"
+
+namespace pim::ml {
+
+/** Asymmetric uint8 quantization parameters (gemmlowp convention). */
+struct QuantParams
+{
+    float scale = 1.0f;       ///< real = scale * (quantized - zero_point)
+    std::int32_t zero_point = 0;
+};
+
+/** Min/max of a matrix (the first scan of Figure 8). */
+template <typename T>
+struct MinMax
+{
+    T min_value;
+    T max_value;
+};
+
+/** Scan a float matrix for its range; instrumented. */
+MinMax<float> FindMinMax(const Matrix<float> &m,
+                         core::ExecutionContext &ctx);
+
+/** Scan an int32 matrix for its range; instrumented. */
+MinMax<std::int32_t> FindMinMax(const Matrix<std::int32_t> &m,
+                                core::ExecutionContext &ctx);
+
+/** Derive quantization parameters covering [min, max] (gemmlowp style). */
+QuantParams ChooseQuantParams(float min_value, float max_value);
+
+/**
+ * Quantize a float input matrix to uint8 (Figure 8 steps 1-2:
+ * min/max scan + conversion scan).  @return the parameters used.
+ */
+QuantParams QuantizeFloat(const Matrix<float> &in, Matrix<std::uint8_t> &out,
+                          core::ExecutionContext &ctx);
+
+/**
+ * Re-quantize a 32-bit GEMM result matrix to uint8 (Figure 8 steps 3-4).
+ * @return the parameters used.
+ */
+QuantParams RequantizeResult(const Matrix<std::int32_t> &in,
+                             Matrix<std::uint8_t> &out,
+                             core::ExecutionContext &ctx);
+
+/** Reference dequantization for verification. */
+float Dequantize(std::uint8_t q, const QuantParams &params);
+
+} // namespace pim::ml
+
+#endif // PIM_ML_QUANTIZE_H

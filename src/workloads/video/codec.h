@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared types for the VP9-style software encoder/decoder pair:
+ * configuration, the per-function phase buckets used by the paper's
+ * Figures 10/11/15, and the bitstream framing constants.
+ *
+ * Bitstream layout (all exp-Golomb / fixed-width bits, MSB first):
+ *
+ *   frame:  width ue | height ue | key flag (1 bit) | qindex (8 bits)
+ *   per 16x16 macroblock, raster order:
+ *     inter flag (1 bit, 0 on key frames, no bit emitted there)
+ *     if inter: ref_index ue | mv.row se | mv.col se   (1/8-pel)
+ *     if intra: intra mode (2 bits: DC / horizontal / vertical)
+ *     4 luma 8x8 coefficient blocks | 1 U block | 1 V block
+ *
+ * Both sides reconstruct with identical arithmetic, so the decoder's
+ * output is bit-exact with the encoder's reconstruction (tested).
+ */
+
+#ifndef PIM_VIDEO_CODEC_H
+#define PIM_VIDEO_CODEC_H
+
+#include <cstdint>
+
+#include "core/phase.h"
+#include "workloads/video/deblock.h"
+#include "workloads/video/motion.h"
+
+namespace pim::video {
+
+/** Encoder/decoder configuration. */
+struct CodecConfig
+{
+    int qindex = 60;       ///< Quantizer index (0..255).
+    int max_ref_frames = 3; ///< VP9 searches up to 3 references.
+    MotionSearchParams search;
+    DeblockParams deblock;
+    bool subpel_refine = true; ///< Refine MVs to 1/8-pel.
+};
+
+/**
+ * Per-function measurement buckets matching the paper's breakdowns.
+ * Decoder figures use: subpel, mc_other, deblock, entropy, transform,
+ * other.  Encoder figures add: me, intra, quant.
+ */
+struct CodecPhases
+{
+    core::PhaseTotals entropy;   ///< Entropy encode/decode.
+    core::PhaseTotals subpel;    ///< MC: sub-pixel interpolation.
+    core::PhaseTotals mc_other;  ///< MC: full-pel copy + residual add.
+    core::PhaseTotals transform; ///< DCT / inverse DCT.
+    core::PhaseTotals quant;     ///< Quantization / dequantization.
+    core::PhaseTotals deblock;   ///< Loop filter.
+    core::PhaseTotals me;        ///< Motion estimation (encoder).
+    core::PhaseTotals intra;     ///< Intra prediction.
+    core::PhaseTotals other;     ///< Headers, bookkeeping, frame I/O.
+
+    core::PhaseTotals
+    Total() const
+    {
+        core::PhaseTotals t;
+        t += entropy;
+        t += subpel;
+        t += mc_other;
+        t += transform;
+        t += quant;
+        t += deblock;
+        t += me;
+        t += intra;
+        t += other;
+        return t;
+    }
+};
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_CODEC_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deblocking loop filter (the paper's Section 6.2.2, second video PIM
+ * target).
+ *
+ * Block-based prediction and transform create discontinuities at block
+ * borders; the loop filter walks every vertical and horizontal 8x8
+ * transform-block edge in raster order, evaluates a flatness mask on up
+ * to four pixels each side, and applies VP9's filter4 low-pass update
+ * to up to two pixels per side.  Poor locality on the vertical-edge
+ * pass makes it strongly memory-bound.
+ */
+
+#ifndef PIM_VIDEO_DEBLOCK_H
+#define PIM_VIDEO_DEBLOCK_H
+
+#include <cstdint>
+
+#include "core/execution_context.h"
+#include "workloads/video/frame.h"
+
+namespace pim::video {
+
+/** Loop-filter strength thresholds (derived from filter level). */
+struct DeblockParams
+{
+    int blimit = 16; ///< Edge-difference budget across the edge.
+    int limit = 6;   ///< Per-pair difference budget.
+    int thresh = 2;  ///< High-edge-variance threshold.
+};
+
+/** Statistics of one filtering pass. */
+struct DeblockStats
+{
+    std::uint64_t edges_checked = 0;
+    std::uint64_t edges_filtered = 0;
+};
+
+/**
+ * Apply the loop filter in place to @p plane, filtering all internal
+ * 8x8 block edges (vertical edges first, then horizontal, as VP9 does
+ * per superblock).  All pixel traffic streams through @p ctx.
+ */
+DeblockStats DeblockPlane(Plane &plane, const DeblockParams &params,
+                          core::ExecutionContext &ctx);
+
+/**
+ * The scalar filter4 update applied to one 4-pixel stencil
+ * (p1 p0 | q0 q1) when the mask passes; exposed for testing.
+ * Values are modified in place.
+ */
+void Filter4(std::uint8_t &p1, std::uint8_t &p0, std::uint8_t &q0,
+             std::uint8_t &q1, bool high_edge_variance);
+
+/** The VP9 filter mask: should this edge be filtered at all? */
+bool FilterMask(const DeblockParams &params, std::uint8_t p3,
+                std::uint8_t p2, std::uint8_t p1, std::uint8_t p0,
+                std::uint8_t q0, std::uint8_t q1, std::uint8_t q2,
+                std::uint8_t q3);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_DEBLOCK_H

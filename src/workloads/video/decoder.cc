@@ -1,0 +1,215 @@
+#include "workloads/video/decoder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workloads/video/entropy.h"
+#include "workloads/video/mc.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/transform.h"
+
+namespace pim::video {
+
+namespace {
+
+/** Decode one 8x8 block: entropy -> dequant -> IDCT -> reconstruct. */
+void
+DecodeBlock(Plane &recon, const PredBlock &pred, int px, int py, int ox,
+            int oy, int qindex, BitReader &reader,
+            core::ExecutionContext &ctx, CodecPhases &phases)
+{
+    Block8x8<std::int16_t> levels;
+    Block8x8<std::int32_t> coeffs;
+    Block8x8<std::int16_t> residual;
+
+    DecodeCoefficients(reader, levels, ctx);
+    phases.entropy.Take(ctx, "entropy");
+
+    // Zero blocks (EOB at position 0) skip the inverse path entirely,
+    // as production decoders do.
+    bool all_zero = true;
+    for (const auto v : levels) {
+        if (v != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero) {
+        residual.fill(0);
+    } else {
+        DequantizeBlock(levels, qindex, coeffs, ctx);
+        phases.quant.Take(ctx, "dequant");
+
+        InverseDct8x8(coeffs, residual, ctx);
+        phases.transform.Take(ctx, "idct");
+    }
+
+    ReconstructBlock8x8(recon, pred, px, py, ox, oy, residual, ctx);
+    phases.mc_other.Take(ctx, "recon");
+}
+
+} // namespace
+
+Vp9Decoder::Vp9Decoder(CodecConfig config) : config_(std::move(config)) {}
+
+Frame
+Vp9Decoder::DecodeFrame(const std::vector<std::uint8_t> &bitstream,
+                        core::ExecutionContext &ctx, CodecPhases *phases)
+{
+    CodecPhases local_phases;
+    CodecPhases &ph = phases != nullptr ? *phases : local_phases;
+    ctx.Reset(/*drain_caches=*/false);
+
+    // Frame-level bitstream read-in traffic (compressed input stream).
+    static thread_local pim::SimBuffer<std::uint8_t> bitstream_region(
+        1u << 20);
+    ctx.mem().Read(bitstream_region.SimAddr(0),
+                   std::min<Bytes>(bitstream.size(),
+                                   bitstream_region.size()));
+    ctx.ops().Load(bitstream.size() / 16 + 1);
+    ph.other.Take(ctx, "bitstream-in");
+
+    BitReader reader(bitstream.data(), bitstream.size());
+    const int width = static_cast<int>(reader.GetUe());
+    const int height = static_cast<int>(reader.GetUe());
+    const bool key = reader.GetBits(1) != 0;
+    const int qindex = static_cast<int>(reader.GetBits(8));
+    ph.entropy.Take(ctx, "header");
+
+    PIM_ASSERT(width > 0 && height > 0 &&
+                   width % kMacroblockSize == 0 &&
+                   height % kMacroblockSize == 0,
+               "malformed frame header %dx%d", width, height);
+    PIM_ASSERT(key || !references_.empty(),
+               "inter frame with no reference");
+
+    Frame recon(width, height);
+    const int mbs_x = width / kMacroblockSize;
+    const int mbs_y = height / kMacroblockSize;
+
+    std::vector<bool> mb_inter(static_cast<std::size_t>(mbs_x) * mbs_y,
+                               false);
+    std::vector<MotionVector> mb_mv(static_cast<std::size_t>(mbs_x) *
+                                    mbs_y);
+    std::vector<int> mb_ref(static_cast<std::size_t>(mbs_x) * mbs_y, 0);
+    std::vector<IntraMode> mb_mode(static_cast<std::size_t>(mbs_x) *
+                                       mbs_y,
+                                   IntraMode::kDc);
+
+    PredBlock pred(kMacroblockSize, kMacroblockSize);
+
+    for (int my = 0; my < mbs_y; ++my) {
+        for (int mx = 0; mx < mbs_x; ++mx) {
+            const int x0 = mx * kMacroblockSize;
+            const int y0 = my * kMacroblockSize;
+            const std::size_t mb_index =
+                static_cast<std::size_t>(my) * mbs_x + mx;
+
+            bool inter = false;
+            MotionVector mv;
+            int ref_index = 0;
+            IntraMode intra_mode = IntraMode::kDc;
+            if (!key) {
+                inter = reader.GetBits(1) != 0;
+                if (inter) {
+                    ref_index = static_cast<int>(reader.GetUe());
+                    mv.row = reader.GetSe();
+                    mv.col = reader.GetSe();
+                    PIM_ASSERT(ref_index >= 0 &&
+                                   static_cast<std::size_t>(ref_index) <
+                                       references_.size(),
+                               "bad reference index %d", ref_index);
+                }
+            }
+            if (!inter) {
+                const std::uint32_t mode_bits = reader.GetBits(2);
+                PIM_ASSERT(mode_bits <= 2, "bad intra mode %u",
+                           mode_bits);
+                intra_mode = static_cast<IntraMode>(mode_bits);
+            }
+            ph.entropy.Take(ctx, "mode-bits");
+
+            if (inter) {
+                InterpolateBlock(
+                    references_[static_cast<std::size_t>(ref_index)].y,
+                    x0, y0, mv, pred, ctx);
+                if (mv.IsFullPel()) {
+                    ph.mc_other.Take(ctx, "mc-fullpel");
+                } else {
+                    ph.subpel.Take(ctx, "mc-subpel");
+                }
+            } else {
+                IntraPredict(recon.y, x0, y0, intra_mode, pred, ctx);
+                ph.intra.Take(ctx, "intra");
+            }
+
+            mb_inter[mb_index] = inter;
+            mb_mv[mb_index] = mv;
+            mb_ref[mb_index] = ref_index;
+            mb_mode[mb_index] = intra_mode;
+
+            for (int by = 0; by < 2; ++by) {
+                for (int bx = 0; bx < 2; ++bx) {
+                    DecodeBlock(recon.y, pred, x0 + bx * 8, y0 + by * 8,
+                                bx * 8, by * 8, qindex, reader, ctx, ph);
+                }
+            }
+        }
+    }
+
+    // Chroma pass mirrors the encoder's ordering exactly.
+    PredBlock cpred(8, 8);
+    for (int plane_index = 0; plane_index < 2; ++plane_index) {
+        Plane &rplane = plane_index == 0 ? recon.u : recon.v;
+        for (int my = 0; my < mbs_y; ++my) {
+            for (int mx = 0; mx < mbs_x; ++mx) {
+                const std::size_t mb_index =
+                    static_cast<std::size_t>(my) * mbs_x + mx;
+                const int cx = mx * 8;
+                const int cy = my * 8;
+                if (mb_inter[mb_index]) {
+                    const Frame &ref = references_[static_cast<
+                        std::size_t>(mb_ref[mb_index])];
+                    const Plane &rref =
+                        plane_index == 0 ? ref.u : ref.v;
+                    const MotionVector cmv{mb_mv[mb_index].row >> 1,
+                                           mb_mv[mb_index].col >> 1};
+                    InterpolateBlock(rref, cx, cy, cmv, cpred, ctx);
+                    if (cmv.IsFullPel()) {
+                        ph.mc_other.Take(ctx, "mc-chroma");
+                    } else {
+                        ph.subpel.Take(ctx, "mc-chroma-subpel");
+                    }
+                } else {
+                    IntraPredict(rplane, cx, cy, mb_mode[mb_index],
+                                 cpred, ctx);
+                    ph.intra.Take(ctx, "intra-chroma");
+                }
+                DecodeBlock(rplane, cpred, cx, cy, 0, 0, qindex, reader,
+                            ctx, ph);
+            }
+        }
+    }
+
+    DeblockPlane(recon.y, config_.deblock, ctx);
+    DeblockPlane(recon.u, config_.deblock, ctx);
+    DeblockPlane(recon.v, config_.deblock, ctx);
+    ph.deblock.Take(ctx, "deblock");
+
+    // Reconstructed frame write-back to the frame buffer.
+    ctx.mem().Write(recon.y.SimAddr(0, 0), recon.y.size_bytes());
+    ctx.mem().Write(recon.u.SimAddr(0, 0), recon.u.size_bytes());
+    ctx.mem().Write(recon.v.SimAddr(0, 0), recon.v.size_bytes());
+    ctx.ops().Store(recon.size_bytes() / 16);
+    ph.other.Take(ctx, "framebuffer-out");
+
+    Frame output = recon; // keep a copy to return
+    references_.push_front(std::move(recon));
+    while (references_.size() >
+           static_cast<std::size_t>(config_.max_ref_frames)) {
+        references_.pop_back();
+    }
+    return output;
+}
+
+} // namespace pim::video

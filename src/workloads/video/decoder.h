@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The VP9-style software decoder (the paper's Section 6, Figure 9):
+ * entropy decoding, motion compensation with sub-pixel interpolation,
+ * inverse quantization + inverse transform, reconstruction, and the
+ * deblocking loop filter.
+ *
+ * Decoding the bitstream produced by Vp9Encoder reproduces the
+ * encoder's reconstruction bit-exactly (shared arithmetic).
+ */
+
+#ifndef PIM_VIDEO_DECODER_H
+#define PIM_VIDEO_DECODER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/video/codec.h"
+#include "workloads/video/frame.h"
+
+namespace pim::video {
+
+/** Streaming decoder; frames must arrive in coded order. */
+class Vp9Decoder
+{
+  public:
+    explicit Vp9Decoder(CodecConfig config = {});
+
+    /**
+     * Decode one frame from @p bitstream.  All work streams through
+     * @p ctx; per-function buckets are filled if @p phases is non-null.
+     */
+    Frame DecodeFrame(const std::vector<std::uint8_t> &bitstream,
+                      core::ExecutionContext &ctx,
+                      CodecPhases *phases = nullptr);
+
+  private:
+    CodecConfig config_;
+    std::deque<Frame> references_; // newest first
+};
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_DECODER_H

@@ -1,0 +1,264 @@
+#include "workloads/video/encoder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workloads/video/entropy.h"
+#include "workloads/video/mc.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/transform.h"
+
+namespace pim::video {
+
+namespace {
+
+/** Encode one 8x8 block: residual -> DCT -> quant -> entropy -> recon. */
+void
+CodeBlock(const Plane &src, Plane &recon, const PredBlock &pred, int px,
+          int py, int ox, int oy, int qindex, BitWriter &writer,
+          core::ExecutionContext &ctx, CodecPhases &phases)
+{
+    Block8x8<std::int16_t> residual;
+    Block8x8<std::int32_t> coeffs;
+    Block8x8<std::int16_t> levels;
+    Block8x8<std::int32_t> dequant;
+    Block8x8<std::int16_t> recon_res;
+
+    ComputeResidual8x8(src, pred, px, py, ox, oy, residual, ctx);
+    phases.mc_other.Take(ctx, "residual");
+
+    ForwardDct8x8(residual, coeffs, ctx);
+    phases.transform.Take(ctx, "fdct");
+
+    const int nonzero = QuantizeBlock(coeffs, qindex, levels, ctx);
+    phases.quant.Take(ctx, "quant");
+
+    EncodeCoefficients(levels, writer, ctx);
+    phases.entropy.Take(ctx, "entropy");
+
+    // Reconstruction loop: identical arithmetic to the decoder,
+    // including the zero-block fast path.
+    if (nonzero == 0) {
+        recon_res.fill(0);
+    } else {
+        DequantizeBlock(levels, qindex, dequant, ctx);
+        phases.quant.Take(ctx, "dequant");
+        InverseDct8x8(dequant, recon_res, ctx);
+        phases.transform.Take(ctx, "idct");
+    }
+    ReconstructBlock8x8(recon, pred, px, py, ox, oy, recon_res, ctx);
+    phases.mc_other.Take(ctx, "recon");
+}
+
+} // namespace
+
+Vp9Encoder::Vp9Encoder(int width, int height, CodecConfig config)
+    : width_(width), height_(height), config_(std::move(config))
+{
+    PIM_ASSERT(width % kMacroblockSize == 0 &&
+                   height % kMacroblockSize == 0,
+               "frame %dx%d not macroblock-aligned", width, height);
+    PIM_ASSERT(config_.qindex >= 0 && config_.qindex <= 255,
+               "qindex out of range");
+}
+
+const Frame &
+Vp9Encoder::last_reconstruction() const
+{
+    PIM_ASSERT(!references_.empty(), "no frame encoded yet");
+    return references_.front();
+}
+
+EncodeResult
+Vp9Encoder::EncodeFrame(const Frame &src, core::ExecutionContext &ctx,
+                        CodecPhases *phases, bool force_key)
+{
+    PIM_ASSERT(src.width == width_ && src.height == height_,
+               "frame size mismatch");
+    CodecPhases local_phases;
+    CodecPhases &ph = phases != nullptr ? *phases : local_phases;
+    ctx.Reset(/*drain_caches=*/false); // drop any stale measurement
+
+    const bool key = force_key || references_.empty();
+    EncodeResult result;
+    result.key_frame = key;
+
+    BitWriter writer;
+    writer.PutUe(static_cast<std::uint32_t>(width_));
+    writer.PutUe(static_cast<std::uint32_t>(height_));
+    writer.PutBits(key ? 1 : 0, 1);
+    writer.PutBits(static_cast<std::uint32_t>(config_.qindex), 8);
+    ph.other.Take(ctx, "header");
+
+    Frame recon(width_, height_);
+
+    // Gather luma reference planes, newest first.
+    std::vector<const Plane *> luma_refs;
+    for (const Frame &ref : references_) {
+        luma_refs.push_back(&ref.y);
+    }
+
+    const int mbs_x = width_ / kMacroblockSize;
+    const int mbs_y = height_ / kMacroblockSize;
+
+    // Per-macroblock decisions, reused by the chroma pass.
+    std::vector<bool> mb_inter(static_cast<std::size_t>(mbs_x) * mbs_y,
+                               false);
+    std::vector<MotionVector> mb_mv(static_cast<std::size_t>(mbs_x) *
+                                    mbs_y);
+    std::vector<int> mb_ref(static_cast<std::size_t>(mbs_x) * mbs_y, 0);
+    std::vector<IntraMode> mb_mode(static_cast<std::size_t>(mbs_x) *
+                                       mbs_y,
+                                   IntraMode::kDc);
+
+    PredBlock pred(kMacroblockSize, kMacroblockSize);
+
+    for (int my = 0; my < mbs_y; ++my) {
+        for (int mx = 0; mx < mbs_x; ++mx) {
+            const int x0 = mx * kMacroblockSize;
+            const int y0 = my * kMacroblockSize;
+            const std::size_t mb_index =
+                static_cast<std::size_t>(my) * mbs_x + mx;
+
+            bool inter = false;
+            MotionResult motion;
+
+            if (!key) {
+                motion = DiamondSearch(src.y, luma_refs, x0, y0,
+                                       config_.search, ctx);
+                ph.me.Take(ctx, "diamond-search");
+                if (config_.subpel_refine) {
+                    motion = RefineSubpel(
+                        src.y,
+                        *luma_refs[static_cast<std::size_t>(
+                            motion.ref_index)],
+                        x0, y0, motion, kMacroblockSize, ctx);
+                    ph.me.Take(ctx, "subpel-refine");
+                }
+            }
+
+            // Intra candidate: best of DC / horizontal / vertical.
+            std::uint32_t intra_sad = 0;
+            const IntraMode intra_mode = ChooseIntraMode(
+                src.y, recon.y, x0, y0, kMacroblockSize,
+                kMacroblockSize, ctx, &intra_sad);
+            ph.intra.Take(ctx, "intra-mode-decision");
+
+            // Mode decision: prefer inter with a small fixed bias for
+            // the motion-vector signaling cost.
+            if (!key && motion.sad + 64 < intra_sad) {
+                inter = true;
+            }
+            ph.other.Take(ctx, "mode-decision");
+
+            // Signal the mode.
+            if (!key) {
+                writer.PutBits(inter ? 1 : 0, 1);
+                if (inter) {
+                    writer.PutUe(static_cast<std::uint32_t>(
+                        motion.ref_index));
+                    writer.PutSe(motion.mv.row);
+                    writer.PutSe(motion.mv.col);
+                }
+            }
+            if (!inter) {
+                writer.PutBits(static_cast<std::uint32_t>(intra_mode),
+                               2);
+            }
+            ph.entropy.Take(ctx, "mode-bits");
+
+            // Build the luma predictor.
+            if (inter) {
+                InterpolateBlock(
+                    *luma_refs[static_cast<std::size_t>(motion.ref_index)],
+                    x0, y0, motion.mv, pred, ctx);
+                if (motion.mv.IsFullPel()) {
+                    ph.mc_other.Take(ctx, "mc-fullpel");
+                } else {
+                    ph.subpel.Take(ctx, "mc-subpel");
+                }
+            } else {
+                IntraPredict(recon.y, x0, y0, intra_mode, pred, ctx);
+                ph.intra.Take(ctx, "intra-fill");
+            }
+
+            mb_inter[mb_index] = inter;
+            mb_mv[mb_index] = motion.mv;
+            mb_ref[mb_index] = motion.ref_index;
+            mb_mode[mb_index] = intra_mode;
+            result.inter_macroblocks += inter ? 1 : 0;
+            result.intra_macroblocks += inter ? 0 : 1;
+
+            // Code the four 8x8 luma blocks.
+            for (int by = 0; by < 2; ++by) {
+                for (int bx = 0; bx < 2; ++bx) {
+                    CodeBlock(src.y, recon.y, pred, x0 + bx * 8,
+                              y0 + by * 8, bx * 8, by * 8,
+                              config_.qindex, writer, ctx, ph);
+                }
+            }
+        }
+    }
+
+    // Chroma pass: one 8x8 block per plane per macroblock, reusing the
+    // luma mode decisions with halved motion vectors.
+    PredBlock cpred(8, 8);
+    for (int plane_index = 0; plane_index < 2; ++plane_index) {
+        const Plane &splane = plane_index == 0 ? src.u : src.v;
+        Plane &rplane = plane_index == 0 ? recon.u : recon.v;
+        for (int my = 0; my < mbs_y; ++my) {
+            for (int mx = 0; mx < mbs_x; ++mx) {
+                const std::size_t mb_index =
+                    static_cast<std::size_t>(my) * mbs_x + mx;
+                const int cx = mx * 8;
+                const int cy = my * 8;
+                if (mb_inter[mb_index]) {
+                    const Frame &ref = references_[static_cast<
+                        std::size_t>(mb_ref[mb_index])];
+                    const Plane &rref =
+                        plane_index == 0 ? ref.u : ref.v;
+                    const MotionVector cmv{mb_mv[mb_index].row >> 1,
+                                           mb_mv[mb_index].col >> 1};
+                    InterpolateBlock(rref, cx, cy, cmv, cpred, ctx);
+                    if (cmv.IsFullPel()) {
+                        ph.mc_other.Take(ctx, "mc-chroma");
+                    } else {
+                        ph.subpel.Take(ctx, "mc-chroma-subpel");
+                    }
+                } else {
+                    IntraPredict(rplane, cx, cy, mb_mode[mb_index],
+                                 cpred, ctx);
+                    ph.intra.Take(ctx, "intra-chroma");
+                }
+                CodeBlock(splane, rplane, cpred, cx, cy, 0, 0,
+                          config_.qindex, writer, ctx, ph);
+            }
+        }
+    }
+
+    // Loop filter the reconstruction (it becomes a reference frame).
+    DeblockPlane(recon.y, config_.deblock, ctx);
+    DeblockPlane(recon.u, config_.deblock, ctx);
+    DeblockPlane(recon.v, config_.deblock, ctx);
+    ph.deblock.Take(ctx, "deblock");
+
+    result.bitstream = writer.Finish();
+
+    // Frame-level bitstream write-out traffic (dedicated region).
+    static thread_local pim::SimBuffer<std::uint8_t> bitstream_region(
+        1u << 20);
+    ctx.mem().Write(bitstream_region.SimAddr(0),
+                    std::min<Bytes>(result.bitstream.size(),
+                                    bitstream_region.size()));
+    ctx.ops().Store(result.bitstream.size() / 16 + 1);
+    ph.other.Take(ctx, "bitstream-out");
+
+    references_.push_front(std::move(recon));
+    while (references_.size() >
+           static_cast<std::size_t>(config_.max_ref_frames)) {
+        references_.pop_back();
+    }
+    return result;
+}
+
+} // namespace pim::video

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The VP9-style software encoder (the paper's Section 7, Figure 14):
+ * motion estimation over up to three reference frames, mode decision
+ * against intra DC prediction, transform + quantization, entropy
+ * coding, and the full reconstruction loop (inverse path + deblocking)
+ * that produces the next reference frame.
+ */
+
+#ifndef PIM_VIDEO_ENCODER_H
+#define PIM_VIDEO_ENCODER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/video/codec.h"
+#include "workloads/video/frame.h"
+
+namespace pim::video {
+
+/** Per-frame encoder outputs. */
+struct EncodeResult
+{
+    std::vector<std::uint8_t> bitstream;
+    bool key_frame = false;
+    int inter_macroblocks = 0;
+    int intra_macroblocks = 0;
+};
+
+/** Streaming encoder; EncodeFrame consumes frames in display order. */
+class Vp9Encoder
+{
+  public:
+    /** Frame dimensions must be multiples of the 16-pixel macroblock. */
+    Vp9Encoder(int width, int height, CodecConfig config = {});
+
+    /**
+     * Encode one frame.  The first frame (and any frame with
+     * @p force_key) is a key frame.  All work streams through @p ctx;
+     * if @p phases is non-null, per-function buckets are filled.
+     */
+    EncodeResult EncodeFrame(const Frame &src, core::ExecutionContext &ctx,
+                             CodecPhases *phases = nullptr,
+                             bool force_key = false);
+
+    /** The reconstruction of the most recently encoded frame. */
+    const Frame &last_reconstruction() const;
+
+    const CodecConfig &config() const { return config_; }
+
+  private:
+    int width_;
+    int height_;
+    CodecConfig config_;
+    std::deque<Frame> references_; // newest first, <= max_ref_frames
+};
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_ENCODER_H

@@ -1,0 +1,186 @@
+#include "workloads/video/entropy.h"
+
+#include "common/logging.h"
+
+namespace pim::video {
+
+void
+BitWriter::PutBit(int bit)
+{
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit & 1));
+    if (++nbits_ == 8) {
+        bytes_.push_back(current_);
+        current_ = 0;
+        nbits_ = 0;
+    }
+}
+
+void
+BitWriter::PutBits(std::uint32_t value, int count)
+{
+    PIM_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    for (int i = count - 1; i >= 0; --i) {
+        PutBit(static_cast<int>((value >> i) & 1));
+    }
+}
+
+void
+BitWriter::PutUe(std::uint32_t value)
+{
+    // Exp-Golomb: (value+1) has n+1 significant bits; emit n zeros then
+    // the value+1 bits.
+    const std::uint64_t v = static_cast<std::uint64_t>(value) + 1;
+    int bits = 0;
+    while ((v >> bits) != 0) {
+        ++bits;
+    }
+    for (int i = 0; i < bits - 1; ++i) {
+        PutBit(0);
+    }
+    for (int i = bits - 1; i >= 0; --i) {
+        PutBit(static_cast<int>((v >> i) & 1));
+    }
+}
+
+void
+BitWriter::PutSe(std::int32_t value)
+{
+    // Zigzag: 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4 ...
+    const std::uint32_t mapped =
+        value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
+                  : static_cast<std::uint32_t>(-value) * 2;
+    PutUe(mapped);
+}
+
+std::vector<std::uint8_t>
+BitWriter::Finish()
+{
+    while (nbits_ != 0) {
+        PutBit(0);
+    }
+    return std::move(bytes_);
+}
+
+int
+BitReader::GetBit()
+{
+    PIM_ASSERT(byte_pos_ < size_, "bitstream overrun");
+    const int bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+    if (++bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+    }
+    return bit;
+}
+
+std::uint32_t
+BitReader::GetBits(int count)
+{
+    PIM_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+        v = (v << 1) | static_cast<std::uint32_t>(GetBit());
+    }
+    return v;
+}
+
+std::uint32_t
+BitReader::GetUe()
+{
+    int zeros = 0;
+    while (GetBit() == 0) {
+        ++zeros;
+        PIM_ASSERT(zeros < 64, "malformed exp-Golomb code");
+    }
+    std::uint64_t v = 1;
+    for (int i = 0; i < zeros; ++i) {
+        v = (v << 1) | static_cast<std::uint64_t>(GetBit());
+    }
+    return static_cast<std::uint32_t>(v - 1);
+}
+
+std::int32_t
+BitReader::GetSe()
+{
+    const std::uint32_t mapped = GetUe();
+    if (mapped == 0) {
+        return 0;
+    }
+    if (mapped & 1) {
+        return static_cast<std::int32_t>((mapped + 1) / 2);
+    }
+    return -static_cast<std::int32_t>(mapped / 2);
+}
+
+void
+EncodeCoefficients(const Block8x8<std::int16_t> &levels, BitWriter &writer,
+                   core::ExecutionContext &ctx)
+{
+    const auto &scan = ZigZag8x8();
+    auto &ops = ctx.ops();
+
+    // Find the last nonzero scan position.
+    int last = -1;
+    for (int i = 0; i < 64; ++i) {
+        if (levels[scan[static_cast<std::size_t>(i)]] != 0) {
+            last = i;
+        }
+    }
+    ops.Load(16);
+    ops.Alu(64);
+    ops.Branch(8);
+
+    // Number of coded (run, level) pairs, then the pairs.
+    int coded = 0;
+    for (int i = 0; i <= last; ++i) {
+        coded += levels[scan[static_cast<std::size_t>(i)]] != 0 ? 1 : 0;
+    }
+    writer.PutUe(static_cast<std::uint32_t>(coded));
+
+    int run = 0;
+    for (int i = 0; i <= last; ++i) {
+        const std::int16_t level =
+            levels[scan[static_cast<std::size_t>(i)]];
+        if (level == 0) {
+            ++run;
+            continue;
+        }
+        writer.PutUe(static_cast<std::uint32_t>(run));
+        writer.PutSe(level);
+        run = 0;
+        ops.Alu(8);
+        ops.Branch(2);
+    }
+    // The bitstream buffer itself is small and cache-resident; the
+    // frame-level codec accounts its memory traffic once per frame.
+    ops.Store(1);
+}
+
+void
+DecodeCoefficients(BitReader &reader, Block8x8<std::int16_t> &levels,
+                   core::ExecutionContext &ctx)
+{
+    const auto &scan = ZigZag8x8();
+    auto &ops = ctx.ops();
+
+    levels.fill(0);
+    const std::uint32_t coded = reader.GetUe();
+    PIM_ASSERT(coded <= 64, "malformed coefficient block (%u)", coded);
+
+    int pos = 0;
+    for (std::uint32_t i = 0; i < coded; ++i) {
+        const std::uint32_t run = reader.GetUe();
+        const std::int32_t level = reader.GetSe();
+        pos += static_cast<int>(run);
+        PIM_ASSERT(pos < 64, "coefficient scan overrun");
+        levels[scan[static_cast<std::size_t>(pos)]] =
+            static_cast<std::int16_t>(level);
+        ++pos;
+        ops.Alu(10);
+        ops.Branch(3);
+        ops.Load(1);
+    }
+    ops.Store(16);
+}
+
+} // namespace pim::video

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Entropy coding: bitstream I/O, exp-Golomb codes, and the run-length
+ * coefficient coder (the paper's Figure 9 entropy decoder / Figure 14
+ * entropy coder, simplified from VP9's arithmetic coder to a
+ * variable-length scheme with the same serial, compute-light,
+ * cache-resident character).
+ */
+
+#ifndef PIM_VIDEO_ENTROPY_H
+#define PIM_VIDEO_ENTROPY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/video/transform.h"
+
+namespace pim::video {
+
+/** MSB-first bit writer over a growable byte buffer. */
+class BitWriter
+{
+  public:
+    void PutBit(int bit);
+    void PutBits(std::uint32_t value, int count); ///< MSB first.
+
+    /** Unsigned exp-Golomb. */
+    void PutUe(std::uint32_t value);
+    /** Signed exp-Golomb (zigzag mapping). */
+    void PutSe(std::int32_t value);
+
+    /** Flush any partial byte (pads with zeros) and return the stream. */
+    std::vector<std::uint8_t> Finish();
+
+    std::size_t BitCount() const { return bytes_.size() * 8 + nbits_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint8_t current_ = 0;
+    int nbits_ = 0;
+};
+
+/** MSB-first bit reader over a byte span. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    int GetBit();
+    std::uint32_t GetBits(int count);
+    std::uint32_t GetUe();
+    std::int32_t GetSe();
+
+    bool AtEnd() const { return byte_pos_ >= size_ && bit_pos_ == 0; }
+    std::size_t BitsConsumed() const { return byte_pos_ * 8 + bit_pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t byte_pos_ = 0;
+    int bit_pos_ = 0;
+};
+
+/**
+ * Encode one quantized 8x8 block: zig-zag (run, level) pairs with an
+ * end-of-block marker.  Instrumented through @p ctx.
+ */
+void EncodeCoefficients(const Block8x8<std::int16_t> &levels,
+                        BitWriter &writer, core::ExecutionContext &ctx);
+
+/** Decode one 8x8 block written by EncodeCoefficients. */
+void DecodeCoefficients(BitReader &reader,
+                        Block8x8<std::int16_t> &levels,
+                        core::ExecutionContext &ctx);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_ENTROPY_H

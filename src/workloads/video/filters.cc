@@ -1,0 +1,95 @@
+#include "workloads/video/filters.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pim::video {
+
+namespace {
+
+/** libvpx sub_pel_filters_8 ("regular" EIGHTTAP), 16 x 8 taps. */
+constexpr FilterKernel kEightTap[kSubpelPhases] = {
+    {0, 0, 0, 128, 0, 0, 0, 0},
+    {0, 1, -5, 126, 8, -3, 1, 0},
+    {-1, 3, -10, 122, 18, -6, 2, 0},
+    {-1, 4, -13, 118, 27, -9, 3, -1},
+    {-1, 4, -16, 112, 37, -11, 4, -1},
+    {-1, 5, -18, 105, 48, -14, 4, -1},
+    {-1, 5, -19, 97, 58, -16, 5, -1},
+    {-1, 6, -19, 88, 68, -18, 5, -1},
+    {-1, 6, -19, 78, 78, -19, 6, -1},
+    {-1, 5, -18, 68, 88, -19, 6, -1},
+    {-1, 5, -16, 58, 97, -19, 5, -1},
+    {-1, 4, -14, 48, 105, -18, 5, -1},
+    {-1, 4, -11, 37, 112, -16, 4, -1},
+    {-1, 3, -9, 27, 118, -13, 4, -1},
+    {0, 2, -6, 18, 122, -10, 3, -1},
+    {0, 1, -3, 8, 126, -5, 1, 0},
+};
+
+/** Bilinear kernels at the same 16 phases. */
+constexpr FilterKernel kBilinear[kSubpelPhases] = {
+    {0, 0, 0, 128, 0, 0, 0, 0},   {0, 0, 0, 120, 8, 0, 0, 0},
+    {0, 0, 0, 112, 16, 0, 0, 0},  {0, 0, 0, 104, 24, 0, 0, 0},
+    {0, 0, 0, 96, 32, 0, 0, 0},   {0, 0, 0, 88, 40, 0, 0, 0},
+    {0, 0, 0, 80, 48, 0, 0, 0},   {0, 0, 0, 72, 56, 0, 0, 0},
+    {0, 0, 0, 64, 64, 0, 0, 0},   {0, 0, 0, 56, 72, 0, 0, 0},
+    {0, 0, 0, 48, 80, 0, 0, 0},   {0, 0, 0, 40, 88, 0, 0, 0},
+    {0, 0, 0, 32, 96, 0, 0, 0},   {0, 0, 0, 24, 104, 0, 0, 0},
+    {0, 0, 0, 16, 112, 0, 0, 0},  {0, 0, 0, 8, 120, 0, 0, 0},
+};
+
+std::uint8_t
+ClampPixel(std::int32_t v)
+{
+    return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+}
+
+} // namespace
+
+const FilterKernel &
+EightTapKernel(int phase)
+{
+    PIM_ASSERT(phase >= 0 && phase < kSubpelPhases, "phase %d", phase);
+    return kEightTap[phase];
+}
+
+const FilterKernel &
+BilinearKernel(int phase)
+{
+    PIM_ASSERT(phase >= 0 && phase < kSubpelPhases, "phase %d", phase);
+    return kBilinear[phase];
+}
+
+std::int32_t
+ApplyKernelRaw(const std::uint8_t *src, const FilterKernel &kernel)
+{
+    std::int32_t acc = 0;
+    for (int t = 0; t < kFilterTaps; ++t) {
+        acc += kernel[t] * src[t];
+    }
+    return acc;
+}
+
+std::uint8_t
+ApplyKernelU8(const std::uint8_t *src, const FilterKernel &kernel)
+{
+    const std::int32_t acc = ApplyKernelRaw(src, kernel);
+    return ClampPixel((acc + (1 << (kFilterShift - 1))) >> kFilterShift);
+}
+
+std::uint8_t
+ApplyKernelI32(const std::int32_t *src, const FilterKernel &kernel)
+{
+    std::int64_t acc = 0;
+    for (int t = 0; t < kFilterTaps; ++t) {
+        acc += static_cast<std::int64_t>(kernel[t]) * src[t];
+    }
+    const int shift = 2 * kFilterShift;
+    const std::int64_t rounded = (acc + (1LL << (shift - 1))) >> shift;
+    return ClampPixel(static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(rounded, 0, 255)));
+}
+
+} // namespace pim::video

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * VP9 interpolation filter kernels.
+ *
+ * VP9 interpolates pixel values at non-integer motion-vector positions
+ * with separable 8-tap FIR filters defined at sixteen 1/16-pel phases
+ * (the bitstream's 1/8-pel luma vectors use the even phases), plus a
+ * bilinear fallback (Section 6.2.2).  Coefficients sum to 128 and the
+ * result is rounded and shifted by 7.
+ */
+
+#ifndef PIM_VIDEO_FILTERS_H
+#define PIM_VIDEO_FILTERS_H
+
+#include <array>
+#include <cstdint>
+
+namespace pim::video {
+
+/** Number of taps in the interpolation kernel. */
+inline constexpr int kFilterTaps = 8;
+/** Number of sub-pixel phases (1/16-pel). */
+inline constexpr int kSubpelPhases = 16;
+/** log2 of the coefficient sum (for the rounding shift). */
+inline constexpr int kFilterShift = 7;
+
+using FilterKernel = std::array<std::int16_t, kFilterTaps>;
+
+/** The "regular" 8-tap kernel for a given 1/16-pel phase. */
+const FilterKernel &EightTapKernel(int phase);
+
+/** The bilinear kernel for a given 1/16-pel phase. */
+const FilterKernel &BilinearKernel(int phase);
+
+/**
+ * Apply a kernel to 8 consecutive samples (src[0..7] covering taps
+ * -3..+4 around the sample of interest) and round to 8 bits.
+ */
+std::uint8_t ApplyKernelU8(const std::uint8_t *src,
+                           const FilterKernel &kernel);
+
+/** Apply a kernel to intermediate 16-bit samples (second pass). */
+std::uint8_t ApplyKernelI32(const std::int32_t *src,
+                            const FilterKernel &kernel);
+
+/** Unrounded horizontal pass output (for the two-pass interpolator). */
+std::int32_t ApplyKernelRaw(const std::uint8_t *src,
+                            const FilterKernel &kernel);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_FILTERS_H

@@ -1,0 +1,41 @@
+#include "workloads/video/frame.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pim::video {
+
+double
+MeanAbsDiff(const Plane &a, const Plane &b)
+{
+    PIM_ASSERT(a.w() == b.w() && a.h() == b.h(), "plane shape mismatch");
+    double sum = 0.0;
+    for (int y = 0; y < a.h(); ++y) {
+        for (int x = 0; x < a.w(); ++x) {
+            sum += std::abs(static_cast<int>(a.At(x, y)) -
+                            static_cast<int>(b.At(x, y)));
+        }
+    }
+    return sum / (static_cast<double>(a.w()) * a.h());
+}
+
+double
+Psnr(const Plane &a, const Plane &b)
+{
+    PIM_ASSERT(a.w() == b.w() && a.h() == b.h(), "plane shape mismatch");
+    double sse = 0.0;
+    for (int y = 0; y < a.h(); ++y) {
+        for (int x = 0; x < a.w(); ++x) {
+            const double d = static_cast<double>(a.At(x, y)) -
+                             static_cast<double>(b.At(x, y));
+            sse += d * d;
+        }
+    }
+    if (sse == 0.0) {
+        return 99.0;
+    }
+    const double mse = sse / (static_cast<double>(a.w()) * a.h());
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace pim::video

@@ -1,0 +1,251 @@
+#include "workloads/video/hw_model.h"
+
+#include "common/logging.h"
+
+namespace pim::video {
+
+namespace {
+
+// --- Traffic rates, bytes per luma pixel, per resolution class.
+//
+// Calibrated against the paper's Figures 12 and 16 (see EXPERIMENTS.md):
+// HD streams carry more per-pixel overhead than 4K because prediction
+// block sizes and bitstream framing do not shrink with the frame.
+
+struct DecoderRates
+{
+    double reference = 0;
+    double decoder_data = 0;
+    double metadata = 0;
+    double deblock = 0;
+    double recon = 0;
+};
+
+DecoderRates
+DecoderRatesFor(HwResolution res)
+{
+    if (res == HwResolution::k4k) {
+        return {3.02, 0.50, 0.22, 0.20, 1.12};
+    }
+    return {7.38, 0.70, 0.25, 0.32, 1.12};
+}
+
+struct EncoderRates
+{
+    double reference = 0;
+    double current = 0;
+    double recon = 0;
+    double deblock = 0;
+    double bitstream = 0;
+    double other = 0;
+};
+
+EncoderRates
+EncoderRatesFor(HwResolution res)
+{
+    if (res == HwResolution::k4k) {
+        return {6.90, 1.60, 1.40, 0.60, 0.45, 0.50};
+    }
+    return {17.6, 3.90, 3.40, 1.00, 0.50, 0.70};
+}
+
+/// Lossless reference-frame compression factors (paper: ~40% reduction
+/// for the decoder's reference stream, 59.7% for the encoder's).
+constexpr double kDecoderRefCompression = 0.585;
+constexpr double kEncoderRefCompression = 0.403;
+/// Compression side-information stream, bytes per pixel.
+constexpr double kCompressionInfoRate = 0.35;
+
+// --- Energy rates.
+constexpr double kOffchipPjPerByte = 160.0; ///< DRAM+PHY+controller path.
+constexpr double kOffchipDramShare = 0.50;
+constexpr double kOffchipInterconnectShare = 0.375;
+constexpr double kOffchipMemctrlShare = 0.125;
+
+/// In-stack path for PIM logic: vault-local access, TSV hop only.
+constexpr double kInternalPjPerByte = 16.0;
+
+/// Computation energy, pJ per luma pixel (includes SRAM buffering).
+constexpr double kDecoderComputePjPerPx = 360.0;
+constexpr double kEncoderComputePjPerPx = 1700.0;
+
+/// Fraction of codec computation residing in the offloaded units
+/// (MC + deblock for the decoder; ME + MC + deblock for the encoder).
+constexpr double kDecoderOffloadComputeShare = 0.60;
+constexpr double kEncoderOffloadComputeShare = 0.70;
+
+/// Offloaded-unit computation on PIM logic, pJ per pixel: a PIM core is
+/// roughly an order of magnitude less efficient than the VP9 RTL; a PIM
+/// accelerator embeds the same RTL blocks in the logic layer.
+constexpr double kDecoderPimCorePjPerPx = 1250.0;
+constexpr double kEncoderPimCorePjPerPx = 4200.0;
+
+/// A PIM accelerator embeds the offloaded RTL blocks next to the data,
+/// shedding the large on-SoC SRAM reference buffers (875 kB in the
+/// decoder) and their datapaths; the remaining logic runs at a fraction
+/// of the on-SoC units' energy.
+constexpr double kPimAccelComputeFactor = 0.25;
+
+double
+MegaBytes(double bytes_per_px, double pixels)
+{
+    return bytes_per_px * pixels / 1.0e6;
+}
+
+} // namespace
+
+int
+HwWidth(HwResolution res)
+{
+    return res == HwResolution::k4k ? 3840 : 1280;
+}
+
+int
+HwHeight(HwResolution res)
+{
+    return res == HwResolution::k4k ? 2160 : 720;
+}
+
+double
+HwPixels(HwResolution res)
+{
+    return static_cast<double>(HwWidth(res)) * HwHeight(res);
+}
+
+HwTrafficBreakdown
+HwDecoderTraffic(HwResolution res, bool frame_compression)
+{
+    const DecoderRates r = DecoderRatesFor(res);
+    const double px = HwPixels(res);
+
+    HwTrafficBreakdown t;
+    const double ref_factor =
+        frame_compression ? kDecoderRefCompression : 1.0;
+    t.reference_frame = MegaBytes(r.reference * ref_factor, px);
+    t.decoder_data = MegaBytes(r.decoder_data, px);
+    t.recon_metadata = MegaBytes(r.metadata, px);
+    t.deblocking = MegaBytes(r.deblock, px);
+    t.reconstructed_frame =
+        MegaBytes(r.recon * (frame_compression ? kDecoderRefCompression
+                                               : 1.0),
+                  px);
+    t.compression_info =
+        frame_compression ? MegaBytes(kCompressionInfoRate, px) : 0.0;
+    return t;
+}
+
+HwTrafficBreakdown
+HwEncoderTraffic(HwResolution res, bool frame_compression)
+{
+    const EncoderRates r = EncoderRatesFor(res);
+    const double px = HwPixels(res);
+
+    HwTrafficBreakdown t;
+    const double ref_factor =
+        frame_compression ? kEncoderRefCompression : 1.0;
+    t.reference_frame = MegaBytes(r.reference * ref_factor, px);
+    // The raw camera frame cannot be compressed; its share grows when
+    // everything else shrinks (Section 7.3.1).
+    t.current_frame = MegaBytes(r.current, px);
+    t.reconstructed_frame =
+        MegaBytes(r.recon * (frame_compression ? kEncoderRefCompression
+                                               : 1.0),
+                  px);
+    t.deblocking = MegaBytes(r.deblock, px);
+    t.encoded_bitstream = MegaBytes(r.bitstream, px);
+    t.other = MegaBytes(r.other, px);
+    t.compression_info =
+        frame_compression ? MegaBytes(kCompressionInfoRate, px) : 0.0;
+    return t;
+}
+
+namespace {
+
+/** Price a configuration given its stream split and compute terms. */
+HwEnergyBreakdown
+PriceConfiguration(double offchip_mb, double internal_mb,
+                   double compute_pj)
+{
+    HwEnergyBreakdown e;
+    const double offchip_pj = offchip_mb * 1.0e6 * kOffchipPjPerByte;
+    e.dram_mj = offchip_pj * kOffchipDramShare * 1.0e-9;
+    e.interconnect_mj =
+        offchip_pj * kOffchipInterconnectShare * 1.0e-9;
+    e.memctrl_mj = offchip_pj * kOffchipMemctrlShare * 1.0e-9;
+
+    // Internal (in-stack) movement: charged to DRAM + memctrl.
+    const double internal_pj = internal_mb * 1.0e6 * kInternalPjPerByte;
+    e.dram_mj += internal_pj * 0.75 * 1.0e-9;
+    e.memctrl_mj += internal_pj * 0.25 * 1.0e-9;
+
+    e.computation_mj = compute_pj * 1.0e-9;
+    return e;
+}
+
+} // namespace
+
+HwEnergyBreakdown
+HwDecoderEnergy(HwResolution res, bool frame_compression, HwPimMode pim)
+{
+    const HwTrafficBreakdown t = HwDecoderTraffic(res, frame_compression);
+    const double px = HwPixels(res);
+    const double base_compute = kDecoderComputePjPerPx * px;
+
+    if (pim == HwPimMode::kNone) {
+        return PriceConfiguration(t.Total(), 0.0, base_compute);
+    }
+
+    // With in-memory MC + deblock (Figure 13), the reference frame,
+    // deblocking, and reconstructed-frame streams never cross the
+    // off-chip channel; the bitstream/MV/metadata streams still do.
+    const double internal_mb =
+        t.reference_frame + t.deblocking + t.reconstructed_frame +
+        t.compression_info;
+    const double offchip_mb = t.decoder_data + t.recon_metadata;
+
+    const double host_compute =
+        base_compute * (1.0 - kDecoderOffloadComputeShare);
+    const double offload_compute =
+        pim == HwPimMode::kPimCore
+            ? kDecoderPimCorePjPerPx * px
+            : base_compute * kDecoderOffloadComputeShare *
+                  kPimAccelComputeFactor;
+
+    return PriceConfiguration(offchip_mb, internal_mb,
+                              host_compute + offload_compute);
+}
+
+HwEnergyBreakdown
+HwEncoderEnergy(HwResolution res, bool frame_compression, HwPimMode pim)
+{
+    const HwTrafficBreakdown t = HwEncoderTraffic(res, frame_compression);
+    const double px = HwPixels(res);
+    const double base_compute = kEncoderComputePjPerPx * px;
+
+    if (pim == HwPimMode::kNone) {
+        return PriceConfiguration(t.Total(), 0.0, base_compute);
+    }
+
+    // With in-memory ME + MC + deblock (Figure 17), reference frames,
+    // deblocking, and reconstruction stay in memory; the camera frame
+    // must still be written once and read by the in-memory ME, and the
+    // bitstream crosses back.
+    const double internal_mb =
+        t.reference_frame + t.deblocking + t.reconstructed_frame +
+        t.compression_info + t.current_frame * 0.5;
+    const double offchip_mb = t.current_frame * 0.5 +
+                              t.encoded_bitstream + t.other;
+
+    const double host_compute =
+        base_compute * (1.0 - kEncoderOffloadComputeShare);
+    const double offload_compute =
+        pim == HwPimMode::kPimCore
+            ? kEncoderPimCorePjPerPx * px
+            : base_compute * kEncoderOffloadComputeShare *
+                  kPimAccelComputeFactor;
+
+    return PriceConfiguration(offchip_mb, internal_mb,
+                              host_compute + offload_compute);
+}
+
+} // namespace pim::video

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Analytic traffic/energy model of Google's VP9 hardware decoder and
+ * encoder (the paper's Sections 6.3 and 7.3, Figures 12, 16, and 21).
+ *
+ * The hardware codec hides latency with prefetch and large SRAM
+ * reference buffers, but still moves every reference window, current
+ * frame, and reconstructed frame across the off-chip memory channel.
+ * The model expresses each named stream of Figures 12/16 as bytes per
+ * pixel (calibrated per resolution class against the paper's RTL-
+ * derived measurements; see EXPERIMENTS.md) and prices configurations:
+ *
+ *   - baseline VP9 accelerator on the SoC
+ *   - VP9 + lossless reference-frame compression
+ *   - VP9 with MC (+deblock) or ME moved into memory as PIM-Core
+ *     or PIM-Acc logic (Figures 13 / 17)
+ */
+
+#ifndef PIM_VIDEO_HW_MODEL_H
+#define PIM_VIDEO_HW_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pim::video {
+
+/** Resolution classes evaluated in the paper. */
+enum class HwResolution
+{
+    kHd, ///< 1280 x 720
+    k4k, ///< 3840 x 2160
+};
+
+int HwWidth(HwResolution res);
+int HwHeight(HwResolution res);
+double HwPixels(HwResolution res);
+
+/** Where the MC/deblock (decoder) or ME/MC/deblock (encoder) logic runs. */
+enum class HwPimMode
+{
+    kNone,    ///< Baseline on-SoC VP9 accelerator.
+    kPimCore, ///< Offloaded to a general-purpose PIM core.
+    kPimAccel, ///< Offloaded to fixed-function PIM logic.
+};
+
+/** Per-frame off-chip traffic by stream, in megabytes (Figures 12/16). */
+struct HwTrafficBreakdown
+{
+    double reference_frame = 0;
+    double current_frame = 0; ///< Encoder only.
+    double compression_info = 0;
+    double decoder_data = 0; ///< Bitstream + MV/residual streams.
+    double recon_metadata = 0;
+    double deblocking = 0;
+    double reconstructed_frame = 0;
+    double encoded_bitstream = 0; ///< Encoder only.
+    double other = 0;
+
+    double
+    Total() const
+    {
+        return reference_frame + current_frame + compression_info +
+               decoder_data + recon_metadata + deblocking +
+               reconstructed_frame + encoded_bitstream + other;
+    }
+
+    double
+    ReferenceShare() const
+    {
+        const double t = Total();
+        return t <= 0 ? 0.0 : reference_frame / t;
+    }
+};
+
+/** Off-chip traffic of the hardware *decoder* for one frame. */
+HwTrafficBreakdown HwDecoderTraffic(HwResolution res,
+                                    bool frame_compression);
+
+/** Off-chip traffic of the hardware *encoder* for one frame. */
+HwTrafficBreakdown HwEncoderTraffic(HwResolution res,
+                                    bool frame_compression);
+
+/** Energy of one configuration, by component (Figure 21), millijoules. */
+struct HwEnergyBreakdown
+{
+    double dram_mj = 0;
+    double memctrl_mj = 0;
+    double interconnect_mj = 0;
+    double computation_mj = 0;
+
+    double
+    Total() const
+    {
+        return dram_mj + memctrl_mj + interconnect_mj + computation_mj;
+    }
+};
+
+/**
+ * Energy for decoding (or encoding) one frame under the given PIM mode.
+ * With PIM, the reference/reconstruction/deblock streams move on the
+ * in-stack path instead of the off-chip channel, and the offloaded
+ * units' computation is priced at PIM-core or PIM-accelerator rates.
+ */
+HwEnergyBreakdown HwDecoderEnergy(HwResolution res, bool frame_compression,
+                                  HwPimMode pim);
+HwEnergyBreakdown HwEncoderEnergy(HwResolution res, bool frame_compression,
+                                  HwPimMode pim);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_HW_MODEL_H

@@ -1,0 +1,190 @@
+#include "workloads/video/mc.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace pim::video {
+
+std::uint8_t
+DcPredict(const Plane &recon, int x0, int y0, int bw, int bh,
+          core::ExecutionContext &ctx)
+{
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    int sum = 0;
+    int count = 0;
+    if (y0 > 0) {
+        for (int x = 0; x < bw; ++x) {
+            sum += recon.At(x0 + x, y0 - 1);
+        }
+        count += bw;
+        mem.Read(recon.SimAddr(x0, y0 - 1), static_cast<Bytes>(bw));
+        ops.Load((bw + 15) / 16);
+        ops.VectorAlu(static_cast<std::uint64_t>(bw));
+    }
+    if (x0 > 0) {
+        for (int y = 0; y < bh; ++y) {
+            sum += recon.At(x0 - 1, y0 + y);
+            mem.Read(recon.SimAddr(x0 - 1, y0 + y), 1);
+        }
+        count += bh;
+        ops.Load(static_cast<std::uint64_t>(bh));
+        ops.VectorAlu(static_cast<std::uint64_t>(bh));
+    }
+    ops.Alu(4);
+    ops.Branch(2);
+    if (count == 0) {
+        return 128;
+    }
+    return static_cast<std::uint8_t>((sum + count / 2) / count);
+}
+
+void
+FillPredBlock(PredBlock &out, std::uint8_t dc)
+{
+    std::fill(out.pixels.begin(), out.pixels.end(), dc);
+}
+
+void
+IntraPredict(const Plane &recon, int x0, int y0, IntraMode mode,
+             PredBlock &out, core::ExecutionContext &ctx)
+{
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+
+    // Directional modes degrade to DC at borders.
+    if ((mode == IntraMode::kHorizontal && x0 == 0) ||
+        (mode == IntraMode::kVertical && y0 == 0)) {
+        mode = IntraMode::kDc;
+    }
+
+    switch (mode) {
+      case IntraMode::kDc: {
+        FillPredBlock(out,
+                      DcPredict(recon, x0, y0, out.w, out.h, ctx));
+        ops.Store(static_cast<std::uint64_t>(out.w) * out.h / 16);
+        break;
+      }
+      case IntraMode::kHorizontal: {
+        for (int y = 0; y < out.h; ++y) {
+            const std::uint8_t left = recon.At(x0 - 1, y0 + y);
+            for (int x = 0; x < out.w; ++x) {
+                out.At(x, y) = left;
+            }
+            mem.Read(recon.SimAddr(x0 - 1, y0 + y), 1);
+        }
+        ops.Load(static_cast<std::uint64_t>(out.h));
+        ops.Store(static_cast<std::uint64_t>(out.w) * out.h / 16);
+        ops.Branch(static_cast<std::uint64_t>(out.h));
+        break;
+      }
+      case IntraMode::kVertical: {
+        for (int y = 0; y < out.h; ++y) {
+            for (int x = 0; x < out.w; ++x) {
+                out.At(x, y) = recon.At(x0 + x, y0 - 1);
+            }
+        }
+        mem.Read(recon.SimAddr(x0, y0 - 1),
+                 static_cast<Bytes>(out.w));
+        ops.Load((out.w + 15) / 16);
+        ops.Store(static_cast<std::uint64_t>(out.w) * out.h / 16);
+        ops.Branch(static_cast<std::uint64_t>(out.h));
+        break;
+      }
+    }
+}
+
+IntraMode
+ChooseIntraMode(const Plane &src, const Plane &recon, int x0, int y0,
+                int bw, int bh, core::ExecutionContext &ctx,
+                std::uint32_t *best_sad)
+{
+    PredBlock candidate(bw, bh);
+    IntraMode best_mode = IntraMode::kDc;
+    std::uint32_t best = 0xffffffffu;
+
+    for (const IntraMode mode :
+         {IntraMode::kDc, IntraMode::kHorizontal, IntraMode::kVertical}) {
+        // Skip directional modes whose references do not exist (they
+        // would just duplicate the DC candidate).
+        if ((mode == IntraMode::kHorizontal && x0 == 0) ||
+            (mode == IntraMode::kVertical && y0 == 0)) {
+            continue;
+        }
+        IntraPredict(recon, x0, y0, mode, candidate, ctx);
+        std::uint32_t sad = 0;
+        for (int y = 0; y < bh; ++y) {
+            for (int x = 0; x < bw; ++x) {
+                sad += static_cast<std::uint32_t>(std::abs(
+                    static_cast<int>(src.At(x0 + x, y0 + y)) -
+                    static_cast<int>(candidate.At(x, y))));
+            }
+            ctx.mem().Read(src.SimAddr(x0, y0 + y),
+                           static_cast<Bytes>(bw));
+            ctx.ops().Load((bw + 15) / 16);
+            ctx.ops().VectorAlu(static_cast<std::uint64_t>(bw) * 2);
+        }
+        if (sad < best) {
+            best = sad;
+            best_mode = mode;
+        }
+    }
+    if (best_sad != nullptr) {
+        *best_sad = best;
+    }
+    return best_mode;
+}
+
+void
+ComputeResidual8x8(const Plane &src, const PredBlock &pred, int px, int py,
+                   int ox, int oy, Block8x8<std::int16_t> &residual,
+                   core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(px + 8 <= src.w() && py + 8 <= src.h(),
+               "residual block (%d,%d) out of %dx%d", px, py, src.w(),
+               src.h());
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            residual[static_cast<std::size_t>(y) * 8 + x] =
+                static_cast<std::int16_t>(
+                    static_cast<int>(src.At(px + x, py + y)) -
+                    static_cast<int>(pred.At(ox + x, oy + y)));
+        }
+        mem.Read(src.SimAddr(px, py + y), 8);
+        ops.Load(1);
+        ops.VectorAlu(8);
+        ops.Store(1);
+    }
+}
+
+void
+ReconstructBlock8x8(Plane &recon, const PredBlock &pred, int px, int py,
+                    int ox, int oy, const Block8x8<std::int16_t> &residual,
+                    core::ExecutionContext &ctx)
+{
+    PIM_ASSERT(px + 8 <= recon.w() && py + 8 <= recon.h(),
+               "recon block (%d,%d) out of %dx%d", px, py, recon.w(),
+               recon.h());
+    auto &mem = ctx.mem();
+    auto &ops = ctx.ops();
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            const int v =
+                static_cast<int>(pred.At(ox + x, oy + y)) +
+                residual[static_cast<std::size_t>(y) * 8 + x];
+            recon.At(px + x, py + y) = static_cast<std::uint8_t>(
+                std::clamp(v, 0, 255));
+        }
+        mem.Write(recon.SimAddr(px, py + y), 8);
+        ops.Load(2);
+        ops.VectorAlu(16);
+        ops.Store(1);
+    }
+}
+
+} // namespace pim::video

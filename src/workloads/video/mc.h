@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Motion compensation and block reconstruction helpers (the paper's
+ * Figure 9 MC unit plus the residual-add path), and the intra DC
+ * predictor used when inter prediction loses the mode decision.
+ */
+
+#ifndef PIM_VIDEO_MC_H
+#define PIM_VIDEO_MC_H
+
+#include <cstdint>
+
+#include "core/execution_context.h"
+#include "workloads/video/frame.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/transform.h"
+
+namespace pim::video {
+
+/**
+ * DC (mean-of-neighbors) intra prediction for the block at (x0, y0):
+ * averages the reconstructed row above and column left, falling back to
+ * 128 when neither exists.  Instrumented.
+ */
+std::uint8_t DcPredict(const Plane &recon, int x0, int y0, int bw, int bh,
+                       core::ExecutionContext &ctx);
+
+/** Fill @p out with the constant @p dc (intra-DC predictor block). */
+void FillPredBlock(PredBlock &out, std::uint8_t dc);
+
+/** Intra prediction modes (a subset of VP9's ten). */
+enum class IntraMode : std::uint8_t
+{
+    kDc = 0,         ///< Mean of top row + left column.
+    kHorizontal = 1, ///< Each row copies its left neighbor.
+    kVertical = 2,   ///< Each column copies its top neighbor.
+};
+
+/**
+ * Build the intra predictor for @p mode into @p out.  Directional
+ * modes fall back to DC at frame borders where their reference pixels
+ * do not exist.  Instrumented.
+ */
+void IntraPredict(const Plane &recon, int x0, int y0, IntraMode mode,
+                  PredBlock &out, core::ExecutionContext &ctx);
+
+/**
+ * Evaluate DC/H/V against the source block and return the best mode by
+ * SAD (the encoder's intra mode decision).  Instrumented.
+ */
+IntraMode ChooseIntraMode(const Plane &src, const Plane &recon, int x0,
+                          int y0, int bw, int bh,
+                          core::ExecutionContext &ctx,
+                          std::uint32_t *best_sad = nullptr);
+
+/**
+ * Compute the residual of one 8x8 block: source minus predictor.
+ * @p px/@p py are the block's top-left within the plane; @p ox/@p oy the
+ * same within the predictor block.
+ */
+void ComputeResidual8x8(const Plane &src, const PredBlock &pred, int px,
+                        int py, int ox, int oy,
+                        Block8x8<std::int16_t> &residual,
+                        core::ExecutionContext &ctx);
+
+/**
+ * Reconstruct one 8x8 block into @p recon: predictor plus decoded
+ * residual, clamped to 8 bits.  Both encoder and decoder run this
+ * identical routine, keeping reconstruction bit-exact between them.
+ */
+void ReconstructBlock8x8(Plane &recon, const PredBlock &pred, int px,
+                         int py, int ox, int oy,
+                         const Block8x8<std::int16_t> &residual,
+                         core::ExecutionContext &ctx);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_MC_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Motion estimation (the paper's Section 7.2.2 PIM target).
+ *
+ * libvpx locates matching blocks in reference frames with the diamond
+ * search algorithm, scoring candidates by the sum of absolute
+ * differences (SAD).  Each macroblock is searched in up to three
+ * reference frames; the winning (reference, vector) pair minimizes SAD.
+ * The kernel is bandwidth-hungry: every candidate probe streams a full
+ * macroblock from the reference frame.
+ */
+
+#ifndef PIM_VIDEO_MOTION_H
+#define PIM_VIDEO_MOTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/video/frame.h"
+#include "workloads/video/subpel.h"
+
+namespace pim::video {
+
+/** Search configuration. */
+struct MotionSearchParams
+{
+    int block = kMacroblockSize; ///< Block edge (16).
+    int max_range = 32;          ///< Max displacement in pixels.
+    int initial_step = 8;        ///< Large-diamond initial step.
+};
+
+/** Result of searching one block in one or more references. */
+struct MotionResult
+{
+    MotionVector mv;    ///< Full-pel vector, stored in 1/8-pel units.
+    int ref_index = 0;  ///< Which reference frame won.
+    std::uint32_t sad = 0;
+    std::uint32_t probes = 0; ///< Candidate blocks scored.
+};
+
+/**
+ * Sum of absolute differences between the block at (x0, y0) in @p cur
+ * and the (clamped) block at (x0+dx, y0+dy) in @p ref; instrumented.
+ * The scan aborts (returning a value > @p abort_above) as soon as the
+ * partial sum exceeds @p abort_above — libvpx-style SAD pruning.
+ */
+std::uint32_t BlockSad(const Plane &cur, const Plane &ref, int x0, int y0,
+                       int dx, int dy, int block,
+                       core::ExecutionContext &ctx,
+                       std::uint32_t abort_above = 0xffffffffu);
+
+/**
+ * Diamond-search motion estimation for the block at (x0, y0) of
+ * @p cur over @p refs (up to 3 reference frames, newest first).
+ */
+MotionResult DiamondSearch(const Plane &cur,
+                           const std::vector<const Plane *> &refs, int x0,
+                           int y0, const MotionSearchParams &params,
+                           core::ExecutionContext &ctx);
+
+/**
+ * Sub-pixel refinement: starting from a full-pel result, probe the four
+ * diamond neighbors at half-, quarter-, and eighth-pel steps, scoring
+ * each candidate by the SAD of its interpolated predictor — the step
+ * that makes decoders execute the 8-tap sub-pixel interpolation path.
+ */
+MotionResult RefineSubpel(const Plane &cur, const Plane &ref, int x0,
+                          int y0, const MotionResult &start, int block,
+                          core::ExecutionContext &ctx);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_MOTION_H

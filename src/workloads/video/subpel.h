@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sub-pixel interpolation (the paper's Section 6.2.2, first video PIM
+ * target).
+ *
+ * A motion vector with 1/8-pel precision points between pixels; the
+ * predictor block is built by separable 8-tap filtering of a
+ * (bw+7) x (bh+7) reference window — the dominant source of reference-
+ * frame traffic in both the software and hardware decoders.
+ */
+
+#ifndef PIM_VIDEO_SUBPEL_H
+#define PIM_VIDEO_SUBPEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/execution_context.h"
+#include "workloads/video/filters.h"
+#include "workloads/video/frame.h"
+
+namespace pim::video {
+
+/** Motion vector in 1/8-pel units (VP9 luma precision). */
+struct MotionVector
+{
+    int row = 0; ///< Vertical displacement, 1/8-pel.
+    int col = 0; ///< Horizontal displacement, 1/8-pel.
+
+    bool IsZero() const { return row == 0 && col == 0; }
+    bool
+    IsFullPel() const
+    {
+        return (row & 7) == 0 && (col & 7) == 0;
+    }
+
+    bool
+    operator==(const MotionVector &o) const
+    {
+        return row == o.row && col == o.col;
+    }
+};
+
+/** Fixed-size output block for prediction results. */
+struct PredBlock
+{
+    int w = 0;
+    int h = 0;
+    std::vector<std::uint8_t> pixels; // row-major w*h
+
+    PredBlock(int w, int h)
+        : w(w), h(h), pixels(static_cast<std::size_t>(w) * h, 0)
+    {
+    }
+
+    std::uint8_t &
+    At(int x, int y)
+    {
+        return pixels[static_cast<std::size_t>(y) * w + x];
+    }
+    std::uint8_t
+    At(int x, int y) const
+    {
+        return pixels[static_cast<std::size_t>(y) * w + x];
+    }
+};
+
+/**
+ * Build the motion-compensated predictor for the block whose top-left
+ * is (x0, y0) in the *current* frame, displaced by @p mv into @p ref.
+ * Off-frame taps use edge clamping.  All reference reads and filter
+ * arithmetic stream through @p ctx.
+ */
+void InterpolateBlock(const Plane &ref, int x0, int y0,
+                      const MotionVector &mv, PredBlock &out,
+                      core::ExecutionContext &ctx);
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_SUBPEL_H

@@ -1,0 +1,189 @@
+#include "workloads/video/transform.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pim::video {
+
+namespace {
+
+constexpr int kN = 8;
+
+/** DCT-II basis matrix C[k][n], orthonormal scaling. */
+const double *
+DctBasis()
+{
+    static double basis[kN * kN];
+    static bool initialized = false;
+    if (!initialized) {
+        const double pi = 3.14159265358979323846;
+        for (int k = 0; k < kN; ++k) {
+            const double scale =
+                k == 0 ? std::sqrt(1.0 / kN) : std::sqrt(2.0 / kN);
+            for (int n = 0; n < kN; ++n) {
+                basis[k * kN + n] =
+                    scale * std::cos(pi * (2 * n + 1) * k / (2.0 * kN));
+            }
+        }
+        initialized = true;
+    }
+    return basis;
+}
+
+/**
+ * Account the op mix of one separable 8x8 transform (both passes),
+ * costed as a fast butterfly network (AAN-style: ~5 multiplies and
+ * ~29 additions per 8-point line), the way production codecs run it —
+ * not as dense matrix products.
+ */
+void
+CountTransformOps(core::ExecutionContext &ctx, Bytes in_bytes,
+                  Bytes out_bytes)
+{
+    auto &ops = ctx.ops();
+    ops.VectorMul(2 * kN * 5);
+    ops.VectorAlu(2 * kN * 29);
+    ops.Load((in_bytes + 15) / 16);
+    ops.Store((out_bytes + 15) / 16);
+    ops.Branch(2 * kN);
+}
+
+} // namespace
+
+int
+QuantStep(int qindex)
+{
+    PIM_ASSERT(qindex >= 0 && qindex <= 255, "qindex %d", qindex);
+    // Roughly exponential step growth, VP9-flavored: 4 at qindex 0,
+    // ~1365 at 255.
+    return 4 + qindex * qindex / 49;
+}
+
+void
+ForwardDct8x8(const Block8x8<std::int16_t> &residual,
+              Block8x8<std::int32_t> &coeffs,
+              core::ExecutionContext &ctx)
+{
+    const double *c = DctBasis();
+    double tmp[kN * kN];
+    // Rows.
+    for (int y = 0; y < kN; ++y) {
+        for (int k = 0; k < kN; ++k) {
+            double acc = 0.0;
+            for (int n = 0; n < kN; ++n) {
+                acc += c[k * kN + n] * residual[y * kN + n];
+            }
+            tmp[y * kN + k] = acc;
+        }
+    }
+    // Columns.
+    for (int x = 0; x < kN; ++x) {
+        for (int k = 0; k < kN; ++k) {
+            double acc = 0.0;
+            for (int n = 0; n < kN; ++n) {
+                acc += c[k * kN + n] * tmp[n * kN + x];
+            }
+            coeffs[k * kN + x] =
+                static_cast<std::int32_t>(std::lround(acc));
+        }
+    }
+    CountTransformOps(ctx, sizeof(residual), sizeof(coeffs));
+}
+
+void
+InverseDct8x8(const Block8x8<std::int32_t> &coeffs,
+              Block8x8<std::int16_t> &residual,
+              core::ExecutionContext &ctx)
+{
+    const double *c = DctBasis();
+    double tmp[kN * kN];
+    // Columns (inverse).
+    for (int x = 0; x < kN; ++x) {
+        for (int n = 0; n < kN; ++n) {
+            double acc = 0.0;
+            for (int k = 0; k < kN; ++k) {
+                acc += c[k * kN + n] * coeffs[k * kN + x];
+            }
+            tmp[n * kN + x] = acc;
+        }
+    }
+    // Rows (inverse).
+    for (int y = 0; y < kN; ++y) {
+        for (int n = 0; n < kN; ++n) {
+            double acc = 0.0;
+            for (int k = 0; k < kN; ++k) {
+                acc += c[k * kN + n] * tmp[y * kN + k];
+            }
+            const long v = std::lround(acc);
+            residual[y * kN + n] = static_cast<std::int16_t>(
+                v < -32768 ? -32768 : (v > 32767 ? 32767 : v));
+        }
+    }
+    CountTransformOps(ctx, sizeof(coeffs), sizeof(residual));
+}
+
+int
+QuantizeBlock(const Block8x8<std::int32_t> &coeffs, int qindex,
+              Block8x8<std::int16_t> &levels,
+              core::ExecutionContext &ctx)
+{
+    const int step = QuantStep(qindex);
+    int nonzero = 0;
+    for (int i = 0; i < 64; ++i) {
+        const int q = coeffs[i] >= 0 ? (coeffs[i] + step / 2) / step
+                                     : -((-coeffs[i] + step / 2) / step);
+        levels[i] = static_cast<std::int16_t>(q);
+        nonzero += q != 0 ? 1 : 0;
+    }
+    auto &ops = ctx.ops();
+    ops.VectorMul(64);
+    ops.VectorAlu(128);
+    ops.Load(16);
+    ops.Store(8);
+    return nonzero;
+}
+
+void
+DequantizeBlock(const Block8x8<std::int16_t> &levels, int qindex,
+                Block8x8<std::int32_t> &coeffs,
+                core::ExecutionContext &ctx)
+{
+    const int step = QuantStep(qindex);
+    for (int i = 0; i < 64; ++i) {
+        coeffs[i] = static_cast<std::int32_t>(levels[i]) * step;
+    }
+    auto &ops = ctx.ops();
+    ops.VectorMul(64);
+    ops.Load(8);
+    ops.Store(16);
+}
+
+const std::array<std::uint8_t, 64> &
+ZigZag8x8()
+{
+    static const std::array<std::uint8_t, 64> order = [] {
+        std::array<std::uint8_t, 64> o{};
+        int index = 0;
+        for (int s = 0; s < 2 * kN - 1; ++s) {
+            if (s % 2 == 0) {
+                // Walk up-right.
+                for (int y = std::min(s, kN - 1); y >= 0 && s - y < kN;
+                     --y) {
+                    o[static_cast<std::size_t>(index++)] =
+                        static_cast<std::uint8_t>(y * kN + (s - y));
+                }
+            } else {
+                for (int x = std::min(s, kN - 1); x >= 0 && s - x < kN;
+                     --x) {
+                    o[static_cast<std::size_t>(index++)] =
+                        static_cast<std::uint8_t>((s - x) * kN + x);
+                }
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+} // namespace pim::video

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Residual transform and coefficient quantization.
+ *
+ * The encoder transforms each 8x8 residual block to the frequency
+ * domain (DCT), quantizes the coefficients, and entropy-codes them; the
+ * decoder inverts the chain (inverse quantization + inverse transform,
+ * the paper's Figure 9 blocks 5-6).
+ *
+ * Substitution note: we use an exact separable DCT-II in double
+ * precision with deterministic rounding in place of VP9's fixed-point
+ * butterfly network — encoder and decoder share the identical code, so
+ * reconstruction remains bit-exact between them.
+ */
+
+#ifndef PIM_VIDEO_TRANSFORM_H
+#define PIM_VIDEO_TRANSFORM_H
+
+#include <array>
+#include <cstdint>
+
+#include "core/execution_context.h"
+
+namespace pim::video {
+
+/** One 8x8 block of residuals or coefficients. */
+template <typename T>
+using Block8x8 = std::array<T, 64>;
+
+/** Quantization step derived from a VP9-style qindex (0..255). */
+int QuantStep(int qindex);
+
+/** Forward 8x8 DCT of a residual block; instrumented. */
+void ForwardDct8x8(const Block8x8<std::int16_t> &residual,
+                   Block8x8<std::int32_t> &coeffs,
+                   core::ExecutionContext &ctx);
+
+/** Inverse 8x8 DCT back to residuals; instrumented. */
+void InverseDct8x8(const Block8x8<std::int32_t> &coeffs,
+                   Block8x8<std::int16_t> &residual,
+                   core::ExecutionContext &ctx);
+
+/**
+ * Quantize coefficients with a flat step; returns the count of nonzero
+ * quantized levels (0 means the block is skippable).
+ */
+int QuantizeBlock(const Block8x8<std::int32_t> &coeffs, int qindex,
+                  Block8x8<std::int16_t> &levels,
+                  core::ExecutionContext &ctx);
+
+/** Inverse quantization (levels -> reconstructed coefficients). */
+void DequantizeBlock(const Block8x8<std::int16_t> &levels, int qindex,
+                     Block8x8<std::int32_t> &coeffs,
+                     core::ExecutionContext &ctx);
+
+/** Zig-zag scan order for 8x8 blocks (row, col) -> scan position. */
+const std::array<std::uint8_t, 64> &ZigZag8x8();
+
+} // namespace pim::video
+
+#endif // PIM_VIDEO_TRANSFORM_H

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the Skia-style color blitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/execution_context.h"
+#include "workloads/browser/color_blitter.h"
+
+namespace pim::browser {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+TEST(PixelOps, PackUnpackRoundTrip)
+{
+    const std::uint32_t p = MakePixel(1, 2, 3, 4);
+    EXPECT_EQ(PixelR(p), 1);
+    EXPECT_EQ(PixelG(p), 2);
+    EXPECT_EQ(PixelB(p), 3);
+    EXPECT_EQ(PixelA(p), 4);
+}
+
+TEST(PixelOps, SrcOverOpaqueReplacesDst)
+{
+    const std::uint32_t dst = MakePixel(10, 20, 30, 255);
+    const std::uint32_t src = MakePixel(100, 110, 120, 255);
+    EXPECT_EQ(SrcOverPixel(dst, src), src);
+}
+
+TEST(PixelOps, SrcOverTransparentKeepsDst)
+{
+    const std::uint32_t dst = MakePixel(10, 20, 30, 255);
+    const std::uint32_t src = MakePixel(100, 110, 120, 0);
+    EXPECT_EQ(SrcOverPixel(dst, src), dst);
+}
+
+TEST(PixelOps, SrcOverHalfAlphaBlends)
+{
+    const std::uint32_t dst = MakePixel(0, 0, 0, 255);
+    const std::uint32_t src = MakePixel(200, 100, 50, 128);
+    const std::uint32_t out = SrcOverPixel(dst, src);
+    // Roughly half the source contribution.
+    EXPECT_NEAR(PixelR(out), 100, 2);
+    EXPECT_NEAR(PixelG(out), 50, 2);
+    EXPECT_NEAR(PixelB(out), 25, 2);
+    EXPECT_EQ(PixelA(out), 255);
+}
+
+TEST(Blitter, FillRectSetsExactRegion)
+{
+    Bitmap bmp(32, 32, MakePixel(0, 0, 0, 255));
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter blitter(bmp, ctx);
+
+    const std::uint32_t red = MakePixel(255, 0, 0, 255);
+    blitter.FillRect({4, 5, 10, 8}, red);
+
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            const bool inside = x >= 4 && x < 14 && y >= 5 && y < 13;
+            ASSERT_EQ(bmp.At(x, y) == red, inside)
+                << "(" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(Blitter, FillRectClipsToBitmap)
+{
+    Bitmap bmp(16, 16, 0);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter blitter(bmp, ctx);
+    // Entirely off-screen and partially off-screen fills must not crash.
+    blitter.FillRect({-100, -100, 10, 10}, 0xff);
+    blitter.FillRect({12, 12, 100, 100}, 0xff);
+    EXPECT_EQ(bmp.At(15, 15), 0xffu);
+    EXPECT_EQ(bmp.At(11, 11), 0u);
+}
+
+TEST(Blitter, BlitCopyMatchesSource)
+{
+    Rng rng(5);
+    Bitmap src(8, 8);
+    src.Randomize(rng);
+    Bitmap dst(32, 32, 0);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter blitter(dst, ctx);
+    blitter.BlitCopy(src, 10, 12);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            ASSERT_EQ(dst.At(10 + x, 12 + y), src.At(x, y));
+        }
+    }
+}
+
+TEST(Blitter, OpaqueSrcOverEqualsCopy)
+{
+    // Property: srcover with all-opaque source == plain copy.
+    Rng rng(6);
+    Bitmap src(16, 16);
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            src.At(x, y) = MakePixel(rng.NextByte(), rng.NextByte(),
+                                     rng.NextByte(), 255);
+        }
+    }
+    Bitmap a(32, 32, 0x12345678);
+    Bitmap b(32, 32, 0x12345678);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter ba(a, ctx);
+    ColorBlitter bb(b, ctx);
+    ba.BlitSrcOver(src, 3, 4);
+    bb.BlitCopy(src, 3, 4);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            ASSERT_EQ(a.At(x, y), b.At(x, y));
+        }
+    }
+}
+
+TEST(Blitter, DrawTextRunCoversArea)
+{
+    Bitmap bmp(128, 64, MakePixel(255, 255, 255, 255));
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter blitter(bmp, ctx);
+    const int glyphs = blitter.DrawTextRun({0, 0, 128, 64}, 8, 12,
+                                           MakePixel(0, 0, 0, 255));
+    // 128/(8+1) = 14 glyphs per line, 64/(12+6) = 3 lines.
+    EXPECT_EQ(glyphs, 14 * 3);
+    // Text pixels actually changed.
+    EXPECT_EQ(bmp.At(0, 0), MakePixel(0, 0, 0, 255));
+}
+
+TEST(Blitter, TrafficScalesWithArea)
+{
+    Bitmap bmp(256, 256, 0);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ColorBlitter blitter(bmp, ctx);
+    blitter.FillRect({0, 0, 256, 128}, 0xff);
+    const Bytes half = ctx.mem().bytes_written();
+    blitter.FillRect({0, 128, 256, 128}, 0xff);
+    EXPECT_EQ(ctx.mem().bytes_written(), 2 * half);
+    EXPECT_EQ(half, 256u * 128u * 4u);
+}
+
+/** Parameterized: paper's Figure 18 shape holds across bitmap sizes. */
+class BlitterPimTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BlitterPimTest, PimReducesEnergyForBlending)
+{
+    const int size = GetParam();
+    const auto run = [&](ExecutionTarget target) {
+        Bitmap bmp(size, size, 0x80808080);
+        ExecutionContext ctx(target);
+        ColorBlitter blitter(bmp, ctx);
+        blitter.BlendRect({0, 0, size, size},
+                          MakePixel(200, 100, 50, 128));
+        return ctx.Report("color-blitting");
+    };
+    const auto cpu = run(ExecutionTarget::kCpuOnly);
+    const auto pim = run(ExecutionTarget::kPimCore);
+    EXPECT_LT(pim.TotalEnergyPj(), cpu.TotalEnergyPj());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlitterPimTest,
+                         ::testing::Values(32, 64, 256, 1024));
+
+} // namespace
+} // namespace pim::browser

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration tests for the browser interaction drivers: page scrolling
+ * (Figures 1/2) and tab switching (Figure 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/browser/scroll_sim.h"
+#include "workloads/browser/tab_switch.h"
+#include "workloads/browser/webpage.h"
+
+namespace pim::browser {
+namespace {
+
+TEST(Webpage, SixProfilesMatchThePaper)
+{
+    const auto profiles = AllPageProfiles();
+    ASSERT_EQ(profiles.size(), 6u);
+    EXPECT_EQ(profiles[0].name, "GoogleDocs");
+    EXPECT_EQ(profiles[5].name, "Animation");
+    for (const auto &p : profiles) {
+        EXPECT_GT(p.scroll_frames, 0);
+        EXPECT_GT(p.new_content_per_frame, 0.0);
+        EXPECT_NEAR(p.text_fraction + p.image_fraction + p.fill_fraction,
+                    1.0, 0.05)
+            << p.name;
+    }
+}
+
+TEST(ScrollSim, BreakdownIsComplete)
+{
+    const ScrollResult r = SimulateScroll(GoogleDocsProfile());
+    EXPECT_GT(r.TotalEnergy(), 0.0);
+    EXPECT_GT(r.TotalTime(), 0.0);
+    EXPECT_GT(r.tiling_energy.Total(), 0.0);
+    EXPECT_GT(r.blitting_energy.Total(), 0.0);
+    EXPECT_GT(r.other_energy.Total(), 0.0);
+    // Fractions sum to one by construction.
+    EXPECT_NEAR(r.TilingFraction() + r.BlittingFraction() +
+                    r.other_energy.Total() / r.TotalEnergy(),
+                1.0, 1e-9);
+}
+
+TEST(ScrollSim, KernelsAreSignificantButNotEverything)
+{
+    // Paper Figure 1: tiling + blitting average 41.9% of scroll energy.
+    double kernel_fraction_sum = 0.0;
+    for (const auto &profile : AllPageProfiles()) {
+        const ScrollResult r = SimulateScroll(profile);
+        const double kernels =
+            r.TilingFraction() + r.BlittingFraction();
+        EXPECT_GT(kernels, 0.15) << profile.name;
+        EXPECT_LT(kernels, 0.75) << profile.name;
+        kernel_fraction_sum += kernels;
+    }
+    const double avg = kernel_fraction_sum / 6.0;
+    EXPECT_GT(avg, 0.30);
+    EXPECT_LT(avg, 0.55);
+}
+
+TEST(ScrollSim, AnimationTilesMoreThanDocs)
+{
+    // The animation-heavy page repaints nearly the full screen per
+    // frame, so its tiling share must exceed the text document's.
+    const ScrollResult docs = SimulateScroll(GoogleDocsProfile());
+    const ScrollResult anim = SimulateScroll(AnimationProfile());
+    EXPECT_GT(anim.TilingFraction(), docs.TilingFraction());
+}
+
+TEST(ScrollSim, WholeInteractionIsMemoryIntensive)
+{
+    // Paper Section 4.2.1: pages average MPKI ~21.
+    const ScrollResult r = SimulateScroll(GoogleDocsProfile());
+    EXPECT_GT(r.Mpki(), 5.0);
+}
+
+TEST(ScrollSim, OffloadingKernelsReducesTotalEnergy)
+{
+    const ScrollResult host = SimulateScroll(GoogleDocsProfile(), false);
+    const ScrollResult pim = SimulateScroll(GoogleDocsProfile(), true);
+    EXPECT_LT(pim.tiling_energy.Total() + pim.blitting_energy.Total(),
+              host.tiling_energy.Total() + host.blitting_energy.Total());
+    EXPECT_LT(pim.TotalEnergy(), host.TotalEnergy());
+}
+
+TabSwitchConfig
+SmallTabConfig()
+{
+    TabSwitchConfig cfg;
+    cfg.tabs = 8;
+    cfg.min_tab_bytes = 32_KiB;
+    cfg.max_tab_bytes = 64_KiB;
+    cfg.memory_budget = 128_KiB;
+    cfg.passes = 2;
+    return cfg;
+}
+
+TEST(TabSwitch, MemoryPressureForcesSwapping)
+{
+    const TabSwitchResult r = SimulateTabSwitching(SmallTabConfig());
+    EXPECT_GT(r.total_swapped_out, 0u);
+    EXPECT_GT(r.total_swapped_in, 0u);
+    // Second pass revisits compressed tabs, so everything swapped in
+    // was previously swapped out.
+    EXPECT_LE(r.total_swapped_in, r.total_swapped_out);
+    EXPECT_GT(r.compression_ratio, 1.5);
+    EXPECT_LT(r.compression_ratio, 8.0);
+}
+
+TEST(TabSwitch, SeriesCoverTheRun)
+{
+    const TabSwitchConfig cfg = SmallTabConfig();
+    const TabSwitchResult r = SimulateTabSwitching(cfg);
+    const auto expected_bins = static_cast<std::size_t>(
+                                   cfg.tabs * cfg.passes *
+                                   cfg.dwell_seconds) +
+                               1;
+    EXPECT_EQ(r.swap_out_mb_per_s.size(), expected_bins);
+    EXPECT_EQ(r.swap_in_mb_per_s.size(), expected_bins);
+
+    double out_total = 0.0;
+    for (const double mb : r.swap_out_mb_per_s) {
+        out_total += mb;
+    }
+    EXPECT_NEAR(out_total, r.total_swapped_out / 1.0e6, 0.01);
+}
+
+TEST(TabSwitch, CompressionIsMinorityOfEnergyAndTime)
+{
+    // Paper Section 4.3.1: compression contributes 18.1% of energy and
+    // 14.2% of execution time during tab switching.
+    const TabSwitchResult r = SimulateTabSwitching(SmallTabConfig());
+    EXPECT_GT(r.CompressionEnergyFraction(), 0.03);
+    EXPECT_LT(r.CompressionEnergyFraction(), 0.50);
+    EXPECT_GT(r.CompressionTimeFraction(), 0.03);
+    EXPECT_LT(r.CompressionTimeFraction(), 0.50);
+}
+
+TEST(TabSwitch, PimCompressionCutsCompressionEnergy)
+{
+    const TabSwitchResult cpu = SimulateTabSwitching(
+        SmallTabConfig(), core::ExecutionTarget::kCpuOnly);
+    const TabSwitchResult pim = SimulateTabSwitching(
+        SmallTabConfig(), core::ExecutionTarget::kPimCore);
+    EXPECT_LT(pim.compression_energy.Total(),
+              cpu.compression_energy.Total());
+}
+
+} // namespace
+} // namespace pim::browser

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Parameterized sweeps over the video codec: quantizer/quality
+ * trade-off, resolution coverage, chroma fidelity, entropy-coder
+ * robustness, and the offload policy of the inference driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workloads/ml/inference.h"
+#include "workloads/video/decoder.h"
+#include "workloads/video/encoder.h"
+#include "workloads/video/entropy.h"
+#include "workloads/video/mc.h"
+#include "workloads/video/video_gen.h"
+
+namespace pim::video {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+struct CodecRun
+{
+    double psnr = 0.0;
+    std::size_t bits = 0;
+};
+
+CodecRun
+RunCodec(int qindex, int width = 128, int height = 64, int frames = 3)
+{
+    VideoGenConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    cfg.objects = 2;
+    VideoGenerator gen(cfg);
+
+    CodecConfig codec;
+    codec.qindex = qindex;
+    Vp9Encoder encoder(width, height, codec);
+    Vp9Decoder decoder(codec);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    CodecRun run;
+    for (int i = 0; i < frames; ++i) {
+        const Frame src = gen.NextFrame();
+        const auto enc = encoder.EncodeFrame(src, ctx);
+        const Frame out = decoder.DecodeFrame(enc.bitstream, ctx);
+        run.bits += enc.bitstream.size();
+        run.psnr += Psnr(src.y, out.y);
+    }
+    run.psnr /= frames;
+    return run;
+}
+
+TEST(CodecSweep, CoarserQuantizerShrinksBitstream)
+{
+    const CodecRun fine = RunCodec(20);
+    const CodecRun mid = RunCodec(60);
+    const CodecRun coarse = RunCodec(120);
+    EXPECT_GT(fine.bits, mid.bits);
+    EXPECT_GT(mid.bits, coarse.bits);
+}
+
+TEST(CodecSweep, FinerQuantizerImprovesQuality)
+{
+    const CodecRun fine = RunCodec(20);
+    const CodecRun coarse = RunCodec(120);
+    EXPECT_GT(fine.psnr, coarse.psnr);
+    EXPECT_GT(fine.psnr, 30.0);
+}
+
+/** Resolution coverage: the pipeline works at any MB-aligned size. */
+class CodecResolutionTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(CodecResolutionTest, BitExactReconstruction)
+{
+    const auto [w, h] = GetParam();
+    VideoGenConfig cfg;
+    cfg.width = w;
+    cfg.height = h;
+    VideoGenerator gen(cfg);
+    Vp9Encoder encoder(w, h);
+    Vp9Decoder decoder;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    for (int i = 0; i < 2; ++i) {
+        const Frame src = gen.NextFrame();
+        const auto enc = encoder.EncodeFrame(src, ctx);
+        const Frame out = decoder.DecodeFrame(enc.bitstream, ctx);
+        ASSERT_EQ(MeanAbsDiff(out.y, encoder.last_reconstruction().y),
+                  0.0);
+        ASSERT_EQ(out.width, w);
+        ASSERT_EQ(out.height, h);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CodecResolutionTest,
+    ::testing::Values(std::make_pair(16, 16), std::make_pair(64, 32),
+                      std::make_pair(160, 96), std::make_pair(256, 144)));
+
+TEST(CodecSweep, ChromaSurvivesTranscoding)
+{
+    VideoGenConfig cfg;
+    cfg.width = 96;
+    cfg.height = 64;
+    VideoGenerator gen(cfg);
+    Vp9Encoder encoder(96, 64);
+    Vp9Decoder decoder;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    const Frame src = gen.NextFrame();
+    const auto enc = encoder.EncodeFrame(src, ctx);
+    const Frame out = decoder.DecodeFrame(enc.bitstream, ctx);
+    // Chroma planes are smooth gradients: they should code well.
+    EXPECT_GT(Psnr(src.u, out.u), 30.0);
+    EXPECT_GT(Psnr(src.v, out.v), 30.0);
+}
+
+TEST(CodecSweep, StillSceneCodesToAlmostNothing)
+{
+    // A static scene's inter frames should be a small fraction of the
+    // key frame: everything predicts with zero MVs and zero residual.
+    VideoGenConfig cfg;
+    cfg.width = 128;
+    cfg.height = 64;
+    cfg.objects = 0;
+    cfg.background_pan = 0.0;
+    cfg.noise_amplitude = 0;
+    VideoGenerator gen(cfg);
+    Vp9Encoder encoder(128, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    const auto key = encoder.EncodeFrame(gen.NextFrame(), ctx);
+    const auto inter = encoder.EncodeFrame(gen.NextFrame(), ctx);
+    EXPECT_LT(inter.bitstream.size(), key.bitstream.size() / 2);
+    // ~4 bytes per macroblock: zero MV + empty coefficient blocks.
+    const std::size_t mbs = (128 / 16) * (64 / 16);
+    EXPECT_LE(inter.bitstream.size(), mbs * 4);
+}
+
+TEST(IntraModes, VerticalPredictorCopiesTopRow)
+{
+    Plane recon(32, 32, 0);
+    for (int x = 0; x < 32; ++x) {
+        recon.At(x, 7) = static_cast<std::uint8_t>(x * 3);
+    }
+    PredBlock pred(16, 16);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    IntraPredict(recon, 8, 8, IntraMode::kVertical, pred, ctx);
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            ASSERT_EQ(pred.At(x, y), recon.At(8 + x, 7));
+        }
+    }
+}
+
+TEST(IntraModes, HorizontalPredictorCopiesLeftColumn)
+{
+    Plane recon(32, 32, 0);
+    for (int y = 0; y < 32; ++y) {
+        recon.At(7, y) = static_cast<std::uint8_t>(200 - y);
+    }
+    PredBlock pred(8, 8);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    IntraPredict(recon, 8, 8, IntraMode::kHorizontal, pred, ctx);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            ASSERT_EQ(pred.At(x, y), recon.At(7, 8 + y));
+        }
+    }
+}
+
+TEST(IntraModes, DirectionalModesFallBackToDcAtBorders)
+{
+    Plane recon(32, 32, 77);
+    PredBlock pred(8, 8);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    // At (0, 0) neither reference exists: DC fallback yields 128.
+    IntraPredict(recon, 0, 0, IntraMode::kHorizontal, pred, ctx);
+    EXPECT_EQ(pred.At(3, 3), 128);
+    IntraPredict(recon, 0, 0, IntraMode::kVertical, pred, ctx);
+    EXPECT_EQ(pred.At(3, 3), 128);
+}
+
+TEST(IntraModes, ModeDecisionPrefersMatchingDirection)
+{
+    // Source continues vertical stripes downward: V must win.
+    Plane src(32, 32);
+    Plane recon(32, 32);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            const std::uint8_t stripe = x % 2 ? 200 : 40;
+            src.At(x, y) = stripe;
+            recon.At(x, y) = stripe;
+        }
+    }
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    EXPECT_EQ(ChooseIntraMode(src, recon, 8, 8, 16, 16, ctx),
+              IntraMode::kVertical);
+
+    // Horizontal stripes: H must win.
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            const std::uint8_t stripe = y % 2 ? 200 : 40;
+            src.At(x, y) = stripe;
+            recon.At(x, y) = stripe;
+        }
+    }
+    EXPECT_EQ(ChooseIntraMode(src, recon, 8, 8, 16, 16, ctx),
+              IntraMode::kHorizontal);
+}
+
+TEST(IntraModes, StripedKeyFrameCodesBetterWithDirectionalModes)
+{
+    // A vertically striped frame is perfectly V-predictable after the
+    // first macroblock row: the key frame should stay small.
+    Frame frame(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            frame.y.At(x, y) = x % 2 ? 180 : 60;
+        }
+    }
+    Vp9Encoder encoder(64, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const auto enc = encoder.EncodeFrame(frame, ctx);
+    EXPECT_GT(Psnr(frame.y, encoder.last_reconstruction().y), 30.0);
+
+    // And it decodes bit-exactly as always.
+    Vp9Decoder decoder;
+    const Frame out = decoder.DecodeFrame(enc.bitstream, ctx);
+    EXPECT_EQ(MeanAbsDiff(out.y, encoder.last_reconstruction().y), 0.0);
+}
+
+TEST(EntropyRobustness, TruncatedStreamDies)
+{
+    // A malformed (truncated) stream must be caught by the reader's
+    // invariants, not read out of bounds.
+    BitWriter w;
+    w.PutUe(4096);
+    auto bytes = w.Finish();
+    bytes.resize(bytes.size() / 2);
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_DEATH((void)r.GetUe(), "overrun");
+}
+
+TEST(EntropyRobustness, RandomValueRoundTripSweep)
+{
+    Rng rng(99);
+    BitWriter w;
+    std::vector<std::uint32_t> ue_values;
+    std::vector<std::int32_t> se_values;
+    for (int i = 0; i < 500; ++i) {
+        const auto ue = static_cast<std::uint32_t>(
+            rng.Next64() % (1u << (1 + rng.Below(20))));
+        ue_values.push_back(ue);
+        w.PutUe(ue);
+        const auto se = static_cast<std::int32_t>(
+            rng.Range(-1000000, 1000000));
+        se_values.push_back(se);
+        w.PutSe(se);
+    }
+    const auto bytes = w.Finish();
+    BitReader r(bytes.data(), bytes.size());
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_EQ(r.GetUe(), ue_values[static_cast<std::size_t>(i)]);
+        ASSERT_EQ(r.GetSe(), se_values[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(CodecSweep, DecoderRequiresReferenceForInterFrames)
+{
+    // Feeding an inter frame to a fresh decoder must be rejected.
+    VideoGenConfig cfg;
+    cfg.width = 64;
+    cfg.height = 32;
+    VideoGenerator gen(cfg);
+    Vp9Encoder encoder(64, 32);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    encoder.EncodeFrame(gen.NextFrame(), ctx);
+    const auto inter = encoder.EncodeFrame(gen.NextFrame(), ctx);
+    ASSERT_FALSE(inter.key_frame);
+
+    Vp9Decoder fresh;
+    EXPECT_DEATH((void)fresh.DecodeFrame(inter.bitstream, ctx),
+                 "reference");
+}
+
+} // namespace
+} // namespace pim::video
+
+namespace pim::ml {
+namespace {
+
+TEST(OffloadPolicy, SmallLayersStayOnHost)
+{
+    // With an enormous threshold nothing offloads: the PIM run must
+    // be identical to the host run.
+    NetworkSpec net;
+    net.name = "policy";
+    net.layers = {{"conv", 16, 16, 8, 8, 3, 1, 2}};
+    EvalScale scale{1.0, 1.0, 4, /*min_offload_bytes=*/1_GiB};
+
+    const auto host = RunInference(net, scale,
+                                   core::ExecutionTarget::kCpuOnly);
+    const auto pim = RunInference(net, scale,
+                                  core::ExecutionTarget::kPimAccel);
+    EXPECT_DOUBLE_EQ(pim.TotalEnergy(), host.TotalEnergy());
+}
+
+TEST(OffloadPolicy, LargeLayersOffload)
+{
+    NetworkSpec net;
+    net.name = "policy";
+    net.layers = {{"conv", 64, 64, 64, 64, 3, 1, 1}};
+    EvalScale scale{1.0, 1.0, 4, /*min_offload_bytes=*/1_KiB};
+
+    const auto host = RunInference(net, scale,
+                                   core::ExecutionTarget::kCpuOnly);
+    const auto pim = RunInference(net, scale,
+                                  core::ExecutionTarget::kPimAccel);
+    EXPECT_LT(pim.packing.energy.Total() +
+                  pim.quantization.energy.Total(),
+              host.packing.energy.Total() +
+                  host.quantization.energy.Total());
+}
+
+} // namespace
+} // namespace pim::ml

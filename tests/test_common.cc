@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for src/common: types, RNG, stats, tables, buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace pim {
+namespace {
+
+TEST(Types, UnitLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Types, LineAlign)
+{
+    EXPECT_EQ(LineAlign(0), 0u);
+    EXPECT_EQ(LineAlign(63), 0u);
+    EXPECT_EQ(LineAlign(64), 64u);
+    EXPECT_EQ(LineAlign(130), 128u);
+}
+
+TEST(Types, LinesSpanned)
+{
+    EXPECT_EQ(LinesSpanned(0, 0), 0u);
+    EXPECT_EQ(LinesSpanned(0, 1), 1u);
+    EXPECT_EQ(LinesSpanned(0, 64), 1u);
+    EXPECT_EQ(LinesSpanned(0, 65), 2u);
+    EXPECT_EQ(LinesSpanned(63, 2), 2u);
+    EXPECT_EQ(LinesSpanned(64, 64), 1u);
+    EXPECT_EQ(LinesSpanned(10, 128), 3u);
+}
+
+TEST(Types, CyclesToNs)
+{
+    EXPECT_DOUBLE_EQ(CyclesToNs(2000, 2.0), 1000.0);
+    EXPECT_DOUBLE_EQ(CyclesToNs(0, 1.0), 0.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Next64(), b.Next64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.Next64() == b.Next64() ? 1 : 0;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.Range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.NextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        hits += rng.Chance(0.25) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(Counter, AddAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.Add();
+    c.Add(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.Reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,..]
+    h.Sample(0.0);
+    h.Sample(9.9);
+    h.Sample(15.0);
+    h.Sample(100.0); // clamps into last bin
+    h.Sample(-5.0);  // clamps to 0
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 3u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, MeanUsesBinCenters)
+{
+    Histogram h(10, 1.0);
+    h.Sample(2.1); // bin 2, center 2.5
+    h.Sample(2.4);
+    EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+}
+
+TEST(StatGroup, SetAccumulateGet)
+{
+    StatGroup g;
+    g.Set("x", 1.5);
+    g.Accumulate("x", 2.5);
+    EXPECT_DOUBLE_EQ(g.Get("x"), 4.0);
+    EXPECT_TRUE(g.Has("x"));
+    EXPECT_FALSE(g.Has("y"));
+}
+
+TEST(Table, TextOutputHasHeaderAndRows)
+{
+    Table t("Demo");
+    t.SetHeader({"name", "value"});
+    t.AddRow({"alpha", Table::Num(1.234, 2)});
+    t.AddRow({"beta", Table::Pct(0.5)});
+    const std::string text = t.ToText();
+    EXPECT_NE(text.find("Demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.23"), std::string::npos);
+    EXPECT_NE(text.find("50.0%"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("T");
+    t.SetHeader({"a", "b"});
+    t.AddRow({"1", "2"});
+    EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(SimBuffer, DisjointAddressRanges)
+{
+    SimBuffer<std::uint8_t> a(100);
+    SimBuffer<std::uint8_t> b(100);
+    // Ranges must not overlap.
+    const bool disjoint = a.sim_base() + 100 <= b.sim_base() ||
+                          b.sim_base() + 100 <= a.sim_base();
+    EXPECT_TRUE(disjoint);
+}
+
+TEST(SimBuffer, SimAddrScalesWithElementSize)
+{
+    SimBuffer<std::uint32_t> buf(16);
+    EXPECT_EQ(buf.SimAddr(0), buf.sim_base());
+    EXPECT_EQ(buf.SimAddr(4), buf.sim_base() + 16);
+    EXPECT_EQ(buf.size_bytes(), 64u);
+}
+
+TEST(SimBuffer, LineAlignedBase)
+{
+    SimBuffer<std::uint8_t> buf(10);
+    EXPECT_EQ(buf.sim_base() % kCacheLineBytes, 0u);
+}
+
+} // namespace
+} // namespace pim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the energy and timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.h"
+#include "sim/timing_model.h"
+
+namespace pim::sim {
+namespace {
+
+PerfCounters
+MakeCounters(std::uint64_t l1_acc, std::uint64_t llc_acc,
+             Bytes dram_bytes)
+{
+    PerfCounters pc;
+    pc.l1.read_hits = l1_acc;
+    pc.has_llc = true;
+    pc.llc.read_hits = llc_acc;
+    pc.dram.read_requests = dram_bytes / 64;
+    pc.dram.read_bytes = dram_bytes;
+    return pc;
+}
+
+TEST(EnergyBreakdown, TotalAndMovement)
+{
+    EnergyBreakdown e;
+    e.compute = 10;
+    e.l1 = 20;
+    e.llc = 30;
+    e.interconnect = 5;
+    e.memctrl = 5;
+    e.dram = 30;
+    EXPECT_DOUBLE_EQ(e.Total(), 100.0);
+    EXPECT_DOUBLE_EQ(e.DataMovement(), 90.0);
+    EXPECT_DOUBLE_EQ(e.DataMovementFraction(), 0.9);
+}
+
+TEST(EnergyBreakdown, AdditionComposes)
+{
+    EnergyBreakdown a;
+    a.compute = 1;
+    a.dram = 2;
+    EnergyBreakdown b;
+    b.compute = 3;
+    b.llc = 4;
+    const EnergyBreakdown c = a + b;
+    EXPECT_DOUBLE_EQ(c.compute, 4.0);
+    EXPECT_DOUBLE_EQ(c.dram, 2.0);
+    EXPECT_DOUBLE_EQ(c.llc, 4.0);
+}
+
+TEST(EnergyModel, ScalesWithCounters)
+{
+    EnergyModel model;
+    const DramConfig dram = Lpddr3Config();
+
+    const EnergyBreakdown e1 =
+        model.MemoryEnergy(MakeCounters(100, 10, 6400), dram);
+    const EnergyBreakdown e2 =
+        model.MemoryEnergy(MakeCounters(200, 20, 12800), dram);
+    EXPECT_DOUBLE_EQ(e2.l1, 2 * e1.l1);
+    EXPECT_DOUBLE_EQ(e2.llc, 2 * e1.llc);
+    EXPECT_DOUBLE_EQ(e2.dram, 2 * e1.dram);
+    EXPECT_DOUBLE_EQ(e2.interconnect, 2 * e1.interconnect);
+}
+
+TEST(EnergyModel, OffchipPathDominatesPerByte)
+{
+    EnergyModel model;
+    // 1 MiB over LPDDR3 vs over the in-stack path.
+    const auto pc = MakeCounters(0, 0, 1_MiB);
+    const EnergyBreakdown off = model.MemoryEnergy(pc, Lpddr3Config());
+    const EnergyBreakdown in =
+        model.MemoryEnergy(pc, StackedInternalConfig());
+    EXPECT_GT(off.Total(), 2.5 * in.Total());
+}
+
+TEST(EnergyModel, WritebacksAreCharged)
+{
+    EnergyModel model;
+    PerfCounters pc;
+    pc.l1.read_hits = 10;
+    pc.l1.writebacks = 5;
+    const EnergyBreakdown e = model.MemoryEnergy(pc, Lpddr3Config());
+    EXPECT_DOUBLE_EQ(e.l1, model.rates().l1_per_access * 15);
+}
+
+TEST(Timing, TakesBindingConstraint)
+{
+    const DramConfig dram = Lpddr3Config();
+    MemTimingParams mem;
+    mem.mlp = 4.0;
+    mem.llc_hit_latency_ns = 10.0;
+
+    PerfCounters pc;
+    pc.has_llc = true;
+    pc.llc.read_hits = 100;     // 100 * 10ns / 4 = 250 ns latency term
+    pc.dram.read_requests = 10; // 10 * 120 / 4 = 300 ns
+    pc.dram.read_bytes = 640;   // 640 B / 32 GBps = 20 ns
+
+    const TimingResult t = EvaluateTiming(100.0, pc, dram, mem);
+    EXPECT_DOUBLE_EQ(t.issue_ns, 100.0);
+    EXPECT_DOUBLE_EQ(t.memory_ns, 550.0);
+    EXPECT_DOUBLE_EQ(t.bandwidth_ns, 20.0);
+    EXPECT_DOUBLE_EQ(t.Total(), 550.0);
+    EXPECT_STREQ(t.Bound(), "latency");
+}
+
+TEST(Timing, BandwidthBound)
+{
+    const DramConfig dram = Lpddr3Config();
+    MemTimingParams mem;
+    mem.mlp = 100.0; // latency fully hidden
+
+    PerfCounters pc;
+    pc.dram.read_requests = 1;
+    pc.dram.read_bytes = 3200000; // 100 us at 32 GB/s
+
+    const TimingResult t = EvaluateTiming(10.0, pc, dram, mem);
+    EXPECT_STREQ(t.Bound(), "bandwidth");
+    EXPECT_NEAR(t.Total(), 100000.0, 1.0);
+}
+
+TEST(Timing, IssueBound)
+{
+    const DramConfig dram = StackedInternalConfig();
+    const TimingResult t =
+        EvaluateTiming(5000.0, PerfCounters{}, dram, MemTimingParams{});
+    EXPECT_STREQ(t.Bound(), "issue");
+    EXPECT_DOUBLE_EQ(t.Total(), 5000.0);
+}
+
+TEST(Timing, HigherBandwidthNeverSlower)
+{
+    PerfCounters pc;
+    pc.dram.read_requests = 1000;
+    pc.dram.read_bytes = 64000;
+    MemTimingParams mem;
+    const TimingResult off =
+        EvaluateTiming(100.0, pc, Lpddr3Config(), mem);
+    const TimingResult in =
+        EvaluateTiming(100.0, pc, StackedInternalConfig(), mem);
+    EXPECT_LE(in.Total(), off.Total());
+}
+
+} // namespace
+} // namespace pim::sim

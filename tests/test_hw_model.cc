@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the VP9 hardware codec traffic/energy model
+ * (paper Figures 12, 16, 21).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/video/hw_model.h"
+
+namespace pim::video {
+namespace {
+
+TEST(HwDecoder, ReferenceFrameDominatesTraffic)
+{
+    for (const auto res : {HwResolution::kHd, HwResolution::k4k}) {
+        const auto t = HwDecoderTraffic(res, /*compression=*/false);
+        EXPECT_GT(t.ReferenceShare(), 0.55);
+        EXPECT_GT(t.reconstructed_frame, 0.0);
+        EXPECT_DOUBLE_EQ(t.compression_info, 0.0);
+        EXPECT_DOUBLE_EQ(t.current_frame, 0.0); // decoder has no camera
+    }
+}
+
+TEST(HwDecoder, PaperFigure12Shares)
+{
+    // 4K, no compression: reference ~59.6% of traffic (Section 6.3.1).
+    const auto t4k = HwDecoderTraffic(HwResolution::k4k, false);
+    EXPECT_NEAR(t4k.ReferenceShare(), 0.596, 0.03);
+    // HD, no compression: ~75.5%.
+    const auto thd = HwDecoderTraffic(HwResolution::kHd, false);
+    EXPECT_NEAR(thd.ReferenceShare(), 0.755, 0.03);
+    // With compression the share drops but stays significant
+    // (48.8% at 4K, 62.2% at HD).
+    const auto c4k = HwDecoderTraffic(HwResolution::k4k, true);
+    EXPECT_NEAR(c4k.ReferenceShare(), 0.488, 0.04);
+    const auto chd = HwDecoderTraffic(HwResolution::kHd, true);
+    EXPECT_NEAR(chd.ReferenceShare(), 0.622, 0.04);
+}
+
+TEST(HwDecoder, CompressionReducesTotalTraffic)
+{
+    for (const auto res : {HwResolution::kHd, HwResolution::k4k}) {
+        const auto plain = HwDecoderTraffic(res, false);
+        const auto comp = HwDecoderTraffic(res, true);
+        EXPECT_LT(comp.Total(), plain.Total());
+        EXPECT_LT(comp.reference_frame, plain.reference_frame);
+        EXPECT_GT(comp.compression_info, 0.0);
+    }
+}
+
+TEST(HwDecoder, FourKMovesMoreThanHd)
+{
+    const auto hd = HwDecoderTraffic(HwResolution::kHd, false);
+    const auto k4 = HwDecoderTraffic(HwResolution::k4k, false);
+    EXPECT_GT(k4.Total(), 3.0 * hd.Total());
+    // Absolute scale sanity: tens of MB per 4K frame.
+    EXPECT_GT(k4.Total(), 25.0);
+    EXPECT_LT(k4.Total(), 60.0);
+}
+
+TEST(HwEncoder, PaperFigure16Shares)
+{
+    // HD, no compression: reference ~65.1%, current frame ~14.2%,
+    // reconstructed ~12.4% (Section 7.3.1).
+    const auto t = HwEncoderTraffic(HwResolution::kHd, false);
+    EXPECT_NEAR(t.reference_frame / t.Total(), 0.651, 0.03);
+    EXPECT_NEAR(t.current_frame / t.Total(), 0.142, 0.03);
+    EXPECT_NEAR(t.reconstructed_frame / t.Total(), 0.124, 0.03);
+}
+
+TEST(HwEncoder, CompressionShiftsShareToCurrentFrame)
+{
+    const auto plain = HwEncoderTraffic(HwResolution::kHd, false);
+    const auto comp = HwEncoderTraffic(HwResolution::kHd, true);
+    // The raw camera frame cannot be compressed, so its share grows.
+    EXPECT_GT(comp.current_frame / comp.Total(),
+              plain.current_frame / plain.Total());
+    // Paper: compression removes ~59.7% of the reference stream.
+    EXPECT_NEAR(comp.reference_frame / plain.reference_frame, 0.403,
+                0.01);
+}
+
+TEST(HwEncoder, EncoderMovesMoreThanDecoder)
+{
+    for (const auto res : {HwResolution::kHd, HwResolution::k4k}) {
+        EXPECT_GT(HwEncoderTraffic(res, false).Total(),
+                  HwDecoderTraffic(res, false).Total());
+    }
+}
+
+TEST(HwEnergy, MovementDominatesBaseline)
+{
+    // Section 10.3.2: off-chip movement is ~69-72% of codec energy.
+    const auto dec = HwDecoderEnergy(HwResolution::k4k, false,
+                                     HwPimMode::kNone);
+    const double movement =
+        dec.dram_mj + dec.interconnect_mj + dec.memctrl_mj;
+    EXPECT_GT(movement / dec.Total(), 0.55);
+    EXPECT_LT(movement / dec.Total(), 0.85);
+}
+
+TEST(HwEnergy, PimAccelBeatsEverything)
+{
+    for (const bool comp : {false, true}) {
+        for (const auto res : {HwResolution::kHd, HwResolution::k4k}) {
+            const auto base = HwDecoderEnergy(res, comp, HwPimMode::kNone);
+            const auto acc =
+                HwDecoderEnergy(res, comp, HwPimMode::kPimAccel);
+            const auto core =
+                HwDecoderEnergy(res, comp, HwPimMode::kPimCore);
+            EXPECT_LT(acc.Total(), base.Total());
+            EXPECT_LT(acc.Total(), core.Total());
+        }
+    }
+}
+
+TEST(HwEnergy, PimCoreLosesToDedicatedHardwareWithCompression)
+{
+    // Figure 21's crossover: the general-purpose PIM core's inefficient
+    // computation outweighs its movement savings once compression has
+    // already reduced traffic (paper: +63.4% vs. the VP9 baseline).
+    const auto base =
+        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kNone);
+    const auto core =
+        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kPimCore);
+    EXPECT_GT(core.Total(), base.Total());
+    EXPECT_NEAR(core.Total() / base.Total(), 1.63, 0.45);
+}
+
+TEST(HwEnergy, PimAccelWithoutCompressionBeatsBaselineWithIt)
+{
+    // Paper: "PIM-Acc without compression uses less energy than the VP9
+    // hardware baseline with compression."
+    const auto base_comp =
+        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kNone);
+    const auto acc_plain =
+        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kPimAccel);
+    EXPECT_LT(acc_plain.Total(), base_comp.Total());
+}
+
+TEST(HwEnergy, PimAccelSavingsInPaperBallpark)
+{
+    // Paper: PIM-Acc reduces decoder energy by ~75% and encoder energy
+    // by ~70% relative to the VP9 baseline.
+    const auto dec_base =
+        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kNone);
+    const auto dec_acc =
+        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kPimAccel);
+    const double dec_saving = 1.0 - dec_acc.Total() / dec_base.Total();
+    EXPECT_GT(dec_saving, 0.50);
+    EXPECT_LT(dec_saving, 0.90);
+
+    const auto enc_base =
+        HwEncoderEnergy(HwResolution::kHd, false, HwPimMode::kNone);
+    const auto enc_acc =
+        HwEncoderEnergy(HwResolution::kHd, false, HwPimMode::kPimAccel);
+    const double enc_saving = 1.0 - enc_acc.Total() / enc_base.Total();
+    EXPECT_GT(enc_saving, 0.45);
+    EXPECT_LT(enc_saving, 0.90);
+}
+
+TEST(HwEnergy, CombiningPimAccAndCompressionIsBest)
+{
+    const double options[] = {
+        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kNone)
+            .Total(),
+        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kNone)
+            .Total(),
+        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kPimAccel)
+            .Total(),
+    };
+    const double best =
+        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kPimAccel)
+            .Total();
+    for (const double other : options) {
+        EXPECT_LT(best, other);
+    }
+}
+
+TEST(HwModel, ResolutionHelpers)
+{
+    EXPECT_EQ(HwWidth(HwResolution::k4k), 3840);
+    EXPECT_EQ(HwHeight(HwResolution::k4k), 2160);
+    EXPECT_EQ(HwWidth(HwResolution::kHd), 1280);
+    EXPECT_DOUBLE_EQ(HwPixels(HwResolution::kHd), 1280.0 * 720.0);
+}
+
+} // namespace
+} // namespace pim::video

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the LZO-class codec, page-data generator, and ZRAM pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "core/execution_context.h"
+#include "workloads/browser/lzo.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/zram.h"
+
+namespace pim::browser {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+/** Compress + decompress and require exact reproduction. */
+void
+RoundTrip(const pim::SimBuffer<std::uint8_t> &src, std::size_t n)
+{
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(n));
+    pim::SimBuffer<std::uint8_t> output(n + 16);
+
+    const std::size_t csize = LzoCompress(src, n, compressed, ctx);
+    ASSERT_LE(csize, LzoCompressBound(n));
+    const std::size_t dsize = LzoDecompress(compressed, csize, output,
+                                            ctx);
+    ASSERT_EQ(dsize, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(output[i], src[i]) << "byte " << i;
+    }
+}
+
+TEST(Lzo, EmptyInput)
+{
+    pim::SimBuffer<std::uint8_t> src(16);
+    RoundTrip(src, 0);
+}
+
+TEST(Lzo, TinyInputs)
+{
+    pim::SimBuffer<std::uint8_t> src(16);
+    const char *text = "abcABC123";
+    std::memcpy(src.data(), text, 9);
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 9u}) {
+        RoundTrip(src, n);
+    }
+}
+
+TEST(Lzo, AllZeros)
+{
+    pim::SimBuffer<std::uint8_t> src(8192, 0);
+    RoundTrip(src, 8192);
+
+    // And it should compress extremely well.
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(8192));
+    const std::size_t csize = LzoCompress(src, 8192, compressed, ctx);
+    EXPECT_LT(csize, 8192u / 20);
+}
+
+TEST(Lzo, RepeatedText)
+{
+    const std::string pattern = "the quick brown fox jumps over ";
+    pim::SimBuffer<std::uint8_t> src(4096);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        src[i] = static_cast<std::uint8_t>(pattern[i % pattern.size()]);
+    }
+    RoundTrip(src, 4096);
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(4096));
+    const std::size_t csize = LzoCompress(src, 4096, compressed, ctx);
+    EXPECT_LT(csize, 1024u); // > 4x on pure repetition
+}
+
+TEST(Lzo, IncompressibleRandomSurvives)
+{
+    Rng rng(0xDEAD);
+    pim::SimBuffer<std::uint8_t> src(4096);
+    for (auto &b : src) {
+        b = rng.NextByte();
+    }
+    RoundTrip(src, 4096);
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(4096));
+    const std::size_t csize = LzoCompress(src, 4096, compressed, ctx);
+    // Random data may expand slightly but must stay within the bound.
+    EXPECT_LE(csize, LzoCompressBound(4096));
+    EXPECT_GT(csize, 4000u);
+}
+
+/** Property sweep: round-trip over entropies and sizes. */
+class LzoPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>>
+{
+};
+
+TEST_P(LzoPropertyTest, RoundTripPageLikeData)
+{
+    const auto [entropy, size] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(entropy * 1000) ^ size);
+    pim::SimBuffer<std::uint8_t> src(size);
+    FillPageLikeData(src, rng, entropy);
+    RoundTrip(src, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EntropyBySize, LzoPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.4, 0.7, 1.0),
+                       ::testing::Values(std::size_t{128},
+                                         std::size_t{4096},
+                                         std::size_t{65536})));
+
+TEST(Lzo, PageLikeDataCompressesLikeLzo)
+{
+    // The paper's ZRAM use case: LZO-class ratios (2-4x) on page data.
+    Rng rng(42);
+    pim::SimBuffer<std::uint8_t> src(64 * 1024);
+    FillPageLikeData(src, rng, 0.4);
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(src.size()));
+    const std::size_t csize =
+        LzoCompress(src, src.size(), compressed, ctx);
+    const double ratio = static_cast<double>(src.size()) / csize;
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Lzo, DecompressionIsCheaperThanCompression)
+{
+    Rng rng(77);
+    pim::SimBuffer<std::uint8_t> src(16384);
+    FillPageLikeData(src, rng, 0.4);
+    pim::SimBuffer<std::uint8_t> compressed(LzoCompressBound(src.size()));
+    pim::SimBuffer<std::uint8_t> out(src.size());
+
+    ExecutionContext cctx(ExecutionTarget::kCpuOnly);
+    const std::size_t csize =
+        LzoCompress(src, src.size(), compressed, cctx);
+    const auto compress_ops = cctx.Report("c").ops.Total();
+
+    ExecutionContext dctx(ExecutionTarget::kCpuOnly);
+    LzoDecompress(compressed, csize, out, dctx);
+    const auto decompress_ops = dctx.Report("d").ops.Total();
+
+    EXPECT_LT(decompress_ops, compress_ops);
+}
+
+TEST(Zram, SwapOutInPreservesContent)
+{
+    Rng rng(11);
+    ZramPool pool;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    pim::SimBuffer<std::uint8_t> page(ZramPool::kPageBytes);
+    FillPageLikeData(page, rng, 0.4);
+    std::vector<std::uint8_t> original(page.data(),
+                                       page.data() + page.size());
+
+    const auto out = pool.SwapOut(page, ctx);
+    EXPECT_GT(out.compressed_bytes, 0u);
+    EXPECT_LT(out.compressed_bytes, ZramPool::kPageBytes);
+    EXPECT_EQ(pool.resident_pages(), 1u);
+
+    pim::SimBuffer<std::uint8_t> restored(ZramPool::kPageBytes);
+    const Bytes n = pool.SwapIn(out.handle, restored, ctx);
+    EXPECT_EQ(n, ZramPool::kPageBytes);
+    EXPECT_EQ(pool.resident_pages(), 0u);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(restored[i], original[i]);
+    }
+}
+
+TEST(Zram, SameFilledPageFastPath)
+{
+    ZramPool pool;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    pim::SimBuffer<std::uint8_t> zero_page(ZramPool::kPageBytes, 0);
+    const auto out = pool.SwapOut(zero_page, ctx);
+    EXPECT_EQ(out.compressed_bytes, 8u); // marker word only
+    EXPECT_EQ(pool.stats().same_filled_pages, 1u);
+
+    pim::SimBuffer<std::uint8_t> fill_page(ZramPool::kPageBytes, 0xAB);
+    const auto out2 = pool.SwapOut(fill_page, ctx);
+    EXPECT_EQ(out2.compressed_bytes, 8u);
+    EXPECT_EQ(pool.stats().same_filled_pages, 2u);
+
+    pim::SimBuffer<std::uint8_t> restored(ZramPool::kPageBytes, 1);
+    pool.SwapIn(out2.handle, restored, ctx);
+    for (std::size_t i = 0; i < restored.size(); ++i) {
+        ASSERT_EQ(restored[i], 0xAB);
+    }
+    pool.SwapIn(out.handle, restored, ctx);
+    for (std::size_t i = 0; i < restored.size(); ++i) {
+        ASSERT_EQ(restored[i], 0);
+    }
+}
+
+TEST(Zram, NonUniformPageAvoidsFastPath)
+{
+    ZramPool pool;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> page(ZramPool::kPageBytes, 7);
+    page[ZramPool::kPageBytes - 1] = 8; // one differing byte
+    const auto out = pool.SwapOut(page, ctx);
+    EXPECT_GT(out.compressed_bytes, 8u);
+    EXPECT_EQ(pool.stats().same_filled_pages, 0u);
+
+    pim::SimBuffer<std::uint8_t> restored(ZramPool::kPageBytes);
+    pool.SwapIn(out.handle, restored, ctx);
+    EXPECT_EQ(restored[ZramPool::kPageBytes - 1], 8);
+    EXPECT_EQ(restored[0], 7);
+}
+
+TEST(Zram, StatsTrackTotals)
+{
+    Rng rng(12);
+    ZramPool pool;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    pim::SimBuffer<std::uint8_t> page(ZramPool::kPageBytes);
+    pim::SimBuffer<std::uint8_t> scratch(ZramPool::kPageBytes);
+
+    std::vector<std::uint64_t> handles;
+    for (int i = 0; i < 5; ++i) {
+        FillPageLikeData(page, rng, 0.4);
+        handles.push_back(pool.SwapOut(page, ctx).handle);
+    }
+    EXPECT_EQ(pool.stats().pages_swapped_out, 5u);
+    EXPECT_EQ(pool.stats().uncompressed_out_bytes,
+              5u * ZramPool::kPageBytes);
+    EXPECT_GT(pool.stats().CompressionRatio(), 1.5);
+
+    pool.SwapIn(handles[0], scratch, ctx);
+    EXPECT_EQ(pool.stats().pages_swapped_in, 1u);
+    EXPECT_EQ(pool.resident_pages(), 4u);
+}
+
+} // namespace
+} // namespace pim::browser

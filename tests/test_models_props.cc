@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Property tests for the model layer: compute-model math, timing-bound
+ * identification, energy-model monotonicity, and the design-choice
+ * invariants the ablation benches sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compute_model.h"
+#include "core/execution_context.h"
+#include "sim/energy_model.h"
+#include "sim/hierarchy.h"
+#include "sim/timing_model.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace pim {
+namespace {
+
+using core::ComputeModel;
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+TEST(ComputeModelProps, IssueSlotsNeverExceedTotalOps)
+{
+    Rng rng(77);
+    ComputeModel m = core::CpuComputeModel();
+    for (int trial = 0; trial < 50; ++trial) {
+        sim::OpCounts ops;
+        ops.alu = rng.Below(100000);
+        ops.mul = rng.Below(100000);
+        ops.load = rng.Below(10000);
+        ops.store = rng.Below(10000);
+        ops.branch = rng.Below(10000);
+        const auto vectorizable = ops.alu + ops.mul;
+        ops.simd_eligible = rng.Below(vectorizable + 1);
+
+        const double slots = m.IssueSlots(ops);
+        EXPECT_LE(slots, static_cast<double>(ops.Total()) + 1e-9);
+        EXPECT_GE(slots,
+                  static_cast<double>(ops.Total() - ops.simd_eligible));
+    }
+}
+
+TEST(ComputeModelProps, WiderSimdNeverSlower)
+{
+    sim::OpCounts ops;
+    ops.alu = 100000;
+    ops.simd_eligible = 80000;
+    ops.branch = 5000;
+
+    double prev = 1e300;
+    for (const std::uint32_t width : {1u, 2u, 4u, 8u, 16u}) {
+        ComputeModel m = core::PimCoreComputeModel();
+        m.simd_width = width;
+        const double t = m.IssueTime(ops);
+        EXPECT_LE(t, prev) << "width " << width;
+        prev = t;
+    }
+}
+
+TEST(ComputeModelProps, SimdOnlyHelpsEligibleOps)
+{
+    sim::OpCounts scalar;
+    scalar.alu = 50000; // nothing vectorizable
+    ComputeModel narrow = core::PimCoreComputeModel();
+    narrow.simd_width = 1;
+    ComputeModel wide = core::PimCoreComputeModel();
+    wide.simd_width = 16;
+    EXPECT_DOUBLE_EQ(narrow.IssueTime(scalar), wide.IssueTime(scalar));
+}
+
+TEST(ComputeModelProps, LanesScaleIssueTimeExactly)
+{
+    sim::OpCounts ops;
+    ops.alu = 123456;
+    ops.branch = 789;
+    ComputeModel m = core::PimCoreComputeModel();
+    m.parallel_lanes = 1.0;
+    const double base = m.IssueTime(ops);
+    for (const double lanes : {2.0, 4.0, 8.0}) {
+        m.parallel_lanes = lanes;
+        EXPECT_NEAR(m.IssueTime(ops), base / lanes, 1e-9);
+    }
+}
+
+TEST(ComputeModelProps, EnergyIndependentOfLanes)
+{
+    // Spreading work over vault cores changes time, not energy.
+    sim::OpCounts ops;
+    ops.alu = 10000;
+    ComputeModel m = core::PimCoreComputeModel();
+    m.parallel_lanes = 1.0;
+    const double e1 = m.ComputeEnergy(ops);
+    m.parallel_lanes = 16.0;
+    EXPECT_DOUBLE_EQ(m.ComputeEnergy(ops), e1);
+}
+
+TEST(TimingProps, MoreBandwidthNeverSlower)
+{
+    sim::PerfCounters pc;
+    pc.dram.read_requests = 100000;
+    pc.dram.read_bytes = 6400000;
+
+    double prev = 1e300;
+    for (const double gbps : {8.0, 16.0, 32.0, 64.0, 256.0}) {
+        sim::DramConfig dram = sim::Lpddr3Config();
+        dram.bandwidth_gbps = gbps;
+        const auto t = sim::EvaluateTiming(100.0, pc, dram,
+                                           sim::MemTimingParams{});
+        EXPECT_LE(t.Total(), prev);
+        prev = t.Total();
+    }
+}
+
+TEST(TimingProps, MoreMlpNeverSlower)
+{
+    sim::PerfCounters pc;
+    pc.dram.read_requests = 50000;
+    pc.dram.read_bytes = 3200000;
+
+    double prev = 1e300;
+    for (const double mlp : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        sim::MemTimingParams mem;
+        mem.mlp = mlp;
+        const auto t = sim::EvaluateTiming(100.0, pc,
+                                           sim::Lpddr3Config(), mem);
+        EXPECT_LE(t.Total(), prev);
+        prev = t.Total();
+    }
+}
+
+TEST(TimingProps, TotalIsAlwaysMaxOfBounds)
+{
+    Rng rng(88);
+    for (int trial = 0; trial < 100; ++trial) {
+        sim::PerfCounters pc;
+        pc.dram.read_requests = rng.Below(100000);
+        pc.dram.read_bytes = pc.dram.read_requests * 64;
+        pc.has_llc = rng.Chance(0.5);
+        pc.llc.read_hits = rng.Below(100000);
+        const double issue = static_cast<double>(rng.Below(100000));
+        const auto t = sim::EvaluateTiming(issue, pc,
+                                           sim::Lpddr3Config(),
+                                           sim::MemTimingParams{});
+        EXPECT_GE(t.Total(), t.issue_ns);
+        EXPECT_GE(t.Total(), t.memory_ns);
+        EXPECT_GE(t.Total(), t.bandwidth_ns);
+        EXPECT_TRUE(t.Total() == t.issue_ns || t.Total() == t.memory_ns ||
+                    t.Total() == t.bandwidth_ns);
+    }
+}
+
+/** LLC capacity sweep: bigger LLC never produces more traffic. */
+class LlcSweepTest : public ::testing::TestWithParam<Bytes>
+{
+};
+
+TEST_P(LlcSweepTest, TilingTrafficMonotoneInLlcSize)
+{
+    const Bytes llc = GetParam();
+    Rng rng(5);
+    browser::Bitmap linear(256, 256);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(256, 256);
+
+    sim::HierarchyConfig small = sim::HostHierarchyConfig();
+    small.llc->size = llc;
+    sim::HierarchyConfig big = sim::HostHierarchyConfig();
+    big.llc->size = llc * 2;
+
+    ExecutionContext small_ctx(ExecutionTarget::kCpuOnly,
+                               core::CpuComputeModel(), small);
+    browser::TileTexture(linear, tiled, small_ctx);
+    ExecutionContext big_ctx(ExecutionTarget::kCpuOnly,
+                             core::CpuComputeModel(), big);
+    browser::TileTexture(linear, tiled, big_ctx);
+
+    EXPECT_GE(small_ctx.Report("t").counters.OffChipBytes(),
+              big_ctx.Report("t").counters.OffChipBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, LlcSweepTest,
+                         ::testing::Values(Bytes{256_KiB}, Bytes{512_KiB},
+                                           Bytes{1_MiB}, Bytes{2_MiB}));
+
+TEST(EnergyProps, MovementScalesWithDramBytes)
+{
+    sim::EnergyModel model;
+    sim::PerfCounters pc;
+    double prev = -1.0;
+    for (const Bytes bytes : {Bytes{0}, Bytes{64_KiB}, Bytes{1_MiB},
+                              Bytes{16_MiB}}) {
+        pc.dram.read_bytes = bytes;
+        const auto e = model.MemoryEnergy(pc, sim::Lpddr3Config());
+        EXPECT_GT(e.DataMovement() + 1.0, prev);
+        prev = e.DataMovement();
+    }
+}
+
+TEST(EnergyProps, CustomCacheRatesAreHonored)
+{
+    sim::CacheEnergyRates rates;
+    rates.l1_per_access = 5.0;
+    rates.llc_per_access = 50.0;
+    sim::EnergyModel model(rates);
+    sim::PerfCounters pc;
+    pc.l1.read_hits = 10;
+    pc.has_llc = true;
+    pc.llc.read_hits = 4;
+    const auto e = model.MemoryEnergy(pc, sim::Lpddr3Config());
+    EXPECT_DOUBLE_EQ(e.l1, 50.0);
+    EXPECT_DOUBLE_EQ(e.llc, 200.0);
+}
+
+TEST(ContextProps, CustomContextUsesSuppliedHierarchy)
+{
+    sim::HierarchyConfig hier = sim::PimCoreHierarchyConfig();
+    hier.l1.size = 8_KiB;
+    ExecutionContext ctx(ExecutionTarget::kPimCore,
+                         core::PimCoreComputeModel(), hier);
+    EXPECT_EQ(ctx.hierarchy().config().l1.size, 8_KiB);
+    EXPECT_EQ(ctx.hierarchy().llc(), nullptr);
+}
+
+} // namespace
+} // namespace pim

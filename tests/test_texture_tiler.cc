@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the Chrome texture-tiling kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/execution_context.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace pim::browser {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+TEST(TextureTiler, TileGeometry)
+{
+    TiledTexture t(512, 512);
+    EXPECT_EQ(t.tiles_x(), 16);
+    EXPECT_EQ(t.tiles_y(), 16);
+    EXPECT_EQ(t.size_bytes(), 512u * 512u * 4u);
+    // 4 KiB per tile.
+    EXPECT_EQ(static_cast<int>(TileFormat::kTileBytes), 4096);
+    EXPECT_EQ(TileFormat::kTileWidthPx * TileFormat::kTileRows * 4,
+              TileFormat::kTileBytes);
+}
+
+TEST(TextureTiler, TilePreservesPixels)
+{
+    Rng rng(99);
+    Bitmap linear(64, 64);
+    linear.Randomize(rng);
+    TiledTexture tiled(64, 64);
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    TileTexture(linear, tiled, ctx);
+
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            ASSERT_EQ(tiled.PixelAt(x, y), linear.At(x, y))
+                << "pixel (" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(TextureTiler, RoundTripThroughUntile)
+{
+    Rng rng(7);
+    Bitmap linear(128, 64);
+    linear.Randomize(rng);
+    TiledTexture tiled(128, 64);
+    Bitmap back(128, 64);
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    TileTexture(linear, tiled, ctx);
+    UntileTexture(tiled, back, ctx);
+
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 128; ++x) {
+            ASSERT_EQ(back.At(x, y), linear.At(x, y));
+        }
+    }
+}
+
+TEST(TextureTiler, TilingIsMemcopyShaped)
+{
+    // Every byte is read once and written once.
+    Bitmap linear(256, 256);
+    TiledTexture tiled(256, 256);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    TileTexture(linear, tiled, ctx);
+
+    EXPECT_EQ(ctx.mem().bytes_read(), linear.size_bytes());
+    EXPECT_EQ(ctx.mem().bytes_written(), tiled.size_bytes());
+}
+
+TEST(TextureTiler, LinearLayoutDiffersFromTiled)
+{
+    // Within one tile row the layouts agree; across tile columns the
+    // tiled layout groups pixels that the linear layout separates.
+    TiledTexture t(128, 64);
+    t.SetPixelAt(0, 0, 0xAABBCCDD);
+    t.SetPixelAt(32, 0, 0x11223344); // first pixel of second tile
+    EXPECT_EQ(t.PixelAt(0, 0), 0xAABBCCDDu);
+    EXPECT_EQ(t.PixelAt(32, 0), 0x11223344u);
+    // Its storage index is a whole tile (1024 px) after pixel (0,0).
+    EXPECT_EQ(t.storage()[1024], 0x11223344u);
+}
+
+TEST(TextureTiler, PimUsesLessEnergyThanCpu)
+{
+    // The paper's Figure 18 shape: the data-reorganization kernel is
+    // cheaper in energy on PIM logic.
+    Rng rng(3);
+    const auto run = [&](ExecutionTarget target) {
+        Bitmap linear(512, 512);
+        linear.Randomize(rng);
+        TiledTexture tiled(512, 512);
+        ExecutionContext ctx(target);
+        TileTexture(linear, tiled, ctx);
+        return ctx.Report("texture-tiling");
+    };
+    const auto cpu = run(ExecutionTarget::kCpuOnly);
+    const auto pim = run(ExecutionTarget::kPimCore);
+    const auto acc = run(ExecutionTarget::kPimAccel);
+
+    EXPECT_LT(pim.TotalEnergyPj(), cpu.TotalEnergyPj());
+    EXPECT_LT(acc.TotalEnergyPj(), cpu.TotalEnergyPj());
+    EXPECT_LE(acc.TotalEnergyPj(), pim.TotalEnergyPj() * 1.05);
+    // Memory-bound on the host: movement dominates (paper: 81.5%).
+    EXPECT_GT(cpu.energy.DataMovementFraction(), 0.5);
+    // Memory-intensive by the paper's criterion.
+    EXPECT_GT(cpu.Mpki(), 10.0);
+}
+
+TEST(TextureTiler, MisalignedDimensionsRejected)
+{
+    Bitmap linear(100, 50); // not tile-aligned
+    TiledTexture tiled(100, 50);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    EXPECT_DEATH(TileTexture(linear, tiled, ctx), "tile-aligned");
+}
+
+} // namespace
+} // namespace pim::browser

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the transform/entropy layers and the full encoder/decoder
+ * pair, including the bit-exact reconstruction invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workloads/video/decoder.h"
+#include "workloads/video/encoder.h"
+#include "workloads/video/entropy.h"
+#include "workloads/video/transform.h"
+#include "workloads/video/video_gen.h"
+
+namespace pim::video {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+TEST(Transform, DctRoundTripIsLossless)
+{
+    Rng rng(61);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    Block8x8<std::int16_t> residual;
+    for (auto &v : residual) {
+        v = static_cast<std::int16_t>(rng.Range(-255, 255));
+    }
+    Block8x8<std::int32_t> coeffs;
+    Block8x8<std::int16_t> back;
+    ForwardDct8x8(residual, coeffs, ctx);
+    InverseDct8x8(coeffs, back, ctx);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_NEAR(back[i], residual[i], 1) << "index " << i;
+    }
+}
+
+TEST(Transform, DcCoefficientIsBlockMean)
+{
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    Block8x8<std::int16_t> residual;
+    residual.fill(80);
+    Block8x8<std::int32_t> coeffs;
+    ForwardDct8x8(residual, coeffs, ctx);
+    // Orthonormal DCT: DC = 8 * mean.
+    EXPECT_EQ(coeffs[0], 80 * 8);
+    for (int i = 1; i < 64; ++i) {
+        ASSERT_EQ(coeffs[i], 0);
+    }
+}
+
+TEST(Transform, QuantStepGrowsWithQindex)
+{
+    EXPECT_LT(QuantStep(0), QuantStep(60));
+    EXPECT_LT(QuantStep(60), QuantStep(255));
+    EXPECT_GE(QuantStep(0), 1);
+}
+
+TEST(Transform, QuantizeDequantizeErrorBounded)
+{
+    Rng rng(62);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const int qindex = 40;
+    const int step = QuantStep(qindex);
+    Block8x8<std::int32_t> coeffs;
+    for (auto &v : coeffs) {
+        v = static_cast<std::int32_t>(rng.Range(-4000, 4000));
+    }
+    Block8x8<std::int16_t> levels;
+    Block8x8<std::int32_t> back;
+    QuantizeBlock(coeffs, qindex, levels, ctx);
+    DequantizeBlock(levels, qindex, back, ctx);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_LE(std::abs(back[i] - coeffs[i]), step / 2 + 1);
+    }
+}
+
+TEST(Transform, ZigZagIsPermutation)
+{
+    const auto &scan = ZigZag8x8();
+    std::array<int, 64> seen{};
+    for (const auto pos : scan) {
+        ASSERT_LT(pos, 64);
+        ++seen[pos];
+    }
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(seen[i], 1);
+    }
+    // Standard zig-zag prefix.
+    EXPECT_EQ(scan[0], 0);
+    EXPECT_EQ(scan[1], 1);
+    EXPECT_EQ(scan[2], 8);
+    EXPECT_EQ(scan[3], 16);
+    EXPECT_EQ(scan[63], 63);
+}
+
+TEST(Entropy, BitsRoundTrip)
+{
+    BitWriter w;
+    w.PutBits(0b1011, 4);
+    w.PutBit(1);
+    w.PutBits(0xDEADBEEF, 32);
+    const auto bytes = w.Finish();
+
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_EQ(r.GetBits(4), 0b1011u);
+    EXPECT_EQ(r.GetBit(), 1);
+    EXPECT_EQ(r.GetBits(32), 0xDEADBEEFu);
+}
+
+TEST(Entropy, ExpGolombRoundTrip)
+{
+    BitWriter w;
+    const std::uint32_t ue_values[] = {0, 1, 2, 14, 15, 127, 100000};
+    const std::int32_t se_values[] = {0, 1, -1, 5, -37, 4095, -4096};
+    for (const auto v : ue_values) {
+        w.PutUe(v);
+    }
+    for (const auto v : se_values) {
+        w.PutSe(v);
+    }
+    const auto bytes = w.Finish();
+    BitReader r(bytes.data(), bytes.size());
+    for (const auto v : ue_values) {
+        EXPECT_EQ(r.GetUe(), v);
+    }
+    for (const auto v : se_values) {
+        EXPECT_EQ(r.GetSe(), v);
+    }
+}
+
+TEST(Entropy, CoefficientsRoundTrip)
+{
+    Rng rng(63);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    for (int trial = 0; trial < 20; ++trial) {
+        Block8x8<std::int16_t> levels{};
+        // Sparse, like quantized residuals.
+        const int nonzero = static_cast<int>(rng.Below(12));
+        for (int i = 0; i < nonzero; ++i) {
+            levels[rng.Below(64)] =
+                static_cast<std::int16_t>(rng.Range(-300, 300));
+        }
+        BitWriter w;
+        EncodeCoefficients(levels, w, ctx);
+        const auto bytes = w.Finish();
+        BitReader r(bytes.data(), bytes.size());
+        Block8x8<std::int16_t> decoded;
+        DecodeCoefficients(r, decoded, ctx);
+        for (int i = 0; i < 64; ++i) {
+            ASSERT_EQ(decoded[i], levels[i]) << "trial " << trial;
+        }
+    }
+}
+
+TEST(Entropy, AllZeroBlockIsTiny)
+{
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    Block8x8<std::int16_t> levels{};
+    BitWriter w;
+    EncodeCoefficients(levels, w, ctx);
+    EXPECT_LE(w.Finish().size(), 1u);
+}
+
+VideoGenConfig
+SmallClipConfig()
+{
+    VideoGenConfig cfg;
+    cfg.width = 128;
+    cfg.height = 64;
+    cfg.objects = 2;
+    cfg.noise_amplitude = 1;
+    return cfg;
+}
+
+TEST(Codec, DecoderMatchesEncoderReconstructionBitExact)
+{
+    const auto frames = GenerateClip(SmallClipConfig(), 4);
+    Vp9Encoder encoder(128, 64);
+    Vp9Decoder decoder;
+    ExecutionContext ectx(ExecutionTarget::kCpuOnly);
+    ExecutionContext dctx(ExecutionTarget::kCpuOnly);
+
+    for (const Frame &src : frames) {
+        const EncodeResult enc = encoder.EncodeFrame(src, ectx);
+        const Frame out = decoder.DecodeFrame(enc.bitstream, dctx);
+        const Frame &recon = encoder.last_reconstruction();
+        ASSERT_EQ(MeanAbsDiff(out.y, recon.y), 0.0);
+        ASSERT_EQ(MeanAbsDiff(out.u, recon.u), 0.0);
+        ASSERT_EQ(MeanAbsDiff(out.v, recon.v), 0.0);
+    }
+}
+
+TEST(Codec, ReasonableQualityAtModerateQuantizer)
+{
+    const auto frames = GenerateClip(SmallClipConfig(), 3);
+    CodecConfig cfg;
+    cfg.qindex = 40;
+    Vp9Encoder encoder(128, 64, cfg);
+    Vp9Decoder decoder(cfg);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    for (const Frame &src : frames) {
+        const EncodeResult enc = encoder.EncodeFrame(src, ctx);
+        const Frame out = decoder.DecodeFrame(enc.bitstream, ctx);
+        EXPECT_GT(Psnr(src.y, out.y), 25.0);
+    }
+}
+
+TEST(Codec, InterFramesAreSmallerThanKeyFrames)
+{
+    const auto frames = GenerateClip(SmallClipConfig(), 3);
+    Vp9Encoder encoder(128, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+
+    const EncodeResult key = encoder.EncodeFrame(frames[0], ctx);
+    const EncodeResult inter1 = encoder.EncodeFrame(frames[1], ctx);
+    const EncodeResult inter2 = encoder.EncodeFrame(frames[2], ctx);
+    EXPECT_TRUE(key.key_frame);
+    EXPECT_FALSE(inter1.key_frame);
+    EXPECT_LT(inter1.bitstream.size(), key.bitstream.size());
+    EXPECT_LT(inter2.bitstream.size(), key.bitstream.size());
+    // Temporal prediction is actually used.
+    EXPECT_GT(inter1.inter_macroblocks, inter1.intra_macroblocks);
+}
+
+TEST(Codec, ForcedKeyFrameResetsPrediction)
+{
+    const auto frames = GenerateClip(SmallClipConfig(), 2);
+    Vp9Encoder encoder(128, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    encoder.EncodeFrame(frames[0], ctx);
+    const EncodeResult forced =
+        encoder.EncodeFrame(frames[1], ctx, nullptr, /*force_key=*/true);
+    EXPECT_TRUE(forced.key_frame);
+    EXPECT_EQ(forced.inter_macroblocks, 0);
+}
+
+TEST(Codec, PhasesAttributeTheWork)
+{
+    const auto frames = GenerateClip(SmallClipConfig(), 2);
+    Vp9Encoder encoder(128, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    CodecPhases enc_phases;
+    encoder.EncodeFrame(frames[0], ctx, &enc_phases);
+    encoder.EncodeFrame(frames[1], ctx, &enc_phases);
+
+    // Encoder: ME exists and is the dominant single phase (paper
+    // Figure 15: ME is the largest energy consumer).
+    EXPECT_GT(enc_phases.me.energy.Total(), 0.0);
+    EXPECT_GT(enc_phases.me.energy.Total(),
+              enc_phases.entropy.energy.Total());
+    EXPECT_GT(enc_phases.deblock.energy.Total(), 0.0);
+    EXPECT_GT(enc_phases.transform.energy.Total(), 0.0);
+
+    Vp9Decoder decoder;
+    CodecPhases dec_phases;
+    // Re-encode to fresh state for the decoder.
+    Vp9Encoder encoder2(128, 64);
+    ExecutionContext ctx2(ExecutionTarget::kCpuOnly);
+    const auto e1 = encoder2.EncodeFrame(frames[0], ctx2);
+    const auto e2 = encoder2.EncodeFrame(frames[1], ctx2);
+    decoder.DecodeFrame(e1.bitstream, ctx2, &dec_phases);
+    decoder.DecodeFrame(e2.bitstream, ctx2, &dec_phases);
+
+    // Decoder: no motion estimation; MC + deblock dominate (Figure 10).
+    EXPECT_DOUBLE_EQ(dec_phases.me.energy.Total(), 0.0);
+    EXPECT_GT(dec_phases.subpel.energy.Total() +
+                  dec_phases.mc_other.energy.Total(),
+              0.0);
+    EXPECT_GT(dec_phases.deblock.energy.Total(), 0.0);
+}
+
+TEST(Codec, SubpelRefinementTriggersInterpolationInDecoder)
+{
+    // With subpel refinement on, decoding must exercise the 8-tap path.
+    const auto frames = GenerateClip(SmallClipConfig(), 3);
+    Vp9Encoder encoder(128, 64);
+    Vp9Decoder decoder;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    CodecPhases phases;
+    for (const Frame &f : frames) {
+        const auto enc = encoder.EncodeFrame(f, ctx);
+        decoder.DecodeFrame(enc.bitstream, ctx, &phases);
+    }
+    EXPECT_GT(phases.subpel.instructions, 0u);
+}
+
+} // namespace
+} // namespace pim::video

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the VP9 filter kernels, sub-pixel interpolation, motion
+ * estimation, and the deblocking filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "workloads/video/deblock.h"
+#include "workloads/video/filters.h"
+#include "workloads/video/motion.h"
+#include "workloads/video/subpel.h"
+#include "workloads/video/video_gen.h"
+
+namespace pim::video {
+namespace {
+
+using core::ExecutionContext;
+using core::ExecutionTarget;
+
+TEST(Filters, KernelsSumTo128)
+{
+    for (int phase = 0; phase < kSubpelPhases; ++phase) {
+        int sum8 = 0;
+        int sumb = 0;
+        for (int t = 0; t < kFilterTaps; ++t) {
+            sum8 += EightTapKernel(phase)[t];
+            sumb += BilinearKernel(phase)[t];
+        }
+        EXPECT_EQ(sum8, 128) << "8-tap phase " << phase;
+        EXPECT_EQ(sumb, 128) << "bilinear phase " << phase;
+    }
+}
+
+TEST(Filters, PhaseZeroIsIdentity)
+{
+    const std::uint8_t samples[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+    // Tap 3 is the center sample for phase 0.
+    EXPECT_EQ(ApplyKernelU8(samples, EightTapKernel(0)), 40);
+    EXPECT_EQ(ApplyKernelU8(samples, BilinearKernel(0)), 40);
+}
+
+TEST(Filters, MirroredPhasesAreSymmetric)
+{
+    // Kernel for phase p reversed equals kernel for phase 16-p.
+    for (int phase = 1; phase < kSubpelPhases; ++phase) {
+        const FilterKernel &a = EightTapKernel(phase);
+        const FilterKernel &b = EightTapKernel(kSubpelPhases - phase);
+        for (int t = 0; t < kFilterTaps; ++t) {
+            EXPECT_EQ(a[t], b[kFilterTaps - 1 - t])
+                << "phase " << phase << " tap " << t;
+        }
+    }
+}
+
+TEST(Filters, HalfPhaseInterpolatesMidpoint)
+{
+    // On a linear ramp, the half-pel sample is the midpoint.
+    std::uint8_t ramp[8];
+    for (int i = 0; i < 8; ++i) {
+        ramp[i] = static_cast<std::uint8_t>(i * 10);
+    }
+    const std::uint8_t mid = ApplyKernelU8(ramp, EightTapKernel(8));
+    EXPECT_NEAR(mid, 35, 1); // between taps 3 (30) and 4 (40)
+}
+
+TEST(Filters, OutputClampedToPixelRange)
+{
+    const std::uint8_t spike[8] = {0, 0, 0, 255, 0, 0, 0, 0};
+    for (int phase = 0; phase < kSubpelPhases; ++phase) {
+        const std::uint8_t v = ApplyKernelU8(spike, EightTapKernel(phase));
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 255);
+    }
+}
+
+Plane
+MakeRampPlane(int w, int h)
+{
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            p.At(x, y) = static_cast<std::uint8_t>((x * 3 + y * 5) % 200);
+        }
+    }
+    return p;
+}
+
+TEST(Subpel, ZeroVectorIsCopy)
+{
+    const Plane ref = MakeRampPlane(64, 64);
+    PredBlock out(16, 16);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    InterpolateBlock(ref, 8, 8, MotionVector{0, 0}, out, ctx);
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            ASSERT_EQ(out.At(x, y), ref.At(8 + x, 8 + y));
+        }
+    }
+}
+
+TEST(Subpel, FullPelVectorIsShiftedCopy)
+{
+    const Plane ref = MakeRampPlane(64, 64);
+    PredBlock out(8, 8);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    InterpolateBlock(ref, 16, 16, MotionVector{-16, 24}, out, ctx);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            ASSERT_EQ(out.At(x, y), ref.At(16 + 3 + x, 16 - 2 + y));
+        }
+    }
+}
+
+TEST(Subpel, HalfPelOnRampIsMidpoint)
+{
+    Plane ref(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            ref.At(x, y) = static_cast<std::uint8_t>(x * 2);
+        }
+    }
+    PredBlock out(8, 8);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    InterpolateBlock(ref, 16, 16, MotionVector{0, 4}, out, ctx); // +1/2 px
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            ASSERT_NEAR(out.At(x, y), (16 + x) * 2 + 1, 1);
+        }
+    }
+}
+
+TEST(Subpel, SubpelReadsFilterWindow)
+{
+    const Plane ref = MakeRampPlane(128, 128);
+    PredBlock out(16, 16);
+    ExecutionContext full(ExecutionTarget::kCpuOnly);
+    InterpolateBlock(ref, 32, 32, MotionVector{0, 0}, out, full);
+    const Bytes full_pel_bytes = full.mem().bytes_read();
+
+    ExecutionContext sub(ExecutionTarget::kCpuOnly);
+    InterpolateBlock(ref, 32, 32, MotionVector{3, 3}, out, sub);
+    // The paper: sub-pixel interpolation fetches (bw+7)x(bh+7) vs bw*bh.
+    EXPECT_GT(sub.mem().bytes_read(), full_pel_bytes * 3 / 2);
+}
+
+TEST(Motion, BlockSadZeroOnIdenticalBlocks)
+{
+    const Plane a = MakeRampPlane(64, 64);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    EXPECT_EQ(BlockSad(a, a, 16, 16, 0, 0, 16, ctx), 0u);
+    EXPECT_GT(BlockSad(a, a, 16, 16, 5, 0, 16, ctx), 0u);
+}
+
+TEST(Motion, DiamondSearchFindsPlantedShift)
+{
+    // Reference = smooth radial gradient (SAD decreases monotonically
+    // toward the true offset, as natural video does); current =
+    // reference shifted by (8, -8), a displacement the diamond pattern
+    // reaches by strictly improving axis moves.
+    Plane ref(96, 96);
+    for (int y = 0; y < 96; ++y) {
+        for (int x = 0; x < 96; ++x) {
+            const double dx = x - 20.0;
+            const double dy = y - 70.0;
+            const double dist = std::sqrt(dx * dx + dy * dy);
+            ref.At(x, y) = static_cast<std::uint8_t>(
+                std::max(0.0, 255.0 - dist * 2.5));
+        }
+    }
+    Plane cur(96, 96);
+    for (int y = 0; y < 96; ++y) {
+        for (int x = 0; x < 96; ++x) {
+            cur.At(x, y) = ref.AtClamped(x + 8, y - 8);
+        }
+    }
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const MotionResult r = DiamondSearch(
+        cur, {&ref}, 40, 40, MotionSearchParams{}, ctx);
+    EXPECT_EQ(r.mv.col, 8 * 8);  // 1/8-pel units
+    EXPECT_EQ(r.mv.row, -8 * 8);
+    EXPECT_EQ(r.sad, 0u);
+    EXPECT_GT(r.probes, 1u);
+}
+
+TEST(Motion, PicksBestReference)
+{
+    Rng rng(56);
+    Plane good(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            good.At(x, y) = rng.NextByte();
+        }
+    }
+    Plane bad(64, 64, 0); // flat plane, poor match
+    const Plane &cur = good;
+
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const MotionResult r = DiamondSearch(
+        cur, {&bad, &good}, 24, 24, MotionSearchParams{}, ctx);
+    EXPECT_EQ(r.ref_index, 1);
+    EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Motion, SubpelRefineNeverWorsens)
+{
+    VideoGenerator gen(VideoGenConfig{});
+    const Frame f1 = gen.NextFrame();
+    const Frame f2 = gen.NextFrame();
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const MotionResult coarse = DiamondSearch(
+        f2.y, {&f1.y}, 64, 64, MotionSearchParams{}, ctx);
+    const MotionResult fine =
+        RefineSubpel(f2.y, f1.y, 64, 64, coarse, 16, ctx);
+    EXPECT_LE(fine.sad, coarse.sad);
+    EXPECT_GT(fine.probes, coarse.probes);
+}
+
+TEST(Deblock, FlatRegionUnchanged)
+{
+    Plane p(32, 32, 100);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    DeblockPlane(p, DeblockParams{}, ctx);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            ASSERT_EQ(p.At(x, y), 100);
+        }
+    }
+}
+
+TEST(Deblock, SmoothsBlockEdge)
+{
+    // Step of 6 across the x=8 block boundary: within filter range.
+    Plane p(32, 32);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            p.At(x, y) = x < 8 ? 100 : 106;
+        }
+    }
+    const int before = std::abs(p.At(7, 16) - p.At(8, 16));
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const DeblockStats stats = DeblockPlane(p, DeblockParams{}, ctx);
+    const int after = std::abs(p.At(7, 16) - p.At(8, 16));
+    EXPECT_LT(after, before);
+    EXPECT_GT(stats.edges_filtered, 0u);
+}
+
+TEST(Deblock, StrongEdgePreserved)
+{
+    // A real object edge (step 100) must NOT be smoothed away.
+    Plane p(32, 32);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            p.At(x, y) = x < 8 ? 50 : 150;
+        }
+    }
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    DeblockPlane(p, DeblockParams{}, ctx);
+    EXPECT_EQ(p.At(7, 16), 50);
+    EXPECT_EQ(p.At(8, 16), 150);
+}
+
+TEST(Deblock, FilterMaskThresholds)
+{
+    DeblockParams params;
+    // Tiny discontinuity: filtered.
+    EXPECT_TRUE(
+        FilterMask(params, 100, 100, 100, 100, 104, 104, 104, 104));
+    // Sharp edge: preserved.
+    EXPECT_FALSE(
+        FilterMask(params, 100, 100, 100, 100, 200, 200, 200, 200));
+    // Locally busy texture: preserved.
+    EXPECT_FALSE(
+        FilterMask(params, 100, 120, 90, 110, 112, 90, 125, 100));
+}
+
+TEST(Deblock, EdgeCountMatchesGeometry)
+{
+    Plane p(64, 64, 100);
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    const DeblockStats stats = DeblockPlane(p, DeblockParams{}, ctx);
+    // 4-pixel edge grid: 15 internal edges x 64 rows, both directions.
+    EXPECT_EQ(stats.edges_checked, 2u * 15u * 64u);
+}
+
+TEST(VideoGen, DeterministicAndInRange)
+{
+    VideoGenConfig cfg;
+    cfg.width = 128;
+    cfg.height = 64;
+    VideoGenerator a(cfg);
+    VideoGenerator b(cfg);
+    const Frame fa = a.NextFrame();
+    const Frame fb = b.NextFrame();
+    EXPECT_EQ(fa.y.At(10, 10), fb.y.At(10, 10));
+    EXPECT_EQ(fa.width, 128);
+    EXPECT_EQ(fa.u.w(), 64);
+}
+
+TEST(VideoGen, ConsecutiveFramesAreTemporallyRedundant)
+{
+    VideoGenConfig cfg;
+    cfg.width = 128;
+    cfg.height = 128;
+    VideoGenerator gen(cfg);
+    const Frame f1 = gen.NextFrame();
+    const Frame f2 = gen.NextFrame();
+    // Motion is small: mean abs difference stays low but nonzero.
+    const double mad = MeanAbsDiff(f1.y, f2.y);
+    EXPECT_GT(mad, 0.1);
+    EXPECT_LT(mad, 20.0);
+}
+
+} // namespace
+} // namespace pim::video
