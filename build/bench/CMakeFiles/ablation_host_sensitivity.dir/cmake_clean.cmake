@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_host_sensitivity.dir/ablation_host_sensitivity.cc.o"
+  "CMakeFiles/ablation_host_sensitivity.dir/ablation_host_sensitivity.cc.o.d"
+  "ablation_host_sensitivity"
+  "ablation_host_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_host_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

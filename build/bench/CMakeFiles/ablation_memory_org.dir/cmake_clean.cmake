@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_org.dir/ablation_memory_org.cc.o"
+  "CMakeFiles/ablation_memory_org.dir/ablation_memory_org.cc.o.d"
+  "ablation_memory_org"
+  "ablation_memory_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pim_design.dir/ablation_pim_design.cc.o"
+  "CMakeFiles/ablation_pim_design.dir/ablation_pim_design.cc.o.d"
+  "ablation_pim_design"
+  "ablation_pim_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pim_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_scroll_energy.dir/fig01_scroll_energy.cc.o"
+  "CMakeFiles/fig01_scroll_energy.dir/fig01_scroll_energy.cc.o.d"
+  "fig01_scroll_energy"
+  "fig01_scroll_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_scroll_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

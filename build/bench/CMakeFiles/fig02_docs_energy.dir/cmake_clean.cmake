@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_docs_energy.dir/fig02_docs_energy.cc.o"
+  "CMakeFiles/fig02_docs_energy.dir/fig02_docs_energy.cc.o.d"
+  "fig02_docs_energy"
+  "fig02_docs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_docs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tab_switch.dir/fig04_tab_switch.cc.o"
+  "CMakeFiles/fig04_tab_switch.dir/fig04_tab_switch.cc.o.d"
+  "fig04_tab_switch"
+  "fig04_tab_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tab_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tf_energy.dir/fig06_tf_energy.cc.o"
+  "CMakeFiles/fig06_tf_energy.dir/fig06_tf_energy.cc.o.d"
+  "fig06_tf_energy"
+  "fig06_tf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tf_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

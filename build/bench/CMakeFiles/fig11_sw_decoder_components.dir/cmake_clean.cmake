@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sw_decoder_components.dir/fig11_sw_decoder_components.cc.o"
+  "CMakeFiles/fig11_sw_decoder_components.dir/fig11_sw_decoder_components.cc.o.d"
+  "fig11_sw_decoder_components"
+  "fig11_sw_decoder_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sw_decoder_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_sw_decoder_components.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_hw_decoder_traffic.cc" "bench/CMakeFiles/fig12_hw_decoder_traffic.dir/fig12_hw_decoder_traffic.cc.o" "gcc" "bench/CMakeFiles/fig12_hw_decoder_traffic.dir/fig12_hw_decoder_traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/browser/CMakeFiles/pim_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/ml/CMakeFiles/pim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/video/CMakeFiles/pim_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

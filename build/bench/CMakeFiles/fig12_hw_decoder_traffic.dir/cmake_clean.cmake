@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hw_decoder_traffic.dir/fig12_hw_decoder_traffic.cc.o"
+  "CMakeFiles/fig12_hw_decoder_traffic.dir/fig12_hw_decoder_traffic.cc.o.d"
+  "fig12_hw_decoder_traffic"
+  "fig12_hw_decoder_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hw_decoder_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

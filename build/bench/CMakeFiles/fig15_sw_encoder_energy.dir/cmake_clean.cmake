@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sw_encoder_energy.dir/fig15_sw_encoder_energy.cc.o"
+  "CMakeFiles/fig15_sw_encoder_energy.dir/fig15_sw_encoder_energy.cc.o.d"
+  "fig15_sw_encoder_energy"
+  "fig15_sw_encoder_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sw_encoder_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

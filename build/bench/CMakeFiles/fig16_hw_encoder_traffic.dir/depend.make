@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_hw_encoder_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_browser_kernels.dir/fig18_browser_kernels.cc.o"
+  "CMakeFiles/fig18_browser_kernels.dir/fig18_browser_kernels.cc.o.d"
+  "fig18_browser_kernels"
+  "fig18_browser_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_browser_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

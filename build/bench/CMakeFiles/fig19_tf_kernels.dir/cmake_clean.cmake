@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_tf_kernels.dir/fig19_tf_kernels.cc.o"
+  "CMakeFiles/fig19_tf_kernels.dir/fig19_tf_kernels.cc.o.d"
+  "fig19_tf_kernels"
+  "fig19_tf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_tf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_video_kernels.dir/fig20_video_kernels.cc.o"
+  "CMakeFiles/fig20_video_kernels.dir/fig20_video_kernels.cc.o.d"
+  "fig20_video_kernels"
+  "fig20_video_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_video_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_hw_codec_pim.dir/fig21_hw_codec_pim.cc.o"
+  "CMakeFiles/fig21_hw_codec_pim.dir/fig21_hw_codec_pim.cc.o.d"
+  "fig21_hw_codec_pim"
+  "fig21_hw_codec_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_hw_codec_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig21_hw_codec_pim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpim_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_scrolling.dir/browser_scrolling.cpp.o"
+  "CMakeFiles/browser_scrolling.dir/browser_scrolling.cpp.o.d"
+  "browser_scrolling"
+  "browser_scrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_scrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_session.dir/device_session.cpp.o"
+  "CMakeFiles/device_session.dir/device_session.cpp.o.d"
+  "device_session"
+  "device_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_compression.dir/filesystem_compression.cpp.o"
+  "CMakeFiles/filesystem_compression.dir/filesystem_compression.cpp.o.d"
+  "filesystem_compression"
+  "filesystem_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_common.dir/logging.cc.o"
+  "CMakeFiles/pim_common.dir/logging.cc.o.d"
+  "CMakeFiles/pim_common.dir/table.cc.o"
+  "CMakeFiles/pim_common.dir/table.cc.o.d"
+  "libpim_common.a"
+  "libpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

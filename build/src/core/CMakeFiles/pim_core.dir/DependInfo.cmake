@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/pim_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/coherence.cc" "src/core/CMakeFiles/pim_core.dir/coherence.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/coherence.cc.o.d"
+  "/root/repo/src/core/coherence_directory.cc" "src/core/CMakeFiles/pim_core.dir/coherence_directory.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/coherence_directory.cc.o.d"
+  "/root/repo/src/core/compute_model.cc" "src/core/CMakeFiles/pim_core.dir/compute_model.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/compute_model.cc.o.d"
+  "/root/repo/src/core/execution_context.cc" "src/core/CMakeFiles/pim_core.dir/execution_context.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/execution_context.cc.o.d"
+  "/root/repo/src/core/offload_runtime.cc" "src/core/CMakeFiles/pim_core.dir/offload_runtime.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/offload_runtime.cc.o.d"
+  "/root/repo/src/core/pim_target.cc" "src/core/CMakeFiles/pim_core.dir/pim_target.cc.o" "gcc" "src/core/CMakeFiles/pim_core.dir/pim_target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_core.dir/area_model.cc.o"
+  "CMakeFiles/pim_core.dir/area_model.cc.o.d"
+  "CMakeFiles/pim_core.dir/coherence.cc.o"
+  "CMakeFiles/pim_core.dir/coherence.cc.o.d"
+  "CMakeFiles/pim_core.dir/coherence_directory.cc.o"
+  "CMakeFiles/pim_core.dir/coherence_directory.cc.o.d"
+  "CMakeFiles/pim_core.dir/compute_model.cc.o"
+  "CMakeFiles/pim_core.dir/compute_model.cc.o.d"
+  "CMakeFiles/pim_core.dir/execution_context.cc.o"
+  "CMakeFiles/pim_core.dir/execution_context.cc.o.d"
+  "CMakeFiles/pim_core.dir/offload_runtime.cc.o"
+  "CMakeFiles/pim_core.dir/offload_runtime.cc.o.d"
+  "CMakeFiles/pim_core.dir/pim_target.cc.o"
+  "CMakeFiles/pim_core.dir/pim_target.cc.o.d"
+  "libpim_core.a"
+  "libpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/pim_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/pim_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/dram_timing.cc" "src/sim/CMakeFiles/pim_sim.dir/dram_timing.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/dram_timing.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/pim_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

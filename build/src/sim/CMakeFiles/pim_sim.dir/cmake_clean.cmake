@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_sim.dir/cache.cc.o"
+  "CMakeFiles/pim_sim.dir/cache.cc.o.d"
+  "CMakeFiles/pim_sim.dir/dram.cc.o"
+  "CMakeFiles/pim_sim.dir/dram.cc.o.d"
+  "CMakeFiles/pim_sim.dir/dram_timing.cc.o"
+  "CMakeFiles/pim_sim.dir/dram_timing.cc.o.d"
+  "CMakeFiles/pim_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/pim_sim.dir/hierarchy.cc.o.d"
+  "libpim_sim.a"
+  "libpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

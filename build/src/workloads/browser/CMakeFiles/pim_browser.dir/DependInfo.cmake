@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/browser/color_blitter.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/color_blitter.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/color_blitter.cc.o.d"
+  "/root/repo/src/workloads/browser/lzo.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/lzo.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/lzo.cc.o.d"
+  "/root/repo/src/workloads/browser/page_data.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/page_data.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/page_data.cc.o.d"
+  "/root/repo/src/workloads/browser/scroll_sim.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/scroll_sim.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/scroll_sim.cc.o.d"
+  "/root/repo/src/workloads/browser/tab_switch.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/tab_switch.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/tab_switch.cc.o.d"
+  "/root/repo/src/workloads/browser/texture_tiler.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/texture_tiler.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/texture_tiler.cc.o.d"
+  "/root/repo/src/workloads/browser/webpage.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/webpage.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/webpage.cc.o.d"
+  "/root/repo/src/workloads/browser/zram.cc" "src/workloads/browser/CMakeFiles/pim_browser.dir/zram.cc.o" "gcc" "src/workloads/browser/CMakeFiles/pim_browser.dir/zram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

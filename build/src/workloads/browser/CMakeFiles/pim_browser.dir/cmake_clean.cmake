@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_browser.dir/color_blitter.cc.o"
+  "CMakeFiles/pim_browser.dir/color_blitter.cc.o.d"
+  "CMakeFiles/pim_browser.dir/lzo.cc.o"
+  "CMakeFiles/pim_browser.dir/lzo.cc.o.d"
+  "CMakeFiles/pim_browser.dir/page_data.cc.o"
+  "CMakeFiles/pim_browser.dir/page_data.cc.o.d"
+  "CMakeFiles/pim_browser.dir/scroll_sim.cc.o"
+  "CMakeFiles/pim_browser.dir/scroll_sim.cc.o.d"
+  "CMakeFiles/pim_browser.dir/tab_switch.cc.o"
+  "CMakeFiles/pim_browser.dir/tab_switch.cc.o.d"
+  "CMakeFiles/pim_browser.dir/texture_tiler.cc.o"
+  "CMakeFiles/pim_browser.dir/texture_tiler.cc.o.d"
+  "CMakeFiles/pim_browser.dir/webpage.cc.o"
+  "CMakeFiles/pim_browser.dir/webpage.cc.o.d"
+  "CMakeFiles/pim_browser.dir/zram.cc.o"
+  "CMakeFiles/pim_browser.dir/zram.cc.o.d"
+  "libpim_browser.a"
+  "libpim_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

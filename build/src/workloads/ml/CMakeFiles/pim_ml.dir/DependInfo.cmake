@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ml/conv2d.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/conv2d.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/conv2d.cc.o.d"
+  "/root/repo/src/workloads/ml/gemm.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/gemm.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/gemm.cc.o.d"
+  "/root/repo/src/workloads/ml/inference.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/inference.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/inference.cc.o.d"
+  "/root/repo/src/workloads/ml/network.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/network.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/network.cc.o.d"
+  "/root/repo/src/workloads/ml/pack.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/pack.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/pack.cc.o.d"
+  "/root/repo/src/workloads/ml/quantize.cc" "src/workloads/ml/CMakeFiles/pim_ml.dir/quantize.cc.o" "gcc" "src/workloads/ml/CMakeFiles/pim_ml.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

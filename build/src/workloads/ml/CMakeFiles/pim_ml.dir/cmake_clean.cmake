@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_ml.dir/conv2d.cc.o"
+  "CMakeFiles/pim_ml.dir/conv2d.cc.o.d"
+  "CMakeFiles/pim_ml.dir/gemm.cc.o"
+  "CMakeFiles/pim_ml.dir/gemm.cc.o.d"
+  "CMakeFiles/pim_ml.dir/inference.cc.o"
+  "CMakeFiles/pim_ml.dir/inference.cc.o.d"
+  "CMakeFiles/pim_ml.dir/network.cc.o"
+  "CMakeFiles/pim_ml.dir/network.cc.o.d"
+  "CMakeFiles/pim_ml.dir/pack.cc.o"
+  "CMakeFiles/pim_ml.dir/pack.cc.o.d"
+  "CMakeFiles/pim_ml.dir/quantize.cc.o"
+  "CMakeFiles/pim_ml.dir/quantize.cc.o.d"
+  "libpim_ml.a"
+  "libpim_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/video/deblock.cc" "src/workloads/video/CMakeFiles/pim_video.dir/deblock.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/deblock.cc.o.d"
+  "/root/repo/src/workloads/video/decoder.cc" "src/workloads/video/CMakeFiles/pim_video.dir/decoder.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/decoder.cc.o.d"
+  "/root/repo/src/workloads/video/encoder.cc" "src/workloads/video/CMakeFiles/pim_video.dir/encoder.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/encoder.cc.o.d"
+  "/root/repo/src/workloads/video/entropy.cc" "src/workloads/video/CMakeFiles/pim_video.dir/entropy.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/entropy.cc.o.d"
+  "/root/repo/src/workloads/video/filters.cc" "src/workloads/video/CMakeFiles/pim_video.dir/filters.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/filters.cc.o.d"
+  "/root/repo/src/workloads/video/frame.cc" "src/workloads/video/CMakeFiles/pim_video.dir/frame.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/frame.cc.o.d"
+  "/root/repo/src/workloads/video/hw_model.cc" "src/workloads/video/CMakeFiles/pim_video.dir/hw_model.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/hw_model.cc.o.d"
+  "/root/repo/src/workloads/video/mc.cc" "src/workloads/video/CMakeFiles/pim_video.dir/mc.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/mc.cc.o.d"
+  "/root/repo/src/workloads/video/motion.cc" "src/workloads/video/CMakeFiles/pim_video.dir/motion.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/motion.cc.o.d"
+  "/root/repo/src/workloads/video/subpel.cc" "src/workloads/video/CMakeFiles/pim_video.dir/subpel.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/subpel.cc.o.d"
+  "/root/repo/src/workloads/video/transform.cc" "src/workloads/video/CMakeFiles/pim_video.dir/transform.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/transform.cc.o.d"
+  "/root/repo/src/workloads/video/video_gen.cc" "src/workloads/video/CMakeFiles/pim_video.dir/video_gen.cc.o" "gcc" "src/workloads/video/CMakeFiles/pim_video.dir/video_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

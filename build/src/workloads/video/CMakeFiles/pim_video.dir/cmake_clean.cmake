@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_video.dir/deblock.cc.o"
+  "CMakeFiles/pim_video.dir/deblock.cc.o.d"
+  "CMakeFiles/pim_video.dir/decoder.cc.o"
+  "CMakeFiles/pim_video.dir/decoder.cc.o.d"
+  "CMakeFiles/pim_video.dir/encoder.cc.o"
+  "CMakeFiles/pim_video.dir/encoder.cc.o.d"
+  "CMakeFiles/pim_video.dir/entropy.cc.o"
+  "CMakeFiles/pim_video.dir/entropy.cc.o.d"
+  "CMakeFiles/pim_video.dir/filters.cc.o"
+  "CMakeFiles/pim_video.dir/filters.cc.o.d"
+  "CMakeFiles/pim_video.dir/frame.cc.o"
+  "CMakeFiles/pim_video.dir/frame.cc.o.d"
+  "CMakeFiles/pim_video.dir/hw_model.cc.o"
+  "CMakeFiles/pim_video.dir/hw_model.cc.o.d"
+  "CMakeFiles/pim_video.dir/mc.cc.o"
+  "CMakeFiles/pim_video.dir/mc.cc.o.d"
+  "CMakeFiles/pim_video.dir/motion.cc.o"
+  "CMakeFiles/pim_video.dir/motion.cc.o.d"
+  "CMakeFiles/pim_video.dir/subpel.cc.o"
+  "CMakeFiles/pim_video.dir/subpel.cc.o.d"
+  "CMakeFiles/pim_video.dir/transform.cc.o"
+  "CMakeFiles/pim_video.dir/transform.cc.o.d"
+  "CMakeFiles/pim_video.dir/video_gen.cc.o"
+  "CMakeFiles/pim_video.dir/video_gen.cc.o.d"
+  "libpim_video.a"
+  "libpim_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blitter.cc" "tests/CMakeFiles/pim_tests.dir/test_blitter.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_blitter.cc.o.d"
+  "/root/repo/tests/test_browser_sim.cc" "tests/CMakeFiles/pim_tests.dir/test_browser_sim.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_browser_sim.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/pim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_codec_sweeps.cc" "tests/CMakeFiles/pim_tests.dir/test_codec_sweeps.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_codec_sweeps.cc.o.d"
+  "/root/repo/tests/test_coherence_directory.cc" "tests/CMakeFiles/pim_tests.dir/test_coherence_directory.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_coherence_directory.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_contracts.cc" "tests/CMakeFiles/pim_tests.dir/test_contracts.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_contracts.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/pim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram_timing.cc" "tests/CMakeFiles/pim_tests.dir/test_dram_timing.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_dram_timing.cc.o.d"
+  "/root/repo/tests/test_energy_timing.cc" "tests/CMakeFiles/pim_tests.dir/test_energy_timing.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_energy_timing.cc.o.d"
+  "/root/repo/tests/test_hw_model.cc" "tests/CMakeFiles/pim_tests.dir/test_hw_model.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_hw_model.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_lzo.cc" "tests/CMakeFiles/pim_tests.dir/test_lzo.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_lzo.cc.o.d"
+  "/root/repo/tests/test_ml.cc" "tests/CMakeFiles/pim_tests.dir/test_ml.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_ml.cc.o.d"
+  "/root/repo/tests/test_models_props.cc" "tests/CMakeFiles/pim_tests.dir/test_models_props.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_models_props.cc.o.d"
+  "/root/repo/tests/test_texture_tiler.cc" "tests/CMakeFiles/pim_tests.dir/test_texture_tiler.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_texture_tiler.cc.o.d"
+  "/root/repo/tests/test_video_codec.cc" "tests/CMakeFiles/pim_tests.dir/test_video_codec.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_video_codec.cc.o.d"
+  "/root/repo/tests/test_video_filters.cc" "tests/CMakeFiles/pim_tests.dir/test_video_filters.cc.o" "gcc" "tests/CMakeFiles/pim_tests.dir/test_video_filters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/browser/CMakeFiles/pim_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/ml/CMakeFiles/pim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/video/CMakeFiles/pim_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
