@@ -16,6 +16,8 @@
 #include "common/rng.h"
 #include "core/coherence.h"
 #include "sim/hierarchy.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
 #include "workloads/browser/texture_tiler.h"
 
 namespace {
@@ -53,18 +55,48 @@ BENCHMARK(BM_TileHostBaseline)->Unit(benchmark::kMillisecond);
 void
 PrintAblations()
 {
-    // --- 1. LLC capacity vs. texture tiling movement.
+    // --- 1. LLC capacity vs. texture tiling movement.  The kernel
+    // runs once; the LLC sweep replays its recorded stream into every
+    // capacity point concurrently.
     {
         Table table(
             "Ablation 5 — LLC capacity vs tiling movement (512x512)");
         table.SetHeader({"LLC", "off-chip MB", "movement share",
                          "MPKI"});
-        for (const Bytes llc : {Bytes{512_KiB}, Bytes{1_MiB},
-                                Bytes{2_MiB}, Bytes{4_MiB},
-                                Bytes{8_MiB}}) {
-            const auto r = TileOnHost(512, llc);
+
+        sim::AccessTrace trace;
+        sim::OpCounts ops;
+        {
+            Rng rng(9);
+            browser::Bitmap linear(512, 512);
+            linear.Randomize(rng);
+            browser::TiledTexture tiled(512, 512);
+            ExecutionContext ctx(ExecutionTarget::kCpuOnly,
+                                 core::CpuComputeModel(),
+                                 sim::HostHierarchyConfig());
+            ctx.AttachTrace(trace);
+            browser::TileTexture(linear, tiled, ctx);
+            ops = ctx.ops().counts();
+        }
+
+        const std::vector<Bytes> llc_sizes = {512_KiB, 1_MiB, 2_MiB,
+                                              4_MiB, 8_MiB};
+        std::vector<sim::HierarchyConfig> configs;
+        for (const Bytes llc : llc_sizes) {
+            sim::HierarchyConfig hier = sim::HostHierarchyConfig();
+            hier.llc->size = llc;
+            configs.push_back(hier);
+        }
+        const sim::SweepRunner runner;
+        const auto counters = runner.ReplayTrace(trace, configs);
+
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const auto r = core::SynthesizeReport(
+                "tiling", ExecutionTarget::kCpuOnly,
+                core::CpuComputeModel(), configs[i], ops, counters[i]);
             table.AddRow({
-                Table::Num(static_cast<double>(llc) / (1 << 20), 1) +
+                Table::Num(static_cast<double>(llc_sizes[i]) / (1 << 20),
+                           1) +
                     " MiB",
                 Table::Num(r.counters.OffChipBytes() / 1.0e6, 2),
                 Table::Pct(r.energy.DataMovementFraction()),
@@ -107,7 +139,7 @@ PrintAblations()
             browser::Bitmap linear(px, px);
             linear.Randomize(rng);
             core::OffloadRuntime rt;
-            const auto reports = rt.RunAll(
+            const auto reports = rt.RunAllReplayed(
                 "tiling", {linear.size_bytes(), linear.size_bytes()},
                 [&](ExecutionContext &ctx) {
                     browser::TiledTexture tiled(px, px);

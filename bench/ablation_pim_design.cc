@@ -7,15 +7,22 @@
  *   3. number of cooperating vault PIM cores
  *   4. accelerator in-memory logic unit count (the paper picks 4)
  *
- * Each sweep runs the texture-tiling kernel (memory-bound) and the
- * motion-estimation kernel (compute-lean but SIMD-heavy) on a custom
- * execution context and reports runtime and energy.
+ * Each sweep evaluates the texture-tiling kernel (memory-bound) and the
+ * motion-estimation kernel (compute-lean but SIMD-heavy).  The kernels
+ * execute once each, recording their access stream and op mix; every
+ * sweep point is then a cheap trace replay / report synthesis.  The
+ * replays into distinct hierarchy shapes run concurrently on the
+ * SweepRunner — compute-model parameters (SIMD width, lanes, bandwidth)
+ * do not change cache counters, so design points sharing a hierarchy
+ * share one replay.
  */
 
 #include "bench_common.h"
 
 #include "common/rng.h"
 #include "sim/hierarchy.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
 #include "workloads/browser/texture_tiler.h"
 #include "workloads/video/motion.h"
 #include "workloads/video/video_gen.h"
@@ -27,29 +34,44 @@ using core::ComputeModel;
 using core::ExecutionContext;
 using core::ExecutionTarget;
 
-/** Run the tiling kernel on a context built from @p model / @p hier. */
-core::RunReport
-RunTiling(const ComputeModel &model, const sim::HierarchyConfig &hier)
+/** A kernel's target-independent profile: access stream + op mix. */
+struct RecordedKernel
+{
+    sim::AccessTrace trace;
+    sim::OpCounts ops;
+};
+
+/** Execute the tiling kernel once, recording its profile. */
+RecordedKernel
+RecordTiling()
 {
     Rng rng(1);
     browser::Bitmap linear(512, 512);
     linear.Randomize(rng);
     browser::TiledTexture tiled(512, 512);
-    ExecutionContext ctx(ExecutionTarget::kPimCore, model, hier);
+    RecordedKernel rec;
+    ExecutionContext ctx(ExecutionTarget::kPimCore,
+                         core::PimCoreComputeModel(),
+                         sim::PimCoreHierarchyConfig());
+    ctx.AttachTrace(rec.trace);
     browser::TileTexture(linear, tiled, ctx);
-    return ctx.Report("tiling");
+    rec.ops = ctx.ops().counts();
+    return rec;
 }
 
-/** Run a one-frame ME sweep on a context built from @p model. */
-core::RunReport
-RunMotionEstimation(const ComputeModel &model,
-                    const sim::HierarchyConfig &hier)
+/** Execute the one-frame ME sweep once, recording its profile. */
+RecordedKernel
+RecordMotionEstimation()
 {
     video::VideoGenConfig cfg;
     cfg.width = 320;
     cfg.height = 192;
     const auto frames = video::GenerateClip(cfg, 4);
-    ExecutionContext ctx(ExecutionTarget::kPimCore, model, hier);
+    RecordedKernel rec;
+    ExecutionContext ctx(ExecutionTarget::kPimCore,
+                         core::PimCoreComputeModel(),
+                         sim::PimCoreHierarchyConfig());
+    ctx.AttachTrace(rec.trace);
     const std::vector<const video::Plane *> refs = {
         &frames[0].y, &frames[1].y, &frames[2].y};
     for (int y = 0; y < cfg.height; y += 16) {
@@ -58,16 +80,30 @@ RunMotionEstimation(const ComputeModel &model,
                                  video::MotionSearchParams{}, ctx);
         }
     }
-    return ctx.Report("motion-estimation");
+    rec.ops = ctx.ops().counts();
+    return rec;
+}
+
+/** Synthesize the report a native run on (model, hier) would produce. */
+core::RunReport
+PointReport(const char *name, const ComputeModel &model,
+            const sim::HierarchyConfig &hier, const RecordedKernel &rec,
+            const sim::PerfCounters &counters)
+{
+    return core::SynthesizeReport(name, ExecutionTarget::kPimCore, model,
+                                  hier, rec.ops, counters);
 }
 
 void
 BM_AblationProbe(benchmark::State &state)
 {
     for (auto _ : state) {
+        const RecordedKernel rec = RecordTiling();
+        sim::MemoryHierarchy mh(sim::PimCoreHierarchyConfig());
+        rec.trace.ReplayInto(mh.Top());
         benchmark::DoNotOptimize(
-            RunTiling(core::PimCoreComputeModel(),
-                      sim::PimCoreHierarchyConfig())
+            PointReport("tiling", core::PimCoreComputeModel(),
+                        sim::PimCoreHierarchyConfig(), rec, mh.Snapshot())
                 .TotalTimeNs());
     }
 }
@@ -76,6 +112,23 @@ BENCHMARK(BM_AblationProbe)->Unit(benchmark::kMillisecond);
 void
 PrintAblations()
 {
+    const RecordedKernel me = RecordMotionEstimation();
+    const RecordedKernel tiling = RecordTiling();
+
+    // One replay per distinct (stream, hierarchy) pair, concurrently.
+    sim::PerfCounters me_on_core, me_on_acc, tiling_on_core;
+    const sim::SweepRunner runner;
+    runner.ForEach(3, [&](std::size_t i) {
+        const RecordedKernel &rec = (i == 2) ? tiling : me;
+        const sim::HierarchyConfig hier =
+            (i == 1) ? sim::PimAccelHierarchyConfig()
+                     : sim::PimCoreHierarchyConfig();
+        sim::MemoryHierarchy mh(hier);
+        rec.trace.ReplayInto(mh.Top());
+        (i == 0 ? me_on_core : i == 1 ? me_on_acc : tiling_on_core) =
+            mh.Snapshot();
+    });
+
     // --- 1. SIMD width of the PIM core.
     {
         Table table("Ablation 1 — PIM core SIMD width (ME kernel)");
@@ -84,8 +137,9 @@ PrintAblations()
         for (const std::uint32_t width : {1u, 2u, 4u, 8u, 16u}) {
             ComputeModel model = core::PimCoreComputeModel();
             model.simd_width = width;
-            const auto r = RunMotionEstimation(
-                model, sim::PimCoreHierarchyConfig());
+            const auto r =
+                PointReport("motion-estimation", model,
+                            sim::PimCoreHierarchyConfig(), me, me_on_core);
             table.AddRow({
                 std::to_string(width),
                 Table::Num(r.TotalTimeNs() / 1e3, 1),
@@ -105,8 +159,9 @@ PrintAblations()
         for (const double gbps : {32.0, 64.0, 128.0, 256.0, 512.0}) {
             sim::HierarchyConfig hier = sim::PimCoreHierarchyConfig();
             hier.dram.bandwidth_gbps = gbps;
-            const auto r =
-                RunTiling(core::PimCoreComputeModel(), hier);
+            const auto r = PointReport("tiling",
+                                       core::PimCoreComputeModel(), hier,
+                                       tiling, tiling_on_core);
             table.AddRow({
                 Table::Num(gbps, 0),
                 Table::Num(r.TotalTimeNs() / 1e3, 1),
@@ -124,8 +179,9 @@ PrintAblations()
         for (const double lanes : {1.0, 2.0, 4.0, 8.0, 16.0}) {
             ComputeModel model = core::PimCoreComputeModel();
             model.parallel_lanes = lanes;
-            const auto r = RunMotionEstimation(
-                model, sim::PimCoreHierarchyConfig());
+            const auto r =
+                PointReport("motion-estimation", model,
+                            sim::PimCoreHierarchyConfig(), me, me_on_core);
             if (base == 0.0) {
                 base = r.TotalTimeNs();
             }
@@ -146,8 +202,9 @@ PrintAblations()
         for (const std::uint32_t units : {1u, 2u, 4u, 8u}) {
             const ComputeModel model =
                 core::PimAccelComputeModel(units, 16.0);
-            const auto r = RunMotionEstimation(
-                model, sim::PimAccelHierarchyConfig());
+            const auto r =
+                PointReport("motion-estimation", model,
+                            sim::PimAccelHierarchyConfig(), me, me_on_acc);
             table.AddRow({
                 std::to_string(units),
                 Table::Num(r.TotalTimeNs() / 1e3, 1),

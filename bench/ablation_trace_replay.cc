@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "sim/hierarchy.h"
+#include "sim/sweep.h"
 #include "sim/trace.h"
 #include "workloads/browser/texture_tiler.h"
 
@@ -57,29 +58,38 @@ PrintTraceStudy()
     table.SetHeader({"organization", "L1 miss rate", "off-chip MB",
                      "movement energy (uJ)"});
 
-    const auto replay = [&](const char *name,
-                            const sim::HierarchyConfig &hier) {
-        sim::MemoryHierarchy mh(hier);
-        trace.ReplayInto(mh.Top());
-        const auto pc = mh.Snapshot();
-        sim::EnergyModel energy;
-        table.AddRow({
-            name,
-            Table::Pct(pc.l1.MissRate()),
-            Table::Num(pc.dram.TotalBytes() / 1.0e6, 2),
-            Table::Num(
-                energy.MemoryEnergy(pc, hier.dram).Total() / 1e6, 1),
-        });
-    };
-
-    replay("host (64K L1 + 2M LLC, LPDDR3)", sim::HostHierarchyConfig());
+    // Record once, replay every design point concurrently.
     sim::HierarchyConfig big_llc = sim::HostHierarchyConfig();
     big_llc.llc->size = 8_MiB;
-    replay("host with 8M LLC", big_llc);
-    replay("host on 3D-stacked channel",
-           sim::HostStackedHierarchyConfig());
-    replay("PIM core (32K L1, in-stack)", sim::PimCoreHierarchyConfig());
-    replay("PIM accelerator buffer", sim::PimAccelHierarchyConfig());
+    const std::vector<const char *> names = {
+        "host (64K L1 + 2M LLC, LPDDR3)",
+        "host with 8M LLC",
+        "host on 3D-stacked channel",
+        "PIM core (32K L1, in-stack)",
+        "PIM accelerator buffer",
+    };
+    const std::vector<sim::HierarchyConfig> configs = {
+        sim::HostHierarchyConfig(),
+        big_llc,
+        sim::HostStackedHierarchyConfig(),
+        sim::PimCoreHierarchyConfig(),
+        sim::PimAccelHierarchyConfig(),
+    };
+
+    const sim::SweepRunner runner;
+    const auto counters = runner.ReplayTrace(trace, configs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto &pc = counters[i];
+        sim::EnergyModel energy;
+        table.AddRow({
+            names[i],
+            Table::Pct(pc.l1.MissRate()),
+            Table::Num(pc.dram.TotalBytes() / 1.0e6, 2),
+            Table::Num(energy.MemoryEnergy(pc, configs[i].dram).Total() /
+                           1e6,
+                       1),
+        });
+    }
     table.Print();
 
     std::printf("trace: %zu accesses, %.1f MB touched\n\n", trace.size(),

@@ -25,8 +25,11 @@ RunKernelAllTargets(
     const std::string &name, const OffloadFootprint &footprint,
     const std::function<void(ExecutionContext &)> &kernel)
 {
+    // Trace-driven path: the kernel's computation runs once (CPU-Only,
+    // recording its stream); the PIM targets are evaluated by parallel
+    // batched replay.  See OffloadRuntime::RunAllReplayed.
     OffloadRuntime rt;
-    const auto reports = rt.RunAll(name, footprint, kernel);
+    const auto reports = rt.RunAllReplayed(name, footprint, kernel);
     return {name, reports[0], reports[1], reports[2]};
 }
 

@@ -68,6 +68,30 @@ ExecutionContext::Reset(bool drain_caches)
     ops_.Reset();
 }
 
+RunReport
+SynthesizeReport(const std::string &kernel_name, ExecutionTarget target,
+                 const ComputeModel &compute,
+                 const sim::HierarchyConfig &hierarchy,
+                 const sim::OpCounts &ops,
+                 const sim::PerfCounters &counters)
+{
+    RunReport r;
+    r.kernel = kernel_name;
+    r.target = target;
+    r.target_name = TargetName(target);
+    r.ops = ops;
+    r.counters = counters;
+
+    const sim::EnergyModel energy_model;
+    r.energy = energy_model.MemoryEnergy(counters, hierarchy.dram);
+    r.energy.compute = compute.ComputeEnergy(ops);
+
+    const Nanoseconds issue = compute.IssueTime(ops);
+    r.timing = sim::EvaluateTiming(issue, counters, hierarchy.dram,
+                                   compute.mem_timing);
+    return r;
+}
+
 std::vector<RunReport>
 RunOnAllTargets(const std::string &kernel_name,
                 const std::function<void(ExecutionContext &)> &kernel)

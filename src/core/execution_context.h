@@ -129,6 +129,19 @@ std::vector<RunReport>
 RunOnAllTargets(const std::string &kernel_name,
                 const std::function<void(ExecutionContext &)> &kernel);
 
+/**
+ * Build the report a native run would have produced, from a replayed
+ * counter snapshot: the trace-driven path records the kernel's access
+ * stream and op mix once, replays the stream into @p hierarchy's shape,
+ * and derives energy/timing exactly as ExecutionContext::Report does.
+ */
+RunReport
+SynthesizeReport(const std::string &kernel_name, ExecutionTarget target,
+                 const ComputeModel &compute,
+                 const sim::HierarchyConfig &hierarchy,
+                 const sim::OpCounts &ops,
+                 const sim::PerfCounters &counters);
+
 } // namespace pim::core
 
 #endif // PIM_CORE_EXECUTION_CONTEXT_H

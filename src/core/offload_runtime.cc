@@ -1,6 +1,8 @@
 #include "core/offload_runtime.h"
 
 #include "core/coherence_directory.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
 
 namespace pim::core {
 
@@ -60,6 +62,42 @@ OffloadRuntime::RunTracked(
     report.overhead_ns = coherence_.launch_latency_ns +
                          flush_bytes / coherence_.flush_bandwidth_gbps;
     return report;
+}
+
+std::vector<RunReport>
+OffloadRuntime::RunAllReplayed(
+    const std::string &kernel_name, const OffloadFootprint &footprint,
+    const std::function<void(ExecutionContext &)> &kernel) const
+{
+    // Native CPU-Only run, teeing the access stream into a trace.
+    sim::AccessTrace trace;
+    ExecutionContext cpu_ctx(ExecutionTarget::kCpuOnly);
+    cpu_ctx.AttachTrace(trace);
+    kernel(cpu_ctx);
+    cpu_ctx.DetachTrace();
+
+    std::vector<RunReport> reports(3);
+    reports[0] = cpu_ctx.Report(kernel_name);
+
+    // Replay the recorded stream into both PIM hierarchies in parallel.
+    const std::vector<sim::HierarchyConfig> configs = {
+        sim::PimCoreHierarchyConfig(), sim::PimAccelHierarchyConfig()};
+    const ExecutionTarget targets[] = {ExecutionTarget::kPimCore,
+                                       ExecutionTarget::kPimAccel};
+    const sim::SweepRunner runner;
+    const auto counters = runner.ReplayTrace(trace, configs);
+
+    const CoherenceCost cost = EstimateOffloadCoherence(
+        footprint.input_bytes, footprint.output_bytes, coherence_);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        RunReport r = SynthesizeReport(
+            kernel_name, targets[i], ModelForTarget(targets[i]),
+            configs[i], reports[0].ops, counters[i]);
+        r.overhead_ns = cost.time_ns;
+        r.energy.interconnect += cost.energy_pj;
+        reports[i + 1] = r;
+    }
+    return reports;
 }
 
 std::vector<RunReport>

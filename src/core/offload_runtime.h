@@ -60,6 +60,23 @@ class OffloadRuntime
            const std::function<void(ExecutionContext &)> &kernel) const;
 
     /**
+     * Trace-driven RunAll: execute @p kernel natively once (CPU-Only),
+     * recording its access stream and op mix, then replay the stream
+     * into the two PIM hierarchies concurrently (sim::SweepRunner) and
+     * synthesize their reports.  The kernel's computation runs once
+     * instead of three times, and the replays use the batched sink
+     * path — this is the fast path Figures 18-20 and the ablations use.
+     *
+     * Report order matches RunAll: (CPU-Only, PIM-Core, PIM-Acc), with
+     * the same per-target coherence overheads applied.
+     */
+    std::vector<RunReport>
+    RunAllReplayed(const std::string &kernel_name,
+                   const OffloadFootprint &footprint,
+                   const std::function<void(ExecutionContext &)> &kernel)
+        const;
+
+    /**
      * Like Run(), but derives the coherence cost from a *tracked*
      * directory (see coherence_directory.h) instead of the analytic
      * resident/dirty-fraction estimate: the caller records the host's

@@ -6,17 +6,79 @@
  * Kernels perform real computation on host memory and, alongside, report
  * every simulated load/store to a MemorySink.  The sink is typically the
  * top of a cache hierarchy; the terminal sink is a DRAM counter.
+ *
+ * Sinks accept accesses one at a time (Access) or as a packed batch
+ * (AccessBatch).  The batched form exists because trace replay is the
+ * simulator's hot path: replaying hundreds of millions of entries one
+ * virtual call at a time is dominated by dispatch overhead, so sinks on
+ * that path override AccessBatch and amortize it.
  */
 
 #ifndef PIM_SIM_ACCESS_H
 #define PIM_SIM_ACCESS_H
 
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace pim::sim {
 
 /** Direction of a memory access. */
 enum class AccessType { kRead, kWrite };
+
+/**
+ * One recorded access, packed into a single 64-bit word so traces of
+ * hundreds of millions of entries stay cache-resident during replay:
+ *
+ *   bit  63     access type (0 = read, 1 = write)
+ *   bits 62..40 byte count (23 bits, accesses up to 8 MiB - 1)
+ *   bits 39..0  simulated byte address (40 bits, 1 TiB address space)
+ *
+ * Both limits are far above what the instrumented kernels produce
+ * (SimAddressSpace is a bump allocator starting at 256 MiB; kernel
+ * accesses are at most a few frames' worth of bytes); the constructor
+ * asserts them so a violation is loud rather than silently wrapped.
+ */
+struct TraceEntry
+{
+    static constexpr std::uint32_t kAddrBits = 40;
+    static constexpr std::uint32_t kBytesBits = 23;
+    static constexpr Address kMaxAddr =
+        (Address{1} << kAddrBits) - 1;
+    static constexpr Bytes kMaxBytes = (Bytes{1} << kBytesBits) - 1;
+
+    std::uint64_t word = 0;
+
+    TraceEntry() = default;
+
+    TraceEntry(Address addr, Bytes bytes, AccessType type)
+    {
+        PIM_ASSERT(addr <= kMaxAddr,
+                   "trace address 0x%llx exceeds %u-bit space",
+                   static_cast<unsigned long long>(addr), kAddrBits);
+        PIM_ASSERT(bytes <= kMaxBytes,
+                   "trace access of %llu bytes exceeds %u-bit count",
+                   static_cast<unsigned long long>(bytes), kBytesBits);
+        word = addr |
+               (static_cast<std::uint64_t>(bytes) << kAddrBits) |
+               (static_cast<std::uint64_t>(type == AccessType::kWrite)
+                << 63);
+    }
+
+    Address addr() const { return word & kMaxAddr; }
+    Bytes bytes() const { return (word >> kAddrBits) & kMaxBytes; }
+    AccessType
+    type() const
+    {
+        return (word >> 63) != 0 ? AccessType::kWrite
+                                 : AccessType::kRead;
+    }
+};
+
+static_assert(sizeof(TraceEntry) == 8,
+              "TraceEntry must stay one 64-bit word");
 
 /**
  * Receiver of a stream of memory accesses.
@@ -34,6 +96,22 @@ class MemorySink
      * span multiple cache lines (implementations split as needed).
      */
     virtual void Access(Address addr, Bytes bytes, AccessType type) = 0;
+
+    /**
+     * Process @p count packed accesses in order.  Semantically identical
+     * to calling Access once per entry — the default does exactly that —
+     * but sinks on the replay hot path (Cache, DramCounter,
+     * TraceRecorder) override it to amortize virtual dispatch across the
+     * whole batch.  Counters must be bit-identical to the scalar path.
+     */
+    virtual void
+    AccessBatch(const TraceEntry *entries, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            Access(entries[i].addr(), entries[i].bytes(),
+                   entries[i].type());
+        }
+    }
 };
 
 /** A sink that discards accesses (used to run kernels untraced). */
@@ -41,6 +119,7 @@ class NullSink final : public MemorySink
 {
   public:
     void Access(Address, Bytes, AccessType) override {}
+    void AccessBatch(const TraceEntry *, std::size_t) override {}
 };
 
 /**

@@ -1,5 +1,8 @@
 #include "sim/cache.h"
 
+#include <bit>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace pim::sim {
@@ -18,13 +21,22 @@ Cache::Cache(const CacheConfig &config, MemorySink &below)
                static_cast<unsigned long long>(set_bytes));
     num_sets_ = config_.size / set_bytes;
     lines_.resize(num_sets_ * config_.associativity);
-}
 
-std::size_t
-Cache::SetIndex(Address line_addr) const
-{
-    return static_cast<std::size_t>((line_addr / config_.line_bytes) %
-                                    num_sets_);
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.line_bytes));
+    line_mask_ = config_.line_bytes - 1;
+    pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
+    set_mask_ = num_sets_ - 1;
+
+    const std::uint32_t assoc = config_.associativity;
+    const bool pow2_assoc = (assoc & (assoc - 1)) == 0;
+    const auto way_shift =
+        static_cast<std::uint32_t>(std::countr_zero(assoc));
+    fast_batch_ = pow2_sets_ && pow2_assoc && way_shift <= line_shift_;
+    if (fast_batch_) {
+        slot_shift_ = line_shift_ - way_shift;
+        slot_mask_ = set_mask_ << way_shift;
+    }
 }
 
 void
@@ -33,12 +45,227 @@ Cache::Access(Address addr, Bytes bytes, AccessType type)
     if (bytes == 0) {
         return;
     }
-    const Bytes line = config_.line_bytes;
-    Address cur = addr & ~(line - 1);
-    const Address end = addr + bytes;
-    for (; cur < end; cur += line) {
-        AccessLine(cur, type);
+    AccessSpan(addr, bytes, type);
+}
+
+void
+Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
+{
+    // Stage miss traffic for the level below while the batch runs; it
+    // is drained before returning (and around any event the staging
+    // buffer cannot represent), so ordering and counters are identical
+    // to the scalar path.
+    batching_below_ = true;
+
+    if (!fast_batch_) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const TraceEntry e = entries[i];
+            if (e.bytes() != 0) {
+                AccessSpan(e.addr(), e.bytes(), e.type());
+            }
+        }
+        FlushBelow();
+        batching_below_ = false;
+        return;
     }
+
+    // Registerized fast path.  Every hit and every fill moves its line
+    // to way 0 of its set (see AccessLine), so a single-line access
+    // whose set's way 0 holds the line is a hit — exactly the way-0
+    // fast path of AccessLine, with identical counter updates.
+    //
+    // The loop is split into *runs*: the inner loop handles consecutive
+    // way-0 hits and contains no function call, so the geometry, tick,
+    // and hit counters live entirely in registers (with the slow path
+    // inlined into the same loop body they all spill to the stack and
+    // each iteration pays half a dozen reloads).  Any entry the fast
+    // path cannot prove a hit breaks out, commits the register state,
+    // takes the full scalar route, and a new run begins.
+    std::size_t i = 0;
+    while (i < count) {
+        Line *const lines = lines_.data();
+        const Address line_mask = line_mask_;
+        const std::uint32_t slot_shift = slot_shift_;
+        const std::size_t slot_mask = slot_mask_;
+        // Degrades to re-checking way 0 on direct-mapped caches.
+        const std::ptrdiff_t way1 = config_.associativity > 1 ? 1 : 0;
+        // Every probe the fast loop commits is a hit and bumps `tick`
+        // exactly once, so total hits fall out of the tick delta at
+        // commit time — only the write share needs its own counter.
+        const std::uint64_t tick_start = tick_;
+        std::uint64_t tick = tick_;
+        std::uint64_t write_hits = 0;
+
+        // Bits 0..39 of the packed word are the address, so the line
+        // offset is (word & line_mask) and the line address needs only
+        // one combined mask — no full unpack in the hot loop.
+        const Address line_select = TraceEntry::kMaxAddr & ~line_mask;
+        const Bytes line_bytes = line_mask + 1;
+
+        // Resolve a line to its slot if (and only if) it is a fast-path
+        // hit: resident in way 0 (the MRU way, see AccessLine) or way 1.
+        // Way 1 catches two streams ping-ponging in one set (each hit
+        // would otherwise evict the other from the MRU way and force
+        // the slow path every time).  A hit found there is not swapped
+        // forward: replacement uses LRU stamps, not way positions, so
+        // the counters are unaffected.  Read-only — callers decide
+        // whether to commit the update.  (Scanning the deeper ways
+        // here too was tried and measured slower: the extra loop
+        // spills the hot-loop registers, costing far more on the ~97%
+        // way-0/1 hits than it saves on the ~1% deep hits.)
+        const auto find_fast = [&](Address line) -> Line * {
+            Line *h =
+                &lines[static_cast<std::size_t>(line >> slot_shift) &
+                       slot_mask];
+            // Tag-only residency test: invalid lines hold kInvalidTag,
+            // which no 40-bit batched line address can equal.
+            if (h->tag == line) {
+                return h;
+            }
+            Line *w1 = h + way1;
+            if (w1->tag == line) {
+                return w1;
+            }
+            return nullptr;
+        };
+
+        for (; i < count; ++i) {
+            const TraceEntry e = entries[i];
+            const Bytes bytes = e.bytes();
+            if (bytes == 0) {
+                continue;
+            }
+            const Bytes span = (e.word & line_mask) + bytes;
+            const Address line = e.word & line_select;
+            Line *h1 = find_fast(line);
+            if (h1 == nullptr) {
+                break;
+            }
+            // Branchless hit bookkeeping: the read/write split is
+            // data-dependent and irregular in real kernel streams, so
+            // a conditional here mispredicts often enough to hurt.
+            const std::uint64_t is_write = e.word >> 63;
+            if (span <= line_bytes) [[likely]] {
+                ++tick;
+                h1->lru = tick;
+                h1->dirty = h1->dirty | (is_write != 0);
+                write_hits += is_write;
+                continue;
+            }
+            if (span > 2 * line_bytes) {
+                break; // three or more lines: rare, take the full path
+            }
+            // Exactly two lines.  Probe the second before touching the
+            // first so a bail-out leaves no state modified and the
+            // scalar path replays the whole span from scratch.
+            Line *h2 = find_fast(line + line_bytes);
+            if (h2 == nullptr) {
+                break;
+            }
+            ++tick;
+            h1->lru = tick;
+            h1->dirty = h1->dirty | (is_write != 0);
+            ++tick;
+            h2->lru = tick;
+            h2->dirty = h2->dirty | (is_write != 0);
+            write_hits += 2 * is_write;
+        }
+
+        tick_ = tick;
+        stats_.read_hits += tick - tick_start - write_hits;
+        stats_.write_hits += write_hits;
+
+        if (i < count) {
+            const TraceEntry e = entries[i];
+            ++i;
+            AccessSpan(e.addr(), e.bytes(), e.type());
+        }
+    }
+    FlushBelow();
+    batching_below_ = false;
+}
+
+/**
+ * Send one fill/writeback event to the level below.  Outside a batch
+ * this is a direct call; inside a batch the event is staged and later
+ * forwarded via AccessBatch in the same order, removing the virtual
+ * call (and the member-register spills around it) from the miss path.
+ */
+inline void
+Cache::EmitBelow(Address addr, Bytes bytes, AccessType type)
+{
+    if (!batching_below_) {
+        below_->Access(addr, bytes, type);
+        return;
+    }
+    if (addr > TraceEntry::kMaxAddr || bytes > TraceEntry::kMaxBytes)
+        [[unlikely]] {
+        // Not representable as a packed entry (e.g. a writeback of a
+        // line near the top of the address space that a scalar access
+        // installed).  Drain first so ordering is preserved.
+        FlushBelow();
+        below_->Access(addr, bytes, type);
+        return;
+    }
+    if (below_n_ == kBelowBatch) {
+        FlushBelow();
+    }
+    below_buf_[below_n_++] = TraceEntry(addr, bytes, type);
+}
+
+void
+Cache::FlushBelow()
+{
+    if (below_n_ != 0) {
+        below_->AccessBatch(below_buf_.data(), below_n_);
+        below_n_ = 0;
+    }
+}
+
+/**
+ * Probe every line of [addr, addr + bytes), @p bytes > 0.  The loop is
+ * phrased on the *last* line rather than the one-past-the-end address so
+ * a range ending exactly at the top of the address space (addr + bytes
+ * == 2^64) iterates correctly instead of wrapping to an end of 0 and
+ * exiting immediately.
+ */
+inline void
+Cache::AccessSpan(Address addr, Bytes bytes, AccessType type)
+{
+    const Bytes line = config_.line_bytes;
+    Address cur = addr & ~line_mask_;
+    const Address last = (addr + (bytes - 1)) & ~line_mask_;
+    for (;;) {
+        ProbeLine(cur, type);
+        if (cur == last) {
+            break;
+        }
+        cur += line;
+    }
+}
+
+/**
+ * One line-granular probe.  Fast path: the coalescing filter — if this
+ * is the same line the previous probe touched (and it is still resident
+ * under the same tag), the probe is a hit by construction and skips the
+ * set search.  Counter updates are exactly those of the full path.
+ */
+inline void
+Cache::ProbeLine(Address line_addr, AccessType type)
+{
+    Line *ll = last_line_;
+    if (ll != nullptr && ll->tag == line_addr && ll->valid) {
+        ++tick_;
+        ll->lru = tick_;
+        if (type == AccessType::kWrite) {
+            ll->dirty = true;
+            ++stats_.write_hits;
+        } else {
+            ++stats_.read_hits;
+        }
+        return;
+    }
+    AccessLine(line_addr, type);
 }
 
 void
@@ -48,9 +275,22 @@ Cache::AccessLine(Address line_addr, AccessType type)
     Line *base = &lines_[set * config_.associativity];
     ++tick_;
 
-    // Probe the set.
+    // MRU fast path: the last line touched in this set lives in way 0.
+    if (base->valid && base->tag == line_addr) {
+        base->lru = tick_;
+        if (type == AccessType::kWrite) {
+            base->dirty = true;
+            ++stats_.write_hits;
+        } else {
+            ++stats_.read_hits;
+        }
+        last_line_ = base;
+        return;
+    }
+
+    // Probe the remaining ways.
     Line *victim = base;
-    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    for (std::uint32_t way = 1; way < config_.associativity; ++way) {
         Line &l = base[way];
         if (l.valid && l.tag == line_addr) {
             l.lru = tick_;
@@ -60,6 +300,11 @@ Cache::AccessLine(Address line_addr, AccessType type)
             } else {
                 ++stats_.read_hits;
             }
+            // Keep the MRU line in way 0.  Swapping whole entries
+            // moves the LRU stamps with them, so replacement decisions
+            // are unchanged.
+            std::swap(l, *base);
+            last_line_ = base;
             return;
         }
         if (!l.valid) {
@@ -67,6 +312,12 @@ Cache::AccessLine(Address line_addr, AccessType type)
         } else if (victim->valid && l.lru < victim->lru) {
             victim = &l;
         }
+    }
+    if (!base->valid) {
+        // Way 0 itself may be the (only) invalid way; the scan above
+        // started at way 1, so check it here.  Any invalid way is an
+        // equivalent victim — no eviction, no writeback.
+        victim = base;
     }
 
     // Miss: evict victim (writeback if dirty), then fill from below.
@@ -77,13 +328,17 @@ Cache::AccessLine(Address line_addr, AccessType type)
     }
     if (victim->valid && victim->dirty) {
         ++stats_.writebacks;
-        below_->Access(victim->tag, config_.line_bytes, AccessType::kWrite);
+        EmitBelow(victim->tag, config_.line_bytes, AccessType::kWrite);
     }
-    below_->Access(line_addr, config_.line_bytes, AccessType::kRead);
+    EmitBelow(line_addr, config_.line_bytes, AccessType::kRead);
     victim->valid = true;
     victim->dirty = (type == AccessType::kWrite);
     victim->tag = line_addr;
     victim->lru = tick_;
+    if (victim != base) {
+        std::swap(*victim, *base);
+    }
+    last_line_ = base;
 }
 
 void
@@ -96,6 +351,7 @@ Cache::FlushAll()
         }
         l = Line{};
     }
+    last_line_ = nullptr;
 }
 
 std::uint64_t
@@ -105,10 +361,12 @@ Cache::FlushRange(Address base, Bytes bytes)
         return 0;
     }
     const Bytes line = config_.line_bytes;
-    Address cur = base & ~(line - 1);
-    const Address end = base + bytes;
+    Address cur = base & ~line_mask_;
+    // Last-line formulation: safe for ranges ending at the top of the
+    // address space (see AccessSpan).
+    const Address last = (base + (bytes - 1)) & ~line_mask_;
     std::uint64_t flushed = 0;
-    for (; cur < end; cur += line) {
+    for (;;) {
         const std::size_t set = SetIndex(cur);
         Line *set_base = &lines_[set * config_.associativity];
         for (std::uint32_t way = 0; way < config_.associativity; ++way) {
@@ -123,14 +381,19 @@ Cache::FlushRange(Address base, Bytes bytes)
                 break;
             }
         }
+        if (cur == last) {
+            break;
+        }
+        cur += line;
     }
+    last_line_ = nullptr;
     return flushed;
 }
 
 bool
 Cache::Contains(Address addr) const
 {
-    const Address line_addr = addr & ~(config_.line_bytes - 1);
+    const Address line_addr = addr & ~line_mask_;
     const std::size_t set = SetIndex(line_addr);
     const Line *base = &lines_[set * config_.associativity];
     for (std::uint32_t way = 0; way < config_.associativity; ++way) {

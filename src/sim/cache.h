@@ -6,6 +6,19 @@
  * This is a *functional traffic* model: it tracks tags and dirty bits to
  * produce hit/miss/writeback counts and the miss stream it forwards to the
  * level below.  It does not store data (kernels compute on host memory).
+ *
+ * The probe path is the simulator's hot loop, so it is engineered for
+ * throughput while staying counter-for-counter identical to the naive
+ * probe-every-way formulation:
+ *  - set index and line alignment are shifts/masks precomputed at
+ *    construction (no div/mod per probe),
+ *  - the most-recently-used line of a set is kept in way 0, so the
+ *    common re-reference pattern hits on the first tag compare,
+ *  - consecutive probes to the same line (the dominant pattern of
+ *    sequential kernels) are coalesced through a one-entry filter that
+ *    skips the set search entirely, and
+ *  - batched streams enter through AccessBatch, paying one virtual
+ *    dispatch per batch instead of per access.
  */
 
 #ifndef PIM_SIM_CACHE_H
@@ -14,6 +27,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include <array>
 
 #include "common/types.h"
 #include "sim/access.h"
@@ -68,6 +83,8 @@ class Cache final : public MemorySink
     Cache(const CacheConfig &config, MemorySink &below);
 
     void Access(Address addr, Bytes bytes, AccessType type) override;
+    void AccessBatch(const TraceEntry *entries,
+                     std::size_t count) override;
 
     /** Invalidate every line, writing back dirty ones. */
     void FlushAll();
@@ -93,14 +110,34 @@ class Cache final : public MemorySink
   private:
     struct Line
     {
-        Address tag = 0;
+        // Invalid lines carry a sentinel tag no real line can have:
+        // batched entries are capped at TraceEntry::kMaxAddr (40 bits),
+        // so all-ones never equals a line address and the batched fast
+        // path can test residency with the tag compare alone.  `valid`
+        // stays authoritative for the scalar paths (which accept full
+        // 64-bit addresses) and for victim selection.
+        static constexpr Address kInvalidTag = ~Address{0};
+
+        Address tag = kInvalidTag;
         std::uint64_t lru = 0; // larger == more recently used
         bool valid = false;
         bool dirty = false;
     };
 
+    void AccessSpan(Address addr, Bytes bytes, AccessType type);
+    void ProbeLine(Address line_addr, AccessType type);
     void AccessLine(Address line_addr, AccessType type);
-    std::size_t SetIndex(Address line_addr) const;
+    void EmitBelow(Address addr, Bytes bytes, AccessType type);
+    void FlushBelow();
+
+    std::size_t
+    SetIndex(Address line_addr) const
+    {
+        const Address line_no = line_addr >> line_shift_;
+        return pow2_sets_
+                   ? static_cast<std::size_t>(line_no) & set_mask_
+                   : static_cast<std::size_t>(line_no % num_sets_);
+    }
 
     CacheConfig config_;
     MemorySink *below_;
@@ -108,6 +145,38 @@ class Cache final : public MemorySink
     std::size_t num_sets_;
     std::uint64_t tick_ = 0;
     CacheStats stats_;
+
+    // Precomputed geometry (line size and set count are fixed at
+    // construction): probes use shifts and masks instead of / and %.
+    std::uint32_t line_shift_ = 0;
+    Address line_mask_ = 0;   // line_bytes - 1
+    std::size_t set_mask_ = 0; // num_sets - 1, valid when pow2_sets_
+    bool pow2_sets_ = false;
+
+    // Combined slot addressing for the batched fast path:
+    // set * assoc == (line >> slot_shift_) & slot_mask_, one shift and
+    // one mask with no multiply in the load-address chain.  Valid only
+    // when sets and associativity are powers of two (fast_batch_).
+    std::uint32_t slot_shift_ = 0;
+    std::size_t slot_mask_ = 0;
+    bool fast_batch_ = false;
+
+    // One-entry coalescing filter: the line touched by the previous
+    // probe.  Validity is re-checked by tag on every use (the pointed-to
+    // slot may have been refilled or swapped since), so the filter can
+    // never produce a stale hit; it only short-circuits the set search.
+    Line *last_line_ = nullptr;
+
+    // During AccessBatch, miss traffic (fills and writebacks) is staged
+    // here and forwarded via below_->AccessBatch in the original emit
+    // order — the level below sees the identical event sequence, minus
+    // one virtual call (and the register spills around it) per event.
+    // The buffer is always drained before AccessBatch returns, so no
+    // public entry point can observe deferred traffic.
+    static constexpr std::size_t kBelowBatch = 512;
+    std::array<TraceEntry, kBelowBatch> below_buf_;
+    std::size_t below_n_ = 0;
+    bool batching_below_ = false;
 };
 
 } // namespace pim::sim

@@ -83,6 +83,29 @@ class DramCounter final : public MemorySink
         }
     }
 
+    void
+    AccessBatch(const TraceEntry *entries, std::size_t count) override
+    {
+        // Accumulate locally, commit once: keeps the replay inner loop
+        // free of pointer-chasing stores through `this`.
+        std::uint64_t reads = 0, writes = 0;
+        Bytes read_bytes = 0, write_bytes = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const TraceEntry e = entries[i];
+            if (e.type() == AccessType::kRead) {
+                ++reads;
+                read_bytes += e.bytes();
+            } else {
+                ++writes;
+                write_bytes += e.bytes();
+            }
+        }
+        stats_.read_requests += reads;
+        stats_.write_requests += writes;
+        stats_.read_bytes += read_bytes;
+        stats_.write_bytes += write_bytes;
+    }
+
     const DramStats &stats() const { return stats_; }
     const DramConfig &config() const { return config_; }
     void ResetStats() { stats_ = DramStats{}; }

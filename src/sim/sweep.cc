@@ -1,0 +1,70 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace pim::sim {
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0) {
+            threads_ = 1;
+        }
+    }
+}
+
+void
+SweepRunner::ForEach(std::size_t jobs,
+                     const std::function<void(std::size_t)> &fn) const
+{
+    if (jobs == 0) {
+        return;
+    }
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs) {
+                return;
+            }
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (auto &t : pool) {
+        t.join();
+    }
+}
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTrace(const AccessTrace &trace,
+                         const std::vector<HierarchyConfig> &configs) const
+{
+    std::vector<PerfCounters> results(configs.size());
+    ForEach(configs.size(), [&](std::size_t i) {
+        MemoryHierarchy mh(configs[i]);
+        trace.ReplayInto(mh.Top());
+        results[i] = mh.Snapshot();
+    });
+    return results;
+}
+
+} // namespace pim::sim

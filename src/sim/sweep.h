@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SweepRunner: a small thread pool for design-space sweeps.
+ *
+ * The paper's methodology (and every ablation binary here) evaluates one
+ * recorded kernel stream against many memory organizations.  The
+ * replays are embarrassingly parallel — each hierarchy instance is
+ * private to its design point — so the runner records once and replays
+ * into N independent MemoryHierarchy instances concurrently.
+ *
+ * Results are deterministic and independent of the thread count: each
+ * job writes only its own slot, and a replay's counters depend only on
+ * the (immutable, shared) trace and the job's private hierarchy.
+ */
+
+#ifndef PIM_SIM_SWEEP_H
+#define PIM_SIM_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/hierarchy.h"
+#include "sim/perf_counters.h"
+#include "sim/trace.h"
+
+namespace pim::sim {
+
+/**
+ * Runs independent jobs across a pool of worker threads.
+ *
+ * The pool is created per call (sweeps are seconds-long; thread startup
+ * is noise) and sized min(threads, jobs).  Jobs must not throw and must
+ * touch only their own state; the runner provides no synchronization
+ * beyond the completion barrier of each call.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 0 means hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    unsigned thread_count() const { return threads_; }
+
+    /**
+     * Invoke fn(i) for every i in [0, jobs), distributed over the
+     * pool; blocks until all jobs finish.  Jobs are claimed from a
+     * shared atomic counter, so long and short jobs load-balance.
+     */
+    void ForEach(std::size_t jobs,
+                 const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * The record-once / replay-many primitive: replay @p trace into a
+     * fresh cold MemoryHierarchy per config, concurrently, and return
+     * each design point's counter snapshot in input order.
+     */
+    std::vector<PerfCounters>
+    ReplayTrace(const AccessTrace &trace,
+                const std::vector<HierarchyConfig> &configs) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_SWEEP_H

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the batched access-streaming layer and the parallel sweep
+ * engine: packed TraceEntry round-trips, batched-vs-scalar replay
+ * equivalence, SweepRunner determinism across thread counts, and the
+ * overflow-edge behavior of Cache::Access / FlushRange.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <mutex>
+#include <set>
+
+#include "common/rng.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/hierarchy.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
+
+namespace pim::sim {
+namespace {
+
+bool
+SameCacheStats(const CacheStats &a, const CacheStats &b)
+{
+    return a.read_hits == b.read_hits &&
+           a.read_misses == b.read_misses &&
+           a.write_hits == b.write_hits &&
+           a.write_misses == b.write_misses &&
+           a.writebacks == b.writebacks;
+}
+
+bool
+SameDramStats(const DramStats &a, const DramStats &b)
+{
+    return a.read_requests == b.read_requests &&
+           a.write_requests == b.write_requests &&
+           a.read_bytes == b.read_bytes && a.write_bytes == b.write_bytes;
+}
+
+bool
+SameCounters(const PerfCounters &a, const PerfCounters &b)
+{
+    return SameCacheStats(a.l1, b.l1) && SameCacheStats(a.llc, b.llc) &&
+           a.has_llc == b.has_llc && SameDramStats(a.dram, b.dram);
+}
+
+TEST(TraceEntry, PacksIntoOneWord)
+{
+    static_assert(sizeof(TraceEntry) == 8);
+    const TraceEntry read(0x1234'5678'9AULL, 4096, AccessType::kRead);
+    EXPECT_EQ(read.addr(), 0x1234'5678'9AULL);
+    EXPECT_EQ(read.bytes(), 4096u);
+    EXPECT_EQ(read.type(), AccessType::kRead);
+
+    const TraceEntry write(TraceEntry::kMaxAddr, TraceEntry::kMaxBytes,
+                           AccessType::kWrite);
+    EXPECT_EQ(write.addr(), TraceEntry::kMaxAddr);
+    EXPECT_EQ(write.bytes(), TraceEntry::kMaxBytes);
+    EXPECT_EQ(write.type(), AccessType::kWrite);
+}
+
+TEST(AccessTrace, AppendReservesGeometrically)
+{
+    AccessTrace trace;
+    EXPECT_EQ(trace.capacity(), 0u);
+    trace.Append(0x1000, 4, AccessType::kRead);
+    const std::size_t first = trace.capacity();
+    EXPECT_GE(first, std::size_t{1} << 16);
+    for (std::size_t i = 0; i < first; ++i) {
+        trace.Append(0x1000 + i, 4, AccessType::kRead);
+    }
+    EXPECT_GE(trace.capacity(), 2 * first);
+    EXPECT_EQ(trace.size(), first + 1);
+}
+
+/** Build a randomized stream exercising reuse, strides, and straddles. */
+AccessTrace
+RandomTrace(std::uint64_t seed, std::size_t entries)
+{
+    Rng rng(seed);
+    AccessTrace trace;
+    // A few disjoint "buffers" so the stream mixes spatial locality
+    // with conflict traffic.
+    const Address bases[] = {0x10'0000, 0x40'0000, 0x80'0000};
+    for (std::size_t i = 0; i < entries; ++i) {
+        const Address base =
+            bases[rng.Range(0, 2)] +
+            static_cast<Address>(rng.Range(0, 64 * 1024));
+        const Bytes bytes = static_cast<Bytes>(rng.Range(1, 256));
+        const AccessType type = rng.Range(0, 99) < 30
+                                    ? AccessType::kWrite
+                                    : AccessType::kRead;
+        trace.Append(base, bytes, type);
+    }
+    return trace;
+}
+
+class BatchedEquivalenceTest
+    : public ::testing::TestWithParam<HierarchyConfig>
+{
+};
+
+TEST_P(BatchedEquivalenceTest, BatchedReplayMatchesScalarExactly)
+{
+    const AccessTrace trace = RandomTrace(0x5EED, 20000);
+
+    MemoryHierarchy scalar(GetParam());
+    trace.ReplayIntoScalar(scalar.Top());
+
+    MemoryHierarchy batched(GetParam());
+    trace.ReplayInto(batched.Top());
+
+    EXPECT_TRUE(SameCounters(scalar.Snapshot(), batched.Snapshot()));
+}
+
+std::string
+HierarchyParamName(const ::testing::TestParamInfo<HierarchyConfig> &info)
+{
+    static const char *const kNames[] = {"Host", "HostStacked", "PimCore",
+                                         "PimAccel"};
+    return kNames[info.index];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hierarchies, BatchedEquivalenceTest,
+    ::testing::Values(HostHierarchyConfig(), HostStackedHierarchyConfig(),
+                      PimCoreHierarchyConfig(), PimAccelHierarchyConfig()),
+    HierarchyParamName);
+
+TEST(BatchedEquivalence, NonPowerOfTwoSetCount)
+{
+    // 3 sets (192 lines / 64 ways... size 3*2*64): exercises the
+    // modulo fallback of the shift/mask set indexing.
+    const CacheConfig cfg{"np2", 3 * 2 * 64, 2, 64};
+    const AccessTrace trace = RandomTrace(0xBEEF, 20000);
+
+    DramCounter dram_a(Lpddr3Config());
+    Cache scalar(cfg, dram_a);
+    trace.ReplayIntoScalar(scalar);
+
+    DramCounter dram_b(Lpddr3Config());
+    Cache batched(cfg, dram_b);
+    trace.ReplayInto(batched);
+
+    EXPECT_TRUE(SameCacheStats(scalar.stats(), batched.stats()));
+    EXPECT_TRUE(SameDramStats(dram_a.stats(), dram_b.stats()));
+}
+
+TEST(BatchedEquivalence, RecorderTeesBatchesIdentically)
+{
+    const AccessTrace trace = RandomTrace(0xF00D, 5000);
+
+    // Scalar tee.
+    AccessTrace scalar_copy;
+    DramCounter dram_a(Lpddr3Config());
+    TraceRecorder scalar_rec(scalar_copy, dram_a);
+    trace.ReplayIntoScalar(scalar_rec);
+
+    // Batched tee.
+    AccessTrace batched_copy;
+    DramCounter dram_b(Lpddr3Config());
+    TraceRecorder batched_rec(batched_copy, dram_b);
+    trace.ReplayInto(batched_rec);
+
+    ASSERT_EQ(scalar_copy.size(), trace.size());
+    ASSERT_EQ(batched_copy.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(scalar_copy[i].word, batched_copy[i].word);
+    }
+    EXPECT_TRUE(SameDramStats(dram_a.stats(), dram_b.stats()));
+}
+
+TEST(SweepRunner, ResultsIndependentOfThreadCount)
+{
+    const AccessTrace trace = RandomTrace(0xABCD, 20000);
+    std::vector<HierarchyConfig> configs;
+    for (const Bytes llc : {512_KiB, 1_MiB, 2_MiB, 4_MiB}) {
+        HierarchyConfig hier = HostHierarchyConfig();
+        hier.llc->size = llc;
+        configs.push_back(hier);
+    }
+    configs.push_back(PimCoreHierarchyConfig());
+    configs.push_back(PimAccelHierarchyConfig());
+
+    const auto serial = SweepRunner(1).ReplayTrace(trace, configs);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const auto parallel =
+            SweepRunner(threads).ReplayTrace(trace, configs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_TRUE(SameCounters(serial[i], parallel[i]))
+                << "config " << i << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(SweepRunner, ForEachRunsEveryJobExactlyOnce)
+{
+    const std::size_t jobs = 103; // not a multiple of any pool size
+    std::vector<int> times_run(jobs, 0);
+    std::mutex mu;
+    SweepRunner(4).ForEach(jobs, [&](std::size_t i) {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++times_run[i];
+    });
+    for (std::size_t i = 0; i < jobs; ++i) {
+        EXPECT_EQ(times_run[i], 1) << "job " << i;
+    }
+}
+
+TEST(SweepRunner, ZeroJobsIsNoop)
+{
+    SweepRunner(4).ForEach(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(CacheOverflowEdge, AccessEndingAtTopOfAddressSpace)
+{
+    constexpr Address kTop = std::numeric_limits<Address>::max();
+    DramCounter dram(Lpddr3Config());
+    Cache cache(CacheConfig{"edge", 1_KiB, 2, 64}, dram);
+
+    // [2^64 - 64, 2^64): one full line; addr + bytes wraps to 0.
+    cache.Access(kTop - 63, 64, AccessType::kRead);
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+    EXPECT_TRUE(cache.Contains(kTop));
+
+    // Unaligned tail: [2^64 - 10, 2^64) stays within the last line.
+    cache.Access(kTop - 9, 10, AccessType::kWrite);
+    EXPECT_EQ(cache.stats().write_hits, 1u);
+
+    // Straddling the last two lines.
+    cache.Access(kTop - 127, 128, AccessType::kRead);
+    EXPECT_EQ(cache.stats().read_hits, 1u);  // top line still resident
+    EXPECT_EQ(cache.stats().read_misses, 2u); // second-to-last line
+}
+
+TEST(CacheOverflowEdge, FlushRangeEndingAtTopOfAddressSpace)
+{
+    constexpr Address kTop = std::numeric_limits<Address>::max();
+    DramCounter dram(Lpddr3Config());
+    Cache cache(CacheConfig{"edge", 1_KiB, 2, 64}, dram);
+
+    cache.Access(kTop - 127, 128, AccessType::kWrite); // last two lines
+    EXPECT_EQ(cache.stats().write_misses, 2u);
+
+    const auto flushed = cache.FlushRange(kTop - 100, 101);
+    EXPECT_EQ(flushed, 2u);
+    EXPECT_EQ(cache.stats().writebacks, 2u);
+    EXPECT_FALSE(cache.Contains(kTop));
+    EXPECT_FALSE(cache.Contains(kTop - 64));
+}
+
+TEST(CacheOverflowEdge, UnalignedFlushRangeFlushesOverlappedLinesOnly)
+{
+    DramCounter dram(Lpddr3Config());
+    Cache cache(CacheConfig{"edge", 1_KiB, 2, 64}, dram);
+
+    cache.Access(0x1000, 256, AccessType::kWrite); // lines 0x1000..0x10C0
+    // [0x1035, 0x1075) overlaps exactly lines 0x1000 and 0x1040.
+    EXPECT_EQ(cache.FlushRange(0x1035, 0x40), 2u);
+    EXPECT_TRUE(cache.Contains(0x1080));
+    EXPECT_TRUE(cache.Contains(0x10C0));
+    EXPECT_FALSE(cache.Contains(0x1040));
+}
+
+TEST(CacheCoalescing, RepeatedSameLineProbesCountEveryHit)
+{
+    DramCounter dram(Lpddr3Config());
+    Cache cache(CacheConfig{"co", 1_KiB, 2, 64}, dram);
+
+    // Sequential 4-byte accesses within one line: 1 miss + 15 hits,
+    // exactly as the unfiltered path counts them.
+    for (Address a = 0x2000; a < 0x2040; a += 4) {
+        cache.Access(a, 4, AccessType::kRead);
+    }
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+    EXPECT_EQ(cache.stats().read_hits, 15u);
+
+    // A write through the filter path must still set the dirty bit.
+    cache.Access(0x2004, 4, AccessType::kWrite);
+    EXPECT_EQ(cache.stats().write_hits, 1u);
+    dram.ResetStats();
+    cache.FlushAll();
+    EXPECT_EQ(dram.stats().write_bytes, 64u);
+}
+
+TEST(CacheCoalescing, FilterSurvivesEvictionOfTrackedLine)
+{
+    DramCounter dram(Lpddr3Config());
+    // One set, 2 ways: the tracked line can be evicted underneath
+    // the filter.
+    Cache cache(CacheConfig{"evict", 128, 2, 64}, dram);
+
+    cache.Access(0x0000, 4, AccessType::kWrite); // A (tracked, dirty)
+    cache.Access(0x1000, 4, AccessType::kRead);  // B
+    cache.Access(0x2000, 4, AccessType::kRead);  // C evicts A (LRU)
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+
+    // A was evicted: this must be a miss, not a stale filter hit.
+    cache.Access(0x0000, 4, AccessType::kRead);
+    EXPECT_EQ(cache.stats().read_misses, 3u);
+    EXPECT_EQ(cache.stats().read_hits, 0u);
+}
+
+} // namespace
+} // namespace pim::sim
