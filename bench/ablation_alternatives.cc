@@ -50,7 +50,7 @@ struct GpuRasterModel
 };
 
 void
-PrintGpuRasterStudy()
+PrintGpuRasterStudy(bench::BenchOutput &out)
 {
     const GpuRasterModel gpu;
     Table table("Alternative 1 — GPU rasterization vs CPU raster + PIM "
@@ -75,11 +75,11 @@ PrintGpuRasterStudy()
             (load_delta >= 0 ? "+" : "") + Table::Pct(load_delta),
         });
     }
-    table.Print();
+    out.Emit(table);
 }
 
 void
-PrintZramVsDiskStudy()
+PrintZramVsDiskStudy(bench::BenchOutput &out)
 {
     // Restore one 2 MiB tab either from ZRAM or from disk.
     constexpr Bytes kTabBytes = 2_MiB;
@@ -128,14 +128,14 @@ PrintZramVsDiskStudy()
         Table::Num(disk_energy_pj * kRebuildFactor / 1e6, 1),
         "eMMC read + faults + rebuild",
     });
-    table.Print();
+    out.Emit(table);
 }
 
 void
-PrintAlternatives()
+PrintAlternatives(bench::BenchOutput &out)
 {
-    PrintGpuRasterStudy();
-    PrintZramVsDiskStudy();
+    out.Section("gpu_raster", [&] { PrintGpuRasterStudy(out); });
+    out.Section("zram_vs_disk", [&] { PrintZramVsDiskStudy(out); });
 }
 
 } // namespace

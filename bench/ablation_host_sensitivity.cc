@@ -53,12 +53,12 @@ BM_TileHostBaseline(benchmark::State &state)
 BENCHMARK(BM_TileHostBaseline)->Unit(benchmark::kMillisecond);
 
 void
-PrintAblations()
+PrintAblations(bench::BenchOutput &out)
 {
     // --- 1. LLC capacity vs. texture tiling movement.  The kernel
     // runs once; the LLC sweep replays its recorded stream into every
     // capacity point concurrently.
-    {
+    out.Section("llc_capacity", [&] {
         Table table(
             "Ablation 5 — LLC capacity vs tiling movement (512x512)");
         table.SetHeader({"LLC", "off-chip MB", "movement share",
@@ -103,11 +103,11 @@ PrintAblations()
                 Table::Num(r.Mpki(), 1),
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 
     // --- 2. Coherence dirty fraction.
-    {
+    out.Section("coherence_dirty", [&] {
         Table table("Ablation 6 — offload coherence vs dirty fraction "
                     "(4 MiB footprint)");
         table.SetHeader({"dirty fraction", "messages", "writebacks",
@@ -126,11 +126,11 @@ PrintAblations()
                 Table::Num(cost.time_ns / 1e3, 1),
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 
     // --- 3. Texture size sweep (paper: speedup grows with size).
-    {
+    out.Section("texture_size", [&] {
         Table table("Ablation 7 — PIM-Acc speedup vs texture size");
         table.SetHeader(
             {"texture", "CPU (us)", "PIM-Acc (us)", "speedup"});
@@ -155,8 +155,8 @@ PrintAblations()
                     "x",
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 }
 
 } // namespace

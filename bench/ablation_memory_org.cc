@@ -57,8 +57,9 @@ BM_BankModelThroughput(benchmark::State &state)
 BENCHMARK(BM_BankModelThroughput);
 
 void
-PrintMemoryOrgStudy()
+PrintMemoryOrgStudy(bench::BenchOutput &out)
 {
+    out.Section("stream_character", [&] {
     Rng rng(0x0E6);
 
     struct NamedTrace
@@ -147,7 +148,8 @@ PrintMemoryOrgStudy()
             Table::Num(results[i].effective_lanes, 1),
         });
     }
-    table.Print();
+    out.Emit(table);
+    });
 }
 
 } // namespace

@@ -110,7 +110,7 @@ BM_AblationProbe(benchmark::State &state)
 BENCHMARK(BM_AblationProbe)->Unit(benchmark::kMillisecond);
 
 void
-PrintAblations()
+PrintAblations(bench::BenchOutput &out)
 {
     const RecordedKernel me = RecordMotionEstimation();
     const RecordedKernel tiling = RecordTiling();
@@ -130,7 +130,7 @@ PrintAblations()
     });
 
     // --- 1. SIMD width of the PIM core.
-    {
+    out.Section("simd_width", [&] {
         Table table("Ablation 1 — PIM core SIMD width (ME kernel)");
         table.SetHeader({"simd width", "runtime (us)", "energy (uJ)",
                          "binding bound"});
@@ -147,11 +147,11 @@ PrintAblations()
                 r.timing.Bound(),
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 
     // --- 2. Internal bandwidth available to the PIM logic.
-    {
+    out.Section("bandwidth", [&] {
         Table table(
             "Ablation 2 — in-stack bandwidth (texture tiling kernel)");
         table.SetHeader(
@@ -168,11 +168,11 @@ PrintAblations()
                 r.timing.Bound(),
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 
     // --- 3. Cooperating vault PIM cores.
-    {
+    out.Section("vault_cores", [&] {
         Table table("Ablation 3 — cooperating vault cores (ME kernel)");
         table.SetHeader({"PIM cores", "runtime (us)", "speedup vs 1"});
         double base = 0.0;
@@ -191,11 +191,11 @@ PrintAblations()
                 Table::Num(base / r.TotalTimeNs(), 2) + "x",
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 
     // --- 4. Accelerator in-memory logic unit count.
-    {
+    out.Section("accel_units", [&] {
         Table table(
             "Ablation 4 — accelerator logic units (ME kernel)");
         table.SetHeader({"units", "runtime (us)", "binding bound"});
@@ -211,8 +211,8 @@ PrintAblations()
                 r.timing.Bound(),
             });
         }
-        table.Print();
-    }
+        out.Emit(table);
+    });
 }
 
 } // namespace

@@ -50,8 +50,9 @@ BM_TraceReplay(benchmark::State &state)
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
 
 void
-PrintTraceStudy()
+PrintTraceStudy(bench::BenchOutput &out)
 {
+    out.Section("replay", [&] {
     const sim::AccessTrace trace = RecordTilingTrace();
 
     Table table("Trace replay — tiling stream vs memory organization");
@@ -90,10 +91,11 @@ PrintTraceStudy()
                        1),
         });
     }
-    table.Print();
+    out.Emit(table);
 
     std::printf("trace: %zu accesses, %.1f MB touched\n\n", trace.size(),
                 trace.TotalBytes() / 1.0e6);
+    });
 }
 
 } // namespace

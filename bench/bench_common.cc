@@ -1,6 +1,13 @@
 #include "bench_common.h"
 
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
 #include "common/rng.h"
+#include "telemetry/reference_table.h"
+#include "telemetry/report_json.h"
+#include "telemetry/span_tracer.h"
 #include "workloads/browser/color_blitter.h"
 #include "workloads/browser/lzo.h"
 #include "workloads/browser/page_data.h"
@@ -235,8 +242,10 @@ RunSwDecoder(int width, int height, int frames,
     }
 }
 
-void
-PrintKernelFigure(const std::string &figure,
+namespace {
+
+Table
+KernelEnergyTable(const std::string &figure,
                   const std::vector<KernelResult> &results)
 {
     Table energy(figure + " — normalized energy (CPU-Only = 1.0)");
@@ -248,8 +257,13 @@ PrintKernelFigure(const std::string &figure,
         AddEnergyRow(energy, r.name, r.pim_core, base);
         AddEnergyRow(energy, r.name, r.pim_acc, base);
     }
-    energy.Print();
+    return energy;
+}
 
+Table
+KernelRuntimeTable(const std::string &figure,
+                   const std::vector<KernelResult> &results)
+{
     Table runtime(figure + " — normalized runtime (CPU-Only = 1.0)");
     runtime.SetHeader(
         {"kernel", "CPU-Only", "PIM-Core", "PIM-Acc", "speedup(acc)"});
@@ -263,7 +277,222 @@ PrintKernelFigure(const std::string &figure,
             Table::Num(r.Speedup(r.pim_acc), 2) + "x",
         });
     }
-    runtime.Print();
+    return runtime;
+}
+
+std::string
+Basename(const char *path)
+{
+    const char *slash = std::strrchr(path, '/');
+    return slash != nullptr ? slash + 1 : path;
+}
+
+} // namespace
+
+void
+PrintKernelFigure(const std::string &figure,
+                  const std::vector<KernelResult> &results)
+{
+    KernelEnergyTable(figure, results).Print();
+    KernelRuntimeTable(figure, results).Print();
+}
+
+BenchOptions
+ParseBenchArgs(int *argc, char **argv)
+{
+    BenchOptions opts;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json") {
+            opts.json_path = "-";
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.json_path = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opts.trace_path = arg.substr(8);
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            opts.filter = arg.substr(9);
+        } else if (arg == "--check-refs") {
+            opts.check_refs = true;
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    return opts;
+}
+
+BenchOutput::BenchOutput(std::string binary, BenchOptions options)
+    : binary_(std::move(binary)), options_(std::move(options))
+{
+}
+
+bool
+BenchOutput::Section(const std::string &name,
+                     const std::function<void()> &fn)
+{
+    sections_all_.push_back(name);
+    if (options_.list) {
+        return false;
+    }
+    if (!options_.filter.empty() &&
+        name.find(options_.filter) == std::string::npos) {
+        return false;
+    }
+    PIM_TRACE_SPAN("bench", name);
+    sections_run_.push_back(name);
+    fn();
+    return true;
+}
+
+void
+BenchOutput::Emit(const Table &table)
+{
+    table.Print();
+    tables_.Push(telemetry::ToJson(table));
+}
+
+void
+BenchOutput::Metric(const std::string &name, double value)
+{
+    metrics_.Set(name, value);
+}
+
+void
+BenchOutput::KernelGroup(const std::string &group,
+                         const std::string &figure,
+                         const std::vector<KernelResult> &results)
+{
+    Emit(KernelEnergyTable(figure, results));
+    Emit(KernelRuntimeTable(figure, results));
+
+    JsonValue kernels = JsonValue::Array();
+    double core_saving = 0.0, acc_saving = 0.0;
+    double core_speedup = 0.0, acc_speedup = 0.0;
+    double moved_pj = 0.0, total_pj = 0.0;
+    for (const auto &r : results) {
+        JsonValue k = JsonValue::Object();
+        k.Set("name", r.name);
+        k.Set("cpu", telemetry::ToJson(r.cpu));
+        k.Set("pim_core", telemetry::ToJson(r.pim_core));
+        k.Set("pim_acc", telemetry::ToJson(r.pim_acc));
+        kernels.Push(std::move(k));
+
+        const std::string base = group + "." + telemetry::MetricSlug(r.name);
+        Metric(base + ".pim_core.energy_reduction",
+               r.EnergySaving(r.pim_core));
+        Metric(base + ".pim_acc.energy_reduction",
+               r.EnergySaving(r.pim_acc));
+        Metric(base + ".pim_core.speedup", r.Speedup(r.pim_core));
+        Metric(base + ".pim_acc.speedup", r.Speedup(r.pim_acc));
+
+        core_saving += r.EnergySaving(r.pim_core);
+        acc_saving += r.EnergySaving(r.pim_acc);
+        core_speedup += r.Speedup(r.pim_core);
+        acc_speedup += r.Speedup(r.pim_acc);
+        moved_pj += r.cpu.energy.DataMovement();
+        total_pj += r.cpu.TotalEnergyPj();
+    }
+    groups_.Set(group, std::move(kernels));
+
+    if (!results.empty()) {
+        const double n = static_cast<double>(results.size());
+        Metric(group + ".avg.pim_core.energy_reduction", core_saving / n);
+        Metric(group + ".avg.pim_acc.energy_reduction", acc_saving / n);
+        Metric(group + ".avg.pim_core.speedup", core_speedup / n);
+        Metric(group + ".avg.pim_acc.speedup", acc_speedup / n);
+    }
+    if (total_pj > 0.0) {
+        Metric(group + ".avg.movement_share", moved_pj / total_pj);
+    }
+}
+
+int
+BenchOutput::Finish()
+{
+    int rc = 0;
+
+    if (options_.list) {
+        std::printf("sections:\n");
+        for (const auto &name : sections_all_) {
+            std::printf("  %s\n", name.c_str());
+        }
+    }
+
+    if (!options_.json_path.empty() || options_.check_refs) {
+        JsonValue doc = telemetry::MakeReportDocument(binary_);
+        JsonValue sections = JsonValue::Array();
+        for (const auto &name : sections_run_) {
+            sections.Push(name);
+        }
+        doc.Set("sections", std::move(sections));
+        doc.Set("groups", std::move(groups_));
+        doc.Set("metrics", std::move(metrics_));
+        doc.Set("tables", std::move(tables_));
+
+        if (!options_.json_path.empty()) {
+            const std::string text = doc.Dump(2) + "\n";
+            if (options_.json_path == "-") {
+                std::fwrite(text.data(), 1, text.size(), stdout);
+            } else {
+                std::FILE *f = std::fopen(options_.json_path.c_str(), "w");
+                if (f == nullptr ||
+                    std::fwrite(text.data(), 1, text.size(), f) !=
+                        text.size()) {
+                    std::fprintf(stderr, "bench: cannot write %s\n",
+                                 options_.json_path.c_str());
+                    rc = 1;
+                }
+                if (f != nullptr) {
+                    std::fclose(f);
+                }
+            }
+        }
+
+        if (options_.check_refs) {
+            const auto summary = telemetry::CheckReport(
+                doc, telemetry::ReferenceTable::Paper());
+            summary.ToTable().Print();
+            std::printf("reference check: %d passed, %d warned, "
+                        "%d failed, %d skipped -> %s\n",
+                        summary.passed, summary.warned, summary.failed,
+                        summary.skipped, summary.ok() ? "OK" : "FAIL");
+            if (!summary.ok()) {
+                rc = 1;
+            }
+        }
+    }
+
+    if (!options_.trace_path.empty()) {
+        if (!telemetry::Tracer::Global().WriteTo(options_.trace_path)) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         options_.trace_path.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+int
+BenchMain(int argc, char **argv,
+          const std::function<void(BenchOutput &)> &print_fn)
+{
+    BenchOptions opts = ParseBenchArgs(&argc, argv);
+    if (!opts.trace_path.empty()) {
+        telemetry::Tracer::Global().SetEnabled(true);
+    }
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    if (!opts.list) {
+        ::benchmark::RunSpecifiedBenchmarks();
+    }
+    BenchOutput out(Basename(argv[0]), std::move(opts));
+    print_fn(out);
+    return out.Finish();
 }
 
 } // namespace pim::bench

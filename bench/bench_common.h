@@ -4,6 +4,17 @@
  * main() that runs registered google-benchmark timers and then prints
  * the paper-figure tables, plus kernel runners shared by Figures 18,
  * 19, 20, and the headline summary.
+ *
+ * Every binary built on PIM_BENCH_MAIN gains the telemetry CLI:
+ *
+ *   --json=<path|->   write the structured run report (JSON)
+ *   --trace=<path>    write a Chrome trace-event file of the run
+ *   --check-refs      gate the report against the paper ReferenceTable
+ *   --filter=<substr> only run matching output sections
+ *   --list            list section names without running them
+ *
+ * without any per-binary flag handling; binaries only describe their
+ * output through a BenchOutput (sections, tables, metrics).
  */
 
 #ifndef PIM_BENCH_BENCH_COMMON_H
@@ -15,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "core/offload_runtime.h"
 
@@ -28,16 +40,33 @@ struct KernelResult
     core::RunReport pim_core;
     core::RunReport pim_acc;
 
+    /**
+     * Fraction of baseline energy removed by @p pim.  A degenerate
+     * zero-energy baseline yields 0.0 (no saving) rather than -inf.
+     */
     double
     EnergySaving(const core::RunReport &pim) const
     {
-        return 1.0 - pim.TotalEnergyPj() / cpu.TotalEnergyPj();
+        const double base = cpu.TotalEnergyPj();
+        if (!(base > 0.0)) {
+            return 0.0;
+        }
+        return 1.0 - pim.TotalEnergyPj() / base;
     }
 
+    /**
+     * Baseline-relative speedup of @p pim.  Degenerate zero-time
+     * baselines or targets yield 1.0 (parity) rather than inf/nan.
+     */
     double
     Speedup(const core::RunReport &pim) const
     {
-        return cpu.TotalTimeNs() / pim.TotalTimeNs();
+        const double base = cpu.TotalTimeNs();
+        const double t = pim.TotalTimeNs();
+        if (!(base > 0.0) || !(t > 0.0)) {
+            return 1.0;
+        }
+        return base / t;
     }
 };
 
@@ -66,6 +95,83 @@ void PrintKernelFigure(const std::string &figure,
 void AddEnergyRow(Table &table, const std::string &kernel,
                   const core::RunReport &report, double baseline_pj);
 
+/** Telemetry flags stripped from argv before google-benchmark sees it. */
+struct BenchOptions
+{
+    std::string json_path;  ///< Empty = no report; "-" = stdout.
+    std::string trace_path; ///< Empty = no trace file.
+    std::string filter;     ///< Substring match on section names.
+    bool check_refs = false;
+    bool list = false;
+};
+
+/**
+ * Strip the telemetry flags (--json=, --trace=, --filter=,
+ * --check-refs, --list) out of argv, compacting it in place and
+ * updating *argc, so the remainder can go to benchmark::Initialize.
+ */
+BenchOptions ParseBenchArgs(int *argc, char **argv);
+
+/**
+ * Structured output collector handed to each binary's print function.
+ * Everything printed through it is also captured into the JSON report
+ * (when --json/--check-refs is active), and sections honor
+ * --filter/--list.
+ */
+class BenchOutput
+{
+  public:
+    BenchOutput(std::string binary, BenchOptions options);
+
+    const BenchOptions &options() const { return options_; }
+
+    /**
+     * Run @p fn unless the section is excluded by --filter; under
+     * --list only the name is recorded.  Returns true when @p fn ran.
+     */
+    bool Section(const std::string &name, const std::function<void()> &fn);
+
+    /** Print @p table and record it in the report's "tables" array. */
+    void Emit(const Table &table);
+
+    /** Record one scalar under the report's flat "metrics" object. */
+    void Metric(const std::string &name, double value);
+
+    /**
+     * Print the Figure 18/20-style tables for @p results and record
+     * the full per-kernel reports plus derived metrics
+     * (<group>.<kernel>.pim_core|pim_acc.energy_reduction|speedup and
+     * the <group>.avg.* aggregates) under @p group.
+     */
+    void KernelGroup(const std::string &group, const std::string &figure,
+                     const std::vector<KernelResult> &results);
+
+    /**
+     * Write the JSON report / trace file, run the reference check when
+     * requested, and return the process exit code (non-zero when
+     * --check-refs found a failure or an output file could not be
+     * written).
+     */
+    int Finish();
+
+  private:
+    std::string binary_;
+    BenchOptions options_;
+    std::vector<std::string> sections_run_;
+    std::vector<std::string> sections_all_;
+    JsonValue groups_ = JsonValue::Object();
+    JsonValue metrics_ = JsonValue::Object();
+    JsonValue tables_ = JsonValue::Array();
+};
+
+/**
+ * Standard bench main body: strip telemetry flags, run registered
+ * google-benchmark timers, call @p print_fn with a BenchOutput, and
+ * finalize the report/trace/reference-check outputs.
+ */
+int BenchMain(int argc, char **argv,
+              const std::function<void(BenchOutput &)> &print_fn);
+
 } // namespace pim::bench
 
 #include "workloads/video/codec.h"
@@ -90,19 +196,13 @@ void RunSwDecoder(int width, int height, int frames,
 } // namespace pim::bench
 
 /**
- * Standard bench main: run google-benchmark timers, then print the
- * figure tables via @p print_fn.
+ * Standard bench main: run google-benchmark timers, then produce the
+ * figure output via @p print_fn (a void(pim::bench::BenchOutput &)).
  */
 #define PIM_BENCH_MAIN(print_fn)                                         \
     int main(int argc, char **argv)                                     \
     {                                                                    \
-        ::benchmark::Initialize(&argc, argv);                            \
-        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
-            return 1;                                                    \
-        }                                                                \
-        ::benchmark::RunSpecifiedBenchmarks();                           \
-        print_fn();                                                      \
-        return 0;                                                        \
+        return ::pim::bench::BenchMain(argc, argv, (print_fn));          \
     }
 
 #endif // PIM_BENCH_BENCH_COMMON_H

@@ -26,31 +26,37 @@ BM_ScrollGoogleDocs(benchmark::State &state)
 BENCHMARK(BM_ScrollGoogleDocs)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure1()
+PrintFigure1(bench::BenchOutput &out)
 {
-    Table table("Figure 1 — scroll energy breakdown by function");
-    table.SetHeader({"page", "texture tiling", "color blitting",
-                     "other", "MPKI"});
-    double tiling_sum = 0.0;
-    double blitting_sum = 0.0;
-    const auto profiles = browser::AllPageProfiles();
-    for (const auto &profile : profiles) {
-        const auto r = browser::SimulateScroll(profile);
-        table.AddRow({
-            r.page_name,
-            Table::Pct(r.TilingFraction()),
-            Table::Pct(r.BlittingFraction()),
-            Table::Pct(1.0 - r.TilingFraction() - r.BlittingFraction()),
-            Table::Num(r.Mpki(), 1),
-        });
-        tiling_sum += r.TilingFraction();
-        blitting_sum += r.BlittingFraction();
-    }
-    const double n = static_cast<double>(profiles.size());
-    table.AddRow({"AVG", Table::Pct(tiling_sum / n),
-                  Table::Pct(blitting_sum / n),
-                  Table::Pct(1.0 - (tiling_sum + blitting_sum) / n), ""});
-    table.Print();
+    out.Section("scroll", [&] {
+        Table table("Figure 1 — scroll energy breakdown by function");
+        table.SetHeader({"page", "texture tiling", "color blitting",
+                         "other", "MPKI"});
+        double tiling_sum = 0.0;
+        double blitting_sum = 0.0;
+        const auto profiles = browser::AllPageProfiles();
+        for (const auto &profile : profiles) {
+            const auto r = browser::SimulateScroll(profile);
+            table.AddRow({
+                r.page_name,
+                Table::Pct(r.TilingFraction()),
+                Table::Pct(r.BlittingFraction()),
+                Table::Pct(1.0 - r.TilingFraction() -
+                           r.BlittingFraction()),
+                Table::Num(r.Mpki(), 1),
+            });
+            tiling_sum += r.TilingFraction();
+            blitting_sum += r.BlittingFraction();
+        }
+        const double n = static_cast<double>(profiles.size());
+        table.AddRow({"AVG", Table::Pct(tiling_sum / n),
+                      Table::Pct(blitting_sum / n),
+                      Table::Pct(1.0 - (tiling_sum + blitting_sum) / n),
+                      ""});
+        out.Emit(table);
+        out.Metric("fig01.tiling_blitting_share",
+                   (tiling_sum + blitting_sum) / n);
+    });
 }
 
 } // namespace

@@ -27,8 +27,9 @@ BM_InferResidualGru(benchmark::State &state)
 BENCHMARK(BM_InferResidualGru)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure6()
+PrintFigure6(bench::BenchOutput &out)
 {
+    out.Section("inference", [&] {
     Table table("Figure 6 — inference energy breakdown by function");
     table.SetHeader({"network", "packing", "quantization",
                      "Conv2D+MatMul", "other"});
@@ -51,13 +52,16 @@ PrintFigure6()
     const double n = static_cast<double>(networks.size());
     table.AddRow({"AVG", Table::Pct(pack_sum / n),
                   Table::Pct(quant_sum / n), "", ""});
-    table.Print();
+    out.Emit(table);
 
     Table note("Figure 6 — paper checkpoints");
     note.SetHeader({"claim", "paper", "measured"});
     note.AddRow({"packing+quantization share (avg)", "39.3%",
                  Table::Pct((pack_sum + quant_sum) / n)});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig06.pack_quant_energy_share",
+               (pack_sum + quant_sum) / n);
+    });
 }
 
 } // namespace

@@ -27,8 +27,9 @@ BM_InferVgg19Scaled(benchmark::State &state)
 BENCHMARK(BM_InferVgg19Scaled)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure7()
+PrintFigure7(bench::BenchOutput &out)
 {
+    out.Section("inference", [&] {
     Table table("Figure 7 — inference time breakdown by function");
     table.SetHeader({"network", "packing", "quantization",
                      "Conv2D+MatMul", "other"});
@@ -46,14 +47,17 @@ PrintFigure7()
         });
         pq_sum += (r.packing.time_ns + r.quantization.time_ns) / total;
     }
-    table.Print();
+    out.Emit(table);
 
     Table note("Figure 7 — paper checkpoints");
     note.SetHeader({"claim", "paper", "measured"});
     note.AddRow({"packing+quantization share of time (avg)", "27.4%",
                  Table::Pct(pq_sum /
                             static_cast<double>(networks.size()))});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig07.pack_quant_time_share",
+               pq_sum / static_cast<double>(networks.size()));
+    });
 }
 
 } // namespace

@@ -23,8 +23,9 @@ BM_SwDecodeFrame(benchmark::State &state)
 BENCHMARK(BM_SwDecodeFrame)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure10()
+PrintFigure10(bench::BenchOutput &out)
 {
+    out.Section("decoder", [&] {
     video::CodecPhases ph;
     // Full-HD+ stand-in for the paper's 4K clip (DESIGN.md): large
     // enough that frames stream through (not live in) the 2 MiB LLC.
@@ -49,7 +50,7 @@ PrintFigure10()
                   Table::Pct((ph.other.energy.Total() +
                               ph.intra.energy.Total()) /
                              total)});
-    table.Print();
+    out.Emit(table);
 
     const double mc_total =
         ph.subpel.energy.Total() + ph.mc_other.energy.Total();
@@ -61,7 +62,12 @@ PrintFigure10()
                  Table::Pct(ph.subpel.energy.Total() / total)});
     note.AddRow({"deblocking filter share", "29.7%",
                  Table::Pct(ph.deblock.energy.Total() / total)});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig10.mc_energy_share", mc_total / total);
+    out.Metric("fig10.subpel_share", ph.subpel.energy.Total() / total);
+    out.Metric("fig10.deblock_share",
+               ph.deblock.energy.Total() / total);
+    });
 }
 
 } // namespace

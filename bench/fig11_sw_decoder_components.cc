@@ -38,8 +38,9 @@ AddRow(Table &table, const char *name, const core::PhaseTotals &phase)
 }
 
 void
-PrintFigure11()
+PrintFigure11(bench::BenchOutput &out)
 {
+    out.Section("decoder", [&] {
     video::CodecPhases ph;
     bench::RunSwDecoder(1920, 1088, 3, ph);
 
@@ -57,7 +58,7 @@ PrintFigure11()
     core::PhaseTotals other = ph.other;
     other += ph.intra;
     AddRow(table, "Other", other);
-    table.Print();
+    out.Emit(table);
 
     const core::PhaseTotals total = ph.Total();
     Table note("Figure 11 — paper checkpoints");
@@ -70,7 +71,10 @@ PrintFigure11()
     note.AddRow({"MC + deblock share of movement", "80.4%",
                  Table::Pct(mc_df_movement /
                             total.energy.DataMovement())});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig11.decoder_movement_share",
+               total.energy.DataMovementFraction());
+    });
 }
 
 } // namespace

@@ -43,8 +43,9 @@ AddRow(Table &table, const char *config,
 }
 
 void
-PrintFigure12()
+PrintFigure12(bench::BenchOutput &out)
 {
+    out.Section("traffic", [&] {
     Table table("Figure 12 — HW decoder off-chip traffic per frame (MB)");
     table.SetHeader({"config", "reference", "compr.info", "decoder data",
                      "recon metadata", "deblocking", "recon frame",
@@ -57,25 +58,28 @@ PrintFigure12()
            HwDecoderTraffic(HwResolution::k4k, false));
     AddRow(table, "4K, with compression",
            HwDecoderTraffic(HwResolution::k4k, true));
-    table.Print();
+    out.Emit(table);
 
+    const auto hd_plain = HwDecoderTraffic(HwResolution::kHd, false);
+    const auto uhd_plain = HwDecoderTraffic(HwResolution::k4k, false);
     Table note("Figure 12 — paper checkpoints");
     note.SetHeader({"claim", "paper", "measured"});
     note.AddRow({"4K reference share, no compression", "59.6%",
-                 Table::Pct(HwDecoderTraffic(HwResolution::k4k, false)
-                                .ReferenceShare())});
+                 Table::Pct(uhd_plain.ReferenceShare())});
     note.AddRow({"HD reference share, no compression", "75.5%",
-                 Table::Pct(HwDecoderTraffic(HwResolution::kHd, false)
-                                .ReferenceShare())});
+                 Table::Pct(hd_plain.ReferenceShare())});
     note.AddRow(
         {"4K / HD traffic ratio", "4.6x (their clips); per-pixel "
                                   "scaling gives ~5-9x here",
-         Table::Num(HwDecoderTraffic(HwResolution::k4k, false).Total() /
-                        HwDecoderTraffic(HwResolution::kHd, false)
-                            .Total(),
-                    1) +
-             "x"});
-    note.Print();
+         Table::Num(uhd_plain.Total() / hd_plain.Total(), 1) + "x"});
+    out.Emit(note);
+    out.Metric("fig12.4k.reference_share.plain",
+               uhd_plain.ReferenceShare());
+    out.Metric("fig12.hd.reference_share.plain",
+               hd_plain.ReferenceShare());
+    out.Metric("fig12.traffic_ratio_4k_hd",
+               uhd_plain.Total() / hd_plain.Total());
+    });
 }
 
 } // namespace

@@ -23,8 +23,9 @@ BM_SwEncodeFrame(benchmark::State &state)
 BENCHMARK(BM_SwEncodeFrame)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure15()
+PrintFigure15(bench::BenchOutput &out)
 {
+    out.Section("encoder", [&] {
     video::CodecPhases ph;
     // True HD, as the paper's encoder study uses.
     bench::RunSwEncoder(1280, 720, 3, ph);
@@ -48,7 +49,7 @@ PrintFigure15()
                               ph.mc_other.energy.Total() +
                               ph.entropy.energy.Total()) /
                              total)});
-    table.Print();
+    out.Emit(table);
 
     Table note("Figure 15 — paper checkpoints");
     note.SetHeader({"claim", "paper", "measured"});
@@ -60,7 +61,9 @@ PrintFigure15()
     note.AddRow(
         {"ME share of encoding cycles", "43.1%",
          Table::Pct(ph.me.time_ns / ph.Total().time_ns)});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig15.me_energy_share", ph.me.energy.Total() / total);
+    });
 }
 
 } // namespace

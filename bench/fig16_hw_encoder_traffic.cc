@@ -43,8 +43,9 @@ AddRow(Table &table, const char *config,
 }
 
 void
-PrintFigure16()
+PrintFigure16(bench::BenchOutput &out)
 {
+    out.Section("traffic", [&] {
     Table table("Figure 16 — HW encoder off-chip traffic per frame (MB)");
     table.SetHeader({"config", "current", "reference", "deblocking",
                      "compr.info", "recon frame", "bitstream", "other",
@@ -57,7 +58,7 @@ PrintFigure16()
            HwEncoderTraffic(HwResolution::k4k, false));
     AddRow(table, "4K, with compression",
            HwEncoderTraffic(HwResolution::k4k, true));
-    table.Print();
+    out.Emit(table);
 
     const auto hd_plain = HwEncoderTraffic(HwResolution::kHd, false);
     const auto hd_comp = HwEncoderTraffic(HwResolution::kHd, true);
@@ -73,7 +74,14 @@ PrintFigure16()
         {"compression cuts reference traffic by", "59.7%",
          Table::Pct(1.0 -
                     hd_comp.reference_frame / hd_plain.reference_frame)});
-    note.Print();
+    out.Emit(note);
+    out.Metric("fig16.hd.reference_share.plain",
+               hd_plain.ReferenceShare());
+    out.Metric("fig16.hd.current_share.plain",
+               hd_plain.current_frame / hd_plain.Total());
+    out.Metric("fig16.reference_cut_by_compression",
+               1.0 - hd_comp.reference_frame / hd_plain.reference_frame);
+    });
 }
 
 } // namespace

@@ -105,40 +105,50 @@ MeasurePhases()
 }
 
 void
-PrintFigure19()
+PrintFigure19(bench::BenchOutput &out)
 {
     // Left panel: kernel energies.
-    bench::PrintKernelFigure("Figure 19 (left)", bench::RunTfKernels());
+    out.Section("kernels", [&] {
+        out.KernelGroup("tf", "Figure 19 (left)", bench::RunTfKernels());
+    });
 
     // Right panel: speedup vs number of GEMM operations.  CPU-Only
     // serializes pack/quant with GEMM; with PIM, the PIM logic packs
     // and re-quantizes chunk i+1 while the CPU multiplies chunk i
     // (Section 5.3), so steady-state time is the max of the two.
-    const GemmPhaseTimes t = MeasurePhases();
-    Table table("Figure 19 (right) — speedup vs number of GEMMs");
-    table.SetHeader(
-        {"GEMM ops", "CPU-Only", "PIM-Core", "PIM-Acc"});
-    for (const int gemms : {1, 4, 16}) {
-        const double cpu_total =
-            gemms * (t.pack_quant_cpu + t.gemm_cpu);
-        const auto overlapped = [&](Nanoseconds pim_pq) {
-            // First chunk's packing is exposed; the rest overlaps.
-            return pim_pq +
-                   (gemms - 1) *
-                       std::max<double>(t.gemm_cpu, pim_pq) +
-                   t.gemm_cpu;
-        };
-        table.AddRow({
-            std::to_string(gemms),
-            "1.00x",
-            Table::Num(cpu_total / overlapped(t.pack_quant_pim_core),
-                       2) +
-                "x",
-            Table::Num(cpu_total / overlapped(t.pack_quant_pim_acc), 2) +
-                "x",
-        });
-    }
-    table.Print();
+    out.Section("gemm_scaling", [&] {
+        const GemmPhaseTimes t = MeasurePhases();
+        Table table("Figure 19 (right) — speedup vs number of GEMMs");
+        table.SetHeader(
+            {"GEMM ops", "CPU-Only", "PIM-Core", "PIM-Acc"});
+        for (const int gemms : {1, 4, 16}) {
+            const double cpu_total =
+                gemms * (t.pack_quant_cpu + t.gemm_cpu);
+            const auto overlapped = [&](Nanoseconds pim_pq) {
+                // First chunk's packing is exposed; the rest overlaps.
+                return pim_pq +
+                       (gemms - 1) *
+                           std::max<double>(t.gemm_cpu, pim_pq) +
+                       t.gemm_cpu;
+            };
+            table.AddRow({
+                std::to_string(gemms),
+                "1.00x",
+                Table::Num(
+                    cpu_total / overlapped(t.pack_quant_pim_core), 2) +
+                    "x",
+                Table::Num(
+                    cpu_total / overlapped(t.pack_quant_pim_acc), 2) +
+                    "x",
+            });
+            if (gemms == 16) {
+                out.Metric(
+                    "fig19.gemm16.pim_acc.speedup",
+                    cpu_total / overlapped(t.pack_quant_pim_acc));
+            }
+        }
+        out.Emit(table);
+    });
 }
 
 } // namespace

@@ -38,9 +38,11 @@ BM_SubPixelInterpolation(benchmark::State &state)
 BENCHMARK(BM_SubPixelInterpolation)->Unit(benchmark::kMillisecond);
 
 void
-PrintFigure20()
+PrintFigure20(bench::BenchOutput &out)
 {
-    bench::PrintKernelFigure("Figure 20", bench::RunVideoKernels());
+    out.Section("kernels", [&] {
+        out.KernelGroup("video", "Figure 20", bench::RunVideoKernels());
+    });
 }
 
 } // namespace

@@ -46,7 +46,8 @@ ModeName(HwPimMode mode)
 }
 
 void
-PrintSide(const char *title, bool encoder, HwResolution res)
+PrintSide(bench::BenchOutput &out, const char *title, bool encoder,
+          HwResolution res)
 {
     Table table(title);
     table.SetHeader({"config", "compression", "DRAM", "memctrl",
@@ -68,44 +69,58 @@ PrintSide(const char *title, bool encoder, HwResolution res)
             });
         }
     }
-    table.Print();
+    out.Emit(table);
 }
 
 void
-PrintFigure21()
+PrintFigure21(bench::BenchOutput &out)
 {
-    PrintSide("Figure 21 (left) — HW decoder energy, 4K frame", false,
-              HwResolution::k4k);
-    PrintSide("Figure 21 (right) — HW encoder energy, HD frame", true,
-              HwResolution::kHd);
+    out.Section("decoder", [&] {
+        PrintSide(out, "Figure 21 (left) — HW decoder energy, 4K frame",
+                  false, HwResolution::k4k);
+    });
+    out.Section("encoder", [&] {
+        PrintSide(out, "Figure 21 (right) — HW encoder energy, HD frame",
+                  true, HwResolution::kHd);
+    });
 
-    Table note("Figure 21 — paper checkpoints");
-    note.SetHeader({"claim", "paper", "measured"});
-    const double base =
-        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kNone)
-            .Total();
-    const double acc =
-        HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kPimAccel)
-            .Total();
-    note.AddRow({"PIM-Acc decoder energy reduction", "75.1%",
-                 Table::Pct(1.0 - acc / base)});
-    const double enc_base =
-        HwEncoderEnergy(HwResolution::kHd, false, HwPimMode::kNone)
-            .Total();
-    const double enc_acc =
-        HwEncoderEnergy(HwResolution::kHd, false, HwPimMode::kPimAccel)
-            .Total();
-    note.AddRow({"PIM-Acc encoder energy reduction", "69.8%",
-                 Table::Pct(1.0 - enc_acc / enc_base)});
-    const double base_c =
-        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kNone)
-            .Total();
-    const double core_c =
-        HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kPimCore)
-            .Total();
-    note.AddRow({"PIM-Core vs VP9 (with compression)", "+63.4%",
-                 Table::Pct(core_c / base_c - 1.0)});
-    note.Print();
+    out.Section("checkpoints", [&] {
+        Table note("Figure 21 — paper checkpoints");
+        note.SetHeader({"claim", "paper", "measured"});
+        const double base =
+            HwDecoderEnergy(HwResolution::k4k, false, HwPimMode::kNone)
+                .Total();
+        const double acc = HwDecoderEnergy(HwResolution::k4k, false,
+                                           HwPimMode::kPimAccel)
+                               .Total();
+        note.AddRow({"PIM-Acc decoder energy reduction", "75.1%",
+                     Table::Pct(1.0 - acc / base)});
+        const double enc_base =
+            HwEncoderEnergy(HwResolution::kHd, false, HwPimMode::kNone)
+                .Total();
+        const double enc_acc =
+            HwEncoderEnergy(HwResolution::kHd, false,
+                            HwPimMode::kPimAccel)
+                .Total();
+        note.AddRow({"PIM-Acc encoder energy reduction", "69.8%",
+                     Table::Pct(1.0 - enc_acc / enc_base)});
+        const double base_c =
+            HwDecoderEnergy(HwResolution::k4k, true, HwPimMode::kNone)
+                .Total();
+        const double core_c =
+            HwDecoderEnergy(HwResolution::k4k, true,
+                            HwPimMode::kPimCore)
+                .Total();
+        note.AddRow({"PIM-Core vs VP9 (with compression)", "+63.4%",
+                     Table::Pct(core_c / base_c - 1.0)});
+        out.Emit(note);
+        out.Metric("fig21.decoder.pim_acc.energy_reduction",
+                   1.0 - acc / base);
+        out.Metric("fig21.encoder.pim_acc.energy_reduction",
+                   1.0 - enc_acc / enc_base);
+        out.Metric("fig21.decoder.pim_core_vs_vp9_compressed",
+                   core_c / base_c - 1.0);
+    });
 }
 
 } // namespace

@@ -260,7 +260,8 @@ SameCounters(const sim::PerfCounters &a, const sim::PerfCounters &b)
 }
 
 void
-PrintOneStream(const char *title, const sim::AccessTrace &trace)
+PrintOneStream(bench::BenchOutput &out, const char *title,
+               const sim::AccessTrace &trace)
 {
     const double accesses = static_cast<double>(trace.size());
 
@@ -323,7 +324,7 @@ PrintOneStream(const char *title, const sim::AccessTrace &trace)
     row("current cache, scalar dispatch", accesses, scalar_s);
     row("current cache, batched (AccessBatch)", accesses, batched_s);
     row("batched + SweepRunner x8", sweep_accesses, sweep_s);
-    table.Print();
+    out.Emit(table);
 
     std::printf("counters seed == scalar == batched: %s  (threads: %u)\n\n",
                 SameCounters(seed_pc, batched_pc) &&
@@ -334,16 +335,22 @@ PrintOneStream(const char *title, const sim::AccessTrace &trace)
 }
 
 void
-PrintThroughput()
+PrintThroughput(bench::BenchOutput &out)
 {
-    const sim::AccessTrace tiling = RecordTilingTrace();
-    PrintOneStream(
-        "Simulator throughput — tiling stream (128 B row spans)", tiling);
+    out.Section("tiling", [&] {
+        const sim::AccessTrace tiling = RecordTilingTrace();
+        PrintOneStream(
+            out, "Simulator throughput — tiling stream (128 B row spans)",
+            tiling);
+    });
 
-    const sim::AccessTrace lzo = RecordCompressionTrace();
-    PrintOneStream(
-        "Simulator throughput — LZO compression stream (1-4 B probes)",
-        lzo);
+    out.Section("compression", [&] {
+        const sim::AccessTrace lzo = RecordCompressionTrace();
+        PrintOneStream(
+            out,
+            "Simulator throughput — LZO compression stream (1-4 B probes)",
+            lzo);
+    });
 }
 
 } // namespace

@@ -30,8 +30,9 @@ BM_CacheHierarchyAccess(benchmark::State &state)
 BENCHMARK(BM_CacheHierarchyAccess);
 
 void
-PrintTable1()
+PrintTable1(bench::BenchOutput &out)
 {
+    out.Section("config", [&] {
     const sim::SystemConfig cfg = sim::DefaultSystemConfig();
 
     Table table("Table 1 — evaluated system configuration");
@@ -54,7 +55,7 @@ PrintTable1()
     table.AddRow({"Baseline memory",
                   cfg.baseline.type + ", 2 GB, " +
                       cfg.baseline.scheduler + " scheduler"});
-    table.Print();
+    out.Emit(table);
 
     Table area("Section 3.3 — PIM logic area feasibility (22 nm)");
     area.SetHeader(
@@ -67,7 +68,8 @@ PrintTable1()
             core::FitsVaultBudget(logic) ? "yes" : "NO",
         });
     }
-    area.Print();
+    out.Emit(area);
+    });
 }
 
 } // namespace

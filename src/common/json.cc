@@ -1,0 +1,546 @@
+#include "json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pim {
+
+JsonValue &
+JsonValue::Set(const std::string &key, JsonValue value)
+{
+    if (kind_ == Kind::kNull) {
+        kind_ = Kind::kObject;
+    }
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return member.second;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return members_.back().second;
+}
+
+const JsonValue *
+JsonValue::Find(const std::string &key) const
+{
+    if (kind_ != Kind::kObject) {
+        return nullptr;
+    }
+    for (const auto &member : members_) {
+        if (member.first == key) {
+            return &member.second;
+        }
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::FindPath(const std::string &dotted) const
+{
+    const JsonValue *node = this;
+    std::size_t start = 0;
+    while (node != nullptr && start <= dotted.size()) {
+        const std::size_t dot = dotted.find('.', start);
+        const std::string key =
+            dotted.substr(start, dot == std::string::npos ? std::string::npos
+                                                          : dot - start);
+        node = node->Find(key);
+        if (dot == std::string::npos) {
+            return node;
+        }
+        start = dot + 1;
+    }
+    return nullptr;
+}
+
+JsonValue &
+JsonValue::Push(JsonValue value)
+{
+    if (kind_ == Kind::kNull) {
+        kind_ = Kind::kArray;
+    }
+    items_.push_back(std::move(value));
+    return items_.back();
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::kArray) {
+        return items_.size();
+    }
+    if (kind_ == Kind::kObject) {
+        return members_.size();
+    }
+    return 0;
+}
+
+double
+JsonValue::AsNumber(double fallback) const
+{
+    return kind_ == Kind::kNumber ? num_ : fallback;
+}
+
+bool
+JsonValue::AsBool(bool fallback) const
+{
+    return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+void
+JsonValue::AppendEscaped(std::string &out, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c; // UTF-8 bytes pass through verbatim.
+            }
+        }
+    }
+}
+
+std::string
+JsonValue::NumberToString(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null"; // JSON has no inf/nan.
+    }
+    // Integral values inside the double-exact range print as integers,
+    // so counters (the dominant payload) stay byte-stable and readable.
+    constexpr double kExact = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExact) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonValue::DumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const auto newline = [&](int d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) *
+                           static_cast<std::size_t>(d),
+                       ' ');
+        }
+    };
+
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber:
+        out += NumberToString(num_);
+        break;
+      case Kind::kString:
+        out += '"';
+        AppendEscaped(out, str_);
+        out += '"';
+        break;
+      case Kind::kObject:
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0) {
+                out += ',';
+            }
+            newline(depth + 1);
+            out += '"';
+            AppendEscaped(out, members_[i].first);
+            out += pretty ? "\": " : "\":";
+            members_[i].second.DumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty()) {
+            newline(depth);
+        }
+        out += '}';
+        break;
+      case Kind::kArray:
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0) {
+                out += ',';
+            }
+            newline(depth + 1);
+            items_[i].DumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty()) {
+            newline(depth);
+        }
+        out += ']';
+        break;
+    }
+}
+
+std::string
+JsonValue::Dump(int indent) const
+{
+    std::string out;
+    DumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser state over the input text. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    Run()
+    {
+        SkipWs();
+        JsonValue v;
+        if (!ParseValue(v, 0)) {
+            return std::nullopt;
+        }
+        SkipWs();
+        if (pos_ != text_.size()) {
+            // NB: `return Fail(...)` would convert the bool through
+            // JsonValue(bool) into an engaged optional.
+            Fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    bool
+    Fail(const char *msg)
+    {
+        if (error_ != nullptr && error_->empty()) {
+            *error_ = std::string(msg) + " at offset " +
+                      std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    SkipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    Consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    Literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            return Fail("invalid literal");
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    ParseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            return Fail("nesting too deep");
+        }
+        if (pos_ >= text_.size()) {
+            return Fail("unexpected end of input");
+        }
+        switch (text_[pos_]) {
+          case 'n':
+            out = JsonValue();
+            return Literal("null");
+          case 't':
+            out = JsonValue(true);
+            return Literal("true");
+          case 'f':
+            out = JsonValue(false);
+            return Literal("false");
+          case '"':
+            return ParseString(out);
+          case '{':
+            return ParseObject(out, depth);
+          case '[':
+            return ParseArray(out, depth);
+          default:
+            return ParseNumber(out);
+        }
+    }
+
+    bool
+    ParseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out = JsonValue::Object();
+        SkipWs();
+        if (Consume('}')) {
+            return true;
+        }
+        for (;;) {
+            SkipWs();
+            JsonValue key;
+            if (pos_ >= text_.size() || text_[pos_] != '"' ||
+                !ParseString(key)) {
+                return Fail("expected object key");
+            }
+            SkipWs();
+            if (!Consume(':')) {
+                return Fail("expected ':'");
+            }
+            SkipWs();
+            JsonValue value;
+            if (!ParseValue(value, depth + 1)) {
+                return false;
+            }
+            out.Set(key.AsString(), std::move(value));
+            SkipWs();
+            if (Consume('}')) {
+                return true;
+            }
+            if (!Consume(',')) {
+                return Fail("expected ',' or '}'");
+            }
+        }
+    }
+
+    bool
+    ParseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out = JsonValue::Array();
+        SkipWs();
+        if (Consume(']')) {
+            return true;
+        }
+        for (;;) {
+            SkipWs();
+            JsonValue value;
+            if (!ParseValue(value, depth + 1)) {
+                return false;
+            }
+            out.Push(std::move(value));
+            SkipWs();
+            if (Consume(']')) {
+                return true;
+            }
+            if (!Consume(',')) {
+                return Fail("expected ',' or ']'");
+            }
+        }
+    }
+
+    bool
+    ParseString(JsonValue &out)
+    {
+        ++pos_; // '"'
+        std::string s;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                out = JsonValue(std::move(s));
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return Fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                s += c;
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size()) {
+                return Fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                s += '"';
+                break;
+              case '\\':
+                s += '\\';
+                break;
+              case '/':
+                s += '/';
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!ParseHex4(cp)) {
+                    return false;
+                }
+                // Combine surrogate pairs into one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    text_.substr(pos_, 2) == "\\u") {
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!ParseHex4(lo)) {
+                        return false;
+                    }
+                    if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else {
+                        return Fail("invalid low surrogate");
+                    }
+                }
+                AppendUtf8(s, cp);
+                break;
+              }
+              default:
+                return Fail("invalid escape");
+            }
+        }
+        return Fail("unterminated string");
+    }
+
+    bool
+    ParseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9') {
+                out |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                return Fail("invalid \\u escape");
+            }
+        }
+        return true;
+    }
+
+    static void
+    AppendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    ParseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (Consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return Fail("expected value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            return Fail("malformed number");
+        }
+        out = JsonValue(v);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+JsonParse(std::string_view text, std::string *error)
+{
+    return Parser(text, error).Run();
+}
+
+} // namespace pim

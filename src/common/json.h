@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Dependency-free JSON document model used by the telemetry layer.
+ *
+ * `JsonValue` is a small ordered DOM: objects keep their members in
+ * insertion order, so a document built the same way always dumps the
+ * same bytes — the property the versioned run reports and the trace
+ * exporter rely on for diffable output.  `JsonParse` is the matching
+ * strict parser, used by tests to validate emitted documents and by
+ * tools that read reports back.
+ *
+ * Numbers are IEEE doubles; integral values up to 2^53 print without a
+ * decimal point, and non-finite values (JSON has no inf/nan) dump as
+ * null.
+ */
+
+#ifndef PIM_COMMON_JSON_H
+#define PIM_COMMON_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pim {
+
+/** One JSON value: null, bool, number, string, object, or array. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kObject,
+        kArray,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+    JsonValue(double v) : kind_(Kind::kNumber), num_(v) {}
+    JsonValue(int v) : JsonValue(static_cast<double>(v)) {}
+    JsonValue(unsigned v) : JsonValue(static_cast<double>(v)) {}
+    JsonValue(std::int64_t v) : JsonValue(static_cast<double>(v)) {}
+    JsonValue(std::uint64_t v) : JsonValue(static_cast<double>(v)) {}
+    JsonValue(const char *s) : kind_(Kind::kString), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+    static JsonValue
+    Object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::kObject;
+        return v;
+    }
+
+    static JsonValue
+    Array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::kArray;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+
+    /**
+     * Set a member of an object (the value must be an object; a null
+     * value converts in place).  Replaces an existing key, otherwise
+     * appends — insertion order is preserved on dump.  Returns a
+     * reference to the stored value.
+     */
+    JsonValue &Set(const std::string &key, JsonValue value);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *Find(const std::string &key) const;
+
+    /**
+     * Dotted-path lookup through nested objects, e.g.
+     * `doc.FindPath("metrics.headline.pim_core")`.
+     */
+    const JsonValue *FindPath(const std::string &dotted) const;
+
+    /** Append to an array (a null value converts in place). */
+    JsonValue &Push(JsonValue value);
+
+    /** Array length / object member count; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Array element access (valid index required). */
+    const JsonValue &at(std::size_t i) const { return items_[i]; }
+
+    /** Object members, in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    double AsNumber(double fallback = 0.0) const;
+    bool AsBool(bool fallback = false) const;
+    const std::string &AsString() const { return str_; }
+
+    /**
+     * Serialize.  @p indent < 0 gives compact one-line output; >= 0
+     * pretty-prints with that many spaces per level.
+     */
+    std::string Dump(int indent = -1) const;
+
+    /** Append the JSON string-escape of @p s (no quotes) to @p out. */
+    static void AppendEscaped(std::string &out, std::string_view s);
+
+    /** Format one number the way Dump does. */
+    static std::string NumberToString(double v);
+
+  private:
+    void DumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+    std::vector<JsonValue> items_;
+};
+
+/**
+ * Strict JSON parser (UTF-8 in, \uXXXX decoded, trailing garbage
+ * rejected).  Returns nullopt and fills @p error on malformed input.
+ */
+std::optional<JsonValue> JsonParse(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace pim
+
+#endif // PIM_COMMON_JSON_H

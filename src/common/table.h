@@ -45,6 +45,16 @@ class Table
     const std::string &title() const { return title_; }
     std::size_t rows() const { return rows_.size(); }
 
+    /** Column headers (empty until SetHeader). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Row cells, in insertion order (telemetry serialization). */
+    const std::vector<std::vector<std::string>> &
+    data() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

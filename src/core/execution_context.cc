@@ -1,6 +1,7 @@
 #include "core/execution_context.h"
 
 #include "common/logging.h"
+#include "telemetry/span_tracer.h"
 
 namespace pim::core {
 
@@ -54,6 +55,12 @@ ExecutionContext::Report(const std::string &kernel_name) const
     r.timing = sim::EvaluateTiming(issue, r.counters,
                                    hierarchy_.config().dram,
                                    compute_.mem_timing);
+    if (PIM_TRACE_ENABLED()) {
+        const std::string suffix = "[" + std::string(r.target_name) + "]";
+        PIM_TRACE_COUNTER("dram_bytes" + suffix,
+                          r.counters.dram.TotalBytes());
+        PIM_TRACE_COUNTER("energy_pj" + suffix, r.energy.Total());
+    }
     return r;
 }
 

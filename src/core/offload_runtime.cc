@@ -3,8 +3,20 @@
 #include "core/coherence_directory.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
+#include "telemetry/span_tracer.h"
 
 namespace pim::core {
+
+namespace {
+
+/** Span label "<kernel>[<target>]" for the trace timeline. */
+std::string
+SpanLabel(const std::string &kernel_name, ExecutionTarget target)
+{
+    return kernel_name + "[" + TargetName(target) + "]";
+}
+
+} // namespace
 
 RunReport
 OffloadRuntime::Run(
@@ -12,8 +24,18 @@ OffloadRuntime::Run(
     const OffloadFootprint &footprint,
     const std::function<void(ExecutionContext &)> &kernel) const
 {
+    PIM_TRACE_SPAN("offload", SpanLabel(kernel_name, target));
     ExecutionContext ctx(target);
-    kernel(ctx);
+    if (target != ExecutionTarget::kCpuOnly) {
+        PIM_TRACE_INSTANT("offload", "PIM_BEGIN");
+    }
+    {
+        PIM_TRACE_SPAN("kernel", kernel_name);
+        kernel(ctx);
+    }
+    if (target != ExecutionTarget::kCpuOnly) {
+        PIM_TRACE_INSTANT("offload", "PIM_END");
+    }
     RunReport report = ctx.Report(kernel_name);
 
     if (target != ExecutionTarget::kCpuOnly) {
@@ -33,6 +55,7 @@ OffloadRuntime::RunTracked(
     Bytes output_bytes, CoherenceDirectory &directory,
     const std::function<void(ExecutionContext &)> &kernel) const
 {
+    PIM_TRACE_SPAN("offload", SpanLabel(kernel_name, target));
     ExecutionContext ctx(target);
     if (target == ExecutionTarget::kCpuOnly) {
         // Host execution: the directory just observes the accesses.
@@ -43,12 +66,17 @@ OffloadRuntime::RunTracked(
     }
 
     const DirectoryStats before = directory.stats();
+    PIM_TRACE_INSTANT("offload", "PIM_BEGIN");
     std::uint64_t messages =
         directory.OffloadBegin(input_base, input_bytes);
     messages += directory.OffloadBegin(output_base, output_bytes);
 
-    kernel(ctx);
+    {
+        PIM_TRACE_SPAN("kernel", kernel_name);
+        kernel(ctx);
+    }
     messages += directory.OffloadEnd(output_base, output_bytes);
+    PIM_TRACE_INSTANT("offload", "PIM_END");
 
     RunReport report = ctx.Report(kernel_name);
     const std::uint64_t writebacks =
@@ -69,23 +97,30 @@ OffloadRuntime::RunAllReplayed(
     const std::string &kernel_name, const OffloadFootprint &footprint,
     const std::function<void(ExecutionContext &)> &kernel) const
 {
+    PIM_TRACE_SPAN("offload", kernel_name + "[replayed]");
+
     // Native CPU-Only run, teeing the access stream into a trace.
     sim::AccessTrace trace;
     ExecutionContext cpu_ctx(ExecutionTarget::kCpuOnly);
     cpu_ctx.AttachTrace(trace);
-    kernel(cpu_ctx);
+    {
+        PIM_TRACE_SPAN("kernel", kernel_name + ":record");
+        kernel(cpu_ctx);
+    }
     cpu_ctx.DetachTrace();
 
     std::vector<RunReport> reports(3);
     reports[0] = cpu_ctx.Report(kernel_name);
 
     // Replay the recorded stream into both PIM hierarchies in parallel.
+    PIM_TRACE_INSTANT("offload", "PIM_BEGIN");
     const std::vector<sim::HierarchyConfig> configs = {
         sim::PimCoreHierarchyConfig(), sim::PimAccelHierarchyConfig()};
     const ExecutionTarget targets[] = {ExecutionTarget::kPimCore,
                                        ExecutionTarget::kPimAccel};
     const sim::SweepRunner runner;
     const auto counters = runner.ReplayTrace(trace, configs);
+    PIM_TRACE_INSTANT("offload", "PIM_END");
 
     const CoherenceCost cost = EstimateOffloadCoherence(
         footprint.input_bytes, footprint.output_bytes, coherence_);

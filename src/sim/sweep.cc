@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "telemetry/span_tracer.h"
+
 namespace pim::sim {
 
 SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
@@ -23,6 +25,7 @@ SweepRunner::ForEach(std::size_t jobs,
     if (jobs == 0) {
         return;
     }
+    PIM_TRACE_SPAN("sweep", "ForEach");
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
     if (workers <= 1) {
@@ -60,6 +63,7 @@ SweepRunner::ReplayTrace(const AccessTrace &trace,
 {
     std::vector<PerfCounters> results(configs.size());
     ForEach(configs.size(), [&](std::size_t i) {
+        PIM_TRACE_SPAN("sweep", "replay[" + std::to_string(i) + "]");
         MemoryHierarchy mh(configs[i]);
         trace.ReplayInto(mh.Top());
         results[i] = mh.Snapshot();

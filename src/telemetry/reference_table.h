@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Paper-reference regression gating: a table of the source paper's
+ * published values (headline percentages, per-figure checkpoints)
+ * paired with this framework's seed-measured values and per-entry
+ * tolerances, plus a checker that diffs a bench binary's JSON report
+ * against it.
+ *
+ * Two anchors per entry:
+ *  - `paper_value` — what Boroumand et al. publish (NaN when the paper
+ *    gives no scalar for the metric); printed for context.
+ *  - `expected`    — what this framework measured at the seed commit.
+ *    The check runs against *this* value, so the gate detects drift in
+ *    the reproduction, not the (documented, EXPERIMENTS.md) gap between
+ *    the reproduction and the paper.
+ *
+ * Status ladder: |measured - expected| <= warn_tol is a pass, <=
+ * fail_tol a warning, beyond that a failure.  Metrics a given binary
+ * does not emit are reported as skipped and do not fail the check, but
+ * a report that matches no entry at all fails (an empty gate guards
+ * nothing).
+ */
+
+#ifndef PIM_TELEMETRY_REFERENCE_TABLE_H
+#define PIM_TELEMETRY_REFERENCE_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace pim::telemetry {
+
+/** Outcome of checking one reference entry. */
+enum class RefStatus
+{
+    kPass,
+    kWarn,
+    kFail,
+    kSkipped, ///< Metric absent from the report.
+};
+
+const char *RefStatusName(RefStatus status);
+
+/** One gated metric. */
+struct ReferenceEntry
+{
+    std::string metric;      ///< Key in the report's "metrics" object.
+    std::string source;      ///< Paper anchor ("§1", "Fig. 18", ...).
+    std::string description;
+    double paper_value = 0.0; ///< NaN when the paper gives no scalar.
+    double expected = 0.0;    ///< Seed-measured anchor (gated value).
+    double warn_tol = 0.0;    ///< |delta| beyond this warns.
+    double fail_tol = 0.0;    ///< |delta| beyond this fails.
+};
+
+/** An ordered set of reference entries. */
+class ReferenceTable
+{
+  public:
+    void Add(ReferenceEntry entry) { entries_.push_back(std::move(entry)); }
+
+    const std::vector<ReferenceEntry> &entries() const { return entries_; }
+
+    const ReferenceEntry *Find(const std::string &metric) const;
+
+    /**
+     * The built-in table for this repository: the paper's headline
+     * claims (Section 1), the Figure 12/16 traffic checkpoints, the
+     * Figure 18/19/20 kernel savings, and the per-figure share
+     * checkpoints, anchored at the seed commit's measured values.
+     */
+    static const ReferenceTable &Paper();
+
+  private:
+    std::vector<ReferenceEntry> entries_;
+};
+
+/** One entry's verdict. */
+struct RefCheckItem
+{
+    const ReferenceEntry *entry = nullptr;
+    double measured = 0.0; ///< Meaningless when status == kSkipped.
+    RefStatus status = RefStatus::kSkipped;
+};
+
+/** Whole-report verdict. */
+struct RefCheckSummary
+{
+    std::vector<RefCheckItem> items;
+    int passed = 0;
+    int warned = 0;
+    int failed = 0;
+    int skipped = 0;
+
+    int checked() const { return passed + warned + failed; }
+
+    /** Gate verdict: no failures and at least one entry checked. */
+    bool ok() const { return failed == 0 && checked() > 0; }
+
+    /** Render as a printable table (one row per non-skipped entry). */
+    Table ToTable() const;
+};
+
+/**
+ * Diff @p report (a bench-report JSON document whose "metrics" member
+ * maps metric keys to numbers) against @p table.
+ */
+RefCheckSummary CheckReport(const JsonValue &report,
+                            const ReferenceTable &table);
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_REFERENCE_TABLE_H

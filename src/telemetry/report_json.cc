@@ -1,0 +1,155 @@
+#include "telemetry/report_json.h"
+
+#include <cctype>
+
+namespace pim::telemetry {
+
+JsonValue
+ToJson(const sim::OpCounts &ops)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("alu", ops.alu);
+    v.Set("mul", ops.mul);
+    v.Set("branch", ops.branch);
+    v.Set("load", ops.load);
+    v.Set("store", ops.store);
+    v.Set("simd_eligible", ops.simd_eligible);
+    v.Set("total", ops.Total());
+    return v;
+}
+
+JsonValue
+ToJson(const sim::CacheStats &stats)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("read_hits", stats.read_hits);
+    v.Set("read_misses", stats.read_misses);
+    v.Set("write_hits", stats.write_hits);
+    v.Set("write_misses", stats.write_misses);
+    v.Set("writebacks", stats.writebacks);
+    v.Set("miss_rate", stats.MissRate());
+    return v;
+}
+
+JsonValue
+ToJson(const sim::DramStats &stats)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("read_requests", stats.read_requests);
+    v.Set("write_requests", stats.write_requests);
+    v.Set("read_bytes", stats.read_bytes);
+    v.Set("write_bytes", stats.write_bytes);
+    v.Set("total_bytes", stats.TotalBytes());
+    return v;
+}
+
+JsonValue
+ToJson(const sim::PerfCounters &counters)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("l1", ToJson(counters.l1));
+    v.Set("has_llc", counters.has_llc);
+    if (counters.has_llc) {
+        v.Set("llc", ToJson(counters.llc));
+    }
+    v.Set("dram", ToJson(counters.dram));
+    v.Set("offchip_bytes", counters.OffChipBytes());
+    return v;
+}
+
+JsonValue
+ToJson(const sim::EnergyBreakdown &energy)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("compute_pj", energy.compute);
+    v.Set("l1_pj", energy.l1);
+    v.Set("llc_pj", energy.llc);
+    v.Set("interconnect_pj", energy.interconnect);
+    v.Set("memctrl_pj", energy.memctrl);
+    v.Set("dram_pj", energy.dram);
+    v.Set("total_pj", energy.Total());
+    v.Set("data_movement_pj", energy.DataMovement());
+    v.Set("data_movement_fraction", energy.DataMovementFraction());
+    return v;
+}
+
+JsonValue
+ToJson(const sim::TimingResult &timing)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("issue_ns", timing.issue_ns);
+    v.Set("memory_ns", timing.memory_ns);
+    v.Set("bandwidth_ns", timing.bandwidth_ns);
+    v.Set("total_ns", timing.Total());
+    v.Set("bound", timing.Bound());
+    return v;
+}
+
+JsonValue
+ToJson(const core::RunReport &report)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("kernel", report.kernel);
+    v.Set("target", report.target_name);
+    v.Set("ops", ToJson(report.ops));
+    v.Set("counters", ToJson(report.counters));
+    v.Set("energy", ToJson(report.energy));
+    v.Set("timing", ToJson(report.timing));
+    v.Set("overhead_ns", report.overhead_ns);
+    v.Set("total_time_ns", report.TotalTimeNs());
+    v.Set("total_energy_pj", report.TotalEnergyPj());
+    v.Set("mpki", report.Mpki());
+    return v;
+}
+
+JsonValue
+ToJson(const Table &table)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("title", table.title());
+    JsonValue &header = v.Set("header", JsonValue::Array());
+    for (const auto &cell : table.header()) {
+        header.Push(cell);
+    }
+    JsonValue &rows = v.Set("rows", JsonValue::Array());
+    for (const auto &row : table.data()) {
+        JsonValue &out_row = rows.Push(JsonValue::Array());
+        for (const auto &cell : row) {
+            out_row.Push(cell);
+        }
+    }
+    return v;
+}
+
+JsonValue
+MakeReportDocument(const std::string &binary)
+{
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", kReportSchemaName);
+    doc.Set("version", kReportSchemaVersion);
+    doc.Set("binary", binary);
+    return doc;
+}
+
+std::string
+MetricSlug(const std::string &name)
+{
+    std::string slug;
+    slug.reserve(name.size());
+    bool pending_sep = false;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+            if (pending_sep && !slug.empty()) {
+                slug += '_';
+            }
+            pending_sep = false;
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else {
+            pending_sep = true;
+        }
+    }
+    return slug;
+}
+
+} // namespace pim::telemetry

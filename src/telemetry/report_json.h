@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Serializers that turn the measurement structs (core::RunReport and
+ * the sim counter/energy/timing types it aggregates) into stable,
+ * versioned JSON documents.
+ *
+ * Field names are part of the report schema: rename only with a
+ * version bump (`kReportSchemaVersion`).  Consumers — the CI reference
+ * gate, BENCH_*.json trajectory tooling, plotting scripts — key on
+ * them.
+ */
+
+#ifndef PIM_TELEMETRY_REPORT_JSON_H
+#define PIM_TELEMETRY_REPORT_JSON_H
+
+#include <string>
+
+#include "common/json.h"
+#include "common/table.h"
+#include "core/execution_context.h"
+
+namespace pim::telemetry {
+
+/** Schema identity stamped into every emitted report document. */
+inline constexpr const char *kReportSchemaName = "pim-consumer.bench-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+JsonValue ToJson(const sim::OpCounts &ops);
+JsonValue ToJson(const sim::CacheStats &stats);
+JsonValue ToJson(const sim::DramStats &stats);
+JsonValue ToJson(const sim::PerfCounters &counters);
+JsonValue ToJson(const sim::EnergyBreakdown &energy);
+JsonValue ToJson(const sim::TimingResult &timing);
+JsonValue ToJson(const core::RunReport &report);
+JsonValue ToJson(const Table &table);
+
+/**
+ * Fresh report document with the schema/version/binary envelope;
+ * callers attach "groups", "metrics", and "tables" members.
+ */
+JsonValue MakeReportDocument(const std::string &binary);
+
+/**
+ * Stable metric-key fragment for a display name: lower-cased, runs of
+ * non-alphanumerics collapsed to single underscores
+ * ("Sub-Pixel Interpolation" -> "sub_pixel_interpolation").
+ */
+std::string MetricSlug(const std::string &name);
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_REPORT_JSON_H

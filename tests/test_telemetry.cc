@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Telemetry subsystem tests: the JSON document model (escaping,
+ * round-trip, number formatting), the span tracer (balanced B/E pairs,
+ * valid Chrome-trace JSON, per-thread ids), the report serializers
+ * (schema envelope, field presence), and the paper-reference checker
+ * (pass on seed values, warn/fail ladder, skip semantics).
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "core/execution_context.h"
+#include "telemetry/reference_table.h"
+#include "telemetry/report_json.h"
+#include "telemetry/span_tracer.h"
+
+namespace {
+
+using namespace pim;
+
+// ---------------------------------------------------------------------
+// JSON document model
+// ---------------------------------------------------------------------
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    std::string out;
+    JsonValue::AppendEscaped(out, "a\"b\\c\n\t\r\x01z");
+    EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\r\\u0001z");
+}
+
+TEST(Json, DumpEscapedStringRoundTrips)
+{
+    JsonValue doc = JsonValue::Object();
+    doc.Set("s", "quote \" backslash \\ newline \n tab \t");
+
+    const auto parsed = JsonParse(doc.Dump());
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue *s = parsed->Find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->AsString(), "quote \" backslash \\ newline \n tab \t");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalPoint)
+{
+    EXPECT_EQ(JsonValue::NumberToString(42.0), "42");
+    EXPECT_EQ(JsonValue::NumberToString(-7.0), "-7");
+    EXPECT_EQ(JsonValue::NumberToString(0.0), "0");
+    // 2^50 is integral and in the exact range.
+    EXPECT_EQ(JsonValue::NumberToString(1125899906842624.0),
+              "1125899906842624");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull)
+{
+    EXPECT_EQ(JsonValue::NumberToString(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonValue::NumberToString(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+
+    JsonValue doc = JsonValue::Object();
+    doc.Set("bad", std::numeric_limits<double>::infinity());
+    const auto parsed = JsonParse(doc.Dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->Find("bad")->is_null());
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndReplacesKeys)
+{
+    JsonValue doc = JsonValue::Object();
+    doc.Set("z", 1);
+    doc.Set("a", 2);
+    doc.Set("z", 3); // replace, keeps position
+    EXPECT_EQ(doc.Dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(Json, RoundTripNestedDocument)
+{
+    JsonValue doc = JsonValue::Object();
+    doc.Set("name", "bench");
+    doc.Set("ok", true);
+    doc.Set("none", JsonValue());
+    JsonValue &arr = doc.Set("values", JsonValue::Array());
+    arr.Push(1.5);
+    arr.Push("two");
+    JsonValue &nested = doc.Set("nested", JsonValue::Object());
+    nested.Set("pi", 3.25);
+
+    for (const int indent : {-1, 0, 2}) {
+        const auto parsed = JsonParse(doc.Dump(indent));
+        ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+        EXPECT_EQ(parsed->Dump(), doc.Dump()) << "indent=" << indent;
+    }
+}
+
+TEST(Json, FindPathWalksNestedObjects)
+{
+    const auto parsed =
+        JsonParse("{\"metrics\":{\"headline\":{\"speedup\":2.26}}}");
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue *v = parsed->FindPath("metrics.headline.speedup");
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(v->AsNumber(), 2.26);
+    EXPECT_EQ(parsed->FindPath("metrics.missing.speedup"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(JsonParse("{\"a\":}", &error).has_value());
+    EXPECT_FALSE(JsonParse("[1,2", &error).has_value());
+    EXPECT_FALSE(JsonParse("{} trailing", &error).has_value());
+    EXPECT_FALSE(JsonParse("", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes)
+{
+    const auto parsed = JsonParse("\"\\u0041\\u00e9\"");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------
+// Span tracer
+// ---------------------------------------------------------------------
+
+/** Fresh private tracer per test; the global one stays untouched. */
+class TracerTest : public ::testing::Test
+{
+  protected:
+    telemetry::Tracer tracer_;
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing)
+{
+    EXPECT_FALSE(tracer_.enabled());
+    tracer_.Begin("span", "cat");
+    tracer_.Counter("c", 1.0);
+    tracer_.End("span", "cat");
+    EXPECT_EQ(tracer_.size(), 0u);
+}
+
+TEST_F(TracerTest, EmitsBalancedSpansAsValidChromeJson)
+{
+    tracer_.SetEnabled(true);
+    tracer_.Begin("outer", "test");
+    tracer_.Begin("inner", "test");
+    tracer_.Counter("bytes", 4096.0);
+    tracer_.Instant("marker", "test");
+    tracer_.End("inner", "test");
+    tracer_.End("outer", "test");
+
+    const auto parsed = JsonParse(tracer_.ToChromeJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->Find("displayTimeUnit")->AsString(), "ms");
+
+    const JsonValue *events = parsed->Find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->size(), 6u);
+
+    int depth = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const JsonValue &ev = events->at(i);
+        const std::string &ph = ev.Find("ph")->AsString();
+        ASSERT_TRUE(ev.Find("name") != nullptr);
+        ASSERT_TRUE(ev.Find("ts")->is_number());
+        EXPECT_EQ(ev.Find("pid")->AsNumber(), 1.0);
+        if (ph == "B") {
+            ++depth;
+        } else if (ph == "E") {
+            --depth;
+            ASSERT_GE(depth, 0);
+        } else if (ph == "C") {
+            EXPECT_DOUBLE_EQ(ev.FindPath("args.value")->AsNumber(),
+                             4096.0);
+        } else if (ph == "i") {
+            EXPECT_EQ(ev.Find("s")->AsString(), "t");
+        }
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced B/E pairs";
+}
+
+TEST_F(TracerTest, TimestampsAreMonotonic)
+{
+    tracer_.SetEnabled(true);
+    for (int i = 0; i < 8; ++i) {
+        tracer_.Instant("tick", "test");
+    }
+    const auto events = tracer_.Events();
+    ASSERT_EQ(events.size(), 8u);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+    }
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctSequentialIds)
+{
+    tracer_.SetEnabled(true);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([this] {
+            tracer_.Begin("work", "test");
+            tracer_.End("work", "test");
+        });
+    }
+    for (auto &thread : threads) {
+        thread.join();
+    }
+
+    const auto events = tracer_.Events();
+    ASSERT_EQ(events.size(), 8u);
+    std::vector<std::uint32_t> tids;
+    for (const auto &ev : events) {
+        tids.push_back(ev.tid);
+        EXPECT_GE(ev.tid, 1u);
+        EXPECT_LE(ev.tid, 4u);
+    }
+    // Each thread's B and E share a tid, and all four tids appear.
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST_F(TracerTest, ClearDropsBufferedEvents)
+{
+    tracer_.SetEnabled(true);
+    tracer_.Instant("x", "test");
+    EXPECT_EQ(tracer_.size(), 1u);
+    tracer_.Clear();
+    EXPECT_EQ(tracer_.size(), 0u);
+}
+
+TEST(TracerMacros, ScopedSpanBracketsGlobalTracer)
+{
+    auto &tracer = telemetry::Tracer::Global();
+    tracer.Clear();
+    tracer.SetEnabled(true);
+    {
+        PIM_TRACE_SPAN("test", "scoped");
+        PIM_TRACE_COUNTER("count", 7.0);
+    }
+    tracer.SetEnabled(false);
+
+    const auto events = tracer.Events();
+    tracer.Clear();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_EQ(events[0].name, "scoped");
+    EXPECT_EQ(events[0].category, "test");
+    EXPECT_EQ(events[1].phase, 'C');
+    EXPECT_DOUBLE_EQ(events[1].value, 7.0);
+    EXPECT_EQ(events[2].phase, 'E');
+    EXPECT_EQ(events[2].name, "scoped");
+}
+
+// ---------------------------------------------------------------------
+// Report serializers
+// ---------------------------------------------------------------------
+
+TEST(ReportJson, RunReportSerializesCoreFields)
+{
+    core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+    ctx.hierarchy().Top().Access(0, 4096, sim::AccessType::kRead);
+    const core::RunReport report = ctx.Report("unit-kernel");
+
+    const JsonValue doc = telemetry::ToJson(report);
+    EXPECT_EQ(doc.Find("kernel")->AsString(), "unit-kernel");
+    EXPECT_EQ(doc.Find("target")->AsString(), "CPU-Only");
+    ASSERT_NE(doc.FindPath("counters.dram.read_bytes"), nullptr);
+    EXPECT_GT(doc.FindPath("counters.dram.read_bytes")->AsNumber(), 0.0);
+    ASSERT_NE(doc.Find("total_energy_pj"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.Find("total_energy_pj")->AsNumber(),
+                     report.TotalEnergyPj());
+    ASSERT_NE(doc.Find("total_time_ns"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.Find("total_time_ns")->AsNumber(),
+                     report.TotalTimeNs());
+    ASSERT_NE(doc.FindPath("energy.data_movement_fraction"), nullptr);
+
+    // The serialized document parses back to identical bytes.
+    const auto parsed = JsonParse(doc.Dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->Dump(), doc.Dump());
+}
+
+TEST(ReportJson, MakeReportDocumentStampsSchemaEnvelope)
+{
+    const JsonValue doc = telemetry::MakeReportDocument("unit_binary");
+    EXPECT_EQ(doc.Find("schema")->AsString(),
+              telemetry::kReportSchemaName);
+    EXPECT_EQ(doc.Find("version")->AsNumber(),
+              telemetry::kReportSchemaVersion);
+    EXPECT_EQ(doc.Find("binary")->AsString(), "unit_binary");
+}
+
+TEST(ReportJson, MetricSlugNormalizesDisplayNames)
+{
+    EXPECT_EQ(telemetry::MetricSlug("Sub-Pixel Interpolation"),
+              "sub_pixel_interpolation");
+    EXPECT_EQ(telemetry::MetricSlug("Texture Tiling"), "texture_tiling");
+    EXPECT_EQ(telemetry::MetricSlug("GEMM (16)"), "gemm_16");
+}
+
+// ---------------------------------------------------------------------
+// Reference table / regression gate
+// ---------------------------------------------------------------------
+
+/** Small three-entry table exercising the full status ladder. */
+telemetry::ReferenceTable
+TinyTable()
+{
+    telemetry::ReferenceTable t;
+    t.Add({"m.pass", "§t", "within warn_tol", 1.0, 0.50, 0.05, 0.10});
+    t.Add({"m.warn", "§t", "between tolerances", 1.0, 0.50, 0.05, 0.10});
+    t.Add({"m.fail", "§t", "beyond fail_tol", 1.0, 0.50, 0.05, 0.10});
+    return t;
+}
+
+JsonValue
+ReportWithMetrics(const std::vector<std::pair<std::string, double>> &kv)
+{
+    JsonValue doc = telemetry::MakeReportDocument("unit");
+    JsonValue &metrics = doc.Set("metrics", JsonValue::Object());
+    for (const auto &[key, value] : kv) {
+        metrics.Set(key, value);
+    }
+    return doc;
+}
+
+TEST(ReferenceTable, StatusLadderPassWarnFail)
+{
+    const auto summary = telemetry::CheckReport(
+        ReportWithMetrics({{"m.pass", 0.52},    // |delta| 0.02 <= warn
+                           {"m.warn", 0.57},    // 0.07 in (warn, fail]
+                           {"m.fail", 0.70}}),  // 0.20 > fail
+        TinyTable());
+    EXPECT_EQ(summary.passed, 1);
+    EXPECT_EQ(summary.warned, 1);
+    EXPECT_EQ(summary.failed, 1);
+    EXPECT_EQ(summary.skipped, 0);
+    EXPECT_FALSE(summary.ok());
+}
+
+TEST(ReferenceTable, MissingMetricsAreSkippedNotFailed)
+{
+    const auto summary = telemetry::CheckReport(
+        ReportWithMetrics({{"m.pass", 0.50}}), TinyTable());
+    EXPECT_EQ(summary.passed, 1);
+    EXPECT_EQ(summary.skipped, 2);
+    EXPECT_EQ(summary.failed, 0);
+    EXPECT_TRUE(summary.ok());
+}
+
+TEST(ReferenceTable, AllSkippedReportFailsTheGate)
+{
+    const auto summary =
+        telemetry::CheckReport(ReportWithMetrics({}), TinyTable());
+    EXPECT_EQ(summary.checked(), 0);
+    EXPECT_FALSE(summary.ok()) << "an empty gate must not pass";
+}
+
+TEST(ReferenceTable, NonFiniteMeasurementFails)
+{
+    // A non-finite metric dumps as null, so a parsed report skips it;
+    // an in-memory document carries the NaN through to a failure.
+    const auto summary = telemetry::CheckReport(
+        ReportWithMetrics(
+            {{"m.pass", std::numeric_limits<double>::quiet_NaN()}}),
+        TinyTable());
+    EXPECT_EQ(summary.failed, 1);
+    EXPECT_FALSE(summary.ok());
+}
+
+TEST(ReferenceTable, PaperTablePassesOnSeedValuesAndFailsPerturbed)
+{
+    const auto &paper = telemetry::ReferenceTable::Paper();
+    ASSERT_FALSE(paper.entries().empty());
+
+    // A report carrying every expected value verbatim passes clean.
+    std::vector<std::pair<std::string, double>> exact;
+    for (const auto &entry : paper.entries()) {
+        exact.emplace_back(entry.metric, entry.expected);
+    }
+    const auto clean =
+        telemetry::CheckReport(ReportWithMetrics(exact), paper);
+    EXPECT_EQ(clean.passed,
+              static_cast<int>(paper.entries().size()));
+    EXPECT_EQ(clean.warned, 0);
+    EXPECT_EQ(clean.failed, 0);
+    EXPECT_TRUE(clean.ok());
+
+    // Perturb one metric beyond its fail tolerance: gate trips.
+    auto perturbed = exact;
+    const auto &victim = paper.entries().front();
+    perturbed.front().second =
+        victim.expected + 2.0 * victim.fail_tol + 0.01;
+    const auto broken =
+        telemetry::CheckReport(ReportWithMetrics(perturbed), paper);
+    EXPECT_EQ(broken.failed, 1);
+    EXPECT_FALSE(broken.ok());
+}
+
+TEST(ReferenceTable, PaperTableFindAndRendering)
+{
+    const auto &paper = telemetry::ReferenceTable::Paper();
+    const auto *entry = paper.Find("headline.pim_acc.speedup");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_GT(entry->fail_tol, entry->warn_tol);
+    EXPECT_EQ(paper.Find("no.such.metric"), nullptr);
+
+    // Every entry renders into the summary table without crashing.
+    std::vector<std::pair<std::string, double>> exact;
+    for (const auto &e : paper.entries()) {
+        exact.emplace_back(e.metric, e.expected);
+    }
+    const auto summary =
+        telemetry::CheckReport(ReportWithMetrics(exact), paper);
+    const Table rendered = summary.ToTable();
+    EXPECT_EQ(rendered.data().size(), paper.entries().size());
+}
+
+} // namespace
