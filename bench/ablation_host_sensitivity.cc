@@ -82,13 +82,20 @@ PrintAblations(bench::BenchOutput &out)
         const std::vector<Bytes> llc_sizes = {512_KiB, 1_MiB, 2_MiB,
                                               4_MiB, 8_MiB};
         std::vector<sim::HierarchyConfig> configs;
+        std::vector<sim::CacheConfig> llc_points;
         for (const Bytes llc : llc_sizes) {
             sim::HierarchyConfig hier = sim::HostHierarchyConfig();
             hier.llc->size = llc;
-            configs.push_back(hier);
+            llc_points.push_back(*hier.llc);
+            configs.push_back(std::move(hier));
         }
+        // The swept hierarchies differ only in LLC capacity, so the
+        // whole sweep is one L1 pass plus stack-distance profiling of
+        // its miss stream (bit-identical to per-config replay; see
+        // DESIGN.md Section 5d).
         const sim::SweepRunner runner;
-        const auto counters = runner.ReplayTrace(trace, configs);
+        const auto counters = runner.ProfileLlcSweep(
+            trace, sim::HostHierarchyConfig(), llc_points);
 
         for (std::size_t i = 0; i < configs.size(); ++i) {
             const auto r = core::SynthesizeReport(

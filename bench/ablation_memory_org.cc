@@ -132,8 +132,9 @@ PrintMemoryOrgStudy(bench::BenchOutput &out)
     runner.ForEach(traces.size(), [&](std::size_t i) {
         sim::DramBankModel banks;
         core::VaultTrafficAnalyzer vaults(16);
-        traces[i].trace.ReplayInto(banks);
-        traces[i].trace.ReplayInto(vaults);
+        // One decode pass feeds both models while each batch is hot.
+        sim::FanoutSink tee({&banks, &vaults});
+        traces[i].trace.ReplayInto(tee);
         results[i] = {banks.stats(), banks.AverageLatencyNs(),
                       vaults.Balance(), vaults.EffectiveLanes()};
     });

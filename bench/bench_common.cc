@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/rng.h"
+#include "sim/sweep.h"
 #include "telemetry/reference_table.h"
 #include "telemetry/report_json.h"
 #include "telemetry/span_tracer.h"
@@ -491,6 +492,11 @@ BenchMain(int argc, char **argv,
         ::benchmark::RunSpecifiedBenchmarks();
     }
     BenchOutput out(Basename(argv[0]), std::move(opts));
+    // Sweep parallelism in effect for this run (the PIM_SWEEP_THREADS
+    // override or hardware concurrency) — recorded so perf trajectories
+    // built from JSON reports can normalize across machines.
+    out.Metric("bench.sweep_threads",
+               static_cast<double>(sim::SweepRunner().thread_count()));
     print_fn(out);
     return out.Finish();
 }

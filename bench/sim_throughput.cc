@@ -260,8 +260,8 @@ SameCounters(const sim::PerfCounters &a, const sim::PerfCounters &b)
 }
 
 void
-PrintOneStream(bench::BenchOutput &out, const char *title,
-               const sim::AccessTrace &trace)
+PrintOneStream(bench::BenchOutput &out, const char *section,
+               const char *title, const sim::AccessTrace &trace)
 {
     const double accesses = static_cast<double>(trace.size());
 
@@ -326,11 +326,141 @@ PrintOneStream(bench::BenchOutput &out, const char *title,
     row("batched + SweepRunner x8", sweep_accesses, sweep_s);
     out.Emit(table);
 
+    const std::string prefix = std::string("sim_throughput.") + section;
+    out.Metric(prefix + ".trace.bytes",
+               static_cast<double>(trace.SizeBytes()));
+    out.Metric(prefix + ".batched_maccess_per_s",
+               accesses / batched_s / 1e6);
+    out.Metric(prefix + ".batched_speedup_vs_seed",
+               (accesses / batched_s) / (accesses / seed_s));
+
     std::printf("counters seed == scalar == batched: %s  (threads: %u)\n\n",
                 SameCounters(seed_pc, batched_pc) &&
                         SameCounters(scalar_pc, batched_pc)
                     ? "yes"
                     : "NO",
+                runner.thread_count());
+}
+
+/**
+ * The one-pass sweep study (this PR's headline): an N-point LLC
+ * capacity sweep of the tiling stream, phrased at a fixed set count so
+ * capacity grows with associativity.  Three engines run the identical
+ * sweep:
+ *
+ *   per-config  — ReplayTrace: N full cold replays (the reference),
+ *   fan-out     — ReplayTraceFanout: one L1 pass per worker shard,
+ *                 miss batches fed to all N LLC stacks while hot,
+ *   profiler    — ProfileLlcSweep: one L1 pass + ONE stack-distance
+ *                 pass over its miss stream, every point read out of
+ *                 the reuse-distance histogram analytically.
+ *
+ * Counters must be bit-identical across all three (checked every run);
+ * only wall-clock may differ.
+ */
+void
+PrintSweepStudy(bench::BenchOutput &out)
+{
+    // 512x512 keeps the quick (CI) run under a second per engine.
+    Rng rng(21);
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(512, 512);
+    sim::AccessTrace trace;
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachTrace(trace);
+        browser::TileTexture(linear, tiled, ctx);
+        ctx.DetachTrace();
+    }
+
+    // Fixed 1024-set LLC geometry, capacity swept through
+    // associativity: 64 KiB ... 4 MiB in 12 points, one profiling
+    // pass covers them all.
+    const std::vector<std::uint32_t> assocs = {1,  2,  3,  4,  6,  8,
+                                               12, 16, 24, 32, 48, 64};
+    constexpr std::size_t kSets = 1024;
+    constexpr Bytes kLine = 64;
+    std::vector<sim::HierarchyConfig> configs;
+    std::vector<sim::CacheConfig> llc_points;
+    for (const std::uint32_t a : assocs) {
+        sim::HierarchyConfig hier = sim::HostHierarchyConfig();
+        hier.llc->size = kSets * a * kLine;
+        hier.llc->associativity = a;
+        llc_points.push_back(*hier.llc);
+        configs.push_back(std::move(hier));
+    }
+
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    const sim::SweepRunner runner;
+    std::vector<sim::PerfCounters> ref, fanout, profiled;
+    const double per_config_s = best_of([&] {
+        return TimeRun(
+            [&] { ref = runner.ReplayTrace(trace, configs); });
+    });
+    const double fanout_s = best_of([&] {
+        return TimeRun(
+            [&] { fanout = runner.ReplayTraceFanout(trace, configs); });
+    });
+    const double profiler_s = best_of([&] {
+        return TimeRun([&] {
+            profiled = runner.ProfileLlcSweep(
+                trace, sim::HostHierarchyConfig(), llc_points);
+        });
+    });
+
+    bool fanout_same = true, profiler_same = true;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        fanout_same = fanout_same && SameCounters(ref[i], fanout[i]);
+        profiler_same =
+            profiler_same && SameCounters(ref[i], profiled[i]);
+    }
+
+    Table table("One-pass sweep — 12-point LLC capacity sweep, "
+                "tiling stream (64 KiB - 4 MiB)");
+    table.SetHeader(
+        {"engine", "trace passes", "time (ms)", "speedup", "exact"});
+    const auto row = [&](const char *name, const char *passes,
+                         double seconds, bool exact) {
+        table.AddRow({
+            name,
+            passes,
+            Table::Num(seconds * 1e3, 1),
+            Table::Num(per_config_s / seconds, 2) + "x",
+            exact ? "bit-identical" : "MISMATCH",
+        });
+    };
+    row("per-config replay (reference)", "12", per_config_s, true);
+    row("fan-out replay (shared L1)", "1/shard", fanout_s, fanout_same);
+    row("stack-distance profiler", "1 (+miss stream)", profiler_s,
+        profiler_same);
+    out.Emit(table);
+
+    out.Metric("sim_throughput.sweep.configs",
+               static_cast<double>(configs.size()));
+    out.Metric("sim_throughput.sweep.trace.bytes",
+               static_cast<double>(trace.SizeBytes()));
+    out.Metric("sim_throughput.sweep.per_config_ms", per_config_s * 1e3);
+    out.Metric("sim_throughput.sweep.fanout_ms", fanout_s * 1e3);
+    out.Metric("sim_throughput.sweep.profiler_ms", profiler_s * 1e3);
+    out.Metric("sim_throughput.sweep.fanout_speedup",
+               per_config_s / fanout_s);
+    out.Metric("sim_throughput.sweep.profiler_speedup",
+               per_config_s / profiler_s);
+    out.Metric("sim_throughput.sweep.bit_identical",
+               fanout_same && profiler_same ? 1.0 : 0.0);
+
+    std::printf("sweep counters fan-out %s / profiler %s the "
+                "per-config reference (threads: %u)\n\n",
+                fanout_same ? "match" : "DO NOT match",
+                profiler_same ? "match" : "DO NOT match",
                 runner.thread_count());
 }
 
@@ -340,17 +470,20 @@ PrintThroughput(bench::BenchOutput &out)
     out.Section("tiling", [&] {
         const sim::AccessTrace tiling = RecordTilingTrace();
         PrintOneStream(
-            out, "Simulator throughput — tiling stream (128 B row spans)",
+            out, "tiling",
+            "Simulator throughput — tiling stream (128 B row spans)",
             tiling);
     });
 
     out.Section("compression", [&] {
         const sim::AccessTrace lzo = RecordCompressionTrace();
         PrintOneStream(
-            out,
+            out, "compression",
             "Simulator throughput — LZO compression stream (1-4 B probes)",
             lzo);
     });
+
+    out.Section("sweep", [&] { PrintSweepStudy(out); });
 }
 
 } // namespace

@@ -65,6 +65,18 @@ ExecutionContext::Report(const std::string &kernel_name) const
 }
 
 void
+ExecutionContext::DetachTrace()
+{
+    port_.Rebind(hierarchy_.Top());
+    if (recorder_) {
+        sim::AccessTrace &trace = recorder_->trace();
+        trace.ShrinkToFit();
+        PIM_TRACE_COUNTER("trace.bytes", trace.SizeBytes());
+        recorder_.reset();
+    }
+}
+
+void
 ExecutionContext::Reset(bool drain_caches)
 {
     if (drain_caches) {

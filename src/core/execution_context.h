@@ -102,13 +102,13 @@ class ExecutionContext
         port_.Rebind(*recorder_);
     }
 
-    /** Stop tracing; accesses go straight to the hierarchy again. */
-    void
-    DetachTrace()
-    {
-        port_.Rebind(hierarchy_.Top());
-        recorder_.reset();
-    }
+    /**
+     * Stop tracing; accesses go straight to the hierarchy again.  The
+     * recorded trace is shrunk to fit (recording grows geometrically,
+     * so up to half the backing store may be slack) and its final
+     * footprint is reported as the `trace.bytes` telemetry counter.
+     */
+    void DetachTrace();
 
   private:
     ExecutionTarget target_;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/types.h"
@@ -120,6 +121,47 @@ class NullSink final : public MemorySink
   public:
     void Access(Address, Bytes, AccessType) override {}
     void AccessBatch(const TraceEntry *, std::size_t) override {}
+};
+
+/**
+ * Forwards every access to each of N downstream sinks, in registration
+ * order.  The point is replay economics: one decoded batch is fed to
+ * all consumers while it is still cache-resident, instead of each
+ * consumer taking its own cold pass over the stream.  Used standalone
+ * (e.g. feeding a bank model and a vault analyzer from one pass) and
+ * by SweepRunner::ReplayTraceFanout, where a shared L1's miss batches
+ * fan out to every design point's lower levels.
+ */
+class FanoutSink final : public MemorySink
+{
+  public:
+    FanoutSink() = default;
+    explicit FanoutSink(std::vector<MemorySink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void AddSink(MemorySink &sink) { sinks_.push_back(&sink); }
+    std::size_t sink_count() const { return sinks_.size(); }
+
+    void
+    Access(Address addr, Bytes bytes, AccessType type) override
+    {
+        for (MemorySink *s : sinks_) {
+            s->Access(addr, bytes, type);
+        }
+    }
+
+    void
+    AccessBatch(const TraceEntry *entries, std::size_t count) override
+    {
+        for (MemorySink *s : sinks_) {
+            s->AccessBatch(entries, count);
+        }
+    }
+
+  private:
+    std::vector<MemorySink *> sinks_;
 };
 
 /**

@@ -1,0 +1,202 @@
+#include "sim/stack_profiler.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace pim::sim {
+
+StackDistanceProfiler::StackDistanceProfiler(StackProfilerConfig config)
+    : config_(std::move(config))
+{
+    PIM_ASSERT(config_.line_bytes > 0 &&
+                   (config_.line_bytes & (config_.line_bytes - 1)) == 0,
+               "line size must be a power of two");
+    PIM_ASSERT(config_.num_sets > 0, "set count must be nonzero");
+
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.line_bytes));
+    line_mask_ = config_.line_bytes - 1;
+    pow2_sets_ = (config_.num_sets & (config_.num_sets - 1)) == 0;
+    set_mask_ = config_.num_sets - 1;
+    stacks_.resize(config_.num_sets);
+
+    tracked_ = config_.tracked_assocs;
+    std::sort(tracked_.begin(), tracked_.end());
+    tracked_.erase(std::unique(tracked_.begin(), tracked_.end()),
+                   tracked_.end());
+    PIM_ASSERT(tracked_.size() <= 64,
+               "at most 64 tracked associativities (%zu requested)",
+               tracked_.size());
+    PIM_ASSERT(tracked_.empty() || tracked_.front() >= 1,
+               "tracked associativity must be >= 1");
+    writebacks_.assign(tracked_.size(), 0);
+    if (!tracked_.empty()) {
+        full_dirty_mask_ =
+            tracked_.size() == 64
+                ? ~std::uint64_t{0}
+                : (std::uint64_t{1} << tracked_.size()) - 1;
+        bit_of_depth_.assign(tracked_.back() + 1, -1);
+        for (std::size_t j = 0; j < tracked_.size(); ++j) {
+            bit_of_depth_[tracked_[j]] = static_cast<std::int8_t>(j);
+        }
+    }
+}
+
+void
+StackDistanceProfiler::Access(Address addr, Bytes bytes, AccessType type)
+{
+    if (bytes == 0) {
+        return;
+    }
+    // Split the span into line probes exactly as Cache::AccessSpan
+    // does — the last-line formulation survives spans ending at the
+    // top of the address space.
+    const bool is_write = type == AccessType::kWrite;
+    const Bytes line = config_.line_bytes;
+    Address cur = addr & ~line_mask_;
+    const Address last = (addr + (bytes - 1)) & ~line_mask_;
+    for (;;) {
+        ProbeLine(cur, is_write);
+        if (cur == last) {
+            break;
+        }
+        cur += line;
+    }
+}
+
+void
+StackDistanceProfiler::AccessBatch(const TraceEntry *entries,
+                                   std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEntry e = entries[i];
+        if (e.bytes() != 0) {
+            Access(e.addr(), e.bytes(), e.type());
+        }
+    }
+}
+
+/**
+ * One line-granular probe: find the line in its set's stack, record
+ * the distance, promote it to the top, and account tracked evictions
+ * on every entry that sinks across a tracked-associativity boundary.
+ */
+void
+StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
+{
+    ++probes_;
+    std::vector<Entry> &stack = stacks_[SetIndex(line_addr)];
+    const std::size_t depth = stack.size();
+
+    std::size_t d = 0;
+    while (d < depth && stack[d].tag != line_addr) {
+        ++d;
+    }
+
+    std::uint64_t promoted_dirty;
+    if (d == depth) {
+        // First touch: infinite distance.  Every tracked cache misses
+        // and fills the line with the access's dirtiness.
+        if (is_write) {
+            ++write_cold_;
+        } else {
+            ++read_cold_;
+        }
+        stack.emplace_back(); // room for the shift below
+        promoted_dirty = is_write ? full_dirty_mask_ : 0;
+    } else {
+        std::vector<std::uint64_t> &hist =
+            is_write ? write_hist_ : read_hist_;
+        if (d >= hist.size()) {
+            hist.resize(d + 1, 0);
+        }
+        ++hist[d];
+        // Caches with assoc <= d miss and refill: their dirty bits are
+        // already clear (the entry sank past those boundaries earlier),
+        // and a write refill sets them.  Caches with assoc > d hit: a
+        // write marks them dirty, a read leaves them unchanged.  Both
+        // cases collapse to one OR.
+        promoted_dirty =
+            stack[d].dirty | (is_write ? full_dirty_mask_ : 0);
+    }
+
+    // Promote: entries [0, d) sink one step.  An entry arriving at
+    // depth a == tracked_[j] has just been evicted from the a-way
+    // cache; if it was dirty there, that cache wrote it back.
+    const std::size_t max_boundary = bit_of_depth_.size();
+    for (std::size_t i = d; i > 0; --i) {
+        stack[i] = stack[i - 1];
+        if (i < max_boundary) {
+            const int b = bit_of_depth_[i];
+            if (b >= 0 && ((stack[i].dirty >> b) & 1) != 0) {
+                ++writebacks_[static_cast<std::size_t>(b)];
+                stack[i].dirty &= ~(std::uint64_t{1} << b);
+            }
+        }
+    }
+    stack[0].tag = line_addr;
+    stack[0].dirty = promoted_dirty;
+}
+
+int
+StackDistanceProfiler::TrackedIndex(std::uint32_t assoc) const
+{
+    const auto it =
+        std::lower_bound(tracked_.begin(), tracked_.end(), assoc);
+    if (it == tracked_.end() || *it != assoc) {
+        return -1;
+    }
+    return static_cast<int>(it - tracked_.begin());
+}
+
+bool
+StackDistanceProfiler::TracksWritebacks(std::uint32_t assoc) const
+{
+    return TrackedIndex(assoc) >= 0;
+}
+
+CacheStats
+StackDistanceProfiler::StatsForAssociativity(std::uint32_t assoc) const
+{
+    PIM_ASSERT(assoc >= 1, "associativity must be >= 1");
+    CacheStats s;
+    std::uint64_t read_total = read_cold_;
+    for (std::size_t d = 0; d < read_hist_.size(); ++d) {
+        read_total += read_hist_[d];
+        if (d < assoc) {
+            s.read_hits += read_hist_[d];
+        }
+    }
+    std::uint64_t write_total = write_cold_;
+    for (std::size_t d = 0; d < write_hist_.size(); ++d) {
+        write_total += write_hist_[d];
+        if (d < assoc) {
+            s.write_hits += write_hist_[d];
+        }
+    }
+    s.read_misses = read_total - s.read_hits;
+    s.write_misses = write_total - s.write_hits;
+    const int j = TrackedIndex(assoc);
+    s.writebacks = j >= 0 ? writebacks_[static_cast<std::size_t>(j)] : 0;
+    return s;
+}
+
+DramStats
+StackDistanceProfiler::DramTrafficForAssociativity(
+    std::uint32_t assoc) const
+{
+    PIM_ASSERT(TracksWritebacks(assoc),
+               "DRAM write traffic needs tracked writebacks (assoc %u)",
+               assoc);
+    const CacheStats s = StatsForAssociativity(assoc);
+    DramStats d;
+    d.read_requests = s.Misses();
+    d.read_bytes = s.Misses() * config_.line_bytes;
+    d.write_requests = s.writebacks;
+    d.write_bytes = s.writebacks * config_.line_bytes;
+    return d;
+}
+
+} // namespace pim::sim

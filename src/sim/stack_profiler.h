@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Mattson-style LRU stack-distance profiler: one pass over an access
+ * stream yields hit/miss counts for *every* associativity of a
+ * set-indexed LRU cache — the one-pass half of the sweep engine.
+ *
+ * The classic observation (Mattson et al., 1970) is that LRU obeys the
+ * inclusion property: the content of an A-way LRU set is exactly the A
+ * most-recently-used lines that map to it.  So if every line-granular
+ * probe records its *stack distance* — how many distinct lines of its
+ * set were touched since the line's previous access — then, for any
+ * associativity A at this set count,
+ *
+ *     probe hits in an A-way cache  <=>  stack distance < A.
+ *
+ * One profiling pass therefore replaces an N-point sweep with N
+ * histogram lookups.  A capacity sweep phrased at a fixed set count
+ * (capacity = num_sets x assoc x line) is exact from a single pass; a
+ * sweep that varies the set count needs one pass per distinct
+ * (line_bytes, num_sets) pair, which SweepRunner::ProfileLlcSweep
+ * groups automatically.
+ *
+ * Exactness:
+ *  - hit/miss counts (read/write split included) are *exact* for any
+ *    associativity — bit-identical to replaying the stream through
+ *    sim::Cache with the same (line_bytes, num_sets, assoc) geometry,
+ *    because Cache implements true per-set LRU;
+ *  - write-back counts are NOT derivable from the distance histogram
+ *    alone (dirtiness depends on eviction history, which differs per
+ *    associativity).  For the associativities listed in
+ *    StackProfilerConfig::tracked_assocs (up to 64 of them) the
+ *    profiler tracks dirty state per tracked point and counts
+ *    evictions of dirty lines exactly, making write-back — and hence
+ *    DRAM write traffic — bit-identical too.  Untracked
+ *    associativities get hits/misses only (writebacks reported as 0).
+ *
+ * The profiler is a MemorySink, so it can be driven by
+ * AccessTrace::ReplayInto or composed under a FanoutSink next to other
+ * models.
+ */
+
+#ifndef PIM_SIM_STACK_PROFILER_H
+#define PIM_SIM_STACK_PROFILER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/access.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+
+namespace pim::sim {
+
+/** Geometry of one profiling pass. */
+struct StackProfilerConfig
+{
+    Bytes line_bytes = kCacheLineBytes;
+    /** 1 = fully associative (the classic single-stack Mattson case). */
+    std::size_t num_sets = 1;
+    /**
+     * Associativities whose write-back counts are tracked exactly
+     * (at most 64; hit/miss counts need no pre-declaration).
+     */
+    std::vector<std::uint32_t> tracked_assocs;
+};
+
+/**
+ * One-pass reuse-distance profiler over per-set LRU stacks.
+ *
+ * Feed it a stream (Access / AccessBatch / ReplayInto), then query
+ * StatsForAssociativity(A) for any A: the counts are what a
+ * sim::Cache of capacity num_sets * A * line_bytes would have
+ * produced on the same stream.
+ */
+class StackDistanceProfiler final : public MemorySink
+{
+  public:
+    explicit StackDistanceProfiler(StackProfilerConfig config);
+
+    void Access(Address addr, Bytes bytes, AccessType type) override;
+    void AccessBatch(const TraceEntry *entries,
+                     std::size_t count) override;
+
+    /**
+     * Hit/miss counts (exact for any @p assoc >= 1); writebacks are
+     * exact when @p assoc is tracked, 0 otherwise — check
+     * TracksWritebacks() before relying on them.
+     */
+    CacheStats StatsForAssociativity(std::uint32_t assoc) const;
+
+    /**
+     * Traffic the level below this cache would see: one line-sized
+     * fill per miss plus one line-sized write per writeback.  Requires
+     * @p assoc to be tracked (writebacks must be exact).
+     */
+    DramStats DramTrafficForAssociativity(std::uint32_t assoc) const;
+
+    /** True when writeback counts for @p assoc are tracked exactly. */
+    bool TracksWritebacks(std::uint32_t assoc) const;
+
+    /** Line-granular probes profiled so far. */
+    std::uint64_t probes() const { return probes_; }
+
+    /** Reuse-distance histograms (index = stack distance). */
+    const std::vector<std::uint64_t> &read_histogram() const
+    {
+        return read_hist_;
+    }
+    const std::vector<std::uint64_t> &write_histogram() const
+    {
+        return write_hist_;
+    }
+    /** First-touch (infinite-distance) probe counts. */
+    std::uint64_t cold_reads() const { return read_cold_; }
+    std::uint64_t cold_writes() const { return write_cold_; }
+
+    const StackProfilerConfig &config() const { return config_; }
+
+  private:
+    /** One stack slot: a line tag plus per-tracked-assoc dirty bits. */
+    struct Entry
+    {
+        Address tag = 0;
+        /**
+         * Bit j set <=> the line is resident *and* dirty in the
+         * tracked_[j]-way cache.  Cleared (with a writeback counted)
+         * when the entry sinks past depth tracked_[j]; an entry at
+         * depth >= tracked_[j] therefore always has bit j clear.
+         */
+        std::uint64_t dirty = 0;
+    };
+
+    void ProbeLine(Address line_addr, bool is_write);
+
+    std::size_t
+    SetIndex(Address line_addr) const
+    {
+        const Address line_no = line_addr >> line_shift_;
+        return pow2_sets_
+                   ? static_cast<std::size_t>(line_no) & set_mask_
+                   : static_cast<std::size_t>(line_no %
+                                              config_.num_sets);
+    }
+
+    /** Index into tracked_ / writebacks_, or -1 if not tracked. */
+    int TrackedIndex(std::uint32_t assoc) const;
+
+    StackProfilerConfig config_;
+    std::uint32_t line_shift_ = 0;
+    Address line_mask_ = 0;
+    std::size_t set_mask_ = 0;
+    bool pow2_sets_ = false;
+
+    std::vector<std::uint32_t> tracked_; ///< Sorted, deduplicated.
+    std::uint64_t full_dirty_mask_ = 0;
+    /** bit_of_depth_[a] = tracked bit whose boundary is depth a, or -1. */
+    std::vector<std::int8_t> bit_of_depth_;
+
+    /** Per-set LRU stacks, most recently used at index 0. */
+    std::vector<std::vector<Entry>> stacks_;
+
+    std::vector<std::uint64_t> read_hist_;
+    std::vector<std::uint64_t> write_hist_;
+    std::uint64_t read_cold_ = 0;
+    std::uint64_t write_cold_ = 0;
+    std::uint64_t probes_ = 0;
+    std::vector<std::uint64_t> writebacks_; ///< Parallel to tracked_.
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_STACK_PROFILER_H

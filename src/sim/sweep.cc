@@ -2,14 +2,52 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <tuple>
 
+#include "common/logging.h"
+#include "sim/stack_profiler.h"
 #include "telemetry/span_tracer.h"
 
 namespace pim::sim {
 
+namespace {
+
+/**
+ * PIM_SWEEP_THREADS, if set to a positive integer, bounds the default
+ * worker count (CI pins it for deterministic parallelism; laptops use
+ * it to keep sweeps off the efficiency cores).  Invalid values are
+ * ignored with a warning rather than fatal: a bad environment should
+ * not take down a measurement run.
+ */
+unsigned
+EnvThreadOverride()
+{
+    const char *env = std::getenv("PIM_SWEEP_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return 0;
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0 || v > 4096) {
+        PIM_WARN("ignoring invalid PIM_SWEEP_THREADS='%s'", env);
+        return 0;
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
 SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
 {
+    if (threads_ == 0) {
+        threads_ = EnvThreadOverride();
+    }
     if (threads_ == 0) {
         threads_ = std::thread::hardware_concurrency();
         if (threads_ == 0) {
@@ -30,20 +68,34 @@ SweepRunner::ForEach(std::size_t jobs,
         static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
     if (workers <= 1) {
         for (std::size_t i = 0; i < jobs; ++i) {
-            fn(i);
+            fn(i); // exceptions propagate directly
         }
         return;
     }
 
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    // A throwing job must not escape a worker thread (that would
+    // std::terminate the process): capture the first exception, stop
+    // claiming jobs, and rethrow it to the caller after the join.
     auto worker = [&]() {
-        for (;;) {
+        while (!failed.load(std::memory_order_relaxed)) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs) {
                 return;
             }
-            fn(i);
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+            }
         }
     };
 
@@ -54,6 +106,9 @@ SweepRunner::ForEach(std::size_t jobs,
     }
     for (auto &t : pool) {
         t.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
     }
 }
 
@@ -67,6 +122,196 @@ SweepRunner::ReplayTrace(const AccessTrace &trace,
         MemoryHierarchy mh(configs[i]);
         trace.ReplayInto(mh.Top());
         results[i] = mh.Snapshot();
+    });
+    return results;
+}
+
+namespace {
+
+/** One fan-out shard: configs sharing an L1 shape, replayed together. */
+struct FanoutShard
+{
+    CacheConfig l1; ///< Shared geometry (name from the first member).
+    std::vector<std::size_t> members; ///< Indices into `configs`.
+};
+
+} // namespace
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTraceFanout(
+    const AccessTrace &trace,
+    const std::vector<HierarchyConfig> &configs) const
+{
+    std::vector<PerfCounters> results(configs.size());
+    if (configs.empty()) {
+        return results;
+    }
+    PIM_TRACE_SPAN("sweep", "ReplayTraceFanout");
+
+    // Group configs whose L1s are interchangeable (same geometry; the
+    // name is identity, not behavior).  Each group's trace decode and
+    // L1 simulation happen once, however many members share it.
+    std::map<std::tuple<Bytes, std::uint32_t, Bytes>,
+             std::vector<std::size_t>>
+        groups;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const CacheConfig &l1 = configs[i].l1;
+        groups[{l1.size, l1.associativity, l1.line_bytes}].push_back(i);
+    }
+
+    // Shard wide groups so the sweep still spreads across workers: a
+    // shard never exceeds ceil(configs / threads) members, which keeps
+    // every worker busy once there are at least `threads_` configs.
+    const std::size_t shard_cap = std::max<std::size_t>(
+        1, (configs.size() + threads_ - 1) / threads_);
+    std::vector<FanoutShard> shards;
+    for (const auto &[key, members] : groups) {
+        for (std::size_t begin = 0; begin < members.size();
+             begin += shard_cap) {
+            const std::size_t end =
+                std::min(begin + shard_cap, members.size());
+            FanoutShard shard;
+            shard.l1 = configs[members[begin]].l1;
+            shard.members.assign(members.begin() + begin,
+                                 members.begin() + end);
+            shards.push_back(std::move(shard));
+        }
+    }
+
+    ForEach(shards.size(), [&](std::size_t s) {
+        const FanoutShard &shard = shards[s];
+        PIM_TRACE_SPAN("sweep",
+                       "fanout[" + std::to_string(s) + "]x" +
+                           std::to_string(shard.members.size()));
+
+        // Each member keeps its own below-L1 stack; the shared L1's
+        // miss batches fan out to all of them while hot.
+        struct BelowStack
+        {
+            std::unique_ptr<DramCounter> dram;
+            std::unique_ptr<Cache> llc; // may be null
+            MemorySink *top = nullptr;
+        };
+        std::vector<BelowStack> below(shard.members.size());
+        FanoutSink fanout;
+        for (std::size_t m = 0; m < shard.members.size(); ++m) {
+            const HierarchyConfig &cfg = configs[shard.members[m]];
+            below[m].dram = std::make_unique<DramCounter>(cfg.dram);
+            below[m].top = below[m].dram.get();
+            if (cfg.llc.has_value()) {
+                below[m].llc = std::make_unique<Cache>(
+                    *cfg.llc, *below[m].dram);
+                below[m].top = below[m].llc.get();
+            }
+            fanout.AddSink(*below[m].top);
+        }
+
+        Cache l1(shard.l1, fanout);
+        trace.ReplayInto(l1);
+
+        for (std::size_t m = 0; m < shard.members.size(); ++m) {
+            PerfCounters &pc = results[shard.members[m]];
+            pc.l1 = l1.stats();
+            pc.has_llc = below[m].llc != nullptr;
+            if (below[m].llc) {
+                pc.llc = below[m].llc->stats();
+            }
+            pc.dram = below[m].dram->stats();
+        }
+    });
+    return results;
+}
+
+namespace {
+
+/** LLC design points sharing one profiling pass. */
+struct ProfileGroup
+{
+    Bytes line_bytes = 0;
+    std::size_t num_sets = 0;
+    std::vector<std::size_t> points;      ///< Indices into llc_points.
+    std::vector<std::uint32_t> assocs;    ///< Parallel to points.
+};
+
+} // namespace
+
+std::vector<PerfCounters>
+SweepRunner::ProfileLlcSweep(
+    const AccessTrace &trace, const HierarchyConfig &base,
+    const std::vector<CacheConfig> &llc_points) const
+{
+    std::vector<PerfCounters> results(llc_points.size());
+    if (llc_points.empty()) {
+        return results;
+    }
+    PIM_TRACE_SPAN("sweep", "ProfileLlcSweep");
+
+    // Pass 1 (shared): replay the kernel stream through the common L1
+    // once, capturing the miss stream it emits.  That stream — fills
+    // and victim writebacks, in emission order — is exactly the input
+    // every swept LLC would see, because the L1's behavior does not
+    // depend on what sits below it.
+    AccessTrace miss_stream;
+    CacheStats l1_stats;
+    {
+        PIM_TRACE_SPAN("sweep", "profile_l1_pass");
+        NullSink null;
+        TraceRecorder recorder(miss_stream, null);
+        Cache l1(base.l1, recorder);
+        trace.ReplayInto(l1);
+        l1_stats = l1.stats();
+        miss_stream.ShrinkToFit();
+    }
+
+    // Group design points by profiling geometry: one stack-distance
+    // pass per distinct (line size, set count) covers every
+    // associativity — i.e. every capacity — in the group.
+    std::map<std::pair<Bytes, std::size_t>, std::size_t> group_of;
+    std::vector<ProfileGroup> pgroups;
+    for (std::size_t i = 0; i < llc_points.size(); ++i) {
+        const CacheConfig &p = llc_points[i];
+        PIM_ASSERT(p.associativity > 0 && p.line_bytes > 0 &&
+                       p.size % (static_cast<Bytes>(p.associativity) *
+                                 p.line_bytes) ==
+                           0,
+                   "LLC point '%s' size not divisible by assoc*line",
+                   p.name.c_str());
+        const std::size_t num_sets = static_cast<std::size_t>(
+            p.size / (static_cast<Bytes>(p.associativity) *
+                      p.line_bytes));
+        const auto key = std::make_pair(p.line_bytes, num_sets);
+        auto [it, inserted] =
+            group_of.try_emplace(key, pgroups.size());
+        if (inserted) {
+            pgroups.push_back(
+                ProfileGroup{p.line_bytes, num_sets, {}, {}});
+        }
+        pgroups[it->second].points.push_back(i);
+        pgroups[it->second].assocs.push_back(p.associativity);
+    }
+
+    // Pass 2 (per group): one profiling pass over the miss stream,
+    // then an O(histogram) analytic readout per design point.
+    ForEach(pgroups.size(), [&](std::size_t g) {
+        const ProfileGroup &pg = pgroups[g];
+        PIM_TRACE_SPAN("sweep",
+                       "profile_pass[" + std::to_string(g) + "]x" +
+                           std::to_string(pg.points.size()));
+        StackProfilerConfig pc;
+        pc.line_bytes = pg.line_bytes;
+        pc.num_sets = pg.num_sets;
+        pc.tracked_assocs = pg.assocs;
+        StackDistanceProfiler profiler(std::move(pc));
+        miss_stream.ReplayInto(profiler);
+
+        for (std::size_t j = 0; j < pg.points.size(); ++j) {
+            PerfCounters &out = results[pg.points[j]];
+            out.l1 = l1_stats;
+            out.has_llc = true;
+            out.llc = profiler.StatsForAssociativity(pg.assocs[j]);
+            out.dram =
+                profiler.DramTrafficForAssociativity(pg.assocs[j]);
+        }
     });
     return results;
 }

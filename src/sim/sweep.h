@@ -1,16 +1,31 @@
 /**
  * @file
- * SweepRunner: a small thread pool for design-space sweeps.
+ * SweepRunner: the design-space sweep engine.
  *
  * The paper's methodology (and every ablation binary here) evaluates one
- * recorded kernel stream against many memory organizations.  The
- * replays are embarrassingly parallel — each hierarchy instance is
- * private to its design point — so the runner records once and replays
- * into N independent MemoryHierarchy instances concurrently.
+ * recorded kernel stream against many memory organizations.  Three
+ * replay strategies are offered, fastest applicable first:
  *
- * Results are deterministic and independent of the thread count: each
- * job writes only its own slot, and a replay's counters depend only on
- * the (immutable, shared) trace and the job's private hierarchy.
+ *  - ProfileLlcSweep: for sweeps that vary only the LLC geometry, the
+ *    shared L1 is replayed once (its miss stream captured), and a
+ *    Mattson stack-distance profile of that miss stream yields every
+ *    LLC design point analytically — one pass per distinct
+ *    (line size, set count), independent of how many capacities are
+ *    swept.  See sim/stack_profiler.h.
+ *  - ReplayTraceFanout: configs sharing an L1 shape are sharded across
+ *    workers; each shard replays the trace through ONE L1 whose miss
+ *    batches fan out (FanoutSink) to every design point's LLC/DRAM
+ *    stack while the batch is hot — the trace is decoded once per
+ *    shard instead of once per config, and the L1 is simulated once
+ *    per shard instead of N times.
+ *  - ReplayTrace: the reference path — one full cold replay per
+ *    config.  Kept as the equivalence baseline; the fast paths must
+ *    produce bit-identical counters (tests/test_sweep.cc).
+ *
+ * Results of all three are deterministic and independent of the thread
+ * count: each job writes only its own slots, and a replay's counters
+ * depend only on the (immutable, shared) trace and the job's private
+ * models.
  */
 
 #ifndef PIM_SIM_SWEEP_H
@@ -30,14 +45,20 @@ namespace pim::sim {
  * Runs independent jobs across a pool of worker threads.
  *
  * The pool is created per call (sweeps are seconds-long; thread startup
- * is noise) and sized min(threads, jobs).  Jobs must not throw and must
- * touch only their own state; the runner provides no synchronization
- * beyond the completion barrier of each call.
+ * is noise) and sized min(threads, jobs).  Jobs must touch only their
+ * own state; the runner provides no synchronization beyond the
+ * completion barrier of each call.  A job that throws does not
+ * std::terminate the process: the first exception is captured, further
+ * unclaimed jobs are abandoned, and the exception is rethrown on join.
  */
 class SweepRunner
 {
   public:
-    /** @param threads worker count; 0 means hardware concurrency. */
+    /**
+     * @param threads worker count; 0 means the PIM_SWEEP_THREADS
+     *        environment override if set (CI uses it for bounded,
+     *        deterministic parallelism), else hardware concurrency.
+     */
     explicit SweepRunner(unsigned threads = 0);
 
     unsigned thread_count() const { return threads_; }
@@ -46,18 +67,59 @@ class SweepRunner
      * Invoke fn(i) for every i in [0, jobs), distributed over the
      * pool; blocks until all jobs finish.  Jobs are claimed from a
      * shared atomic counter, so long and short jobs load-balance.
+     * If a job throws, the first exception (in completion order) is
+     * rethrown here after all workers have joined; jobs not yet
+     * claimed when the exception occurred are skipped.
      */
     void ForEach(std::size_t jobs,
                  const std::function<void(std::size_t)> &fn) const;
 
     /**
-     * The record-once / replay-many primitive: replay @p trace into a
-     * fresh cold MemoryHierarchy per config, concurrently, and return
-     * each design point's counter snapshot in input order.
+     * The record-once / replay-many reference primitive: replay
+     * @p trace into a fresh cold MemoryHierarchy per config,
+     * concurrently, and return each design point's counter snapshot in
+     * input order.  O(trace x configs) — use the fan-out or profiler
+     * paths below for wide sweeps.
      */
     std::vector<PerfCounters>
     ReplayTrace(const AccessTrace &trace,
                 const std::vector<HierarchyConfig> &configs) const;
+
+    /**
+     * Fan-out replay: counters bit-identical to ReplayTrace, but
+     * configs with the same L1 geometry share one L1 simulation whose
+     * miss batches feed every member's LLC/DRAM stack while hot
+     * (the L1's behavior does not depend on what sits below it, so
+     * the shared miss stream is exactly what each dedicated replay's
+     * L1 would have emitted).  Groups are sharded across workers so
+     * wide sweeps also parallelize.
+     */
+    std::vector<PerfCounters>
+    ReplayTraceFanout(const AccessTrace &trace,
+                      const std::vector<HierarchyConfig> &configs) const;
+
+    /**
+     * One-pass analytic LLC sweep: replay @p trace through
+     * @p base.l1 once, capture the miss stream, and derive each
+     * @p llc_points design point (over @p base.dram) from a
+     * stack-distance profile of that stream — one profiling pass per
+     * distinct (line_bytes, set count) among the points, so a
+     * capacity sweep phrased at a fixed set count is a single pass
+     * plus N histogram lookups.
+     *
+     * All counters — L1, LLC hit/miss, writebacks, and DRAM traffic —
+     * are bit-identical to ReplayTrace on the equivalent
+     * HierarchyConfigs (each point's associativity is tracked
+     * exactly; see stack_profiler.h for where the pure histogram
+     * would be approximate).
+     *
+     * Each llc_points[i].size must be divisible by
+     * associativity * line_bytes, as for any Cache.
+     */
+    std::vector<PerfCounters>
+    ProfileLlcSweep(const AccessTrace &trace,
+                    const HierarchyConfig &base,
+                    const std::vector<CacheConfig> &llc_points) const;
 
   private:
     unsigned threads_;

@@ -51,8 +51,23 @@ class AccessTrace
     /** Pre-size the backing store for @p count total entries. */
     void Reserve(std::size_t count) { entries_.reserve(count); }
 
+    /**
+     * Release the geometric-growth slack: after recording finishes the
+     * backing store may hold up to 2x the entries actually appended;
+     * long recordings should shrink before the trace is kept around
+     * for replay.  (ExecutionContext::DetachTrace does this.)
+     */
+    void ShrinkToFit() { entries_.shrink_to_fit(); }
+
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return entries_.capacity(); }
+
+    /** Bytes of entry storage in use / currently reserved. */
+    Bytes SizeBytes() const { return size() * sizeof(TraceEntry); }
+    Bytes CapacityBytes() const
+    {
+        return capacity() * sizeof(TraceEntry);
+    }
     bool empty() const { return entries_.empty(); }
     const TraceEntry &operator[](std::size_t i) const
     {
@@ -130,6 +145,9 @@ class TraceRecorder final : public MemorySink
         : trace_(&trace), below_(&below)
     {
     }
+
+    /** The trace being appended to. */
+    AccessTrace &trace() { return *trace_; }
 
     void
     Access(Address addr, Bytes bytes, AccessType type) override

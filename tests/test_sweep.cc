@@ -8,16 +8,26 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.h"
+#include "core/execution_context.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/hierarchy.h"
+#include "sim/stack_profiler.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
+#include "workloads/browser/color_blitter.h"
+#include "workloads/browser/texture_tiler.h"
+#include "workloads/ml/gemm.h"
+#include "workloads/ml/pack.h"
 
 namespace pim::sim {
 namespace {
@@ -285,6 +295,319 @@ TEST(CacheCoalescing, RepeatedSameLineProbesCountEveryHit)
     dram.ResetStats();
     cache.FlushAll();
     EXPECT_EQ(dram.stats().write_bytes, 64u);
+}
+
+TEST(AccessTrace, ShrinkToFitReleasesGrowthSlack)
+{
+    AccessTrace trace;
+    const std::size_t entries = (std::size_t{1} << 16) + 1;
+    for (std::size_t i = 0; i < entries; ++i) {
+        trace.Append(0x1000 + 64 * i, 4, AccessType::kRead);
+    }
+    ASSERT_GT(trace.capacity(), trace.size()); // geometric slack
+    trace.ShrinkToFit();
+    EXPECT_EQ(trace.capacity(), trace.size());
+    EXPECT_EQ(trace.SizeBytes(), entries * sizeof(TraceEntry));
+    EXPECT_EQ(trace.CapacityBytes(), trace.SizeBytes());
+    // Contents survive the reallocation.
+    EXPECT_EQ(trace[entries - 1].addr(), 0x1000 + 64 * (entries - 1));
+}
+
+TEST(FanoutSink, ForwardsScalarAndBatchedToEverySink)
+{
+    DramCounter a(Lpddr3Config()), b(Lpddr3Config());
+    FanoutSink fan;
+    fan.AddSink(a);
+    fan.AddSink(b);
+    EXPECT_EQ(fan.sink_count(), 2u);
+
+    fan.Access(0x1000, 64, AccessType::kRead);
+    const TraceEntry batch[] = {
+        TraceEntry(0x2000, 64, AccessType::kWrite),
+        TraceEntry(0x3000, 128, AccessType::kRead),
+    };
+    fan.AccessBatch(batch, 2);
+
+    for (const DramCounter *c : {&a, &b}) {
+        EXPECT_EQ(c->stats().read_requests, 2u);
+        EXPECT_EQ(c->stats().read_bytes, 192u);
+        EXPECT_EQ(c->stats().write_requests, 1u);
+        EXPECT_EQ(c->stats().write_bytes, 64u);
+    }
+}
+
+TEST(StackProfiler, HandComputedSingleSetSequence)
+{
+    // One fully-associative stack, 64 B lines, writebacks tracked for
+    // the 1-way and 2-way points.  Lines: A = 0x0, B = 0x40.
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 1;
+    cfg.tracked_assocs = {1, 2};
+    StackDistanceProfiler prof(cfg);
+
+    prof.Access(0x00, 4, AccessType::kWrite); // W A: cold
+    prof.Access(0x40, 4, AccessType::kRead);  // R B: cold
+    prof.Access(0x00, 4, AccessType::kRead);  // R A: distance 1
+
+    EXPECT_EQ(prof.probes(), 3u);
+    EXPECT_EQ(prof.cold_writes(), 1u);
+    EXPECT_EQ(prof.cold_reads(), 1u);
+    ASSERT_EQ(prof.read_histogram().size(), 2u);
+    EXPECT_EQ(prof.read_histogram()[1], 1u);
+
+    // 1-way: every probe misses; B's fill evicts dirty A -> 1 writeback.
+    const CacheStats one = prof.StatsForAssociativity(1);
+    EXPECT_EQ(one.write_misses, 1u);
+    EXPECT_EQ(one.read_misses, 2u);
+    EXPECT_EQ(one.Hits(), 0u);
+    EXPECT_EQ(one.writebacks, 1u);
+
+    // 2-way: A survives; the distance-1 re-read hits, nothing evicted.
+    const CacheStats two = prof.StatsForAssociativity(2);
+    EXPECT_EQ(two.write_misses, 1u);
+    EXPECT_EQ(two.read_misses, 1u);
+    EXPECT_EQ(two.read_hits, 1u);
+    EXPECT_EQ(two.writebacks, 0u);
+
+    EXPECT_TRUE(prof.TracksWritebacks(1));
+    EXPECT_FALSE(prof.TracksWritebacks(3));
+    // Untracked associativities still get exact hit/miss counts.
+    EXPECT_EQ(prof.StatsForAssociativity(3).Hits(), two.Hits());
+}
+
+TEST(StackProfiler, MatchesCacheBitForBitAtEveryAssociativity)
+{
+    const AccessTrace trace = RandomTrace(0xD157, 20000);
+    constexpr std::size_t kSets = 64;
+    constexpr Bytes kLine = 64;
+
+    StackProfilerConfig cfg;
+    cfg.line_bytes = kLine;
+    cfg.num_sets = kSets;
+    cfg.tracked_assocs = {1, 2, 3, 4, 6, 8};
+    StackDistanceProfiler prof(cfg);
+    trace.ReplayInto(prof);
+
+    for (const std::uint32_t assoc : cfg.tracked_assocs) {
+        DramCounter dram(Lpddr3Config());
+        Cache cache(CacheConfig{"ref", kSets * assoc * kLine, assoc,
+                                kLine},
+                    dram);
+        trace.ReplayInto(cache);
+
+        EXPECT_TRUE(SameCacheStats(prof.StatsForAssociativity(assoc),
+                                   cache.stats()))
+            << "assoc " << assoc;
+        EXPECT_TRUE(SameDramStats(
+            prof.DramTrafficForAssociativity(assoc), dram.stats()))
+            << "assoc " << assoc;
+    }
+}
+
+TEST(StackProfiler, NonPowerOfTwoSetCountMatchesCache)
+{
+    const AccessTrace trace = RandomTrace(0x0DD5, 10000);
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 3;
+    cfg.tracked_assocs = {2};
+    StackDistanceProfiler prof(cfg);
+    trace.ReplayInto(prof);
+
+    DramCounter dram(Lpddr3Config());
+    Cache cache(CacheConfig{"np2", 3 * 2 * 64, 2, 64}, dram);
+    trace.ReplayInto(cache);
+
+    EXPECT_TRUE(
+        SameCacheStats(prof.StatsForAssociativity(2), cache.stats()));
+    EXPECT_TRUE(SameDramStats(prof.DramTrafficForAssociativity(2),
+                              dram.stats()));
+}
+
+/** Record a kernel's access stream through a traced CPU context. */
+AccessTrace
+RecordKernelTrace(
+    const std::function<void(core::ExecutionContext &)> &kernel)
+{
+    AccessTrace trace;
+    core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+    ctx.AttachTrace(trace);
+    kernel(ctx);
+    ctx.DetachTrace();
+    return trace;
+}
+
+/** The three kernel streams the one-pass engines must reproduce. */
+std::vector<std::pair<const char *, AccessTrace>>
+KernelTraces()
+{
+    std::vector<std::pair<const char *, AccessTrace>> traces;
+    Rng rng(77);
+
+    browser::Bitmap linear(128, 128);
+    linear.Randomize(rng);
+    traces.emplace_back(
+        "tiler", RecordKernelTrace([&](core::ExecutionContext &ctx) {
+            browser::TiledTexture tiled(128, 128);
+            browser::TileTexture(linear, tiled, ctx);
+        }));
+
+    browser::Bitmap dst(128, 128, 0xff000000);
+    browser::Bitmap src(64, 64);
+    src.Randomize(rng);
+    traces.emplace_back(
+        "blitter", RecordKernelTrace([&](core::ExecutionContext &ctx) {
+            browser::ColorBlitter blitter(dst, ctx);
+            blitter.FillRect({8, 8, 100, 100}, 0xff336699);
+            blitter.BlitSrcOver(src, 16, 16);
+            blitter.BlitCopy(src, 48, 48);
+        }));
+
+    ml::Matrix<std::uint8_t> a(48, 64);
+    ml::Matrix<std::uint8_t> b(64, 32);
+    a.Randomize(rng);
+    b.Randomize(rng);
+    traces.emplace_back(
+        "gemm", RecordKernelTrace([&](core::ExecutionContext &ctx) {
+            ml::PackedMatrix pa(48, 64);
+            ml::PackedMatrix pb(32, 64);
+            ml::PackLhs(a, pa, ctx);
+            ml::PackRhs(b, pb, ctx);
+            ml::PackedResult pr(48, 32);
+            ml::QuantizedGemm(pa, 3, pb, 128, pr, ctx);
+        }));
+    return traces;
+}
+
+/**
+ * The sweep the fast engines must reproduce bit-for-bit: 10 LLC design
+ * points over the host L1 — an 8-point associativity/capacity ladder at
+ * one set count plus two points at other set counts, so the profiler
+ * path exercises both intra-group sharing and multi-group splitting.
+ */
+std::vector<CacheConfig>
+SweepLlcPoints()
+{
+    std::vector<CacheConfig> points;
+    for (const std::uint32_t assoc : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+        points.push_back(
+            CacheConfig{"llc", 512 * assoc * 64, assoc, 64});
+    }
+    points.push_back(CacheConfig{"llc", 1_MiB, 8, 64});  // 2048 sets
+    points.push_back(CacheConfig{"llc", 2_MiB, 16, 64}); // 2048 sets
+    return points;
+}
+
+TEST(SweepEquivalence, OnePassEnginesMatchPerConfigOnKernelTraces)
+{
+    const std::vector<CacheConfig> points = SweepLlcPoints();
+    std::vector<HierarchyConfig> configs;
+    for (const CacheConfig &p : points) {
+        HierarchyConfig hier = HostHierarchyConfig();
+        hier.llc = p;
+        configs.push_back(std::move(hier));
+    }
+
+    const SweepRunner runner(2);
+    for (const auto &[name, trace] : KernelTraces()) {
+        const auto ref = runner.ReplayTrace(trace, configs);
+        const auto fanout = runner.ReplayTraceFanout(trace, configs);
+        const auto profiled = runner.ProfileLlcSweep(
+            trace, HostHierarchyConfig(), points);
+
+        ASSERT_EQ(fanout.size(), ref.size());
+        ASSERT_EQ(profiled.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_TRUE(SameCounters(ref[i], fanout[i]))
+                << name << " fanout point " << i;
+            EXPECT_TRUE(SameCounters(ref[i], profiled[i]))
+                << name << " profiler point " << i;
+        }
+    }
+}
+
+TEST(SweepEquivalence, FanoutMatchesAcrossHeterogeneousHierarchies)
+{
+    // Mixed L1 shapes: three host variants share one L1 group, the
+    // PIM shapes land in others; grouping must never mix counters.
+    const AccessTrace trace = RandomTrace(0xFA40, 20000);
+    std::vector<HierarchyConfig> configs;
+    for (const Bytes llc : {1_MiB, 2_MiB, 4_MiB}) {
+        HierarchyConfig hier = HostHierarchyConfig();
+        hier.llc->size = llc;
+        configs.push_back(std::move(hier));
+    }
+    configs.push_back(HostStackedHierarchyConfig());
+    configs.push_back(PimCoreHierarchyConfig());
+    configs.push_back(PimAccelHierarchyConfig());
+
+    const auto ref = SweepRunner(1).ReplayTrace(trace, configs);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const auto fanout =
+            SweepRunner(threads).ReplayTraceFanout(trace, configs);
+        ASSERT_EQ(fanout.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_TRUE(SameCounters(ref[i], fanout[i]))
+                << "config " << i << " threads " << threads;
+        }
+    }
+}
+
+TEST(SweepRunner, ForEachRethrowsWorkerException)
+{
+    // Regression: a throwing job used to escape the worker thread and
+    // std::terminate the process.
+    for (const unsigned threads : {1u, 4u}) {
+        EXPECT_THROW(
+            SweepRunner(threads).ForEach(
+                100,
+                [](std::size_t i) {
+                    if (i == 37) {
+                        throw std::runtime_error("job 37 failed");
+                    }
+                }),
+            std::runtime_error)
+            << threads << " threads";
+    }
+}
+
+TEST(SweepRunner, ForEachStopsClaimingJobsAfterFailure)
+{
+    std::atomic<int> ran_after_fail{0};
+    std::atomic<bool> failed{false};
+    try {
+        SweepRunner(2).ForEach(10000, [&](std::size_t) {
+            if (failed.load()) {
+                ran_after_fail.fetch_add(1);
+            } else {
+                failed.store(true);
+                throw std::runtime_error("boom");
+            }
+        });
+        FAIL() << "exception not rethrown";
+    } catch (const std::runtime_error &) {
+    }
+    // Workers observe the failure flag between claims; far fewer than
+    // the full job count may run afterwards (bounded by in-flight jobs).
+    EXPECT_LT(ran_after_fail.load(), 100);
+}
+
+TEST(SweepRunner, EnvVarBoundsDefaultThreadCount)
+{
+    ASSERT_EQ(setenv("PIM_SWEEP_THREADS", "3", 1), 0);
+    EXPECT_EQ(SweepRunner().thread_count(), 3u);
+    EXPECT_EQ(SweepRunner(0).thread_count(), 3u);
+    // An explicit count beats the environment.
+    EXPECT_EQ(SweepRunner(2).thread_count(), 2u);
+
+    // Invalid values fall back to hardware concurrency (>= 1).
+    ASSERT_EQ(setenv("PIM_SWEEP_THREADS", "banana", 1), 0);
+    EXPECT_GE(SweepRunner().thread_count(), 1u);
+    ASSERT_EQ(setenv("PIM_SWEEP_THREADS", "0", 1), 0);
+    EXPECT_GE(SweepRunner().thread_count(), 1u);
+
+    ASSERT_EQ(unsetenv("PIM_SWEEP_THREADS"), 0);
 }
 
 TEST(CacheCoalescing, FilterSurvivesEvictionOfTrackedLine)
