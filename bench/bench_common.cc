@@ -4,190 +4,54 @@
 #include <cstring>
 #include <string_view>
 
-#include "common/rng.h"
 #include "sim/sweep.h"
 #include "telemetry/reference_table.h"
 #include "telemetry/report_json.h"
 #include "telemetry/span_tracer.h"
-#include "workloads/browser/color_blitter.h"
-#include "workloads/browser/lzo.h"
-#include "workloads/browser/page_data.h"
-#include "workloads/browser/texture_tiler.h"
-#include "workloads/ml/pack.h"
-#include "workloads/ml/quantize.h"
-#include "workloads/video/deblock.h"
-#include "workloads/video/decoder.h"
-#include "workloads/video/encoder.h"
-#include "workloads/video/motion.h"
-#include "workloads/video/subpel.h"
-#include "workloads/video/video_gen.h"
+#include "workloads/catalog.h"
 
 namespace pim::bench {
 
 using core::ExecutionContext;
 using core::OffloadFootprint;
-using core::OffloadRuntime;
 
 KernelResult
 RunKernelAllTargets(
     const std::string &name, const OffloadFootprint &footprint,
     const std::function<void(ExecutionContext &)> &kernel)
 {
-    // Trace-driven path: the kernel's computation runs once (CPU-Only,
-    // recording its stream); the PIM targets are evaluated by parallel
-    // batched replay.  See OffloadRuntime::RunAllReplayed.
-    OffloadRuntime rt;
-    const auto reports = rt.RunAllReplayed(name, footprint, kernel);
-    return {name, reports[0], reports[1], reports[2]};
+    return core::RunKernelAllTargets(name, footprint, kernel);
+}
+
+std::vector<KernelResult>
+RunRegisteredKernels(const std::string &group)
+{
+    workloads::EnsureKernelCatalog();
+    core::KernelSession session;
+    std::vector<KernelResult> results;
+    for (const core::KernelSpec *spec :
+         core::KernelRegistry::Global().Group(group)) {
+        results.push_back(session.Run(*spec));
+    }
+    return results;
 }
 
 std::vector<KernelResult>
 RunBrowserKernels()
 {
-    Rng rng(0xB10);
-    std::vector<KernelResult> results;
-
-    // Texture tiling: 512x512 RGBA tiles (Section 9).
-    browser::Bitmap linear(512, 512);
-    linear.Randomize(rng);
-    results.push_back(RunKernelAllTargets(
-        "Texture Tiling", {linear.size_bytes(), linear.size_bytes()},
-        [&](ExecutionContext &ctx) {
-            browser::TiledTexture tiled(512, 512);
-            browser::TileTexture(linear, tiled, ctx);
-        }));
-
-    // Color blitting: random bitmaps blended into a 1024x1024 target.
-    browser::Bitmap sprite(256, 256);
-    sprite.Randomize(rng);
-    results.push_back(RunKernelAllTargets(
-        "Color Blitting",
-        {sprite.size_bytes(), Bytes{1024} * 1024 * 4},
-        [&](ExecutionContext &ctx) {
-            browser::Bitmap target(1024, 1024, 0x80808080);
-            browser::ColorBlitter blitter(target, ctx);
-            for (int y = 0; y < 1024; y += 256) {
-                for (int x = 0; x < 1024; x += 256) {
-                    blitter.BlitSrcOver(sprite, x, y);
-                }
-            }
-        }));
-
-    // Compression / decompression: Chromebook-like page data.
-    pim::SimBuffer<std::uint8_t> pages(256 * 1024);
-    browser::FillPageLikeData(pages, rng, 0.4);
-    pim::SimBuffer<std::uint8_t> compressed(
-        browser::LzoCompressBound(pages.size()));
-    std::size_t csize = 0;
-    results.push_back(RunKernelAllTargets(
-        "Compression", {pages.size_bytes(), pages.size_bytes() / 2},
-        [&](ExecutionContext &ctx) {
-            csize = browser::LzoCompress(pages, pages.size(), compressed,
-                                         ctx);
-        }));
-
-    results.push_back(RunKernelAllTargets(
-        "Decompression", {csize, pages.size_bytes()},
-        [&](ExecutionContext &ctx) {
-            pim::SimBuffer<std::uint8_t> out(pages.size());
-            browser::LzoDecompress(compressed, csize, out, ctx);
-        }));
-
-    return results;
+    return RunRegisteredKernels("browser");
 }
 
 std::vector<KernelResult>
 RunTfKernels()
 {
-    Rng rng(0x7F);
-    std::vector<KernelResult> results;
-
-    // Packing: a large GEMM operand (network-scale matrix chunk).
-    ml::Matrix<std::uint8_t> lhs(1024, 1152);
-    lhs.Randomize(rng);
-    results.push_back(RunKernelAllTargets(
-        "Packing", {lhs.size_bytes(), lhs.size_bytes()},
-        [&](ExecutionContext &ctx) {
-            ml::PackedMatrix packed(1024, 1152);
-            ml::PackLhs(lhs, packed, ctx);
-        }));
-
-    // Quantization: re-quantize a 32-bit GEMM result matrix.
-    ml::Matrix<std::int32_t> result32(1024, 512);
-    for (int r = 0; r < result32.rows(); ++r) {
-        for (int c = 0; c < result32.cols(); ++c) {
-            result32.At(r, c) =
-                static_cast<std::int32_t>(rng.Range(-1000000, 1000000));
-        }
-    }
-    results.push_back(RunKernelAllTargets(
-        "Quantization",
-        {result32.size_bytes(), result32.size_bytes() / 4},
-        [&](ExecutionContext &ctx) {
-            ml::Matrix<std::uint8_t> out(1024, 512);
-            ml::RequantizeResult(result32, out, ctx);
-        }));
-
-    return results;
+    return RunRegisteredKernels("tf");
 }
 
 std::vector<KernelResult>
 RunVideoKernels()
 {
-    std::vector<KernelResult> results;
-
-    // Full-HD+ stand-in for the paper's 4K decode input (DESIGN.md):
-    // large enough that frames stream through the host LLC instead of
-    // living in it, as the paper's 4K frames do.
-    video::VideoGenConfig cfg;
-    cfg.width = 1920;
-    cfg.height = 1088;
-    const auto frames = video::GenerateClip(cfg, 4);
-
-    // Sub-pixel interpolation over every macroblock of a frame.
-    results.push_back(RunKernelAllTargets(
-        "Sub-Pixel Interpolation", {frames[0].y.size_bytes(), 0},
-        [&](ExecutionContext &ctx) {
-            video::PredBlock block(16, 16);
-            for (int y = 0; y < cfg.height; y += 16) {
-                for (int x = 0; x < cfg.width; x += 16) {
-                    video::InterpolateBlock(
-                        frames[0].y, x, y,
-                        video::MotionVector{5, 3}, block, ctx);
-                }
-            }
-        }));
-
-    // Deblocking filter over a frame.
-    results.push_back(RunKernelAllTargets(
-        "Deblocking Filter",
-        {frames[1].y.size_bytes(), frames[1].y.size_bytes()},
-        [&](ExecutionContext &ctx) {
-            video::Frame work = frames[1];
-            video::DeblockPlane(work.y, video::DeblockParams{}, ctx);
-        }));
-
-    // Motion estimation over three reference frames (HD input, as the
-    // paper's encoder study uses).
-    video::VideoGenConfig hd_cfg;
-    hd_cfg.width = 1280;
-    hd_cfg.height = 720;
-    const auto hd_frames = video::GenerateClip(hd_cfg, 4);
-    results.push_back(RunKernelAllTargets(
-        "Motion Estimation", {3 * hd_frames[0].y.size_bytes(), 0},
-        [&](ExecutionContext &ctx) {
-            const std::vector<const video::Plane *> refs = {
-                &hd_frames[0].y, &hd_frames[1].y, &hd_frames[2].y};
-            for (int y = 0; y < hd_cfg.height; y += 16) {
-                for (int x = 0; x < hd_cfg.width; x += 16) {
-                    video::DiamondSearch(hd_frames[3].y, refs, x, y,
-                                         video::MotionSearchParams{},
-                                         ctx);
-                }
-            }
-        }));
-
-    return results;
+    return RunRegisteredKernels("video");
 }
 
 void
@@ -206,41 +70,6 @@ AddEnergyRow(Table &table, const std::string &kernel,
         Table::Num(e.memctrl / baseline_pj, 3),
         Table::Num(e.dram / baseline_pj, 3),
     });
-}
-
-void
-RunSwEncoder(int width, int height, int frames,
-             video::CodecPhases &phases)
-{
-    video::VideoGenConfig cfg;
-    cfg.width = width;
-    cfg.height = height;
-    video::VideoGenerator gen(cfg);
-    video::Vp9Encoder encoder(width, height);
-    ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
-    for (int i = 0; i < frames; ++i) {
-        const video::Frame frame = gen.NextFrame();
-        encoder.EncodeFrame(frame, ctx, &phases);
-    }
-}
-
-void
-RunSwDecoder(int width, int height, int frames,
-             video::CodecPhases &phases)
-{
-    video::VideoGenConfig cfg;
-    cfg.width = width;
-    cfg.height = height;
-    video::VideoGenerator gen(cfg);
-    video::Vp9Encoder encoder(width, height);
-    video::Vp9Decoder decoder;
-    ExecutionContext ectx(core::ExecutionTarget::kCpuOnly);
-    ExecutionContext dctx(core::ExecutionTarget::kCpuOnly);
-    for (int i = 0; i < frames; ++i) {
-        const video::Frame frame = gen.NextFrame();
-        const auto enc = encoder.EncodeFrame(frame, ectx);
-        decoder.DecodeFrame(enc.bitstream, dctx, &phases);
-    }
 }
 
 namespace {
@@ -303,14 +132,34 @@ ParseBenchArgs(int *argc, char **argv)
 {
     BenchOptions opts;
     int out = 1;
+    // A value-shaped token right after a bare flag means the caller
+    // tried the space-separated spelling; catch it here instead of
+    // leaking the stray value to google-benchmark.
+    const auto stray_value = [&](int i) {
+        if (i + 1 >= *argc) {
+            return false;
+        }
+        const std::string_view next = argv[i + 1];
+        return next == "-" || next.empty() || next[0] != '-';
+    };
     for (int i = 1; i < *argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--json") {
+            if (stray_value(i)) {
+                opts.error = "--json takes no separate value; use "
+                             "--json=<path> (bare --json writes to "
+                             "stdout)";
+            }
             opts.json_path = "-";
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.json_path = arg.substr(7);
+        } else if (arg == "--trace") {
+            opts.error = "--trace requires a value; use --trace=<path>";
         } else if (arg.rfind("--trace=", 0) == 0) {
             opts.trace_path = arg.substr(8);
+        } else if (arg == "--filter") {
+            opts.error =
+                "--filter requires a value; use --filter=<substring>";
         } else if (arg.rfind("--filter=", 0) == 0) {
             opts.filter = arg.substr(9);
         } else if (arg == "--check-refs") {
@@ -364,7 +213,8 @@ BenchOutput::Metric(const std::string &name, double value)
 void
 BenchOutput::KernelGroup(const std::string &group,
                          const std::string &figure,
-                         const std::vector<KernelResult> &results)
+                         const std::vector<KernelResult> &results,
+                         bool aggregates)
 {
     Emit(KernelEnergyTable(figure, results));
     Emit(KernelRuntimeTable(figure, results));
@@ -398,6 +248,9 @@ BenchOutput::KernelGroup(const std::string &group,
     }
     groups_.Set(group, std::move(kernels));
 
+    if (!aggregates) {
+        return;
+    }
     if (!results.empty()) {
         const double n = static_cast<double>(results.size());
         Metric(group + ".avg.pim_core.energy_reduction", core_saving / n);
@@ -481,6 +334,10 @@ BenchMain(int argc, char **argv,
           const std::function<void(BenchOutput &)> &print_fn)
 {
     BenchOptions opts = ParseBenchArgs(&argc, argv);
+    if (!opts.error.empty()) {
+        std::fprintf(stderr, "bench: %s\n", opts.error.c_str());
+        return 1;
+    }
     if (!opts.trace_path.empty()) {
         telemetry::Tracer::Global().SetEnabled(true);
     }

@@ -2,8 +2,8 @@
  * @file
  * Shared infrastructure for the per-figure bench binaries: a common
  * main() that runs registered google-benchmark timers and then prints
- * the paper-figure tables, plus kernel runners shared by Figures 18,
- * 19, 20, and the headline summary.
+ * the paper-figure tables, plus registry-driven kernel runners shared
+ * by Figures 18, 19, 20, the headline summary, and the pim_run driver.
  *
  * Every binary built on PIM_BENCH_MAIN gains the telemetry CLI:
  *
@@ -28,52 +28,32 @@
 
 #include "common/json.h"
 #include "common/table.h"
+#include "core/kernel_registry.h"
 #include "core/offload_runtime.h"
 
 namespace pim::bench {
 
-/** The (CPU-Only, PIM-Core, PIM-Acc) reports for one kernel. */
-struct KernelResult
-{
-    std::string name;
-    core::RunReport cpu;
-    core::RunReport pim_core;
-    core::RunReport pim_acc;
+/**
+ * The (CPU-Only, PIM-Core, PIM-Acc) reports for one kernel — the
+ * canonical definition lives in core/kernel_registry.h so the bench
+ * layer, tests, and telemetry share one savings/speedup math.
+ */
+using KernelResult = core::KernelResult;
 
-    /**
-     * Fraction of baseline energy removed by @p pim.  A degenerate
-     * zero-energy baseline yields 0.0 (no saving) rather than -inf.
-     */
-    double
-    EnergySaving(const core::RunReport &pim) const
-    {
-        const double base = cpu.TotalEnergyPj();
-        if (!(base > 0.0)) {
-            return 0.0;
-        }
-        return 1.0 - pim.TotalEnergyPj() / base;
-    }
-
-    /**
-     * Baseline-relative speedup of @p pim.  Degenerate zero-time
-     * baselines or targets yield 1.0 (parity) rather than inf/nan.
-     */
-    double
-    Speedup(const core::RunReport &pim) const
-    {
-        const double base = cpu.TotalTimeNs();
-        const double t = pim.TotalTimeNs();
-        if (!(base > 0.0) || !(t > 0.0)) {
-            return 1.0;
-        }
-        return base / t;
-    }
-};
-
-/** Run @p kernel on all three targets through the offload runtime. */
+/**
+ * Run @p kernel on all three targets through the offload runtime.
+ * Thin forwarder to core::RunKernelAllTargets (kept for bench-local
+ * ad-hoc kernels; catalog kernels go through core::KernelSession).
+ */
 KernelResult RunKernelAllTargets(
     const std::string &name, const core::OffloadFootprint &footprint,
     const std::function<void(core::ExecutionContext &)> &kernel);
+
+/**
+ * Run one registered workload group ("browser", "tf", "video") at
+ * paper scale through a fresh KernelSession, in figure order.
+ */
+std::vector<KernelResult> RunRegisteredKernels(const std::string &group);
 
 /** The paper's browser kernels (Figure 18 inputs, Section 9). */
 std::vector<KernelResult> RunBrowserKernels();
@@ -103,12 +83,18 @@ struct BenchOptions
     std::string filter;     ///< Substring match on section names.
     bool check_refs = false;
     bool list = false;
+    /** Non-empty when a recognized flag was misspelled (e.g. a bare
+     *  `--trace`, or `--json -` instead of `--json=-`); BenchMain
+     *  reports it and exits instead of leaking the argument to
+     *  google-benchmark. */
+    std::string error;
 };
 
 /**
  * Strip the telemetry flags (--json=, --trace=, --filter=,
  * --check-refs, --list) out of argv, compacting it in place and
  * updating *argc, so the remainder can go to benchmark::Initialize.
+ * Malformed spellings of those flags set BenchOptions::error.
  */
 BenchOptions ParseBenchArgs(int *argc, char **argv);
 
@@ -141,10 +127,14 @@ class BenchOutput
      * Print the Figure 18/20-style tables for @p results and record
      * the full per-kernel reports plus derived metrics
      * (<group>.<kernel>.pim_core|pim_acc.energy_reduction|speedup and
-     * the <group>.avg.* aggregates) under @p group.
+     * the <group>.avg.* aggregates) under @p group.  Pass
+     * @p aggregates = false when @p results is a partial group (e.g. a
+     * filtered pim_run) so the <group>.avg.* reference-gated metrics
+     * are not emitted from incomplete data.
      */
     void KernelGroup(const std::string &group, const std::string &figure,
-                     const std::vector<KernelResult> &results);
+                     const std::vector<KernelResult> &results,
+                     bool aggregates = true);
 
     /**
      * Write the JSON report / trace file, run the reference check when
@@ -171,27 +161,6 @@ class BenchOutput
  */
 int BenchMain(int argc, char **argv,
               const std::function<void(BenchOutput &)> &print_fn);
-
-} // namespace pim::bench
-
-#include "workloads/video/codec.h"
-
-namespace pim::bench {
-
-/**
- * Run the software encoder over a synthetic clip; fills the encoder's
- * per-function phase buckets (Figure 15 input).  Resolutions are
- * scaled stand-ins for the paper's HD/4K clips (DESIGN.md).
- */
-void RunSwEncoder(int width, int height, int frames,
-                  video::CodecPhases &phases);
-
-/**
- * Encode then decode a synthetic clip; fills the *decoder's* phase
- * buckets (Figures 10/11 input).
- */
-void RunSwDecoder(int width, int height, int frames,
-                  video::CodecPhases &phases);
 
 } // namespace pim::bench
 

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Software-codec drivers shared by the decoder/encoder figure benches
+ * (Figures 10, 11, 15).  Split out of bench_common.h so the kernel
+ * benches do not drag the codec headers in.
+ */
+
+#ifndef PIM_BENCH_CODEC_RUNNERS_H
+#define PIM_BENCH_CODEC_RUNNERS_H
+
+#include "workloads/video/codec.h"
+
+namespace pim::bench {
+
+/**
+ * Run the software encoder over a synthetic clip; fills the encoder's
+ * per-function phase buckets (Figure 15 input).  Resolutions are
+ * scaled stand-ins for the paper's HD/4K clips (DESIGN.md).
+ */
+void RunSwEncoder(int width, int height, int frames,
+                  video::CodecPhases &phases);
+
+/**
+ * Encode then decode a synthetic clip; fills the *decoder's* phase
+ * buckets (Figures 10/11 input).
+ */
+void RunSwDecoder(int width, int height, int frames,
+                  video::CodecPhases &phases);
+
+} // namespace pim::bench
+
+#endif // PIM_BENCH_CODEC_RUNNERS_H

@@ -6,6 +6,7 @@
  */
 
 #include "bench_common.h"
+#include "codec_runners.h"
 
 namespace {
 

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * pim_run: the registry-driven kernel driver.
+ *
+ * Enumerates the KernelRegistry catalog (every PIM-target kernel from
+ * Figures 18/19/20) and runs any subset of it on any subset of the
+ * three execution targets, at any input scale, with the same telemetry
+ * outputs as the figure binaries (--json/--trace/--check-refs).
+ *
+ *   pim_run --list
+ *   pim_run --kernel=texture_tiling --scale=0.25 --json=-
+ *   pim_run --kernel='*' --targets=cpu,acc
+ *   pim_run --sweep=llc --kernel=browser
+ *
+ * `--sweep=llc` records each matched trace-replayable kernel's access
+ * stream ONCE (KernelSession::Record) and derives the whole LLC
+ * capacity ladder from that single recording via the one-pass
+ * stack-distance engine (SweepRunner::ProfileLlcSweep) — no per-point
+ * re-execution, with counters bit-identical to a cold replay per point
+ * (tests/test_kernel_registry.cc cross-checks).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/hierarchy.h"
+#include "sim/sweep.h"
+#include "telemetry/report_json.h"
+#include "telemetry/span_tracer.h"
+#include "workloads/catalog.h"
+
+namespace {
+
+using namespace pim;
+
+struct DriverOptions
+{
+    std::string kernel_pattern; ///< Empty = whole catalog.
+    std::string sweep;          ///< Empty = run mode; "llc" = LLC sweep.
+    double scale = 1.0;
+    bool want_cpu = true;
+    bool want_core = true;
+    bool want_acc = true;
+    bool list = false;
+
+    bool AllTargets() const { return want_cpu && want_core && want_acc; }
+};
+
+void
+PrintUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "pim_run - registry-driven driver for the paper's PIM-target "
+        "kernels\n"
+        "\n"
+        "usage: pim_run [options]\n"
+        "  --list              print the kernel catalog and exit\n"
+        "  --kernel=<pattern>  select kernels by slug/name: glob when\n"
+        "                      the pattern has * or ?, else substring\n"
+        "                      (group names also match)\n"
+        "  --targets=<csv>     subset of cpu,core,acc (default: all)\n"
+        "  --scale=<f>         linear input-scale multiplier\n"
+        "                      (default 1.0 = paper-scale inputs)\n"
+        "  --sweep=llc         record each matched kernel once, then\n"
+        "                      profile an LLC capacity ladder from the\n"
+        "                      single recorded stream\n"
+        "  --json=<path|->     write the structured JSON run report\n"
+        "  --trace=<path>      write a Chrome trace-event file\n"
+        "  --check-refs        gate the report against the paper's\n"
+        "                      reference table\n"
+        "  --filter=<substr>   only run matching output sections\n");
+}
+
+/** Parse --targets=cpu,core,acc; returns false on an unknown name. */
+bool
+ParseTargets(std::string_view csv, DriverOptions &opts)
+{
+    opts.want_cpu = opts.want_core = opts.want_acc = false;
+    while (!csv.empty()) {
+        const auto comma = csv.find(',');
+        const std::string_view item = csv.substr(0, comma);
+        if (item == "cpu" || item == "cpu-only" || item == "cpu_only") {
+            opts.want_cpu = true;
+        } else if (item == "core" || item == "pim-core" ||
+                   item == "pim_core") {
+            opts.want_core = true;
+        } else if (item == "acc" || item == "pim-acc" ||
+                   item == "pim_acc") {
+            opts.want_acc = true;
+        } else {
+            return false;
+        }
+        if (comma == std::string_view::npos) {
+            break;
+        }
+        csv.remove_prefix(comma + 1);
+    }
+    return opts.want_cpu || opts.want_core || opts.want_acc;
+}
+
+/** Matched specs: whole catalog, a group, or a slug/name pattern. */
+std::vector<const core::KernelSpec *>
+SelectKernels(const core::KernelRegistry &registry,
+              const std::string &pattern)
+{
+    if (pattern.empty()) {
+        return registry.All();
+    }
+    for (const auto &group : registry.Groups()) {
+        if (group == pattern) {
+            return registry.Group(group);
+        }
+    }
+    return registry.Match(pattern);
+}
+
+void
+ListCatalog(bench::BenchOutput &out,
+            const std::vector<const core::KernelSpec *> &specs)
+{
+    Table table("Kernel catalog");
+    table.SetHeader(
+        {"kernel", "slug", "group", "figure", "trace-replayable"});
+    for (const auto *spec : specs) {
+        table.AddRow({spec->name, spec->Slug(), spec->group,
+                      spec->figure, spec->trace_replayable ? "yes" : "no"});
+    }
+    out.Emit(table);
+    out.Metric("pim_run.catalog_size", static_cast<double>(specs.size()));
+}
+
+/** Per-kernel rows for a target subset (no cross-target ratios). */
+void
+EmitTargetSubset(bench::BenchOutput &out, const DriverOptions &opts,
+                 const std::vector<const core::KernelSpec *> &specs,
+                 core::KernelSession &session)
+{
+    Table table("Selected kernels x targets");
+    table.SetHeader({"kernel", "target", "energy (pJ)", "time (ns)",
+                     "MPKI", "off-chip bytes"});
+    auto add_row = [&](const core::RunReport &r) {
+        table.AddRow({
+            r.kernel,
+            r.target_name,
+            Table::Num(r.TotalEnergyPj(), 1),
+            Table::Num(static_cast<double>(r.TotalTimeNs()), 0),
+            Table::Num(r.Mpki(), 2),
+            Table::Num(
+                static_cast<double>(r.counters.OffChipBytes()), 0),
+        });
+        const std::string base =
+            "pim_run." + Slugify(r.kernel) + "." + Slugify(r.target_name);
+        out.Metric(base + ".energy_pj", r.TotalEnergyPj());
+        out.Metric(base + ".time_ns",
+                   static_cast<double>(r.TotalTimeNs()));
+    };
+    for (const auto *spec : specs) {
+        out.Section("kernel." + spec->Slug(), [&] {
+            if (opts.want_core || opts.want_acc) {
+                // PIM targets come from the replayed fast path, which
+                // produces the CPU baseline as a by-product.
+                const core::KernelResult r = session.Run(*spec);
+                if (opts.want_cpu) {
+                    add_row(r.cpu);
+                }
+                if (opts.want_core) {
+                    add_row(r.pim_core);
+                }
+                if (opts.want_acc) {
+                    add_row(r.pim_acc);
+                }
+            } else {
+                // CPU only: one native pass, no replay work at all.
+                const core::RecordedKernel rec = session.Record(*spec);
+                add_row(rec.cpu);
+            }
+        });
+    }
+    out.Emit(table);
+}
+
+/** Figure-style output: per-group tables + full-catalog headline. */
+void
+EmitAllTargets(bench::BenchOutput &out,
+               const core::KernelRegistry &registry,
+               const std::vector<const core::KernelSpec *> &specs,
+               core::KernelSession &session)
+{
+    std::vector<bench::KernelResult> all;
+    for (const auto &group : registry.Groups()) {
+        std::vector<const core::KernelSpec *> members;
+        for (const auto *spec : specs) {
+            if (spec->group == group) {
+                members.push_back(spec);
+            }
+        }
+        if (members.empty()) {
+            continue;
+        }
+        out.Section("kernels." + group, [&] {
+            std::vector<bench::KernelResult> results;
+            for (const auto *spec : members) {
+                results.push_back(session.Run(*spec));
+            }
+            // Partial groups would skew the <group>.avg.* metrics the
+            // reference table gates, so those aggregates only appear
+            // when the whole group ran.
+            const bool complete =
+                members.size() == registry.Group(group).size();
+            out.KernelGroup(group, members.front()->figure + " kernels",
+                            results, complete);
+            for (auto &r : results) {
+                all.push_back(std::move(r));
+            }
+        });
+    }
+
+    if (specs.size() != registry.size() || all.size() != specs.size()) {
+        return;
+    }
+    out.Section("headline", [&] {
+        double core_e = 0, acc_e = 0, core_s = 0, acc_s = 0, movement = 0;
+        for (const auto &k : all) {
+            core_e += k.EnergySaving(k.pim_core);
+            acc_e += k.EnergySaving(k.pim_acc);
+            core_s += k.Speedup(k.pim_core);
+            acc_s += k.Speedup(k.pim_acc);
+            movement += k.cpu.energy.DataMovementFraction();
+        }
+        const double n = static_cast<double>(all.size());
+        out.Metric("headline.movement_share_kernels", movement / n);
+        out.Metric("headline.pim_core.energy_reduction", core_e / n);
+        out.Metric("headline.pim_acc.energy_reduction", acc_e / n);
+        out.Metric("headline.pim_core.speedup", core_s / n);
+        out.Metric("headline.pim_acc.speedup", acc_s / n);
+
+        Table summary("Catalog headline (all kernels)");
+        summary.SetHeader({"metric", "PIM-Core", "PIM-Acc"});
+        summary.AddRow({"avg energy reduction", Table::Pct(core_e / n),
+                        Table::Pct(acc_e / n)});
+        summary.AddRow({"avg speedup", Table::Num(core_s / n, 2) + "x",
+                        Table::Num(acc_s / n, 2) + "x"});
+        summary.AddRow({"avg data movement share (CPU)",
+                        Table::Pct(movement / n), ""});
+        out.Emit(summary);
+    });
+}
+
+/** The LLC capacity ladder swept around the host's 2 MiB design point. */
+std::vector<sim::CacheConfig>
+LlcLadder(const sim::HierarchyConfig &base)
+{
+    std::vector<sim::CacheConfig> points;
+    for (Bytes size = 256_KiB; size <= 8_MiB; size *= 2) {
+        sim::CacheConfig cfg = *base.llc;
+        cfg.size = size;
+        points.push_back(cfg);
+    }
+    return points;
+}
+
+void
+EmitLlcSweep(bench::BenchOutput &out,
+             const std::vector<const core::KernelSpec *> &specs,
+             core::KernelSession &session)
+{
+    const sim::HierarchyConfig base = sim::HostHierarchyConfig();
+    const std::vector<sim::CacheConfig> ladder = LlcLadder(base);
+    const sim::SweepRunner runner;
+
+    for (const auto *spec : specs) {
+        if (!spec->trace_replayable) {
+            std::printf("pim_run: skipping %s (not trace-replayable)\n",
+                        spec->name.c_str());
+            continue;
+        }
+        out.Section("sweep." + spec->Slug(), [&] {
+            // ONE native recording pass; every ladder point is derived
+            // from the recorded stream analytically.
+            const core::RecordedKernel rec = session.Record(*spec);
+            const std::vector<sim::PerfCounters> points =
+                runner.ProfileLlcSweep(rec.trace, base, ladder);
+
+            Table table(spec->name + " — LLC capacity sweep (recorded "
+                                     "once, profiled analytically)");
+            table.SetHeader({"LLC", "LLC miss rate", "LLC misses",
+                             "writebacks", "DRAM bytes"});
+            const std::string prefix =
+                "pim_run.sweep." + spec->Slug() + ".llc_";
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const sim::PerfCounters &c = points[i];
+                const auto kib =
+                    static_cast<unsigned long long>(ladder[i].size / 1024);
+                table.AddRow({
+                    std::to_string(kib) + " KiB",
+                    Table::Pct(c.llc.MissRate()),
+                    std::to_string(c.llc.Misses()),
+                    std::to_string(c.llc.writebacks),
+                    std::to_string(static_cast<unsigned long long>(
+                        c.dram.TotalBytes())),
+                });
+                const std::string key = prefix + std::to_string(kib) + "kib";
+                out.Metric(key + ".miss_rate", c.llc.MissRate());
+                out.Metric(key + ".dram_bytes",
+                           static_cast<double>(c.dram.TotalBytes()));
+            }
+            out.Emit(table);
+        });
+    }
+}
+
+int
+Main(int argc, char **argv)
+{
+    bench::BenchOptions bench_opts = bench::ParseBenchArgs(&argc, argv);
+    if (!bench_opts.error.empty()) {
+        std::fprintf(stderr, "pim_run: %s\n", bench_opts.error.c_str());
+        return 1;
+    }
+
+    DriverOptions opts;
+    opts.list = bench_opts.list;
+    bench_opts.list = false; // BenchOutput's section --list is not ours.
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--kernel=", 0) == 0) {
+            opts.kernel_pattern = arg.substr(9);
+        } else if (arg.rfind("--targets=", 0) == 0) {
+            if (!ParseTargets(arg.substr(10), opts)) {
+                std::fprintf(stderr,
+                             "pim_run: bad --targets value '%s' "
+                             "(expected csv of cpu,core,acc)\n",
+                             std::string(arg.substr(10)).c_str());
+                return 1;
+            }
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            const std::string value(arg.substr(8));
+            char *end = nullptr;
+            opts.scale = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                !(opts.scale > 0.0)) {
+                std::fprintf(stderr,
+                             "pim_run: bad --scale value '%s' "
+                             "(expected a positive number)\n",
+                             value.c_str());
+                return 1;
+            }
+        } else if (arg.rfind("--sweep=", 0) == 0) {
+            opts.sweep = arg.substr(8);
+            if (opts.sweep != "llc") {
+                std::fprintf(stderr,
+                             "pim_run: unknown sweep '%s' "
+                             "(supported: llc)\n",
+                             opts.sweep.c_str());
+                return 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            PrintUsage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "pim_run: unknown argument '%s'\n",
+                         std::string(arg).c_str());
+            PrintUsage(stderr);
+            return 1;
+        }
+    }
+
+    if (!bench_opts.trace_path.empty()) {
+        telemetry::Tracer::Global().SetEnabled(true);
+    }
+
+    workloads::EnsureKernelCatalog();
+    const core::KernelRegistry &registry = core::KernelRegistry::Global();
+    const std::vector<const core::KernelSpec *> specs =
+        SelectKernels(registry, opts.kernel_pattern);
+    if (specs.empty()) {
+        std::fprintf(stderr, "pim_run: no kernels match '%s'\n",
+                     opts.kernel_pattern.c_str());
+        return 1;
+    }
+
+    bench::BenchOutput out("pim_run", std::move(bench_opts));
+    out.Metric("pim_run.scale", opts.scale);
+
+    if (opts.list) {
+        ListCatalog(out, specs);
+        return out.Finish();
+    }
+
+    core::KernelSession session(opts.scale);
+    if (!opts.sweep.empty()) {
+        EmitLlcSweep(out, specs, session);
+    } else if (opts.AllTargets()) {
+        EmitAllTargets(out, registry, specs, session);
+    } else {
+        EmitTargetSubset(out, opts, specs, session);
+    }
+    return out.Finish();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return Main(argc, argv);
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Stable identifier slugs shared by the kernel registry (kernel lookup
+ * keys, `pim_run --kernel=` matching) and the telemetry layer (metric
+ * key fragments).  Both must agree on the mapping from display names,
+ * so it lives here, below either of them.
+ */
+
+#ifndef PIM_COMMON_SLUG_H
+#define PIM_COMMON_SLUG_H
+
+#include <cctype>
+#include <string>
+
+namespace pim {
+
+/**
+ * Stable slug for a display name: lower-cased, runs of
+ * non-alphanumerics collapsed to single underscores
+ * ("Sub-Pixel Interpolation" -> "sub_pixel_interpolation").
+ */
+inline std::string
+Slugify(const std::string &name)
+{
+    std::string slug;
+    slug.reserve(name.size());
+    bool pending_sep = false;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+            if (pending_sep && !slug.empty()) {
+                slug += '_';
+            }
+            pending_sep = false;
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else {
+            pending_sep = true;
+        }
+    }
+    return slug;
+}
+
+} // namespace pim
+
+#endif // PIM_COMMON_SLUG_H

@@ -1,6 +1,6 @@
 #include "telemetry/report_json.h"
 
-#include <cctype>
+#include "common/slug.h"
 
 namespace pim::telemetry {
 
@@ -134,22 +134,7 @@ MakeReportDocument(const std::string &binary)
 std::string
 MetricSlug(const std::string &name)
 {
-    std::string slug;
-    slug.reserve(name.size());
-    bool pending_sep = false;
-    for (const char c : name) {
-        if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
-            if (pending_sep && !slug.empty()) {
-                slug += '_';
-            }
-            pending_sep = false;
-            slug += static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-        } else {
-            pending_sep = true;
-        }
-    }
-    return slug;
+    return Slugify(name);
 }
 
 } // namespace pim::telemetry

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Registry entries for the paper's browser PIM-target kernels
+ * (Figure 18, Section 9): texture tiling, color blitting, and zram
+ * (de)compression.
+ *
+ * The four kernels share one BrowserInputs object per KernelSession:
+ * input stages build cumulatively off a single Rng stream, so a full
+ * group run in figure order consumes RNG draws and reserves simulated
+ * addresses exactly as the original hard-coded Figure 18 setup did
+ * (figure outputs stay byte-identical), while a single kernel run
+ * still self-materializes everything it needs.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "core/kernel_registry.h"
+#include "workloads/browser/color_blitter.h"
+#include "workloads/browser/lzo.h"
+#include "workloads/browser/page_data.h"
+#include "workloads/browser/texture_tiler.h"
+
+namespace pim::browser {
+
+namespace {
+
+using core::ExecutionContext;
+using core::KernelInstance;
+using core::KernelSpec;
+
+/** Shared per-session inputs, staged in the legacy setup order. */
+struct BrowserInputs
+{
+    explicit BrowserInputs(double scale) : scale(scale) {}
+
+    double scale;
+    Rng rng{0xB10};
+    int linear_px = 0;
+    int blit_grid = 0;
+    std::optional<Bitmap> linear;
+    std::optional<Bitmap> sprite;
+    std::optional<pim::SimBuffer<std::uint8_t>> pages;
+    std::optional<pim::SimBuffer<std::uint8_t>> compressed;
+    std::size_t csize = 0;
+
+    /** Texture tiling: 512x512 RGBA tiles at paper scale. */
+    void
+    EnsureLinear()
+    {
+        if (linear) {
+            return;
+        }
+        linear_px = core::ScaleDim(512, scale, TileFormat::kTileRows);
+        linear.emplace(linear_px, linear_px);
+        linear->Randomize(rng);
+    }
+
+    /** Color blitting: 256x256 sprites over a 1024x1024 target. */
+    void
+    EnsureSprite()
+    {
+        EnsureLinear();
+        if (sprite) {
+            return;
+        }
+        blit_grid = core::ScaleDim(1024, scale, 256) / 256;
+        sprite.emplace(256, 256);
+        sprite->Randomize(rng);
+    }
+
+    /** (De)compression: Chromebook-like page data. */
+    void
+    EnsurePages()
+    {
+        EnsureSprite();
+        if (pages) {
+            return;
+        }
+        pages.emplace(core::ScaleBytes(256 * 1024, scale));
+        FillPageLikeData(*pages, rng, 0.4);
+        compressed.emplace(LzoCompressBound(pages->size()));
+    }
+
+    /**
+     * In a group run the instrumented Compression kernel fills
+     * `compressed`; a standalone Decompression run compresses here,
+     * off the measurement path.
+     */
+    void
+    EnsureCompressed()
+    {
+        EnsurePages();
+        if (csize != 0) {
+            return;
+        }
+        ExecutionContext scratch(core::ExecutionTarget::kCpuOnly);
+        csize = LzoCompress(*pages, pages->size(), *compressed, scratch);
+    }
+};
+
+std::shared_ptr<BrowserInputs>
+Inputs(std::shared_ptr<void> &state, double scale)
+{
+    if (!state) {
+        state = std::make_shared<BrowserInputs>(scale);
+    }
+    return std::static_pointer_cast<BrowserInputs>(state);
+}
+
+} // namespace
+
+PIM_REGISTER_KERNEL(texture_tiling)
+{
+    KernelSpec spec;
+    spec.name = "Texture Tiling";
+    spec.group = "browser";
+    spec.figure = "Figure 18";
+    spec.order = 0;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsureLinear();
+        KernelInstance inst;
+        inst.footprint = {in->linear->size_bytes(),
+                          in->linear->size_bytes()};
+        inst.run = [in](ExecutionContext &ctx) {
+            TiledTexture tiled(in->linear_px, in->linear_px);
+            TileTexture(*in->linear, tiled, ctx);
+        };
+        return inst;
+    };
+    return spec;
+}
+
+PIM_REGISTER_KERNEL(color_blitting)
+{
+    KernelSpec spec;
+    spec.name = "Color Blitting";
+    spec.group = "browser";
+    spec.figure = "Figure 18";
+    spec.order = 1;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsureSprite();
+        const int target_px = 256 * in->blit_grid;
+        KernelInstance inst;
+        inst.footprint = {in->sprite->size_bytes(),
+                          Bytes{static_cast<std::uint64_t>(target_px)} *
+                              target_px * 4};
+        inst.run = [in, target_px](ExecutionContext &ctx) {
+            Bitmap target(target_px, target_px, 0x80808080);
+            ColorBlitter blitter(target, ctx);
+            for (int y = 0; y < target_px; y += 256) {
+                for (int x = 0; x < target_px; x += 256) {
+                    blitter.BlitSrcOver(*in->sprite, x, y);
+                }
+            }
+        };
+        return inst;
+    };
+    return spec;
+}
+
+PIM_REGISTER_KERNEL(compression)
+{
+    KernelSpec spec;
+    spec.name = "Compression";
+    spec.group = "browser";
+    spec.figure = "Figure 18";
+    spec.order = 2;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsurePages();
+        KernelInstance inst;
+        inst.footprint = {in->pages->size_bytes(),
+                          in->pages->size_bytes() / 2};
+        inst.run = [in](ExecutionContext &ctx) {
+            in->csize = LzoCompress(*in->pages, in->pages->size(),
+                                    *in->compressed, ctx);
+        };
+        return inst;
+    };
+    return spec;
+}
+
+PIM_REGISTER_KERNEL(decompression)
+{
+    KernelSpec spec;
+    spec.name = "Decompression";
+    spec.group = "browser";
+    spec.figure = "Figure 18";
+    spec.order = 3;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsureCompressed();
+        KernelInstance inst;
+        inst.footprint = {in->csize, in->pages->size_bytes()};
+        inst.run = [in](ExecutionContext &ctx) {
+            pim::SimBuffer<std::uint8_t> out(in->pages->size());
+            LzoDecompress(*in->compressed, in->csize, out, ctx);
+        };
+        return inst;
+    };
+    return spec;
+}
+
+} // namespace pim::browser
+
+PIM_KERNEL_ANCHOR(browser_kernels)

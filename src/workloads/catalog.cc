@@ -1,0 +1,19 @@
+#include "workloads/catalog.h"
+
+#include "core/kernel_registry.h"
+
+PIM_KERNEL_REQUIRE(browser_kernels)
+PIM_KERNEL_REQUIRE(ml_kernels)
+PIM_KERNEL_REQUIRE(video_kernels)
+
+namespace pim::workloads {
+
+void
+EnsureKernelCatalog()
+{
+    core::kernel_anchors::browser_kernels();
+    core::kernel_anchors::ml_kernels();
+    core::kernel_anchors::video_kernels();
+}
+
+} // namespace pim::workloads

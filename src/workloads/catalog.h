@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Link-time aggregation of the per-workload kernel catalogs.
+ *
+ * Kernel registration is decentralized (each workload library's
+ * kernels.cc self-registers through PIM_REGISTER_KERNEL), but static
+ * archives only extract objects that resolve a symbol.  Calling
+ * EnsureKernelCatalog() anywhere in a binary forces every kernels.cc
+ * into the link, guaranteeing the registry is fully populated before
+ * main() runs.
+ */
+
+#ifndef PIM_WORKLOADS_CATALOG_H
+#define PIM_WORKLOADS_CATALOG_H
+
+namespace pim::workloads {
+
+/**
+ * Force-link the browser/tf/video kernel catalogs into this binary.
+ * Idempotent and cheap; call before querying KernelRegistry::Global().
+ */
+void EnsureKernelCatalog();
+
+} // namespace pim::workloads
+
+#endif // PIM_WORKLOADS_CATALOG_H

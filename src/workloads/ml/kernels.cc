@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Registry entries for the paper's TensorFlow Mobile PIM-target
+ * kernels (Figure 19 left, Section 5): gemmlowp-style packing and
+ * result re-quantization.
+ *
+ * Like the browser catalog, both kernels share one TfInputs object per
+ * KernelSession so a group run reproduces the original Figure 19
+ * setup's RNG stream and allocation order exactly.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/kernel_registry.h"
+#include "workloads/ml/pack.h"
+#include "workloads/ml/quantize.h"
+
+namespace pim::ml {
+
+namespace {
+
+using core::ExecutionContext;
+using core::KernelInstance;
+using core::KernelSpec;
+
+/** Shared per-session inputs, staged in the legacy setup order. */
+struct TfInputs
+{
+    explicit TfInputs(double scale) : scale(scale) {}
+
+    double scale;
+    Rng rng{0x7F};
+    int pack_rows = 0;
+    int quant_rows = 0;
+    std::optional<Matrix<std::uint8_t>> lhs;
+    std::optional<Matrix<std::int32_t>> result32;
+
+    /** Packing: a network-scale GEMM operand chunk (1024x1152). */
+    void
+    EnsureLhs()
+    {
+        if (lhs) {
+            return;
+        }
+        pack_rows = core::ScaleDim(1024, scale, 8);
+        lhs.emplace(pack_rows, 1152);
+        lhs->Randomize(rng);
+    }
+
+    /** Quantization: a 32-bit GEMM result matrix (1024x512). */
+    void
+    EnsureResult32()
+    {
+        EnsureLhs();
+        if (result32) {
+            return;
+        }
+        quant_rows = core::ScaleDim(1024, scale, 8);
+        result32.emplace(quant_rows, 512);
+        for (int r = 0; r < result32->rows(); ++r) {
+            for (int c = 0; c < result32->cols(); ++c) {
+                result32->At(r, c) = static_cast<std::int32_t>(
+                    rng.Range(-1000000, 1000000));
+            }
+        }
+    }
+};
+
+std::shared_ptr<TfInputs>
+Inputs(std::shared_ptr<void> &state, double scale)
+{
+    if (!state) {
+        state = std::make_shared<TfInputs>(scale);
+    }
+    return std::static_pointer_cast<TfInputs>(state);
+}
+
+} // namespace
+
+PIM_REGISTER_KERNEL(tf_packing)
+{
+    KernelSpec spec;
+    spec.name = "Packing";
+    spec.group = "tf";
+    spec.figure = "Figure 19";
+    spec.order = 0;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsureLhs();
+        KernelInstance inst;
+        inst.footprint = {in->lhs->size_bytes(), in->lhs->size_bytes()};
+        inst.run = [in](ExecutionContext &ctx) {
+            PackedMatrix packed(in->pack_rows, 1152);
+            PackLhs(*in->lhs, packed, ctx);
+        };
+        return inst;
+    };
+    return spec;
+}
+
+PIM_REGISTER_KERNEL(tf_quantization)
+{
+    KernelSpec spec;
+    spec.name = "Quantization";
+    spec.group = "tf";
+    spec.figure = "Figure 19";
+    spec.order = 1;
+    spec.make = [](std::shared_ptr<void> &state, double scale) {
+        auto in = Inputs(state, scale);
+        in->EnsureResult32();
+        KernelInstance inst;
+        inst.footprint = {in->result32->size_bytes(),
+                          in->result32->size_bytes() / 4};
+        inst.run = [in](ExecutionContext &ctx) {
+            Matrix<std::uint8_t> out(in->quant_rows, 512);
+            RequantizeResult(*in->result32, out, ctx);
+        };
+        return inst;
+    };
+    return spec;
+}
+
+} // namespace pim::ml
+
+PIM_KERNEL_ANCHOR(ml_kernels)

@@ -90,6 +90,55 @@ TEST(ParseBenchArgs, DefaultsAreEmptyAndOff)
     EXPECT_EQ(*a.argc(), 2) << "unknown args must pass through";
 }
 
+TEST(ParseBenchArgs, WellFormedFlagsProduceNoError)
+{
+    Argv a({"bin", "--json=out.json", "--trace=t.json", "--filter=x"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_TRUE(opts.error.empty()) << opts.error;
+}
+
+TEST(ParseBenchArgs, BareTraceIsAnError)
+{
+    Argv a({"bin", "--trace"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_FALSE(opts.error.empty());
+    EXPECT_NE(opts.error.find("--trace=<path>"), std::string::npos)
+        << "the error must teach the correct spelling: " << opts.error;
+    EXPECT_EQ(*a.argc(), 1) << "the malformed flag must not leak through";
+}
+
+TEST(ParseBenchArgs, BareFilterIsAnError)
+{
+    Argv a({"bin", "--filter", "kernels"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_FALSE(opts.error.empty());
+    EXPECT_NE(opts.error.find("--filter=<substring>"), std::string::npos)
+        << opts.error;
+}
+
+TEST(ParseBenchArgs, JsonWithSeparateValueIsAnError)
+{
+    // "--json out.json" silently wrote to stdout and leaked "out.json"
+    // to google-benchmark before; now it is caught.
+    Argv a({"bin", "--json", "out.json"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_FALSE(opts.error.empty());
+    EXPECT_NE(opts.error.find("--json=<path>"), std::string::npos)
+        << opts.error;
+}
+
+TEST(ParseBenchArgs, JsonWithSeparateDashIsAnError)
+{
+    Argv a({"bin", "--json", "-"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_FALSE(opts.error.empty());
+}
+
 TEST(KernelResult, DegenerateBaselinesYieldNeutralValues)
 {
     bench::KernelResult r;
