@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
@@ -166,6 +167,21 @@ ParseBenchArgs(int *argc, char **argv)
             opts.check_refs = true;
         } else if (arg == "--list") {
             opts.list = true;
+        } else if (arg == "--threads") {
+            opts.error =
+                "--threads requires a value; use --threads=<count>";
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const std::string value(arg.substr(10));
+            char *end = nullptr;
+            const unsigned long v =
+                std::strtoul(value.c_str(), &end, 10);
+            if (value.empty() || end == nullptr || *end != '\0' ||
+                v == 0 || v > 4096) {
+                opts.error = "--threads wants a count in 1..4096, got "
+                             "'" + value + "'";
+            } else {
+                opts.threads = static_cast<unsigned>(v);
+            }
         } else {
             argv[out++] = argv[i];
         }
@@ -340,6 +356,11 @@ BenchMain(int argc, char **argv,
     }
     if (!opts.trace_path.empty()) {
         telemetry::Tracer::Global().SetEnabled(true);
+    }
+    if (opts.threads != 0) {
+        // Must land before any SweepRunner is constructed (including
+        // the bench.sweep_threads probe below).
+        sim::SweepRunner::SetDefaultThreads(opts.threads);
     }
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -12,6 +12,7 @@
  *   --check-refs      gate the report against the paper ReferenceTable
  *   --filter=<substr> only run matching output sections
  *   --list            list section names without running them
+ *   --threads=<n>     sweep worker count (beats PIM_SWEEP_THREADS)
  *
  * without any per-binary flag handling; binaries only describe their
  * output through a BenchOutput (sections, tables, metrics).
@@ -83,6 +84,10 @@ struct BenchOptions
     std::string filter;     ///< Substring match on section names.
     bool check_refs = false;
     bool list = false;
+    /** Sweep worker count; 0 = unset.  A nonzero value becomes the
+     *  process-wide SweepRunner default, overriding the
+     *  PIM_SWEEP_THREADS environment variable (flag > env > cores). */
+    unsigned threads = 0;
     /** Non-empty when a recognized flag was misspelled (e.g. a bare
      *  `--trace`, or `--json -` instead of `--json=-`); BenchMain
      *  reports it and exits instead of leaking the argument to
@@ -92,7 +97,7 @@ struct BenchOptions
 
 /**
  * Strip the telemetry flags (--json=, --trace=, --filter=,
- * --check-refs, --list) out of argv, compacting it in place and
+ * --check-refs, --list, --threads=) out of argv, compacting it in place and
  * updating *argc, so the remainder can go to benchmark::Initialize.
  * Malformed spellings of those flags set BenchOptions::error.
  */

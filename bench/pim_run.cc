@@ -41,6 +41,7 @@ struct DriverOptions
 {
     std::string kernel_pattern; ///< Empty = whole catalog.
     std::string sweep;          ///< Empty = run mode; "llc" = LLC sweep.
+    bool compact_trace = false; ///< Sweep from the compact encoding.
     double scale = 1.0;
     bool want_cpu = true;
     bool want_core = true;
@@ -69,6 +70,11 @@ PrintUsage(std::FILE *to)
         "  --sweep=llc         record each matched kernel once, then\n"
         "                      profile an LLC capacity ladder from the\n"
         "                      single recorded stream\n"
+        "  --compact-trace     with --sweep: hold the recording in the\n"
+        "                      block-encoded compact form (identical\n"
+        "                      counters; reports compression metrics)\n"
+        "  --threads=<n>       sweep worker count (overrides the\n"
+        "                      PIM_SWEEP_THREADS environment variable)\n"
         "  --json=<path|->     write the structured JSON run report\n"
         "  --trace=<path>      write a Chrome trace-event file\n"
         "  --check-refs        gate the report against the paper's\n"
@@ -265,7 +271,7 @@ LlcLadder(const sim::HierarchyConfig &base)
 }
 
 void
-EmitLlcSweep(bench::BenchOutput &out,
+EmitLlcSweep(bench::BenchOutput &out, bool compact,
              const std::vector<const core::KernelSpec *> &specs,
              core::KernelSession &session)
 {
@@ -282,9 +288,27 @@ EmitLlcSweep(bench::BenchOutput &out,
         out.Section("sweep." + spec->Slug(), [&] {
             // ONE native recording pass; every ladder point is derived
             // from the recorded stream analytically.
-            const core::RecordedKernel rec = session.Record(*spec);
-            const std::vector<sim::PerfCounters> points =
-                runner.ProfileLlcSweep(rec.trace, base, ladder);
+            core::RecordedKernel rec = session.Record(*spec);
+            std::vector<sim::PerfCounters> points;
+            if (compact) {
+                // Encode the recording, drop the raw form, and profile
+                // from the encoded stream: the sweep's resident trace
+                // footprint is the compact size, counters unchanged.
+                const std::string tp =
+                    "pim_run.sweep." + spec->Slug() + ".trace_";
+                const sim::CompactTrace encoded =
+                    sim::CompactTrace::Encode(rec.trace);
+                out.Metric(tp + "bytes",
+                           static_cast<double>(rec.trace.SizeBytes()));
+                out.Metric(tp + "compact_bytes",
+                           static_cast<double>(encoded.SizeBytes()));
+                out.Metric(tp + "compression_ratio",
+                           encoded.CompressionRatio());
+                rec.trace = sim::AccessTrace{};
+                points = runner.ProfileLlcSweep(encoded, base, ladder);
+            } else {
+                points = runner.ProfileLlcSweep(rec.trace, base, ladder);
+            }
 
             Table table(spec->name + " — LLC capacity sweep (recorded "
                                      "once, profiled analytically)");
@@ -359,6 +383,8 @@ Main(int argc, char **argv)
                              opts.sweep.c_str());
                 return 1;
             }
+        } else if (arg == "--compact-trace") {
+            opts.compact_trace = true;
         } else if (arg == "--help" || arg == "-h") {
             PrintUsage(stdout);
             return 0;
@@ -373,6 +399,14 @@ Main(int argc, char **argv)
     if (!bench_opts.trace_path.empty()) {
         telemetry::Tracer::Global().SetEnabled(true);
     }
+    if (bench_opts.threads != 0) {
+        sim::SweepRunner::SetDefaultThreads(bench_opts.threads);
+    }
+    if (opts.compact_trace && opts.sweep.empty()) {
+        std::fprintf(stderr,
+                     "pim_run: --compact-trace requires --sweep=llc\n");
+        return 1;
+    }
 
     workloads::EnsureKernelCatalog();
     const core::KernelRegistry &registry = core::KernelRegistry::Global();
@@ -386,6 +420,9 @@ Main(int argc, char **argv)
 
     bench::BenchOutput out("pim_run", std::move(bench_opts));
     out.Metric("pim_run.scale", opts.scale);
+    // Same normalization metric BenchMain emits for the figure benches.
+    out.Metric("bench.sweep_threads",
+               static_cast<double>(sim::SweepRunner().thread_count()));
 
     if (opts.list) {
         ListCatalog(out, specs);
@@ -394,7 +431,7 @@ Main(int argc, char **argv)
 
     core::KernelSession session(opts.scale);
     if (!opts.sweep.empty()) {
-        EmitLlcSweep(out, specs, session);
+        EmitLlcSweep(out, opts.compact_trace, specs, session);
     } else if (opts.AllTargets()) {
         EmitAllTargets(out, registry, specs, session);
     } else {

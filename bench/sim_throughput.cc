@@ -27,12 +27,15 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "sim/hierarchy.h"
+#include "sim/sharded_replay.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
+#include "sim/trace_codec.h"
 #include "workloads/browser/lzo.h"
 #include "workloads/browser/page_data.h"
 #include "workloads/browser/texture_tiler.h"
@@ -464,6 +467,203 @@ PrintSweepStudy(bench::BenchOutput &out)
                 runner.thread_count());
 }
 
+/**
+ * Intra-trace shard scaling (this PR's headline): ONE (trace, config)
+ * replay split across set-shards, each shard a private cold hierarchy
+ * on its own worker, merged counters bit-identical to the serial
+ * replay.  The stress stream is the tiling trace concatenated until it
+ * is large enough that partition + replay dominate thread startup.
+ */
+void
+PrintShardStudy(bench::BenchOutput &out)
+{
+    const sim::AccessTrace base = RecordTilingTrace();
+    sim::AccessTrace trace;
+    constexpr std::size_t kTargetEntries = 4u << 20;
+    const std::size_t repeats =
+        std::max<std::size_t>(1, (kTargetEntries + base.size() - 1) /
+                                     std::max<std::size_t>(1, base.size()));
+    trace.Reserve(base.size() * repeats);
+    for (std::size_t i = 0; i < repeats; ++i) {
+        trace.Append(base.data(), base.size());
+    }
+    const double accesses = static_cast<double>(trace.size());
+
+    const sim::HierarchyConfig config = sim::HostHierarchyConfig();
+    const sim::ShardedReplayPlan plan =
+        sim::ShardedReplay::PlanFor(config, 4);
+
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    sim::PerfCounters serial_pc;
+    const double serial_s = best_of([&] {
+        return TimeRun([&] {
+            sim::MemoryHierarchy mh(config);
+            trace.ReplayInto(mh.Top());
+            serial_pc = mh.Snapshot();
+        });
+    });
+
+    Table table("Set-sharded replay — one tiling stress stream, "
+                "one host config");
+    table.SetHeader({"path", "accesses", "time (ms)", "Maccesses/s",
+                     "speedup", "exact"});
+    const auto row = [&](const std::string &name, double seconds,
+                         bool exact) {
+        table.AddRow({
+            name,
+            Table::Num(accesses / 1e6, 2) + "M",
+            Table::Num(seconds * 1e3, 1),
+            Table::Num(accesses / seconds / 1e6, 1),
+            Table::Num(serial_s / seconds, 2) + "x",
+            exact ? "bit-identical" : "MISMATCH",
+        });
+    };
+    row("serial replay (reference)", serial_s, true);
+
+    const std::string prefix = "sim_throughput.shard";
+    out.Metric(prefix + ".entries", accesses);
+    out.Metric(prefix + ".shards",
+               static_cast<double>(plan.supported ? plan.shards : 1));
+    // Wall-clock scaling is bounded by physical cores; record them so
+    // speedup_Nt is interpretable across machines (a 1-core CI box
+    // can only show ~1x regardless of thread count).
+    out.Metric(prefix + ".cores",
+               static_cast<double>(std::thread::hardware_concurrency()));
+    out.Metric(prefix + ".serial_ms", serial_s * 1e3);
+
+    bool all_same = true;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const sim::ShardedReplay sharded{sim::SweepRunner(threads)};
+        sim::PerfCounters pc;
+        const double s = best_of([&] {
+            return TimeRun([&] { pc = sharded.Replay(trace, config); });
+        });
+        const bool same = SameCounters(serial_pc, pc);
+        all_same = all_same && same;
+        row("sharded replay, " + std::to_string(threads) +
+                (threads == 1 ? " thread (serial fallback)" : " threads"),
+            s, same);
+        const std::string t = std::to_string(threads) + "t";
+        out.Metric(prefix + ".sharded_" + t + "_ms", s * 1e3);
+        out.Metric(prefix + ".speedup_" + t, serial_s / s);
+    }
+    out.Metric(prefix + ".bit_identical", all_same ? 1.0 : 0.0);
+    out.Emit(table);
+
+    std::printf("sharded counters %s the serial replay "
+                "(plan: %u shards x %u-line blocks, %u hardware "
+                "cores)\n\n",
+                all_same ? "match" : "DO NOT match",
+                plan.supported ? plan.shards : 1, plan.block_lines,
+                std::thread::hardware_concurrency());
+}
+
+/**
+ * Compact codec study: encoded footprint and replay equivalence for
+ * the two recorded kernel streams, plus the composition row — compact
+ * decode feeding the sharded engine — that the pim_run
+ * --compact-trace --threads path exercises.
+ */
+void
+PrintCodecStudy(bench::BenchOutput &out)
+{
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    struct Stream
+    {
+        const char *name;
+        sim::AccessTrace trace;
+    };
+    Stream streams[] = {
+        {"tiling", RecordTilingTrace()},
+        {"compression", RecordCompressionTrace()},
+    };
+
+    Table table("Compact trace codec — footprint and replay "
+                "equivalence (raw = 8.0 B/entry)");
+    table.SetHeader({"stream", "entries", "raw MB", "compact MB",
+                     "B/entry", "ratio", "encode (ms)", "replay",
+                     "exact"});
+
+    const sim::HierarchyConfig config = sim::HostHierarchyConfig();
+    bool all_same = true;
+    for (auto &s : streams) {
+        sim::CompactTrace compact;
+        const double encode_s = best_of([&] {
+            return TimeRun(
+                [&] { compact = sim::CompactTrace::Encode(s.trace); });
+        });
+
+        sim::PerfCounters raw_pc, compact_pc, sharded_pc;
+        const double raw_s = best_of([&] {
+            return TimeRun([&] {
+                sim::MemoryHierarchy mh(config);
+                s.trace.ReplayInto(mh.Top());
+                raw_pc = mh.Snapshot();
+            });
+        });
+        const double compact_s = best_of([&] {
+            return TimeRun([&] {
+                sim::MemoryHierarchy mh(config);
+                compact.ReplayInto(mh.Top());
+                compact_pc = mh.Snapshot();
+            });
+        });
+        // The composition path: decode block-by-block while sharding.
+        const sim::ShardedReplay sharded{sim::SweepRunner(4)};
+        sharded_pc = sharded.Replay(compact, config);
+
+        const bool same = SameCounters(raw_pc, compact_pc) &&
+                          SameCounters(raw_pc, sharded_pc) &&
+                          compact.TotalBytes() == s.trace.TotalBytes();
+        all_same = all_same && same;
+
+        table.AddRow({
+            s.name,
+            Table::Num(static_cast<double>(compact.size()) / 1e6, 2) +
+                "M",
+            Table::Num(static_cast<double>(compact.RawBytes()) / 1e6,
+                       1),
+            Table::Num(static_cast<double>(compact.SizeBytes()) / 1e6,
+                       2),
+            Table::Num(compact.BytesPerEntry(), 2),
+            Table::Num(compact.CompressionRatio(), 1) + "x",
+            Table::Num(encode_s * 1e3, 1),
+            Table::Num(raw_s / compact_s, 2) + "x vs raw",
+            same ? "bit-identical" : "MISMATCH",
+        });
+
+        const std::string prefix =
+            std::string("sim_throughput.codec.") + s.name;
+        out.Metric(prefix + ".bytes_per_entry", compact.BytesPerEntry());
+        out.Metric(prefix + ".compression_ratio",
+                   compact.CompressionRatio());
+        out.Metric(prefix + ".encode_ms", encode_s * 1e3);
+        out.Metric(prefix + ".replay_ms", compact_s * 1e3);
+        out.Metric(prefix + ".raw_replay_ms", raw_s * 1e3);
+    }
+    out.Metric("sim_throughput.codec.bit_identical",
+               all_same ? 1.0 : 0.0);
+    out.Emit(table);
+
+    std::printf("compact replay (serial and sharded x4) %s the raw "
+                "replay counters\n\n",
+                all_same ? "matches" : "DOES NOT match");
+}
+
 void
 PrintThroughput(bench::BenchOutput &out)
 {
@@ -484,6 +684,10 @@ PrintThroughput(bench::BenchOutput &out)
     });
 
     out.Section("sweep", [&] { PrintSweepStudy(out); });
+
+    // Named under "sweep." so CI's existing --filter=sweep runs them.
+    out.Section("sweep.shard", [&] { PrintShardStudy(out); });
+    out.Section("sweep.codec", [&] { PrintCodecStudy(out); });
 }
 
 } // namespace

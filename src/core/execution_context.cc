@@ -72,8 +72,35 @@ ExecutionContext::DetachTrace()
         sim::AccessTrace &trace = recorder_->trace();
         trace.ShrinkToFit();
         PIM_TRACE_COUNTER("trace.bytes", trace.SizeBytes());
+        if (PIM_TRACE_ENABLED()) {
+            // What the compact codec would save for this recording.
+            // The encode pass is only worth paying when someone is
+            // collecting the counters.
+            const sim::CompactTrace compact =
+                sim::CompactTrace::Encode(trace);
+            PIM_TRACE_COUNTER("trace.compact_bytes",
+                              compact.SizeBytes());
+            PIM_TRACE_COUNTER("trace.compression_ratio",
+                              compact.CompressionRatio());
+        }
         recorder_.reset();
     }
+}
+
+sim::CompactTrace
+ExecutionContext::DetachCompactTrace()
+{
+    port_.Rebind(hierarchy_.Top());
+    sim::CompactTrace trace;
+    if (compact_recorder_) {
+        trace = compact_recorder_->Finish();
+        PIM_TRACE_COUNTER("trace.bytes", trace.RawBytes());
+        PIM_TRACE_COUNTER("trace.compact_bytes", trace.SizeBytes());
+        PIM_TRACE_COUNTER("trace.compression_ratio",
+                          trace.CompressionRatio());
+        compact_recorder_.reset();
+    }
+    return trace;
 }
 
 void

@@ -24,6 +24,7 @@
 #include "sim/op_counter.h"
 #include "sim/timing_model.h"
 #include "sim/trace.h"
+#include "sim/trace_codec.h"
 
 namespace pim::core {
 
@@ -106,9 +107,33 @@ class ExecutionContext
      * Stop tracing; accesses go straight to the hierarchy again.  The
      * recorded trace is shrunk to fit (recording grows geometrically,
      * so up to half the backing store may be slack) and its final
-     * footprint is reported as the `trace.bytes` telemetry counter.
+     * footprint is reported as the `trace.bytes` telemetry counter —
+     * with `trace.compact_bytes` / `trace.compression_ratio` alongside
+     * (what the compact codec would save) when tracing is enabled.
      */
     void DetachTrace();
+
+    /**
+     * Tee every subsequent access into a compact encoder
+     * (sim/trace_codec.h) instead of a raw trace: the recording's
+     * resident footprint is the encoded size, never the 8-byte form.
+     * Collect the result with DetachCompactTrace().
+     */
+    void
+    AttachCompactTrace()
+    {
+        compact_recorder_ =
+            std::make_unique<sim::CompactTraceRecorder>(
+                hierarchy_.Top());
+        port_.Rebind(*compact_recorder_);
+    }
+
+    /**
+     * Stop compact recording and return the encoded stream, reporting
+     * the same trace.* telemetry counters DetachTrace does.  Returns
+     * an empty trace if AttachCompactTrace was never called.
+     */
+    sim::CompactTrace DetachCompactTrace();
 
   private:
     ExecutionTarget target_;
@@ -116,6 +141,7 @@ class ExecutionContext
     sim::MemoryHierarchy hierarchy_;
     sim::EnergyModel energy_model_;
     std::unique_ptr<sim::TraceRecorder> recorder_;
+    std::unique_ptr<sim::CompactTraceRecorder> compact_recorder_;
     sim::MemPort port_;
     sim::OpCounter ops_;
 };

@@ -7,35 +7,39 @@
 
 namespace pim::sim {
 
-Cache::Cache(const CacheConfig &config, MemorySink &below)
-    : config_(config), below_(&below)
+CacheGeometry::CacheGeometry(const CacheConfig &config)
 {
-    PIM_ASSERT(config_.line_bytes > 0 &&
-                   (config_.line_bytes & (config_.line_bytes - 1)) == 0,
+    PIM_ASSERT(config.line_bytes > 0 &&
+                   (config.line_bytes & (config.line_bytes - 1)) == 0,
                "line size must be a power of two");
-    PIM_ASSERT(config_.associativity > 0, "associativity must be nonzero");
-    const Bytes set_bytes = config_.line_bytes * config_.associativity;
-    PIM_ASSERT(config_.size % set_bytes == 0,
+    PIM_ASSERT(config.associativity > 0, "associativity must be nonzero");
+    const Bytes set_bytes = config.line_bytes * config.associativity;
+    PIM_ASSERT(config.size % set_bytes == 0,
                "cache size %llu not divisible by assoc*line %llu",
-               static_cast<unsigned long long>(config_.size),
+               static_cast<unsigned long long>(config.size),
                static_cast<unsigned long long>(set_bytes));
-    num_sets_ = config_.size / set_bytes;
-    lines_.resize(num_sets_ * config_.associativity);
+    num_sets = config.size / set_bytes;
+    line_shift = static_cast<std::uint32_t>(
+        std::countr_zero(config.line_bytes));
+    line_mask = config.line_bytes - 1;
+    pow2_sets = (num_sets & (num_sets - 1)) == 0;
+    set_mask = num_sets - 1;
+}
 
-    line_shift_ = static_cast<std::uint32_t>(
-        std::countr_zero(config_.line_bytes));
-    line_mask_ = config_.line_bytes - 1;
-    pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
-    set_mask_ = num_sets_ - 1;
+Cache::Cache(const CacheConfig &config, MemorySink &below)
+    : config_(config), below_(&below), geom_(config)
+{
+    lines_.resize(geom_.num_sets * config_.associativity);
 
     const std::uint32_t assoc = config_.associativity;
     const bool pow2_assoc = (assoc & (assoc - 1)) == 0;
     const auto way_shift =
         static_cast<std::uint32_t>(std::countr_zero(assoc));
-    fast_batch_ = pow2_sets_ && pow2_assoc && way_shift <= line_shift_;
+    fast_batch_ =
+        geom_.pow2_sets && pow2_assoc && way_shift <= geom_.line_shift;
     if (fast_batch_) {
-        slot_shift_ = line_shift_ - way_shift;
-        slot_mask_ = set_mask_ << way_shift;
+        slot_shift_ = geom_.line_shift - way_shift;
+        slot_mask_ = geom_.set_mask << way_shift;
     }
 }
 
@@ -84,7 +88,7 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
     std::size_t i = 0;
     while (i < count) {
         Line *const lines = lines_.data();
-        const Address line_mask = line_mask_;
+        const Address line_mask = geom_.line_mask;
         const std::uint32_t slot_shift = slot_shift_;
         const std::size_t slot_mask = slot_mask_;
         // Degrades to re-checking way 0 on direct-mapped caches.
@@ -233,8 +237,8 @@ inline void
 Cache::AccessSpan(Address addr, Bytes bytes, AccessType type)
 {
     const Bytes line = config_.line_bytes;
-    Address cur = addr & ~line_mask_;
-    const Address last = (addr + (bytes - 1)) & ~line_mask_;
+    Address cur = geom_.LineAddr(addr);
+    const Address last = geom_.LineAddr(addr + (bytes - 1));
     for (;;) {
         ProbeLine(cur, type);
         if (cur == last) {
@@ -361,10 +365,10 @@ Cache::FlushRange(Address base, Bytes bytes)
         return 0;
     }
     const Bytes line = config_.line_bytes;
-    Address cur = base & ~line_mask_;
+    Address cur = geom_.LineAddr(base);
     // Last-line formulation: safe for ranges ending at the top of the
     // address space (see AccessSpan).
-    const Address last = (base + (bytes - 1)) & ~line_mask_;
+    const Address last = geom_.LineAddr(base + (bytes - 1));
     std::uint64_t flushed = 0;
     for (;;) {
         const std::size_t set = SetIndex(cur);
@@ -393,7 +397,7 @@ Cache::FlushRange(Address base, Bytes bytes)
 bool
 Cache::Contains(Address addr) const
 {
-    const Address line_addr = addr & ~line_mask_;
+    const Address line_addr = geom_.LineAddr(addr);
     const std::size_t set = SetIndex(line_addr);
     const Line *base = &lines_[set * config_.associativity];
     for (std::uint32_t way = 0; way < config_.associativity; ++way) {

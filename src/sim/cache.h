@@ -65,6 +65,53 @@ struct CacheStats
                           : static_cast<double>(Misses()) /
                                 static_cast<double>(total);
     }
+
+    /** Accumulate another level-slice's counters (sharded replay). */
+    CacheStats &
+    operator+=(const CacheStats &other)
+    {
+        read_hits += other.read_hits;
+        read_misses += other.read_misses;
+        write_hits += other.write_hits;
+        write_misses += other.write_misses;
+        writebacks += other.writebacks;
+        return *this;
+    }
+};
+
+/**
+ * Precomputed set-indexing geometry of one cache level: the
+ * shift/mask pipeline every probe uses, derived once from a
+ * CacheConfig (with the config validity checks).  Shared between
+ * Cache itself and the set-sharded replay partitioner, which must
+ * route accesses by the *same* set function the cache will apply.
+ */
+struct CacheGeometry
+{
+    /** Validates the config (power-of-two line, divisible size). */
+    explicit CacheGeometry(const CacheConfig &config);
+
+    std::size_t num_sets = 0;
+    std::uint32_t line_shift = 0; ///< log2(line_bytes)
+    Address line_mask = 0;        ///< line_bytes - 1
+    std::size_t set_mask = 0;     ///< num_sets - 1, valid when pow2_sets
+    bool pow2_sets = false;
+
+    /** First byte of the line containing @p addr. */
+    Address LineAddr(Address addr) const { return addr & ~line_mask; }
+
+    /** Line number (address / line_bytes). */
+    Address LineNumber(Address addr) const { return addr >> line_shift; }
+
+    /** Set index the cache will probe for the line containing @p addr. */
+    std::size_t
+    SetIndex(Address addr) const
+    {
+        const Address line_no = addr >> line_shift;
+        return pow2_sets
+                   ? static_cast<std::size_t>(line_no) & set_mask
+                   : static_cast<std::size_t>(line_no % num_sets);
+    }
 };
 
 /**
@@ -103,6 +150,7 @@ class Cache final : public MemorySink
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
+    const CacheGeometry &geometry() const { return geom_; }
 
     /** Zero the statistics; contents are kept. */
     void ResetStats() { stats_ = CacheStats{}; }
@@ -133,25 +181,17 @@ class Cache final : public MemorySink
     std::size_t
     SetIndex(Address line_addr) const
     {
-        const Address line_no = line_addr >> line_shift_;
-        return pow2_sets_
-                   ? static_cast<std::size_t>(line_no) & set_mask_
-                   : static_cast<std::size_t>(line_no % num_sets_);
+        return geom_.SetIndex(line_addr);
     }
 
     CacheConfig config_;
     MemorySink *below_;
+    // Precomputed set-index geometry (shifts and masks instead of
+    // / and % on every probe); also consumed by ShardedReplay.
+    CacheGeometry geom_;
     std::vector<Line> lines_; // sets_ x associativity, row-major
-    std::size_t num_sets_;
     std::uint64_t tick_ = 0;
     CacheStats stats_;
-
-    // Precomputed geometry (line size and set count are fixed at
-    // construction): probes use shifts and masks instead of / and %.
-    std::uint32_t line_shift_ = 0;
-    Address line_mask_ = 0;   // line_bytes - 1
-    std::size_t set_mask_ = 0; // num_sets - 1, valid when pow2_sets_
-    bool pow2_sets_ = false;
 
     // Combined slot addressing for the batched fast path:
     // set * assoc == (line >> slot_shift_) & slot_mask_, one shift and

@@ -63,6 +63,17 @@ struct DramStats
     {
         return read_requests + write_requests;
     }
+
+    /** Accumulate another device-slice's traffic (sharded replay). */
+    DramStats &
+    operator+=(const DramStats &other)
+    {
+        read_requests += other.read_requests;
+        write_requests += other.write_requests;
+        read_bytes += other.read_bytes;
+        write_bytes += other.write_bytes;
+        return *this;
+    }
 };
 
 /** Terminal MemorySink: counts traffic reaching the memory device. */

@@ -42,6 +42,23 @@ struct PerfCounters
         return 1000.0 * static_cast<double>(misses) /
                static_cast<double>(instructions);
     }
+
+    /**
+     * Accumulate the counters of another hierarchy slice.  Every field
+     * is a plain sum, which is what makes set-sharded replay exact:
+     * each shard's private hierarchy counts a disjoint subset of the
+     * probes, and the union of subsets is the serial replay.  has_llc
+     * must agree (both slices model the same hierarchy shape).
+     */
+    PerfCounters &
+    operator+=(const PerfCounters &other)
+    {
+        l1 += other.l1;
+        llc += other.llc;
+        has_llc = has_llc || other.has_llc;
+        dram += other.dram;
+        return *this;
+    }
 };
 
 } // namespace pim::sim

@@ -1,0 +1,265 @@
+#include "sim/sharded_replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <vector>
+
+#include "telemetry/span_tracer.h"
+
+namespace pim::sim {
+
+namespace {
+
+/**
+ * Partition @p count packed entries into @p shards per-shard buckets,
+ * splitting accesses that span a stripe boundary at that boundary
+ * (boundaries are line-aligned, so per-line probes are unchanged; see
+ * the header's correctness argument).  Sets *overflow* and stops if an
+ * access extends past TraceEntry::kMaxAddr — its split sub-entries
+ * would not be representable as packed entries, so the caller falls
+ * back to serial replay.
+ */
+void
+PartitionEntries(const TraceEntry *entries, std::size_t count,
+                 std::uint32_t block_shift, unsigned shards,
+                 std::vector<TraceEntry> *out,
+                 std::atomic<bool> *overflow)
+{
+    const Address shard_mask = shards - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEntry e = entries[i];
+        const Bytes bytes = e.bytes();
+        if (bytes == 0) {
+            continue; // counter-neutral on every replay path
+        }
+        const Address addr = e.addr();
+        const Address last = addr + bytes - 1;
+        if (last > TraceEntry::kMaxAddr) [[unlikely]] {
+            overflow->store(true, std::memory_order_relaxed);
+            return;
+        }
+        const Address first_block = addr >> block_shift;
+        const Address last_block = last >> block_shift;
+        if (first_block == last_block) [[likely]] {
+            out[first_block & shard_mask].push_back(e);
+            continue;
+        }
+        Address seg_start = addr;
+        for (Address blk = first_block; blk <= last_block; ++blk) {
+            const Address blk_last = ((blk + 1) << block_shift) - 1;
+            const Address seg_last = std::min(last, blk_last);
+            out[blk & shard_mask].emplace_back(
+                seg_start, seg_last - seg_start + 1, e.type());
+            seg_start = seg_last + 1;
+        }
+    }
+}
+
+/** The trivially-identical path every unsupported case lands on. */
+template <typename TraceT>
+PerfCounters
+SerialReplay(const TraceT &trace, const HierarchyConfig &config)
+{
+    MemoryHierarchy mh(config);
+    trace.ReplayInto(mh.Top());
+    return mh.Snapshot();
+}
+
+} // namespace
+
+ShardedReplayPlan
+ShardedReplay::PlanFor(const HierarchyConfig &config,
+                       unsigned shard_limit)
+{
+    ShardedReplayPlan plan;
+    const CacheGeometry l1(config.l1);
+    if (!l1.pow2_sets) {
+        plan.why = "L1 set count is not a power of two";
+        return plan;
+    }
+    // Periods, in units of L1 lines: striding an address by the period
+    // returns to the same set at that level.  A valid shard key's
+    // stripe pattern must repeat with (i.e. divide) both periods; for
+    // powers of two that means S << B <= min of them.
+    auto log2_of = [](std::size_t v) {
+        return static_cast<std::uint32_t>(std::countr_zero(v));
+    };
+    std::uint32_t log2_period = log2_of(l1.num_sets);
+    std::uint32_t ratio_shift = 0; // log2(llc_line / l1_line)
+    if (config.llc.has_value()) {
+        const CacheGeometry llc(*config.llc);
+        if (!llc.pow2_sets) {
+            plan.why = "LLC set count is not a power of two";
+            return plan;
+        }
+        if (llc.line_shift < l1.line_shift) {
+            plan.why = "LLC line smaller than L1 line";
+            return plan;
+        }
+        // One L1-line miss must land in exactly one shard's LLC set,
+        // so a stripe block must cover whole LLC lines: B >= ratio.
+        ratio_shift = llc.line_shift - l1.line_shift;
+        log2_period = std::min(log2_period,
+                               log2_of(llc.num_sets) + ratio_shift);
+    }
+    if (log2_period <= ratio_shift) {
+        plan.why = "hierarchy has too few sets to stripe";
+        return plan;
+    }
+    std::uint32_t log2_shards =
+        shard_limit == 0
+            ? 0
+            : static_cast<std::uint32_t>(std::bit_width(shard_limit)) -
+                  1;
+    log2_shards = std::min(log2_shards, log2_period - ratio_shift);
+    if (log2_shards < 1) {
+        plan.why = "fewer than two shards possible";
+        return plan;
+    }
+    // Block-cyclic striping: 2^B contiguous lines per stripe (default
+    // 16 => 1 KiB stripes at 64 B lines) keeps typical multi-line
+    // accesses inside one shard, subject to B >= ratio and
+    // S << B dividing the period.
+    const std::uint32_t log2_block = std::max(
+        ratio_shift, std::min(4u, log2_period - log2_shards));
+    plan.supported = true;
+    plan.shards = 1u << log2_shards;
+    plan.block_lines = 1u << log2_block;
+    plan.block_shift = l1.line_shift + log2_block;
+    plan.why = "";
+    return plan;
+}
+
+namespace {
+
+/**
+ * Phase B, common to both trace forms: one private cold hierarchy per
+ * shard replays that shard's buckets in chunk order (== trace order
+ * restricted to the shard), then the disjoint slices are summed.
+ */
+PerfCounters
+ReplayBuckets(const SweepRunner &runner,
+              const std::vector<std::vector<TraceEntry>> &buckets,
+              std::size_t chunks, unsigned shards,
+              const HierarchyConfig &config)
+{
+    std::vector<PerfCounters> parts(shards);
+    runner.ForEach(shards, [&](std::size_t s) {
+        PIM_TRACE_SPAN("sweep", "shard_replay[" + std::to_string(s) +
+                                    "]");
+        MemoryHierarchy mh(config);
+        MemorySink &top = mh.Top();
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const auto &bucket = buckets[c * shards + s];
+            if (!bucket.empty()) {
+                top.AccessBatch(bucket.data(), bucket.size());
+            }
+        }
+        parts[s] = mh.Snapshot();
+    });
+    PerfCounters total = parts[0];
+    for (unsigned s = 1; s < shards; ++s) {
+        total += parts[s];
+    }
+    return total;
+}
+
+} // namespace
+
+PerfCounters
+ShardedReplay::Replay(const AccessTrace &trace,
+                      const HierarchyConfig &config) const
+{
+    const ShardedReplayPlan plan =
+        PlanFor(config, runner_.thread_count());
+    if (!plan.supported || trace.empty()) {
+        return SerialReplay(trace, config);
+    }
+    PIM_TRACE_SPAN("sweep", "ShardedReplay");
+    const unsigned shards = plan.shards;
+
+    // Phase A: partition in parallel over contiguous trace chunks.
+    // Each chunk fills its own row of buckets, so phase B can stream
+    // the rows in chunk order and every shard sees its accesses in
+    // global trace order.
+    constexpr std::size_t kMinChunkEntries = 1 << 14;
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               runner_.thread_count(),
+               (trace.size() + kMinChunkEntries - 1) /
+                   kMinChunkEntries));
+    const std::size_t per_chunk = (trace.size() + chunks - 1) / chunks;
+    std::vector<std::vector<TraceEntry>> buckets(chunks * shards);
+    std::atomic<bool> overflow{false};
+    runner_.ForEach(chunks, [&](std::size_t c) {
+        PIM_TRACE_SPAN("sweep",
+                       "shard_partition[" + std::to_string(c) + "]");
+        const std::size_t begin = c * per_chunk;
+        const std::size_t end =
+            std::min(trace.size(), begin + per_chunk);
+        std::vector<TraceEntry> *out = &buckets[c * shards];
+        for (unsigned s = 0; s < shards; ++s) {
+            out[s].reserve((end - begin) / shards + 16);
+        }
+        PartitionEntries(trace.data() + begin, end - begin,
+                         plan.block_shift, shards, out, &overflow);
+    });
+    if (overflow.load(std::memory_order_relaxed)) {
+        return SerialReplay(trace, config);
+    }
+    return ReplayBuckets(runner_, buckets, chunks, shards, config);
+}
+
+PerfCounters
+ShardedReplay::Replay(const CompactTrace &trace,
+                      const HierarchyConfig &config) const
+{
+    const ShardedReplayPlan plan =
+        PlanFor(config, runner_.thread_count());
+    if (!plan.supported || trace.empty()) {
+        return SerialReplay(trace, config);
+    }
+    PIM_TRACE_SPAN("sweep", "ShardedReplay(compact)");
+    const unsigned shards = plan.shards;
+
+    // Phase A over encoded blocks: each chunk of blocks decodes into a
+    // stack buffer and partitions from there, so the raw form of the
+    // trace never materializes.
+    const std::size_t block_count = trace.BlockCount();
+    const std::size_t chunks = std::max<std::size_t>(
+        1,
+        std::min<std::size_t>(runner_.thread_count(), block_count));
+    const std::size_t per_chunk =
+        (block_count + chunks - 1) / chunks;
+    std::vector<std::vector<TraceEntry>> buckets(chunks * shards);
+    std::atomic<bool> overflow{false};
+    runner_.ForEach(chunks, [&](std::size_t c) {
+        PIM_TRACE_SPAN("sweep",
+                       "shard_partition[" + std::to_string(c) + "]");
+        const std::size_t begin = c * per_chunk;
+        const std::size_t end =
+            std::min(block_count, begin + per_chunk);
+        std::vector<TraceEntry> *out = &buckets[c * shards];
+        for (unsigned s = 0; s < shards; ++s) {
+            out[s].reserve((end - begin) * CompactTrace::kBlockEntries /
+                               (2 * shards) +
+                           16);
+        }
+        TraceEntry buffer[CompactTrace::kBlockEntries];
+        for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t n = trace.DecodeBlock(b, buffer);
+            PartitionEntries(buffer, n, plan.block_shift, shards, out,
+                             &overflow);
+            if (overflow.load(std::memory_order_relaxed)) {
+                return;
+            }
+        }
+    });
+    if (overflow.load(std::memory_order_relaxed)) {
+        return SerialReplay(trace, config);
+    }
+    return ReplayBuckets(runner_, buckets, chunks, shards, config);
+}
+
+} // namespace pim::sim

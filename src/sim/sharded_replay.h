@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Set-sharded intra-trace parallel replay.
+ *
+ * The sweep engines (sim/sweep.h) parallelize *across* configurations;
+ * a single (trace, config) replay — the `pim_run --kernel X` path and
+ * every per-kernel figure run — was still one thread.  ShardedReplay
+ * parallelizes *within* one replay, bit-identically:
+ *
+ * Why sharding by set is exact.  The cache model's counters for a
+ * probe depend only on the state of the probed set, and a set's state
+ * depends only on the ordered subsequence of probes to that set
+ * (per-set LRU; the global tick stamps only ever compare within a
+ * set, so any order-preserving relabeling leaves every replacement
+ * decision unchanged).  Partition the sets among shards, give each
+ * shard a private cold hierarchy, and route each access to the shard
+ * owning its set *preserving trace order within the shard*: every set
+ * then sees exactly the probe subsequence it saw serially, so each
+ * per-set counter evolution is identical and the per-level totals are
+ * the disjoint-union sums (PerfCounters::operator+=).  DRAM counters
+ * are purely additive, so they merge exactly too.
+ *
+ * The shard key must respect BOTH cache levels: an L1 set's miss
+ * stream feeds fixed LLC sets, so a valid key maps every L1 set and
+ * every LLC set wholly into one shard.  With power-of-two geometry,
+ *   shard(addr) = (addr >> (l1_line_shift + B)) & (S - 1)
+ * works whenever S * 2^B divides both periods (the L1 set count, and
+ * the LLC set count scaled to L1-line units) and a block covers at
+ * least one LLC line (2^B >= llc_line/l1_line).  B > 0 ("block-cyclic"
+ * striping) keeps most multi-line accesses inside one shard; accesses
+ * that do span a block boundary are split at it — block boundaries
+ * are line-aligned, so each cache line still receives exactly the
+ * probes, in the order, that Cache::AccessSpan would generate.
+ *
+ * Replay runs in two phases on SweepRunner::ForEach: (A) parallel
+ * partition of the trace into per-(chunk, shard) entry buckets, and
+ * (B) one private MemoryHierarchy per shard replaying its buckets in
+ * chunk order through the batched fast path.  When the geometry does
+ * not admit a valid key (non-pow2 set counts, LLC lines smaller than
+ * L1 lines, fewer than two shards possible) — or when a trace entry
+ * spans past TraceEntry::kMaxAddr, whose split sub-entries a packed
+ * entry cannot represent — the engine falls back to the serial
+ * replay, which is trivially bit-identical.
+ */
+
+#ifndef PIM_SIM_SHARDED_REPLAY_H
+#define PIM_SIM_SHARDED_REPLAY_H
+
+#include <cstdint>
+
+#include "sim/hierarchy.h"
+#include "sim/perf_counters.h"
+#include "sim/sweep.h"
+#include "sim/trace.h"
+#include "sim/trace_codec.h"
+
+namespace pim::sim {
+
+/** How a ShardedReplay will (or won't) split a given hierarchy. */
+struct ShardedReplayPlan
+{
+    bool supported = false;      ///< False => serial fallback.
+    unsigned shards = 1;         ///< S, a power of two >= 2 if supported.
+    std::uint32_t block_lines = 1; ///< Contiguous L1 lines per stripe.
+    std::uint32_t block_shift = 0; ///< shard = (addr>>shift) & (S-1).
+    const char *why = "";        ///< Reason when !supported.
+};
+
+/** Intra-trace parallel replay of one trace through one hierarchy. */
+class ShardedReplay
+{
+  public:
+    /** @param runner supplies the worker pool and the shard budget. */
+    explicit ShardedReplay(SweepRunner runner = SweepRunner{})
+        : runner_(runner)
+    {
+    }
+
+    /**
+     * The sharding a replay of @p config would use with at most
+     * @p shard_limit shards (normally the runner's thread count).
+     */
+    static ShardedReplayPlan PlanFor(const HierarchyConfig &config,
+                                     unsigned shard_limit);
+
+    /**
+     * Replay @p trace through a cold hierarchy of shape @p config and
+     * return its counter snapshot — bit-identical to
+     * SweepRunner::ReplayTrace's single-config result for any shard or
+     * thread count.
+     */
+    PerfCounters Replay(const AccessTrace &trace,
+                        const HierarchyConfig &config) const;
+
+    /** Same, decoding a compact trace block-by-block while sharding. */
+    PerfCounters Replay(const CompactTrace &trace,
+                        const HierarchyConfig &config) const;
+
+    const SweepRunner &runner() const { return runner_; }
+
+  private:
+    SweepRunner runner_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_SHARDED_REPLAY_H

@@ -41,12 +41,30 @@ EnvThreadOverride()
     return static_cast<unsigned>(v);
 }
 
+/** SetDefaultThreads override; beats the environment when nonzero. */
+std::atomic<unsigned> g_default_threads{0};
+
 } // namespace
+
+void
+SweepRunner::SetDefaultThreads(unsigned threads)
+{
+    g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned
+SweepRunner::default_threads()
+{
+    return g_default_threads.load(std::memory_order_relaxed);
+}
 
 SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
 {
     if (threads_ == 0) {
-        threads_ = EnvThreadOverride();
+        threads_ = default_threads(); // --threads flag
+    }
+    if (threads_ == 0) {
+        threads_ = EnvThreadOverride(); // PIM_SWEEP_THREADS
     }
     if (threads_ == 0) {
         threads_ = std::thread::hardware_concurrency();
@@ -112,18 +130,44 @@ SweepRunner::ForEach(std::size_t jobs,
     }
 }
 
+namespace {
+
+/**
+ * Engine bodies are templates over the trace form: AccessTrace and
+ * CompactTrace share the ReplayInto contract (identical batched entry
+ * stream into the sink), which is the only way the engines touch the
+ * trace — so each engine is written once and the compact overloads
+ * cannot drift from the raw ones.
+ */
+template <typename TraceT>
 std::vector<PerfCounters>
-SweepRunner::ReplayTrace(const AccessTrace &trace,
-                         const std::vector<HierarchyConfig> &configs) const
+ReplayTraceImpl(const SweepRunner &runner, const TraceT &trace,
+                const std::vector<HierarchyConfig> &configs)
 {
     std::vector<PerfCounters> results(configs.size());
-    ForEach(configs.size(), [&](std::size_t i) {
+    runner.ForEach(configs.size(), [&](std::size_t i) {
         PIM_TRACE_SPAN("sweep", "replay[" + std::to_string(i) + "]");
         MemoryHierarchy mh(configs[i]);
         trace.ReplayInto(mh.Top());
         results[i] = mh.Snapshot();
     });
     return results;
+}
+
+} // namespace
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTrace(const AccessTrace &trace,
+                         const std::vector<HierarchyConfig> &configs) const
+{
+    return ReplayTraceImpl(*this, trace, configs);
+}
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTrace(const CompactTrace &trace,
+                         const std::vector<HierarchyConfig> &configs) const
+{
+    return ReplayTraceImpl(*this, trace, configs);
 }
 
 namespace {
@@ -135,12 +179,10 @@ struct FanoutShard
     std::vector<std::size_t> members; ///< Indices into `configs`.
 };
 
-} // namespace
-
+template <typename TraceT>
 std::vector<PerfCounters>
-SweepRunner::ReplayTraceFanout(
-    const AccessTrace &trace,
-    const std::vector<HierarchyConfig> &configs) const
+ReplayTraceFanoutImpl(const SweepRunner &runner, const TraceT &trace,
+                      const std::vector<HierarchyConfig> &configs)
 {
     std::vector<PerfCounters> results(configs.size());
     if (configs.empty()) {
@@ -163,7 +205,8 @@ SweepRunner::ReplayTraceFanout(
     // shard never exceeds ceil(configs / threads) members, which keeps
     // every worker busy once there are at least `threads_` configs.
     const std::size_t shard_cap = std::max<std::size_t>(
-        1, (configs.size() + threads_ - 1) / threads_);
+        1, (configs.size() + runner.thread_count() - 1) /
+               runner.thread_count());
     std::vector<FanoutShard> shards;
     for (const auto &[key, members] : groups) {
         for (std::size_t begin = 0; begin < members.size();
@@ -178,7 +221,7 @@ SweepRunner::ReplayTraceFanout(
         }
     }
 
-    ForEach(shards.size(), [&](std::size_t s) {
+    runner.ForEach(shards.size(), [&](std::size_t s) {
         const FanoutShard &shard = shards[s];
         PIM_TRACE_SPAN("sweep",
                        "fanout[" + std::to_string(s) + "]x" +
@@ -222,6 +265,24 @@ SweepRunner::ReplayTraceFanout(
     return results;
 }
 
+} // namespace
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTraceFanout(
+    const AccessTrace &trace,
+    const std::vector<HierarchyConfig> &configs) const
+{
+    return ReplayTraceFanoutImpl(*this, trace, configs);
+}
+
+std::vector<PerfCounters>
+SweepRunner::ReplayTraceFanout(
+    const CompactTrace &trace,
+    const std::vector<HierarchyConfig> &configs) const
+{
+    return ReplayTraceFanoutImpl(*this, trace, configs);
+}
+
 namespace {
 
 /** LLC design points sharing one profiling pass. */
@@ -233,12 +294,11 @@ struct ProfileGroup
     std::vector<std::uint32_t> assocs;    ///< Parallel to points.
 };
 
-} // namespace
-
+template <typename TraceT>
 std::vector<PerfCounters>
-SweepRunner::ProfileLlcSweep(
-    const AccessTrace &trace, const HierarchyConfig &base,
-    const std::vector<CacheConfig> &llc_points) const
+ProfileLlcSweepImpl(const SweepRunner &runner, const TraceT &trace,
+                    const HierarchyConfig &base,
+                    const std::vector<CacheConfig> &llc_points)
 {
     std::vector<PerfCounters> results(llc_points.size());
     if (llc_points.empty()) {
@@ -292,7 +352,7 @@ SweepRunner::ProfileLlcSweep(
 
     // Pass 2 (per group): one profiling pass over the miss stream,
     // then an O(histogram) analytic readout per design point.
-    ForEach(pgroups.size(), [&](std::size_t g) {
+    runner.ForEach(pgroups.size(), [&](std::size_t g) {
         const ProfileGroup &pg = pgroups[g];
         PIM_TRACE_SPAN("sweep",
                        "profile_pass[" + std::to_string(g) + "]x" +
@@ -314,6 +374,24 @@ SweepRunner::ProfileLlcSweep(
         }
     });
     return results;
+}
+
+} // namespace
+
+std::vector<PerfCounters>
+SweepRunner::ProfileLlcSweep(
+    const AccessTrace &trace, const HierarchyConfig &base,
+    const std::vector<CacheConfig> &llc_points) const
+{
+    return ProfileLlcSweepImpl(*this, trace, base, llc_points);
+}
+
+std::vector<PerfCounters>
+SweepRunner::ProfileLlcSweep(
+    const CompactTrace &trace, const HierarchyConfig &base,
+    const std::vector<CacheConfig> &llc_points) const
+{
+    return ProfileLlcSweepImpl(*this, trace, base, llc_points);
 }
 
 } // namespace pim::sim

@@ -38,6 +38,7 @@
 #include "sim/hierarchy.h"
 #include "sim/perf_counters.h"
 #include "sim/trace.h"
+#include "sim/trace_codec.h"
 
 namespace pim::sim {
 
@@ -64,6 +65,18 @@ class SweepRunner
     unsigned thread_count() const { return threads_; }
 
     /**
+     * Process-wide default worker count for runners constructed with
+     * threads == 0, taking precedence over PIM_SWEEP_THREADS (the
+     * benches' --threads flag lands here: flag > env > hardware
+     * concurrency).  0 clears the override.  Not synchronized with
+     * concurrent SweepRunner construction — set it during CLI parsing.
+     */
+    static void SetDefaultThreads(unsigned threads);
+
+    /** The current SetDefaultThreads override (0 = none). */
+    static unsigned default_threads();
+
+    /**
      * Invoke fn(i) for every i in [0, jobs), distributed over the
      * pool; blocks until all jobs finish.  Jobs are claimed from a
      * shared atomic counter, so long and short jobs load-balance.
@@ -86,6 +99,17 @@ class SweepRunner
                 const std::vector<HierarchyConfig> &configs) const;
 
     /**
+     * CompactTrace twin.  All three engines also accept the compact
+     * encoded form (sim/trace_codec.h): replay decodes block-by-block
+     * into the same batched entry stream, so counters are identical to
+     * the raw-trace overloads while the trace's resident footprint is
+     * its encoded size.
+     */
+    std::vector<PerfCounters>
+    ReplayTrace(const CompactTrace &trace,
+                const std::vector<HierarchyConfig> &configs) const;
+
+    /**
      * Fan-out replay: counters bit-identical to ReplayTrace, but
      * configs with the same L1 geometry share one L1 simulation whose
      * miss batches feed every member's LLC/DRAM stack while hot
@@ -96,6 +120,11 @@ class SweepRunner
      */
     std::vector<PerfCounters>
     ReplayTraceFanout(const AccessTrace &trace,
+                      const std::vector<HierarchyConfig> &configs) const;
+
+    /** CompactTrace twin of ReplayTraceFanout (see ReplayTrace). */
+    std::vector<PerfCounters>
+    ReplayTraceFanout(const CompactTrace &trace,
                       const std::vector<HierarchyConfig> &configs) const;
 
     /**
@@ -118,6 +147,12 @@ class SweepRunner
      */
     std::vector<PerfCounters>
     ProfileLlcSweep(const AccessTrace &trace,
+                    const HierarchyConfig &base,
+                    const std::vector<CacheConfig> &llc_points) const;
+
+    /** CompactTrace twin of ProfileLlcSweep (see ReplayTrace). */
+    std::vector<PerfCounters>
+    ProfileLlcSweep(const CompactTrace &trace,
                     const HierarchyConfig &base,
                     const std::vector<CacheConfig> &llc_points) const;
 

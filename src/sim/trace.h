@@ -36,6 +36,11 @@ class AccessTrace
             Grow(1);
         }
         entries_.emplace_back(addr, bytes, type);
+        if (type == AccessType::kRead) {
+            read_bytes_ += bytes;
+        } else {
+            write_bytes_ += bytes;
+        }
     }
 
     /** Bulk-append @p count already-packed entries. */
@@ -46,6 +51,13 @@ class AccessTrace
             Grow(count);
         }
         entries_.insert(entries_.end(), entries, entries + count);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (entries[i].type() == AccessType::kRead) {
+                read_bytes_ += entries[i].bytes();
+            } else {
+                write_bytes_ += entries[i].bytes();
+            }
+        }
     }
 
     /** Pre-size the backing store for @p count total entries. */
@@ -75,16 +87,17 @@ class AccessTrace
     }
     const TraceEntry *data() const { return entries_.data(); }
 
-    /** Total bytes accessed (reads + writes). */
-    Bytes
-    TotalBytes() const
-    {
-        Bytes total = 0;
-        for (const auto &e : entries_) {
-            total += e.bytes();
-        }
-        return total;
-    }
+    /**
+     * Total bytes accessed (reads + writes).  O(1): running totals are
+     * maintained by Append rather than re-scanning the entry array
+     * (this is queried per kernel per report, and traces reach 10^8
+     * entries).
+     */
+    Bytes TotalBytes() const { return read_bytes_ + write_bytes_; }
+
+    /** Bytes accessed by reads / by writes, also O(1). */
+    Bytes read_bytes() const { return read_bytes_; }
+    Bytes write_bytes() const { return write_bytes_; }
 
     /** Replay every access into @p sink, in order (batched fast path). */
     void
@@ -131,6 +144,8 @@ class AccessTrace
     }
 
     std::vector<TraceEntry> entries_;
+    Bytes read_bytes_ = 0;
+    Bytes write_bytes_ = 0;
 };
 
 /**

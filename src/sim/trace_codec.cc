@@ -1,0 +1,120 @@
+#include "sim/trace_codec.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pim::sim {
+
+CompactTrace
+CompactTraceEncoder::Finish()
+{
+    if (block_entries_ != 0) {
+        EndBlock();
+    } else {
+        FlushRun();
+    }
+    CompactTrace trace;
+    trace.data_ = std::move(data_);
+    trace.data_.shrink_to_fit();
+    trace.blocks_ = std::move(blocks_);
+    trace.blocks_.shrink_to_fit();
+    trace.entries_ = entries_;
+    trace.read_bytes_ = read_bytes_;
+    trace.write_bytes_ = write_bytes_;
+    *this = CompactTraceEncoder{};
+    return trace;
+}
+
+namespace {
+
+inline std::uint64_t
+GetVarint(const std::uint8_t *&p)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const std::uint8_t b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if ((b & 0x80) == 0) {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+inline std::int64_t
+UnZigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+} // namespace
+
+std::size_t
+CompactTrace::DecodeBlock(std::size_t b, TraceEntry *out) const
+{
+    PIM_ASSERT(b < blocks_.size(), "block index out of range");
+    const std::uint8_t *p = data_.data() + blocks_[b].offset;
+    const std::size_t n = blocks_[b].count;
+
+    CompactTraceEncoder::Context ctx[2];
+    std::size_t i = 0;
+    while (i < n) {
+        const std::uint8_t header = *p++;
+        const std::size_t t = (header >> 6) & 1;
+        CompactTraceEncoder::Context &c = ctx[t];
+        if (header & 0x80) {
+            // Run: `len` repeats of the same-type context's stride.
+            std::uint64_t len = header & 63;
+            len = (len == 63) ? GetVarint(p) + 64 : len + 1;
+            const AccessType type =
+                t ? AccessType::kWrite : AccessType::kRead;
+            for (std::uint64_t k = 0; k < len; ++k) {
+                c.last_addr += static_cast<std::uint64_t>(c.last_delta);
+                out[i++] = TraceEntry(c.last_addr, c.last_bytes, type);
+            }
+            continue;
+        }
+        const std::int64_t delta =
+            (header & 0x20) ? c.last_delta : UnZigzag(GetVarint(p));
+        Bytes bytes;
+        if (header & 0x10) {
+            bytes = c.last_bytes;
+        } else {
+            const std::uint8_t inline_bytes = header & 15;
+            bytes = (inline_bytes == 15) ? GetVarint(p) : inline_bytes;
+        }
+        c.last_addr += static_cast<std::uint64_t>(delta);
+        c.last_delta = delta;
+        c.last_bytes = bytes;
+        out[i++] = TraceEntry(c.last_addr, bytes,
+                              t ? AccessType::kWrite : AccessType::kRead);
+    }
+    return i;
+}
+
+void
+CompactTrace::ReplayInto(MemorySink &sink) const
+{
+    TraceEntry buffer[kBlockEntries];
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const std::size_t n = DecodeBlock(b, buffer);
+        sink.AccessBatch(buffer, n);
+    }
+}
+
+AccessTrace
+CompactTrace::Decode() const
+{
+    AccessTrace trace;
+    trace.Reserve(entries_);
+    TraceEntry buffer[kBlockEntries];
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const std::size_t n = DecodeBlock(b, buffer);
+        trace.Append(buffer, n);
+    }
+    return trace;
+}
+
+} // namespace pim::sim

@@ -139,6 +139,45 @@ TEST(ParseBenchArgs, JsonWithSeparateDashIsAnError)
     EXPECT_FALSE(opts.error.empty());
 }
 
+TEST(ParseBenchArgs, ThreadsFlagParsesAndCompacts)
+{
+    Argv a({"bin", "--threads=7", "--benchmark_filter=^$"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_TRUE(opts.error.empty());
+    EXPECT_EQ(opts.threads, 7u);
+    EXPECT_EQ(*a.argc(), 2);
+}
+
+TEST(ParseBenchArgs, ThreadsDefaultsToUnset)
+{
+    Argv a({"bin"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_EQ(opts.threads, 0u);
+}
+
+TEST(ParseBenchArgs, BareThreadsIsAnError)
+{
+    Argv a({"bin", "--threads"});
+    const bench::BenchOptions opts =
+        bench::ParseBenchArgs(a.argc(), a.argv());
+    EXPECT_FALSE(opts.error.empty());
+}
+
+TEST(ParseBenchArgs, MalformedThreadsValuesAreErrors)
+{
+    for (const char *bad :
+         {"--threads=0", "--threads=", "--threads=banana",
+          "--threads=4097", "--threads=2x"}) {
+        Argv a({"bin", bad});
+        const bench::BenchOptions opts =
+            bench::ParseBenchArgs(a.argc(), a.argv());
+        EXPECT_FALSE(opts.error.empty()) << bad;
+        EXPECT_EQ(opts.threads, 0u) << bad;
+    }
+}
+
 TEST(KernelResult, DegenerateBaselinesYieldNeutralValues)
 {
     bench::KernelResult r;

@@ -21,9 +21,11 @@
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/hierarchy.h"
+#include "sim/sharded_replay.h"
 #include "sim/stack_profiler.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
+#include "sim/trace_codec.h"
 #include "workloads/browser/color_blitter.h"
 #include "workloads/browser/texture_tiler.h"
 #include "workloads/ml/gemm.h"
@@ -626,6 +628,242 @@ TEST(CacheCoalescing, FilterSurvivesEvictionOfTrackedLine)
     cache.Access(0x0000, 4, AccessType::kRead);
     EXPECT_EQ(cache.stats().read_misses, 3u);
     EXPECT_EQ(cache.stats().read_hits, 0u);
+}
+
+/** Serial reference for the intra-trace sharded engine. */
+PerfCounters
+SerialReplay(const AccessTrace &trace, const HierarchyConfig &config)
+{
+    MemoryHierarchy mh(config);
+    trace.ReplayInto(mh.Top());
+    return mh.Snapshot();
+}
+
+TEST(ShardedReplay, BitIdenticalOnKernelTracesAtEveryThreadCount)
+{
+    // The core acceptance property: one (trace, config) replay split
+    // across set-shards merges to the exact serial counters, on every
+    // recorded kernel stream, hierarchy shape, and thread count —
+    // including thread counts that are not powers of two and exceed
+    // the shard budget the geometry admits.
+    const std::vector<HierarchyConfig> configs = {
+        HostHierarchyConfig(), HostStackedHierarchyConfig(),
+        PimCoreHierarchyConfig()};
+    for (const auto &[name, trace] : KernelTraces()) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const PerfCounters ref = SerialReplay(trace, configs[c]);
+            for (const unsigned threads : {1u, 2u, 4u, 7u}) {
+                const ShardedReplay sharded{SweepRunner(threads)};
+                EXPECT_TRUE(SameCounters(
+                    ref, sharded.Replay(trace, configs[c])))
+                    << name << " config " << c << " threads "
+                    << threads;
+            }
+        }
+    }
+}
+
+TEST(ShardedReplay, BitIdenticalOnRandomTrace)
+{
+    const AccessTrace trace = RandomTrace(0x5A4D, 50000);
+    const PerfCounters ref =
+        SerialReplay(trace, HostHierarchyConfig());
+    for (const unsigned threads : {2u, 3u, 4u, 7u}) {
+        const ShardedReplay sharded{SweepRunner(threads)};
+        EXPECT_TRUE(SameCounters(
+            ref, sharded.Replay(trace, HostHierarchyConfig())))
+            << "threads " << threads;
+    }
+}
+
+TEST(ShardedReplay, PlanRespectsGeometryAndShardBudget)
+{
+    // Host geometry (256 L1 sets, 4096 LLC sets, both 64 B lines)
+    // admits power-of-two sharding up to the budget.
+    const ShardedReplayPlan plan4 =
+        ShardedReplay::PlanFor(HostHierarchyConfig(), 4);
+    EXPECT_TRUE(plan4.supported);
+    EXPECT_EQ(plan4.shards, 4u);
+    EXPECT_GE(plan4.block_lines, 1u);
+
+    // A budget of one shard means there is nothing to parallelize.
+    EXPECT_FALSE(ShardedReplay::PlanFor(HostHierarchyConfig(), 1)
+                     .supported);
+
+    // Non-power-of-two set counts have no maskable shard key.
+    HierarchyConfig odd = HostHierarchyConfig();
+    odd.llc->size = 192 * 64; // 192 sets at assoc 1
+    odd.llc->associativity = 1;
+    EXPECT_FALSE(ShardedReplay::PlanFor(odd, 4).supported);
+}
+
+TEST(ShardedReplay, NonPowerOfTwoGeometryFallsBackBitIdentically)
+{
+    HierarchyConfig odd = HostHierarchyConfig();
+    odd.llc->size = 192 * 64;
+    odd.llc->associativity = 1;
+    const AccessTrace trace = RandomTrace(0x0DD1, 20000);
+    const PerfCounters ref = SerialReplay(trace, odd);
+    const ShardedReplay sharded{SweepRunner(4)};
+    EXPECT_TRUE(SameCounters(ref, sharded.Replay(trace, odd)));
+}
+
+TEST(ShardedReplay, OverflowSpanFallsBackToSerial)
+{
+    // An entry whose span reaches past kMaxAddr cannot be split into
+    // representable packed sub-entries; the engine must detect it
+    // during partition and fall back to the serial replay.
+    AccessTrace trace;
+    for (std::size_t i = 0; i < 5000; ++i) {
+        trace.Append(0x1000 + i * 64, 64, AccessType::kRead);
+    }
+    trace.Append(TraceEntry::kMaxAddr - 7, 4096, AccessType::kWrite);
+    for (std::size_t i = 0; i < 5000; ++i) {
+        trace.Append(0x9000 + i * 64, 32, AccessType::kWrite);
+    }
+
+    const PerfCounters ref =
+        SerialReplay(trace, HostHierarchyConfig());
+    for (const unsigned threads : {2u, 4u}) {
+        const ShardedReplay sharded{SweepRunner(threads)};
+        EXPECT_TRUE(SameCounters(
+            ref, sharded.Replay(trace, HostHierarchyConfig())))
+            << "threads " << threads;
+    }
+}
+
+TEST(ShardedReplay, CompactTraceMatchesRawReplay)
+{
+    // Composition: block-by-block compact decode feeding the sharded
+    // partitioner must land on the same counters as the raw serial
+    // replay.
+    for (const auto &[name, trace] : KernelTraces()) {
+        const CompactTrace compact = CompactTrace::Encode(trace);
+        const PerfCounters ref =
+            SerialReplay(trace, HostHierarchyConfig());
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            const ShardedReplay sharded{SweepRunner(threads)};
+            EXPECT_TRUE(SameCounters(
+                ref, sharded.Replay(compact, HostHierarchyConfig())))
+                << name << " threads " << threads;
+        }
+    }
+}
+
+TEST(SweepEquivalence, CompactOverloadsMatchRawEngines)
+{
+    // All three sweep engines accept the compact form; counters must
+    // be identical to the raw-trace overloads point for point.
+    const std::vector<CacheConfig> points = SweepLlcPoints();
+    std::vector<HierarchyConfig> configs;
+    for (const CacheConfig &p : points) {
+        HierarchyConfig hier = HostHierarchyConfig();
+        hier.llc = p;
+        configs.push_back(std::move(hier));
+    }
+
+    const SweepRunner runner(2);
+    const AccessTrace trace = RandomTrace(0xC0DE, 30000);
+    const CompactTrace compact = CompactTrace::Encode(trace);
+
+    const auto ref = runner.ReplayTrace(trace, configs);
+    const auto replay = runner.ReplayTrace(compact, configs);
+    const auto fanout = runner.ReplayTraceFanout(compact, configs);
+    const auto profiled = runner.ProfileLlcSweep(
+        compact, HostHierarchyConfig(), points);
+    ASSERT_EQ(replay.size(), ref.size());
+    ASSERT_EQ(fanout.size(), ref.size());
+    ASSERT_EQ(profiled.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_TRUE(SameCounters(ref[i], replay[i])) << "replay " << i;
+        EXPECT_TRUE(SameCounters(ref[i], fanout[i])) << "fanout " << i;
+        EXPECT_TRUE(SameCounters(ref[i], profiled[i]))
+            << "profiler " << i;
+    }
+}
+
+TEST(PerfCounters, MergeSumsEveryField)
+{
+    const auto cache = [](std::uint64_t base) {
+        CacheStats s;
+        s.read_hits = base + 1;
+        s.read_misses = base + 2;
+        s.write_hits = base + 3;
+        s.write_misses = base + 4;
+        s.writebacks = base + 5;
+        return s;
+    };
+    PerfCounters a, b;
+    a.l1 = cache(10);
+    a.llc = cache(20);
+    a.has_llc = true;
+    a.dram.read_requests = 31;
+    a.dram.write_requests = 32;
+    a.dram.read_bytes = 33;
+    a.dram.write_bytes = 34;
+    b.l1 = cache(100);
+    b.llc = cache(200);
+    b.has_llc = true;
+    b.dram.read_requests = 301;
+    b.dram.write_requests = 302;
+    b.dram.read_bytes = 303;
+    b.dram.write_bytes = 304;
+
+    a += b;
+    EXPECT_EQ(a.l1.read_hits, 112u);
+    EXPECT_EQ(a.l1.read_misses, 114u);
+    EXPECT_EQ(a.l1.write_hits, 116u);
+    EXPECT_EQ(a.l1.write_misses, 118u);
+    EXPECT_EQ(a.l1.writebacks, 120u);
+    EXPECT_EQ(a.llc.read_hits, 222u);
+    EXPECT_EQ(a.llc.writebacks, 230u);
+    EXPECT_TRUE(a.has_llc);
+    EXPECT_EQ(a.dram.read_requests, 332u);
+    EXPECT_EQ(a.dram.write_requests, 334u);
+    EXPECT_EQ(a.dram.read_bytes, 336u);
+    EXPECT_EQ(a.dram.write_bytes, 338u);
+
+    // No-LLC parts merge without inventing an LLC.
+    PerfCounters c, d;
+    c.dram.read_bytes = 1;
+    d.dram.read_bytes = 2;
+    c += d;
+    EXPECT_FALSE(c.has_llc);
+    EXPECT_EQ(c.dram.read_bytes, 3u);
+}
+
+TEST(AccessTrace, RunningByteTotalsMatchScan)
+{
+    const AccessTrace trace = RandomTrace(0xB17E, 20000);
+    Bytes reads = 0, writes = 0;
+    for (const TraceEntry &e : trace) {
+        (e.type() == AccessType::kRead ? reads : writes) += e.bytes();
+    }
+    EXPECT_EQ(trace.read_bytes(), reads);
+    EXPECT_EQ(trace.write_bytes(), writes);
+    EXPECT_EQ(trace.TotalBytes(), reads + writes);
+
+    // The bulk-append path maintains the same totals.
+    AccessTrace copy;
+    copy.Append(trace.data(), trace.size());
+    EXPECT_EQ(copy.read_bytes(), reads);
+    EXPECT_EQ(copy.write_bytes(), writes);
+}
+
+TEST(SweepRunner, SetDefaultThreadsBeatsEnvironment)
+{
+    ASSERT_EQ(setenv("PIM_SWEEP_THREADS", "3", 1), 0);
+    SweepRunner::SetDefaultThreads(5);
+    // Flag-style override wins over the environment...
+    EXPECT_EQ(SweepRunner().thread_count(), 5u);
+    EXPECT_EQ(SweepRunner(0).thread_count(), 5u);
+    // ...but an explicit constructor count still beats both.
+    EXPECT_EQ(SweepRunner(2).thread_count(), 2u);
+
+    // Clearing the override restores the env-var default.
+    SweepRunner::SetDefaultThreads(0);
+    EXPECT_EQ(SweepRunner().thread_count(), 3u);
+    ASSERT_EQ(unsetenv("PIM_SWEEP_THREADS"), 0);
 }
 
 } // namespace

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the compact block-encoded trace format: exact round-trips
+ * (including packing-limit boundary entries), run-length behavior on
+ * strided streams, block independence, the recorder tee, and replay
+ * equivalence against the raw trace through a full hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/execution_context.h"
+#include "sim/hierarchy.h"
+#include "sim/trace.h"
+#include "sim/trace_codec.h"
+#include "telemetry/span_tracer.h"
+
+namespace pim::sim {
+namespace {
+
+AccessTrace
+RandomTrace(std::uint64_t seed, std::size_t entries)
+{
+    Rng rng(seed);
+    AccessTrace trace;
+    const Address bases[] = {0x10'0000, 0x40'0000, 0x80'0000};
+    for (std::size_t i = 0; i < entries; ++i) {
+        const Address base =
+            bases[rng.Range(0, 2)] +
+            static_cast<Address>(rng.Range(0, 64 * 1024));
+        const Bytes bytes = static_cast<Bytes>(rng.Range(1, 256));
+        const AccessType type = rng.Range(0, 99) < 30
+                                    ? AccessType::kWrite
+                                    : AccessType::kRead;
+        trace.Append(base, bytes, type);
+    }
+    return trace;
+}
+
+void
+ExpectSameEntries(const AccessTrace &a, const AccessTrace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].addr(), b[i].addr()) << "entry " << i;
+        ASSERT_EQ(a[i].bytes(), b[i].bytes()) << "entry " << i;
+        ASSERT_EQ(a[i].type(), b[i].type()) << "entry " << i;
+    }
+}
+
+TEST(TraceCodec, RoundTripsRandomMultiBlockTrace)
+{
+    // > 2 full blocks so cross-block context resets are exercised.
+    const AccessTrace raw =
+        RandomTrace(0xC0DEC, 2 * CompactTrace::kBlockEntries + 1234);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+
+    EXPECT_EQ(compact.size(), raw.size());
+    EXPECT_EQ(compact.BlockCount(), 3u);
+    EXPECT_EQ(compact.read_bytes(), raw.read_bytes());
+    EXPECT_EQ(compact.write_bytes(), raw.write_bytes());
+    EXPECT_EQ(compact.TotalBytes(), raw.TotalBytes());
+    ExpectSameEntries(raw, compact.Decode());
+}
+
+TEST(TraceCodec, RoundTripsPackingBoundaryEntries)
+{
+    // The extremes the packed TraceEntry word can represent: top of
+    // the 40-bit address space, the 23-bit size limit, zero-size and
+    // zero-address probes, and huge backward deltas between them.
+    AccessTrace raw;
+    raw.Append(TraceEntry::kMaxAddr, 1, AccessType::kRead);
+    raw.Append(0, TraceEntry::kMaxBytes, AccessType::kWrite);
+    raw.Append(TraceEntry::kMaxAddr - TraceEntry::kMaxBytes + 1,
+               TraceEntry::kMaxBytes, AccessType::kRead);
+    raw.Append(0, 0, AccessType::kRead);
+    raw.Append(TraceEntry::kMaxAddr, 0, AccessType::kWrite);
+    for (int i = 0; i < 100; ++i) {
+        raw.Append(i % 2 == 0 ? 0 : TraceEntry::kMaxAddr, 14,
+                   i % 3 == 0 ? AccessType::kWrite : AccessType::kRead);
+        raw.Append(static_cast<Address>(i) * 4096, 15,
+                   AccessType::kRead);
+    }
+
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    EXPECT_EQ(compact.TotalBytes(), raw.TotalBytes());
+    ExpectSameEntries(raw, compact.Decode());
+}
+
+TEST(TraceCodec, InterleavedStridedStreamsCostOneByteEach)
+{
+    // Interleaved read/write streams, each constant-stride and
+    // constant-size — the texture-tiler shape.  The type alternation
+    // blocks run formation, but per-type contexts keep both delta and
+    // size predicted, so each entry is a single literal header byte.
+    AccessTrace raw;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        raw.Append(0x100000 + i * 128, 128, AccessType::kRead);
+        raw.Append(0x900000 + i * 64, 64, AccessType::kWrite);
+    }
+    const CompactTrace compact = CompactTrace::Encode(raw);
+
+    ExpectSameEntries(raw, compact.Decode());
+    // Acceptance bound is <= 4.0 B/entry (half of raw); ~1 B/entry
+    // here (plus per-block literal/index overhead).
+    EXPECT_LE(compact.BytesPerEntry(), 1.1);
+    EXPECT_GE(compact.CompressionRatio(), 7.0);
+}
+
+TEST(TraceCodec, LongRunsUseTheVarintCountPath)
+{
+    // One literal + one run token of count > 63 per block.
+    AccessTrace raw;
+    for (std::size_t i = 0; i < 5000; ++i) {
+        raw.Append(0x4000 + i * 64, 64, AccessType::kRead);
+    }
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    ExpectSameEntries(raw, compact.Decode());
+    // Two blocks, each a handful of literal/run tokens: 5000 entries
+    // in well under 100 encoded bytes.
+    EXPECT_LT(compact.SizeBytes(), 100u);
+}
+
+TEST(TraceCodec, EmptyTraceIsEmpty)
+{
+    const CompactTrace compact = CompactTrace::Encode(AccessTrace{});
+    EXPECT_TRUE(compact.empty());
+    EXPECT_EQ(compact.size(), 0u);
+    EXPECT_EQ(compact.BlockCount(), 0u);
+    EXPECT_EQ(compact.TotalBytes(), 0u);
+    EXPECT_TRUE(compact.Decode().empty());
+
+    MemoryHierarchy mh(HostHierarchyConfig());
+    compact.ReplayInto(mh.Top()); // must be a no-op, not a crash
+    EXPECT_EQ(mh.Snapshot().dram.TotalBytes(), 0u);
+}
+
+TEST(TraceCodec, BlocksDecodeIndependently)
+{
+    const AccessTrace raw =
+        RandomTrace(0xB10C, 3 * CompactTrace::kBlockEntries + 7);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    ASSERT_EQ(compact.BlockCount(), 4u);
+
+    // Decode blocks out of order; concatenating in index order must
+    // reproduce the stream exactly.
+    std::vector<TraceEntry> buffer(CompactTrace::kBlockEntries);
+    AccessTrace rebuilt;
+    std::size_t counts[4] = {};
+    for (const std::size_t b : {3u, 1u, 0u, 2u}) {
+        counts[b] = compact.DecodeBlock(b, buffer.data());
+    }
+    for (std::size_t b = 0; b < compact.BlockCount(); ++b) {
+        const std::size_t n = compact.DecodeBlock(b, buffer.data());
+        ASSERT_EQ(n, counts[b]);
+        rebuilt.Append(buffer.data(), n);
+    }
+    ExpectSameEntries(raw, rebuilt);
+}
+
+TEST(TraceCodec, ReplayMatchesRawTraceCounters)
+{
+    const AccessTrace raw = RandomTrace(0x5EED, 30000);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+
+    MemoryHierarchy ref(HostHierarchyConfig());
+    raw.ReplayInto(ref.Top());
+    MemoryHierarchy via(HostHierarchyConfig());
+    compact.ReplayInto(via.Top());
+
+    const PerfCounters a = ref.Snapshot();
+    const PerfCounters b = via.Snapshot();
+    EXPECT_EQ(a.l1.read_hits, b.l1.read_hits);
+    EXPECT_EQ(a.l1.read_misses, b.l1.read_misses);
+    EXPECT_EQ(a.l1.write_hits, b.l1.write_hits);
+    EXPECT_EQ(a.l1.write_misses, b.l1.write_misses);
+    EXPECT_EQ(a.l1.writebacks, b.l1.writebacks);
+    EXPECT_EQ(a.llc.read_misses, b.llc.read_misses);
+    EXPECT_EQ(a.llc.writebacks, b.llc.writebacks);
+    EXPECT_EQ(a.dram.read_bytes, b.dram.read_bytes);
+    EXPECT_EQ(a.dram.write_bytes, b.dram.write_bytes);
+}
+
+TEST(TraceCodec, RecorderTeeMatchesPostHocEncode)
+{
+    // Recording straight into the compact form must capture the exact
+    // stream a raw recorder sees, and the level below must observe the
+    // same traffic either way.
+    const AccessTrace stimulus = RandomTrace(0x7EE, 10000);
+
+    MemoryHierarchy raw_mh(HostHierarchyConfig());
+    AccessTrace raw;
+    TraceRecorder raw_rec(raw, raw_mh.Top());
+    stimulus.ReplayInto(raw_rec);
+
+    MemoryHierarchy compact_mh(HostHierarchyConfig());
+    CompactTraceRecorder compact_rec(compact_mh.Top());
+    stimulus.ReplayInto(compact_rec);
+    const CompactTrace compact = compact_rec.Finish();
+
+    ExpectSameEntries(raw, compact.Decode());
+    EXPECT_EQ(raw_mh.Snapshot().dram.TotalBytes(),
+              compact_mh.Snapshot().dram.TotalBytes());
+
+    const CompactTrace posthoc = CompactTrace::Encode(raw);
+    EXPECT_EQ(posthoc.SizeBytes(), compact.SizeBytes());
+}
+
+TEST(TraceCodec, ExecutionContextCompactRecordingRoundTrips)
+{
+    // The two recording modes on a live ExecutionContext capture the
+    // same stream for the same deterministic access pattern.
+    const auto drive = [](core::ExecutionContext &ctx) {
+        for (std::size_t i = 0; i < 4000; ++i) {
+            ctx.mem().Read(0x2000 + (i % 128) * 64, 64);
+            if (i % 3 == 0) {
+                ctx.mem().Write(0x80000 + i * 64, 32);
+            }
+        }
+    };
+
+    AccessTrace raw;
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachTrace(raw);
+        drive(ctx);
+        ctx.DetachTrace();
+    }
+    CompactTrace compact;
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachCompactTrace();
+        drive(ctx);
+        compact = ctx.DetachCompactTrace();
+    }
+    ExpectSameEntries(raw, compact.Decode());
+}
+
+TEST(TraceCodec, DetachEmitsCompressionCounters)
+{
+    // With tracing on, both detach paths report the compact footprint
+    // beside the raw one.
+    auto &tracer = telemetry::Tracer::Global();
+    tracer.SetEnabled(true);
+    tracer.Clear();
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        AccessTrace raw;
+        ctx.AttachTrace(raw);
+        for (std::size_t i = 0; i < 256; ++i) {
+            ctx.mem().Read(0x1000 + i * 64, 64);
+        }
+        ctx.DetachTrace();
+    }
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachCompactTrace();
+        for (std::size_t i = 0; i < 256; ++i) {
+            ctx.mem().Read(0x1000 + i * 64, 64);
+        }
+        (void)ctx.DetachCompactTrace();
+    }
+    tracer.SetEnabled(false);
+
+    int bytes = 0, compact_bytes = 0, ratio = 0;
+    for (const telemetry::TraceEvent &e : tracer.Events()) {
+        if (e.phase != 'C') {
+            continue;
+        }
+        if (e.name == "trace.bytes") {
+            ++bytes;
+        } else if (e.name == "trace.compact_bytes") {
+            ++compact_bytes;
+            EXPECT_GT(e.value, 0.0);
+        } else if (e.name == "trace.compression_ratio") {
+            ++ratio;
+            EXPECT_GT(e.value, 1.0);
+        }
+    }
+    tracer.Clear();
+    EXPECT_EQ(bytes, 2);
+    EXPECT_EQ(compact_bytes, 2);
+    EXPECT_EQ(ratio, 2);
+}
+
+TEST(TraceCodec, EncoderResetsAfterFinish)
+{
+    CompactTraceEncoder enc;
+    enc.Append(0x1000, 64, AccessType::kRead);
+    enc.Append(0x1040, 64, AccessType::kRead);
+    const CompactTrace first = enc.Finish();
+    EXPECT_EQ(first.size(), 2u);
+
+    // The drained encoder starts a fresh, independent stream.
+    EXPECT_EQ(enc.size(), 0u);
+    enc.Append(0x9000, 32, AccessType::kWrite);
+    const CompactTrace second = enc.Finish();
+    EXPECT_EQ(second.size(), 1u);
+    EXPECT_EQ(second.write_bytes(), 32u);
+    const AccessTrace decoded = second.Decode();
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0].addr(), 0x9000u);
+}
+
+} // namespace
+} // namespace pim::sim
