@@ -33,6 +33,7 @@
 #include "common/rng.h"
 #include "sim/hierarchy.h"
 #include "sim/sharded_replay.h"
+#include "sim/simd.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
 #include "sim/trace_codec.h"
@@ -664,6 +665,252 @@ PrintCodecStudy(bench::BenchOutput &out)
                 all_same ? "matches" : "DOES NOT match");
 }
 
+/**
+ * SIMD set-probe study: the same binary replays each stream twice —
+ * once with the runtime kill-switch forcing the scalar probe and once
+ * with the compiled vector path (AVX2/NEON) — so the probe speedup is
+ * isolated from every other engine improvement.  Also measured: the
+ * codec's batch-decode rate per path, and the composed fast path
+ * (vector probe + set-sharded pinned replay) against the serial
+ * scalar-probe replay.  Counters must be bit-identical throughout; CI
+ * fails the job if `sim_throughput.simd.bit_identical` is not 1.
+ */
+void
+PrintSimdStudy(bench::BenchOutput &out)
+{
+    namespace simd = sim::simd;
+    const bool prev_enabled = simd::Enabled();
+    const char *compiled = simd::IsaName(simd::CompiledIsa());
+
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    const std::string prefix = "sim_throughput.simd";
+    out.Metric(prefix + ".compiled_avx2",
+               simd::CompiledIsa() == simd::Isa::kAvx2 ? 1.0 : 0.0);
+    out.Metric(prefix + ".compiled_neon",
+               simd::CompiledIsa() == simd::Isa::kNeon ? 1.0 : 0.0);
+
+    // Random line-granular probes over an LLC-resident working set:
+    // L1 (64 KiB) thrashes while the LLC (2 MiB, 8-way) keeps every
+    // line, so nearly every access pays a full 4-way L1 scan plus a
+    // deep-way LLC search — the way-compare loop the vector probe
+    // replaces.  The kernel streams mostly hit way 0, so they bound
+    // the *other* end (probe cost amortized by batching).
+    const auto record_probe_stress = [] {
+        Rng rng(23);
+        sim::AccessTrace trace;
+        constexpr std::size_t kLines = (1536 * 1024) / 64;
+        constexpr std::size_t kAccesses = 1u << 20;
+        trace.Reserve(kAccesses);
+        for (std::size_t i = 0; i < kAccesses; ++i) {
+            const std::uint64_t r = rng.Next64();
+            trace.Append(Address{(r >> 2) % kLines} * 64, 64,
+                         (r & 3) == 0 ? sim::AccessType::kWrite
+                                      : sim::AccessType::kRead);
+        }
+        return trace;
+    };
+
+    struct Stream
+    {
+        const char *name;
+        sim::AccessTrace trace;
+    };
+    Stream streams[] = {
+        {"tiling", RecordTilingTrace()},
+        {"compression", RecordCompressionTrace()},
+        {"probe-stress", record_probe_stress()},
+    };
+    const sim::HierarchyConfig config = sim::HostHierarchyConfig();
+    bool all_same = true;
+
+    Table table(std::string("SIMD set-probe — scalar vs vector replay "
+                            "(compiled ISA: ") +
+                compiled + ")");
+    table.SetHeader({"stream", "probe", "time (ms)", "Maccesses/s",
+                     "speedup", "exact"});
+    for (auto &s : streams) {
+        const double accesses = static_cast<double>(s.trace.size());
+        // Engines snapshot the kill-switch at construction, so the
+        // hierarchy must be built inside the toggled region.
+        sim::PerfCounters scalar_pc, vector_pc;
+        simd::SetEnabled(false);
+        const double scalar_s = best_of([&] {
+            return TimeRun([&] {
+                sim::MemoryHierarchy mh(config);
+                s.trace.ReplayInto(mh.Top());
+                scalar_pc = mh.Snapshot();
+            });
+        });
+        simd::SetEnabled(true);
+        const double vector_s = best_of([&] {
+            return TimeRun([&] {
+                sim::MemoryHierarchy mh(config);
+                s.trace.ReplayInto(mh.Top());
+                vector_pc = mh.Snapshot();
+            });
+        });
+        const bool same = SameCounters(scalar_pc, vector_pc);
+        all_same = all_same && same;
+
+        const auto row = [&](const char *path, double seconds,
+                             double speedup) {
+            table.AddRow({
+                s.name,
+                path,
+                Table::Num(seconds * 1e3, 1),
+                Table::Num(accesses / seconds / 1e6, 1),
+                Table::Num(speedup, 2) + "x",
+                same ? "bit-identical" : "MISMATCH",
+            });
+        };
+        row("scalar (PIM_SIMD=off)", scalar_s, 1.0);
+        row(simd::IsaName(simd::ActiveIsa()), vector_s,
+            scalar_s / vector_s);
+
+        const std::string sp = prefix + "." + s.name;
+        out.Metric(sp + ".scalar_ms", scalar_s * 1e3);
+        out.Metric(sp + ".vector_ms", vector_s * 1e3);
+        out.Metric(sp + ".probe_speedup", scalar_s / vector_s);
+    }
+    out.Emit(table);
+
+    // Batch decode: blocks materialize into one reused aligned buffer;
+    // rate is counted in raw (8 B/entry) output bytes.  The vector
+    // path is the stride expander on run tokens (sim/simd.h).
+    const sim::CompactTrace compact =
+        sim::CompactTrace::Encode(streams[0].trace);
+    const double raw_bytes = static_cast<double>(compact.RawBytes());
+    const auto decode_all = [&] {
+        alignas(64) sim::TraceEntry buffer[sim::CompactTrace::
+                                               kBlockEntries];
+        std::size_t n = 0;
+        for (std::size_t b = 0; b < compact.BlockCount(); ++b) {
+            n += compact.DecodeBlock(b, buffer);
+        }
+        benchmark::DoNotOptimize(n);
+    };
+    simd::SetEnabled(false);
+    const double dec_scalar_s = best_of([&] { return TimeRun(decode_all); });
+    const sim::AccessTrace dec_scalar = compact.Decode();
+    simd::SetEnabled(true);
+    const double dec_vector_s = best_of([&] { return TimeRun(decode_all); });
+    const sim::AccessTrace dec_vector = compact.Decode();
+    bool decode_same = dec_scalar.size() == dec_vector.size();
+    for (std::size_t i = 0; decode_same && i < dec_scalar.size(); ++i) {
+        decode_same = dec_scalar.data()[i].word == dec_vector.data()[i].word;
+    }
+    all_same = all_same && decode_same;
+    out.Metric(prefix + ".decode.scalar_gb_per_s",
+               raw_bytes / dec_scalar_s / 1e9);
+    out.Metric(prefix + ".decode.vector_gb_per_s",
+               raw_bytes / dec_vector_s / 1e9);
+    out.Metric(prefix + ".decode.speedup", dec_scalar_s / dec_vector_s);
+
+    // Composed fast path on one (trace, config): batched replay with
+    // the vector probe, set-sharded across pinned workers, against the
+    // per-entry scalar replay path (`ReplayIntoScalar`, every table's
+    // "scalar" row — the pre-batching engine) and against the serial
+    // batched replay with the probe forced scalar.  The first ratio is
+    // the single-replay headline; the second isolates what the vector
+    // probe + sharding added on top of batching.  The stress stream is
+    // the LZO stream concatenated — the fine-grained probe pattern the
+    // batched+vector core is built for.
+    sim::AccessTrace stress;
+    {
+        const sim::AccessTrace &base = streams[1].trace;
+        stress.Reserve(base.size() * 3);
+        for (int i = 0; i < 3; ++i) {
+            stress.Append(base.data(), base.size());
+        }
+    }
+    const double stress_accesses = static_cast<double>(stress.size());
+    sim::PerfCounters scalar_path_pc, batched_pc, fast_pc;
+    simd::SetEnabled(false);
+    const double scalar_path_s = best_of([&] {
+        return TimeRun([&] {
+            sim::MemoryHierarchy mh(config);
+            stress.ReplayIntoScalar(mh.Top());
+            scalar_path_pc = mh.Snapshot();
+        });
+    });
+    const double batched_scalar_s = best_of([&] {
+        return TimeRun([&] {
+            sim::MemoryHierarchy mh(config);
+            stress.ReplayInto(mh.Top());
+            batched_pc = mh.Snapshot();
+        });
+    });
+    simd::SetEnabled(true);
+    // Shard up to 4 ways but never past the machine: on a single-core
+    // host ShardedReplay's plan degenerates to the serial (still
+    // vector-probe) replay instead of serializing cold shards.
+    const unsigned fast_threads = std::max(
+        1u, std::min(4u, std::thread::hardware_concurrency()));
+    const sim::ShardedReplay sharded{sim::SweepRunner(fast_threads)};
+    sim::ShardPlacement placement;
+    const double fast_s = best_of([&] {
+        return TimeRun(
+            [&] { fast_pc = sharded.Replay(stress, config, &placement); });
+    });
+    const bool replay_same = SameCounters(scalar_path_pc, batched_pc) &&
+                             SameCounters(scalar_path_pc, fast_pc);
+    all_same = all_same && replay_same;
+
+    Table composed("Composed fast path — one LZO-stress "
+                   "(trace, config) replay");
+    composed.SetHeader({"path", "time (ms)", "Maccesses/s", "speedup",
+                        "exact"});
+    const auto crow = [&](const std::string &path, double seconds) {
+        composed.AddRow({
+            path,
+            Table::Num(seconds * 1e3, 1),
+            Table::Num(stress_accesses / seconds / 1e6, 1),
+            Table::Num(scalar_path_s / seconds, 2) + "x",
+            replay_same ? "bit-identical" : "MISMATCH",
+        });
+    };
+    crow("per-entry scalar replay (PIM_SIMD=off)", scalar_path_s);
+    crow("batched, scalar probe", batched_scalar_s);
+    crow(placement.sharded
+             ? "batched, vector probe, sharded x" +
+                   std::to_string(placement.shards) + " pinned"
+             : "batched, vector probe (serial: 1 core)",
+         fast_s);
+    out.Emit(composed);
+
+    out.Metric(prefix + ".replay.scalar_path_ms", scalar_path_s * 1e3);
+    out.Metric(prefix + ".replay.batched_scalar_ms",
+               batched_scalar_s * 1e3);
+    out.Metric(prefix + ".replay.sharded_vector_ms", fast_s * 1e3);
+    out.Metric(prefix + ".replay_speedup", scalar_path_s / fast_s);
+    out.Metric(prefix + ".replay_speedup_vs_batched",
+               batched_scalar_s / fast_s);
+    out.Metric(prefix + ".pinning_enabled",
+               placement.pinning_enabled ? 1.0 : 0.0);
+    out.Metric(prefix + ".bit_identical", all_same ? 1.0 : 0.0);
+
+    std::string cpus;
+    for (const int cpu : placement.shard_cpu) {
+        cpus += (cpus.empty() ? "" : ",") + std::to_string(cpu);
+    }
+    std::printf(
+        "decode: %.2f -> %.2f GB/s; composed replay %.2fx vs the "
+        "scalar path (%u shards%s on cpus [%s]); counters %s\n\n",
+        raw_bytes / dec_scalar_s / 1e9, raw_bytes / dec_vector_s / 1e9,
+        scalar_path_s / fast_s, placement.shards,
+        placement.pinning_enabled ? ", pinned" : ", unpinned",
+        cpus.c_str(), all_same ? "bit-identical" : "MISMATCH");
+
+    simd::SetEnabled(prev_enabled);
+}
+
 void
 PrintThroughput(bench::BenchOutput &out)
 {
@@ -688,6 +935,7 @@ PrintThroughput(bench::BenchOutput &out)
     // Named under "sweep." so CI's existing --filter=sweep runs them.
     out.Section("sweep.shard", [&] { PrintShardStudy(out); });
     out.Section("sweep.codec", [&] { PrintCodecStudy(out); });
+    out.Section("sweep.simd", [&] { PrintSimdStudy(out); });
 }
 
 } // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fixed-point reciprocal division (libdivide-style magic numbers).
+ *
+ * Non-power-of-two cache geometries pay an integer divide/modulo per
+ * line probe in `set = line_number % num_sets` — tens of cycles on a
+ * path the power-of-two case covers with one AND.  FastDiv precomputes
+ * a 64-bit magic multiplier at construction so the per-probe cost
+ * becomes one widening multiply plus shifts, *exactly* reproducing
+ * `n / d` (and hence `n % d`) for every 64-bit n.
+ *
+ * Scheme (Granlund & Montgomery; the "round-up" branch libdivide and
+ * compilers use for compile-time-constant divisors):
+ *
+ *   shift = ceil(log2 d),  m = ceil(2^(64+shift) / d)
+ *   floor(n / d) == floor(m * n / 2^(64+shift))     for all n < 2^64
+ *
+ * Proof of exactness: write m*d = 2^(64+shift) + e with 0 < e < d
+ * (strict since d is not a power of two), and n = q*d + r with r < d.
+ * Then m*n / 2^(64+shift) = q + r/d + n*e / (d*2^(64+shift)), and the
+ * error term is < d / (d * 2^shift) <= 1/d since n < 2^64 and
+ * d <= 2^shift; so the sum lies in [q, q+1) and the floor is q.
+ *
+ * m always fits in 65 bits.  When it fits in 64 the readout is a
+ * mulhi and a shift; when bit 64 is set the standard overflow-free
+ * fixup ((n - t)/2 + t) >> (shift - 1) with t = mulhi(m_low, n)
+ * computes the same floor((n + t) / 2^shift).
+ *
+ * Power-of-two divisors degenerate to a plain shift so FastDiv can be
+ * used unconditionally; callers on the probe path (CacheGeometry)
+ * still prefer their existing mask fast path.
+ */
+
+#ifndef PIM_COMMON_FASTDIV_H
+#define PIM_COMMON_FASTDIV_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace pim {
+
+class FastDiv
+{
+  public:
+    /** Identity divisor; Div(n) == n. */
+    FastDiv() : FastDiv(1) {}
+
+    explicit FastDiv(std::uint64_t divisor) : d_(divisor)
+    {
+        PIM_ASSERT(divisor != 0, "FastDiv divisor must be nonzero");
+        if ((d_ & (d_ - 1)) == 0) {
+            mode_ = Mode::kShift;
+            shift_ = static_cast<std::uint32_t>(std::countr_zero(d_));
+            return;
+        }
+#if defined(__SIZEOF_INT128__)
+        // shift = ceil(log2 d) (== bit_width for non-powers of two).
+        shift_ = static_cast<std::uint32_t>(std::bit_width(d_));
+        // m = ceil(2^(64+shift) / d), computed as
+        // floor((2^(64+shift) - 1) / d) + 1 (equal because d does not
+        // divide a power of two), which never overflows 128 bits even
+        // at shift == 64.
+        const unsigned __int128 pow_minus_1 =
+            shift_ == 64
+                ? ~static_cast<unsigned __int128>(0)
+                : ((static_cast<unsigned __int128>(1)
+                    << (64 + shift_)) -
+                   1);
+        const unsigned __int128 m = pow_minus_1 / d_ + 1;
+        if (m >> 64 == 0) {
+            mode_ = Mode::kMagic;
+            magic_ = static_cast<std::uint64_t>(m);
+        } else {
+            // 65-bit magic: keep the low word, use the add fixup.
+            mode_ = Mode::kMagicAdd;
+            magic_ = static_cast<std::uint64_t>(m);
+        }
+#else
+        mode_ = Mode::kPlain;
+#endif
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+    std::uint64_t
+    Div(std::uint64_t n) const
+    {
+#if defined(__SIZEOF_INT128__)
+        switch (mode_) {
+        case Mode::kShift:
+            return n >> shift_;
+        case Mode::kMagic:
+            return static_cast<std::uint64_t>(
+                       (static_cast<unsigned __int128>(magic_) * n) >>
+                       64) >>
+                   shift_;
+        case Mode::kMagicAdd: {
+            const std::uint64_t t = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(magic_) * n) >> 64);
+            // floor((n + t) / 2) without 64-bit overflow (t <= n),
+            // then the remaining shift - 1.
+            return (((n - t) >> 1) + t) >> (shift_ - 1);
+        }
+        case Mode::kPlain:
+            break;
+        }
+#endif
+        return mode_ == Mode::kShift ? n >> shift_ : n / d_;
+    }
+
+    std::uint64_t Mod(std::uint64_t n) const { return n - Div(n) * d_; }
+
+  private:
+    enum class Mode { kShift, kMagic, kMagicAdd, kPlain };
+
+    std::uint64_t d_ = 1;
+    std::uint64_t magic_ = 0;
+    std::uint32_t shift_ = 0;
+    Mode mode_ = Mode::kShift;
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_FASTDIV_H

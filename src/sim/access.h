@@ -41,6 +41,13 @@ enum class AccessType { kRead, kWrite };
  * (SimAddressSpace is a bump allocator starting at 256 MiB; kernel
  * accesses are at most a few frames' worth of bytes); the constructor
  * asserts them so a violation is loud rather than silently wrapped.
+ *
+ * The 40-bit address cap is also load-bearing for the replay engines:
+ * Cache marks invalid slots with an all-ones sentinel tag and tests
+ * residency on the batched/vector paths with the tag compare alone,
+ * which is sound only because no packed entry's line address can ever
+ * equal the sentinel (see the static_assert below and the matching
+ * construction-time check in Cache).
  */
 struct TraceEntry
 {
@@ -80,6 +87,9 @@ struct TraceEntry
 
 static_assert(sizeof(TraceEntry) == 8,
               "TraceEntry must stay one 64-bit word");
+static_assert(TraceEntry::kMaxAddr < ~Address{0},
+              "packed trace addresses must stay below the all-ones "
+              "invalid-tag sentinel the cache planes rely on");
 
 /**
  * Receiver of a stream of memory accesses.

@@ -1,0 +1,76 @@
+#include "sim/affinity.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace pim::sim::affinity {
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = disabled, 1 = enabled.
+std::atomic<int> g_pinning{-1};
+
+int
+ResolveFromEnv()
+{
+    const char *env = std::getenv("PIM_PIN");
+    if (env != nullptr) {
+        const std::string_view v(env);
+        if (v == "off" || v == "0" || v == "false" || v == "no") {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+PinningEnabled()
+{
+    int state = g_pinning.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = ResolveFromEnv();
+        g_pinning.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void
+SetPinningEnabled(bool enabled)
+{
+    g_pinning.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+PinThreadToCore(unsigned core)
+{
+    if (!PinningEnabled()) {
+        return false;
+    }
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(core % CPU_SETSIZE, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)core;
+    return false;
+#endif
+}
+
+int
+CurrentCpu()
+{
+#if defined(__linux__)
+    return sched_getcpu();
+#else
+    return -1;
+#endif
+}
+
+} // namespace pim::sim::affinity

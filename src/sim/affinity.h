@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Thread→core placement for the sharded replay workers.
+ *
+ * Each replay shard owns a private MemoryHierarchy whose tag planes
+ * are first-touched by the worker thread that replays it, so on a
+ * NUMA machine the plane pages land on the worker's node.  Pinning
+ * the worker keeps it there: without affinity the scheduler can
+ * migrate the thread mid-replay and turn every tag probe into a
+ * remote-node access.  On Linux this is one sched_setaffinity call;
+ * elsewhere (and under the `PIM_PIN=off` kill-switch, or when the
+ * call fails, e.g. in a restricted container) pinning degrades to a
+ * no-op and the replay is still correct — placement is a performance
+ * hint, never a correctness dependency.
+ */
+
+#ifndef PIM_SIM_AFFINITY_H
+#define PIM_SIM_AFFINITY_H
+
+namespace pim::sim::affinity {
+
+/**
+ * Pin the calling thread to @p core (taken modulo the number of CPUs
+ * the process may use).  Returns true if the affinity call succeeded,
+ * false on non-Linux platforms, when pinning is disabled, or when the
+ * kernel rejected the request.
+ */
+bool PinThreadToCore(unsigned core);
+
+/** CPU the calling thread is running on, or -1 when unknown. */
+int CurrentCpu();
+
+/**
+ * Runtime kill-switch: false after SetPinningEnabled(false) or with
+ * `PIM_PIN=off|0|false|no` in the environment (read once, lazily).
+ */
+bool PinningEnabled();
+
+/** Override the kill-switch (tests, benches; beats the environment). */
+void SetPinningEnabled(bool enabled);
+
+} // namespace pim::sim::affinity
+
+#endif // PIM_SIM_AFFINITY_H

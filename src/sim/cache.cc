@@ -24,12 +24,20 @@ CacheGeometry::CacheGeometry(const CacheConfig &config)
     line_mask = config.line_bytes - 1;
     pow2_sets = (num_sets & (num_sets - 1)) == 0;
     set_mask = num_sets - 1;
+    set_div = FastDiv(num_sets);
 }
 
 Cache::Cache(const CacheConfig &config, MemorySink &below)
     : config_(config), below_(&below), geom_(config)
 {
-    lines_.resize(geom_.num_sets * config_.associativity);
+    const std::size_t slots = geom_.num_sets * config_.associativity;
+    // Sentinel-fill the whole tag plane (including the vector-overread
+    // padding) so "invalid slot" and "tag == kInvalidTag" coincide
+    // everywhere the planes are probed tag-only.
+    tags_.assign(slots + simd::kTagPlanePad, kInvalidTag);
+    lru_.assign(slots, 0);
+    valid_.assign(slots, 0);
+    dirty_.assign(slots, 0);
 
     const std::uint32_t assoc = config_.associativity;
     const bool pow2_assoc = (assoc & (assoc - 1)) == 0;
@@ -41,6 +49,19 @@ Cache::Cache(const CacheConfig &config, MemorySink &below)
         slot_shift_ = geom_.line_shift - way_shift;
         slot_mask_ = geom_.set_mask << way_shift;
     }
+
+    use_simd_ = simd::Enabled();
+
+    // The batched engines test residency with the tag compare alone,
+    // so no batched line address may alias the invalid sentinel.  The
+    // packed-entry address field guarantees it for every geometry; the
+    // runtime check pins the invariant to this constructor should the
+    // trace word layout ever widen.
+    static_assert(TraceEntry::kMaxAddr < kInvalidTag,
+                  "packed trace addresses must not reach the invalid-"
+                  "tag sentinel");
+    PIM_ASSERT((TraceEntry::kMaxAddr & ~geom_.line_mask) != kInvalidTag,
+               "batched line address space aliases the invalid tag");
 }
 
 void
@@ -73,26 +94,33 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
         return;
     }
 
-    // Registerized fast path.  Every hit and every fill moves its line
-    // to way 0 of its set (see AccessLine), so a single-line access
-    // whose set's way 0 holds the line is a hit — exactly the way-0
-    // fast path of AccessLine, with identical counter updates.
+    // Registerized fast path.  An entry stays in the fast loop iff
+    // every line it touches is resident, proved by probing the *whole
+    // set* through the vector seam (simd::FindWay: one AVX2/NEON
+    // compare over the set's tag lane, or the scalar loop with the
+    // same semantics).  Way positions never affect counters — hits are
+    // found by tag and replacement by LRU stamp — so committing a hit
+    // in place, wherever the way, updates the statistics exactly as
+    // the scalar engine would.
     //
-    // The loop is split into *runs*: the inner loop handles consecutive
-    // way-0 hits and contains no function call, so the geometry, tick,
-    // and hit counters live entirely in registers (with the slow path
-    // inlined into the same loop body they all spill to the stack and
-    // each iteration pays half a dozen reloads).  Any entry the fast
-    // path cannot prove a hit breaks out, commits the register state,
-    // takes the full scalar route, and a new run begins.
+    // The loop is split into *runs*: the inner loop handles
+    // consecutive resident entries and contains no function call, so
+    // the geometry, tick, and hit counters live entirely in registers
+    // (with the slow path inlined into the same loop body they all
+    // spill to the stack and each iteration pays half a dozen
+    // reloads).  Any entry the fast path cannot prove a hit breaks
+    // out, commits the register state, takes the full scalar route,
+    // and a new run begins.
     std::size_t i = 0;
     while (i < count) {
-        Line *const lines = lines_.data();
+        Address *const tags = tags_.data();
+        std::uint64_t *const lru = lru_.data();
+        std::uint8_t *const dirty = dirty_.data();
         const Address line_mask = geom_.line_mask;
         const std::uint32_t slot_shift = slot_shift_;
         const std::size_t slot_mask = slot_mask_;
-        // Degrades to re-checking way 0 on direct-mapped caches.
-        const std::ptrdiff_t way1 = config_.associativity > 1 ? 1 : 0;
+        const std::uint32_t assoc = config_.associativity;
+        const bool use_simd = use_simd_;
         // Every probe the fast loop commits is a hit and bumps `tick`
         // exactly once, so total hits fall out of the tick delta at
         // commit time — only the write share needs its own counter.
@@ -106,31 +134,27 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
         const Address line_select = TraceEntry::kMaxAddr & ~line_mask;
         const Bytes line_bytes = line_mask + 1;
 
-        // Resolve a line to its slot if (and only if) it is a fast-path
-        // hit: resident in way 0 (the MRU way, see AccessLine) or way 1.
-        // Way 1 catches two streams ping-ponging in one set (each hit
-        // would otherwise evict the other from the MRU way and force
-        // the slow path every time).  A hit found there is not swapped
-        // forward: replacement uses LRU stamps, not way positions, so
-        // the counters are unaffected.  Read-only — callers decide
-        // whether to commit the update.  (Scanning the deeper ways
-        // here too was tried and measured slower: the extra loop
-        // spills the hot-loop registers, costing far more on the ~97%
-        // way-0/1 hits than it saves on the ~1% deep hits.)
-        const auto find_fast = [&](Address line) -> Line * {
-            Line *h =
-                &lines[static_cast<std::size_t>(line >> slot_shift) &
-                       slot_mask];
-            // Tag-only residency test: invalid lines hold kInvalidTag,
-            // which no 40-bit batched line address can equal.
-            if (h->tag == line) {
-                return h;
-            }
-            Line *w1 = h + way1;
-            if (w1->tag == line) {
-                return w1;
-            }
-            return nullptr;
+        // Same-line coalescing for the fast loop: consecutive entries
+        // hitting one line (the dominant sequential-kernel pattern)
+        // skip even the vector probe.  Safe because the run commits
+        // only hits — no fill or eviction can move a tag during a run,
+        // so the remembered slot still holds `prev_line`.  The
+        // sentinel initial value is unreachable by batched lines.
+        Address prev_line = kInvalidTag;
+        std::size_t prev_slot = 0;
+
+        // Resolve a resident line to its slot, or -1 on miss.  Invalid
+        // slots hold kInvalidTag, which no 40-bit batched line address
+        // can equal, so the tag compare alone decides residency.
+        const auto find_slot = [&](Address line) -> std::ptrdiff_t {
+            const std::size_t base =
+                static_cast<std::size_t>(line >> slot_shift) &
+                slot_mask;
+            const int w = simd::FindWay(use_simd, tags + base, assoc,
+                                        line);
+            return w < 0 ? std::ptrdiff_t{-1}
+                         : static_cast<std::ptrdiff_t>(
+                               base + static_cast<unsigned>(w));
         };
 
         for (; i < count; ++i) {
@@ -141,9 +165,15 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
             }
             const Bytes span = (e.word & line_mask) + bytes;
             const Address line = e.word & line_select;
-            Line *h1 = find_fast(line);
-            if (h1 == nullptr) {
-                break;
+            std::size_t s1;
+            if (line == prev_line) {
+                s1 = prev_slot;
+            } else {
+                const std::ptrdiff_t f = find_slot(line);
+                if (f < 0) {
+                    break;
+                }
+                s1 = static_cast<std::size_t>(f);
             }
             // Branchless hit bookkeeping: the read/write split is
             // data-dependent and irregular in real kernel streams, so
@@ -151,9 +181,12 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
             const std::uint64_t is_write = e.word >> 63;
             if (span <= line_bytes) [[likely]] {
                 ++tick;
-                h1->lru = tick;
-                h1->dirty = h1->dirty | (is_write != 0);
+                lru[s1] = tick;
+                dirty[s1] = static_cast<std::uint8_t>(
+                    dirty[s1] | is_write);
                 write_hits += is_write;
+                prev_line = line;
+                prev_slot = s1;
                 continue;
             }
             if (span > 2 * line_bytes) {
@@ -162,17 +195,21 @@ Cache::AccessBatch(const TraceEntry *entries, std::size_t count)
             // Exactly two lines.  Probe the second before touching the
             // first so a bail-out leaves no state modified and the
             // scalar path replays the whole span from scratch.
-            Line *h2 = find_fast(line + line_bytes);
-            if (h2 == nullptr) {
+            const Address line2 = line + line_bytes;
+            const std::ptrdiff_t f2 = find_slot(line2);
+            if (f2 < 0) {
                 break;
             }
+            const auto s2 = static_cast<std::size_t>(f2);
             ++tick;
-            h1->lru = tick;
-            h1->dirty = h1->dirty | (is_write != 0);
+            lru[s1] = tick;
+            dirty[s1] = static_cast<std::uint8_t>(dirty[s1] | is_write);
             ++tick;
-            h2->lru = tick;
-            h2->dirty = h2->dirty | (is_write != 0);
+            lru[s2] = tick;
+            dirty[s2] = static_cast<std::uint8_t>(dirty[s2] | is_write);
             write_hits += 2 * is_write;
+            prev_line = line2;
+            prev_slot = s2;
         }
 
         tick_ = tick;
@@ -257,12 +294,12 @@ Cache::AccessSpan(Address addr, Bytes bytes, AccessType type)
 inline void
 Cache::ProbeLine(Address line_addr, AccessType type)
 {
-    Line *ll = last_line_;
-    if (ll != nullptr && ll->tag == line_addr && ll->valid) {
+    const std::size_t ls = last_slot_;
+    if (ls != kNoSlot && tags_[ls] == line_addr && valid_[ls] != 0) {
         ++tick_;
-        ll->lru = tick_;
+        lru_[ls] = tick_;
         if (type == AccessType::kWrite) {
-            ll->dirty = true;
+            dirty_[ls] = 1;
             ++stats_.write_hits;
         } else {
             ++stats_.read_hits;
@@ -275,87 +312,105 @@ Cache::ProbeLine(Address line_addr, AccessType type)
 void
 Cache::AccessLine(Address line_addr, AccessType type)
 {
-    const std::size_t set = SetIndex(line_addr);
-    Line *base = &lines_[set * config_.associativity];
+    const std::uint32_t assoc = config_.associativity;
+    const std::size_t base_slot = SetIndex(line_addr) * assoc;
+    Address *const tags = tags_.data() + base_slot;
     ++tick_;
 
-    // MRU fast path: the last line touched in this set lives in way 0.
-    if (base->valid && base->tag == line_addr) {
-        base->lru = tick_;
+    int way;
+    if (line_addr != kInvalidTag) [[likely]] {
+        // Tag-only set probe through the vector seam.  Invalid slots
+        // hold the sentinel, which cannot equal this needle; overread
+        // lanes hold the sentinel or other sets' tags (see cache.h).
+        way = simd::FindWay(use_simd_, tags, assoc, line_addr);
+    } else {
+        // One-in-2^64 scalar-path needle that aliases the sentinel
+        // (a top-of-address-space access with a tiny line size): only
+        // the valid plane can distinguish residency here.
+        way = -1;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (valid_[base_slot + w] != 0 && tags[w] == line_addr) {
+                way = static_cast<int>(w);
+                break;
+            }
+        }
+    }
+
+    if (way >= 0) {
+        const std::size_t slot = base_slot + static_cast<unsigned>(way);
+        lru_[slot] = tick_;
         if (type == AccessType::kWrite) {
-            base->dirty = true;
+            dirty_[slot] = 1;
             ++stats_.write_hits;
         } else {
             ++stats_.read_hits;
         }
-        last_line_ = base;
+        if (way != 0) {
+            // Keep the MRU line in way 0 so the next probe of this set
+            // matches on the first tag lane.  Stamps move with lines,
+            // so replacement decisions are unchanged.
+            SwapSlots(slot, base_slot);
+        }
+        last_slot_ = base_slot;
         return;
     }
 
-    // Probe the remaining ways.
-    Line *victim = base;
-    for (std::uint32_t way = 1; way < config_.associativity; ++way) {
-        Line &l = base[way];
-        if (l.valid && l.tag == line_addr) {
-            l.lru = tick_;
-            if (type == AccessType::kWrite) {
-                l.dirty = true;
-                ++stats_.write_hits;
-            } else {
-                ++stats_.read_hits;
-            }
-            // Keep the MRU line in way 0.  Swapping whole entries
-            // moves the LRU stamps with them, so replacement decisions
-            // are unchanged.
-            std::swap(l, *base);
-            last_line_ = base;
-            return;
-        }
-        if (!l.valid) {
-            victim = &l;
-        } else if (victim->valid && l.lru < victim->lru) {
-            victim = &l;
+    // Miss: pick a victim.  Any invalid way is an equivalent victim
+    // (no eviction, no writeback); among valid ways the unique minimum
+    // LRU stamp decides, independent of position.
+    std::size_t victim = base_slot;
+    bool victim_valid = valid_[base_slot] != 0;
+    for (std::uint32_t w = 1; w < assoc; ++w) {
+        const std::size_t s = base_slot + w;
+        if (valid_[s] == 0) {
+            victim = s;
+            victim_valid = false;
+        } else if (victim_valid && lru_[s] < lru_[victim]) {
+            victim = s;
         }
     }
-    if (!base->valid) {
-        // Way 0 itself may be the (only) invalid way; the scan above
-        // started at way 1, so check it here.  Any invalid way is an
-        // equivalent victim — no eviction, no writeback.
-        victim = base;
+    if (valid_[base_slot] == 0) {
+        victim = base_slot;
+        victim_valid = false;
     }
 
-    // Miss: evict victim (writeback if dirty), then fill from below.
+    // Evict the victim (writeback if dirty), then fill from below.
     if (type == AccessType::kWrite) {
         ++stats_.write_misses;
     } else {
         ++stats_.read_misses;
     }
-    if (victim->valid && victim->dirty) {
+    if (victim_valid && dirty_[victim] != 0) {
         ++stats_.writebacks;
-        EmitBelow(victim->tag, config_.line_bytes, AccessType::kWrite);
+        EmitBelow(tags_[victim], config_.line_bytes, AccessType::kWrite);
     }
     EmitBelow(line_addr, config_.line_bytes, AccessType::kRead);
-    victim->valid = true;
-    victim->dirty = (type == AccessType::kWrite);
-    victim->tag = line_addr;
-    victim->lru = tick_;
-    if (victim != base) {
-        std::swap(*victim, *base);
+    tags_[victim] = line_addr;
+    valid_[victim] = 1;
+    dirty_[victim] = (type == AccessType::kWrite) ? 1 : 0;
+    lru_[victim] = tick_;
+    if (victim != base_slot) {
+        SwapSlots(victim, base_slot);
     }
-    last_line_ = base;
+    last_slot_ = base_slot;
 }
 
 void
 Cache::FlushAll()
 {
-    for (Line &l : lines_) {
-        if (l.valid && l.dirty) {
+    const std::size_t slots = geom_.num_sets * config_.associativity;
+    for (std::size_t s = 0; s < slots; ++s) {
+        if (valid_[s] != 0 && dirty_[s] != 0) {
             ++stats_.writebacks;
-            below_->Access(l.tag, config_.line_bytes, AccessType::kWrite);
+            below_->Access(tags_[s], config_.line_bytes,
+                           AccessType::kWrite);
         }
-        l = Line{};
+        tags_[s] = kInvalidTag;
+        lru_[s] = 0;
+        valid_[s] = 0;
+        dirty_[s] = 0;
     }
-    last_line_ = nullptr;
+    last_slot_ = kNoSlot;
 }
 
 std::uint64_t
@@ -371,16 +426,20 @@ Cache::FlushRange(Address base, Bytes bytes)
     const Address last = geom_.LineAddr(base + (bytes - 1));
     std::uint64_t flushed = 0;
     for (;;) {
-        const std::size_t set = SetIndex(cur);
-        Line *set_base = &lines_[set * config_.associativity];
-        for (std::uint32_t way = 0; way < config_.associativity; ++way) {
-            Line &l = set_base[way];
-            if (l.valid && l.tag == cur) {
-                if (l.dirty) {
+        const std::size_t set_base =
+            SetIndex(cur) * config_.associativity;
+        for (std::uint32_t way = 0; way < config_.associativity;
+             ++way) {
+            const std::size_t s = set_base + way;
+            if (valid_[s] != 0 && tags_[s] == cur) {
+                if (dirty_[s] != 0) {
                     ++stats_.writebacks;
-                    below_->Access(l.tag, line, AccessType::kWrite);
+                    below_->Access(tags_[s], line, AccessType::kWrite);
                 }
-                l = Line{};
+                tags_[s] = kInvalidTag;
+                lru_[s] = 0;
+                valid_[s] = 0;
+                dirty_[s] = 0;
                 ++flushed;
                 break;
             }
@@ -390,7 +449,7 @@ Cache::FlushRange(Address base, Bytes bytes)
         }
         cur += line;
     }
-    last_line_ = nullptr;
+    last_slot_ = kNoSlot;
     return flushed;
 }
 
@@ -398,10 +457,10 @@ bool
 Cache::Contains(Address addr) const
 {
     const Address line_addr = geom_.LineAddr(addr);
-    const std::size_t set = SetIndex(line_addr);
-    const Line *base = &lines_[set * config_.associativity];
+    const std::size_t set_base = SetIndex(line_addr) * config_.associativity;
     for (std::uint32_t way = 0; way < config_.associativity; ++way) {
-        if (base[way].valid && base[way].tag == line_addr) {
+        const std::size_t s = set_base + way;
+        if (valid_[s] != 0 && tags_[s] == line_addr) {
             return true;
         }
     }

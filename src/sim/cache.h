@@ -10,15 +10,26 @@
  * The probe path is the simulator's hot loop, so it is engineered for
  * throughput while staying counter-for-counter identical to the naive
  * probe-every-way formulation:
+ *  - line metadata is structure-of-arrays: one contiguous `Address`
+ *    tag plane (64-byte aligned, sentinel-padded) plus packed
+ *    lru/valid/dirty planes, so a set's ways sit in consecutive tag
+ *    lanes and one vector compare (AVX2/NEON via sim/simd.h) tests
+ *    residency for the whole set,
  *  - set index and line alignment are shifts/masks precomputed at
- *    construction (no div/mod per probe),
- *  - the most-recently-used line of a set is kept in way 0, so the
- *    common re-reference pattern hits on the first tag compare,
+ *    construction; non-power-of-two set counts use a fixed-point
+ *    reciprocal (FastDiv) instead of a hardware divide per probe,
  *  - consecutive probes to the same line (the dominant pattern of
  *    sequential kernels) are coalesced through a one-entry filter that
  *    skips the set search entirely, and
  *  - batched streams enter through AccessBatch, paying one virtual
- *    dispatch per batch instead of per access.
+ *    dispatch per batch instead of per access, with a registerized
+ *    hit-run inner loop that probes full sets through the vector seam.
+ *
+ * Counter equivalence across layouts: way *positions* never influence
+ * the statistics.  Hits are found by tag (any way), replacement picks
+ * an invalid way or the unique minimum LRU stamp, and stamps travel
+ * with their lines when ways are swapped — so scalar, vector, and
+ * batched engines produce bit-identical CacheStats on any stream.
  */
 
 #ifndef PIM_SIM_CACHE_H
@@ -30,8 +41,11 @@
 
 #include <array>
 
+#include "common/aligned.h"
+#include "common/fastdiv.h"
 #include "common/types.h"
 #include "sim/access.h"
+#include "sim/simd.h"
 
 namespace pim::sim {
 
@@ -96,6 +110,8 @@ struct CacheGeometry
     Address line_mask = 0;        ///< line_bytes - 1
     std::size_t set_mask = 0;     ///< num_sets - 1, valid when pow2_sets
     bool pow2_sets = false;
+    /** Reciprocal of num_sets for the non-power-of-two path. */
+    FastDiv set_div;
 
     /** First byte of the line containing @p addr. */
     Address LineAddr(Address addr) const { return addr & ~line_mask; }
@@ -108,9 +124,12 @@ struct CacheGeometry
     SetIndex(Address addr) const
     {
         const Address line_no = addr >> line_shift;
+        // Power-of-two set counts take one AND; the rest multiply by
+        // the precomputed reciprocal — exact for every 64-bit line
+        // number (see common/fastdiv.h) — instead of dividing.
         return pow2_sets
                    ? static_cast<std::size_t>(line_no) & set_mask
-                   : static_cast<std::size_t>(line_no % num_sets);
+                   : static_cast<std::size_t>(set_div.Mod(line_no));
     }
 };
 
@@ -122,6 +141,18 @@ struct CacheGeometry
 class Cache final : public MemorySink
 {
   public:
+    /**
+     * Invalid slots carry a sentinel tag no batched line address can
+     * have: trace entries are capped at TraceEntry::kMaxAddr (40 bits),
+     * so all-ones never equals a batched line address and both the
+     * batched fast path and the vector probe can test residency with
+     * the tag compare alone.  The valid plane stays authoritative for
+     * the scalar paths (which accept full 64-bit addresses — a scalar
+     * probe whose line address aliases the sentinel takes a
+     * valid-checked scan) and for victim selection.
+     */
+    static constexpr Address kInvalidTag = ~Address{0};
+
     /**
      * @param config geometry; size must be divisible by
      *               associativity * line_bytes.
@@ -152,26 +183,13 @@ class Cache final : public MemorySink
     const CacheConfig &config() const { return config_; }
     const CacheGeometry &geometry() const { return geom_; }
 
+    /** True if this instance probes sets with the vector ISA path. */
+    bool simd_probe() const { return use_simd_; }
+
     /** Zero the statistics; contents are kept. */
     void ResetStats() { stats_ = CacheStats{}; }
 
   private:
-    struct Line
-    {
-        // Invalid lines carry a sentinel tag no real line can have:
-        // batched entries are capped at TraceEntry::kMaxAddr (40 bits),
-        // so all-ones never equals a line address and the batched fast
-        // path can test residency with the tag compare alone.  `valid`
-        // stays authoritative for the scalar paths (which accept full
-        // 64-bit addresses) and for victim selection.
-        static constexpr Address kInvalidTag = ~Address{0};
-
-        Address tag = kInvalidTag;
-        std::uint64_t lru = 0; // larger == more recently used
-        bool valid = false;
-        bool dirty = false;
-    };
-
     void AccessSpan(Address addr, Bytes bytes, AccessType type);
     void ProbeLine(Address line_addr, AccessType type);
     void AccessLine(Address line_addr, AccessType type);
@@ -184,12 +202,36 @@ class Cache final : public MemorySink
         return geom_.SetIndex(line_addr);
     }
 
+    /**
+     * Swap two slots across all four planes.  LRU stamps move with
+     * their lines, so replacement decisions are unchanged by position.
+     */
+    void
+    SwapSlots(std::size_t a, std::size_t b)
+    {
+        std::swap(tags_[a], tags_[b]);
+        std::swap(lru_[a], lru_[b]);
+        std::swap(valid_[a], valid_[b]);
+        std::swap(dirty_[a], dirty_[b]);
+    }
+
     CacheConfig config_;
     MemorySink *below_;
     // Precomputed set-index geometry (shifts and masks instead of
     // / and % on every probe); also consumed by ShardedReplay.
     CacheGeometry geom_;
-    std::vector<Line> lines_; // sets_ x associativity, row-major
+
+    // SoA line metadata, indexed by slot = set * associativity + way.
+    // The tag plane is cache-line aligned and carries kTagPlanePad
+    // sentinel lanes past the last set so whole-register vector loads
+    // never read unowned memory; overread lanes can never false-hit
+    // (they hold the sentinel or tags of other sets, and a line's tag
+    // is only ever installed in the set its address indexes).
+    AlignedVector<Address> tags_;
+    std::vector<std::uint64_t> lru_; // larger == more recently used
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+
     std::uint64_t tick_ = 0;
     CacheStats stats_;
 
@@ -201,11 +243,16 @@ class Cache final : public MemorySink
     std::size_t slot_mask_ = 0;
     bool fast_batch_ = false;
 
-    // One-entry coalescing filter: the line touched by the previous
-    // probe.  Validity is re-checked by tag on every use (the pointed-to
+    // Construction-time snapshot of simd::Enabled(): one instance is
+    // uniformly vector or uniformly scalar for its whole lifetime.
+    bool use_simd_ = false;
+
+    // One-entry coalescing filter: the slot touched by the previous
+    // scalar probe.  Validity is re-checked by tag on every use (the
     // slot may have been refilled or swapped since), so the filter can
     // never produce a stale hit; it only short-circuits the set search.
-    Line *last_line_ = nullptr;
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+    std::size_t last_slot_ = kNoSlot;
 
     // During AccessBatch, miss traffic (fills and writebacks) is staged
     // here and forwarded via below_->AccessBatch in the original emit

@@ -5,6 +5,7 @@
 #include <bit>
 #include <vector>
 
+#include "sim/affinity.h"
 #include "telemetry/span_tracer.h"
 
 namespace pim::sim {
@@ -59,8 +60,14 @@ PartitionEntries(const TraceEntry *entries, std::size_t count,
 /** The trivially-identical path every unsupported case lands on. */
 template <typename TraceT>
 PerfCounters
-SerialReplay(const TraceT &trace, const HierarchyConfig &config)
+SerialReplay(const TraceT &trace, const HierarchyConfig &config,
+             ShardPlacement *placement)
 {
+    if (placement != nullptr) {
+        *placement = ShardPlacement{};
+        placement->pinning_enabled = affinity::PinningEnabled();
+        placement->shard_cpu.assign(1, affinity::CurrentCpu());
+    }
     MemoryHierarchy mh(config);
     trace.ReplayInto(mh.Top());
     return mh.Snapshot();
@@ -142,10 +149,15 @@ PerfCounters
 ReplayBuckets(const SweepRunner &runner,
               const std::vector<std::vector<TraceEntry>> &buckets,
               std::size_t chunks, unsigned shards,
-              const HierarchyConfig &config)
+              const HierarchyConfig &config,
+              ShardPlacement *placement)
 {
     std::vector<PerfCounters> parts(shards);
-    runner.ForEach(shards, [&](std::size_t s) {
+    std::vector<int> cpus(shards, -1);
+    // Pinned workers + per-worker hierarchy construction: the shard's
+    // tag planes are first-touched on the core that will probe them,
+    // so on a NUMA machine each shard's working set is node-local.
+    runner.ForEachPinned(shards, [&](std::size_t s) {
         PIM_TRACE_SPAN("sweep", "shard_replay[" + std::to_string(s) +
                                     "]");
         MemoryHierarchy mh(config);
@@ -157,7 +169,14 @@ ReplayBuckets(const SweepRunner &runner,
             }
         }
         parts[s] = mh.Snapshot();
+        cpus[s] = affinity::CurrentCpu();
     });
+    if (placement != nullptr) {
+        placement->sharded = true;
+        placement->pinning_enabled = affinity::PinningEnabled();
+        placement->shards = shards;
+        placement->shard_cpu = std::move(cpus);
+    }
     PerfCounters total = parts[0];
     for (unsigned s = 1; s < shards; ++s) {
         total += parts[s];
@@ -169,12 +188,13 @@ ReplayBuckets(const SweepRunner &runner,
 
 PerfCounters
 ShardedReplay::Replay(const AccessTrace &trace,
-                      const HierarchyConfig &config) const
+                      const HierarchyConfig &config,
+                      ShardPlacement *placement) const
 {
     const ShardedReplayPlan plan =
         PlanFor(config, runner_.thread_count());
     if (!plan.supported || trace.empty()) {
-        return SerialReplay(trace, config);
+        return SerialReplay(trace, config, placement);
     }
     PIM_TRACE_SPAN("sweep", "ShardedReplay");
     const unsigned shards = plan.shards;
@@ -206,19 +226,21 @@ ShardedReplay::Replay(const AccessTrace &trace,
                          plan.block_shift, shards, out, &overflow);
     });
     if (overflow.load(std::memory_order_relaxed)) {
-        return SerialReplay(trace, config);
+        return SerialReplay(trace, config, placement);
     }
-    return ReplayBuckets(runner_, buckets, chunks, shards, config);
+    return ReplayBuckets(runner_, buckets, chunks, shards, config,
+                         placement);
 }
 
 PerfCounters
 ShardedReplay::Replay(const CompactTrace &trace,
-                      const HierarchyConfig &config) const
+                      const HierarchyConfig &config,
+                      ShardPlacement *placement) const
 {
     const ShardedReplayPlan plan =
         PlanFor(config, runner_.thread_count());
     if (!plan.supported || trace.empty()) {
-        return SerialReplay(trace, config);
+        return SerialReplay(trace, config, placement);
     }
     PIM_TRACE_SPAN("sweep", "ShardedReplay(compact)");
     const unsigned shards = plan.shards;
@@ -246,7 +268,7 @@ ShardedReplay::Replay(const CompactTrace &trace,
                                (2 * shards) +
                            16);
         }
-        TraceEntry buffer[CompactTrace::kBlockEntries];
+        alignas(64) TraceEntry buffer[CompactTrace::kBlockEntries];
         for (std::size_t b = begin; b < end; ++b) {
             const std::size_t n = trace.DecodeBlock(b, buffer);
             PartitionEntries(buffer, n, plan.block_shift, shards, out,
@@ -257,9 +279,10 @@ ShardedReplay::Replay(const CompactTrace &trace,
         }
     });
     if (overflow.load(std::memory_order_relaxed)) {
-        return SerialReplay(trace, config);
+        return SerialReplay(trace, config, placement);
     }
-    return ReplayBuckets(runner_, buckets, chunks, shards, config);
+    return ReplayBuckets(runner_, buckets, chunks, shards, config,
+                         placement);
 }
 
 } // namespace pim::sim

@@ -35,7 +35,11 @@
  * Replay runs in two phases on SweepRunner::ForEach: (A) parallel
  * partition of the trace into per-(chunk, shard) entry buckets, and
  * (B) one private MemoryHierarchy per shard replaying its buckets in
- * chunk order through the batched fast path.  When the geometry does
+ * chunk order through the batched fast path.  Phase B workers are
+ * pinned to cores (ForEachPinned) and each shard's hierarchy is
+ * allocated by the worker that replays it, so first-touch places its
+ * tag planes NUMA-local; ShardPlacement reports where each shard ran.
+ * When the geometry does
  * not admit a valid key (non-pow2 set counts, LLC lines smaller than
  * L1 lines, fewer than two shards possible) — or when a trace entry
  * spans past TraceEntry::kMaxAddr, whose split sub-entries a packed
@@ -47,6 +51,7 @@
 #define PIM_SIM_SHARDED_REPLAY_H
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/hierarchy.h"
 #include "sim/perf_counters.h"
@@ -64,6 +69,22 @@ struct ShardedReplayPlan
     std::uint32_t block_lines = 1; ///< Contiguous L1 lines per stripe.
     std::uint32_t block_shift = 0; ///< shard = (addr>>shift) & (S-1).
     const char *why = "";        ///< Reason when !supported.
+};
+
+/**
+ * Shard→core placement telemetry from one Replay call.  Workers are
+ * pinned (SweepRunner::ForEachPinned) and each shard's private
+ * hierarchy is allocated by its own worker, so first-touch places the
+ * tag planes on the worker's NUMA node; this records where each shard
+ * actually ran.  Purely observational — counters never depend on it.
+ */
+struct ShardPlacement
+{
+    bool sharded = false;         ///< False => the serial fallback ran.
+    bool pinning_enabled = false; ///< affinity kill-switch at replay.
+    unsigned shards = 1;
+    /** CPU shard s finished its replay on (sched_getcpu; -1 unknown). */
+    std::vector<int> shard_cpu;
 };
 
 /** Intra-trace parallel replay of one trace through one hierarchy. */
@@ -87,14 +108,17 @@ class ShardedReplay
      * Replay @p trace through a cold hierarchy of shape @p config and
      * return its counter snapshot — bit-identical to
      * SweepRunner::ReplayTrace's single-config result for any shard or
-     * thread count.
+     * thread count.  @p placement, when non-null, receives the
+     * shard→core map of this replay (telemetry only).
      */
     PerfCounters Replay(const AccessTrace &trace,
-                        const HierarchyConfig &config) const;
+                        const HierarchyConfig &config,
+                        ShardPlacement *placement = nullptr) const;
 
     /** Same, decoding a compact trace block-by-block while sharding. */
     PerfCounters Replay(const CompactTrace &trace,
-                        const HierarchyConfig &config) const;
+                        const HierarchyConfig &config,
+                        ShardPlacement *placement = nullptr) const;
 
     const SweepRunner &runner() const { return runner_; }
 

@@ -1,0 +1,62 @@
+#include "sim/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace pim::sim::simd {
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = disabled, 1 = enabled.
+std::atomic<int> g_enabled{-1};
+
+int
+ResolveFromEnv()
+{
+    const char *env = std::getenv("PIM_SIMD");
+    if (env != nullptr) {
+        const std::string_view v(env);
+        if (v == "off" || v == "0" || v == "false" || v == "no") {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+Enabled()
+{
+    if (CompiledIsa() == Isa::kScalar) {
+        return false;
+    }
+    int state = g_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = ResolveFromEnv();
+        g_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void
+SetEnabled(bool enabled)
+{
+    g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char *
+IsaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::kAvx2:
+        return "avx2";
+    case Isa::kNeon:
+        return "neon";
+    case Isa::kScalar:
+        break;
+    }
+    return "scalar";
+}
+
+} // namespace pim::sim::simd

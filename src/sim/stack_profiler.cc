@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -20,7 +21,10 @@ StackDistanceProfiler::StackDistanceProfiler(StackProfilerConfig config)
     line_mask_ = config_.line_bytes - 1;
     pow2_sets_ = (config_.num_sets & (config_.num_sets - 1)) == 0;
     set_mask_ = config_.num_sets - 1;
-    stacks_.resize(config_.num_sets);
+    set_div_ = FastDiv(config_.num_sets);
+    use_simd_ = simd::Enabled();
+    stack_tags_.resize(config_.num_sets);
+    stack_dirty_.resize(config_.num_sets);
 
     tracked_ = config_.tracked_assocs;
     std::sort(tracked_.begin(), tracked_.end());
@@ -37,10 +41,6 @@ StackDistanceProfiler::StackDistanceProfiler(StackProfilerConfig config)
             tracked_.size() == 64
                 ? ~std::uint64_t{0}
                 : (std::uint64_t{1} << tracked_.size()) - 1;
-        bit_of_depth_.assign(tracked_.back() + 1, -1);
-        for (std::size_t j = 0; j < tracked_.size(); ++j) {
-            bit_of_depth_[tracked_[j]] = static_cast<std::int8_t>(j);
-        }
     }
 }
 
@@ -87,13 +87,16 @@ void
 StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
 {
     ++probes_;
-    std::vector<Entry> &stack = stacks_[SetIndex(line_addr)];
-    const std::size_t depth = stack.size();
+    const std::size_t set = SetIndex(line_addr);
+    AlignedVector<Address> &tags = stack_tags_[set];
+    std::vector<std::uint64_t> &dirty = stack_dirty_[set];
+    const std::size_t depth = tags.size();
 
-    std::size_t d = 0;
-    while (d < depth && stack[d].tag != line_addr) {
-        ++d;
-    }
+    // The distance search is the cache's vectorized tag scan over this
+    // stack's contiguous tag lane (tags are unique within a stack, so
+    // the lowest-match semantics are exact).
+    const std::size_t d =
+        simd::FindTagLinear(use_simd_, tags.data(), depth, line_addr);
 
     std::uint64_t promoted_dirty;
     if (d == depth) {
@@ -104,7 +107,8 @@ StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
         } else {
             ++read_cold_;
         }
-        stack.emplace_back(); // room for the shift below
+        tags.emplace_back(); // room for the shift below
+        dirty.emplace_back();
         promoted_dirty = is_write ? full_dirty_mask_ : 0;
     } else {
         std::vector<std::uint64_t> &hist =
@@ -118,26 +122,31 @@ StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
         // and a write refill sets them.  Caches with assoc > d hit: a
         // write marks them dirty, a read leaves them unchanged.  Both
         // cases collapse to one OR.
-        promoted_dirty =
-            stack[d].dirty | (is_write ? full_dirty_mask_ : 0);
+        promoted_dirty = dirty[d] | (is_write ? full_dirty_mask_ : 0);
     }
 
-    // Promote: entries [0, d) sink one step.  An entry arriving at
-    // depth a == tracked_[j] has just been evicted from the a-way
-    // cache; if it was dirty there, that cache wrote it back.
-    const std::size_t max_boundary = bit_of_depth_.size();
-    for (std::size_t i = d; i > 0; --i) {
-        stack[i] = stack[i - 1];
-        if (i < max_boundary) {
-            const int b = bit_of_depth_[i];
-            if (b >= 0 && ((stack[i].dirty >> b) & 1) != 0) {
-                ++writebacks_[static_cast<std::size_t>(b)];
-                stack[i].dirty &= ~(std::uint64_t{1} << b);
+    // Promote: entries [0, d) sink one step — two bulk moves over the
+    // SoA lanes instead of a per-position copy loop.  Then account
+    // tracked evictions: after the shift, depth a holds the entry that
+    // just arrived there, i.e. was evicted from the a-way cache; if it
+    // was dirty in that cache (bit j), that cache wrote it back.  Only
+    // tracked boundaries <= d received a sinking entry.
+    if (d > 0) {
+        std::memmove(tags.data() + 1, tags.data(),
+                     d * sizeof(Address));
+        std::memmove(dirty.data() + 1, dirty.data(),
+                     d * sizeof(std::uint64_t));
+        for (std::size_t j = 0;
+             j < tracked_.size() && tracked_[j] <= d; ++j) {
+            const std::uint32_t a = tracked_[j];
+            if (((dirty[a] >> j) & 1) != 0) {
+                ++writebacks_[j];
+                dirty[a] &= ~(std::uint64_t{1} << j);
             }
         }
     }
-    stack[0].tag = line_addr;
-    stack[0].dirty = promoted_dirty;
+    tags[0] = line_addr;
+    dirty[0] = promoted_dirty;
 }
 
 int

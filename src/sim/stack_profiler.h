@@ -45,10 +45,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
+#include "common/fastdiv.h"
 #include "common/types.h"
 #include "sim/access.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
+#include "sim/simd.h"
 
 namespace pim::sim {
 
@@ -118,29 +121,17 @@ class StackDistanceProfiler final : public MemorySink
     const StackProfilerConfig &config() const { return config_; }
 
   private:
-    /** One stack slot: a line tag plus per-tracked-assoc dirty bits. */
-    struct Entry
-    {
-        Address tag = 0;
-        /**
-         * Bit j set <=> the line is resident *and* dirty in the
-         * tracked_[j]-way cache.  Cleared (with a writeback counted)
-         * when the entry sinks past depth tracked_[j]; an entry at
-         * depth >= tracked_[j] therefore always has bit j clear.
-         */
-        std::uint64_t dirty = 0;
-    };
-
     void ProbeLine(Address line_addr, bool is_write);
 
     std::size_t
     SetIndex(Address line_addr) const
     {
         const Address line_no = line_addr >> line_shift_;
+        // Same shift/mask-or-reciprocal pipeline as CacheGeometry, so
+        // the profiler routes lines to sets exactly as Cache would.
         return pow2_sets_
                    ? static_cast<std::size_t>(line_no) & set_mask_
-                   : static_cast<std::size_t>(line_no %
-                                              config_.num_sets);
+                   : static_cast<std::size_t>(set_div_.Mod(line_no));
     }
 
     /** Index into tracked_ / writebacks_, or -1 if not tracked. */
@@ -151,14 +142,25 @@ class StackDistanceProfiler final : public MemorySink
     Address line_mask_ = 0;
     std::size_t set_mask_ = 0;
     bool pow2_sets_ = false;
+    FastDiv set_div_;
+    bool use_simd_ = false;
 
     std::vector<std::uint32_t> tracked_; ///< Sorted, deduplicated.
     std::uint64_t full_dirty_mask_ = 0;
-    /** bit_of_depth_[a] = tracked bit whose boundary is depth a, or -1. */
-    std::vector<std::int8_t> bit_of_depth_;
 
-    /** Per-set LRU stacks, most recently used at index 0. */
-    std::vector<std::vector<Entry>> stacks_;
+    /**
+     * Per-set LRU stacks in structure-of-arrays form, most recently
+     * used at index 0.  The tag lane of each stack is contiguous (and
+     * aligned) so the distance search is the same vectorized tag scan
+     * the cache's set probe uses; stack_dirty_ is the parallel lane of
+     * per-tracked-assoc dirty bitmasks: bit j set <=> the line is
+     * resident *and* dirty in the tracked_[j]-way cache.  Bit j is
+     * cleared (with a writeback counted) when the entry sinks past
+     * depth tracked_[j]; an entry at depth >= tracked_[j] therefore
+     * always has bit j clear.
+     */
+    std::vector<AlignedVector<Address>> stack_tags_;
+    std::vector<std::vector<std::uint64_t>> stack_dirty_;
 
     std::vector<std::uint64_t> read_hist_;
     std::vector<std::uint64_t> write_hist_;

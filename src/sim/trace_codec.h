@@ -21,7 +21,11 @@
  *    block-by-block into a small stack-resident buffer (never
  *    materializing the 8-byte form of the whole trace) and blocks can
  *    be decoded independently (the sharded replay partitioner decodes
- *    them in parallel).
+ *    them in parallel);
+ *  - run tokens decode through a vectorized stride expander
+ *    (sim/simd.h): within a run the packed word advances by a constant
+ *    delta, so whole blocks materialize into the aligned staging
+ *    buffer with SIMD stores instead of a per-entry pack loop.
  *
  * Decoded output is bit-exact: CompactTrace::ReplayInto feeds the same
  * TraceEntry batches to MemorySink::AccessBatch that the raw trace

@@ -5,12 +5,32 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/hierarchy.h"
+#include "sim/simd.h"
+#include "sim/trace.h"
 
 namespace pim::sim {
 namespace {
+
+/** Forces the SIMD kill-switch for one scope, restoring it on exit. */
+class SimdGuard
+{
+  public:
+    explicit SimdGuard(bool on) : prev_(simd::Enabled())
+    {
+        simd::SetEnabled(on);
+    }
+    ~SimdGuard() { simd::SetEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
 
 CacheConfig
 SmallCache(Bytes size = 1_KiB, std::uint32_t assoc = 2)
@@ -255,6 +275,195 @@ TEST(Dram, CountsRequestsAndBytes)
     EXPECT_EQ(dram.stats().write_requests, 1u);
     EXPECT_EQ(dram.stats().TotalBytes(), 192u);
     EXPECT_EQ(dram.stats().TotalRequests(), 2u);
+}
+
+// ---- Set indexing: FastDiv reciprocal vs hardware modulo ----------
+
+TEST(CacheGeometry, SetIndexMatchesModuloOnAwkwardSetCounts)
+{
+    // Non-power-of-two set counts take the fixed-point-reciprocal
+    // path; it must agree with `%` for every probeable address.
+    const std::size_t set_counts[] = {3, 5, 6, 7, 9, 12, 24,
+                                      56, 96, 341, 1000};
+    Rng rng(0xc0de);
+    for (const std::size_t sets : set_counts) {
+        const CacheConfig config{"awkward", sets * 2 * 64, 2, 64};
+        const CacheGeometry geom(config);
+        ASSERT_EQ(geom.num_sets, sets);
+        ASSERT_FALSE(geom.pow2_sets);
+
+        std::vector<Address> addrs = {0, 63, 64, 65,
+                                      TraceEntry::kMaxAddr,
+                                      TraceEntry::kMaxAddr - 64,
+                                      ~Address{0}, ~Address{0} - 64};
+        for (int k = 6; k < 64; k += 3) {
+            addrs.push_back((Address{1} << k) - 1);
+            addrs.push_back(Address{1} << k);
+        }
+        for (int i = 0; i < 2000; ++i) {
+            addrs.push_back(rng.Next64());
+        }
+        for (const Address a : addrs) {
+            ASSERT_EQ(geom.SetIndex(a), (a >> geom.line_shift) % sets)
+                << "sets=" << sets << " addr=" << a;
+        }
+    }
+}
+
+// ---- Sentinel-tag regression: addresses adjacent to the caps ------
+
+TEST(Cache, ScalarAccessAtTopOfAddressSpace)
+{
+    // Scalar probes accept full 64-bit addresses; the top line of the
+    // address space must behave like any other (the all-ones sentinel
+    // only aliases a *line address*, and the valid plane still guards
+    // scalar scans).
+    DramCounter dram(Lpddr3Config());
+    Cache cache(SmallCache(), dram);
+
+    const Address top_line = ~Address{0} & ~Address{63};
+    cache.Access(top_line, 4, AccessType::kRead);
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+    cache.Access(top_line + 32, 4, AccessType::kWrite);
+    EXPECT_EQ(cache.stats().write_hits, 1u);
+    EXPECT_TRUE(cache.Contains(top_line));
+    EXPECT_FALSE(cache.Contains(top_line - 64));
+}
+
+TEST(Cache, BatchedEntriesAdjacentToMaxAddrMatchScalar)
+{
+    // The batched fast path tests residency by tag compare alone; that
+    // is sound only because packed addresses are capped at kMaxAddr,
+    // below the invalid-tag sentinel.  Replay the cap's neighborhood
+    // through AccessBatch and through scalar Access: identical stats.
+    const Address last_line = TraceEntry::kMaxAddr & ~Address{63};
+    std::vector<TraceEntry> entries;
+    for (int rep = 0; rep < 3; ++rep) {
+        entries.emplace_back(last_line, 64, AccessType::kRead);
+        entries.emplace_back(TraceEntry::kMaxAddr - 3, 4,
+                             AccessType::kWrite);
+        entries.emplace_back(last_line - 64, 64, AccessType::kRead);
+        entries.emplace_back(last_line - 128, 130, AccessType::kWrite);
+    }
+
+    DramCounter dram_a(Lpddr3Config());
+    Cache batched(SmallCache(), dram_a);
+    batched.AccessBatch(entries.data(), entries.size());
+
+    DramCounter dram_b(Lpddr3Config());
+    Cache scalar(SmallCache(), dram_b);
+    for (const TraceEntry &e : entries) {
+        scalar.Access(e.addr(), e.bytes(), e.type());
+    }
+
+    EXPECT_EQ(batched.stats().read_hits, scalar.stats().read_hits);
+    EXPECT_EQ(batched.stats().read_misses, scalar.stats().read_misses);
+    EXPECT_EQ(batched.stats().write_hits, scalar.stats().write_hits);
+    EXPECT_EQ(batched.stats().write_misses,
+              scalar.stats().write_misses);
+    EXPECT_EQ(batched.stats().writebacks, scalar.stats().writebacks);
+    EXPECT_TRUE(batched.Contains(last_line));
+    EXPECT_GT(batched.stats().Hits(), 0u);
+}
+
+// ---- SIMD/scalar probe equivalence --------------------------------
+
+TEST(Cache, DeepWayHitsFoundByBothProbes)
+{
+    // One 8-way set: re-touching all 8 residents must hit at every way
+    // position — including the lanes a second vector iteration covers.
+    for (const bool simd_on : {false, true}) {
+        SimdGuard guard(simd_on);
+        DramCounter dram(Lpddr3Config());
+        Cache cache(CacheConfig{"one-set", 512, 8, 64}, dram);
+        for (Address way = 0; way < 8; ++way) {
+            cache.Access(way * 64, 4, AccessType::kRead);
+        }
+        EXPECT_EQ(cache.stats().read_misses, 8u);
+        for (Address way = 8; way-- > 0;) {
+            cache.Access(way * 64, 4, AccessType::kRead);
+        }
+        EXPECT_EQ(cache.stats().read_hits, 8u)
+            << "simd=" << simd_on;
+    }
+}
+
+/** Random mixed-size streams across geometries, vector vs scalar. */
+class SimdEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Bytes, std::uint32_t>>
+{
+};
+
+TEST_P(SimdEquivalenceTest, VectorAndScalarProbeCountersBitIdentical)
+{
+    const auto [size, assoc] = GetParam();
+    const CacheConfig config{"simd-eq", size, assoc, 64};
+
+    // Conflict-heavy stream confined to a working set a few times the
+    // cache, with spans, writes, and repeats so hits land at deep ways.
+    Rng rng(0xd1ce + assoc);
+    std::vector<TraceEntry> entries;
+    const Address span_lines = (size / 64) * 4;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t r = rng.Next64();
+        const Address addr = (r % span_lines) * 64 + ((r >> 40) & 63);
+        const Bytes bytes = 1 + ((r >> 50) & 0x7F);
+        entries.emplace_back(
+            std::min<Address>(addr, TraceEntry::kMaxAddr - bytes),
+            bytes,
+            (r & 1) != 0 ? AccessType::kWrite : AccessType::kRead);
+    }
+
+    CacheStats per_mode[2];
+    std::uint64_t dram_reads[2], dram_writes[2];
+    for (const bool simd_on : {false, true}) {
+        SimdGuard guard(simd_on);
+        DramCounter dram(Lpddr3Config());
+        Cache cache(config, dram);
+        cache.AccessBatch(entries.data(), entries.size());
+        // Scalar re-pass over a prefix exercises the non-batched probe
+        // and the coalescing filter against warm contents.
+        for (std::size_t i = 0; i < 512; ++i) {
+            cache.Access(entries[i].addr(), entries[i].bytes(),
+                         entries[i].type());
+        }
+        cache.FlushAll();
+        per_mode[simd_on ? 1 : 0] = cache.stats();
+        dram_reads[simd_on ? 1 : 0] = dram.stats().read_requests;
+        dram_writes[simd_on ? 1 : 0] = dram.stats().write_requests;
+    }
+    EXPECT_EQ(per_mode[0].read_hits, per_mode[1].read_hits);
+    EXPECT_EQ(per_mode[0].read_misses, per_mode[1].read_misses);
+    EXPECT_EQ(per_mode[0].write_hits, per_mode[1].write_hits);
+    EXPECT_EQ(per_mode[0].write_misses, per_mode[1].write_misses);
+    EXPECT_EQ(per_mode[0].writebacks, per_mode[1].writebacks);
+    EXPECT_EQ(dram_reads[0], dram_reads[1]);
+    EXPECT_EQ(dram_writes[0], dram_writes[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SimdEquivalenceTest,
+    ::testing::Values(std::make_tuple(Bytes{1_KiB}, 1u),
+                      std::make_tuple(Bytes{4_KiB}, 2u),
+                      std::make_tuple(Bytes{8_KiB}, 4u),
+                      std::make_tuple(Bytes{32_KiB}, 8u),
+                      std::make_tuple(Bytes{64_KiB}, 16u),
+                      // Non-pow2 sets: FastDiv + scalar batch path.
+                      std::make_tuple(Bytes{768 * 64 * 2}, 2u)));
+
+TEST(Cache, SimdSnapshotTakenAtConstruction)
+{
+    // An instance keeps the probe flavor it was built with; flipping
+    // the kill-switch afterwards must not affect it.
+    SimdGuard guard(true);
+    DramCounter dram(Lpddr3Config());
+    Cache cache(SmallCache(), dram);
+    const bool built_with = cache.simd_probe();
+    simd::SetEnabled(false);
+    EXPECT_EQ(cache.simd_probe(), built_with);
+    cache.Access(0x1000, 4, AccessType::kRead);
+    cache.Access(0x1000, 4, AccessType::kRead);
+    EXPECT_EQ(cache.stats().read_hits, 1u);
 }
 
 TEST(Dram, ConfigsAreOrdered)

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/buffer.h"
+#include "common/fastdiv.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -189,6 +192,74 @@ TEST(SimBuffer, LineAlignedBase)
 {
     SimBuffer<std::uint8_t> buf(10);
     EXPECT_EQ(buf.sim_base() % kCacheLineBytes, 0u);
+}
+
+// FastDiv must be exact for every 64-bit numerator — it replaces `/`
+// and `%` on the set-index hot path, where a single wrong quotient
+// silently corrupts counters.  Exercise all three strategies (shift,
+// magic, magic-with-add) at their boundary numerators.
+
+/** Check Div/Mod against the hardware operators for one (n, d). */
+void
+ExpectFastDivExact(const FastDiv &fd, std::uint64_t n, std::uint64_t d)
+{
+    ASSERT_EQ(fd.Div(n), n / d) << "n=" << n << " d=" << d;
+    ASSERT_EQ(fd.Mod(n), n % d) << "n=" << n << " d=" << d;
+}
+
+TEST(FastDiv, MatchesHardwareDivideOnBoundaryNumerators)
+{
+    // Divisors chosen to hit every strategy: powers of two (shift),
+    // small odds (single magic), and divisors known to need the 65-bit
+    // magic fixup path (e.g. 7, and large d near 2^63).
+    const std::uint64_t divisors[] = {
+        1,  2,  3,  4,   5,   6,   7,    9,    10,        12,
+        24, 48, 56, 341, 641, 941, 1000, 4096, 104729,
+        (1ull << 32) - 1, (1ull << 32) + 1, (1ull << 63) - 25,
+        (1ull << 63), ~0ull - 1, ~0ull};
+    for (const std::uint64_t d : divisors) {
+        const FastDiv fd(d);
+        // Boundary numerators: around multiples of d, around powers of
+        // two, and the extremes of the 64-bit range.
+        std::vector<std::uint64_t> ns = {0, 1, d - 1, d, d + 1,
+                                         ~0ull, ~0ull - 1};
+        for (int k = 1; k < 64; ++k) {
+            const std::uint64_t p = 1ull << k;
+            ns.push_back(p - 1);
+            ns.push_back(p);
+            ns.push_back(p + 1);
+        }
+        for (int m = 1; m <= 5; ++m) {
+            const std::uint64_t mult = d * static_cast<std::uint64_t>(m);
+            ns.push_back(mult - 1);
+            ns.push_back(mult);
+            ns.push_back(mult + 1);
+        }
+        for (const std::uint64_t n : ns) {
+            ExpectFastDivExact(fd, n, d);
+        }
+    }
+}
+
+TEST(FastDiv, MatchesHardwareDivideOnRandomPairs)
+{
+    Rng rng(0x5e7d1f);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t d = rng.Next64() | 1; // never zero
+        const FastDiv fd(d);
+        ExpectFastDivExact(fd, rng.Next64(), d);
+        // Small divisors stress the magic-add path hardest.
+        const std::uint64_t small = (rng.Next64() % 1000) + 1;
+        const FastDiv fs(small);
+        ExpectFastDivExact(fs, rng.Next64(), small);
+    }
+}
+
+TEST(FastDiv, DefaultIsDivideByOne)
+{
+    const FastDiv fd;
+    EXPECT_EQ(fd.Div(12345u), 12345u);
+    EXPECT_EQ(fd.Mod(12345u), 0u);
 }
 
 } // namespace

@@ -15,13 +15,16 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/execution_context.h"
+#include "sim/affinity.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/hierarchy.h"
 #include "sim/sharded_replay.h"
+#include "sim/simd.h"
 #include "sim/stack_profiler.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
@@ -848,6 +851,118 @@ TEST(AccessTrace, RunningByteTotalsMatchScan)
     copy.Append(trace.data(), trace.size());
     EXPECT_EQ(copy.read_bytes(), reads);
     EXPECT_EQ(copy.write_bytes(), writes);
+}
+
+// ---- SIMD probe x replay engines --------------------------------
+
+/** Forces the SIMD kill-switch for one scope, restoring it on exit. */
+class SimdGuard
+{
+  public:
+    explicit SimdGuard(bool on) : prev_(simd::Enabled())
+    {
+        simd::SetEnabled(on);
+    }
+    ~SimdGuard() { simd::SetEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+TEST(SimdEquivalence, KernelTracesBitIdenticalAcrossProbeAndShards)
+{
+    // Satellite of the SoA/vector-probe change: the tiler, blitter,
+    // and GEMM streams must land on identical CacheStats and DramStats
+    // whether sets are probed by the vector path or the scalar path
+    // (PIM_SIMD=off), serially or sharded at 1/2/8 workers.
+    for (const auto &[name, trace] : KernelTraces()) {
+        PerfCounters ref;
+        {
+            SimdGuard guard(false);
+            ref = SerialReplay(trace, HostHierarchyConfig());
+        }
+        for (const bool simd_on : {false, true}) {
+            SimdGuard guard(simd_on);
+            EXPECT_TRUE(SameCounters(
+                ref, SerialReplay(trace, HostHierarchyConfig())))
+                << name << " serial simd=" << simd_on;
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                const ShardedReplay sharded{SweepRunner(threads)};
+                EXPECT_TRUE(SameCounters(
+                    ref,
+                    sharded.Replay(trace, HostHierarchyConfig())))
+                    << name << " simd=" << simd_on << " threads="
+                    << threads;
+            }
+        }
+    }
+}
+
+TEST(SimdEquivalence, CompactDecodeIdenticalAcrossProbePaths)
+{
+    // The codec's run expander has a vector path too; the decoded
+    // entry words must be byte-identical to the scalar expansion.
+    for (const auto &[name, trace] : KernelTraces()) {
+        const CompactTrace compact = CompactTrace::Encode(trace);
+        AccessTrace decoded[2];
+        for (const bool simd_on : {false, true}) {
+            SimdGuard guard(simd_on);
+            decoded[simd_on ? 1 : 0] = compact.Decode();
+        }
+        ASSERT_EQ(decoded[0].size(), decoded[1].size()) << name;
+        for (std::size_t i = 0; i < decoded[0].size(); ++i) {
+            ASSERT_EQ(decoded[0].data()[i].word,
+                      decoded[1].data()[i].word)
+                << name << " entry " << i;
+        }
+    }
+}
+
+// ---- Pinning and placement telemetry ----------------------------
+
+TEST(SweepRunner, ForEachPinnedRunsEveryJobExactlyOnce)
+{
+    SweepRunner runner(4);
+    constexpr std::size_t kJobs = 64;
+    std::vector<std::atomic<int>> ran(kJobs);
+    runner.ForEachPinned(kJobs, [&](std::size_t i) {
+        ran[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_EQ(ran[i].load(), 1) << "job " << i;
+    }
+}
+
+TEST(Affinity, KillSwitchDisablesPinning)
+{
+    const bool prev = affinity::PinningEnabled();
+    affinity::SetPinningEnabled(false);
+    EXPECT_FALSE(affinity::PinningEnabled());
+    EXPECT_FALSE(affinity::PinThreadToCore(0));
+    affinity::SetPinningEnabled(prev);
+}
+
+TEST(ShardedReplay, PlacementTelemetryReportsShardsAndCpus)
+{
+    const AccessTrace trace = RandomTrace(0x51AD, 20000);
+
+    ShardPlacement sharded_p;
+    const ShardedReplay sharded{SweepRunner(4)};
+    const PerfCounters pc =
+        sharded.Replay(trace, HostHierarchyConfig(), &sharded_p);
+    EXPECT_TRUE(sharded_p.sharded);
+    EXPECT_EQ(sharded_p.shards,
+              ShardedReplay::PlanFor(HostHierarchyConfig(), 4).shards);
+    EXPECT_EQ(sharded_p.shard_cpu.size(), sharded_p.shards);
+
+    // Telemetry is observational: counters match the serial replay.
+    ShardPlacement serial_p;
+    const ShardedReplay serial{SweepRunner(1)};
+    EXPECT_TRUE(SameCounters(
+        pc, serial.Replay(trace, HostHierarchyConfig(), &serial_p)));
+    EXPECT_FALSE(serial_p.sharded);
+    EXPECT_EQ(serial_p.shards, 1u);
+    EXPECT_EQ(serial_p.shard_cpu.size(), 1u);
 }
 
 TEST(SweepRunner, SetDefaultThreadsBeatsEnvironment)
