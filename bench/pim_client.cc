@@ -1,0 +1,236 @@
+/**
+ * @file
+ * pim_client: thin CLI for the pim_serve daemon.
+ *
+ *   pim_client --socket=/tmp/pim.sock --submit --kernel=texture_tiling \
+ *              --scale=0.25 --wait --json=run.jsonl
+ *   pim_client --socket=/tmp/pim.sock --status
+ *   pim_client --socket=/tmp/pim.sock --shutdown
+ *
+ * Every frame the server sends is echoed verbatim, one JSON document
+ * per line, to stdout and (with --json) to a file — so two runs of the
+ * same sweep can be compared byte-for-byte, which is exactly what the
+ * CI memoization gate does.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace pim;
+
+struct ClientOptions
+{
+    std::string socket_path;
+    std::string json_path;
+    std::string kernel;
+    std::vector<double> llc_kib;
+    double scale = 1.0;
+    bool submit = false;
+    bool wait = true;
+    bool status = false;
+    bool shutdown = false;
+    std::uint64_t poll_job = 0;
+    bool poll = false;
+};
+
+void
+PrintUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "pim_client - submit sweep jobs to a running pim_serve\n"
+        "\n"
+        "usage: pim_client --socket=<path> <command> [options]\n"
+        "commands:\n"
+        "  --submit             submit an LLC sweep for --kernel\n"
+        "  --poll=<job>         fetch a previously submitted job\n"
+        "  --status             print the server's counters\n"
+        "  --shutdown           ask the server to drain and exit\n"
+        "submit options:\n"
+        "  --kernel=<slug>      kernel slug from `pim_run --list`\n"
+        "  --scale=<f>          input scale (default 1.0)\n"
+        "  --llc=<csv>          ladder points in KiB (default\n"
+        "                       256..8192, x2 steps)\n"
+        "  --no-wait            do not stream results; poll later\n"
+        "common options:\n"
+        "  --json=<path>        also write every received frame to a\n"
+        "                       file, one JSON document per line\n");
+}
+
+int
+Fail(const char *msg)
+{
+    std::fprintf(stderr, "pim_client: %s\n", msg);
+    return 1;
+}
+
+/** Read frames until a terminal one; echo each verbatim. */
+int
+StreamFrames(serve::ServeClient &client, std::FILE *json_out,
+             bool expect_stream)
+{
+    int rc = 0;
+    for (;;) {
+        std::string raw;
+        const auto frame = client.Read(&raw);
+        if (!frame) {
+            // Stream ended without a terminal frame: only an error if
+            // we were owed one.
+            return expect_stream ? Fail("connection closed mid-stream")
+                                 : rc;
+        }
+        std::printf("%s\n", raw.c_str());
+        if (json_out != nullptr) {
+            std::fprintf(json_out, "%s\n", raw.c_str());
+        }
+        const JsonValue *type = frame->Find("type");
+        const std::string t =
+            type != nullptr ? type->AsString() : std::string();
+        if (t == "error" || t == "rejected" || t == "failed") {
+            return 1;
+        }
+        if (t == "done" || t == "status" || t == "bye" ||
+            t == "pending") {
+            return rc;
+        }
+        if (t == "accepted" && !expect_stream) {
+            return rc;
+        }
+        // accepted/result frames: keep streaming.
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ClientOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0) {
+            opts.socket_path = std::string(arg.substr(9));
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.json_path = std::string(arg.substr(7));
+        } else if (arg == "--submit") {
+            opts.submit = true;
+        } else if (arg.rfind("--kernel=", 0) == 0) {
+            opts.kernel = std::string(arg.substr(9));
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            const std::string value(arg.substr(8));
+            char *end = nullptr;
+            opts.scale = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                !(opts.scale > 0.0)) {
+                return Fail("bad --scale value");
+            }
+        } else if (arg.rfind("--llc=", 0) == 0) {
+            std::string_view csv = arg.substr(6);
+            while (!csv.empty()) {
+                const auto comma = csv.find(',');
+                const std::string item(csv.substr(0, comma));
+                char *end = nullptr;
+                const double kib = std::strtod(item.c_str(), &end);
+                if (end == item.c_str() || *end != '\0' || !(kib > 0)) {
+                    return Fail("bad --llc value (expected csv of KiB)");
+                }
+                opts.llc_kib.push_back(kib);
+                if (comma == std::string_view::npos) {
+                    break;
+                }
+                csv.remove_prefix(comma + 1);
+            }
+        } else if (arg == "--no-wait") {
+            opts.wait = false;
+        } else if (arg == "--wait") {
+            opts.wait = true;
+        } else if (arg.rfind("--poll=", 0) == 0) {
+            opts.poll = true;
+            opts.poll_job = std::strtoull(
+                std::string(arg.substr(7)).c_str(), nullptr, 10);
+        } else if (arg == "--status") {
+            opts.status = true;
+        } else if (arg == "--shutdown") {
+            opts.shutdown = true;
+        } else if (arg == "--help" || arg == "-h") {
+            PrintUsage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "pim_client: unknown argument '%s'\n",
+                         std::string(arg).c_str());
+            PrintUsage(stderr);
+            return 1;
+        }
+    }
+    if (opts.socket_path.empty()) {
+        PrintUsage(stderr);
+        return Fail("--socket is required");
+    }
+    const int commands = (opts.submit ? 1 : 0) + (opts.status ? 1 : 0) +
+                         (opts.shutdown ? 1 : 0) + (opts.poll ? 1 : 0);
+    if (commands != 1) {
+        PrintUsage(stderr);
+        return Fail("pick exactly one of --submit / --poll / --status "
+                    "/ --shutdown");
+    }
+    if (opts.submit && opts.kernel.empty()) {
+        return Fail("--submit needs --kernel=<slug>");
+    }
+
+    std::string error;
+    auto client = serve::ServeClient::Connect(opts.socket_path, &error);
+    if (!client) {
+        return Fail(error.c_str());
+    }
+
+    JsonValue req = JsonValue::Object();
+    bool expect_stream = false;
+    if (opts.submit) {
+        req.Set("type", "submit");
+        req.Set("kernel", opts.kernel);
+        req.Set("scale", opts.scale);
+        req.Set("wait", opts.wait);
+        if (!opts.llc_kib.empty()) {
+            JsonValue ladder = JsonValue::Array();
+            for (const double kib : opts.llc_kib) {
+                ladder.Push(kib);
+            }
+            req.Set("llc_kib", std::move(ladder));
+        }
+        expect_stream = opts.wait;
+    } else if (opts.poll) {
+        req.Set("type", "poll");
+        req.Set("job", opts.poll_job);
+    } else if (opts.status) {
+        req.Set("type", "status");
+    } else {
+        req.Set("type", "shutdown");
+    }
+
+    std::FILE *json_out = nullptr;
+    if (!opts.json_path.empty()) {
+        json_out = std::fopen(opts.json_path.c_str(), "w");
+        if (json_out == nullptr) {
+            return Fail("cannot open --json output file");
+        }
+    }
+    if (!client->Send(req)) {
+        if (json_out != nullptr) {
+            std::fclose(json_out);
+        }
+        return Fail("cannot send request");
+    }
+    const int rc = StreamFrames(*client, json_out, expect_stream);
+    if (json_out != nullptr) {
+        std::fclose(json_out);
+    }
+    return rc;
+}

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/shutdown.h"
 #include "sim/hierarchy.h"
 #include "sim/sweep.h"
 #include "telemetry/report_json.h"
@@ -166,6 +167,9 @@ EmitTargetSubset(bench::BenchOutput &out, const DriverOptions &opts,
                    static_cast<double>(r.TotalTimeNs()));
     };
     for (const auto *spec : specs) {
+        if (ShutdownRequested()) {
+            break; // finish the report with what completed
+        }
         out.Section("kernel." + spec->Slug(), [&] {
             if (opts.want_core || opts.want_acc) {
                 // PIM targets come from the replayed fast path, which
@@ -199,6 +203,9 @@ EmitAllTargets(bench::BenchOutput &out,
 {
     std::vector<bench::KernelResult> all;
     for (const auto &group : registry.Groups()) {
+        if (ShutdownRequested()) {
+            break; // finish the report with what completed
+        }
         std::vector<const core::KernelSpec *> members;
         for (const auto *spec : specs) {
             if (spec->group == group) {
@@ -280,6 +287,9 @@ EmitLlcSweep(bench::BenchOutput &out, bool compact,
     const sim::SweepRunner runner;
 
     for (const auto *spec : specs) {
+        if (ShutdownRequested()) {
+            break; // finish the report with what completed
+        }
         if (!spec->trace_replayable) {
             std::printf("pim_run: skipping %s (not trace-replayable)\n",
                         spec->name.c_str());
@@ -408,6 +418,10 @@ Main(int argc, char **argv)
         return 1;
     }
 
+    // Ctrl-C / SIGTERM finishes the current kernel, emits the report
+    // for everything completed, and exits 0 — long sweeps never die
+    // with half-written JSON (a second signal kills the usual way).
+    InstallShutdownHandler();
     workloads::EnsureKernelCatalog();
     const core::KernelRegistry &registry = core::KernelRegistry::Global();
     const std::vector<const core::KernelSpec *> specs =

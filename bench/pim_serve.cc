@@ -1,0 +1,132 @@
+/**
+ * @file
+ * pim_serve: the persistent simulation service daemon.
+ *
+ * Binds a Unix-domain socket, serves sweep requests from many
+ * concurrent pim_client connections, and keeps its trace corpus and
+ * result memo warm across jobs.  SIGINT/SIGTERM (or a client
+ * `shutdown` request) drains in-flight jobs, flushes the corpus
+ * manifest, and exits 0.
+ *
+ *   pim_serve --socket=/tmp/pim.sock --cache-dir=/var/tmp/pim-corpus
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/env.h"
+#include "common/shutdown.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace pim;
+
+void
+PrintUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "pim_serve - persistent simulation service for sweep requests\n"
+        "\n"
+        "usage: pim_serve --socket=<path> [options]\n"
+        "  --socket=<path>      Unix-domain socket to listen on\n"
+        "  --cache-dir=<dir>    on-disk trace corpus directory\n"
+        "                       (omit to keep recordings in memory only)\n"
+        "  --workers=<n>        concurrent job executors (default 2)\n"
+        "  --queue-depth=<n>    admission-control bound (default 16);\n"
+        "                       submissions beyond it are rejected\n"
+        "  --sweep-threads=<n>  SweepRunner threads per job (default:\n"
+        "                       auto, PIM_SWEEP_THREADS honored)\n");
+}
+
+bool
+ParseUnsigned(std::string_view value, unsigned *out)
+{
+    const std::string s(value);
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v > 4096) {
+        return false;
+    }
+    *out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerConfig config;
+    unsigned queue_depth = 16;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--socket=", 0) == 0) {
+            config.socket_path = std::string(arg.substr(9));
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            config.cache_dir = std::string(arg.substr(12));
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            if (!ParseUnsigned(arg.substr(10), &config.workers) ||
+                config.workers == 0) {
+                std::fprintf(stderr,
+                             "pim_serve: bad --workers value\n");
+                return 1;
+            }
+        } else if (arg.rfind("--queue-depth=", 0) == 0) {
+            if (!ParseUnsigned(arg.substr(14), &queue_depth) ||
+                queue_depth == 0) {
+                std::fprintf(stderr,
+                             "pim_serve: bad --queue-depth value\n");
+                return 1;
+            }
+        } else if (arg.rfind("--sweep-threads=", 0) == 0) {
+            if (!ParseUnsigned(arg.substr(16),
+                               &config.sweep_threads)) {
+                std::fprintf(stderr,
+                             "pim_serve: bad --sweep-threads value\n");
+                return 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            PrintUsage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "pim_serve: unknown argument '%s'\n",
+                         std::string(arg).c_str());
+            PrintUsage(stderr);
+            return 1;
+        }
+    }
+    if (config.socket_path.empty()) {
+        std::fprintf(stderr, "pim_serve: --socket is required\n");
+        PrintUsage(stderr);
+        return 1;
+    }
+    config.queue_capacity = queue_depth;
+
+    InstallShutdownHandler();
+    serve::PimServer server(config);
+    std::string error;
+    if (!server.Start(&error)) {
+        std::fprintf(stderr, "pim_serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("pim_serve: listening on %s (workers=%u, queue=%u%s)\n",
+                config.socket_path.c_str(), config.workers, queue_depth,
+                config.cache_dir.empty()
+                    ? ", corpus: memory-only"
+                    : (", corpus: " + config.cache_dir).c_str());
+    std::fflush(stdout);
+
+    while (!ShutdownRequested() && !server.ShutdownRequestedByClient()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("pim_serve: draining and shutting down\n");
+    std::fflush(stdout);
+    server.Stop();
+    return 0;
+}

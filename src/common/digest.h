@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ContentDigest: a 64-bit streaming content hash (FNV-1a).
+ *
+ * The serve layer keys everything on content identity: the trace
+ * corpus cache names CompactTrace files by the digest of their encoded
+ * bytes, and the result memo keys on (trace digest, canonical config).
+ * FNV-1a is not cryptographic — the corpus is a local cache, not a
+ * trust boundary — but it is deterministic across platforms, has no
+ * dependencies, and its 64-bit state makes accidental collisions
+ * across a corpus of thousands of traces vanishingly unlikely.
+ *
+ * Streaming property: digesting a byte sequence in any chunking
+ * produces the same value as one-shot digesting, so callers can feed
+ * headers and payloads incrementally (tests/test_common.cc pins this).
+ */
+
+#ifndef PIM_COMMON_DIGEST_H
+#define PIM_COMMON_DIGEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pim {
+
+/** Streaming 64-bit FNV-1a hasher. */
+class ContentDigest
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    /** Absorb @p size raw bytes. */
+    ContentDigest &
+    Update(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        std::uint64_t h = state_;
+        for (std::size_t i = 0; i < size; ++i) {
+            h = (h ^ p[i]) * kPrime;
+        }
+        state_ = h;
+        return *this;
+    }
+
+    ContentDigest &
+    Update(std::string_view s)
+    {
+        return Update(s.data(), s.size());
+    }
+
+    /**
+     * Absorb one integer as 8 little-endian bytes — explicit width and
+     * byte order so digests are stable across platforms (never feed
+     * raw struct memory: padding would leak in).
+     */
+    ContentDigest &
+    UpdateU64(std::uint64_t v)
+    {
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i) {
+            bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+        }
+        return Update(bytes, sizeof(bytes));
+    }
+
+    /** The digest of everything absorbed so far. */
+    std::uint64_t value() const { return state_; }
+
+    /** Fixed-width lower-case hex form ("00af...", 16 chars). */
+    static std::string
+    ToHex(std::uint64_t digest)
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(digest));
+        return std::string(buf, 16);
+    }
+
+    std::string Hex() const { return ToHex(state_); }
+
+    /** One-shot convenience. */
+    static std::uint64_t
+    HashBytes(const void *data, std::size_t size)
+    {
+        return ContentDigest().Update(data, size).value();
+    }
+
+  private:
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+} // namespace pim
+
+#endif // PIM_COMMON_DIGEST_H

@@ -1,0 +1,52 @@
+#include "env.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "logging.h"
+
+namespace pim {
+
+bool
+ParseSwitchValue(const char *name, const char *value, bool fallback)
+{
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    const std::string_view v(value);
+    if (v == "on" || v == "1" || v == "true" || v == "yes") {
+        return true;
+    }
+    if (v == "off" || v == "0" || v == "false" || v == "no") {
+        return false;
+    }
+    PIM_WARN("ignoring unrecognized %s='%s'; keeping %s (expected "
+             "on/1/true/yes or off/0/false/no)",
+             name, value, fallback ? "enabled" : "disabled");
+    return fallback;
+}
+
+bool
+EnvSwitch(const char *name, bool fallback)
+{
+    return ParseSwitchValue(name, std::getenv(name), fallback);
+}
+
+unsigned
+ParseThreadsValue(const char *name, const char *value, unsigned max)
+{
+    if (value == nullptr || *value == '\0') {
+        return 0;
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || v == 0 || v > max) {
+        PIM_WARN("ignoring invalid %s='%s' (expected an integer in "
+                 "[1, %u]); falling back to hardware concurrency",
+                 name, value, max);
+        return 0;
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace pim

@@ -3,6 +3,17 @@
 #include <cstdio>
 
 namespace pim {
+
+namespace {
+std::vector<std::string> *g_warn_capture = nullptr;
+} // namespace
+
+void
+SetWarnCapture(std::vector<std::string> *sink)
+{
+    g_warn_capture = sink;
+}
+
 namespace detail {
 
 void
@@ -22,6 +33,10 @@ FatalImpl(const std::string &msg)
 void
 WarnImpl(const std::string &msg)
 {
+    if (g_warn_capture != nullptr) {
+        g_warn_capture->push_back(msg);
+        return;
+    }
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

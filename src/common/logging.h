@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace pim {
 
@@ -46,6 +47,14 @@ void WarnImpl(const std::string &msg);
 void InformImpl(const std::string &msg);
 
 } // namespace detail
+
+/**
+ * Test hook: while @p sink is non-null, warn() messages are appended
+ * to it instead of printed to stderr.  Pass nullptr to restore normal
+ * output.  Not synchronized — set it only around single-threaded test
+ * sections.
+ */
+void SetWarnCapture(std::vector<std::string> *sink);
 
 /** Abort with a message; use for internal invariant violations. */
 #define PIM_PANIC(...)                                                       \

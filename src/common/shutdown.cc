@@ -1,0 +1,53 @@
+#include "shutdown.h"
+
+#include <csignal>
+
+namespace pim {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+#if defined(__unix__) || defined(__APPLE__)
+void
+OnSignal(int sig)
+{
+    g_shutdown = 1;
+    // A second signal should kill a stuck drain the ordinary way.
+    std::signal(sig, SIG_DFL);
+}
+#endif
+
+} // namespace
+
+void
+InstallShutdownHandler()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct sigaction sa = {};
+    sa.sa_handler = OnSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // interrupt blocking accept()/read() with EINTR
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+bool
+ShutdownRequested()
+{
+    return g_shutdown != 0;
+}
+
+void
+RequestShutdown()
+{
+    g_shutdown = 1;
+}
+
+void
+ResetShutdown()
+{
+    g_shutdown = 0;
+}
+
+} // namespace pim

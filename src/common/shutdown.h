@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM shutdown.
+ *
+ * Long-running binaries (`pim_serve`) and long sweeps (`pim_run`)
+ * should not die mid-write when the user hits Ctrl-C or the CI runner
+ * sends SIGTERM: the serve layer may be holding a half-written corpus
+ * manifest and a client may be mid-stream.  InstallShutdownHandler
+ * converts both signals into a flag; work loops poll
+ * ShutdownRequested() at safe points, drain what is in flight, flush
+ * caches, and exit 0.
+ *
+ * The handler only sets a sig_atomic_t (async-signal-safe); a second
+ * signal restores the default disposition, so a stuck drain can still
+ * be killed with a repeated Ctrl-C.
+ */
+
+#ifndef PIM_COMMON_SHUTDOWN_H
+#define PIM_COMMON_SHUTDOWN_H
+
+namespace pim {
+
+/**
+ * Install the SIGINT/SIGTERM flag handler (idempotent).  No-op on
+ * platforms without sigaction.
+ */
+void InstallShutdownHandler();
+
+/** Whether a shutdown signal has arrived since installation. */
+bool ShutdownRequested();
+
+/** Set/clear the flag directly (tests; programmatic server stop). */
+void RequestShutdown();
+void ResetShutdown();
+
+} // namespace pim
+
+#endif // PIM_COMMON_SHUTDOWN_H

@@ -1,0 +1,90 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pim::serve {
+
+std::unique_ptr<ServeClient>
+ServeClient::Connect(const std::string &socket_path, std::string *error)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr) {
+            *error = "socket path too long: " + socket_path;
+        }
+        return nullptr;
+    }
+    std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr) {
+            *error = "cannot create socket";
+        }
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        if (error != nullptr) {
+            *error = "cannot connect to '" + socket_path +
+                     "' (is pim_serve running?)";
+        }
+        return nullptr;
+    }
+    return std::make_unique<ServeClient>(fd);
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+bool
+ServeClient::Send(const JsonValue &request)
+{
+    return WriteFrame(fd_, request);
+}
+
+bool
+ServeClient::SendRaw(const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::optional<JsonValue>
+ServeClient::Read(std::string *raw)
+{
+    std::string line;
+    if (reader_.ReadFrame(&line) != FrameStatus::kOk) {
+        return std::nullopt;
+    }
+    if (raw != nullptr) {
+        *raw = line;
+    }
+    return JsonParse(line);
+}
+
+} // namespace pim::serve

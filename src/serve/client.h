@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ServeClient: a blocking pim_serve connection.
+ *
+ * Thin wrapper over one Unix-domain socket speaking the frame protocol
+ * — shared by the `pim_client` CLI and the loopback tests, so the
+ * exact bytes a test exchanges are the bytes the tool exchanges.
+ */
+
+#ifndef PIM_SERVE_CLIENT_H
+#define PIM_SERVE_CLIENT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "serve/protocol.h"
+
+namespace pim::serve {
+
+class ServeClient
+{
+  public:
+    /** Connect to a server socket; nullptr + @p error on failure. */
+    static std::unique_ptr<ServeClient>
+    Connect(const std::string &socket_path, std::string *error = nullptr);
+
+    /** Adopt an already-connected fd (socketpair tests). */
+    explicit ServeClient(int fd) : fd_(fd), reader_(fd) {}
+
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Send one request frame. */
+    bool Send(const JsonValue &request);
+
+    /** Send raw bytes verbatim (protocol-abuse tests). */
+    bool SendRaw(const std::string &bytes);
+
+    /**
+     * Read the next frame; nullopt once the server closes the stream
+     * or sends unparseable bytes.  @p raw, when given, receives the
+     * exact frame text (the CI artifact preserves server bytes
+     * verbatim).
+     */
+    std::optional<JsonValue> Read(std::string *raw = nullptr);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    FrameReader reader_;
+};
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_CLIENT_H

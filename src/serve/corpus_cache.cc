@@ -1,0 +1,214 @@
+#include "serve/corpus_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "common/digest.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace pim::serve {
+
+namespace {
+
+constexpr const char *kManifestName = "manifest.json";
+
+std::string
+JoinPath(const std::string &dir, const std::string &name)
+{
+    if (dir.empty() || dir.back() == '/') {
+        return dir + name;
+    }
+    return dir + "/" + name;
+}
+
+std::optional<std::string>
+ReadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+CorpusCache::CorpusCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty()) {
+        return;
+    }
+    // A single flat directory is enough for a corpus of thousands.
+    ::mkdir(dir_.c_str(), 0755); // EEXIST is fine
+    LoadManifest();
+}
+
+void
+CorpusCache::LoadManifest()
+{
+    const auto text = ReadFile(JoinPath(dir_, kManifestName));
+    if (!text) {
+        return; // fresh corpus
+    }
+    std::string error;
+    const auto doc = JsonParse(*text, &error);
+    if (!doc || !doc->is_object()) {
+        PIM_WARN("corpus manifest '%s' is unreadable (%s); starting "
+                 "with an empty corpus",
+                 JoinPath(dir_, kManifestName).c_str(), error.c_str());
+        return;
+    }
+    const JsonValue *rows = doc->Find("entries");
+    if (rows == nullptr || !rows->is_array()) {
+        return;
+    }
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        const JsonValue &row = rows->at(i);
+        CorpusEntry e;
+        if (const auto *v = row.Find("key")) {
+            e.key = v->AsString();
+        }
+        if (const auto *v = row.Find("kernel")) {
+            e.kernel = v->AsString();
+        }
+        if (const auto *v = row.Find("scale")) {
+            e.scale = v->AsNumber();
+        }
+        if (const auto *v = row.Find("digest")) {
+            e.digest = std::strtoull(v->AsString().c_str(), nullptr, 16);
+        }
+        if (const auto *v = row.Find("entries")) {
+            e.entries = static_cast<std::uint64_t>(v->AsNumber());
+        }
+        if (const auto *v = row.Find("encoded_bytes")) {
+            e.encoded_bytes = static_cast<std::uint64_t>(v->AsNumber());
+        }
+        if (const auto *v = row.Find("file")) {
+            e.file = v->AsString();
+        }
+        if (!e.key.empty() && !e.file.empty()) {
+            entries_[e.key] = std::move(e);
+        }
+    }
+}
+
+std::optional<sim::CompactTrace>
+CorpusCache::Load(const std::string &key)
+{
+    if (!enabled()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    std::string error;
+    auto trace =
+        sim::CompactTrace::LoadFrom(JoinPath(dir_, it->second.file),
+                                    &error);
+    if (!trace || trace->Digest() != it->second.digest) {
+        PIM_WARN("dropping corpus entry '%s': %s", key.c_str(),
+                 trace ? "manifest/file digest mismatch"
+                       : error.c_str());
+        entries_.erase(it);
+        FlushLocked();
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return trace;
+}
+
+bool
+CorpusCache::Store(const std::string &key, const std::string &kernel,
+                   double scale, const sim::CompactTrace &trace)
+{
+    if (!enabled()) {
+        return false;
+    }
+    CorpusEntry e;
+    e.key = key;
+    e.kernel = kernel;
+    e.scale = scale;
+    e.digest = trace.Digest();
+    e.entries = trace.size();
+    e.encoded_bytes = trace.SizeBytes();
+    e.file = ContentDigest::ToHex(e.digest) + ".ctrace";
+
+    std::string error;
+    if (!trace.SaveTo(JoinPath(dir_, e.file), &error)) {
+        PIM_WARN("cannot persist trace for '%s': %s", key.c_str(),
+                 error.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = std::move(e);
+    FlushLocked();
+    return true;
+}
+
+void
+CorpusCache::Flush()
+{
+    if (!enabled()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushLocked();
+}
+
+void
+CorpusCache::FlushLocked()
+{
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", kCorpusSchemaName);
+    doc.Set("version", kCorpusSchemaVersion);
+    JsonValue rows = JsonValue::Array();
+    for (const auto &[key, e] : entries_) {
+        JsonValue row = JsonValue::Object();
+        row.Set("key", e.key);
+        row.Set("kernel", e.kernel);
+        row.Set("scale", e.scale);
+        row.Set("digest", ContentDigest::ToHex(e.digest));
+        row.Set("entries", e.entries);
+        row.Set("encoded_bytes", e.encoded_bytes);
+        row.Set("file", e.file);
+        rows.Push(std::move(row));
+    }
+    doc.Set("entries", std::move(rows));
+
+    const std::string path = JoinPath(dir_, kManifestName);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        PIM_WARN("cannot write corpus manifest '%s'", tmp.c_str());
+        return;
+    }
+    const std::string text = doc.Dump(2) + "\n";
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        PIM_WARN("cannot flush corpus manifest '%s'", path.c_str());
+    }
+}
+
+std::size_t
+CorpusCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace pim::serve

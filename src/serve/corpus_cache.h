@@ -1,0 +1,97 @@
+/**
+ * @file
+ * On-disk trace corpus cache.
+ *
+ * Recording a kernel's access stream is the expensive step of every
+ * sweep — it runs the actual workload.  The corpus cache persists each
+ * recording once, as a CompactTrace container file named by its
+ * content digest, with a JSON manifest mapping provenance keys
+ * ("texture_tiling@0.25") to digests, entry counts, and byte sizes.
+ * A warm server restart answers sweeps without re-running any kernel.
+ *
+ * Integrity: files are written via CompactTrace::SaveTo's
+ * temp-and-rename, the manifest is flushed the same way, and every
+ * load re-verifies the stored content digest — a corrupt or truncated
+ * cache entry is treated as a miss (and dropped from the manifest),
+ * never replayed.
+ */
+
+#ifndef PIM_SERVE_CORPUS_CACHE_H
+#define PIM_SERVE_CORPUS_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "sim/trace_codec.h"
+
+namespace pim::serve {
+
+/** Manifest row for one cached recording. */
+struct CorpusEntry
+{
+    std::string key;    ///< Provenance key ("kernel@scale").
+    std::string kernel; ///< Kernel slug.
+    double scale = 1.0;
+    std::uint64_t digest = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t encoded_bytes = 0;
+    std::string file; ///< Basename within the corpus directory.
+};
+
+/** Schema identity of the manifest document. */
+inline constexpr const char *kCorpusSchemaName =
+    "pim-consumer.trace-corpus";
+inline constexpr int kCorpusSchemaVersion = 1;
+
+class CorpusCache
+{
+  public:
+    /**
+     * Open (and create if needed) the corpus at @p dir; an empty dir
+     * disables persistence (every Load misses, Store is a no-op).
+     * An unreadable manifest starts the corpus empty rather than
+     * failing the server.
+     */
+    explicit CorpusCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /**
+     * Load the recording cached under @p key, digest-verified.
+     * Counts a hit or miss either way.
+     */
+    std::optional<sim::CompactTrace> Load(const std::string &key);
+
+    /**
+     * Persist @p trace under @p key and flush the manifest.  Returns
+     * false (with a warning) on I/O failure — the server keeps running
+     * from memory.
+     */
+    bool Store(const std::string &key, const std::string &kernel,
+               double scale, const sim::CompactTrace &trace);
+
+    /** Rewrite the manifest (write-to-temp + rename).  Idempotent. */
+    void Flush();
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+
+  private:
+    void LoadManifest();
+    void FlushLocked();
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    std::map<std::string, CorpusEntry> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_CORPUS_CACHE_H

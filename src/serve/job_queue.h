@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Bounded MPMC job queue with reject-on-full admission control.
+ *
+ * The serve layer's backpressure point: sessions TryPush, and a full
+ * queue is an immediate `rejected` frame back to the client rather
+ * than an unbounded backlog — under overload the server stays
+ * responsive and clients learn to retry, which is the behavior a
+ * sweep farm wants (jobs are seconds long; a deep queue would just
+ * move the wait somewhere invisible).
+ *
+ * Close(drain=true) lets already-admitted jobs run out before Pop
+ * starts returning nullopt — the graceful-shutdown path.
+ */
+
+#ifndef PIM_SERVE_JOB_QUEUE_H
+#define PIM_SERVE_JOB_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace pim::serve {
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit @p job if there is room and the queue is open; false means
+     * "reject with backpressure" (full or closing).
+     */
+    bool
+    TryPush(std::uint64_t job)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || jobs_.size() >= capacity_) {
+            return false;
+        }
+        jobs_.push_back(job);
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until a job is available or the queue is closed and (when
+     * draining) empty; nullopt tells the worker to exit.
+     */
+    std::optional<std::uint64_t>
+    Pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+        if (jobs_.empty()) {
+            return std::nullopt; // closed and drained
+        }
+        if (closed_ && !drain_) {
+            return std::nullopt; // closed hard; abandon the backlog
+        }
+        const std::uint64_t job = jobs_.front();
+        jobs_.pop_front();
+        return job;
+    }
+
+    /**
+     * Stop admitting.  @p drain keeps Pop serving the backlog until
+     * empty; !drain abandons queued jobs immediately.
+     */
+    void
+    Close(bool drain)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        drain_ = drain;
+        cv_.notify_all();
+    }
+
+    std::size_t
+    Depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return jobs_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Jobs abandoned by a non-draining Close (reported as failed). */
+    std::deque<std::uint64_t>
+    DrainRemaining()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::deque<std::uint64_t> out;
+        out.swap(jobs_);
+        return out;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::uint64_t> jobs_;
+    bool closed_ = false;
+    bool drain_ = true;
+};
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_JOB_QUEUE_H

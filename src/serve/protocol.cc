@@ -1,0 +1,84 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace pim::serve {
+
+FrameStatus
+FrameReader::ReadFrame(std::string *out)
+{
+    for (;;) {
+        // Serve a buffered line first.
+        const auto nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out->assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            if (out->empty()) {
+                continue; // tolerate blank keep-alive lines
+            }
+            return FrameStatus::kOk;
+        }
+        if (buf_.size() >= kMaxFrameBytes) {
+            buf_.clear();
+            return FrameStatus::kTooLarge;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            return FrameStatus::kClosed;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        return FrameStatus::kError;
+    }
+}
+
+bool
+WriteFrame(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        // MSG_NOSIGNAL is socket-only; plain write() with SIGPIPE
+        // ignored (the server ignores it process-wide) keeps this
+        // usable over socketpairs in tests too.
+        const ssize_t n =
+            ::write(fd, framed.data() + sent, framed.size() - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+WriteFrame(int fd, const JsonValue &v)
+{
+    return WriteFrame(fd, v.Dump());
+}
+
+JsonValue
+MakeError(const std::string &code, const std::string &detail)
+{
+    JsonValue v = JsonValue::Object();
+    v.Set("type", "error");
+    v.Set("error", code);
+    v.Set("detail", detail);
+    return v;
+}
+
+} // namespace pim::serve

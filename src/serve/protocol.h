@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The pim_serve wire protocol: newline-delimited JSON frames over a
+ * SOCK_STREAM Unix-domain socket.
+ *
+ * Each frame is one JSON document on one line ('\n'-terminated, no
+ * embedded newlines — the dependency-free dumper never emits them in
+ * compact mode).  Line framing keeps the protocol greppable, lets the
+ * CI smoke job diff raw result frames byte-for-byte, and makes `nc -U`
+ * a usable debugging client.  Frames are bounded by kMaxFrameBytes; a
+ * peer that streams more than that without a newline is protocol-
+ * broken and the connection is dropped after one error frame.
+ *
+ * Request types (client -> server):
+ *   submit    {"type":"submit","kernel":<slug>,"scale":f,
+ *              "llc_kib":[...], "wait":bool}
+ *   poll      {"type":"poll","job":n}
+ *   status    {"type":"status"}
+ *   shutdown  {"type":"shutdown"}
+ *
+ * Response types (server -> client):
+ *   accepted / rejected / result / done / failed / pending /
+ *   status / bye / error
+ *
+ * `result` frames deliberately carry NO job id and no hit/miss flag:
+ * their bytes depend only on (trace digest, canonical config), so a
+ * memoized replay of the same design point is bit-identical to the
+ * first computation — the property the CI smoke job asserts with a
+ * plain diff.  Job-scoped facts (id, memo hit counts, trace
+ * provenance) live in the accepted/done envelope frames instead.
+ */
+
+#ifndef PIM_SERVE_PROTOCOL_H
+#define PIM_SERVE_PROTOCOL_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+
+namespace pim::serve {
+
+/** Upper bound on one frame's bytes, newline included. */
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/** Outcome of FrameReader::ReadFrame. */
+enum class FrameStatus
+{
+    kOk,       ///< A complete frame was read.
+    kClosed,   ///< Peer closed the stream cleanly (or was shut down).
+    kTooLarge, ///< Peer exceeded kMaxFrameBytes without a newline.
+    kError,    ///< I/O error.
+};
+
+/**
+ * Buffered line reader for one connection.  Blocking; a concurrent
+ * ::shutdown(fd) unblocks it with kClosed, which is how the server
+ * detaches sessions on Stop().
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(int fd) : fd_(fd) {}
+
+    /**
+     * Read until one full frame is buffered and return it via @p out
+     * (newline stripped).  Empty lines are skipped (tolerates clients
+     * that end their stream with an extra '\n').
+     */
+    FrameStatus ReadFrame(std::string *out);
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/**
+ * Write @p line plus the terminating newline, riding out partial
+ * writes and EINTR.  Returns false once the peer is gone (EPIPE).
+ */
+bool WriteFrame(int fd, const std::string &line);
+
+/** Compact-dump @p v and write it as one frame. */
+bool WriteFrame(int fd, const JsonValue &v);
+
+/** `{"type":"error","error":code,"detail":detail}` */
+JsonValue MakeError(const std::string &code, const std::string &detail);
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_PROTOCOL_H

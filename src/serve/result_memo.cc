@@ -1,0 +1,63 @@
+#include "serve/result_memo.h"
+
+#include "common/digest.h"
+#include "common/json.h"
+
+namespace pim::serve {
+
+namespace {
+
+/** Fixed-format number fragment (matches the JSON dumper's rules). */
+std::string
+Num(double v)
+{
+    return JsonValue::NumberToString(v);
+}
+
+void
+AppendCache(std::string &out, const char *level,
+            const sim::CacheConfig &c)
+{
+    out += level;
+    out += ":size=";
+    out += std::to_string(c.size);
+    out += ",assoc=";
+    out += std::to_string(c.associativity);
+    out += ",line=";
+    out += std::to_string(c.line_bytes);
+}
+
+} // namespace
+
+std::string
+CanonicalPointKey(const sim::HierarchyConfig &base,
+                  const sim::CacheConfig &llc_point)
+{
+    // Field order, spellings, and number formatting are frozen: this
+    // string IS the memo key schema (DESIGN.md §5h).  base.llc is
+    // deliberately ignored — the point replaces it.
+    std::string key;
+    key.reserve(160);
+    AppendCache(key, "l1", base.l1);
+    key += ";";
+    AppendCache(key, "llc", llc_point);
+    key += ";dram:bw_gbps=";
+    key += Num(base.dram.bandwidth_gbps);
+    key += ",lat_ns=";
+    key += Num(base.dram.access_latency_ns);
+    key += ",dram_pj=";
+    key += Num(base.dram.dram_pj_per_byte);
+    key += ",ic_pj=";
+    key += Num(base.dram.interconnect_pj_per_byte);
+    key += ",mc_pj=";
+    key += Num(base.dram.memctrl_pj_per_byte);
+    return key;
+}
+
+std::string
+MemoKey(std::uint64_t trace_digest, const std::string &canonical_config)
+{
+    return ContentDigest::ToHex(trace_digest) + "|" + canonical_config;
+}
+
+} // namespace pim::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Result memo: (trace digest, canonical config) -> serialized result.
+ *
+ * Design points recur constantly across a sweep farm's clients — every
+ * study of texture tiling sweeps the same LLC ladder — so once a point
+ * has been replayed, its counters are a pure function of (what was
+ * replayed, into what).  The memo stores the *serialized* counters
+ * JSON, not the struct: a hit is returned byte-for-byte, which is what
+ * makes repeat submissions bit-identical on the wire without trusting
+ * any re-serialization path.
+ *
+ * Canonicalization rules (DESIGN.md §5h): the config half of the key
+ * is built by CanonicalPointKey from the simulation-relevant fields
+ * only, in a fixed order, with fixed number formatting
+ * (JsonValue::NumberToString).  Display names are excluded — two
+ * configs that differ only in their labels simulate identically and
+ * must hit the same memo line.
+ */
+
+#ifndef PIM_SERVE_RESULT_MEMO_H
+#define PIM_SERVE_RESULT_MEMO_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/hierarchy.h"
+
+namespace pim::serve {
+
+/**
+ * Canonical text form of one LLC design point: every field of the
+ * hierarchy that influences replayed counters (L1 and LLC geometry,
+ * DRAM model rates), none that doesn't (names).  Stable across
+ * processes and releases of the serialization layer — the memo key
+ * contract.
+ */
+std::string CanonicalPointKey(const sim::HierarchyConfig &base,
+                              const sim::CacheConfig &llc_point);
+
+/** Full memo key for a design point of a given recorded stream. */
+std::string MemoKey(std::uint64_t trace_digest,
+                    const std::string &canonical_config);
+
+/** Thread-safe memo with hit/miss accounting. */
+class ResultMemo
+{
+  public:
+    /** The stored serialization for @p key, counting hit/miss. */
+    std::optional<std::string>
+    Lookup(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        return it->second;
+    }
+
+    void
+    Store(const std::string &key, std::string serialized)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.emplace(key, std::move(serialized));
+    }
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return entries_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::string> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_RESULT_MEMO_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * PimServer: the persistent simulation service.
+ *
+ * A long-running daemon over the existing machinery: clients submit
+ * sweep requests as JSON frames on a Unix-domain socket
+ * (serve/protocol.h), an acceptor thread hands each connection to a
+ * session thread, sessions admit jobs into a bounded JobQueue
+ * (reject-with-backpressure when full), and worker threads execute
+ * jobs on the SweepRunner engines — streaming per-design-point result
+ * frames back to a waiting client as they are produced.
+ *
+ * Two caches make the warm path cheap:
+ *  - the trace corpus (serve/corpus_cache.h): one recording per
+ *    (kernel, scale), persisted as a digest-named CompactTrace file,
+ *    plus an in-memory copy for the life of the process;
+ *  - the result memo (serve/result_memo.h): per design point, keyed
+ *    (trace digest, canonical config), holding the serialized counter
+ *    JSON — a fully-memoized job executes NO replay at all, and its
+ *    result frames are byte-identical to the first computation.
+ *
+ * Shutdown is graceful everywhere: a client `shutdown` request or
+ * SIGINT/SIGTERM (common/shutdown.h) stops admissions, drains queued
+ * and running jobs, flushes the corpus manifest, detaches sessions,
+ * and Stop() returns with the process exiting 0.
+ */
+
+#ifndef PIM_SERVE_SERVER_H
+#define PIM_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "serve/corpus_cache.h"
+#include "serve/job_queue.h"
+#include "serve/result_memo.h"
+#include "sim/trace_codec.h"
+
+namespace pim::serve {
+
+struct ServerConfig
+{
+    std::string socket_path;
+    std::string cache_dir;   ///< Empty disables the on-disk corpus.
+    unsigned workers = 2;    ///< 0 = jobs queue but never run (tests).
+    std::size_t queue_capacity = 16;
+    unsigned sweep_threads = 0; ///< SweepRunner threads per job (0 = auto).
+};
+
+class PimServer
+{
+  public:
+    explicit PimServer(ServerConfig config);
+    ~PimServer();
+
+    PimServer(const PimServer &) = delete;
+    PimServer &operator=(const PimServer &) = delete;
+
+    /** Bind, listen, spawn acceptor + workers.  False on bind error. */
+    bool Start(std::string *error = nullptr);
+
+    /**
+     * Drain and stop: close admissions, run the queue dry (when
+     * workers exist), flush the corpus manifest, detach every client,
+     * join all threads.  Idempotent.
+     */
+    void Stop();
+
+    /** Set by a client `shutdown` request; the main loop polls it. */
+    bool ShutdownRequestedByClient() const { return client_shutdown_; }
+
+    /** The `status` response document (also used by tests directly). */
+    JsonValue StatusJson() const;
+
+  private:
+    struct Job;
+
+    void AcceptLoop();
+    void SessionLoop(int fd);
+    void WorkerLoop();
+    void ExecuteJob(Job &job);
+    void HandleSubmit(int fd, const JsonValue &req);
+    void FailJob(Job &job, const std::string &error);
+
+    ServerConfig config_;
+    int listen_fd_ = -1;
+
+    JobQueue queue_;
+    ResultMemo memo_;
+    CorpusCache corpus_;
+
+    // Recordings stay resident for the life of the server (their
+    // compact form is small) so repeat sweeps skip even the corpus
+    // file read; the digest is cached beside each trace.
+    std::mutex trace_mu_;
+    std::map<std::string,
+             std::shared_ptr<const std::pair<sim::CompactTrace,
+                                             std::uint64_t>>>
+        traces_;
+    std::map<std::string, std::string> trace_sources_;
+
+    mutable std::mutex jobs_mu_;
+    std::condition_variable jobs_cv_;
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::uint64_t next_job_id_ = 1;
+
+    std::mutex clients_mu_;
+    std::vector<int> client_fds_;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::vector<std::thread> sessions_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> client_shutdown_{false};
+
+    // Service counters surfaced by `status`.
+    std::atomic<std::uint64_t> jobs_submitted_{0};
+    std::atomic<std::uint64_t> jobs_rejected_{0};
+    std::atomic<std::uint64_t> jobs_done_{0};
+    std::atomic<std::uint64_t> jobs_failed_{0};
+    std::atomic<std::uint64_t> jobs_running_{0};
+    std::atomic<std::uint64_t> traces_recorded_{0};
+    std::atomic<std::uint64_t> replays_executed_{0};
+    std::atomic<std::uint64_t> frames_streamed_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+} // namespace pim::serve
+
+#endif // PIM_SERVE_SERVER_H

@@ -1,8 +1,8 @@
 #include "sim/affinity.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <string_view>
+
+#include "common/env.h"
 
 #if defined(__linux__)
 #include <sched.h>
@@ -17,14 +17,9 @@ std::atomic<int> g_pinning{-1};
 int
 ResolveFromEnv()
 {
-    const char *env = std::getenv("PIM_PIN");
-    if (env != nullptr) {
-        const std::string_view v(env);
-        if (v == "off" || v == "0" || v == "false" || v == "no") {
-            return 0;
-        }
-    }
-    return 1;
+    // Unrecognized values warn (once — the result is cached) and keep
+    // pinning enabled.
+    return EnvSwitch("PIM_PIN", true) ? 1 : 0;
 }
 
 } // namespace

@@ -1,8 +1,8 @@
 #include "sim/simd.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <string_view>
+
+#include "common/env.h"
 
 namespace pim::sim::simd {
 namespace {
@@ -13,14 +13,9 @@ std::atomic<int> g_enabled{-1};
 int
 ResolveFromEnv()
 {
-    const char *env = std::getenv("PIM_SIMD");
-    if (env != nullptr) {
-        const std::string_view v(env);
-        if (v == "off" || v == "0" || v == "false" || v == "no") {
-            return 0;
-        }
-    }
-    return 1;
+    // Unrecognized values warn (once — the result is cached) and keep
+    // the vector path enabled.
+    return EnvSwitch("PIM_SIMD", true) ? 1 : 0;
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <thread>
 #include <tuple>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "sim/affinity.h"
 #include "sim/stack_profiler.h"
@@ -29,17 +30,8 @@ namespace {
 unsigned
 EnvThreadOverride()
 {
-    const char *env = std::getenv("PIM_SWEEP_THREADS");
-    if (env == nullptr || *env == '\0') {
-        return 0;
-    }
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || v == 0 || v > 4096) {
-        PIM_WARN("ignoring invalid PIM_SWEEP_THREADS='%s'", env);
-        return 0;
-    }
-    return static_cast<unsigned>(v);
+    return ParseThreadsValue("PIM_SWEEP_THREADS",
+                             std::getenv("PIM_SWEEP_THREADS"));
 }
 
 /** SetDefaultThreads override; beats the environment when nonzero. */

@@ -1,7 +1,10 @@
 #include "sim/trace_codec.h"
 
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
+#include "common/digest.h"
 #include "common/logging.h"
 #include "sim/simd.h"
 
@@ -139,6 +142,173 @@ CompactTrace::Decode() const
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
         const std::size_t n = DecodeBlock(b, buffer);
         trace.Append(buffer, n);
+    }
+    return trace;
+}
+
+namespace {
+
+/**
+ * Container layout (all integers 64-bit little-endian):
+ *
+ *   [8]  magic "PIMCTRC1"
+ *   [8]  entry count
+ *   [8]  read bytes          [8] write bytes
+ *   [8]  block count         [8] token-byte count
+ *   [8]  content digest (CompactTrace::Digest of the payload below)
+ *   per block: [8] token offset, [8] entry count
+ *   token bytes
+ */
+constexpr char kTraceMagic[8] = {'P', 'I', 'M', 'C', 'T', 'R', 'C', '1'};
+
+bool
+PutU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    return std::fwrite(bytes, 1, 8, f) == 8;
+}
+
+bool
+GetU64(std::FILE *f, std::uint64_t *v)
+{
+    unsigned char bytes[8];
+    if (std::fread(bytes, 1, 8, f) != 8) {
+        return false;
+    }
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+        out |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    }
+    *v = out;
+    return true;
+}
+
+void
+SetError(std::string *error, std::string msg)
+{
+    if (error != nullptr) {
+        *error = std::move(msg);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+CompactTrace::Digest() const
+{
+    ContentDigest d;
+    d.UpdateU64(entries_);
+    d.UpdateU64(read_bytes_);
+    d.UpdateU64(write_bytes_);
+    d.UpdateU64(blocks_.size());
+    d.UpdateU64(data_.size());
+    d.Update(data_.data(), data_.size());
+    return d.value();
+}
+
+bool
+CompactTrace::SaveTo(const std::string &path, std::string *error) const
+{
+    // Write-to-temp + rename: readers either see the complete old file
+    // or the complete new one, and an interrupted save leaves no
+    // partial file under the final name.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        SetError(error, "cannot open '" + tmp + "' for writing");
+        return false;
+    }
+    bool ok = std::fwrite(kTraceMagic, 1, 8, f) == 8;
+    ok = ok && PutU64(f, entries_);
+    ok = ok && PutU64(f, read_bytes_);
+    ok = ok && PutU64(f, write_bytes_);
+    ok = ok && PutU64(f, blocks_.size());
+    ok = ok && PutU64(f, data_.size());
+    ok = ok && PutU64(f, Digest());
+    for (const auto &b : blocks_) {
+        ok = ok && PutU64(f, b.offset);
+        ok = ok && PutU64(f, b.count);
+    }
+    ok = ok &&
+         (data_.empty() ||
+          std::fwrite(data_.data(), 1, data_.size(), f) == data_.size());
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        SetError(error, "short write to '" + tmp + "'");
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        SetError(error, "cannot rename '" + tmp + "' to '" + path + "'");
+        return false;
+    }
+    return true;
+}
+
+std::optional<CompactTrace>
+CompactTrace::LoadFrom(const std::string &path, std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        SetError(error, "cannot open '" + path + "'");
+        return std::nullopt;
+    }
+    char magic[8];
+    std::uint64_t entries = 0, read_bytes = 0, write_bytes = 0;
+    std::uint64_t block_count = 0, data_size = 0, digest = 0;
+    bool ok = std::fread(magic, 1, 8, f) == 8 &&
+              std::memcmp(magic, kTraceMagic, 8) == 0;
+    if (!ok) {
+        std::fclose(f);
+        SetError(error, "'" + path + "' is not a compact-trace file");
+        return std::nullopt;
+    }
+    ok = GetU64(f, &entries) && GetU64(f, &read_bytes) &&
+         GetU64(f, &write_bytes) && GetU64(f, &block_count) &&
+         GetU64(f, &data_size) && GetU64(f, &digest);
+    // Structural sanity before any allocation: a corrupt header must
+    // not drive a multi-GB resize.
+    constexpr std::uint64_t kMaxReasonable = std::uint64_t{1} << 40;
+    ok = ok && block_count <= kMaxReasonable / 16 &&
+         data_size <= kMaxReasonable &&
+         entries <= block_count * kBlockEntries;
+    if (!ok) {
+        std::fclose(f);
+        SetError(error, "'" + path + "' has a corrupt header");
+        return std::nullopt;
+    }
+    CompactTrace trace;
+    trace.entries_ = entries;
+    trace.read_bytes_ = read_bytes;
+    trace.write_bytes_ = write_bytes;
+    trace.blocks_.resize(block_count);
+    trace.data_.resize(data_size);
+    std::uint64_t total_entries = 0;
+    for (auto &b : trace.blocks_) {
+        std::uint64_t offset = 0, count = 0;
+        ok = ok && GetU64(f, &offset) && GetU64(f, &count);
+        ok = ok && offset <= data_size && count <= kBlockEntries;
+        b.offset = offset;
+        b.count = static_cast<std::uint32_t>(count);
+        total_entries += count;
+    }
+    ok = ok && total_entries == entries;
+    ok = ok &&
+         (data_size == 0 ||
+          std::fread(trace.data_.data(), 1, data_size, f) == data_size);
+    ok = ok && std::fgetc(f) == EOF; // no trailing garbage
+    std::fclose(f);
+    if (!ok) {
+        SetError(error, "'" + path + "' is truncated or corrupt");
+        return std::nullopt;
+    }
+    if (trace.Digest() != digest) {
+        SetError(error, "'" + path + "' fails its content digest");
+        return std::nullopt;
     }
     return trace;
 }

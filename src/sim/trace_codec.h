@@ -37,6 +37,8 @@
 #define PIM_SIM_TRACE_CODEC_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/access.h"
@@ -299,6 +301,33 @@ class CompactTrace
 
     /** Inflate back to a raw trace (tests; memory = RawBytes()). */
     AccessTrace Decode() const;
+
+    /**
+     * Content digest of the encoded stream (entry count, byte totals,
+     * block structure, and every token byte) — the identity the trace
+     * corpus cache and result memo key on.  Two traces with equal
+     * digests decode to the same access stream for any practical
+     * purpose (64-bit FNV-1a; see common/digest.h).  O(SizeBytes()).
+     */
+    std::uint64_t Digest() const;
+
+    /**
+     * Persist to @p path in the versioned container format (magic,
+     * header, block table, token bytes, digest).  The write goes to a
+     * sibling temp file first and is renamed into place, so a crash or
+     * signal mid-write never leaves a partial file at @p path.
+     * Returns false and fills @p error on I/O failure.
+     */
+    bool SaveTo(const std::string &path, std::string *error = nullptr) const;
+
+    /**
+     * Load a trace saved by SaveTo.  Validates magic, version,
+     * structural bounds, and the stored content digest; returns
+     * nullopt and fills @p error on any mismatch (a truncated or
+     * corrupted cache file is reported, never replayed).
+     */
+    static std::optional<CompactTrace>
+    LoadFrom(const std::string &path, std::string *error = nullptr);
 
   private:
     friend class CompactTraceEncoder;

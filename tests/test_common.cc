@@ -5,12 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <iterator>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/digest.h"
+#include "common/env.h"
 #include "common/fastdiv.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -260,6 +267,183 @@ TEST(FastDiv, DefaultIsDivideByOne)
     const FastDiv fd;
     EXPECT_EQ(fd.Div(12345u), 12345u);
     EXPECT_EQ(fd.Mod(12345u), 0u);
+}
+
+TEST(ContentDigest, MatchesPublishedFnv1aVectors)
+{
+    // Reference vectors from the FNV specification.
+    EXPECT_EQ(ContentDigest().value(), ContentDigest::kOffsetBasis);
+    EXPECT_EQ(ContentDigest().Update("").value(),
+              0xcbf29ce484222325ULL);
+    EXPECT_EQ(ContentDigest().Update("a").value(),
+              0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(ContentDigest().Update("foobar").value(),
+              0x85944171f73967e8ULL);
+}
+
+TEST(ContentDigest, ChunkingDoesNotChangeTheDigest)
+{
+    Rng rng(0xD16E57);
+    std::vector<unsigned char> bytes(10000);
+    for (auto &b : bytes) {
+        b = static_cast<unsigned char>(rng.Range(0, 255));
+    }
+    const std::uint64_t oneshot =
+        ContentDigest::HashBytes(bytes.data(), bytes.size());
+
+    // Feed the same stream in adversarial chunkings: byte-at-a-time,
+    // random splits, and mixed Update overloads.
+    ContentDigest bytewise;
+    for (const unsigned char b : bytes) {
+        bytewise.Update(&b, 1);
+    }
+    EXPECT_EQ(bytewise.value(), oneshot);
+
+    ContentDigest random_chunks;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            bytes.size() - pos, rng.Range(1, 257));
+        random_chunks.Update(bytes.data() + pos, n);
+        pos += n;
+    }
+    EXPECT_EQ(random_chunks.value(), oneshot);
+}
+
+TEST(ContentDigest, UpdateU64IsExplicitLittleEndianBytes)
+{
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    const unsigned char le[8] = {0xef, 0xcd, 0xab, 0x89,
+                                 0x67, 0x45, 0x23, 0x01};
+    EXPECT_EQ(ContentDigest().UpdateU64(v).value(),
+              ContentDigest().Update(le, sizeof(le)).value());
+    // Width is fixed: a small value still absorbs 8 bytes, so
+    // adjacent fields cannot alias across a boundary.
+    EXPECT_NE(ContentDigest().UpdateU64(1).value(),
+              ContentDigest().Update("\x01", 1).value());
+}
+
+TEST(ContentDigest, BoundaryInputsStayDistinct)
+{
+    // Collision sanity over the kinds of nearly-identical inputs the
+    // corpus actually produces: same lengths, one-bit/one-byte edits,
+    // swapped field order.  FNV-1a is not collision-proof, but these
+    // must never collide.
+    std::set<std::uint64_t> seen;
+    const auto insert_unique = [&](std::uint64_t d) {
+        EXPECT_TRUE(seen.insert(d).second) << "digest collision";
+    };
+    insert_unique(ContentDigest().value());
+    insert_unique(ContentDigest().Update("\0", 1).value());
+    insert_unique(ContentDigest().Update("\0\0", 2).value());
+    insert_unique(ContentDigest().Update("ab").value());
+    insert_unique(ContentDigest().Update("ba").value());
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        insert_unique(ContentDigest().UpdateU64(i).value());
+    }
+    insert_unique(
+        ContentDigest().UpdateU64(1).UpdateU64(2).value());
+    insert_unique(
+        ContentDigest().UpdateU64(2).UpdateU64(1).value());
+}
+
+TEST(ContentDigest, HexIsFixedWidthLowercase)
+{
+    EXPECT_EQ(ContentDigest::ToHex(0), "0000000000000000");
+    EXPECT_EQ(ContentDigest::ToHex(0xABCULL), "0000000000000abc");
+    EXPECT_EQ(ContentDigest::ToHex(~0ULL), "ffffffffffffffff");
+    const ContentDigest d;
+    EXPECT_EQ(d.Hex(), ContentDigest::ToHex(d.value()));
+}
+
+/** Captures PIM_WARN output for the duration of a scope. */
+class WarnCapture
+{
+  public:
+    WarnCapture() { SetWarnCapture(&messages_); }
+    ~WarnCapture() { SetWarnCapture(nullptr); }
+    const std::vector<std::string> &messages() const
+    {
+        return messages_;
+    }
+
+  private:
+    std::vector<std::string> messages_;
+};
+
+TEST(Env, SwitchAcceptsDocumentedSpellingsSilently)
+{
+    WarnCapture warns;
+    for (const char *v : {"on", "1", "true", "yes"}) {
+        EXPECT_TRUE(ParseSwitchValue("PIM_SIMD", v, false)) << v;
+    }
+    for (const char *v : {"off", "0", "false", "no"}) {
+        EXPECT_FALSE(ParseSwitchValue("PIM_SIMD", v, true)) << v;
+    }
+    // Unset (nullptr or empty) means "use the default", silently.
+    EXPECT_TRUE(ParseSwitchValue("PIM_SIMD", nullptr, true));
+    EXPECT_FALSE(ParseSwitchValue("PIM_SIMD", "", false));
+    EXPECT_TRUE(warns.messages().empty());
+}
+
+TEST(Env, MalformedSwitchWarnsWithValueAndFallback)
+{
+    WarnCapture warns;
+    // The regression this pins: "ON" (wrong case) used to silently
+    // disable SIMD.  Now it keeps the fallback and says so.
+    EXPECT_TRUE(ParseSwitchValue("PIM_SIMD", "ON", true));
+    ASSERT_EQ(warns.messages().size(), 1u);
+    const std::string &msg = warns.messages()[0];
+    EXPECT_NE(msg.find("PIM_SIMD"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'ON'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("keeping enabled"), std::string::npos) << msg;
+
+    EXPECT_FALSE(ParseSwitchValue("PIM_PIN", "enabled", false));
+    ASSERT_EQ(warns.messages().size(), 2u);
+    EXPECT_NE(warns.messages()[1].find("PIM_PIN"), std::string::npos);
+    EXPECT_NE(warns.messages()[1].find("'enabled'"),
+              std::string::npos);
+    EXPECT_NE(warns.messages()[1].find("keeping disabled"),
+              std::string::npos);
+}
+
+TEST(Env, ThreadsParsesInRangeAndWarnsOtherwise)
+{
+    WarnCapture warns;
+    EXPECT_EQ(ParseThreadsValue("PIM_SWEEP_THREADS", "8"), 8u);
+    EXPECT_EQ(ParseThreadsValue("PIM_SWEEP_THREADS", "1"), 1u);
+    EXPECT_EQ(ParseThreadsValue("PIM_SWEEP_THREADS", nullptr), 0u);
+    EXPECT_EQ(ParseThreadsValue("PIM_SWEEP_THREADS", ""), 0u);
+    EXPECT_TRUE(warns.messages().empty());
+
+    // Malformed, zero, negative, trailing junk, out of range: all
+    // fall back to auto (0) with one warning each naming the value.
+    const char *bad[] = {"zero", "0", "-3", "8x", "1e3", "5000"};
+    for (const char *v : bad) {
+        EXPECT_EQ(ParseThreadsValue("PIM_SWEEP_THREADS", v), 0u) << v;
+    }
+    ASSERT_EQ(warns.messages().size(), std::size(bad));
+    for (std::size_t i = 0; i < std::size(bad); ++i) {
+        const std::string &msg = warns.messages()[i];
+        EXPECT_NE(msg.find("PIM_SWEEP_THREADS"), std::string::npos);
+        EXPECT_NE(msg.find("'" + std::string(bad[i]) + "'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("hardware concurrency"), std::string::npos);
+    }
+}
+
+TEST(Env, EnvSwitchReadsTheProcessEnvironment)
+{
+    WarnCapture warns;
+    ::setenv("PIM_TEST_SWITCH", "off", 1);
+    EXPECT_FALSE(EnvSwitch("PIM_TEST_SWITCH", true));
+    ::setenv("PIM_TEST_SWITCH", "garbage", 1);
+    EXPECT_TRUE(EnvSwitch("PIM_TEST_SWITCH", true));
+    EXPECT_EQ(warns.messages().size(), 1u);
+    ::unsetenv("PIM_TEST_SWITCH");
+    EXPECT_FALSE(EnvSwitch("PIM_TEST_SWITCH", false));
+    EXPECT_EQ(warns.messages().size(), 1u);
 }
 
 } // namespace

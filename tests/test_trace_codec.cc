@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -343,6 +346,125 @@ TEST(TraceCodec, VectorizedRunExpansionMatchesScalarByteForByte)
         ASSERT_EQ(decoded[0].data()[i].word, decoded[1].data()[i].word)
             << "entry " << i;
     }
+}
+
+std::string
+ReadFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+WriteFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(TraceCodecFile, SaveLoadRoundTripsBitIdentically)
+{
+    const AccessTrace raw =
+        RandomTrace(0xF17E, 2 * CompactTrace::kBlockEntries + 99);
+    const CompactTrace original = CompactTrace::Encode(raw);
+    const std::string path =
+        testing::TempDir() + "pim_ctrace_roundtrip.ctrace";
+
+    std::string error;
+    ASSERT_TRUE(original.SaveTo(path, &error)) << error;
+    // Atomicity contract: no .tmp litter once SaveTo returns.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+
+    auto loaded = CompactTrace::LoadFrom(path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->size(), original.size());
+    EXPECT_EQ(loaded->read_bytes(), original.read_bytes());
+    EXPECT_EQ(loaded->write_bytes(), original.write_bytes());
+    EXPECT_EQ(loaded->SizeBytes(), original.SizeBytes());
+    EXPECT_EQ(loaded->Digest(), original.Digest());
+    ExpectSameEntries(raw, loaded->Decode());
+
+    // Re-saving the loaded trace must produce the same file bytes —
+    // the disk form is canonical, not merely equivalent.
+    const std::string path2 =
+        testing::TempDir() + "pim_ctrace_roundtrip2.ctrace";
+    ASSERT_TRUE(loaded->SaveTo(path2, &error)) << error;
+    EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(path2));
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(TraceCodecFile, EmptyTraceRoundTrips)
+{
+    const CompactTrace empty = CompactTrace::Encode(AccessTrace{});
+    const std::string path =
+        testing::TempDir() + "pim_ctrace_empty.ctrace";
+    std::string error;
+    ASSERT_TRUE(empty.SaveTo(path, &error)) << error;
+    const auto loaded = CompactTrace::LoadFrom(path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(loaded->empty());
+    EXPECT_EQ(loaded->Digest(), empty.Digest());
+    std::remove(path.c_str());
+}
+
+TEST(TraceCodecFile, RejectsCorruptTruncatedAndAlienFiles)
+{
+    const AccessTrace raw = RandomTrace(0xBAD, 9000);
+    const CompactTrace original = CompactTrace::Encode(raw);
+    const std::string good_path =
+        testing::TempDir() + "pim_ctrace_good.ctrace";
+    std::string error;
+    ASSERT_TRUE(original.SaveTo(good_path, &error)) << error;
+    const std::string good = ReadFileBytes(good_path);
+    const std::string bad_path =
+        testing::TempDir() + "pim_ctrace_bad.ctrace";
+
+    // A flipped payload byte must fail the digest check.
+    std::string corrupt = good;
+    corrupt[corrupt.size() - 7] ^= 0x40;
+    WriteFileBytes(bad_path, corrupt);
+    EXPECT_FALSE(CompactTrace::LoadFrom(bad_path, &error).has_value());
+    EXPECT_NE(error.find("digest"), std::string::npos) << error;
+
+    // Truncations at every structural boundary: inside the magic,
+    // inside the header, inside the block table, inside the payload.
+    for (const std::size_t keep :
+         {std::size_t{4}, std::size_t{20}, std::size_t{60},
+          good.size() - 1}) {
+        ASSERT_LT(keep, good.size());
+        WriteFileBytes(bad_path, good.substr(0, keep));
+        EXPECT_FALSE(
+            CompactTrace::LoadFrom(bad_path, &error).has_value())
+            << "kept " << keep << " bytes";
+    }
+
+    // Trailing garbage is rejected too — the container is the whole
+    // file, so extra bytes mean the file is not what was saved.
+    WriteFileBytes(bad_path, good + "x");
+    EXPECT_FALSE(CompactTrace::LoadFrom(bad_path, &error).has_value());
+
+    // Wrong magic (an alien file of plausible length).
+    std::string alien = good;
+    alien[0] = 'X';
+    WriteFileBytes(bad_path, alien);
+    EXPECT_FALSE(CompactTrace::LoadFrom(bad_path, &error).has_value());
+    EXPECT_NE(error.find("not a compact-trace"), std::string::npos)
+        << error;
+
+    // A missing file is an error, not a crash.
+    EXPECT_FALSE(CompactTrace::LoadFrom(
+                     testing::TempDir() + "pim_ctrace_missing.ctrace",
+                     &error)
+                     .has_value());
+
+    std::remove(good_path.c_str());
+    std::remove(bad_path.c_str());
 }
 
 } // namespace
