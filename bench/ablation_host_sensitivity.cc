@@ -82,25 +82,29 @@ PrintAblations(bench::BenchOutput &out)
         const std::vector<Bytes> llc_sizes = {512_KiB, 1_MiB, 2_MiB,
                                               4_MiB, 8_MiB};
         std::vector<sim::HierarchyConfig> configs;
-        std::vector<sim::CacheConfig> llc_points;
+        sim::StudySpec spec;
+        const sim::HierarchyConfig host = sim::HostHierarchyConfig();
+        spec.l1_points = {host.l1};
+        spec.dram = host.dram;
         for (const Bytes llc : llc_sizes) {
             sim::HierarchyConfig hier = sim::HostHierarchyConfig();
             hier.llc->size = llc;
-            llc_points.push_back(*hier.llc);
+            spec.llc_points.push_back(*hier.llc);
             configs.push_back(std::move(hier));
         }
         // The swept hierarchies differ only in LLC capacity, so the
-        // whole sweep is one L1 pass plus stack-distance profiling of
-        // its miss stream (bit-identical to per-config replay; see
-        // DESIGN.md Section 5d).
+        // whole ablation is a pure profiler query: one L1 pass, one
+        // stack-distance pass over its miss stream, every capacity an
+        // analytic readout (bit-identical to per-config replay; see
+        // DESIGN.md Sections 5d and 5i).
         const sim::SweepRunner runner;
-        const auto counters = runner.ProfileLlcSweep(
-            trace, sim::HostHierarchyConfig(), llc_points);
+        const sim::StudyResult study = runner.ProfileStudy(trace, spec);
 
         for (std::size_t i = 0; i < configs.size(); ++i) {
             const auto r = core::SynthesizeReport(
                 "tiling", ExecutionTarget::kCpuOnly,
-                core::CpuComputeModel(), configs[i], ops, counters[i]);
+                core::CpuComputeModel(), configs[i], ops,
+                study.host[0][i].counters);
             table.AddRow({
                 Table::Num(static_cast<double>(llc_sizes[i]) / (1 << 20),
                            1) +

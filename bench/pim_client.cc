@@ -31,7 +31,10 @@ struct ClientOptions
     std::string socket_path;
     std::string json_path;
     std::string kernel;
+    std::string sweep; ///< Empty = server default ("llc"); or "study".
     std::vector<double> llc_kib;
+    std::vector<double> assocs;
+    std::string policy;
     double scale = 1.0;
     bool submit = false;
     bool wait = true;
@@ -57,8 +60,15 @@ PrintUsage(std::FILE *to)
         "submit options:\n"
         "  --kernel=<slug>      kernel slug from `pim_run --list`\n"
         "  --scale=<f>          input scale (default 1.0)\n"
-        "  --llc=<csv>          ladder points in KiB (default\n"
-        "                       256..8192, x2 steps)\n"
+        "  --sweep=<llc|study>  sweep kind (default llc); study\n"
+        "                       answers an associativity axis from\n"
+        "                       one memoized profiling pass\n"
+        "  --llc=<csv>          llc sweep: ladder points in KiB\n"
+        "                       (default 256..8192, x2 steps)\n"
+        "  --assoc=<csv>        study sweep: associativity axis\n"
+        "                       (default 1,2,4,8,16)\n"
+        "  --policy=<p>         study sweep: wb, wt, or wtna\n"
+        "                       (default wb)\n"
         "  --no-wait            do not stream results; poll later\n"
         "common options:\n"
         "  --json=<path>        also write every received frame to a\n"
@@ -148,6 +158,30 @@ main(int argc, char **argv)
                 }
                 csv.remove_prefix(comma + 1);
             }
+        } else if (arg.rfind("--sweep=", 0) == 0) {
+            opts.sweep = std::string(arg.substr(8));
+            if (opts.sweep != "llc" && opts.sweep != "study") {
+                return Fail("bad --sweep value (expected llc or study)");
+            }
+        } else if (arg.rfind("--assoc=", 0) == 0) {
+            std::string_view csv = arg.substr(8);
+            while (!csv.empty()) {
+                const auto comma = csv.find(',');
+                const std::string item(csv.substr(0, comma));
+                char *end = nullptr;
+                const double a = std::strtod(item.c_str(), &end);
+                if (end == item.c_str() || *end != '\0' || !(a >= 1)) {
+                    return Fail(
+                        "bad --assoc value (expected csv of ways)");
+                }
+                opts.assocs.push_back(a);
+                if (comma == std::string_view::npos) {
+                    break;
+                }
+                csv.remove_prefix(comma + 1);
+            }
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            opts.policy = std::string(arg.substr(9));
         } else if (arg == "--no-wait") {
             opts.wait = false;
         } else if (arg == "--wait") {
@@ -198,12 +232,25 @@ main(int argc, char **argv)
         req.Set("kernel", opts.kernel);
         req.Set("scale", opts.scale);
         req.Set("wait", opts.wait);
+        if (!opts.sweep.empty()) {
+            req.Set("sweep", opts.sweep);
+        }
         if (!opts.llc_kib.empty()) {
             JsonValue ladder = JsonValue::Array();
             for (const double kib : opts.llc_kib) {
                 ladder.Push(kib);
             }
             req.Set("llc_kib", std::move(ladder));
+        }
+        if (!opts.assocs.empty()) {
+            JsonValue axis = JsonValue::Array();
+            for (const double a : opts.assocs) {
+                axis.Push(a);
+            }
+            req.Set("llc_assoc", std::move(axis));
+        }
+        if (!opts.policy.empty()) {
+            req.Set("policy", opts.policy);
         }
         expect_stream = opts.wait;
     } else if (opts.poll) {

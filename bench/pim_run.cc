@@ -71,6 +71,11 @@ PrintUsage(std::FILE *to)
         "  --sweep=llc         record each matched kernel once, then\n"
         "                      profile an LLC capacity ladder from the\n"
         "                      single recorded stream\n"
+        "  --sweep=study       record once, then answer the full\n"
+        "                      multi-axis design study (L1 x LLC ladder\n"
+        "                      x write policy, prefetcher telemetry,\n"
+        "                      PIM-side traffic) from one profiling\n"
+        "                      study (SweepRunner::ProfileStudy)\n"
         "  --compact-trace     with --sweep: hold the recording in the\n"
         "                      block-encoded compact form (identical\n"
         "                      counters; reports compression metrics)\n"
@@ -348,6 +353,146 @@ EmitLlcSweep(bench::BenchOutput &out, bool compact,
     }
 }
 
+/**
+ * The multi-axis study grid --sweep=study answers per kernel: both host
+ * L1 geometries x an LLC capacity ladder (capacity via associativity at
+ * the host's fixed set count, so the whole ladder is one profiling
+ * pass) x the write-policy variants at the host design point, plus both
+ * PIM targets — all from one recording and two trace decodes
+ * (SweepRunner::ProfileStudy).
+ */
+sim::StudySpec
+StudyGrid()
+{
+    const sim::HierarchyConfig host = sim::HostHierarchyConfig();
+    sim::StudySpec spec;
+    spec.dram = host.dram;
+    spec.l1_points.push_back(host.l1);
+    sim::CacheConfig small_l1 = host.l1;
+    small_l1.size = 32_KiB;
+    spec.l1_points.push_back(small_l1);
+
+    const std::size_t sets =
+        host.llc->size / (host.llc->associativity * host.llc->line_bytes);
+    for (const std::uint32_t a : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        sim::CacheConfig cfg = *host.llc;
+        cfg.associativity = a;
+        cfg.size = sets * a * cfg.line_bytes;
+        spec.llc_points.push_back(cfg);
+    }
+    for (const auto policy : {sim::WritePolicy::kWriteThroughAllocate,
+                              sim::WritePolicy::kWriteThroughNoAllocate}) {
+        sim::CacheConfig cfg = *host.llc;
+        cfg.policy = policy;
+        spec.llc_points.push_back(cfg);
+    }
+    spec.model_prefetcher = true;
+
+    const sim::HierarchyConfig core = sim::PimCoreHierarchyConfig();
+    const sim::HierarchyConfig acc = sim::PimAccelHierarchyConfig();
+    spec.pim_points = {sim::StudyPimPoint{"pim_core", core.l1, core.dram},
+                       sim::StudyPimPoint{"pim_acc", acc.l1, acc.dram}};
+    return spec;
+}
+
+void
+EmitStudySweep(bench::BenchOutput &out, bool compact,
+               const std::vector<const core::KernelSpec *> &specs,
+               core::KernelSession &session)
+{
+    const sim::StudySpec grid = StudyGrid();
+    const sim::SweepRunner runner;
+
+    for (const auto *spec : specs) {
+        if (ShutdownRequested()) {
+            break; // finish the report with what completed
+        }
+        if (!spec->trace_replayable) {
+            std::printf("pim_run: skipping %s (not trace-replayable)\n",
+                        spec->name.c_str());
+            continue;
+        }
+        out.Section("study." + spec->Slug(), [&] {
+            const std::string prefix = "pim_run.study." + spec->Slug();
+            core::RecordedKernel rec = session.Record(*spec);
+            sim::StudyResult study;
+            if (compact) {
+                const sim::CompactTrace encoded =
+                    sim::CompactTrace::Encode(rec.trace);
+                out.Metric(prefix + ".trace_compact_bytes",
+                           static_cast<double>(encoded.SizeBytes()));
+                rec.trace = sim::AccessTrace{};
+                study = runner.ProfileStudy(encoded, grid);
+            } else {
+                study = runner.ProfileStudy(rec.trace, grid);
+            }
+
+            Table table(spec->name +
+                        " — one-pass design study (host grid + PIM)");
+            table.SetHeader({"L1", "LLC", "policy", "LLC miss rate",
+                             "DRAM bytes", "writebacks"});
+            for (std::size_t i = 0; i < grid.l1_points.size(); ++i) {
+                const auto l1_kib = static_cast<unsigned long long>(
+                    grid.l1_points[i].size / 1024);
+                for (std::size_t j = 0; j < grid.llc_points.size(); ++j) {
+                    const sim::CacheConfig &llc = grid.llc_points[j];
+                    const sim::StudyPointResult &p = study.host[i][j];
+                    const auto llc_kib =
+                        static_cast<unsigned long long>(llc.size / 1024);
+                    table.AddRow({
+                        std::to_string(l1_kib) + " KiB",
+                        std::to_string(llc_kib) + " KiB",
+                        sim::WritePolicyName(llc.policy),
+                        Table::Pct(p.counters.llc.MissRate()),
+                        std::to_string(static_cast<unsigned long long>(
+                            p.counters.dram.TotalBytes())),
+                        std::to_string(p.counters.llc.writebacks) +
+                            (p.writebacks_exact ? "" : " (approx)"),
+                    });
+                    const std::string key =
+                        prefix + ".l1_" + std::to_string(l1_kib) +
+                        "kib.llc_" + std::to_string(llc_kib) + "kib." +
+                        sim::WritePolicyName(llc.policy);
+                    out.Metric(key + ".miss_rate",
+                               p.counters.llc.MissRate());
+                    out.Metric(key + ".dram_bytes",
+                               static_cast<double>(
+                                   p.counters.dram.TotalBytes()));
+                    out.Metric(key + ".writebacks_exact",
+                               p.writebacks_exact ? 1.0 : 0.0);
+                }
+            }
+            for (std::size_t j = 0; j < grid.pim_points.size(); ++j) {
+                const sim::StudyPointResult &p = study.pim[j];
+                table.AddRow({
+                    grid.pim_points[j].name,
+                    "-",
+                    "-",
+                    Table::Pct(p.counters.l1.MissRate()),
+                    std::to_string(static_cast<unsigned long long>(
+                        p.counters.dram.TotalBytes())),
+                    "0",
+                });
+                out.Metric(prefix + "." + grid.pim_points[j].name +
+                               ".dram_bytes",
+                           static_cast<double>(
+                               p.counters.dram.TotalBytes()));
+            }
+            out.Emit(table);
+
+            // The prefetcher axis at the host design point (64 KiB L1,
+            // 2 MiB write-back LLC).
+            const sim::PrefetchStats &pf = study.host[0][3].prefetch;
+            out.Metric(prefix + ".prefetch.accuracy", pf.Accuracy());
+            out.Metric(prefix + ".prefetch.coverage", pf.Coverage());
+            out.Metric(prefix + ".trace_replays",
+                       static_cast<double>(study.trace_replays));
+            out.Metric(prefix + ".profile_passes",
+                       static_cast<double>(study.profile_passes));
+        });
+    }
+}
+
 int
 Main(int argc, char **argv)
 {
@@ -386,10 +531,10 @@ Main(int argc, char **argv)
             }
         } else if (arg.rfind("--sweep=", 0) == 0) {
             opts.sweep = arg.substr(8);
-            if (opts.sweep != "llc") {
+            if (opts.sweep != "llc" && opts.sweep != "study") {
                 std::fprintf(stderr,
                              "pim_run: unknown sweep '%s' "
-                             "(supported: llc)\n",
+                             "(supported: llc, study)\n",
                              opts.sweep.c_str());
                 return 1;
             }
@@ -414,7 +559,7 @@ Main(int argc, char **argv)
     }
     if (opts.compact_trace && opts.sweep.empty()) {
         std::fprintf(stderr,
-                     "pim_run: --compact-trace requires --sweep=llc\n");
+                     "pim_run: --compact-trace requires --sweep\n");
         return 1;
     }
 
@@ -444,7 +589,9 @@ Main(int argc, char **argv)
     }
 
     core::KernelSession session(opts.scale);
-    if (!opts.sweep.empty()) {
+    if (opts.sweep == "study") {
+        EmitStudySweep(out, opts.compact_trace, specs, session);
+    } else if (!opts.sweep.empty()) {
         EmitLlcSweep(out, opts.compact_trace, specs, session);
     } else if (opts.AllTargets()) {
         EmitAllTargets(out, registry, specs, session);

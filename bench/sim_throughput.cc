@@ -469,6 +469,208 @@ PrintSweepStudy(bench::BenchOutput &out)
 }
 
 /**
+ * The generalized one-pass study (this PR's headline): a two-level
+ * host-sensitivity grid — every (L1 geometry x LLC capacity/policy
+ * ladder) combination plus the raw-trace PIM targets — answered two
+ * ways:
+ *
+ *   fan-out  — ReplayTraceFanout: the reference fast path.  One L1
+ *              simulation per (shard of a) group, miss batches fed to
+ *              every member's LLC/DRAM stack; cost grows with the
+ *              number of LLC design points.
+ *   study    — ProfileStudy: one L1 simulation per distinct L1
+ *              geometry, its miss stream fanned into ONE nested
+ *              stack-distance pass per (line, sets, allocate) group;
+ *              every LLC point on the ladder is an O(histogram)
+ *              readout, so cost is independent of ladder length.
+ *
+ * Counters must be bit-identical at every tracked design point
+ * (checked each run; CI fails if sim_throughput.profiler.bit_identical
+ * is not 1) and the study must hold a >= 5x advantage, which CI also
+ * gates.  The stream prefetcher axis is modeled in a separate untimed
+ * pass (it adds telemetry, not counters) so the timed comparison stays
+ * apples-to-apples.
+ */
+void
+PrintProfilerStudy(bench::BenchOutput &out)
+{
+    // Same 512x512 tiling stream as the single-level sweep section.
+    Rng rng(21);
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(512, 512);
+    sim::AccessTrace trace;
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachTrace(trace);
+        browser::TileTexture(linear, tiled, ctx);
+        ctx.DetachTrace();
+    }
+
+    // The grid: two host L1 geometries x a 24-point LLC ladder
+    // (16 write-back capacities plus write-through and
+    // no-write-allocate variants), plus both PIM targets.
+    sim::StudySpec spec;
+    const sim::HierarchyConfig host = sim::HostHierarchyConfig();
+    spec.dram = host.dram;
+    sim::CacheConfig small_l1 = host.l1;
+    small_l1.size = 32_KiB;
+    spec.l1_points = {host.l1, small_l1};
+    // A dense associativity (= capacity) ladder: every point in a
+    // (set count, allocate) group beyond the first is a free
+    // histogram readout for the study, while costing fan-out one more
+    // LLC simulation per L1 geometry.
+    const std::vector<std::uint32_t> ladder = {
+        1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14,
+        15, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+    constexpr std::size_t kSets = 1024;
+    constexpr Bytes kLine = 64;
+    for (const std::uint32_t a : ladder) {
+        spec.llc_points.push_back(
+            sim::CacheConfig{"llc", kSets * a * kLine, a, kLine});
+    }
+    // Two more set-count ladders: each costs the study ONE extra
+    // profiling pass, while costing fan-out one LLC simulation per
+    // point per L1.
+    for (const std::uint32_t a : {1u,  2u,  3u,  4u,  6u,  8u,  10u,
+                                  12u, 16u, 20u, 24u, 32u, 40u, 48u,
+                                  56u, 64u}) {
+        spec.llc_points.push_back(
+            sim::CacheConfig{"llc", 2 * kSets * a * kLine, a, kLine});
+    }
+    for (const std::uint32_t a :
+         {1u, 2u, 4u, 8u, 16u, 32u, 48u, 64u}) {
+        spec.llc_points.push_back(
+            sim::CacheConfig{"llc", kSets / 2 * a * kLine, a, kLine});
+    }
+    for (const std::uint32_t a : {2u, 4u, 8u, 16u}) {
+        sim::CacheConfig wt{"llc", kSets * a * kLine, a, kLine};
+        wt.policy = sim::WritePolicy::kWriteThroughAllocate;
+        spec.llc_points.push_back(wt);
+        wt.policy = sim::WritePolicy::kWriteThroughNoAllocate;
+        spec.llc_points.push_back(wt);
+    }
+    const sim::HierarchyConfig pim_core = sim::PimCoreHierarchyConfig();
+    const sim::HierarchyConfig pim_accel =
+        sim::PimAccelHierarchyConfig();
+    spec.pim_points.push_back(
+        sim::StudyPimPoint{"pim-core", pim_core.l1, pim_core.dram});
+    spec.pim_points.push_back(
+        sim::StudyPimPoint{"pim-accel", pim_accel.l1, pim_accel.dram});
+
+    // The identical grid as explicit hierarchies for the fan-out
+    // reference: row-major (l1, llc), PIM points appended.
+    std::vector<sim::HierarchyConfig> configs;
+    for (const sim::CacheConfig &l1 : spec.l1_points) {
+        for (const sim::CacheConfig &llc : spec.llc_points) {
+            sim::HierarchyConfig h;
+            h.name = "study";
+            h.l1 = l1;
+            h.llc = llc;
+            h.dram = spec.dram;
+            configs.push_back(std::move(h));
+        }
+    }
+    for (const sim::StudyPimPoint &p : spec.pim_points) {
+        sim::HierarchyConfig h;
+        h.name = p.name;
+        h.l1 = p.l1;
+        h.dram = p.dram;
+        configs.push_back(std::move(h));
+    }
+
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    const sim::SweepRunner runner;
+    std::vector<sim::PerfCounters> fanout;
+    sim::StudyResult study;
+    const double fanout_s = best_of([&] {
+        return TimeRun(
+            [&] { fanout = runner.ReplayTraceFanout(trace, configs); });
+    });
+    const double study_s = best_of([&] {
+        return TimeRun([&] { study = runner.ProfileStudy(trace, spec); });
+    });
+
+    const std::size_t cols = spec.llc_points.size();
+    bool same = true, exact = true;
+    for (std::size_t i = 0; i < spec.l1_points.size(); ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            same = same && SameCounters(study.host[i][j].counters,
+                                        fanout[i * cols + j]);
+            exact = exact && study.host[i][j].writebacks_exact;
+        }
+    }
+    for (std::size_t j = 0; j < spec.pim_points.size(); ++j) {
+        same = same &&
+               SameCounters(
+                   study.pim[j].counters,
+                   fanout[spec.l1_points.size() * cols + j]);
+        exact = exact && study.pim[j].writebacks_exact;
+    }
+
+    const double speedup = fanout_s / study_s;
+    Table table("Generalized one-pass study — " +
+                std::to_string(configs.size()) +
+                "-point two-level host grid + PIM, tiling stream");
+    table.SetHeader(
+        {"engine", "trace replays", "time (ms)", "speedup", "exact"});
+    table.AddRow({"fan-out replay (reference fast path)",
+                  "1/L1-shard x LLC sims",
+                  Table::Num(fanout_s * 1e3, 1), "1.00x",
+                  "bit-identical"});
+    table.AddRow({"one-pass study (nested profilers)",
+                  std::to_string(study.trace_replays) + " (+" +
+                      std::to_string(study.profile_passes) +
+                      " passes)",
+                  Table::Num(study_s * 1e3, 1),
+                  Table::Num(speedup, 2) + "x",
+                  same && exact ? "bit-identical" : "MISMATCH"});
+    out.Emit(table);
+
+    // The prefetcher axis, layered on the same grid (untimed — it is
+    // telemetry on top of identical counters; see stack_profiler.h).
+    sim::StudySpec pf_spec = spec;
+    pf_spec.model_prefetcher = true;
+    const sim::StudyResult pf = runner.ProfileStudy(trace, pf_spec);
+    const sim::PrefetchStats pf_sample =
+        pf.host[0][ladder.size() - 1].prefetch;
+
+    const std::string prefix = "sim_throughput.profiler";
+    out.Metric(prefix + ".grid_points",
+               static_cast<double>(configs.size()));
+    out.Metric(prefix + ".l1_points",
+               static_cast<double>(spec.l1_points.size()));
+    out.Metric(prefix + ".llc_points", static_cast<double>(cols));
+    out.Metric(prefix + ".trace_replays",
+               static_cast<double>(study.trace_replays));
+    out.Metric(prefix + ".profile_passes",
+               static_cast<double>(study.profile_passes));
+    out.Metric(prefix + ".fanout_ms", fanout_s * 1e3);
+    out.Metric(prefix + ".study_ms", study_s * 1e3);
+    out.Metric(prefix + ".speedup", speedup);
+    out.Metric(prefix + ".bit_identical", same && exact ? 1.0 : 0.0);
+    out.Metric(prefix + ".prefetch.issued",
+               static_cast<double>(pf_sample.issued));
+    out.Metric(prefix + ".prefetch.accuracy", pf_sample.Accuracy());
+    out.Metric(prefix + ".prefetch.coverage", pf_sample.Coverage());
+
+    std::printf("study counters %s the fan-out reference across %zu "
+                "points (%zu replays + %zu profile passes vs %zu LLC "
+                "sims; threads: %u)\n\n",
+                same && exact ? "match" : "DO NOT match",
+                configs.size(), study.trace_replays,
+                study.profile_passes, configs.size(),
+                runner.thread_count());
+}
+
+/**
  * Intra-trace shard scaling (this PR's headline): ONE (trace, config)
  * replay split across set-shards, each shard a private cold hierarchy
  * on its own worker, merged counters bit-identical to the serial
@@ -931,6 +1133,9 @@ PrintThroughput(bench::BenchOutput &out)
     });
 
     out.Section("sweep", [&] { PrintSweepStudy(out); });
+    // The multi-axis study rides the "sweep." prefix too, so CI's
+    // --filter=sweep covers its bit-identity + speedup gates.
+    out.Section("sweep.profiler", [&] { PrintProfilerStudy(out); });
 
     // Named under "sweep." so CI's existing --filter=sweep runs them.
     out.Section("sweep.shard", [&] { PrintShardStudy(out); });

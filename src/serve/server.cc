@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <csignal>
 #include <exception>
 #include <utility>
@@ -55,7 +56,12 @@ struct PimServer::Job
     std::uint64_t id = 0;
     std::string kernel; ///< Registry slug.
     double scale = 1.0;
-    std::vector<Bytes> llc_sizes;
+    std::string sweep = "llc"; ///< "llc" or "study".
+    std::vector<Bytes> llc_sizes; ///< llc sweep: capacity ladder.
+    // study sweep: associativity axis at the host LLC's set count and
+    // line size, plus the write policy of every point.
+    std::vector<std::uint32_t> assocs;
+    sim::WritePolicy policy = sim::WritePolicy::kWriteBackAllocate;
 
     State state = State::kQueued;
     std::vector<std::string> frames; ///< Result frames, ladder order.
@@ -315,12 +321,17 @@ PimServer::HandleSubmit(int fd, const JsonValue &req)
                                      "' cannot be trace-replayed"));
         return;
     }
-    if (const JsonValue *sweep = req.Find("sweep");
-        sweep != nullptr &&
-        !(sweep->is_string() && sweep->AsString() == "llc")) {
-        WriteFrame(fd, MakeError("bad_request",
-                                 "only \"llc\" sweeps are supported"));
-        return;
+    std::string sweep = "llc";
+    if (const JsonValue *s = req.Find("sweep"); s != nullptr) {
+        if (!s->is_string() || (s->AsString() != "llc" &&
+                                s->AsString() != "study")) {
+            WriteFrame(fd,
+                       MakeError("bad_request",
+                                 "only \"llc\" and \"study\" sweeps "
+                                 "are supported"));
+            return;
+        }
+        sweep = s->AsString();
     }
     double scale = 1.0;
     if (const JsonValue *s = req.Find("scale"); s != nullptr) {
@@ -332,33 +343,83 @@ PimServer::HandleSubmit(int fd, const JsonValue &req)
         }
     }
     std::vector<Bytes> sizes;
-    if (const JsonValue *ladder = req.Find("llc_kib");
-        ladder != nullptr) {
-        if (!ladder->is_array() || ladder->size() == 0) {
-            WriteFrame(fd,
-                       MakeError("bad_request",
-                                 "llc_kib must be a non-empty array"));
-            return;
-        }
-        const sim::HierarchyConfig host = sim::HostHierarchyConfig();
-        const Bytes gran =
-            host.llc->associativity * host.llc->line_bytes;
-        for (std::size_t i = 0; i < ladder->size(); ++i) {
-            const double kib = ladder->at(i).AsNumber();
-            const Bytes size = static_cast<Bytes>(kib) * 1024;
-            if (!(kib > 0) || size % gran != 0) {
-                WriteFrame(fd,
-                           MakeError("bad_point",
-                                     "llc_kib entries must be positive "
-                                     "multiples of " +
-                                         std::to_string(gran / 1024) +
-                                         " KiB"));
+    std::vector<std::uint32_t> assocs;
+    sim::WritePolicy policy = sim::WritePolicy::kWriteBackAllocate;
+    if (sweep == "llc") {
+        if (const JsonValue *ladder = req.Find("llc_kib");
+            ladder != nullptr) {
+            if (!ladder->is_array() || ladder->size() == 0) {
+                WriteFrame(
+                    fd, MakeError("bad_request",
+                                  "llc_kib must be a non-empty array"));
                 return;
             }
-            sizes.push_back(size);
+            const sim::HierarchyConfig host = sim::HostHierarchyConfig();
+            const Bytes gran =
+                host.llc->associativity * host.llc->line_bytes;
+            for (std::size_t i = 0; i < ladder->size(); ++i) {
+                const double kib = ladder->at(i).AsNumber();
+                const Bytes size = static_cast<Bytes>(kib) * 1024;
+                if (!(kib > 0) || size % gran != 0) {
+                    WriteFrame(
+                        fd,
+                        MakeError("bad_point",
+                                  "llc_kib entries must be positive "
+                                  "multiples of " +
+                                      std::to_string(gran / 1024) +
+                                      " KiB"));
+                    return;
+                }
+                sizes.push_back(size);
+            }
+        } else {
+            sizes = DefaultLadder();
         }
     } else {
-        sizes = DefaultLadder();
+        // Study: an associativity axis at the host LLC geometry, with
+        // an optional write policy for every point.
+        if (const JsonValue *axis = req.Find("llc_assoc");
+            axis != nullptr) {
+            if (!axis->is_array() || axis->size() == 0) {
+                WriteFrame(
+                    fd,
+                    MakeError("bad_request",
+                              "llc_assoc must be a non-empty array"));
+                return;
+            }
+            for (std::size_t i = 0; i < axis->size(); ++i) {
+                const double a = axis->at(i).AsNumber();
+                if (!(a >= 1) || a != static_cast<double>(
+                                          static_cast<std::uint32_t>(a)) ||
+                    a > 4096) {
+                    WriteFrame(fd,
+                               MakeError("bad_point",
+                                         "llc_assoc entries must be "
+                                         "integers in [1, 4096]"));
+                    return;
+                }
+                assocs.push_back(static_cast<std::uint32_t>(a));
+            }
+        } else {
+            assocs = {1, 2, 4, 8, 16};
+        }
+        if (const JsonValue *p = req.Find("policy"); p != nullptr) {
+            const std::string name =
+                p->is_string() ? p->AsString() : std::string();
+            if (name == "wb") {
+                policy = sim::WritePolicy::kWriteBackAllocate;
+            } else if (name == "wt") {
+                policy = sim::WritePolicy::kWriteThroughAllocate;
+            } else if (name == "wtna") {
+                policy = sim::WritePolicy::kWriteThroughNoAllocate;
+            } else {
+                WriteFrame(fd,
+                           MakeError("bad_request",
+                                     "policy must be one of \"wb\", "
+                                     "\"wt\", \"wtna\""));
+                return;
+            }
+        }
     }
     bool wait = true;
     if (const JsonValue *w = req.Find("wait"); w != nullptr) {
@@ -374,7 +435,10 @@ PimServer::HandleSubmit(int fd, const JsonValue &req)
         owned->id = id;
         owned->kernel = spec->Slug();
         owned->scale = scale;
+        owned->sweep = sweep;
         owned->llc_sizes = std::move(sizes);
+        owned->assocs = std::move(assocs);
+        owned->policy = policy;
         job = owned.get();
         jobs_.emplace(id, std::move(owned));
     }
@@ -399,8 +463,10 @@ PimServer::HandleSubmit(int fd, const JsonValue &req)
     accepted.Set("type", "accepted");
     accepted.Set("job", id);
     accepted.Set("kernel", job->kernel);
-    accepted.Set("points",
-                 static_cast<std::uint64_t>(job->llc_sizes.size()));
+    accepted.Set("points", static_cast<std::uint64_t>(
+                               job->sweep == "study"
+                                   ? job->assocs.size()
+                                   : job->llc_sizes.size()));
     if (!WriteFrame(fd, accepted) || !wait) {
         return;
     }
@@ -483,16 +549,15 @@ PimServer::FailJob(Job &job, const std::string &error)
     jobs_cv_.notify_all();
 }
 
-void
-PimServer::ExecuteJob(Job &job)
+std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
+PimServer::AcquireTrace(const Job &job, std::string *source)
 {
-    // --- Trace acquisition: memory -> corpus -> record. ------------
     // One global lock serializes acquisition so concurrent identical
     // submissions record at most once (the expensive step is exactly
     // what the lock must deduplicate).
     std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
         trace;
-    std::string source = "memory";
+    *source = "memory";
     const std::string key = TraceKey(job.kernel, job.scale);
     {
         std::lock_guard<std::mutex> lock(trace_mu_);
@@ -500,14 +565,14 @@ PimServer::ExecuteJob(Job &job)
         if (it != traces_.end()) {
             trace = it->second;
         } else if (auto loaded = corpus_.Load(key)) {
-            source = "corpus";
+            *source = "corpus";
             const std::uint64_t digest = loaded->Digest();
             trace = std::make_shared<
                 const std::pair<sim::CompactTrace, std::uint64_t>>(
                 std::move(*loaded), digest);
             traces_.emplace(key, trace);
         } else {
-            source = "recorded";
+            *source = "recorded";
             const core::KernelSpec *spec =
                 core::KernelRegistry::Global().Find(job.kernel);
             PIM_ASSERT(spec != nullptr,
@@ -525,8 +590,27 @@ PimServer::ExecuteJob(Job &job)
                 std::move(encoded), digest);
             traces_.emplace(key, trace);
         }
-        trace_sources_[key] = source;
+        trace_sources_[key] = *source;
     }
+    return trace;
+}
+
+void
+PimServer::ExecuteJob(Job &job)
+{
+    if (job.sweep == "study") {
+        ExecuteStudyJob(job);
+    } else {
+        ExecuteLlcJob(job);
+    }
+}
+
+void
+PimServer::ExecuteLlcJob(Job &job)
+{
+    // --- Trace acquisition: memory -> corpus -> record. ------------
+    std::string source;
+    const auto trace = AcquireTrace(job, &source);
     const sim::CompactTrace &compact = trace->first;
     const std::uint64_t digest = trace->second;
 
@@ -609,6 +693,143 @@ PimServer::ExecuteJob(Job &job)
     }
 }
 
+void
+PimServer::ExecuteStudyJob(Job &job)
+{
+    // --- Trace acquisition: memory -> corpus -> record. ------------
+    std::string source;
+    const auto trace = AcquireTrace(job, &source);
+    const sim::CompactTrace &compact = trace->first;
+    const std::uint64_t digest = trace->second;
+
+    // --- The pass this study needs.  The key deliberately excludes
+    // the requested associativity axis and the tracked set: ANY axis
+    // over the same (L1 geometry, line, sets, allocate) pass is
+    // answered from one snapshot, so a repeat submission with a
+    // changed — even never-before-seen — associativity axis costs no
+    // replay (untracked points are flagged writebacks_exact=false).
+    const sim::HierarchyConfig base = sim::HostHierarchyConfig();
+    const sim::CacheConfig &llc = *base.llc;
+    const std::size_t sets = static_cast<std::size_t>(
+        llc.size /
+        (static_cast<Bytes>(llc.associativity) * llc.line_bytes));
+    const bool allocate =
+        job.policy != sim::WritePolicy::kWriteThroughNoAllocate;
+    std::string pass_canonical = "study;l1:";
+    pass_canonical += JsonValue::NumberToString(
+        static_cast<double>(base.l1.size));
+    pass_canonical += "/";
+    pass_canonical += std::to_string(base.l1.associativity);
+    pass_canonical += "/";
+    pass_canonical += JsonValue::NumberToString(
+        static_cast<double>(base.l1.line_bytes));
+    pass_canonical += ";pass:";
+    pass_canonical += JsonValue::NumberToString(
+        static_cast<double>(llc.line_bytes));
+    pass_canonical += "/";
+    pass_canonical += std::to_string(sets);
+    pass_canonical += allocate ? "/alloc" : "/noalloc";
+    const std::string pass_key = MemoKey(digest, pass_canonical);
+
+    std::shared_ptr<const StudyPassMemo> pass;
+    {
+        std::lock_guard<std::mutex> lock(profiles_mu_);
+        const auto it = profiles_.find(pass_key);
+        if (it != profiles_.end()) {
+            pass = it->second;
+            ++profile_hits_;
+        } else {
+            ++profile_misses_;
+        }
+    }
+    bool replayed = false;
+    if (!pass) {
+        replayed = true;
+        // One replay: the host L1 simulated once, its miss stream
+        // profiled once.  Tracked associativities = this request's
+        // write-back axis; later requests for other associativities
+        // are still served from the snapshot (approximately for
+        // writebacks, exactly for everything else).
+        sim::StackProfilerConfig pcfg;
+        pcfg.line_bytes = llc.line_bytes;
+        pcfg.num_sets = sets;
+        pcfg.write_allocate = allocate;
+        if (job.policy == sim::WritePolicy::kWriteBackAllocate) {
+            std::vector<std::uint32_t> tracked = job.assocs;
+            std::sort(tracked.begin(), tracked.end());
+            tracked.erase(
+                std::unique(tracked.begin(), tracked.end()),
+                tracked.end());
+            if (tracked.size() > 64) {
+                tracked.resize(64);
+            }
+            pcfg.tracked_assocs = std::move(tracked);
+        }
+        sim::StackDistanceProfiler prof(pcfg);
+        sim::Cache l1(base.l1, prof);
+        compact.ReplayInto(l1);
+        ++replays_executed_;
+        auto fresh = std::make_shared<StudyPassMemo>();
+        fresh->profile = prof.profile();
+        fresh->l1 = l1.stats();
+        {
+            std::lock_guard<std::mutex> lock(profiles_mu_);
+            profiles_.emplace(pass_key, fresh);
+        }
+        pass = std::move(fresh);
+    }
+
+    // --- Every requested point is a readout from the snapshot. -----
+    for (std::size_t i = 0; i < job.assocs.size(); ++i) {
+        const std::uint32_t assoc = job.assocs[i];
+        sim::StudyPointResult point = sim::ReadProfilePoint(
+            pass->profile, assoc, job.policy, false);
+        point.counters.l1 = pass->l1;
+        point.counters.has_llc = true;
+
+        std::string frame = "{\"type\":\"result\",\"kernel\":\"";
+        JsonValue::AppendEscaped(frame, job.kernel);
+        frame += "\",\"scale\":";
+        frame += JsonValue::NumberToString(job.scale);
+        frame += ",\"index\":";
+        frame += std::to_string(i);
+        frame += ",\"llc_assoc\":";
+        frame += std::to_string(assoc);
+        frame += ",\"llc_bytes\":";
+        frame += std::to_string(static_cast<Bytes>(sets) * assoc *
+                                llc.line_bytes);
+        frame += ",\"policy\":\"";
+        frame += sim::WritePolicyName(job.policy);
+        frame += "\",\"writebacks_exact\":";
+        frame += point.writebacks_exact ? "true" : "false";
+        frame += ",\"config\":\"";
+        JsonValue::AppendEscaped(frame, pass_canonical);
+        frame += "\",\"counters\":";
+        frame += telemetry::ToJson(point.counters).Dump();
+        frame += "}";
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        job.frames.push_back(std::move(frame));
+        jobs_cv_.notify_all();
+    }
+
+    JsonValue done = JsonValue::Object();
+    done.Set("type", "done");
+    done.Set("job", job.id);
+    done.Set("kernel", job.kernel);
+    done.Set("sweep", "study");
+    done.Set("points", static_cast<std::uint64_t>(job.assocs.size()));
+    done.Set("replayed", replayed);
+    done.Set("trace_digest", ContentDigest::ToHex(digest));
+    done.Set("trace_source", source);
+    {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        job.final_frame = done.Dump();
+        job.state = Job::State::kDone;
+        ++jobs_done_;
+        jobs_cv_.notify_all();
+    }
+}
+
 JsonValue
 PimServer::StatusJson() const
 {
@@ -630,9 +851,19 @@ PimServer::StatusJson() const
     queue.Set("workers", config_.workers);
     v.Set("queue", std::move(queue));
 
+    // Hit-rate fields make cache effectiveness directly observable
+    // (no client-side division; 0.0 until the first lookup).
+    const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    };
+
     JsonValue memo = JsonValue::Object();
     memo.Set("hits", memo_.hits());
     memo.Set("misses", memo_.misses());
+    memo.Set("hit_rate", rate(memo_.hits(), memo_.misses()));
     memo.Set("entries", static_cast<std::uint64_t>(memo_.size()));
     v.Set("memo", std::move(memo));
 
@@ -640,8 +871,21 @@ PimServer::StatusJson() const
     corpus.Set("enabled", corpus_.enabled());
     corpus.Set("hits", corpus_.hits());
     corpus.Set("misses", corpus_.misses());
+    corpus.Set("hit_rate", rate(corpus_.hits(), corpus_.misses()));
     corpus.Set("entries", static_cast<std::uint64_t>(corpus_.size()));
     v.Set("corpus", std::move(corpus));
+
+    JsonValue profiles = JsonValue::Object();
+    profiles.Set("hits", profile_hits_.load());
+    profiles.Set("misses", profile_misses_.load());
+    profiles.Set("hit_rate",
+                 rate(profile_hits_.load(), profile_misses_.load()));
+    {
+        std::lock_guard<std::mutex> lock(profiles_mu_);
+        profiles.Set("entries",
+                     static_cast<std::uint64_t>(profiles_.size()));
+    }
+    v.Set("profiles", std::move(profiles));
 
     JsonValue replay = JsonValue::Object();
     replay.Set("traces_recorded", traces_recorded_.load());

@@ -43,6 +43,8 @@
 #include "serve/corpus_cache.h"
 #include "serve/job_queue.h"
 #include "serve/result_memo.h"
+#include "sim/cache.h"
+#include "sim/stack_profiler.h"
 #include "sim/trace_codec.h"
 
 namespace pim::serve {
@@ -84,10 +86,30 @@ class PimServer
   private:
     struct Job;
 
+    /**
+     * One memoized study profiling pass: the StackProfile snapshot of
+     * a (trace digest, L1 geometry, pass geometry) replay plus the L1
+     * counters that replay produced.  Any associativity or write
+     * policy the pass supports — including axes no prior submission
+     * asked for — is an O(histogram) readout from the snapshot, so a
+     * repeat study submission executes ZERO replays (untracked
+     * associativities are served with writebacks_exact=false).
+     */
+    struct StudyPassMemo
+    {
+        sim::StackProfile profile;
+        sim::CacheStats l1;
+    };
+
     void AcceptLoop();
     void SessionLoop(int fd);
     void WorkerLoop();
     void ExecuteJob(Job &job);
+    void ExecuteLlcJob(Job &job);
+    void ExecuteStudyJob(Job &job);
+    /** Memory -> corpus -> record; sets *source to where it came from. */
+    std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
+    AcquireTrace(const Job &job, std::string *source);
     void HandleSubmit(int fd, const JsonValue &req);
     void FailJob(Job &job, const std::string &error);
 
@@ -107,6 +129,13 @@ class PimServer
                                              std::uint64_t>>>
         traces_;
     std::map<std::string, std::string> trace_sources_;
+
+    // Study pass memo (see StudyPassMemo).
+    mutable std::mutex profiles_mu_;
+    std::map<std::string, std::shared_ptr<const StudyPassMemo>>
+        profiles_;
+    std::atomic<std::uint64_t> profile_hits_{0};
+    std::atomic<std::uint64_t> profile_misses_{0};
 
     mutable std::mutex jobs_mu_;
     std::condition_variable jobs_cv_;

@@ -7,6 +7,20 @@
 
 namespace pim::sim {
 
+const char *
+WritePolicyName(WritePolicy policy)
+{
+    switch (policy) {
+    case WritePolicy::kWriteThroughAllocate:
+        return "wt";
+    case WritePolicy::kWriteThroughNoAllocate:
+        return "wtna";
+    case WritePolicy::kWriteBackAllocate:
+        break;
+    }
+    return "wb";
+}
+
 CacheGeometry::CacheGeometry(const CacheConfig &config)
 {
     PIM_ASSERT(config.line_bytes > 0 &&
@@ -43,8 +57,12 @@ Cache::Cache(const CacheConfig &config, MemorySink &below)
     const bool pow2_assoc = (assoc & (assoc - 1)) == 0;
     const auto way_shift =
         static_cast<std::uint32_t>(std::countr_zero(assoc));
-    fast_batch_ =
-        geom_.pow2_sets && pow2_assoc && way_shift <= geom_.line_shift;
+    // The registerized batch loop commits write hits by setting dirty
+    // bits, which only the default write-back policy allows; the
+    // write-through policies take the (cold) scalar route instead.
+    fast_batch_ = geom_.pow2_sets && pow2_assoc &&
+                  way_shift <= geom_.line_shift &&
+                  config_.policy == WritePolicy::kWriteBackAllocate;
     if (fast_batch_) {
         slot_shift_ = geom_.line_shift - way_shift;
         slot_mask_ = geom_.set_mask << way_shift;
@@ -276,6 +294,20 @@ Cache::AccessSpan(Address addr, Bytes bytes, AccessType type)
     const Bytes line = config_.line_bytes;
     Address cur = geom_.LineAddr(addr);
     const Address last = geom_.LineAddr(addr + (bytes - 1));
+    if (type == AccessType::kWrite &&
+        config_.policy != WritePolicy::kWriteBackAllocate) [[unlikely]] {
+        // Write-through probes: reads below stay on the common path,
+        // writes take the policy route (no dirty bits, write sent
+        // below per line).
+        for (;;) {
+            PolicyWriteLine(cur);
+            if (cur == last) {
+                break;
+            }
+            cur += line;
+        }
+        return;
+    }
     for (;;) {
         ProbeLine(cur, type);
         if (cur == last) {
@@ -393,6 +425,84 @@ Cache::AccessLine(Address line_addr, AccessType type)
         SwapSlots(victim, base_slot);
     }
     last_slot_ = base_slot;
+}
+
+/**
+ * One line-granular *write* probe under a write-through policy.  The
+ * line is never dirtied: the write itself is sent below (line-sized,
+ * matching the model's line-granular below-traffic) after any fill.
+ *
+ *  - write-allocate: residency behavior is identical to the default
+ *    policy (hits promote, misses select a victim and fill), so
+ *    hit/miss counts match write-back exactly; victims are always
+ *    clean, so no writeback can occur.
+ *  - no-write-allocate: the probe only classifies hit/miss; it neither
+ *    fills nor updates replacement state (non-promoting writes — see
+ *    WritePolicy), so residency is decided by the read stream alone.
+ */
+void
+Cache::PolicyWriteLine(Address line_addr)
+{
+    const bool allocate =
+        config_.policy == WritePolicy::kWriteThroughAllocate;
+    const std::uint32_t assoc = config_.associativity;
+    const std::size_t base_slot = SetIndex(line_addr) * assoc;
+    ++tick_;
+
+    // Valid-checked scalar scan: the policy paths are not the hot
+    // loop, and the scan is immune to the sentinel-alias corner.
+    int way = -1;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        const std::size_t s = base_slot + w;
+        if (valid_[s] != 0 && tags_[s] == line_addr) {
+            way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (way >= 0) {
+        ++stats_.write_hits;
+        if (allocate) {
+            const std::size_t slot =
+                base_slot + static_cast<unsigned>(way);
+            lru_[slot] = tick_;
+            if (way != 0) {
+                SwapSlots(slot, base_slot);
+            }
+            last_slot_ = base_slot;
+        }
+    } else {
+        ++stats_.write_misses;
+        if (allocate) {
+            // Victim selection as in AccessLine; under write-through
+            // no line is ever dirty, so eviction never writes back.
+            std::size_t victim = base_slot;
+            bool victim_valid = valid_[base_slot] != 0;
+            for (std::uint32_t w = 1; w < assoc; ++w) {
+                const std::size_t s = base_slot + w;
+                if (valid_[s] == 0) {
+                    victim = s;
+                    victim_valid = false;
+                } else if (victim_valid && lru_[s] < lru_[victim]) {
+                    victim = s;
+                }
+            }
+            if (valid_[base_slot] == 0) {
+                victim = base_slot;
+            }
+            EmitBelow(line_addr, config_.line_bytes, AccessType::kRead);
+            tags_[victim] = line_addr;
+            valid_[victim] = 1;
+            dirty_[victim] = 0;
+            lru_[victim] = tick_;
+            if (victim != base_slot) {
+                SwapSlots(victim, base_slot);
+            }
+            last_slot_ = base_slot;
+        }
+    }
+    // The write-through itself: one line-sized write below per probe.
+    EmitBelow(line_addr, config_.line_bytes, AccessType::kWrite);
 }
 
 void

@@ -49,6 +49,32 @@
 
 namespace pim::sim {
 
+/**
+ * Write policy of one cache level.
+ *
+ * The non-default policies exist for the design-study axis the paper
+ * sweeps (write traffic sensitivity); both are phrased so the one-pass
+ * stack profiler can reproduce them exactly from a single replay (see
+ * stack_profiler.h and DESIGN.md §5i):
+ *  - write-through keeps residency identical to write-back (writes
+ *    still allocate and promote) but sends every write below and never
+ *    dirties a line, so writebacks are exactly 0;
+ *  - no-write-allocate is the *non-promoting* variant: writes neither
+ *    allocate nor update replacement state, so residency is decided by
+ *    the read stream alone — the property that keeps LRU inclusion
+ *    (and hence one-pass profiling) exact at every associativity.
+ */
+enum class WritePolicy : std::uint8_t
+{
+    kWriteBackAllocate = 0,    ///< Default: write-back, write-allocate.
+    kWriteThroughAllocate = 1, ///< Write-through, write-allocate.
+    /** Write-through, no-write-allocate, non-promoting writes. */
+    kWriteThroughNoAllocate = 2,
+};
+
+/** Short stable spelling for reports and memo keys ("wb"/"wt"/"wtna"). */
+const char *WritePolicyName(WritePolicy policy);
+
 /** Geometry and identity of one cache level. */
 struct CacheConfig
 {
@@ -56,6 +82,7 @@ struct CacheConfig
     Bytes size = 64_KiB;
     std::uint32_t associativity = 4;
     Bytes line_bytes = kCacheLineBytes;
+    WritePolicy policy = WritePolicy::kWriteBackAllocate;
 };
 
 /** Aggregate statistics for one cache level. */
@@ -193,6 +220,7 @@ class Cache final : public MemorySink
     void AccessSpan(Address addr, Bytes bytes, AccessType type);
     void ProbeLine(Address line_addr, AccessType type);
     void AccessLine(Address line_addr, AccessType type);
+    void PolicyWriteLine(Address line_addr);
     void EmitBelow(Address addr, Bytes bytes, AccessType type);
     void FlushBelow();
 

@@ -1,12 +1,176 @@
 #include "sim/stack_profiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
 #include "common/logging.h"
 
 namespace pim::sim {
+
+namespace {
+
+/**
+ * Satellite guard for the one inexact readout the profiler has: under
+ * write-back, an untracked associativity's writeback count is reported
+ * as 0, which downstream JSON could mistake for "exactly zero".
+ * Results carry WritebacksExact() so callers can tell, and the first
+ * such readout in the process warns loudly.
+ */
+void
+WarnUntrackedWritebacksOnce(std::uint32_t assoc)
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+        PIM_WARN("stack profiler: writebacks for untracked "
+                 "associativity %u reported as 0 (not exact); check "
+                 "WritebacksExact() / writebacks_exact in results",
+                 assoc);
+    }
+}
+
+/** Sum hist[d] for d < assoc (the Mattson hit readout). */
+std::uint64_t
+HitsBelow(const std::vector<std::uint64_t> &hist, std::uint32_t assoc)
+{
+    std::uint64_t hits = 0;
+    const std::size_t end =
+        std::min<std::size_t>(hist.size(), assoc);
+    for (std::size_t d = 0; d < end; ++d) {
+        hits += hist[d];
+    }
+    return hits;
+}
+
+std::uint64_t
+Total(const std::vector<std::uint64_t> &hist, std::uint64_t cold)
+{
+    std::uint64_t total = cold;
+    for (const std::uint64_t n : hist) {
+        total += n;
+    }
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+StackProfile::TotalReadProbes() const
+{
+    return Total(read_hist, read_cold);
+}
+
+std::uint64_t
+StackProfile::TotalWriteProbes() const
+{
+    return Total(write_hist, write_cold);
+}
+
+int
+StackProfile::TrackedIndex(std::uint32_t assoc) const
+{
+    const auto it =
+        std::lower_bound(tracked.begin(), tracked.end(), assoc);
+    if (it == tracked.end() || *it != assoc) {
+        return -1;
+    }
+    return static_cast<int>(it - tracked.begin());
+}
+
+bool
+StackProfile::WritebacksExact(std::uint32_t assoc,
+                              WritePolicy policy) const
+{
+    // Write-through never dirties a line: writebacks are exactly 0 at
+    // every associativity.  Write-back needs the tracked dirty-bitmask
+    // machinery.
+    return policy != WritePolicy::kWriteBackAllocate ||
+           TrackedIndex(assoc) >= 0;
+}
+
+CacheStats
+StackProfile::StatsForAssociativity(std::uint32_t assoc,
+                                    WritePolicy policy) const
+{
+    PIM_ASSERT(assoc >= 1, "associativity must be >= 1");
+    // One allocating pass answers both allocating policies (their
+    // residency is identical); the non-promoting no-write-allocate
+    // policy needs the pass that treated writes the same way.
+    PIM_ASSERT(
+        write_allocate ==
+            (policy != WritePolicy::kWriteThroughNoAllocate),
+        "write policy %s needs a pass with write_allocate=%d",
+        WritePolicyName(policy), policy != WritePolicy::kWriteThroughNoAllocate);
+    CacheStats s;
+    s.read_hits = HitsBelow(read_hist, assoc);
+    s.write_hits = HitsBelow(write_hist, assoc);
+    s.read_misses = TotalReadProbes() - s.read_hits;
+    s.write_misses = TotalWriteProbes() - s.write_hits;
+    if (policy == WritePolicy::kWriteBackAllocate) {
+        const int j = TrackedIndex(assoc);
+        if (j >= 0) {
+            s.writebacks = writebacks[static_cast<std::size_t>(j)];
+        } else {
+            WarnUntrackedWritebacksOnce(assoc);
+        }
+    }
+    return s;
+}
+
+DramStats
+StackProfile::DramTrafficForAssociativity(std::uint32_t assoc,
+                                          WritePolicy policy) const
+{
+    PIM_ASSERT(WritebacksExact(assoc, policy),
+               "DRAM write traffic needs tracked writebacks (assoc %u)",
+               assoc);
+    const CacheStats s = StatsForAssociativity(assoc, policy);
+    DramStats d;
+    switch (policy) {
+    case WritePolicy::kWriteBackAllocate:
+        // Fills for every miss; one line write per dirty eviction.
+        d.read_requests = s.Misses();
+        d.write_requests = s.writebacks;
+        break;
+    case WritePolicy::kWriteThroughAllocate:
+        // Fills for every miss (write misses allocate); the writes
+        // themselves all go through, one line write per write probe.
+        d.read_requests = s.Misses();
+        d.write_requests = TotalWriteProbes();
+        break;
+    case WritePolicy::kWriteThroughNoAllocate:
+        // Only read misses fill; every write probe goes through.
+        d.read_requests = s.read_misses;
+        d.write_requests = TotalWriteProbes();
+        break;
+    }
+    d.read_bytes = d.read_requests * line_bytes;
+    d.write_bytes = d.write_requests * line_bytes;
+    return d;
+}
+
+PrefetchStats
+StackProfile::PrefetchForAssociativity(std::uint32_t assoc) const
+{
+    PIM_ASSERT(prefetcher,
+               "prefetch readout needs a pass with model_prefetcher");
+    PrefetchStats p;
+    p.issued = prefetches_issued;
+    // A consumed prefetch was useful for associativity A iff the
+    // demand that consumed it would have missed: first touch, or
+    // stack distance >= A.
+    p.useful = useful_cold;
+    for (std::size_t d = assoc; d < useful_hist.size(); ++d) {
+        p.useful += useful_hist[d];
+    }
+    const CacheStats s = StatsForAssociativity(
+        assoc, write_allocate
+                   ? WritePolicy::kWriteBackAllocate
+                   : WritePolicy::kWriteThroughNoAllocate);
+    p.demand_misses = s.Misses();
+    return p;
+}
 
 StackDistanceProfiler::StackDistanceProfiler(StackProfilerConfig config)
     : config_(std::move(config))
@@ -26,21 +190,27 @@ StackDistanceProfiler::StackDistanceProfiler(StackProfilerConfig config)
     stack_tags_.resize(config_.num_sets);
     stack_dirty_.resize(config_.num_sets);
 
-    tracked_ = config_.tracked_assocs;
-    std::sort(tracked_.begin(), tracked_.end());
-    tracked_.erase(std::unique(tracked_.begin(), tracked_.end()),
-                   tracked_.end());
-    PIM_ASSERT(tracked_.size() <= 64,
+    profile_.line_bytes = config_.line_bytes;
+    profile_.num_sets = config_.num_sets;
+    profile_.write_allocate = config_.write_allocate;
+    profile_.prefetcher = config_.model_prefetcher;
+
+    profile_.tracked = config_.tracked_assocs;
+    auto &tracked = profile_.tracked;
+    std::sort(tracked.begin(), tracked.end());
+    tracked.erase(std::unique(tracked.begin(), tracked.end()),
+                  tracked.end());
+    PIM_ASSERT(tracked.size() <= 64,
                "at most 64 tracked associativities (%zu requested)",
-               tracked_.size());
-    PIM_ASSERT(tracked_.empty() || tracked_.front() >= 1,
+               tracked.size());
+    PIM_ASSERT(tracked.empty() || tracked.front() >= 1,
                "tracked associativity must be >= 1");
-    writebacks_.assign(tracked_.size(), 0);
-    if (!tracked_.empty()) {
+    profile_.writebacks.assign(tracked.size(), 0);
+    if (!tracked.empty()) {
         full_dirty_mask_ =
-            tracked_.size() == 64
+            tracked.size() == 64
                 ? ~std::uint64_t{0}
-                : (std::uint64_t{1} << tracked_.size()) - 1;
+                : (std::uint64_t{1} << tracked.size()) - 1;
     }
 }
 
@@ -82,11 +252,13 @@ StackDistanceProfiler::AccessBatch(const TraceEntry *entries,
  * One line-granular probe: find the line in its set's stack, record
  * the distance, promote it to the top, and account tracked evictions
  * on every entry that sinks across a tracked-associativity boundary.
+ * Under write_allocate=false, a write probe only records its distance
+ * (the stack is left untouched — non-promoting writes).
  */
 void
 StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
 {
-    ++probes_;
+    ++profile_.probes;
     const std::size_t set = SetIndex(line_addr);
     AlignedVector<Address> &tags = stack_tags_[set];
     std::vector<std::uint64_t> &dirty = stack_dirty_[set];
@@ -97,22 +269,65 @@ StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
     // the lowest-match semantics are exact).
     const std::size_t d =
         simd::FindTagLinear(use_simd_, tags.data(), depth, line_addr);
+    const bool cold = d == depth;
+
+    if (config_.model_prefetcher) [[unlikely]] {
+        // Layered model, stacks untouched.  Usefulness first: if this
+        // demand consumes a pending prefetch, its distance decides —
+        // for every associativity at once — whether the prefetch
+        // covered a would-be miss.
+        if (!pending_prefetches_.empty() &&
+            pending_prefetches_.erase(line_addr) != 0) {
+            if (cold) {
+                ++profile_.useful_cold;
+            } else {
+                if (d >= profile_.useful_hist.size()) {
+                    profile_.useful_hist.resize(d + 1, 0);
+                }
+                ++profile_.useful_hist[d];
+            }
+        }
+        // Stream detection: two sequential line probes arm the next
+        // line.  Self-prefetching of the just-touched line is never
+        // issued (the candidate is strictly ahead of the stream).
+        if (line_addr == prev_line_ + config_.line_bytes) {
+            const Address candidate = line_addr + config_.line_bytes;
+            if (pending_prefetches_.insert(candidate).second) {
+                ++profile_.prefetches_issued;
+            }
+        }
+        prev_line_ = line_addr;
+    }
+
+    if (!config_.write_allocate && is_write) {
+        // Non-promoting write: record the distance against the
+        // read-built stack and leave residency untouched.
+        if (cold) {
+            ++profile_.write_cold;
+        } else {
+            if (d >= profile_.write_hist.size()) {
+                profile_.write_hist.resize(d + 1, 0);
+            }
+            ++profile_.write_hist[d];
+        }
+        return;
+    }
 
     std::uint64_t promoted_dirty;
-    if (d == depth) {
+    if (cold) {
         // First touch: infinite distance.  Every tracked cache misses
         // and fills the line with the access's dirtiness.
         if (is_write) {
-            ++write_cold_;
+            ++profile_.write_cold;
         } else {
-            ++read_cold_;
+            ++profile_.read_cold;
         }
         tags.emplace_back(); // room for the shift below
         dirty.emplace_back();
         promoted_dirty = is_write ? full_dirty_mask_ : 0;
     } else {
         std::vector<std::uint64_t> &hist =
-            is_write ? write_hist_ : read_hist_;
+            is_write ? profile_.write_hist : profile_.read_hist;
         if (d >= hist.size()) {
             hist.resize(d + 1, 0);
         }
@@ -136,76 +351,18 @@ StackDistanceProfiler::ProbeLine(Address line_addr, bool is_write)
                      d * sizeof(Address));
         std::memmove(dirty.data() + 1, dirty.data(),
                      d * sizeof(std::uint64_t));
+        const auto &tracked = profile_.tracked;
         for (std::size_t j = 0;
-             j < tracked_.size() && tracked_[j] <= d; ++j) {
-            const std::uint32_t a = tracked_[j];
+             j < tracked.size() && tracked[j] <= d; ++j) {
+            const std::uint32_t a = tracked[j];
             if (((dirty[a] >> j) & 1) != 0) {
-                ++writebacks_[j];
+                ++profile_.writebacks[j];
                 dirty[a] &= ~(std::uint64_t{1} << j);
             }
         }
     }
     tags[0] = line_addr;
     dirty[0] = promoted_dirty;
-}
-
-int
-StackDistanceProfiler::TrackedIndex(std::uint32_t assoc) const
-{
-    const auto it =
-        std::lower_bound(tracked_.begin(), tracked_.end(), assoc);
-    if (it == tracked_.end() || *it != assoc) {
-        return -1;
-    }
-    return static_cast<int>(it - tracked_.begin());
-}
-
-bool
-StackDistanceProfiler::TracksWritebacks(std::uint32_t assoc) const
-{
-    return TrackedIndex(assoc) >= 0;
-}
-
-CacheStats
-StackDistanceProfiler::StatsForAssociativity(std::uint32_t assoc) const
-{
-    PIM_ASSERT(assoc >= 1, "associativity must be >= 1");
-    CacheStats s;
-    std::uint64_t read_total = read_cold_;
-    for (std::size_t d = 0; d < read_hist_.size(); ++d) {
-        read_total += read_hist_[d];
-        if (d < assoc) {
-            s.read_hits += read_hist_[d];
-        }
-    }
-    std::uint64_t write_total = write_cold_;
-    for (std::size_t d = 0; d < write_hist_.size(); ++d) {
-        write_total += write_hist_[d];
-        if (d < assoc) {
-            s.write_hits += write_hist_[d];
-        }
-    }
-    s.read_misses = read_total - s.read_hits;
-    s.write_misses = write_total - s.write_hits;
-    const int j = TrackedIndex(assoc);
-    s.writebacks = j >= 0 ? writebacks_[static_cast<std::size_t>(j)] : 0;
-    return s;
-}
-
-DramStats
-StackDistanceProfiler::DramTrafficForAssociativity(
-    std::uint32_t assoc) const
-{
-    PIM_ASSERT(TracksWritebacks(assoc),
-               "DRAM write traffic needs tracked writebacks (assoc %u)",
-               assoc);
-    const CacheStats s = StatsForAssociativity(assoc);
-    DramStats d;
-    d.read_requests = s.Misses();
-    d.read_bytes = s.Misses() * config_.line_bytes;
-    d.write_requests = s.writebacks;
-    d.write_bytes = s.writebacks * config_.line_bytes;
-    return d;
 }
 
 } // namespace pim::sim

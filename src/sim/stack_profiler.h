@@ -17,14 +17,44 @@
  * histogram lookups.  A capacity sweep phrased at a fixed set count
  * (capacity = num_sets x assoc x line) is exact from a single pass; a
  * sweep that varies the set count needs one pass per distinct
- * (line_bytes, num_sets) pair, which SweepRunner::ProfileLlcSweep
- * groups automatically.
+ * (line_bytes, num_sets) pair, which the SweepRunner profiler engines
+ * group automatically.
+ *
+ * Generalizations beyond the single write-back ladder (see DESIGN.md
+ * §5i for the full exact-vs-modeled accounting):
+ *
+ *  - *Write policies.*  One allocating pass answers both write-back
+ *    and write-through-allocate points (residency is identical; the
+ *    policies differ only in below-traffic, which the readout
+ *    derives).  No-write-allocate is profiled by a pass with
+ *    `write_allocate = false`, where write probes record their
+ *    distance but neither insert nor promote — the non-promoting
+ *    variant of NWA that sim::Cache implements, which preserves LRU
+ *    inclusion (residency depends on the read stream alone) and hence
+ *    one-pass exactness at every associativity.
+ *
+ *  - *Prefetcher model.*  An optional next-line stream prefetcher is
+ *    layered on the probe stream without perturbing the stacks: a
+ *    sequential pair of line probes issues a prefetch for the next
+ *    line, and when a later demand probe touches a prefetched line its
+ *    stack distance tells, for every associativity at once, whether
+ *    the prefetch was useful (the demand would have missed) or
+ *    redundant (it would have hit anyway).  This axis is a *model* —
+ *    idealized timing, unbounded prefetch buffer — not a bit-exact
+ *    hardware statement.
+ *
+ *  - *Snapshots.*  The analytic state (histograms + tracked writeback
+ *    counters) is a plain value, StackProfile, detachable from the
+ *    live stacks via Snapshot().  A snapshot answers every readout the
+ *    live profiler can, so services can memoize one profiling pass and
+ *    serve later queries — including associativities never requested
+ *    the first time — without re-replaying.
  *
  * Exactness:
  *  - hit/miss counts (read/write split included) are *exact* for any
  *    associativity — bit-identical to replaying the stream through
- *    sim::Cache with the same (line_bytes, num_sets, assoc) geometry,
- *    because Cache implements true per-set LRU;
+ *    sim::Cache with the same (line_bytes, num_sets, assoc, policy)
+ *    geometry, because Cache implements true per-set LRU;
  *  - write-back counts are NOT derivable from the distance histogram
  *    alone (dirtiness depends on eviction history, which differs per
  *    associativity).  For the associativities listed in
@@ -32,17 +62,22 @@
  *    profiler tracks dirty state per tracked point and counts
  *    evictions of dirty lines exactly, making write-back — and hence
  *    DRAM write traffic — bit-identical too.  Untracked
- *    associativities get hits/misses only (writebacks reported as 0).
+ *    associativities get hits/misses only; their writeback readout is
+ *    0 with WritebacksExact() == false and a one-time warning.  Under
+ *    the write-through policies nothing is ever dirty, so writebacks
+ *    are exactly 0 at *every* associativity, tracked or not.
  *
  * The profiler is a MemorySink, so it can be driven by
  * AccessTrace::ReplayInto or composed under a FanoutSink next to other
- * models.
+ * models — e.g. nested below a sim::Cache L1 whose miss stream it
+ * profiles (SweepRunner::ProfileStudy).
  */
 
 #ifndef PIM_SIM_STACK_PROFILER_H
 #define PIM_SIM_STACK_PROFILER_H
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/aligned.h"
@@ -66,6 +101,112 @@ struct StackProfilerConfig
      * (at most 64; hit/miss counts need no pre-declaration).
      */
     std::vector<std::uint32_t> tracked_assocs;
+    /**
+     * False profiles the no-write-allocate policy: write probes record
+     * their distance but never insert or promote.  An allocating pass
+     * (true) answers both write-back and write-through-allocate
+     * points; a non-allocating pass answers only no-write-allocate.
+     */
+    bool write_allocate = true;
+    /** Layer the next-line stream-prefetcher model on the probes. */
+    bool model_prefetcher = false;
+};
+
+/** Per-associativity readout of the stream-prefetcher model. */
+struct PrefetchStats
+{
+    std::uint64_t issued = 0; ///< Prefetches issued (assoc-independent).
+    std::uint64_t useful = 0; ///< Issued lines whose next demand would miss.
+    std::uint64_t demand_misses = 0; ///< Demand misses at this assoc.
+
+    /** Fraction of issued prefetches that were useful. */
+    double
+    Accuracy() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(useful) /
+                                 static_cast<double>(issued);
+    }
+
+    /** Fraction of demand misses a useful prefetch would have covered. */
+    double
+    Coverage() const
+    {
+        return demand_misses == 0
+                   ? 0.0
+                   : static_cast<double>(useful) /
+                         static_cast<double>(demand_misses);
+    }
+};
+
+/**
+ * The analytic result of one profiling pass: histograms, cold counts,
+ * and tracked writeback counters as a plain value with the O(histogram)
+ * readout methods.  Copyable, serializable field-by-field, and
+ * sufficient to answer any associativity/policy query the pass
+ * supports — the memoizable form of a pass (pim_serve stores these).
+ */
+struct StackProfile
+{
+    Bytes line_bytes = kCacheLineBytes;
+    std::size_t num_sets = 1;
+    bool write_allocate = true;
+
+    /** Reuse-distance histograms (index = stack distance). */
+    std::vector<std::uint64_t> read_hist;
+    std::vector<std::uint64_t> write_hist;
+    /** First-touch (infinite-distance) probe counts. */
+    std::uint64_t read_cold = 0;
+    std::uint64_t write_cold = 0;
+    /** Line-granular probes profiled. */
+    std::uint64_t probes = 0;
+
+    std::vector<std::uint32_t> tracked; ///< Sorted, deduplicated.
+    std::vector<std::uint64_t> writebacks; ///< Parallel to tracked.
+
+    bool prefetcher = false; ///< Whether the prefetch fields are live.
+    std::uint64_t prefetches_issued = 0;
+    /** Usefulness by the consuming demand's stack distance. */
+    std::vector<std::uint64_t> useful_hist;
+    std::uint64_t useful_cold = 0;
+
+    std::uint64_t TotalReadProbes() const;
+    std::uint64_t TotalWriteProbes() const;
+
+    /**
+     * Hit/miss counts (exact for any @p assoc >= 1 under any @p policy
+     * this pass supports).  Writebacks are exact when
+     * WritebacksExact(assoc, policy); an inexact readout reports 0 and
+     * warns once per process.
+     */
+    CacheStats StatsForAssociativity(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const;
+
+    /**
+     * True when the writeback count in StatsForAssociativity is exact:
+     * always under the write-through policies (nothing is ever dirty),
+     * and for tracked associativities under write-back.
+     */
+    bool WritebacksExact(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const;
+
+    /**
+     * Traffic the level below this cache would see under @p policy:
+     * fills for the policy's allocating misses, plus writebacks
+     * (write-back) or one line-sized write per write probe
+     * (write-through).  Requires WritebacksExact(assoc, policy).
+     */
+    DramStats DramTrafficForAssociativity(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const;
+
+    /** Prefetcher readout; requires the pass modeled the prefetcher. */
+    PrefetchStats PrefetchForAssociativity(std::uint32_t assoc) const;
+
+    /** Index into tracked/writebacks, or -1 if not tracked. */
+    int TrackedIndex(std::uint32_t assoc) const;
 };
 
 /**
@@ -85,38 +226,65 @@ class StackDistanceProfiler final : public MemorySink
     void AccessBatch(const TraceEntry *entries,
                      std::size_t count) override;
 
-    /**
-     * Hit/miss counts (exact for any @p assoc >= 1); writebacks are
-     * exact when @p assoc is tracked, 0 otherwise — check
-     * TracksWritebacks() before relying on them.
-     */
-    CacheStats StatsForAssociativity(std::uint32_t assoc) const;
+    /** See StackProfile::StatsForAssociativity. */
+    CacheStats
+    StatsForAssociativity(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const
+    {
+        return profile_.StatsForAssociativity(assoc, policy);
+    }
 
-    /**
-     * Traffic the level below this cache would see: one line-sized
-     * fill per miss plus one line-sized write per writeback.  Requires
-     * @p assoc to be tracked (writebacks must be exact).
-     */
-    DramStats DramTrafficForAssociativity(std::uint32_t assoc) const;
+    /** See StackProfile::DramTrafficForAssociativity. */
+    DramStats
+    DramTrafficForAssociativity(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const
+    {
+        return profile_.DramTrafficForAssociativity(assoc, policy);
+    }
+
+    /** See StackProfile::WritebacksExact. */
+    bool
+    WritebacksExact(
+        std::uint32_t assoc,
+        WritePolicy policy = WritePolicy::kWriteBackAllocate) const
+    {
+        return profile_.WritebacksExact(assoc, policy);
+    }
 
     /** True when writeback counts for @p assoc are tracked exactly. */
-    bool TracksWritebacks(std::uint32_t assoc) const;
+    bool
+    TracksWritebacks(std::uint32_t assoc) const
+    {
+        return profile_.TrackedIndex(assoc) >= 0;
+    }
+
+    /** See StackProfile::PrefetchForAssociativity. */
+    PrefetchStats
+    PrefetchForAssociativity(std::uint32_t assoc) const
+    {
+        return profile_.PrefetchForAssociativity(assoc);
+    }
+
+    /** The pass's analytic state as a detachable, memoizable value. */
+    const StackProfile &profile() const { return profile_; }
 
     /** Line-granular probes profiled so far. */
-    std::uint64_t probes() const { return probes_; }
+    std::uint64_t probes() const { return profile_.probes; }
 
     /** Reuse-distance histograms (index = stack distance). */
     const std::vector<std::uint64_t> &read_histogram() const
     {
-        return read_hist_;
+        return profile_.read_hist;
     }
     const std::vector<std::uint64_t> &write_histogram() const
     {
-        return write_hist_;
+        return profile_.write_hist;
     }
     /** First-touch (infinite-distance) probe counts. */
-    std::uint64_t cold_reads() const { return read_cold_; }
-    std::uint64_t cold_writes() const { return write_cold_; }
+    std::uint64_t cold_reads() const { return profile_.read_cold; }
+    std::uint64_t cold_writes() const { return profile_.write_cold; }
 
     const StackProfilerConfig &config() const { return config_; }
 
@@ -134,9 +302,6 @@ class StackDistanceProfiler final : public MemorySink
                    : static_cast<std::size_t>(set_div_.Mod(line_no));
     }
 
-    /** Index into tracked_ / writebacks_, or -1 if not tracked. */
-    int TrackedIndex(std::uint32_t assoc) const;
-
     StackProfilerConfig config_;
     std::uint32_t line_shift_ = 0;
     Address line_mask_ = 0;
@@ -145,7 +310,6 @@ class StackDistanceProfiler final : public MemorySink
     FastDiv set_div_;
     bool use_simd_ = false;
 
-    std::vector<std::uint32_t> tracked_; ///< Sorted, deduplicated.
     std::uint64_t full_dirty_mask_ = 0;
 
     /**
@@ -162,12 +326,15 @@ class StackDistanceProfiler final : public MemorySink
     std::vector<AlignedVector<Address>> stack_tags_;
     std::vector<std::vector<std::uint64_t>> stack_dirty_;
 
-    std::vector<std::uint64_t> read_hist_;
-    std::vector<std::uint64_t> write_hist_;
-    std::uint64_t read_cold_ = 0;
-    std::uint64_t write_cold_ = 0;
-    std::uint64_t probes_ = 0;
-    std::vector<std::uint64_t> writebacks_; ///< Parallel to tracked_.
+    /**
+     * Stream-prefetcher runtime state (model_prefetcher only): the
+     * previous probe's line address for sequential-pair detection, and
+     * the set of issued-but-not-yet-demanded prefetch lines.
+     */
+    Address prev_line_ = ~Address{0};
+    std::unordered_set<Address> pending_prefetches_;
+
+    StackProfile profile_; ///< Histograms + tracked counters.
 };
 
 } // namespace pim::sim

@@ -409,4 +409,253 @@ SweepRunner::ProfileLlcSweep(
     return ProfileLlcSweepImpl(*this, trace, base, llc_points);
 }
 
+namespace {
+
+/**
+ * Design points sharing one study profiling pass: same line size, set
+ * count, and write-allocation behavior.  Write-back and
+ * write-through-allocate members share an allocating pass;
+ * no-write-allocate members form the non-allocating pass of the same
+ * geometry.
+ */
+struct StudyPassGroup
+{
+    StackProfilerConfig cfg;
+    std::vector<std::size_t> points; ///< Indices into the point list.
+    std::vector<std::uint32_t> assocs;    ///< Parallel to points.
+    std::vector<WritePolicy> policies;    ///< Parallel to points.
+};
+
+/** Derive the pass key/groups for a list of cache design points. */
+std::vector<StudyPassGroup>
+GroupStudyPoints(const std::vector<CacheConfig> &points,
+                 bool model_prefetcher)
+{
+    std::map<std::tuple<Bytes, std::size_t, bool>, std::size_t>
+        group_of;
+    std::vector<StudyPassGroup> groups;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const CacheConfig &p = points[i];
+        PIM_ASSERT(p.associativity > 0 && p.line_bytes > 0 &&
+                       p.size % (static_cast<Bytes>(p.associativity) *
+                                 p.line_bytes) ==
+                           0,
+                   "study point '%s' size not divisible by assoc*line",
+                   p.name.c_str());
+        const std::size_t num_sets = static_cast<std::size_t>(
+            p.size / (static_cast<Bytes>(p.associativity) *
+                      p.line_bytes));
+        const bool allocate =
+            p.policy != WritePolicy::kWriteThroughNoAllocate;
+        const auto key =
+            std::make_tuple(p.line_bytes, num_sets, allocate);
+        auto [it, inserted] = group_of.try_emplace(key, groups.size());
+        if (inserted) {
+            StudyPassGroup g;
+            g.cfg.line_bytes = p.line_bytes;
+            g.cfg.num_sets = num_sets;
+            g.cfg.write_allocate = allocate;
+            g.cfg.model_prefetcher = model_prefetcher;
+            groups.push_back(std::move(g));
+        }
+        StudyPassGroup &g = groups[it->second];
+        g.points.push_back(i);
+        g.assocs.push_back(p.associativity);
+        g.policies.push_back(p.policy);
+    }
+    // Track write-back associativities for exact writebacks, capped at
+    // the 64 dirty-bitmask slots per pass; overflow points keep exact
+    // hits/misses but their readout is flagged writebacks_exact=false.
+    for (StudyPassGroup &g : groups) {
+        std::vector<std::uint32_t> wb;
+        for (std::size_t j = 0; j < g.points.size(); ++j) {
+            if (g.policies[j] == WritePolicy::kWriteBackAllocate) {
+                wb.push_back(g.assocs[j]);
+            }
+        }
+        std::sort(wb.begin(), wb.end());
+        wb.erase(std::unique(wb.begin(), wb.end()), wb.end());
+        if (wb.size() > 64) {
+            wb.resize(64);
+        }
+        g.cfg.tracked_assocs = std::move(wb);
+    }
+    return groups;
+}
+
+} // namespace
+
+StudyPointResult
+ReadProfilePoint(const StackProfile &prof, std::uint32_t assoc,
+                 WritePolicy policy, bool model_prefetcher)
+{
+    StudyPointResult out;
+    out.writebacks_exact = prof.WritebacksExact(assoc, policy);
+    out.counters.llc = prof.StatsForAssociativity(assoc, policy);
+    if (out.writebacks_exact) {
+        out.counters.dram =
+            prof.DramTrafficForAssociativity(assoc, policy);
+    } else {
+        // Fill traffic is still exact; the write side is unknown
+        // (reported 0) — writebacks_exact says so.
+        const std::uint64_t misses = out.counters.llc.Misses();
+        out.counters.dram.read_requests = misses;
+        out.counters.dram.read_bytes = misses * prof.line_bytes;
+    }
+    if (model_prefetcher) {
+        out.prefetch = prof.PrefetchForAssociativity(assoc);
+    }
+    return out;
+}
+
+namespace {
+
+template <typename TraceT>
+StudyResult
+ProfileStudyImpl(const SweepRunner &runner, const TraceT &trace,
+                 const StudySpec &spec)
+{
+    StudyResult result;
+    result.host.assign(
+        spec.l1_points.size(),
+        std::vector<StudyPointResult>(spec.llc_points.size()));
+    result.pim.resize(spec.pim_points.size());
+    const bool host_grid =
+        !spec.l1_points.empty() && !spec.llc_points.empty();
+    if (!host_grid && spec.pim_points.empty()) {
+        return result;
+    }
+    PIM_TRACE_SPAN("sweep", "ProfileStudy");
+
+    // The LLC pass plan is shared by every L1 job (the pass geometry
+    // does not depend on which L1 feeds it).
+    const std::vector<StudyPassGroup> llc_groups =
+        host_grid ? GroupStudyPoints(spec.llc_points,
+                                     spec.model_prefetcher)
+                  : std::vector<StudyPassGroup>{};
+
+    // One job per distinct L1 geometry: identical L1 points share a
+    // single replay and read the same profilers.
+    struct L1Job
+    {
+        CacheConfig l1;
+        std::vector<std::size_t> rows; ///< Indices into l1_points.
+    };
+    std::vector<L1Job> l1_jobs;
+    if (host_grid) {
+        std::map<std::tuple<Bytes, std::uint32_t, Bytes, WritePolicy>,
+                 std::size_t>
+            job_of;
+        for (std::size_t i = 0; i < spec.l1_points.size(); ++i) {
+            const CacheConfig &l1 = spec.l1_points[i];
+            const auto key = std::make_tuple(
+                l1.size, l1.associativity, l1.line_bytes, l1.policy);
+            auto [it, inserted] =
+                job_of.try_emplace(key, l1_jobs.size());
+            if (inserted) {
+                l1_jobs.push_back(L1Job{l1, {}});
+            }
+            l1_jobs[it->second].rows.push_back(i);
+        }
+    }
+
+    // PIM points profile the raw trace; their pass groups are shared
+    // the same way and all ride one extra replay.
+    std::vector<CacheConfig> pim_cfgs;
+    pim_cfgs.reserve(spec.pim_points.size());
+    for (const StudyPimPoint &p : spec.pim_points) {
+        pim_cfgs.push_back(p.l1);
+    }
+    const std::vector<StudyPassGroup> pim_groups =
+        GroupStudyPoints(pim_cfgs, false);
+
+    const std::size_t pim_jobs = pim_groups.empty() ? 0 : 1;
+    result.trace_replays = l1_jobs.size() + pim_jobs;
+    result.profile_passes =
+        l1_jobs.size() * llc_groups.size() + pim_groups.size();
+
+    runner.ForEach(l1_jobs.size() + pim_jobs, [&](std::size_t job) {
+        if (job < l1_jobs.size()) {
+            const L1Job &j = l1_jobs[job];
+            PIM_TRACE_SPAN("sweep",
+                           "study_l1[" + std::to_string(job) + "]x" +
+                               std::to_string(llc_groups.size()));
+            // The nested pass: one L1 simulation whose exact miss
+            // stream (fills + victim writebacks, in emission order)
+            // fans out to every profiling pass while hot.
+            std::vector<std::unique_ptr<StackDistanceProfiler>> profs;
+            FanoutSink fanout;
+            profs.reserve(llc_groups.size());
+            for (const StudyPassGroup &g : llc_groups) {
+                profs.push_back(
+                    std::make_unique<StackDistanceProfiler>(g.cfg));
+                fanout.AddSink(*profs.back());
+            }
+            Cache l1(j.l1, fanout);
+            trace.ReplayInto(l1);
+
+            for (std::size_t g = 0; g < llc_groups.size(); ++g) {
+                const StudyPassGroup &pg = llc_groups[g];
+                for (std::size_t m = 0; m < pg.points.size(); ++m) {
+                    const StudyPointResult point = ReadProfilePoint(
+                        profs[g]->profile(), pg.assocs[m],
+                        pg.policies[m], spec.model_prefetcher);
+                    for (const std::size_t row : j.rows) {
+                        StudyPointResult &out =
+                            result.host[row][pg.points[m]];
+                        out = point;
+                        out.counters.l1 = l1.stats();
+                        out.counters.has_llc = true;
+                    }
+                }
+            }
+            return;
+        }
+
+        PIM_TRACE_SPAN("sweep", "study_pim");
+        std::vector<std::unique_ptr<StackDistanceProfiler>> profs;
+        FanoutSink fanout;
+        profs.reserve(pim_groups.size());
+        for (const StudyPassGroup &g : pim_groups) {
+            profs.push_back(
+                std::make_unique<StackDistanceProfiler>(g.cfg));
+            fanout.AddSink(*profs.back());
+        }
+        trace.ReplayInto(fanout);
+
+        for (std::size_t g = 0; g < pim_groups.size(); ++g) {
+            const StudyPassGroup &pg = pim_groups[g];
+            for (std::size_t m = 0; m < pg.points.size(); ++m) {
+                // A PIM point is the profiled cache over its DRAM
+                // path directly: the profiler's stats ARE its L1.
+                const StudyPointResult point = ReadProfilePoint(
+                    profs[g]->profile(), pg.assocs[m], pg.policies[m],
+                    false);
+                StudyPointResult &out = result.pim[pg.points[m]];
+                out = point;
+                out.counters.l1 = out.counters.llc;
+                out.counters.llc = CacheStats{};
+                out.counters.has_llc = false;
+            }
+        }
+    });
+    return result;
+}
+
+} // namespace
+
+StudyResult
+SweepRunner::ProfileStudy(const AccessTrace &trace,
+                          const StudySpec &spec) const
+{
+    return ProfileStudyImpl(*this, trace, spec);
+}
+
+StudyResult
+SweepRunner::ProfileStudy(const CompactTrace &trace,
+                          const StudySpec &spec) const
+{
+    return ProfileStudyImpl(*this, trace, spec);
+}
+
 } // namespace pim::sim

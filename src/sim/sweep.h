@@ -33,14 +33,86 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/hierarchy.h"
 #include "sim/perf_counters.h"
+#include "sim/stack_profiler.h"
 #include "sim/trace.h"
 #include "sim/trace_codec.h"
 
 namespace pim::sim {
+
+/**
+ * A raw-trace PIM-side target of a study: the in-stack compute's
+ * private cache (PIM-Core L1 or PIM-Acc buffer) over the stack's
+ * internal memory path — no LLC between them.
+ */
+struct StudyPimPoint
+{
+    std::string name;
+    CacheConfig l1;
+    DramConfig dram;
+};
+
+/**
+ * The design grid one ProfileStudy call answers from a minimal number
+ * of replays: every (l1_points x llc_points) host combination, plus
+ * every raw-trace PIM point.  Each LLC point carries its own write
+ * policy (CacheConfig::policy); the DRAM path below the LLC is shared
+ * by all host points.
+ */
+struct StudySpec
+{
+    std::vector<CacheConfig> l1_points;
+    std::vector<CacheConfig> llc_points;
+    DramConfig dram;
+    /** Model the stream prefetcher on every LLC probe stream. */
+    bool model_prefetcher = false;
+    std::vector<StudyPimPoint> pim_points;
+};
+
+/** One design point's counters plus the exactness/model metadata. */
+struct StudyPointResult
+{
+    PerfCounters counters;
+    /**
+     * False when the writeback (and hence DRAM write) readout is not
+     * exact: a write-back point whose associativity exceeded the
+     * pass's 64 tracked slots.  Hits/misses are always exact.
+     */
+    bool writebacks_exact = true;
+    /** Stream-prefetcher readout; zeros unless the study modeled it. */
+    PrefetchStats prefetch;
+};
+
+/** ProfileStudy's output: the host grid, PIM points, and pass counts. */
+struct StudyResult
+{
+    /** host[i][j] = l1_points[i] x llc_points[j]. */
+    std::vector<std::vector<StudyPointResult>> host;
+    std::vector<StudyPointResult> pim; ///< Parallel to pim_points.
+    /** Times the input trace was decoded (L1 passes + PIM pass). */
+    std::size_t trace_replays = 0;
+    /** Stack-distance profiling passes executed across all jobs. */
+    std::size_t profile_passes = 0;
+};
+
+/**
+ * Read one design point out of a finished profiling pass: LLC stats,
+ * DRAM traffic (read side always exact; write side exact only when the
+ * readout is writebacks_exact), and the prefetcher telemetry when the
+ * pass modeled it.  The pass may be live (profiler.profile()) or a
+ * memoized StackProfile snapshot — pim_serve answers repeat study
+ * queries, including untracked associativities, from stored snapshots
+ * without any replay.  The caller supplies the L1 half of the
+ * counters.
+ */
+StudyPointResult ReadProfilePoint(const StackProfile &prof,
+                                  std::uint32_t assoc,
+                                  WritePolicy policy,
+                                  bool model_prefetcher);
 
 /**
  * Runs independent jobs across a pool of worker threads.
@@ -168,6 +240,40 @@ class SweepRunner
     ProfileLlcSweep(const CompactTrace &trace,
                     const HierarchyConfig &base,
                     const std::vector<CacheConfig> &llc_points) const;
+
+    /**
+     * Multi-axis one-pass study: answer the full
+     * (L1 geometry x LLC ladder x write policy [x prefetcher]) host
+     * grid plus raw-trace PIM points from a minimal number of trace
+     * replays.
+     *
+     * Pass sharing, from cheapest axis up:
+     *  - every LLC associativity (= capacity at a set count) in a
+     *    (line_bytes, set count, write-allocate) group is answered by
+     *    ONE stack-distance profiling pass;
+     *  - write-back and write-through-allocate points share the same
+     *    allocating pass (identical residency); no-write-allocate
+     *    points get the non-allocating pass of their group;
+     *  - every distinct L1 geometry costs exactly one trace replay:
+     *    the L1 is simulated once (sim::Cache) with its miss stream
+     *    fanning out to the group's nested profilers while hot — the
+     *    miss stream is never materialized;
+     *  - all PIM points together cost one more replay (profilers on
+     *    the raw trace, no host hierarchy).
+     *
+     * So an L x (G passes) x A-point grid costs L + 1 replays and
+     * L x G + G_pim profiling passes, independent of A.  Counters are
+     * bit-identical to ReplayTrace/ReplayTraceFanout on the equivalent
+     * hierarchies wherever writebacks_exact (always, except write-back
+     * points beyond 64 tracked associativities per pass — see
+     * stack_profiler.h).
+     */
+    StudyResult ProfileStudy(const AccessTrace &trace,
+                             const StudySpec &spec) const;
+
+    /** CompactTrace twin of ProfileStudy (see ReplayTrace). */
+    StudyResult ProfileStudy(const CompactTrace &trace,
+                             const StudySpec &spec) const;
 
   private:
     unsigned threads_;

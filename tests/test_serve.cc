@@ -424,6 +424,134 @@ TEST_F(ServeTest, FullQueueRejectsWithBackpressure)
     EXPECT_EQ(StatusCounter(after, "jobs", "failed"), 2u);
 }
 
+/** A study submission over the associativity axis. */
+JsonValue
+StudyRequest(const std::string &kernel, double scale,
+             std::vector<double> assocs,
+             const std::string &policy = std::string())
+{
+    JsonValue req = JsonValue::Object();
+    req.Set("type", "submit");
+    req.Set("kernel", kernel);
+    req.Set("scale", scale);
+    req.Set("sweep", "study");
+    JsonValue axis = JsonValue::Array();
+    for (const double a : assocs) {
+        axis.Push(a);
+    }
+    req.Set("llc_assoc", std::move(axis));
+    if (!policy.empty()) {
+        req.Set("policy", policy);
+    }
+    return req;
+}
+
+TEST_F(ServeTest, StudySubmissionAnswersTheAssociativityAxis)
+{
+    StartServer("study", 1);
+    auto client = Connect();
+    ASSERT_NE(client, nullptr);
+
+    const SweepRun run = RunSweep(
+        *client, StudyRequest("texture_tiling", 0.125, {1, 2, 4}));
+    ASSERT_EQ(run.results.size(), 3u);
+    EXPECT_EQ(run.done.doc.Find("sweep")->AsString(), "study");
+    EXPECT_EQ(run.done.doc.Find("replayed")->AsBool(false), true);
+
+    // Tracked points: exact writebacks, full counters, per-point
+    // geometry in the frame.
+    const auto frame = JsonParse(run.results[1]);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(FieldU64(*frame, "llc_assoc"), 2u);
+    EXPECT_EQ(frame->Find("policy")->AsString(), "wb");
+    EXPECT_TRUE(frame->Find("writebacks_exact")->AsBool(false));
+    EXPECT_TRUE(frame->Find("counters")->is_object());
+
+    const JsonValue status = server_->StatusJson();
+    EXPECT_EQ(StatusCounter(status, "replay", "profile_passes"), 1u);
+    EXPECT_EQ(StatusCounter(status, "profiles", "misses"), 1u);
+    EXPECT_EQ(StatusCounter(status, "profiles", "entries"), 1u);
+}
+
+TEST_F(ServeTest, RepeatStudyWithChangedUntrackedAxisNeedsNoReplay)
+{
+    StartServer("study_memo", 1);
+    auto client = Connect();
+    ASSERT_NE(client, nullptr);
+
+    // First study: associativities {2, 4} — the pass tracks exactly
+    // those, and costs the service its single profiling replay.
+    const SweepRun first = RunSweep(
+        *client, StudyRequest("texture_tiling", 0.125, {2, 4}));
+    ASSERT_EQ(first.results.size(), 2u);
+    EXPECT_EQ(first.done.doc.Find("replayed")->AsBool(false), true);
+
+    // Second study: a CHANGED, never-tracked axis {3, 6}.  It must be
+    // served entirely from the memoized pass snapshot: zero new
+    // replays, hits/misses exact, writebacks flagged approximate.
+    const SweepRun second = RunSweep(
+        *client, StudyRequest("texture_tiling", 0.125, {3, 6}));
+    ASSERT_EQ(second.results.size(), 2u);
+    EXPECT_EQ(second.done.doc.Find("replayed")->AsBool(true), false);
+    for (const std::string &raw : second.results) {
+        const auto frame = JsonParse(raw);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_FALSE(frame->Find("writebacks_exact")->AsBool(true))
+            << raw;
+        EXPECT_TRUE(frame->Find("counters")->is_object());
+    }
+
+    // The status counters prove the single replay: one profiling pass
+    // executed, one snapshot stored, second submission a memo hit.
+    const JsonValue status = server_->StatusJson();
+    EXPECT_EQ(StatusCounter(status, "jobs", "done"), 2u);
+    EXPECT_EQ(StatusCounter(status, "replay", "profile_passes"), 1u);
+    EXPECT_EQ(StatusCounter(status, "replay", "traces_recorded"), 1u);
+    EXPECT_EQ(StatusCounter(status, "profiles", "hits"), 1u);
+    EXPECT_EQ(StatusCounter(status, "profiles", "misses"), 1u);
+    EXPECT_EQ(StatusCounter(status, "profiles", "entries"), 1u);
+
+    // A non-allocating policy is a different pass of the same trace:
+    // it may not reuse the allocating snapshot.
+    const SweepRun wtna = RunSweep(
+        *client,
+        StudyRequest("texture_tiling", 0.125, {2, 4}, "wtna"));
+    ASSERT_EQ(wtna.results.size(), 2u);
+    EXPECT_EQ(wtna.done.doc.Find("replayed")->AsBool(false), true);
+    const JsonValue after = server_->StatusJson();
+    EXPECT_EQ(StatusCounter(after, "replay", "profile_passes"), 2u);
+    EXPECT_EQ(StatusCounter(after, "profiles", "entries"), 2u);
+}
+
+TEST_F(ServeTest, StatusReportsCacheHitRates)
+{
+    StartServer("hit_rates", 1);
+    auto client = Connect();
+    ASSERT_NE(client, nullptr);
+
+    // Before any lookup every rate is 0, not NaN.
+    const JsonValue empty = server_->StatusJson();
+    EXPECT_EQ(empty.Find("memo")->Find("hit_rate")->AsNumber(), 0.0);
+    EXPECT_EQ(empty.Find("corpus")->Find("hit_rate")->AsNumber(), 0.0);
+    EXPECT_EQ(empty.Find("profiles")->Find("hit_rate")->AsNumber(),
+              0.0);
+
+    const JsonValue req =
+        SubmitRequest("texture_tiling", 0.125, {256, 512});
+    RunSweep(*client, req); // 2 memo misses
+    RunSweep(*client, req); // 2 memo hits
+
+    const JsonValue status = server_->StatusJson();
+    EXPECT_EQ(StatusCounter(status, "memo", "hits"), 2u);
+    EXPECT_EQ(StatusCounter(status, "memo", "misses"), 2u);
+    EXPECT_DOUBLE_EQ(
+        status.Find("memo")->Find("hit_rate")->AsNumber(), 0.5);
+    // The on-disk corpus is disabled in this fixture; its rate stays
+    // well-defined (both submissions resolved from resident memory).
+    EXPECT_EQ(status.Find("corpus")->Find("hit_rate")->AsNumber(),
+              0.0);
+}
+
 TEST_F(ServeTest, ClientShutdownRequestDrainsTheServer)
 {
     StartServer("shutdown", 1);

@@ -13,10 +13,12 @@
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/execution_context.h"
 #include "sim/affinity.h"
@@ -979,6 +981,319 @@ TEST(SweepRunner, SetDefaultThreadsBeatsEnvironment)
     SweepRunner::SetDefaultThreads(0);
     EXPECT_EQ(SweepRunner().thread_count(), 3u);
     ASSERT_EQ(unsetenv("PIM_SWEEP_THREADS"), 0);
+}
+
+/**
+ * Randomized property suite for the generalized profiler: across
+ * random (line, sets, assoc, write-policy) geometries and the three
+ * standard kernel traces, a single profiling pass must be bit-identical
+ * to replaying the stream through a sim::Cache of the same geometry —
+ * stats and below-traffic both, for every policy.
+ */
+TEST(StackProfilerProperty, RandomGeometriesMatchCacheReplay)
+{
+    const auto traces = KernelTraces();
+    Rng rng(0x5EED);
+    const WritePolicy policies[] = {
+        WritePolicy::kWriteBackAllocate,
+        WritePolicy::kWriteThroughAllocate,
+        WritePolicy::kWriteThroughNoAllocate,
+    };
+    for (int g = 0; g < 51; ++g) {
+        const Bytes line = Bytes{16} << rng.Range(0, 3); // 16..128
+        // Set counts cover the degenerate single-stack case, powers of
+        // two, and non-power-of-two (FastDiv) indexing.
+        const std::size_t set_choices[] = {1, 2, 7, 16, 48, 64, 256};
+        const std::size_t sets =
+            set_choices[rng.Range(0, 6)];
+        const auto assoc =
+            static_cast<std::uint32_t>(rng.Range(1, 16));
+        const WritePolicy policy = policies[rng.Range(0, 2)];
+
+        CacheConfig cache_cfg;
+        cache_cfg.name = "prop";
+        cache_cfg.line_bytes = line;
+        cache_cfg.associativity = assoc;
+        cache_cfg.size = static_cast<Bytes>(sets) * assoc * line;
+        cache_cfg.policy = policy;
+
+        StackProfilerConfig prof_cfg;
+        prof_cfg.line_bytes = line;
+        prof_cfg.num_sets = sets;
+        prof_cfg.tracked_assocs = {assoc};
+        prof_cfg.write_allocate =
+            policy != WritePolicy::kWriteThroughNoAllocate;
+
+        const auto &[name, trace] =
+            traces[static_cast<std::size_t>(g) % traces.size()];
+
+        StackDistanceProfiler prof(prof_cfg);
+        trace.ReplayInto(prof);
+
+        DramCounter dram(Lpddr3Config());
+        Cache cache(cache_cfg, dram);
+        trace.ReplayInto(cache);
+
+        const std::string what =
+            std::string(name) + " line=" + std::to_string(line) +
+            " sets=" + std::to_string(sets) +
+            " assoc=" + std::to_string(assoc) + " policy=" +
+            WritePolicyName(policy);
+        EXPECT_TRUE(prof.WritebacksExact(assoc, policy)) << what;
+        EXPECT_TRUE(SameCacheStats(
+            prof.StatsForAssociativity(assoc, policy), cache.stats()))
+            << what;
+        EXPECT_TRUE(SameDramStats(
+            prof.DramTrafficForAssociativity(assoc, policy),
+            dram.stats()))
+            << what;
+    }
+}
+
+TEST(StackProfilerPolicy, WriteThroughSharesTheAllocatingPass)
+{
+    // One allocating pass answers write-back AND write-through
+    // points: residency identical, traffic derived per policy.
+    const AccessTrace trace = RandomTrace(0xCAFE, 20000);
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 64;
+    cfg.tracked_assocs = {1, 2, 4, 8};
+    StackDistanceProfiler prof(cfg);
+    trace.ReplayInto(prof);
+
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        const CacheStats wb = prof.StatsForAssociativity(
+            assoc, WritePolicy::kWriteBackAllocate);
+        const CacheStats wt = prof.StatsForAssociativity(
+            assoc, WritePolicy::kWriteThroughAllocate);
+        EXPECT_EQ(wb.Hits(), wt.Hits());
+        EXPECT_EQ(wb.Misses(), wt.Misses());
+        EXPECT_EQ(wt.writebacks, 0u);
+        const DramStats d = prof.DramTrafficForAssociativity(
+            assoc, WritePolicy::kWriteThroughAllocate);
+        // Every write probe goes through, independent of assoc.
+        EXPECT_EQ(d.write_requests,
+                  prof.cold_writes() +
+                      std::accumulate(prof.write_histogram().begin(),
+                                      prof.write_histogram().end(),
+                                      std::uint64_t{0}));
+    }
+}
+
+TEST(StackProfiler, UntrackedWritebackReadoutIsFlaggedAndWarnsOnce)
+{
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 16;
+    cfg.tracked_assocs = {2};
+    StackDistanceProfiler prof(cfg);
+    RandomTrace(0xBAD, 4000).ReplayInto(prof);
+
+    EXPECT_TRUE(prof.WritebacksExact(2));
+    EXPECT_FALSE(prof.WritebacksExact(3));
+    // Write-through is exact at every associativity (never dirty).
+    EXPECT_TRUE(prof.WritebacksExact(
+        3, WritePolicy::kWriteThroughAllocate));
+
+    std::vector<std::string> warnings;
+    SetWarnCapture(&warnings);
+    const CacheStats untracked = prof.StatsForAssociativity(3);
+    const CacheStats again = prof.StatsForAssociativity(5);
+    SetWarnCapture(nullptr);
+    EXPECT_EQ(untracked.writebacks, 0u);
+    EXPECT_EQ(again.writebacks, 0u);
+    // One-time warning per process: at most one message, and if this
+    // test was first to trigger it, exactly one naming the problem.
+    EXPECT_LE(warnings.size(), 1u);
+    if (!warnings.empty()) {
+        EXPECT_NE(warnings[0].find("untracked"), std::string::npos);
+    }
+}
+
+TEST(StackProfilerPrefetch, StreamModelCountsSequentialStream)
+{
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 4;
+    cfg.tracked_assocs = {2};
+    cfg.model_prefetcher = true;
+    StackDistanceProfiler prof(cfg);
+    // A pure sequential sweep of 32 lines: every probe after the first
+    // extends a detected stream.
+    for (Address line = 0; line < 32; ++line) {
+        prof.Access(line * 64, 64, AccessType::kRead);
+    }
+    const PrefetchStats p = prof.PrefetchForAssociativity(2);
+    // Probes 1..31 each issue the next line: 31 issued; probes 2..31
+    // consume a pending prefetch on a cold miss: 30 useful.
+    EXPECT_EQ(p.issued, 31u);
+    EXPECT_EQ(p.useful, 30u);
+    EXPECT_EQ(p.demand_misses, 32u); // all cold
+    EXPECT_NEAR(p.Accuracy(), 30.0 / 31.0, 1e-12);
+    EXPECT_NEAR(p.Coverage(), 30.0 / 32.0, 1e-12);
+
+    // The model is layered: demand stats are unperturbed.
+    StackProfilerConfig plain = cfg;
+    plain.model_prefetcher = false;
+    StackDistanceProfiler base(plain);
+    for (Address line = 0; line < 32; ++line) {
+        base.Access(line * 64, 64, AccessType::kRead);
+    }
+    EXPECT_TRUE(SameCacheStats(prof.StatsForAssociativity(2),
+                               base.StatsForAssociativity(2)));
+}
+
+TEST(StackProfilerPrefetch, RedundantPrefetchesLowerAccuracy)
+{
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 1;
+    cfg.model_prefetcher = true;
+    StackDistanceProfiler prof(cfg);
+    // Two interleaved revisits of a 4-line window: the stream model
+    // keeps prefetching lines that are still resident at high assoc.
+    for (int rep = 0; rep < 8; ++rep) {
+        for (Address line = 0; line < 4; ++line) {
+            prof.Access(line * 64, 64, AccessType::kRead);
+        }
+    }
+    const PrefetchStats wide = prof.PrefetchForAssociativity(8);
+    const PrefetchStats narrow = prof.PrefetchForAssociativity(1);
+    // At assoc 8 the window fits: revisit demands would hit anyway,
+    // so consumed prefetches are mostly redundant.
+    EXPECT_LT(wide.Accuracy(), narrow.Accuracy());
+    EXPECT_GE(narrow.useful, wide.useful);
+}
+
+/** The study grid the one-pass engine must reproduce bit-for-bit. */
+StudySpec
+HostStudySpec()
+{
+    StudySpec spec;
+    const HierarchyConfig host = HostHierarchyConfig();
+    spec.dram = host.dram;
+    CacheConfig small = host.l1;
+    small.size = 32_KiB;
+    CacheConfig wide = host.l1;
+    wide.size = 128_KiB;
+    wide.associativity = 8;
+    spec.l1_points = {host.l1, small, wide};
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+        CacheConfig llc{"llc", 1024 * assoc * 64, assoc, 64};
+        spec.llc_points.push_back(llc);
+        llc.policy = WritePolicy::kWriteThroughAllocate;
+        spec.llc_points.push_back(llc);
+        llc.policy = WritePolicy::kWriteThroughNoAllocate;
+        spec.llc_points.push_back(llc);
+    }
+    // Two distinct set counts force multi-group pass splitting.
+    spec.llc_points.push_back(CacheConfig{"llc", 2_MiB, 8, 64});
+    const HierarchyConfig pim_core = PimCoreHierarchyConfig();
+    const HierarchyConfig pim_accel = PimAccelHierarchyConfig();
+    spec.pim_points.push_back(
+        StudyPimPoint{"pim-core", pim_core.l1, pim_core.dram});
+    spec.pim_points.push_back(
+        StudyPimPoint{"pim-accel", pim_accel.l1, pim_accel.dram});
+    return spec;
+}
+
+TEST(ProfileStudy, GridMatchesReferenceReplayOnKernelTraces)
+{
+    const StudySpec spec = HostStudySpec();
+    const SweepRunner runner(2);
+    for (const auto &[name, trace] : KernelTraces()) {
+        const StudyResult study = runner.ProfileStudy(trace, spec);
+        ASSERT_EQ(study.host.size(), spec.l1_points.size());
+        // 3 distinct L1 geometries + 1 PIM replay.
+        EXPECT_EQ(study.trace_replays, 4u);
+        // Per L1: (1024 sets, alloc) + (1024 sets, no-alloc) +
+        // (4096 sets, alloc); PIM: the two points differ in set
+        // count, so they ride one replay but two passes.
+        EXPECT_EQ(study.profile_passes, 3u * 3u + 2u);
+
+        for (std::size_t i = 0; i < spec.l1_points.size(); ++i) {
+            std::vector<HierarchyConfig> refs;
+            for (const CacheConfig &llc : spec.llc_points) {
+                HierarchyConfig h;
+                h.name = "study";
+                h.l1 = spec.l1_points[i];
+                h.llc = llc;
+                h.dram = spec.dram;
+                refs.push_back(std::move(h));
+            }
+            const auto ref = runner.ReplayTrace(trace, refs);
+            ASSERT_EQ(study.host[i].size(), ref.size());
+            for (std::size_t j = 0; j < ref.size(); ++j) {
+                EXPECT_TRUE(study.host[i][j].writebacks_exact);
+                EXPECT_TRUE(
+                    SameCounters(study.host[i][j].counters, ref[j]))
+                    << name << " l1 " << i << " llc " << j;
+            }
+        }
+
+        std::vector<HierarchyConfig> pim_refs;
+        for (const StudyPimPoint &p : spec.pim_points) {
+            HierarchyConfig h;
+            h.name = p.name;
+            h.l1 = p.l1;
+            h.dram = p.dram;
+            pim_refs.push_back(std::move(h));
+        }
+        const auto pim_ref = runner.ReplayTrace(trace, pim_refs);
+        ASSERT_EQ(study.pim.size(), pim_ref.size());
+        for (std::size_t j = 0; j < pim_ref.size(); ++j) {
+            EXPECT_TRUE(
+                SameCounters(study.pim[j].counters, pim_ref[j]))
+                << name << " pim " << j;
+        }
+    }
+}
+
+TEST(ProfileStudy, CompactTraceOverloadMatchesRaw)
+{
+    const StudySpec spec = HostStudySpec();
+    const AccessTrace raw = RandomTrace(0x57D, 30000);
+    CompactTrace compact;
+    {
+        NullSink null;
+        CompactTraceRecorder rec(null);
+        raw.ReplayInto(rec);
+        compact = rec.Finish();
+    }
+    const SweepRunner runner(2);
+    const StudyResult a = runner.ProfileStudy(raw, spec);
+    const StudyResult b = runner.ProfileStudy(compact, spec);
+    ASSERT_EQ(a.host.size(), b.host.size());
+    for (std::size_t i = 0; i < a.host.size(); ++i) {
+        for (std::size_t j = 0; j < a.host[i].size(); ++j) {
+            EXPECT_TRUE(SameCounters(a.host[i][j].counters,
+                                     b.host[i][j].counters));
+        }
+    }
+    for (std::size_t j = 0; j < a.pim.size(); ++j) {
+        EXPECT_TRUE(
+            SameCounters(a.pim[j].counters, b.pim[j].counters));
+    }
+}
+
+TEST(ProfileStudy, PrefetcherAxisIsLayeredNotIntrusive)
+{
+    StudySpec spec = HostStudySpec();
+    const AccessTrace trace = RandomTrace(0xF37C, 30000);
+    const SweepRunner runner(2);
+    const StudyResult plain = runner.ProfileStudy(trace, spec);
+    spec.model_prefetcher = true;
+    const StudyResult modeled = runner.ProfileStudy(trace, spec);
+    for (std::size_t i = 0; i < plain.host.size(); ++i) {
+        for (std::size_t j = 0; j < plain.host[i].size(); ++j) {
+            // Identical counters, now with prefetch telemetry.
+            EXPECT_TRUE(
+                SameCounters(plain.host[i][j].counters,
+                             modeled.host[i][j].counters));
+            EXPECT_EQ(plain.host[i][j].prefetch.issued, 0u);
+        }
+    }
 }
 
 } // namespace
