@@ -11,6 +11,7 @@
  *   pim_run --kernel=texture_tiling --scale=0.25 --json=-
  *   pim_run --kernel='*' --targets=cpu,acc
  *   pim_run --sweep=llc --kernel=browser
+ *   pim_run --corpus=/var/cache/pim-corpus --kernel=browser
  *
  * `--sweep=llc` records each matched trace-replayable kernel's access
  * stream ONCE (KernelSession::Record) and derives the whole LLC
@@ -22,17 +23,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/shutdown.h"
+#include "serve/corpus_cache.h"
 #include "sim/hierarchy.h"
 #include "sim/sweep.h"
+#include "sim/trace_codec.h"
 #include "telemetry/report_json.h"
 #include "telemetry/span_tracer.h"
 #include "workloads/catalog.h"
+
+// The recorder provenance stamped into corpus manifests (git describe
+// of the build; the build system defines it, "unknown" otherwise).
+#ifndef PIM_GIT_DESCRIBE
+#define PIM_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -43,6 +54,7 @@ struct DriverOptions
     std::string kernel_pattern; ///< Empty = whole catalog.
     std::string sweep;          ///< Empty = run mode; "llc" = LLC sweep.
     bool compact_trace = false; ///< Sweep from the compact encoding.
+    std::string corpus_dir;     ///< Record to / replay from a corpus.
     double scale = 1.0;
     bool want_cpu = true;
     bool want_core = true;
@@ -51,6 +63,18 @@ struct DriverOptions
 
     bool AllTargets() const { return want_cpu && want_core && want_acc; }
 };
+
+/** Corpus `created` provenance: UTC wall-clock, second granularity. */
+std::string
+NowUtc()
+{
+    char buf[32];
+    const std::time_t t = std::time(nullptr);
+    std::tm tm = {};
+    gmtime_r(&t, &tm);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
 
 void
 PrintUsage(std::FILE *to)
@@ -79,6 +103,13 @@ PrintUsage(std::FILE *to)
         "  --compact-trace     with --sweep: hold the recording in the\n"
         "                      block-encoded compact form (identical\n"
         "                      counters; reports compression metrics)\n"
+        "  --corpus=<dir>      without --sweep: record each matched\n"
+        "                      trace-replayable kernel straight into a\n"
+        "                      container file in <dir> (the pim_serve\n"
+        "                      corpus format; already-present entries\n"
+        "                      are kept).  With --sweep: replay from\n"
+        "                      the memory-mapped corpus entry instead\n"
+        "                      of RAM, recording it first on a miss\n"
         "  --threads=<n>       sweep worker count (overrides the\n"
         "                      PIM_SWEEP_THREADS environment variable)\n"
         "  --json=<path|->     write the structured JSON run report\n"
@@ -269,6 +300,84 @@ EmitAllTargets(bench::BenchOutput &out,
     });
 }
 
+/**
+ * The mmap-backed corpus entry for @p spec, recording and storing it
+ * first on a miss (so a cold corpus warms itself as the sweep runs).
+ * Returns nullopt only when the store or map fails — disk trouble —
+ * in which case the caller falls back to an in-RAM recording.
+ */
+std::optional<sim::MappedCompactTrace>
+MapCorpusTrace(serve::CorpusCache &corpus, const core::KernelSpec &spec,
+               core::KernelSession &session)
+{
+    const std::string key =
+        serve::CorpusKey(spec.Slug(), session.scale());
+    auto mapped = corpus.Map(key);
+    if (!mapped) {
+        // Record straight into the compact encoded form: the raw
+        // 8-byte-per-entry stream never materializes.
+        const core::RecordedCompactKernel rec =
+            session.RecordCompact(spec);
+        corpus.Store(key, spec.Slug(), session.scale(), rec.trace,
+                     PIM_GIT_DESCRIBE, NowUtc());
+        mapped = corpus.Map(key);
+    }
+    return mapped;
+}
+
+/**
+ * `--corpus=DIR` record mode: stream each matched trace-replayable
+ * kernel into a digest-named container file under DIR, stamping the
+ * manifest with recorder/created provenance.  Idempotent — entries
+ * already present for (kernel, scale) are kept, not re-recorded.
+ */
+void
+EmitCorpusRecord(bench::BenchOutput &out, serve::CorpusCache &corpus,
+                 const std::string &dir,
+                 const std::vector<const core::KernelSpec *> &specs,
+                 core::KernelSession &session)
+{
+    Table table("Trace corpus @ " + dir);
+    table.SetHeader({"kernel", "status", "entries", "file bytes"});
+    for (const auto *spec : specs) {
+        if (ShutdownRequested()) {
+            break; // finish the report with what completed
+        }
+        if (!spec->trace_replayable) {
+            continue;
+        }
+        out.Section("corpus." + spec->Slug(), [&] {
+            const std::string key =
+                serve::CorpusKey(spec->Slug(), session.scale());
+            std::string status = "recorded";
+            auto mapped = corpus.Map(key);
+            if (mapped) {
+                status = "cached";
+            } else {
+                mapped = MapCorpusTrace(corpus, *spec, session);
+                if (!mapped) {
+                    status = "FAILED";
+                }
+            }
+            const auto entries =
+                mapped ? mapped->entries() : std::uint64_t{0};
+            const auto bytes =
+                mapped ? static_cast<std::uint64_t>(mapped->SizeBytes())
+                       : std::uint64_t{0};
+            table.AddRow({spec->Slug(), status, std::to_string(entries),
+                          std::to_string(bytes)});
+            const std::string prefix = "pim_run.corpus." + spec->Slug();
+            out.Metric(prefix + ".entries",
+                       static_cast<double>(entries));
+            out.Metric(prefix + ".file_bytes",
+                       static_cast<double>(bytes));
+        });
+    }
+    out.Emit(table);
+    out.Metric("pim_run.corpus.files",
+               static_cast<double>(corpus.files()));
+}
+
 /** The LLC capacity ladder swept around the host's 2 MiB design point. */
 std::vector<sim::CacheConfig>
 LlcLadder(const sim::HierarchyConfig &base)
@@ -282,8 +391,41 @@ LlcLadder(const sim::HierarchyConfig &base)
     return points;
 }
 
+/** The per-kernel LLC ladder table + metrics (shared by both the
+ *  in-RAM and corpus-backed sweep paths). */
+void
+EmitLlcTable(bench::BenchOutput &out, const core::KernelSpec &spec,
+             const std::vector<sim::CacheConfig> &ladder,
+             const std::vector<sim::PerfCounters> &points)
+{
+    Table table(spec.name + " — LLC capacity sweep (recorded "
+                            "once, profiled analytically)");
+    table.SetHeader({"LLC", "LLC miss rate", "LLC misses",
+                     "writebacks", "DRAM bytes"});
+    const std::string prefix = "pim_run.sweep." + spec.Slug() + ".llc_";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const sim::PerfCounters &c = points[i];
+        const auto kib =
+            static_cast<unsigned long long>(ladder[i].size / 1024);
+        table.AddRow({
+            std::to_string(kib) + " KiB",
+            Table::Pct(c.llc.MissRate()),
+            std::to_string(c.llc.Misses()),
+            std::to_string(c.llc.writebacks),
+            std::to_string(static_cast<unsigned long long>(
+                c.dram.TotalBytes())),
+        });
+        const std::string key = prefix + std::to_string(kib) + "kib";
+        out.Metric(key + ".miss_rate", c.llc.MissRate());
+        out.Metric(key + ".dram_bytes",
+                   static_cast<double>(c.dram.TotalBytes()));
+    }
+    out.Emit(table);
+}
+
 void
 EmitLlcSweep(bench::BenchOutput &out, bool compact,
+             serve::CorpusCache *corpus,
              const std::vector<const core::KernelSpec *> &specs,
              core::KernelSession &session)
 {
@@ -301,10 +443,29 @@ EmitLlcSweep(bench::BenchOutput &out, bool compact,
             continue;
         }
         out.Section("sweep." + spec->Slug(), [&] {
+            std::vector<sim::PerfCounters> points;
+            if (corpus != nullptr) {
+                // Replay out-of-core from the memory-mapped corpus
+                // entry (recording it first on a miss): resident sweep
+                // footprint is O(block buffers), not O(trace).
+                auto mapped = MapCorpusTrace(*corpus, *spec, session);
+                if (mapped) {
+                    out.Metric("pim_run.sweep." + spec->Slug() +
+                                   ".corpus_bytes_mapped",
+                               static_cast<double>(mapped->SizeBytes()));
+                    points = runner.ProfileLlcSweep(*mapped, base, ladder);
+                } else {
+                    // Disk trouble: fall back to an in-RAM recording.
+                    const core::RecordedCompactKernel rec =
+                        session.RecordCompact(*spec);
+                    points = runner.ProfileLlcSweep(rec.trace, base, ladder);
+                }
+                EmitLlcTable(out, *spec, ladder, points);
+                return;
+            }
             // ONE native recording pass; every ladder point is derived
             // from the recorded stream analytically.
             core::RecordedKernel rec = session.Record(*spec);
-            std::vector<sim::PerfCounters> points;
             if (compact) {
                 // Encode the recording, drop the raw form, and profile
                 // from the encoded stream: the sweep's resident trace
@@ -324,31 +485,7 @@ EmitLlcSweep(bench::BenchOutput &out, bool compact,
             } else {
                 points = runner.ProfileLlcSweep(rec.trace, base, ladder);
             }
-
-            Table table(spec->name + " — LLC capacity sweep (recorded "
-                                     "once, profiled analytically)");
-            table.SetHeader({"LLC", "LLC miss rate", "LLC misses",
-                             "writebacks", "DRAM bytes"});
-            const std::string prefix =
-                "pim_run.sweep." + spec->Slug() + ".llc_";
-            for (std::size_t i = 0; i < points.size(); ++i) {
-                const sim::PerfCounters &c = points[i];
-                const auto kib =
-                    static_cast<unsigned long long>(ladder[i].size / 1024);
-                table.AddRow({
-                    std::to_string(kib) + " KiB",
-                    Table::Pct(c.llc.MissRate()),
-                    std::to_string(c.llc.Misses()),
-                    std::to_string(c.llc.writebacks),
-                    std::to_string(static_cast<unsigned long long>(
-                        c.dram.TotalBytes())),
-                });
-                const std::string key = prefix + std::to_string(kib) + "kib";
-                out.Metric(key + ".miss_rate", c.llc.MissRate());
-                out.Metric(key + ".dram_bytes",
-                           static_cast<double>(c.dram.TotalBytes()));
-            }
-            out.Emit(table);
+            EmitLlcTable(out, *spec, ladder, points);
         });
     }
 }
@@ -397,6 +534,7 @@ StudyGrid()
 
 void
 EmitStudySweep(bench::BenchOutput &out, bool compact,
+               serve::CorpusCache *corpus,
                const std::vector<const core::KernelSpec *> &specs,
                core::KernelSession &session)
 {
@@ -414,9 +552,22 @@ EmitStudySweep(bench::BenchOutput &out, bool compact,
         }
         out.Section("study." + spec->Slug(), [&] {
             const std::string prefix = "pim_run.study." + spec->Slug();
-            core::RecordedKernel rec = session.Record(*spec);
             sim::StudyResult study;
-            if (compact) {
+            if (corpus != nullptr) {
+                // Out-of-core: the study's two profiling passes stream
+                // blocks from the mapped container file.
+                auto mapped = MapCorpusTrace(*corpus, *spec, session);
+                if (mapped) {
+                    out.Metric(prefix + ".corpus_bytes_mapped",
+                               static_cast<double>(mapped->SizeBytes()));
+                    study = runner.ProfileStudy(*mapped, grid);
+                } else {
+                    const core::RecordedCompactKernel rec =
+                        session.RecordCompact(*spec);
+                    study = runner.ProfileStudy(rec.trace, grid);
+                }
+            } else if (compact) {
+                core::RecordedKernel rec = session.Record(*spec);
                 const sim::CompactTrace encoded =
                     sim::CompactTrace::Encode(rec.trace);
                 out.Metric(prefix + ".trace_compact_bytes",
@@ -424,6 +575,7 @@ EmitStudySweep(bench::BenchOutput &out, bool compact,
                 rec.trace = sim::AccessTrace{};
                 study = runner.ProfileStudy(encoded, grid);
             } else {
+                const core::RecordedKernel rec = session.Record(*spec);
                 study = runner.ProfileStudy(rec.trace, grid);
             }
 
@@ -540,6 +692,13 @@ Main(int argc, char **argv)
             }
         } else if (arg == "--compact-trace") {
             opts.compact_trace = true;
+        } else if (arg.rfind("--corpus=", 0) == 0) {
+            opts.corpus_dir = arg.substr(9);
+            if (opts.corpus_dir.empty()) {
+                std::fprintf(stderr,
+                             "pim_run: --corpus needs a directory\n");
+                return 1;
+            }
         } else if (arg == "--help" || arg == "-h") {
             PrintUsage(stdout);
             return 0;
@@ -589,10 +748,19 @@ Main(int argc, char **argv)
     }
 
     core::KernelSession session(opts.scale);
+    std::optional<serve::CorpusCache> corpus;
+    if (!opts.corpus_dir.empty()) {
+        corpus.emplace(opts.corpus_dir);
+    }
+    serve::CorpusCache *corpus_ptr = corpus ? &*corpus : nullptr;
     if (opts.sweep == "study") {
-        EmitStudySweep(out, opts.compact_trace, specs, session);
+        EmitStudySweep(out, opts.compact_trace, corpus_ptr, specs,
+                       session);
     } else if (!opts.sweep.empty()) {
-        EmitLlcSweep(out, opts.compact_trace, specs, session);
+        EmitLlcSweep(out, opts.compact_trace, corpus_ptr, specs,
+                     session);
+    } else if (corpus) {
+        EmitCorpusRecord(out, *corpus, opts.corpus_dir, specs, session);
     } else if (opts.AllTargets()) {
         EmitAllTargets(out, registry, specs, session);
     } else {

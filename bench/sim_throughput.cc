@@ -26,9 +26,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/rng.h"
 #include "sim/hierarchy.h"
@@ -1113,6 +1117,117 @@ PrintSimdStudy(bench::BenchOutput &out)
     simd::SetEnabled(prev_enabled);
 }
 
+/**
+ * Out-of-core replay study: one stress stream, block-encoded, saved as
+ * a PIMCTRC1 container file, and replayed two ways through identical
+ * host hierarchies — from the in-RAM CompactTrace and from the
+ * mmap-backed MappedCompactTrace (lazy digest verification, page-cache
+ * warm after the first pass).  Counters must be bit-identical and the
+ * on-disk streaming path must stay within 1.25x of the in-RAM decode
+ * path; CI gates `sim_throughput.mmap.bit_identical` and
+ * `sim_throughput.mmap.vs_compact_ratio`.
+ */
+void
+PrintMmapStudy(bench::BenchOutput &out)
+{
+    const auto best_of = [&](const std::function<double()> &run) {
+        double best = run();
+        for (int i = 0; i < 2; ++i) {
+            best = std::min(best, run());
+        }
+        return best;
+    };
+
+    // Concatenate the tiling stream until partition + replay dominate
+    // setup noise (same sizing as the shard study).
+    sim::CompactTrace compact;
+    {
+        const sim::AccessTrace base = RecordTilingTrace();
+        sim::AccessTrace raw;
+        constexpr std::size_t kTargetEntries = 4u << 20;
+        const std::size_t repeats = std::max<std::size_t>(
+            1, (kTargetEntries + base.size() - 1) /
+                   std::max<std::size_t>(1, base.size()));
+        raw.Reserve(base.size() * repeats);
+        for (std::size_t i = 0; i < repeats; ++i) {
+            raw.Append(base.data(), base.size());
+        }
+        compact = sim::CompactTrace::Encode(raw);
+    } // the raw stream dies here; both paths below are O(encoded)
+
+    const std::string path = "/tmp/sim_throughput_mmap_" +
+                             std::to_string(getpid()) + ".ctrace";
+    std::string error;
+    if (!compact.SaveTo(path, &error)) {
+        std::printf("mmap study skipped: %s\n\n", error.c_str());
+        return;
+    }
+    auto mapped = sim::MappedCompactTrace::Open(
+        path, &error, sim::MappedCompactTrace::Verify::kLazy);
+    if (!mapped) {
+        std::printf("mmap study skipped: %s\n\n", error.c_str());
+        ::unlink(path.c_str());
+        return;
+    }
+
+    const sim::HierarchyConfig config = sim::HostHierarchyConfig();
+    sim::PerfCounters compact_pc, mapped_pc;
+    const double compact_s = best_of([&] {
+        return TimeRun([&] {
+            sim::MemoryHierarchy mh(config);
+            compact.ReplayInto(mh.Top());
+            compact_pc = mh.Snapshot();
+        });
+    });
+    const double mapped_s = best_of([&] {
+        return TimeRun([&] {
+            sim::MemoryHierarchy mh(config);
+            mapped->ReplayInto(mh.Top());
+            mapped_pc = mh.Snapshot();
+        });
+    });
+    ::unlink(path.c_str());
+
+    const bool same = SameCounters(compact_pc, mapped_pc);
+    const double raw_bytes = static_cast<double>(compact.RawBytes());
+    const double accesses = static_cast<double>(compact.size());
+
+    Table table("Out-of-core replay — in-RAM CompactTrace vs "
+                "mmap-backed container file");
+    table.SetHeader({"path", "time (ms)", "Maccesses/s", "GB/s (raw)",
+                     "exact"});
+    const auto row = [&](const std::string &name, double seconds) {
+        table.AddRow({
+            name,
+            Table::Num(seconds * 1e3, 1),
+            Table::Num(accesses / seconds / 1e6, 1),
+            Table::Num(raw_bytes / seconds / 1e9, 2),
+            same ? "bit-identical" : "MISMATCH",
+        });
+    };
+    row("in-RAM compact decode", compact_s);
+    row("mmap streaming decode (lazy verify)", mapped_s);
+    out.Emit(table);
+
+    const std::string prefix = "sim_throughput.mmap";
+    out.Metric(prefix + ".entries", accesses);
+    out.Metric(prefix + ".encoded_bytes",
+               static_cast<double>(compact.SizeBytes()));
+    out.Metric(prefix + ".compact_ms", compact_s * 1e3);
+    out.Metric(prefix + ".mapped_ms", mapped_s * 1e3);
+    out.Metric(prefix + ".compact_gb_per_s",
+               raw_bytes / compact_s / 1e9);
+    out.Metric(prefix + ".mapped_gb_per_s", raw_bytes / mapped_s / 1e9);
+    out.Metric(prefix + ".vs_compact_ratio", mapped_s / compact_s);
+    out.Metric(prefix + ".bit_identical", same ? 1.0 : 0.0);
+
+    std::printf("mmap streaming replay %.2f GB/s vs %.2f GB/s in-RAM "
+                "(%.2fx); counters %s\n\n",
+                raw_bytes / mapped_s / 1e9, raw_bytes / compact_s / 1e9,
+                mapped_s / compact_s,
+                same ? "bit-identical" : "DO NOT match");
+}
+
 void
 PrintThroughput(bench::BenchOutput &out)
 {
@@ -1141,6 +1256,7 @@ PrintThroughput(bench::BenchOutput &out)
     out.Section("sweep.shard", [&] { PrintShardStudy(out); });
     out.Section("sweep.codec", [&] { PrintCodecStudy(out); });
     out.Section("sweep.simd", [&] { PrintSimdStudy(out); });
+    out.Section("sweep.mmap", [&] { PrintMmapStudy(out); });
 }
 
 } // namespace

@@ -216,4 +216,17 @@ KernelSession::Record(const KernelSpec &spec)
     return rec;
 }
 
+RecordedCompactKernel
+KernelSession::RecordCompact(const KernelSpec &spec)
+{
+    const KernelInstance inst = Instantiate(spec);
+    RecordedCompactKernel rec;
+    ExecutionContext ctx(ExecutionTarget::kCpuOnly);
+    ctx.AttachCompactTrace();
+    inst.run(ctx);
+    rec.trace = ctx.DetachCompactTrace();
+    rec.cpu = ctx.Report(spec.name);
+    return rec;
+}
+
 } // namespace pim::core

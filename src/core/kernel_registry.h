@@ -201,6 +201,13 @@ struct RecordedKernel
     sim::AccessTrace trace; ///< The recorded access stream.
 };
 
+/** Record's compact twin: the stream encoded as it is produced. */
+struct RecordedCompactKernel
+{
+    RunReport cpu;           ///< Native CPU-Only report.
+    sim::CompactTrace trace; ///< The stream, already block-encoded.
+};
+
 /**
  * One instantiation scope over the catalog: kernels instantiated
  * through the same session share per-group input state, so a full
@@ -227,6 +234,14 @@ class KernelSession
      * (SweepRunner::ReplayTraceFanout / ProfileLlcSweep) fan out.
      */
     RecordedKernel Record(const KernelSpec &spec);
+
+    /**
+     * Record, but straight into the compact encoded form: the access
+     * stream never exists as an 8-byte-per-entry array, so recording a
+     * corpus of large kernels peaks at the *encoded* size plus one
+     * codec block.  (`pim_run --corpus` records through this.)
+     */
+    RecordedCompactKernel RecordCompact(const KernelSpec &spec);
 
   private:
     double scale_;

@@ -40,6 +40,12 @@ ReadFile(const std::string &path)
 
 } // namespace
 
+std::string
+CorpusKey(const std::string &kernel, double scale)
+{
+    return kernel + "@" + JsonValue::NumberToString(scale);
+}
+
 CorpusCache::CorpusCache(std::string dir) : dir_(std::move(dir))
 {
     if (dir_.empty()) {
@@ -93,6 +99,12 @@ CorpusCache::LoadManifest()
         if (const auto *v = row.Find("file")) {
             e.file = v->AsString();
         }
+        if (const auto *v = row.Find("recorder")) {
+            e.recorder = v->AsString();
+        }
+        if (const auto *v = row.Find("created")) {
+            e.created = v->AsString();
+        }
         if (!e.key.empty() && !e.file.empty()) {
             entries_[e.key] = std::move(e);
         }
@@ -129,9 +141,45 @@ CorpusCache::Load(const std::string &key)
     return trace;
 }
 
+std::optional<sim::MappedCompactTrace>
+CorpusCache::Map(const std::string &key)
+{
+    if (!enabled()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    // Verify::kNone + header-vs-manifest digest check: the payload was
+    // hashed when the entry was stored, so matching the two verified
+    // records is enough identity for a warm restart — no O(file) pass.
+    std::string error;
+    auto mapped = sim::MappedCompactTrace::Open(
+        JoinPath(dir_, it->second.file), &error,
+        sim::MappedCompactTrace::Verify::kNone);
+    if (!mapped || mapped->header_digest() != it->second.digest) {
+        PIM_WARN("dropping corpus entry '%s': %s", key.c_str(),
+                 mapped ? "manifest/header digest mismatch"
+                        : error.c_str());
+        entries_.erase(it);
+        FlushLocked();
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    bytes_mapped_ += mapped->SizeBytes();
+    return mapped;
+}
+
 bool
 CorpusCache::Store(const std::string &key, const std::string &kernel,
-                   double scale, const sim::CompactTrace &trace)
+                   double scale, const sim::CompactTrace &trace,
+                   const std::string &recorder,
+                   const std::string &created)
 {
     if (!enabled()) {
         return false;
@@ -144,6 +192,8 @@ CorpusCache::Store(const std::string &key, const std::string &kernel,
     e.entries = trace.size();
     e.encoded_bytes = trace.SizeBytes();
     e.file = ContentDigest::ToHex(e.digest) + ".ctrace";
+    e.recorder = recorder;
+    e.created = created;
 
     std::string error;
     if (!trace.SaveTo(JoinPath(dir_, e.file), &error)) {
@@ -183,6 +233,12 @@ CorpusCache::FlushLocked()
         row.Set("entries", e.entries);
         row.Set("encoded_bytes", e.encoded_bytes);
         row.Set("file", e.file);
+        if (!e.recorder.empty()) {
+            row.Set("recorder", e.recorder);
+        }
+        if (!e.created.empty()) {
+            row.Set("created", e.created);
+        }
         rows.Push(std::move(row));
     }
     doc.Set("entries", std::move(rows));

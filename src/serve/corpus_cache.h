@@ -40,7 +40,19 @@ struct CorpusEntry
     std::uint64_t entries = 0;
     std::uint64_t encoded_bytes = 0;
     std::string file; ///< Basename within the corpus directory.
+    /** Provenance: what produced the recording (git describe). */
+    std::string recorder;
+    /** Provenance: creation time, as passed in by the caller. */
+    std::string created;
 };
+
+/**
+ * The canonical corpus/provenance key for one (kernel, scale)
+ * recording — "kernel@scale".  pim_serve's trace table and pim_run's
+ * --corpus mode both key on this, so a corpus recorded by one is warm
+ * for the other.
+ */
+std::string CorpusKey(const std::string &kernel, double scale);
 
 /** Schema identity of the manifest document. */
 inline constexpr const char *kCorpusSchemaName =
@@ -61,18 +73,34 @@ class CorpusCache
     bool enabled() const { return !dir_.empty(); }
 
     /**
-     * Load the recording cached under @p key, digest-verified.
-     * Counts a hit or miss either way.
+     * Load the recording cached under @p key into RAM,
+     * digest-verified.  Counts a hit or miss either way.
      */
     std::optional<sim::CompactTrace> Load(const std::string &key);
 
     /**
-     * Persist @p trace under @p key and flush the manifest.  Returns
-     * false (with a warning) on I/O failure — the server keeps running
-     * from memory.
+     * Memory-map the recording cached under @p key as an out-of-core
+     * TraceSource.  The container header's stored digest is checked
+     * against the manifest (both were verified when the entry was
+     * written), so a warm restart never re-hashes a multi-GB payload;
+     * the mapped trace's bounds-hardened decoder still rejects
+     * corrupt token bytes at replay time.  Counts a hit or miss, and
+     * a hit adds the file's size to bytes_mapped().
+     */
+    std::optional<sim::MappedCompactTrace> Map(const std::string &key);
+
+    /**
+     * Persist @p trace under @p key and flush the manifest.
+     * @p recorder / @p created are provenance strings stored verbatim
+     * in the manifest (git describe of the recording binary; creation
+     * time — the caller supplies both so the cache stays clock-free).
+     * Returns false (with a warning) on I/O failure — the server
+     * keeps running from memory.
      */
     bool Store(const std::string &key, const std::string &kernel,
-               double scale, const sim::CompactTrace &trace);
+               double scale, const sim::CompactTrace &trace,
+               const std::string &recorder = std::string(),
+               const std::string &created = std::string());
 
     /** Rewrite the manifest (write-to-temp + rename).  Idempotent. */
     void Flush();
@@ -80,6 +108,10 @@ class CorpusCache
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::size_t size() const;
+    /** Manifest entries on disk (== size(); status counter). */
+    std::size_t files() const { return size(); }
+    /** Total bytes of container files mapped by Map() so far. */
+    std::uint64_t bytes_mapped() const { return bytes_mapped_.load(); }
 
   private:
     void LoadManifest();
@@ -90,6 +122,7 @@ class CorpusCache
     std::map<std::string, CorpusEntry> entries_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> bytes_mapped_{0};
 };
 
 } // namespace pim::serve

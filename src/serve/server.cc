@@ -34,12 +34,6 @@ DefaultLadder()
     return sizes;
 }
 
-std::string
-TraceKey(const std::string &kernel, double scale)
-{
-    return kernel + "@" + JsonValue::NumberToString(scale);
-}
-
 } // namespace
 
 /** One submitted sweep and everything produced for it. */
@@ -549,27 +543,29 @@ PimServer::FailJob(Job &job, const std::string &error)
     jobs_cv_.notify_all();
 }
 
-std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
+std::shared_ptr<const PimServer::TraceHandle>
 PimServer::AcquireTrace(const Job &job, std::string *source)
 {
     // One global lock serializes acquisition so concurrent identical
     // submissions record at most once (the expensive step is exactly
     // what the lock must deduplicate).
-    std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
-        trace;
+    std::shared_ptr<const TraceHandle> trace;
     *source = "memory";
-    const std::string key = TraceKey(job.kernel, job.scale);
+    const std::string key = CorpusKey(job.kernel, job.scale);
     {
         std::lock_guard<std::mutex> lock(trace_mu_);
         const auto it = traces_.find(key);
         if (it != traces_.end()) {
             trace = it->second;
-        } else if (auto loaded = corpus_.Load(key)) {
+        } else if (auto mapped = corpus_.Map(key)) {
+            // Warm start: the corpus file replays straight from disk —
+            // no decode-to-RAM staging, no payload re-hash (Map
+            // checked the container header against the manifest).
             *source = "corpus";
-            const std::uint64_t digest = loaded->Digest();
-            trace = std::make_shared<
-                const std::pair<sim::CompactTrace, std::uint64_t>>(
-                std::move(*loaded), digest);
+            auto handle = std::make_shared<TraceHandle>();
+            handle->digest = mapped->header_digest();
+            handle->mapped = std::move(*mapped);
+            trace = handle;
             traces_.emplace(key, trace);
         } else {
             *source = "recorded";
@@ -584,10 +580,11 @@ PimServer::AcquireTrace(const Job &job, std::string *source)
             rec.trace = sim::AccessTrace{}; // drop the 8-byte form
             ++traces_recorded_;
             corpus_.Store(key, job.kernel, job.scale, encoded);
-            const std::uint64_t digest = encoded.Digest();
-            trace = std::make_shared<
-                const std::pair<sim::CompactTrace, std::uint64_t>>(
-                std::move(encoded), digest);
+            auto handle = std::make_shared<TraceHandle>();
+            handle->digest = encoded.Digest();
+            handle->compact = std::move(encoded);
+            handle->view.emplace(*handle->compact);
+            trace = handle;
             traces_.emplace(key, trace);
         }
         trace_sources_[key] = *source;
@@ -611,8 +608,8 @@ PimServer::ExecuteLlcJob(Job &job)
     // --- Trace acquisition: memory -> corpus -> record. ------------
     std::string source;
     const auto trace = AcquireTrace(job, &source);
-    const sim::CompactTrace &compact = trace->first;
-    const std::uint64_t digest = trace->second;
+    const sim::TraceSource &stream = trace->source();
+    const std::uint64_t digest = trace->digest;
 
     // --- Memo pass: which design points still need a replay? -------
     const sim::HierarchyConfig base = sim::HostHierarchyConfig();
@@ -639,7 +636,7 @@ PimServer::ExecuteLlcJob(Job &job)
     if (!missing.empty()) {
         const sim::SweepRunner runner(config_.sweep_threads);
         const std::vector<sim::PerfCounters> results =
-            runner.ProfileLlcSweep(compact, base, missing);
+            runner.ProfileLlcSweep(stream, base, missing);
         ++replays_executed_;
         for (std::size_t m = 0; m < missing.size(); ++m) {
             std::string serialized =
@@ -699,8 +696,8 @@ PimServer::ExecuteStudyJob(Job &job)
     // --- Trace acquisition: memory -> corpus -> record. ------------
     std::string source;
     const auto trace = AcquireTrace(job, &source);
-    const sim::CompactTrace &compact = trace->first;
-    const std::uint64_t digest = trace->second;
+    const sim::TraceSource &stream = trace->source();
+    const std::uint64_t digest = trace->digest;
 
     // --- The pass this study needs.  The key deliberately excludes
     // the requested associativity axis and the tracked set: ANY axis
@@ -767,7 +764,7 @@ PimServer::ExecuteStudyJob(Job &job)
         }
         sim::StackDistanceProfiler prof(pcfg);
         sim::Cache l1(base.l1, prof);
-        compact.ReplayInto(l1);
+        stream.ReplayInto(l1);
         ++replays_executed_;
         auto fresh = std::make_shared<StudyPassMemo>();
         fresh->profile = prof.profile();
@@ -873,6 +870,8 @@ PimServer::StatusJson() const
     corpus.Set("misses", corpus_.misses());
     corpus.Set("hit_rate", rate(corpus_.hits(), corpus_.misses()));
     corpus.Set("entries", static_cast<std::uint64_t>(corpus_.size()));
+    corpus.Set("files", static_cast<std::uint64_t>(corpus_.files()));
+    corpus.Set("bytes_mapped", corpus_.bytes_mapped());
     v.Set("corpus", std::move(corpus));
 
     JsonValue profiles = JsonValue::Object();

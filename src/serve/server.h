@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,6 +88,32 @@ class PimServer
     struct Job;
 
     /**
+     * One resident trace-table entry, exposed uniformly as a
+     * TraceSource: a recording made this process holds the in-RAM
+     * compact form (plus its cursor view); a corpus warm-start holds
+     * the mmap-backed form instead, so jobs replay straight from disk
+     * with zero decode-to-RAM staging.  Never mutated once published
+     * (shared_ptr<const>), so `view`'s pointer into `compact` stays
+     * valid for the handle's life.
+     */
+    struct TraceHandle
+    {
+        std::optional<sim::CompactTrace> compact;
+        std::optional<sim::CompactTraceSource> view; ///< Over *compact.
+        std::optional<sim::MappedCompactTrace> mapped;
+        std::uint64_t digest = 0; ///< Content digest (memo/corpus key).
+
+        const sim::TraceSource &
+        source() const
+        {
+            return mapped ? static_cast<const sim::TraceSource &>(
+                                *mapped)
+                          : static_cast<const sim::TraceSource &>(
+                                *view);
+        }
+    };
+
+    /**
      * One memoized study profiling pass: the StackProfile snapshot of
      * a (trace digest, L1 geometry, pass geometry) replay plus the L1
      * counters that replay produced.  Any associativity or write
@@ -108,8 +135,8 @@ class PimServer
     void ExecuteLlcJob(Job &job);
     void ExecuteStudyJob(Job &job);
     /** Memory -> corpus -> record; sets *source to where it came from. */
-    std::shared_ptr<const std::pair<sim::CompactTrace, std::uint64_t>>
-    AcquireTrace(const Job &job, std::string *source);
+    std::shared_ptr<const TraceHandle> AcquireTrace(const Job &job,
+                                                    std::string *source);
     void HandleSubmit(int fd, const JsonValue &req);
     void FailJob(Job &job, const std::string &error);
 
@@ -120,14 +147,12 @@ class PimServer
     ResultMemo memo_;
     CorpusCache corpus_;
 
-    // Recordings stay resident for the life of the server (their
-    // compact form is small) so repeat sweeps skip even the corpus
-    // file read; the digest is cached beside each trace.
+    // Trace handles stay resident for the life of the server: a fresh
+    // recording keeps its (small) compact form in RAM, a corpus
+    // warm-start keeps only the mmap (the page cache holds the bytes);
+    // the digest is cached beside each trace either way.
     std::mutex trace_mu_;
-    std::map<std::string,
-             std::shared_ptr<const std::pair<sim::CompactTrace,
-                                             std::uint64_t>>>
-        traces_;
+    std::map<std::string, std::shared_ptr<const TraceHandle>> traces_;
     std::map<std::string, std::string> trace_sources_;
 
     // Study pass memo (see StudyPassMemo).

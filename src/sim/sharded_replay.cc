@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <memory>
 #include <vector>
 
 #include "sim/affinity.h"
@@ -58,9 +59,8 @@ PartitionEntries(const TraceEntry *entries, std::size_t count,
 }
 
 /** The trivially-identical path every unsupported case lands on. */
-template <typename TraceT>
 PerfCounters
-SerialReplay(const TraceT &trace, const HierarchyConfig &config,
+SerialReplay(const TraceSource &trace, const HierarchyConfig &config,
              ShardPlacement *placement)
 {
     if (placement != nullptr) {
@@ -138,56 +138,8 @@ ShardedReplay::PlanFor(const HierarchyConfig &config,
     return plan;
 }
 
-namespace {
-
-/**
- * Phase B, common to both trace forms: one private cold hierarchy per
- * shard replays that shard's buckets in chunk order (== trace order
- * restricted to the shard), then the disjoint slices are summed.
- */
 PerfCounters
-ReplayBuckets(const SweepRunner &runner,
-              const std::vector<std::vector<TraceEntry>> &buckets,
-              std::size_t chunks, unsigned shards,
-              const HierarchyConfig &config,
-              ShardPlacement *placement)
-{
-    std::vector<PerfCounters> parts(shards);
-    std::vector<int> cpus(shards, -1);
-    // Pinned workers + per-worker hierarchy construction: the shard's
-    // tag planes are first-touched on the core that will probe them,
-    // so on a NUMA machine each shard's working set is node-local.
-    runner.ForEachPinned(shards, [&](std::size_t s) {
-        PIM_TRACE_SPAN("sweep", "shard_replay[" + std::to_string(s) +
-                                    "]");
-        MemoryHierarchy mh(config);
-        MemorySink &top = mh.Top();
-        for (std::size_t c = 0; c < chunks; ++c) {
-            const auto &bucket = buckets[c * shards + s];
-            if (!bucket.empty()) {
-                top.AccessBatch(bucket.data(), bucket.size());
-            }
-        }
-        parts[s] = mh.Snapshot();
-        cpus[s] = affinity::CurrentCpu();
-    });
-    if (placement != nullptr) {
-        placement->sharded = true;
-        placement->pinning_enabled = affinity::PinningEnabled();
-        placement->shards = shards;
-        placement->shard_cpu = std::move(cpus);
-    }
-    PerfCounters total = parts[0];
-    for (unsigned s = 1; s < shards; ++s) {
-        total += parts[s];
-    }
-    return total;
-}
-
-} // namespace
-
-PerfCounters
-ShardedReplay::Replay(const AccessTrace &trace,
+ShardedReplay::Replay(const TraceSource &trace,
                       const HierarchyConfig &config,
                       ShardPlacement *placement) const
 {
@@ -198,38 +150,119 @@ ShardedReplay::Replay(const AccessTrace &trace,
     }
     PIM_TRACE_SPAN("sweep", "ShardedReplay");
     const unsigned shards = plan.shards;
+    const std::size_t threads = runner_.thread_count();
+    const std::size_t block_count = trace.BlockCount();
 
-    // Phase A: partition in parallel over contiguous trace chunks.
-    // Each chunk fills its own row of buckets, so phase B can stream
-    // the rows in chunk order and every shard sees its accesses in
-    // global trace order.
-    constexpr std::size_t kMinChunkEntries = 1 << 14;
-    const std::size_t chunks = std::max<std::size_t>(
-        1, std::min<std::size_t>(
-               runner_.thread_count(),
-               (trace.size() + kMinChunkEntries - 1) /
-                   kMinChunkEntries));
-    const std::size_t per_chunk = (trace.size() + chunks - 1) / chunks;
-    std::vector<std::vector<TraceEntry>> buckets(chunks * shards);
+    // Resident sources shard in one window (the buckets hold the whole
+    // trace, as cheap as it ever was).  Non-resident sources stream in
+    // bounded windows of blocks: only one window's buckets exist at a
+    // time, so peak memory is O(window + hierarchies) — ~2 MiB of
+    // decoded entries per worker — no matter how large the on-disk
+    // corpus is.
+    const std::size_t window_blocks =
+        trace.resident() ? block_count
+                         : std::max<std::size_t>(64 * threads, 1);
+
+    std::vector<std::vector<TraceEntry>> buckets(
+        std::max<std::size_t>(
+            1, std::min(threads, window_blocks) * shards));
+    // Per-shard hierarchies persist across windows (created lazily by
+    // the pinned worker that replays the shard, so first-touch places
+    // each one's tag planes on that worker's NUMA node); the counters
+    // at the end are exactly those of one uninterrupted replay.
+    std::vector<std::unique_ptr<MemoryHierarchy>> hier(shards);
+    std::vector<int> cpus(shards, -1);
     std::atomic<bool> overflow{false};
-    runner_.ForEach(chunks, [&](std::size_t c) {
-        PIM_TRACE_SPAN("sweep",
-                       "shard_partition[" + std::to_string(c) + "]");
-        const std::size_t begin = c * per_chunk;
-        const std::size_t end =
-            std::min(trace.size(), begin + per_chunk);
-        std::vector<TraceEntry> *out = &buckets[c * shards];
-        for (unsigned s = 0; s < shards; ++s) {
-            out[s].reserve((end - begin) / shards + 16);
+
+    for (std::size_t wbegin = 0; wbegin < block_count;
+         wbegin += window_blocks) {
+        const std::size_t wend =
+            std::min(block_count, wbegin + window_blocks);
+        const std::size_t wblocks = wend - wbegin;
+        const std::size_t chunks =
+            std::max<std::size_t>(1, std::min(threads, wblocks));
+        const std::size_t per_chunk = (wblocks + chunks - 1) / chunks;
+        for (std::size_t i = 0; i < chunks * shards; ++i) {
+            buckets[i].clear(); // capacity survives across windows
         }
-        PartitionEntries(trace.data() + begin, end - begin,
-                         plan.block_shift, shards, out, &overflow);
-    });
-    if (overflow.load(std::memory_order_relaxed)) {
-        return SerialReplay(trace, config, placement);
+
+        // Phase A: partition the window in parallel over contiguous
+        // chunks of blocks, each decoded into a stack buffer through
+        // the source's cursor.  Each chunk fills its own row of
+        // buckets, so phase B can stream the rows in chunk order and
+        // every shard sees its accesses in global trace order.
+        runner_.ForEach(chunks, [&](std::size_t c) {
+            PIM_TRACE_SPAN("sweep", "shard_partition[" +
+                                        std::to_string(c) + "]");
+            const std::size_t begin =
+                std::min(wend, wbegin + c * per_chunk);
+            const std::size_t end = std::min(wend, begin + per_chunk);
+            std::vector<TraceEntry> *out = &buckets[c * shards];
+            for (unsigned s = 0; s < shards; ++s) {
+                if (out[s].capacity() == 0) {
+                    out[s].reserve((end - begin) *
+                                       TraceSource::kBlockEntries /
+                                       (2 * shards) +
+                                   16);
+                }
+            }
+            alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
+            for (std::size_t b = begin; b < end; ++b) {
+                const TraceSource::Span span = trace.Block(b, buffer);
+                PartitionEntries(span.data, span.count,
+                                 plan.block_shift, shards, out,
+                                 &overflow);
+                if (overflow.load(std::memory_order_relaxed)) {
+                    return;
+                }
+            }
+        });
+        if (overflow.load(std::memory_order_relaxed)) {
+            // A split sub-entry was unrepresentable: discard the
+            // partially-replayed shard hierarchies and rerun the whole
+            // trace serially from scratch.
+            return SerialReplay(trace, config, placement);
+        }
+
+        // Phase B: every shard replays its window slice in chunk
+        // order (== trace order restricted to the shard).
+        runner_.ForEachPinned(shards, [&](std::size_t s) {
+            PIM_TRACE_SPAN("sweep", "shard_replay[" +
+                                        std::to_string(s) + "]");
+            if (!hier[s]) {
+                hier[s] = std::make_unique<MemoryHierarchy>(config);
+            }
+            MemorySink &top = hier[s]->Top();
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const auto &bucket = buckets[c * shards + s];
+                if (!bucket.empty()) {
+                    top.AccessBatch(bucket.data(), bucket.size());
+                }
+            }
+            cpus[s] = affinity::CurrentCpu();
+        });
     }
-    return ReplayBuckets(runner_, buckets, chunks, shards, config,
-                         placement);
+
+    if (placement != nullptr) {
+        placement->sharded = true;
+        placement->pinning_enabled = affinity::PinningEnabled();
+        placement->shards = shards;
+        placement->shard_cpu = std::move(cpus);
+    }
+    // The trace is non-empty, so every shard's hierarchy exists.
+    PerfCounters total = hier[0]->Snapshot();
+    for (unsigned s = 1; s < shards; ++s) {
+        total += hier[s]->Snapshot();
+    }
+    return total;
+}
+
+PerfCounters
+ShardedReplay::Replay(const AccessTrace &trace,
+                      const HierarchyConfig &config,
+                      ShardPlacement *placement) const
+{
+    return Replay(AccessTraceSource(trace), config, placement);
 }
 
 PerfCounters
@@ -237,52 +270,7 @@ ShardedReplay::Replay(const CompactTrace &trace,
                       const HierarchyConfig &config,
                       ShardPlacement *placement) const
 {
-    const ShardedReplayPlan plan =
-        PlanFor(config, runner_.thread_count());
-    if (!plan.supported || trace.empty()) {
-        return SerialReplay(trace, config, placement);
-    }
-    PIM_TRACE_SPAN("sweep", "ShardedReplay(compact)");
-    const unsigned shards = plan.shards;
-
-    // Phase A over encoded blocks: each chunk of blocks decodes into a
-    // stack buffer and partitions from there, so the raw form of the
-    // trace never materializes.
-    const std::size_t block_count = trace.BlockCount();
-    const std::size_t chunks = std::max<std::size_t>(
-        1,
-        std::min<std::size_t>(runner_.thread_count(), block_count));
-    const std::size_t per_chunk =
-        (block_count + chunks - 1) / chunks;
-    std::vector<std::vector<TraceEntry>> buckets(chunks * shards);
-    std::atomic<bool> overflow{false};
-    runner_.ForEach(chunks, [&](std::size_t c) {
-        PIM_TRACE_SPAN("sweep",
-                       "shard_partition[" + std::to_string(c) + "]");
-        const std::size_t begin = c * per_chunk;
-        const std::size_t end =
-            std::min(block_count, begin + per_chunk);
-        std::vector<TraceEntry> *out = &buckets[c * shards];
-        for (unsigned s = 0; s < shards; ++s) {
-            out[s].reserve((end - begin) * CompactTrace::kBlockEntries /
-                               (2 * shards) +
-                           16);
-        }
-        alignas(64) TraceEntry buffer[CompactTrace::kBlockEntries];
-        for (std::size_t b = begin; b < end; ++b) {
-            const std::size_t n = trace.DecodeBlock(b, buffer);
-            PartitionEntries(buffer, n, plan.block_shift, shards, out,
-                             &overflow);
-            if (overflow.load(std::memory_order_relaxed)) {
-                return;
-            }
-        }
-    });
-    if (overflow.load(std::memory_order_relaxed)) {
-        return SerialReplay(trace, config, placement);
-    }
-    return ReplayBuckets(runner_, buckets, chunks, shards, config,
-                         placement);
+    return Replay(CompactTraceSource(trace), config, placement);
 }
 
 } // namespace pim::sim

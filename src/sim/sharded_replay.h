@@ -32,14 +32,21 @@
  * are line-aligned, so each cache line still receives exactly the
  * probes, in the order, that Cache::AccessSpan would generate.
  *
- * Replay runs in two phases on SweepRunner::ForEach: (A) parallel
- * partition of the trace into per-(chunk, shard) entry buckets, and
- * (B) one private MemoryHierarchy per shard replaying its buckets in
- * chunk order through the batched fast path.  Phase B workers are
- * pinned to cores (ForEachPinned) and each shard's hierarchy is
- * allocated by the worker that replays it, so first-touch places its
- * tag planes NUMA-local; ShardPlacement reports where each shard ran.
- * When the geometry does
+ * Replay consumes any TraceSource (sim/trace.h) and runs in two
+ * phases on SweepRunner::ForEach per *window* of blocks: (A) parallel
+ * partition of the window's block cursors into per-(chunk, shard)
+ * entry buckets, and (B) one private persistent MemoryHierarchy per
+ * shard replaying its buckets in chunk order through the batched fast
+ * path.  Resident sources use a single window (the whole trace);
+ * non-resident (mmap-backed) sources use bounded windows so the raw
+ * form of the trace never materializes — peak memory stays
+ * O(window buckets + hierarchies) however large the on-disk corpus
+ * is, and the per-shard hierarchies persist across windows so the
+ * counters are exactly those of one uninterrupted replay.  Phase B
+ * workers are pinned to cores (ForEachPinned) and each shard's
+ * hierarchy is allocated by the worker that first replays it, so
+ * first-touch places its tag planes NUMA-local; ShardPlacement
+ * reports where each shard ran.  When the geometry does
  * not admit a valid key (non-pow2 set counts, LLC lines smaller than
  * L1 lines, fewer than two shards possible) — or when a trace entry
  * spans past TraceEntry::kMaxAddr, whose split sub-entries a packed
@@ -108,14 +115,21 @@ class ShardedReplay
      * Replay @p trace through a cold hierarchy of shape @p config and
      * return its counter snapshot — bit-identical to
      * SweepRunner::ReplayTrace's single-config result for any shard or
-     * thread count.  @p placement, when non-null, receives the
-     * shard→core map of this replay (telemetry only).
+     * thread count and any TraceSource implementation.  Sharding works
+     * directly from the source's block cursors (windowed when the
+     * source is not resident), so an on-disk corpus replays without
+     * ever materializing its decoded form.  @p placement, when
+     * non-null, receives the shard→core map of this replay
+     * (telemetry only).
      */
-    PerfCounters Replay(const AccessTrace &trace,
+    PerfCounters Replay(const TraceSource &trace,
                         const HierarchyConfig &config,
                         ShardPlacement *placement = nullptr) const;
 
-    /** Same, decoding a compact trace block-by-block while sharding. */
+    /** Shims: Replay over the in-RAM source views. */
+    PerfCounters Replay(const AccessTrace &trace,
+                        const HierarchyConfig &config,
+                        ShardPlacement *placement = nullptr) const;
     PerfCounters Replay(const CompactTrace &trace,
                         const HierarchyConfig &config,
                         ShardPlacement *placement = nullptr) const;

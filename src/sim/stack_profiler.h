@@ -67,10 +67,14 @@
  *    the write-through policies nothing is ever dirty, so writebacks
  *    are exactly 0 at *every* associativity, tracked or not.
  *
- * The profiler is a MemorySink, so it can be driven by
- * AccessTrace::ReplayInto or composed under a FanoutSink next to other
- * models — e.g. nested below a sim::Cache L1 whose miss stream it
- * profiles (SweepRunner::ProfileStudy).
+ * The profiler is a MemorySink, so it can be driven by any
+ * TraceSource::ReplayInto — the in-RAM AccessTrace/CompactTrace
+ * cursors or an mmap-backed MappedCompactTrace streaming an on-disk
+ * corpus — or composed under a FanoutSink next to other models, e.g.
+ * nested below a sim::Cache L1 whose miss stream it profiles
+ * (SweepRunner::ProfileStudy).  AccessBatch is batch-size invariant,
+ * so the counters are identical whether the source delivers the whole
+ * resident stream at once or decodes one block at a time from disk.
  */
 
 #ifndef PIM_SIM_STACK_PROFILER_H

@@ -145,22 +145,20 @@ SweepRunner::ForEachPinned(
     });
 }
 
-namespace {
-
-/**
- * Engine bodies are templates over the trace form: AccessTrace and
- * CompactTrace share the ReplayInto contract (identical batched entry
- * stream into the sink), which is the only way the engines touch the
- * trace — so each engine is written once and the compact overloads
- * cannot drift from the raw ones.
+/*
+ * Engine bodies consume the trace solely through the TraceSource
+ * contract (sim/trace.h): ReplayInto delivers the identical batched
+ * entry stream whichever implementation backs the cursor, so each
+ * engine is written once and the in-RAM overloads below are pure
+ * adapter shims that cannot drift from the canonical path.
  */
-template <typename TraceT>
+
 std::vector<PerfCounters>
-ReplayTraceImpl(const SweepRunner &runner, const TraceT &trace,
-                const std::vector<HierarchyConfig> &configs)
+SweepRunner::ReplayTrace(const TraceSource &trace,
+                         const std::vector<HierarchyConfig> &configs) const
 {
     std::vector<PerfCounters> results(configs.size());
-    runner.ForEach(configs.size(), [&](std::size_t i) {
+    ForEach(configs.size(), [&](std::size_t i) {
         PIM_TRACE_SPAN("sweep", "replay[" + std::to_string(i) + "]");
         MemoryHierarchy mh(configs[i]);
         trace.ReplayInto(mh.Top());
@@ -169,20 +167,18 @@ ReplayTraceImpl(const SweepRunner &runner, const TraceT &trace,
     return results;
 }
 
-} // namespace
-
 std::vector<PerfCounters>
 SweepRunner::ReplayTrace(const AccessTrace &trace,
                          const std::vector<HierarchyConfig> &configs) const
 {
-    return ReplayTraceImpl(*this, trace, configs);
+    return ReplayTrace(AccessTraceSource(trace), configs);
 }
 
 std::vector<PerfCounters>
 SweepRunner::ReplayTrace(const CompactTrace &trace,
                          const std::vector<HierarchyConfig> &configs) const
 {
-    return ReplayTraceImpl(*this, trace, configs);
+    return ReplayTrace(CompactTraceSource(trace), configs);
 }
 
 namespace {
@@ -194,10 +190,12 @@ struct FanoutShard
     std::vector<std::size_t> members; ///< Indices into `configs`.
 };
 
-template <typename TraceT>
+} // namespace
+
 std::vector<PerfCounters>
-ReplayTraceFanoutImpl(const SweepRunner &runner, const TraceT &trace,
-                      const std::vector<HierarchyConfig> &configs)
+SweepRunner::ReplayTraceFanout(
+    const TraceSource &trace,
+    const std::vector<HierarchyConfig> &configs) const
 {
     std::vector<PerfCounters> results(configs.size());
     if (configs.empty()) {
@@ -220,8 +218,7 @@ ReplayTraceFanoutImpl(const SweepRunner &runner, const TraceT &trace,
     // shard never exceeds ceil(configs / threads) members, which keeps
     // every worker busy once there are at least `threads_` configs.
     const std::size_t shard_cap = std::max<std::size_t>(
-        1, (configs.size() + runner.thread_count() - 1) /
-               runner.thread_count());
+        1, (configs.size() + thread_count() - 1) / thread_count());
     std::vector<FanoutShard> shards;
     for (const auto &[key, members] : groups) {
         for (std::size_t begin = 0; begin < members.size();
@@ -236,7 +233,7 @@ ReplayTraceFanoutImpl(const SweepRunner &runner, const TraceT &trace,
         }
     }
 
-    runner.ForEach(shards.size(), [&](std::size_t s) {
+    ForEach(shards.size(), [&](std::size_t s) {
         const FanoutShard &shard = shards[s];
         PIM_TRACE_SPAN("sweep",
                        "fanout[" + std::to_string(s) + "]x" +
@@ -280,14 +277,12 @@ ReplayTraceFanoutImpl(const SweepRunner &runner, const TraceT &trace,
     return results;
 }
 
-} // namespace
-
 std::vector<PerfCounters>
 SweepRunner::ReplayTraceFanout(
     const AccessTrace &trace,
     const std::vector<HierarchyConfig> &configs) const
 {
-    return ReplayTraceFanoutImpl(*this, trace, configs);
+    return ReplayTraceFanout(AccessTraceSource(trace), configs);
 }
 
 std::vector<PerfCounters>
@@ -295,7 +290,7 @@ SweepRunner::ReplayTraceFanout(
     const CompactTrace &trace,
     const std::vector<HierarchyConfig> &configs) const
 {
-    return ReplayTraceFanoutImpl(*this, trace, configs);
+    return ReplayTraceFanout(CompactTraceSource(trace), configs);
 }
 
 namespace {
@@ -309,11 +304,12 @@ struct ProfileGroup
     std::vector<std::uint32_t> assocs;    ///< Parallel to points.
 };
 
-template <typename TraceT>
+} // namespace
+
 std::vector<PerfCounters>
-ProfileLlcSweepImpl(const SweepRunner &runner, const TraceT &trace,
-                    const HierarchyConfig &base,
-                    const std::vector<CacheConfig> &llc_points)
+SweepRunner::ProfileLlcSweep(
+    const TraceSource &trace, const HierarchyConfig &base,
+    const std::vector<CacheConfig> &llc_points) const
 {
     std::vector<PerfCounters> results(llc_points.size());
     if (llc_points.empty()) {
@@ -367,7 +363,7 @@ ProfileLlcSweepImpl(const SweepRunner &runner, const TraceT &trace,
 
     // Pass 2 (per group): one profiling pass over the miss stream,
     // then an O(histogram) analytic readout per design point.
-    runner.ForEach(pgroups.size(), [&](std::size_t g) {
+    ForEach(pgroups.size(), [&](std::size_t g) {
         const ProfileGroup &pg = pgroups[g];
         PIM_TRACE_SPAN("sweep",
                        "profile_pass[" + std::to_string(g) + "]x" +
@@ -391,14 +387,12 @@ ProfileLlcSweepImpl(const SweepRunner &runner, const TraceT &trace,
     return results;
 }
 
-} // namespace
-
 std::vector<PerfCounters>
 SweepRunner::ProfileLlcSweep(
     const AccessTrace &trace, const HierarchyConfig &base,
     const std::vector<CacheConfig> &llc_points) const
 {
-    return ProfileLlcSweepImpl(*this, trace, base, llc_points);
+    return ProfileLlcSweep(AccessTraceSource(trace), base, llc_points);
 }
 
 std::vector<PerfCounters>
@@ -406,7 +400,7 @@ SweepRunner::ProfileLlcSweep(
     const CompactTrace &trace, const HierarchyConfig &base,
     const std::vector<CacheConfig> &llc_points) const
 {
-    return ProfileLlcSweepImpl(*this, trace, base, llc_points);
+    return ProfileLlcSweep(CompactTraceSource(trace), base, llc_points);
 }
 
 namespace {
@@ -508,12 +502,9 @@ ReadProfilePoint(const StackProfile &prof, std::uint32_t assoc,
     return out;
 }
 
-namespace {
-
-template <typename TraceT>
 StudyResult
-ProfileStudyImpl(const SweepRunner &runner, const TraceT &trace,
-                 const StudySpec &spec)
+SweepRunner::ProfileStudy(const TraceSource &trace,
+                          const StudySpec &spec) const
 {
     StudyResult result;
     result.host.assign(
@@ -574,7 +565,7 @@ ProfileStudyImpl(const SweepRunner &runner, const TraceT &trace,
     result.profile_passes =
         l1_jobs.size() * llc_groups.size() + pim_groups.size();
 
-    runner.ForEach(l1_jobs.size() + pim_jobs, [&](std::size_t job) {
+    ForEach(l1_jobs.size() + pim_jobs, [&](std::size_t job) {
         if (job < l1_jobs.size()) {
             const L1Job &j = l1_jobs[job];
             PIM_TRACE_SPAN("sweep",
@@ -642,20 +633,18 @@ ProfileStudyImpl(const SweepRunner &runner, const TraceT &trace,
     return result;
 }
 
-} // namespace
-
 StudyResult
 SweepRunner::ProfileStudy(const AccessTrace &trace,
                           const StudySpec &spec) const
 {
-    return ProfileStudyImpl(*this, trace, spec);
+    return ProfileStudy(AccessTraceSource(trace), spec);
 }
 
 StudyResult
 SweepRunner::ProfileStudy(const CompactTrace &trace,
                           const StudySpec &spec) const
 {
-    return ProfileStudyImpl(*this, trace, spec);
+    return ProfileStudy(CompactTraceSource(trace), spec);
 }
 
 } // namespace pim::sim

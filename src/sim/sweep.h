@@ -178,18 +178,24 @@ class SweepRunner
      * concurrently, and return each design point's counter snapshot in
      * input order.  O(trace x configs) — use the fan-out or profiler
      * paths below for wide sweeps.
+     *
+     * Every engine takes the trace as a TraceSource (sim/trace.h): the
+     * in-RAM raw and compact forms and the mmap-backed on-disk form
+     * all deliver the identical batched entry stream, so counters do
+     * not depend on which implementation backs the cursor.  The
+     * AccessTrace / CompactTrace overloads below are thin shims that
+     * wrap the trace in its source adapter.
      */
+    std::vector<PerfCounters>
+    ReplayTrace(const TraceSource &trace,
+                const std::vector<HierarchyConfig> &configs) const;
+
+    /** Shim: ReplayTrace over an AccessTraceSource view. */
     std::vector<PerfCounters>
     ReplayTrace(const AccessTrace &trace,
                 const std::vector<HierarchyConfig> &configs) const;
 
-    /**
-     * CompactTrace twin.  All three engines also accept the compact
-     * encoded form (sim/trace_codec.h): replay decodes block-by-block
-     * into the same batched entry stream, so counters are identical to
-     * the raw-trace overloads while the trace's resident footprint is
-     * its encoded size.
-     */
+    /** Shim: ReplayTrace over a CompactTraceSource view. */
     std::vector<PerfCounters>
     ReplayTrace(const CompactTrace &trace,
                 const std::vector<HierarchyConfig> &configs) const;
@@ -204,10 +210,13 @@ class SweepRunner
      * wide sweeps also parallelize.
      */
     std::vector<PerfCounters>
-    ReplayTraceFanout(const AccessTrace &trace,
+    ReplayTraceFanout(const TraceSource &trace,
                       const std::vector<HierarchyConfig> &configs) const;
 
-    /** CompactTrace twin of ReplayTraceFanout (see ReplayTrace). */
+    /** Shims: ReplayTraceFanout over the in-RAM source views. */
+    std::vector<PerfCounters>
+    ReplayTraceFanout(const AccessTrace &trace,
+                      const std::vector<HierarchyConfig> &configs) const;
     std::vector<PerfCounters>
     ReplayTraceFanout(const CompactTrace &trace,
                       const std::vector<HierarchyConfig> &configs) const;
@@ -231,11 +240,15 @@ class SweepRunner
      * associativity * line_bytes, as for any Cache.
      */
     std::vector<PerfCounters>
-    ProfileLlcSweep(const AccessTrace &trace,
+    ProfileLlcSweep(const TraceSource &trace,
                     const HierarchyConfig &base,
                     const std::vector<CacheConfig> &llc_points) const;
 
-    /** CompactTrace twin of ProfileLlcSweep (see ReplayTrace). */
+    /** Shims: ProfileLlcSweep over the in-RAM source views. */
+    std::vector<PerfCounters>
+    ProfileLlcSweep(const AccessTrace &trace,
+                    const HierarchyConfig &base,
+                    const std::vector<CacheConfig> &llc_points) const;
     std::vector<PerfCounters>
     ProfileLlcSweep(const CompactTrace &trace,
                     const HierarchyConfig &base,
@@ -268,10 +281,12 @@ class SweepRunner
      * points beyond 64 tracked associativities per pass — see
      * stack_profiler.h).
      */
-    StudyResult ProfileStudy(const AccessTrace &trace,
+    StudyResult ProfileStudy(const TraceSource &trace,
                              const StudySpec &spec) const;
 
-    /** CompactTrace twin of ProfileStudy (see ReplayTrace). */
+    /** Shims: ProfileStudy over the in-RAM source views. */
+    StudyResult ProfileStudy(const AccessTrace &trace,
+                             const StudySpec &spec) const;
     StudyResult ProfileStudy(const CompactTrace &trace,
                              const StudySpec &spec) const;
 

@@ -18,12 +18,96 @@
 #ifndef PIM_SIM_TRACE_H
 #define PIM_SIM_TRACE_H
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sim/access.h"
 
 namespace pim::sim {
+
+/**
+ * The streaming trace abstraction every replay engine consumes: a
+ * pull-based block cursor over an ordered access stream.  The trace is
+ * exposed as BlockCount() consecutive blocks of at most kBlockEntries
+ * decoded entries each; Block(b, scratch) yields block b as a span of
+ * packed TraceEntry words, either pointing into storage the source
+ * already owns (in-RAM raw traces) or into the caller-provided scratch
+ * buffer the source decoded into (compact and memory-mapped forms).
+ *
+ * Contract:
+ *  - blocks partition the stream in order: concatenating the spans of
+ *    blocks 0..BlockCount()-1 reproduces exactly the entry sequence
+ *    ReplayInto delivers, so counters derived through the cursor are
+ *    bit-identical to any whole-trace replay (AccessBatch is
+ *    batch-size invariant);
+ *  - `scratch` must have capacity for kBlockEntries entries; the span
+ *    is valid until the next use of the same scratch buffer (spans
+ *    into source-owned storage live as long as the source);
+ *  - Block() is const and safe to call concurrently from multiple
+ *    threads *with distinct scratch buffers* — the sharded replay
+ *    partitions blocks in parallel through one shared source;
+ *  - resident() says whether the decoded stream lives in RAM: engines
+ *    may buffer O(trace) state for resident sources but must keep
+ *    memory O(block buffers) when it is false (out-of-core replay).
+ *
+ * See DESIGN.md §5j for the full contract and the rationale.
+ */
+class TraceSource
+{
+  public:
+    /** Max entries per block == the compact codec's block size. */
+    static constexpr std::size_t kBlockEntries = 4096;
+
+    /** One decoded block: a pointer/count pair of packed entries. */
+    struct Span
+    {
+        const TraceEntry *data = nullptr;
+        std::size_t count = 0;
+    };
+
+    virtual ~TraceSource() = default;
+
+    /** Total entries / O(1) byte totals of the whole stream. */
+    virtual std::uint64_t entries() const = 0;
+    virtual Bytes read_bytes() const = 0;
+    virtual Bytes write_bytes() const = 0;
+    Bytes TotalBytes() const { return read_bytes() + write_bytes(); }
+    bool empty() const { return entries() == 0; }
+
+    /** Number of blocks (== ceil(entries / kBlockEntries)). */
+    virtual std::size_t BlockCount() const = 0;
+
+    /**
+     * Decode block @p b, using @p scratch (capacity >= kBlockEntries)
+     * when the source has no resident decoded form.  Blocks are
+     * self-contained: any subset may be cursored in any order.
+     */
+    virtual Span Block(std::size_t b, TraceEntry *scratch) const = 0;
+
+    /** True when the decoded stream is RAM-resident (see above). */
+    virtual bool resident() const = 0;
+
+    /**
+     * Replay every access into @p sink in order through the batched
+     * fast path.  The default walks the block cursor with a stack
+     * scratch buffer; sources with a faster whole-stream path
+     * override it (the counters cannot differ — see the contract).
+     */
+    virtual void
+    ReplayInto(MemorySink &sink) const
+    {
+        alignas(64) TraceEntry buffer[kBlockEntries];
+        const std::size_t blocks = BlockCount();
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const Span span = Block(b, buffer);
+            if (span.count != 0) {
+                sink.AccessBatch(span.data, span.count);
+            }
+        }
+    }
+};
 
 /** A recorded access stream. */
 class AccessTrace
@@ -146,6 +230,53 @@ class AccessTrace
     std::vector<TraceEntry> entries_;
     Bytes read_bytes_ = 0;
     Bytes write_bytes_ = 0;
+};
+
+/**
+ * TraceSource view of an in-RAM raw trace.  Blocks are zero-copy
+ * spans into the packed entry array; the trace must outlive the view.
+ */
+class AccessTraceSource final : public TraceSource
+{
+  public:
+    explicit AccessTraceSource(const AccessTrace &trace)
+        : trace_(&trace)
+    {
+    }
+
+    std::uint64_t entries() const override { return trace_->size(); }
+    Bytes read_bytes() const override { return trace_->read_bytes(); }
+    Bytes write_bytes() const override
+    {
+        return trace_->write_bytes();
+    }
+
+    std::size_t
+    BlockCount() const override
+    {
+        return (trace_->size() + kBlockEntries - 1) / kBlockEntries;
+    }
+
+    Span
+    Block(std::size_t b, TraceEntry * /*scratch*/) const override
+    {
+        const std::size_t begin = b * kBlockEntries;
+        const std::size_t count =
+            std::min(kBlockEntries, trace_->size() - begin);
+        return Span{trace_->data() + begin, count};
+    }
+
+    bool resident() const override { return true; }
+
+    /** The raw trace replays as ONE batch — same counters, no loop. */
+    void
+    ReplayInto(MemorySink &sink) const override
+    {
+        trace_->ReplayInto(sink);
+    }
+
+  private:
+    const AccessTrace *trace_;
 };
 
 /**

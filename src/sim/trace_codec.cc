@@ -2,7 +2,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <stdexcept>
 #include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/digest.h"
 #include "common/logging.h"
@@ -311,6 +318,347 @@ CompactTrace::LoadFrom(const std::string &path, std::string *error)
         return std::nullopt;
     }
     return trace;
+}
+
+namespace {
+
+/** GetVarint that refuses to read past @p end or overflow 64 bits. */
+inline bool
+GetVarintBounded(const std::uint8_t *&p, const std::uint8_t *end,
+                 std::uint64_t *out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (p < end && shift < 64) {
+        const std::uint8_t b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if ((b & 0x80) == 0) {
+            *out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+/**
+ * DecodeBlock for *untrusted* token bytes: the same grammar as
+ * CompactTrace::DecodeBlock, but every read is bounded by @p end,
+ * every run is clamped to the block's entry count, and out-of-range
+ * addresses or sizes fail instead of asserting.  Returns false on any
+ * structural corruption — the caller reports, never crashes.  Used by
+ * the mapped form, whose payload may not have been digest-verified
+ * yet (Verify::kLazy before the watermark completes, or kNone).
+ */
+bool
+DecodeBlockBounded(const std::uint8_t *p, const std::uint8_t *end,
+                   std::size_t n, TraceEntry *out)
+{
+    if (n > CompactTrace::kBlockEntries) {
+        return false;
+    }
+    // Same per-type prediction state as CompactTraceEncoder::Context
+    // (which is private to the codec pair).
+    struct Context
+    {
+        Address last_addr = 0;
+        std::int64_t last_delta = 0;
+        Bytes last_bytes = 0;
+    };
+    Context ctx[2];
+    const bool use_simd = simd::Enabled();
+    std::size_t i = 0;
+    while (i < n) {
+        if (p >= end) {
+            return false;
+        }
+        const std::uint8_t header = *p++;
+        const std::size_t t = (header >> 6) & 1;
+        Context &c = ctx[t];
+        if (header & 0x80) {
+            std::uint64_t len = header & 63;
+            if (len == 63) {
+                std::uint64_t v = 0;
+                if (!GetVarintBounded(p, end, &v)) {
+                    return false;
+                }
+                len = v + 64;
+            } else {
+                len += 1;
+            }
+            // A run longer than the block's remaining entries would
+            // write past the caller's scratch buffer.
+            if (len > n - i) {
+                return false;
+            }
+            const auto delta = static_cast<std::uint64_t>(c.last_delta);
+            const std::uint64_t first_addr = c.last_addr + delta;
+            const std::uint64_t final_addr = c.last_addr + len * delta;
+            if (first_addr > TraceEntry::kMaxAddr ||
+                final_addr > TraceEntry::kMaxAddr) {
+                return false;
+            }
+            const std::uint64_t base_word =
+                c.last_addr |
+                (static_cast<std::uint64_t>(c.last_bytes)
+                 << TraceEntry::kAddrBits) |
+                (static_cast<std::uint64_t>(t) << 63);
+            simd::FillStrideWords(
+                use_simd, reinterpret_cast<std::uint64_t *>(out + i),
+                len, base_word, delta);
+            c.last_addr = final_addr;
+            i += len;
+            continue;
+        }
+        std::int64_t delta;
+        if (header & 0x20) {
+            delta = c.last_delta;
+        } else {
+            std::uint64_t v = 0;
+            if (!GetVarintBounded(p, end, &v)) {
+                return false;
+            }
+            delta = UnZigzag(v);
+        }
+        Bytes bytes;
+        if (header & 0x10) {
+            bytes = c.last_bytes;
+        } else {
+            const std::uint8_t inline_bytes = header & 15;
+            if (inline_bytes == 15) {
+                std::uint64_t v = 0;
+                if (!GetVarintBounded(p, end, &v)) {
+                    return false;
+                }
+                bytes = v;
+            } else {
+                bytes = inline_bytes;
+            }
+        }
+        c.last_addr += static_cast<std::uint64_t>(delta);
+        c.last_delta = delta;
+        c.last_bytes = bytes;
+        if (c.last_addr > TraceEntry::kMaxAddr ||
+            bytes > TraceEntry::kMaxBytes) {
+            return false;
+        }
+        out[i++] = TraceEntry(c.last_addr, bytes,
+                              t ? AccessType::kWrite : AccessType::kRead);
+    }
+    return true;
+}
+
+} // namespace
+
+/**
+ * The incremental digest watermark for Verify::kLazy: FNV-1a is a
+ * sequential byte fold, so "verified through offset X" extends
+ * monotonically no matter which order blocks are cursored in — the
+ * first cursor to reach a block folds everything up to its end.  Once
+ * the watermark covers the payload the fold is compared against the
+ * header digest exactly once.
+ */
+struct MappedCompactTrace::LazyVerify
+{
+    std::mutex mu;
+    ContentDigest digest;       ///< Seeded with the header fields.
+    std::uint64_t verified = 0; ///< Token bytes folded so far.
+    bool checked = false;       ///< Final comparison performed.
+};
+
+MappedCompactTrace::~MappedCompactTrace()
+{
+    Unmap();
+}
+
+MappedCompactTrace::MappedCompactTrace(
+    MappedCompactTrace &&other) noexcept
+    : path_(std::move(other.path_)), map_(other.map_),
+      map_len_(other.map_len_), tokens_(other.tokens_),
+      token_bytes_(other.token_bytes_),
+      blocks_(std::move(other.blocks_)), entries_(other.entries_),
+      read_bytes_(other.read_bytes_), write_bytes_(other.write_bytes_),
+      digest_(other.digest_), lazy_(std::move(other.lazy_))
+{
+    other.map_ = nullptr;
+    other.map_len_ = 0;
+    other.tokens_ = nullptr;
+}
+
+MappedCompactTrace &
+MappedCompactTrace::operator=(MappedCompactTrace &&other) noexcept
+{
+    if (this != &other) {
+        Unmap();
+        path_ = std::move(other.path_);
+        map_ = other.map_;
+        map_len_ = other.map_len_;
+        tokens_ = other.tokens_;
+        token_bytes_ = other.token_bytes_;
+        blocks_ = std::move(other.blocks_);
+        entries_ = other.entries_;
+        read_bytes_ = other.read_bytes_;
+        write_bytes_ = other.write_bytes_;
+        digest_ = other.digest_;
+        lazy_ = std::move(other.lazy_);
+        other.map_ = nullptr;
+        other.map_len_ = 0;
+        other.tokens_ = nullptr;
+    }
+    return *this;
+}
+
+void
+MappedCompactTrace::Unmap()
+{
+    if (map_ != nullptr) {
+        ::munmap(map_, map_len_);
+        map_ = nullptr;
+        map_len_ = 0;
+        tokens_ = nullptr;
+    }
+}
+
+std::optional<MappedCompactTrace>
+MappedCompactTrace::Open(const std::string &path, std::string *error,
+                         Verify verify)
+{
+    constexpr std::size_t kHeaderBytes = 8 + 6 * 8;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        SetError(error, "cannot open '" + path + "'");
+        return std::nullopt;
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+        static_cast<std::uint64_t>(st.st_size) < kHeaderBytes) {
+        ::close(fd);
+        SetError(error, "'" + path + "' is not a compact-trace file");
+        return std::nullopt;
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        SetError(error, "cannot mmap '" + path + "'");
+        return std::nullopt;
+    }
+    // Replay walks the file front to back exactly once: tell the
+    // kernel so readahead runs ahead of the cursor and pages behind
+    // it are first in line for eviction (bounded-RSS replay).
+    ::madvise(map, len, MADV_SEQUENTIAL);
+
+    MappedCompactTrace t;
+    t.path_ = path;
+    t.map_ = map;
+    t.map_len_ = len;
+    const auto *bytes = static_cast<const std::uint8_t *>(map);
+    const auto fail = [&](const std::string &msg)
+        -> std::optional<MappedCompactTrace> {
+        SetError(error, "'" + path + "' " + msg);
+        return std::nullopt; // ~t munmaps
+    };
+    if (std::memcmp(bytes, kTraceMagic, 8) != 0) {
+        return fail("is not a compact-trace file");
+    }
+    const auto get_u64 = [bytes](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(bytes[off + i]) << (8 * i);
+        }
+        return v;
+    };
+    t.entries_ = get_u64(8);
+    t.read_bytes_ = get_u64(16);
+    t.write_bytes_ = get_u64(24);
+    const std::uint64_t block_count = get_u64(32);
+    t.token_bytes_ = get_u64(40);
+    t.digest_ = get_u64(48);
+    // The same structural bounds LoadFrom enforces, plus an exact
+    // file-size check (the mapped length stands in for EOF).
+    constexpr std::uint64_t kMaxReasonable = std::uint64_t{1} << 40;
+    if (block_count > kMaxReasonable / 16 ||
+        t.token_bytes_ > kMaxReasonable ||
+        t.entries_ > block_count * kBlockEntries) {
+        return fail("has a corrupt header");
+    }
+    if (len != kHeaderBytes + block_count * 16 + t.token_bytes_) {
+        return fail("is truncated or corrupt");
+    }
+    t.blocks_.resize(block_count);
+    std::uint64_t total_entries = 0;
+    std::uint64_t prev_offset = 0;
+    for (std::uint64_t b = 0; b < block_count; ++b) {
+        const std::uint64_t offset = get_u64(kHeaderBytes + b * 16);
+        const std::uint64_t count = get_u64(kHeaderBytes + b * 16 + 8);
+        // Offsets must be non-decreasing so each block's token range
+        // is [offset, next offset) — the encoder always writes them
+        // that way; a file that does not is corrupt.
+        if (offset > t.token_bytes_ || offset < prev_offset ||
+            count > kBlockEntries) {
+            return fail("has a corrupt block table");
+        }
+        t.blocks_[b].offset = offset;
+        t.blocks_[b].count = static_cast<std::uint32_t>(count);
+        total_entries += count;
+        prev_offset = offset;
+    }
+    if (total_entries != t.entries_) {
+        return fail("has a corrupt block table");
+    }
+    t.tokens_ = bytes + kHeaderBytes + block_count * 16;
+
+    ContentDigest d;
+    d.UpdateU64(t.entries_);
+    d.UpdateU64(t.read_bytes_);
+    d.UpdateU64(t.write_bytes_);
+    d.UpdateU64(block_count);
+    d.UpdateU64(t.token_bytes_);
+    if (verify == Verify::kEager) {
+        d.Update(t.tokens_, t.token_bytes_);
+        if (d.value() != t.digest_) {
+            return fail("fails its content digest");
+        }
+    } else if (verify == Verify::kLazy) {
+        t.lazy_ = std::make_unique<LazyVerify>();
+        t.lazy_->digest = d; // header fields folded; tokens pending
+    }
+    return t;
+}
+
+TraceSource::Span
+MappedCompactTrace::Block(std::size_t b, TraceEntry *scratch) const
+{
+    PIM_ASSERT(b < blocks_.size(), "block index out of range");
+    const CompactTraceEncoder::BlockIndex &blk = blocks_[b];
+    const std::uint64_t end_off = (b + 1 < blocks_.size())
+                                      ? blocks_[b + 1].offset
+                                      : token_bytes_;
+    if (lazy_ != nullptr) {
+        std::lock_guard<std::mutex> lock(lazy_->mu);
+        if (!lazy_->checked) {
+            if (end_off > lazy_->verified) {
+                lazy_->digest.Update(tokens_ + lazy_->verified,
+                                     end_off - lazy_->verified);
+                lazy_->verified = end_off;
+            }
+            if (lazy_->verified == token_bytes_) {
+                lazy_->checked = true;
+                if (lazy_->digest.value() != digest_) {
+                    throw std::runtime_error(
+                        "'" + path_ + "' fails its content digest");
+                }
+            }
+        }
+    }
+    if (!DecodeBlockBounded(tokens_ + blk.offset, tokens_ + end_off,
+                            blk.count, scratch)) {
+        throw std::runtime_error("'" + path_ +
+                                 "' has a corrupt token stream in "
+                                 "block " +
+                                 std::to_string(b));
+    }
+    return Span{scratch, blk.count};
 }
 
 } // namespace pim::sim

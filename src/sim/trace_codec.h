@@ -37,6 +37,7 @@
 #define PIM_SIM_TRACE_CODEC_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -123,6 +124,7 @@ class CompactTraceEncoder
 
   private:
     friend class CompactTrace;
+    friend class MappedCompactTrace;
 
     /** Per-access-type prediction state. */
     struct Context
@@ -337,6 +339,143 @@ class CompactTrace
     std::size_t entries_ = 0;
     Bytes read_bytes_ = 0;
     Bytes write_bytes_ = 0;
+};
+
+static_assert(CompactTrace::kBlockEntries == TraceSource::kBlockEntries,
+              "the codec block size is the TraceSource block size: "
+              "every cursor scratch buffer is sized by the latter");
+
+/**
+ * TraceSource view of an in-RAM compact trace: blocks decode into the
+ * caller's scratch buffer.  The trace must outlive the view.
+ */
+class CompactTraceSource final : public TraceSource
+{
+  public:
+    explicit CompactTraceSource(const CompactTrace &trace)
+        : trace_(&trace)
+    {
+    }
+
+    std::uint64_t entries() const override { return trace_->size(); }
+    Bytes read_bytes() const override { return trace_->read_bytes(); }
+    Bytes write_bytes() const override
+    {
+        return trace_->write_bytes();
+    }
+    std::size_t BlockCount() const override
+    {
+        return trace_->BlockCount();
+    }
+
+    Span
+    Block(std::size_t b, TraceEntry *scratch) const override
+    {
+        return Span{scratch, trace_->DecodeBlock(b, scratch)};
+    }
+
+    bool resident() const override { return true; }
+
+    void
+    ReplayInto(MemorySink &sink) const override
+    {
+        trace_->ReplayInto(sink);
+    }
+
+  private:
+    const CompactTrace *trace_;
+};
+
+/**
+ * A memory-mapped on-disk compact trace: the out-of-core TraceSource.
+ *
+ * Open() maps a PIMCTRC1 container (the format CompactTrace::SaveTo
+ * writes) read-only with madvise(MADV_SEQUENTIAL) and validates the
+ * header and block table without touching the token payload.  Blocks
+ * then decode on demand straight from the page cache into the
+ * cursor's scratch buffer — nothing proportional to the trace is ever
+ * allocated, so replaying a multi-GB corpus holds O(block buffers +
+ * hierarchy) resident, and the kernel can evict already-replayed file
+ * pages behind the cursor.
+ *
+ * Digest verification modes:
+ *  - kEager: the stored content digest is recomputed over the whole
+ *    payload at Open() — a corrupt file never opens;
+ *  - kLazy (default): token bytes are folded into an incremental
+ *    digest as block decoding first reaches them (the digest is a
+ *    sequential fold, so a monotone high-water mark suffices even
+ *    when blocks are cursored out of order); when the watermark
+ *    covers the payload the result is compared and a mismatch throws
+ *    std::runtime_error.  A sequential replay therefore ends fully
+ *    verified at ~zero extra passes over the data;
+ *  - kNone: trust the header digest — for callers that have already
+ *    matched header_digest() against an external index (the corpus
+ *    cache checks it against the manifest).
+ *
+ * Decoding is bounds-hardened independently of the digest: a token
+ * stream that runs past the payload, overflows a block, or decodes
+ * outside the packed address space throws std::runtime_error rather
+ * than reading or writing out of bounds, so even kNone never turns a
+ * corrupt file into memory corruption.
+ *
+ * Instances are movable, not copyable.  Block() is safe concurrently
+ * (the lazy-verify watermark is internally locked).
+ */
+class MappedCompactTrace final : public TraceSource
+{
+  public:
+    enum class Verify { kEager, kLazy, kNone };
+
+    MappedCompactTrace() = default;
+    ~MappedCompactTrace() override;
+    MappedCompactTrace(MappedCompactTrace &&other) noexcept;
+    MappedCompactTrace &operator=(MappedCompactTrace &&other) noexcept;
+    MappedCompactTrace(const MappedCompactTrace &) = delete;
+    MappedCompactTrace &operator=(const MappedCompactTrace &) = delete;
+
+    /**
+     * Map the container at @p path.  Returns nullopt (and fills
+     * @p error) on open/size/header/block-table problems, or on a
+     * digest mismatch under Verify::kEager.
+     */
+    static std::optional<MappedCompactTrace>
+    Open(const std::string &path, std::string *error = nullptr,
+         Verify verify = Verify::kLazy);
+
+    // TraceSource cursor.
+    std::uint64_t entries() const override { return entries_; }
+    Bytes read_bytes() const override { return read_bytes_; }
+    Bytes write_bytes() const override { return write_bytes_; }
+    std::size_t BlockCount() const override { return blocks_.size(); }
+    Span Block(std::size_t b, TraceEntry *scratch) const override;
+    bool resident() const override { return false; }
+
+    /** The content digest stored in the container header. */
+    std::uint64_t header_digest() const { return digest_; }
+
+    /** Encoded footprint on disk == bytes mapped. */
+    Bytes SizeBytes() const { return map_len_; }
+    /** Footprint of the equivalent decoded (packed 8-byte) trace. */
+    Bytes RawBytes() const { return entries_ * sizeof(TraceEntry); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct LazyVerify; // incremental digest watermark (trace_codec.cc)
+
+    void Unmap();
+
+    std::string path_;
+    void *map_ = nullptr;         ///< Whole-file mapping (or null).
+    std::size_t map_len_ = 0;
+    const std::uint8_t *tokens_ = nullptr; ///< Payload start.
+    std::uint64_t token_bytes_ = 0;
+    std::vector<CompactTraceEncoder::BlockIndex> blocks_;
+    std::uint64_t entries_ = 0;
+    Bytes read_bytes_ = 0;
+    Bytes write_bytes_ = 0;
+    std::uint64_t digest_ = 0;
+    std::unique_ptr<LazyVerify> lazy_; ///< Null unless Verify::kLazy.
 };
 
 /**

@@ -13,6 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -20,10 +23,13 @@
 
 #include <unistd.h>
 
+#include "common/digest.h"
 #include "common/json.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "sim/hierarchy.h"
+#include "sim/trace.h"
 
 namespace pim::serve {
 namespace {
@@ -575,6 +581,130 @@ TEST_F(ServeTest, ClientShutdownRequestDrainsTheServer)
     // Submissions after shutdown are refused at the door.
     std::string error;
     EXPECT_EQ(ServeClient::Connect(socket_path_, &error), nullptr);
+}
+
+sim::CompactTrace
+SmallCompactTrace()
+{
+    sim::AccessTrace raw;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        raw.Append(0x40000 + (i % 512) * 64, 64,
+                   i % 4 == 0 ? sim::AccessType::kWrite
+                              : sim::AccessType::kRead);
+    }
+    return sim::CompactTrace::Encode(raw);
+}
+
+TEST(CorpusCache, MapStreamsStoredEntryAndPersistsProvenance)
+{
+    const std::string dir = testing::TempDir() + "pim_corpus_map_" +
+                            std::to_string(::getpid());
+    const sim::CompactTrace trace = SmallCompactTrace();
+    const std::string key = CorpusKey("tiler", 0.5);
+    EXPECT_EQ(key, "tiler@0.5");
+
+    {
+        CorpusCache cache(dir);
+        EXPECT_TRUE(cache.enabled());
+        EXPECT_FALSE(cache.Map(key).has_value()); // cold miss
+        ASSERT_TRUE(cache.Store(key, "tiler", 0.5, trace,
+                                "v9-g1234abc",
+                                "2026-08-08T12:00:00Z"));
+        auto mapped = cache.Map(key);
+        ASSERT_TRUE(mapped.has_value());
+        EXPECT_EQ(mapped->header_digest(), trace.Digest());
+        EXPECT_EQ(mapped->entries(), trace.size());
+        EXPECT_FALSE(mapped->resident());
+        EXPECT_EQ(cache.files(), 1u);
+        EXPECT_EQ(cache.bytes_mapped(), mapped->SizeBytes());
+        EXPECT_EQ(cache.hits(), 1u);
+        EXPECT_EQ(cache.misses(), 1u);
+    }
+
+    // The manifest carries the provenance rows verbatim.
+    {
+        std::ifstream in(dir + "/manifest.json");
+        ASSERT_TRUE(in.good());
+        const std::string text(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>{});
+        const auto doc = JsonParse(text, nullptr);
+        ASSERT_TRUE(doc.has_value());
+        const JsonValue *entries = doc->Find("entries");
+        ASSERT_NE(entries, nullptr);
+        ASSERT_EQ(entries->size(), 1u);
+        const JsonValue &row = entries->at(0);
+        EXPECT_EQ(row.Find("recorder")->AsString(), "v9-g1234abc");
+        EXPECT_EQ(row.Find("created")->AsString(),
+                  "2026-08-08T12:00:00Z");
+        EXPECT_EQ(row.Find("kernel")->AsString(), "tiler");
+    }
+
+    // A warm restart maps without re-hashing the payload, and the
+    // mapped stream replays bit-identically to the stored trace.
+    {
+        CorpusCache cache(dir);
+        EXPECT_EQ(cache.files(), 1u);
+        auto mapped = cache.Map(key);
+        ASSERT_TRUE(mapped.has_value());
+        sim::MemoryHierarchy ref(sim::HostHierarchyConfig());
+        trace.ReplayInto(ref.Top());
+        sim::MemoryHierarchy via(sim::HostHierarchyConfig());
+        mapped->ReplayInto(via.Top());
+        EXPECT_EQ(ref.Snapshot().dram.TotalBytes(),
+                  via.Snapshot().dram.TotalBytes());
+        EXPECT_EQ(ref.Snapshot().llc.Misses(),
+                  via.Snapshot().llc.Misses());
+
+        // bytes_mapped accumulates per successful Map.
+        (void)cache.Map(key);
+        EXPECT_EQ(cache.bytes_mapped(), 2 * mapped->SizeBytes());
+    }
+
+    const std::string file =
+        ContentDigest::ToHex(trace.Digest()) + ".ctrace";
+    std::remove((dir + "/" + file).c_str());
+    std::remove((dir + "/manifest.json").c_str());
+}
+
+TEST(CorpusCache, MapDropsTamperedEntriesAsMisses)
+{
+    const std::string dir = testing::TempDir() + "pim_corpus_bad_" +
+                            std::to_string(::getpid());
+    const sim::CompactTrace trace = SmallCompactTrace();
+    const std::string key = CorpusKey("blitter", 1.0);
+    CorpusCache cache(dir);
+    ASSERT_TRUE(cache.Store(key, "blitter", 1.0, trace));
+    const std::string file =
+        dir + "/" + ContentDigest::ToHex(trace.Digest()) + ".ctrace";
+
+    // Truncate the container: the structural size check fails Open,
+    // the entry is dropped from the manifest, and the caller sees a
+    // plain miss (to re-record), never a bad replay.
+    {
+        std::ifstream in(file, std::ios::binary);
+        std::string bytes(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>{});
+        ASSERT_GT(bytes.size(), 100u);
+        std::ofstream out(file,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 9));
+    }
+    EXPECT_FALSE(cache.Map(key).has_value());
+    EXPECT_EQ(cache.files(), 0u);
+    EXPECT_FALSE(cache.Map(key).has_value()); // stays a miss
+
+    std::remove(file.c_str());
+    std::remove((dir + "/manifest.json").c_str());
+}
+
+TEST(CorpusCache, DisabledCacheMissesWithoutTouchingDisk)
+{
+    CorpusCache cache{std::string()};
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.Map("any@1").has_value());
+    EXPECT_EQ(cache.bytes_mapped(), 0u);
+    EXPECT_EQ(cache.files(), 0u);
 }
 
 } // namespace

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <string>
 #include <limits>
 #include <mutex>
 #include <numeric>
@@ -1274,6 +1276,111 @@ TEST(ProfileStudy, CompactTraceOverloadMatchesRaw)
     for (std::size_t j = 0; j < a.pim.size(); ++j) {
         EXPECT_TRUE(
             SameCounters(a.pim[j].counters, b.pim[j].counters));
+    }
+}
+
+/**
+ * Tentpole acceptance for the streaming trace layer: every engine must
+ * produce bit-identical counters through all three TraceSource
+ * implementations — the zero-copy AccessTraceSource view, the in-RAM
+ * CompactTraceSource cursor, and the mmap-backed MappedCompactTrace
+ * streaming from a container file — at every engine shape: plain
+ * serial replay, the parallel fan-out, the one-pass study, and the
+ * set-sharded engine at 1, 2, and 8 threads.
+ */
+TEST(TraceSourceEquivalence, AllSourcesMatchAllEnginesOnKernelTraces)
+{
+    const std::vector<CacheConfig> points = SweepLlcPoints();
+    std::vector<HierarchyConfig> configs;
+    for (const CacheConfig &p : points) {
+        HierarchyConfig hier = HostHierarchyConfig();
+        hier.llc = p;
+        configs.push_back(std::move(hier));
+    }
+    const StudySpec study_spec = HostStudySpec();
+    const SweepRunner runner(2);
+
+    for (const auto &[name, trace] : KernelTraces()) {
+        const CompactTrace compact = CompactTrace::Encode(trace);
+        const std::string path = testing::TempDir() +
+                                 "pim_source_equiv_" + name +
+                                 ".ctrace";
+        std::string error;
+        ASSERT_TRUE(compact.SaveTo(path, &error)) << error;
+        auto mapped = MappedCompactTrace::Open(path, &error);
+        ASSERT_TRUE(mapped.has_value()) << error;
+
+        // In-RAM raw-trace baselines.
+        MemoryHierarchy serial_ref(HostHierarchyConfig());
+        trace.ReplayInto(serial_ref.Top());
+        const PerfCounters serial_pc = serial_ref.Snapshot();
+        const auto ref = runner.ReplayTrace(trace, configs);
+        const StudyResult study_ref =
+            runner.ProfileStudy(trace, study_spec);
+
+        const AccessTraceSource raw_source(trace);
+        const CompactTraceSource compact_source(compact);
+        const TraceSource *const sources[] = {&raw_source,
+                                              &compact_source,
+                                              &*mapped};
+        const char *const source_names[] = {"raw", "compact",
+                                            "mapped"};
+        for (std::size_t s = 0; s < 3; ++s) {
+            const TraceSource &src = *sources[s];
+            const std::string tag =
+                std::string(name) + " via " + source_names[s];
+
+            MemoryHierarchy mh(HostHierarchyConfig());
+            src.ReplayInto(mh.Top());
+            EXPECT_TRUE(SameCounters(serial_pc, mh.Snapshot()))
+                << tag << " serial";
+
+            const auto serial_points = runner.ReplayTrace(src, configs);
+            const auto fanout = runner.ReplayTraceFanout(src, configs);
+            const auto profiled = runner.ProfileLlcSweep(
+                src, HostHierarchyConfig(), points);
+            ASSERT_EQ(serial_points.size(), ref.size());
+            ASSERT_EQ(fanout.size(), ref.size());
+            ASSERT_EQ(profiled.size(), ref.size());
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                EXPECT_TRUE(SameCounters(ref[i], serial_points[i]))
+                    << tag << " replay point " << i;
+                EXPECT_TRUE(SameCounters(ref[i], fanout[i]))
+                    << tag << " fanout point " << i;
+                EXPECT_TRUE(SameCounters(ref[i], profiled[i]))
+                    << tag << " profiler point " << i;
+            }
+
+            const StudyResult study =
+                runner.ProfileStudy(src, study_spec);
+            ASSERT_EQ(study.host.size(), study_ref.host.size());
+            for (std::size_t i = 0; i < study_ref.host.size(); ++i) {
+                ASSERT_EQ(study.host[i].size(),
+                          study_ref.host[i].size());
+                for (std::size_t j = 0; j < study_ref.host[i].size();
+                     ++j) {
+                    EXPECT_TRUE(SameCounters(
+                        study.host[i][j].counters,
+                        study_ref.host[i][j].counters))
+                        << tag << " study l1 " << i << " llc " << j;
+                }
+            }
+            ASSERT_EQ(study.pim.size(), study_ref.pim.size());
+            for (std::size_t j = 0; j < study_ref.pim.size(); ++j) {
+                EXPECT_TRUE(SameCounters(study.pim[j].counters,
+                                         study_ref.pim[j].counters))
+                    << tag << " study pim " << j;
+            }
+
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                const ShardedReplay sharded{SweepRunner(threads)};
+                const PerfCounters pc =
+                    sharded.Replay(src, HostHierarchyConfig());
+                EXPECT_TRUE(SameCounters(serial_pc, pc))
+                    << tag << " sharded x" << threads;
+            }
+        }
+        std::remove(path.c_str());
     }
 }
 

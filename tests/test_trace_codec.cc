@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -462,6 +464,200 @@ TEST(TraceCodecFile, RejectsCorruptTruncatedAndAlienFiles)
                      testing::TempDir() + "pim_ctrace_missing.ctrace",
                      &error)
                      .has_value());
+
+    std::remove(good_path.c_str());
+    std::remove(bad_path.c_str());
+}
+
+TEST(MappedTrace, StreamsBitIdenticallyToTheInRamForms)
+{
+    const AccessTrace raw =
+        RandomTrace(0x33AA, 3 * CompactTrace::kBlockEntries + 500);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    const std::string path =
+        testing::TempDir() + "pim_ctrace_mapped.ctrace";
+    std::string error;
+    ASSERT_TRUE(compact.SaveTo(path, &error)) << error;
+
+    for (const auto verify : {MappedCompactTrace::Verify::kEager,
+                              MappedCompactTrace::Verify::kLazy,
+                              MappedCompactTrace::Verify::kNone}) {
+        auto mapped = MappedCompactTrace::Open(path, &error, verify);
+        ASSERT_TRUE(mapped.has_value()) << error;
+        EXPECT_FALSE(mapped->resident());
+        EXPECT_EQ(mapped->entries(), compact.size());
+        EXPECT_EQ(mapped->read_bytes(), compact.read_bytes());
+        EXPECT_EQ(mapped->write_bytes(), compact.write_bytes());
+        EXPECT_EQ(mapped->BlockCount(), compact.BlockCount());
+        EXPECT_EQ(mapped->header_digest(), compact.Digest());
+
+        // Block-by-block decode is byte-identical to the in-RAM
+        // decoder's output.
+        AccessTrace rebuilt;
+        alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
+        for (std::size_t b = 0; b < mapped->BlockCount(); ++b) {
+            const TraceSource::Span span = mapped->Block(b, buffer);
+            rebuilt.Append(span.data, span.count);
+        }
+        ExpectSameEntries(raw, rebuilt);
+
+        // Replay counters match the raw in-RAM replay exactly.
+        MemoryHierarchy ref(HostHierarchyConfig());
+        raw.ReplayInto(ref.Top());
+        MemoryHierarchy via(HostHierarchyConfig());
+        mapped->ReplayInto(via.Top());
+        EXPECT_EQ(ref.Snapshot().dram.TotalBytes(),
+                  via.Snapshot().dram.TotalBytes());
+        EXPECT_EQ(ref.Snapshot().llc.Misses(),
+                  via.Snapshot().llc.Misses());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MappedTrace, MoveTransfersTheMapping)
+{
+    const AccessTrace raw = RandomTrace(0x440E, 6000);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    const std::string path =
+        testing::TempDir() + "pim_ctrace_mapped_move.ctrace";
+    std::string error;
+    ASSERT_TRUE(compact.SaveTo(path, &error)) << error;
+
+    auto opened = MappedCompactTrace::Open(path, &error);
+    ASSERT_TRUE(opened.has_value()) << error;
+    MappedCompactTrace moved = std::move(*opened);
+    AccessTrace rebuilt;
+    alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
+    for (std::size_t b = 0; b < moved.BlockCount(); ++b) {
+        const TraceSource::Span span = moved.Block(b, buffer);
+        rebuilt.Append(span.data, span.count);
+    }
+    ExpectSameEntries(raw, rebuilt);
+    std::remove(path.c_str());
+}
+
+TEST(MappedTrace, EmptyContainerMapsAndReplaysAsANoOp)
+{
+    const CompactTrace empty = CompactTrace::Encode(AccessTrace{});
+    const std::string path =
+        testing::TempDir() + "pim_ctrace_mapped_empty.ctrace";
+    std::string error;
+    ASSERT_TRUE(empty.SaveTo(path, &error)) << error;
+    auto mapped = MappedCompactTrace::Open(path, &error);
+    ASSERT_TRUE(mapped.has_value()) << error;
+    EXPECT_TRUE(mapped->empty());
+    EXPECT_EQ(mapped->BlockCount(), 0u);
+    MemoryHierarchy mh(HostHierarchyConfig());
+    mapped->ReplayInto(mh.Top());
+    EXPECT_EQ(mh.Snapshot().dram.TotalBytes(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(MappedTrace, VerifyModesCatchPayloadCorruption)
+{
+    const AccessTrace raw =
+        RandomTrace(0xDEAD, 2 * CompactTrace::kBlockEntries + 100);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    const std::string good_path =
+        testing::TempDir() + "pim_ctrace_mapped_good.ctrace";
+    std::string error;
+    ASSERT_TRUE(compact.SaveTo(good_path, &error)) << error;
+    const std::string good = ReadFileBytes(good_path);
+    const std::string bad_path =
+        testing::TempDir() + "pim_ctrace_mapped_bad.ctrace";
+
+    // Flip one payload byte (header and block table stay intact).
+    std::string corrupt = good;
+    corrupt[corrupt.size() - 7] ^= 0x40;
+    WriteFileBytes(bad_path, corrupt);
+
+    // Eager verification fails at Open.
+    EXPECT_FALSE(MappedCompactTrace::Open(
+                     bad_path, &error,
+                     MappedCompactTrace::Verify::kEager)
+                     .has_value());
+    EXPECT_NE(error.find("digest"), std::string::npos) << error;
+
+    // Lazy verification opens fine but throws when the replay reaches
+    // the corrupted byte's block range.
+    auto lazy = MappedCompactTrace::Open(
+        bad_path, &error, MappedCompactTrace::Verify::kLazy);
+    ASSERT_TRUE(lazy.has_value()) << error;
+    const auto stream_all = [&](const MappedCompactTrace &t) {
+        alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
+        std::size_t n = 0;
+        for (std::size_t b = 0; b < t.BlockCount(); ++b) {
+            n += t.Block(b, buffer).count;
+        }
+        return n;
+    };
+    EXPECT_THROW(stream_all(*lazy), std::runtime_error);
+
+    std::remove(good_path.c_str());
+    std::remove(bad_path.c_str());
+}
+
+TEST(MappedTrace, RejectsCorruptTruncatedAndAlienFiles)
+{
+    const AccessTrace raw = RandomTrace(0xFA11, 9000);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    const std::string good_path =
+        testing::TempDir() + "pim_ctrace_mapped_reject.ctrace";
+    std::string error;
+    ASSERT_TRUE(compact.SaveTo(good_path, &error)) << error;
+    const std::string good = ReadFileBytes(good_path);
+    const std::string bad_path =
+        testing::TempDir() + "pim_ctrace_mapped_reject_bad.ctrace";
+
+    // Truncations at every structural boundary must fail Open in
+    // every verification mode (the size check is structural, not a
+    // digest pass).
+    for (const std::size_t keep :
+         {std::size_t{4}, std::size_t{20}, std::size_t{60},
+          good.size() - 1}) {
+        ASSERT_LT(keep, good.size());
+        WriteFileBytes(bad_path, good.substr(0, keep));
+        for (const auto verify : {MappedCompactTrace::Verify::kEager,
+                                  MappedCompactTrace::Verify::kLazy,
+                                  MappedCompactTrace::Verify::kNone}) {
+            EXPECT_FALSE(
+                MappedCompactTrace::Open(bad_path, &error, verify)
+                    .has_value())
+                << "kept " << keep << " bytes";
+        }
+    }
+
+    // Trailing garbage: the container is the whole file.
+    WriteFileBytes(bad_path, good + "x");
+    EXPECT_FALSE(
+        MappedCompactTrace::Open(bad_path, &error).has_value());
+
+    // Wrong magic.
+    std::string alien = good;
+    alien[0] = 'X';
+    WriteFileBytes(bad_path, alien);
+    EXPECT_FALSE(
+        MappedCompactTrace::Open(bad_path, &error).has_value());
+    EXPECT_NE(error.find("not a compact-trace"), std::string::npos)
+        << error;
+
+    // A corrupt block table (offset past the payload) is structural.
+    std::string bad_table = good;
+    // First block-table entry's offset u64 lives at byte 56.
+    bad_table[56 + 0] = '\xff';
+    bad_table[56 + 7] = '\x7f';
+    WriteFileBytes(bad_path, bad_table);
+    EXPECT_FALSE(MappedCompactTrace::Open(
+                     bad_path, &error,
+                     MappedCompactTrace::Verify::kNone)
+                     .has_value());
+
+    // Missing file: error, not crash.
+    EXPECT_FALSE(
+        MappedCompactTrace::Open(
+            testing::TempDir() + "pim_ctrace_mapped_missing.ctrace",
+            &error)
+            .has_value());
 
     std::remove(good_path.c_str());
     std::remove(bad_path.c_str());
