@@ -641,6 +641,10 @@ EmitStudySweep(bench::BenchOutput &out, bool compact,
                        static_cast<double>(study.trace_replays));
             out.Metric(prefix + ".profile_passes",
                        static_cast<double>(study.profile_passes));
+            out.Metric(prefix + ".shards",
+                       static_cast<double>(study.shards));
+            out.Metric(prefix + ".sweep_threads",
+                       static_cast<double>(runner.thread_count()));
         });
     }
 }

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -495,25 +496,18 @@ PrintSweepStudy(bench::BenchOutput &out)
  * pass (it adds telemetry, not counters) so the timed comparison stays
  * apples-to-apples.
  */
-void
-PrintProfilerStudy(bench::BenchOutput &out)
-{
-    // Same 512x512 tiling stream as the single-level sweep section.
-    Rng rng(21);
-    browser::Bitmap linear(512, 512);
-    linear.Randomize(rng);
-    browser::TiledTexture tiled(512, 512);
-    sim::AccessTrace trace;
-    {
-        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
-        ctx.AttachTrace(trace);
-        browser::TileTexture(linear, tiled, ctx);
-        ctx.DetachTrace();
-    }
+/** First-ladder length in ProfilerStudyGrid (prefetch sample index). */
+constexpr std::size_t kStudyFirstLadderLen = 28;
 
-    // The grid: two host L1 geometries x a 24-point LLC ladder
-    // (16 write-back capacities plus write-through and
-    // no-write-allocate variants), plus both PIM targets.
+/**
+ * The 122-point study grid shared by the profiler and profiler-shard
+ * sections: two host L1 geometries x a 60-point LLC ladder (three set
+ * counts, write-back plus write-through and no-write-allocate
+ * variants), plus both PIM targets.
+ */
+sim::StudySpec
+ProfilerStudyGrid()
+{
     sim::StudySpec spec;
     const sim::HierarchyConfig host = sim::HostHierarchyConfig();
     spec.dram = host.dram;
@@ -527,6 +521,7 @@ PrintProfilerStudy(bench::BenchOutput &out)
     const std::vector<std::uint32_t> ladder = {
         1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14,
         15, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+    static_assert(kStudyFirstLadderLen == 28, "keep in sync");
     constexpr std::size_t kSets = 1024;
     constexpr Bytes kLine = 64;
     for (const std::uint32_t a : ladder) {
@@ -561,6 +556,26 @@ PrintProfilerStudy(bench::BenchOutput &out)
         sim::StudyPimPoint{"pim-core", pim_core.l1, pim_core.dram});
     spec.pim_points.push_back(
         sim::StudyPimPoint{"pim-accel", pim_accel.l1, pim_accel.dram});
+    return spec;
+}
+
+void
+PrintProfilerStudy(bench::BenchOutput &out)
+{
+    // Same 512x512 tiling stream as the single-level sweep section.
+    Rng rng(21);
+    browser::Bitmap linear(512, 512);
+    linear.Randomize(rng);
+    browser::TiledTexture tiled(512, 512);
+    sim::AccessTrace trace;
+    {
+        core::ExecutionContext ctx(core::ExecutionTarget::kCpuOnly);
+        ctx.AttachTrace(trace);
+        browser::TileTexture(linear, tiled, ctx);
+        ctx.DetachTrace();
+    }
+
+    const sim::StudySpec spec = ProfilerStudyGrid();
 
     // The identical grid as explicit hierarchies for the fan-out
     // reference: row-major (l1, llc), PIM points appended.
@@ -644,7 +659,7 @@ PrintProfilerStudy(bench::BenchOutput &out)
     pf_spec.model_prefetcher = true;
     const sim::StudyResult pf = runner.ProfileStudy(trace, pf_spec);
     const sim::PrefetchStats pf_sample =
-        pf.host[0][ladder.size() - 1].prefetch;
+        pf.host[0][kStudyFirstLadderLen - 1].prefetch;
 
     const std::string prefix = "sim_throughput.profiler";
     out.Metric(prefix + ".grid_points",
@@ -672,6 +687,165 @@ PrintProfilerStudy(bench::BenchOutput &out)
                 configs.size(), study.trace_replays,
                 study.profile_passes, configs.size(),
                 runner.thread_count());
+}
+
+/**
+ * Set-sharded profiling passes + pipelined out-of-core decode (this
+ * PR's headline): the 122-point study grid answered three ways over an
+ * mmap-backed container file —
+ *
+ *   serial     — PIM_SHARD_PASS=off: the sequential pass engine (one
+ *                thread replays each profiling pass),
+ *   sharded    — set-sharded passes: every pass split across per-set
+ *                shard workers, shard snapshots merged
+ *                (StackProfile::Merge / CacheStats::operator+=),
+ *   no-overlap — sharded with PIM_DECODE_AHEAD=off: same shards, but
+ *                replay workers wait on inline window decode instead
+ *                of the decode-ahead producer.
+ *
+ * Counters must be bit-identical across all three (CI gates
+ * sim_throughput.profiler_shard.bit_identical == 1) and the sharded
+ * path must hold a >= 2x advantage over serial when the machine has
+ * >= 4 cores (also gated).
+ */
+void
+PrintProfilerShardStudy(bench::BenchOutput &out)
+{
+    // Stress stream: the tiling trace concatenated to out-of-core
+    // scale (same sizing as the shard/mmap studies), saved as a
+    // container file so every engine streams blocks through the
+    // windowed path — the sharded one with its decode-ahead producer.
+    sim::CompactTrace compact;
+    {
+        const sim::AccessTrace base = RecordTilingTrace();
+        sim::AccessTrace raw;
+        constexpr std::size_t kTargetEntries = 2u << 20;
+        const std::size_t repeats = std::max<std::size_t>(
+            1, (kTargetEntries + base.size() - 1) /
+                   std::max<std::size_t>(1, base.size()));
+        raw.Reserve(base.size() * repeats);
+        for (std::size_t i = 0; i < repeats; ++i) {
+            raw.Append(base.data(), base.size());
+        }
+        compact = sim::CompactTrace::Encode(raw);
+    }
+    const std::string path = "/tmp/sim_throughput_pshard_" +
+                             std::to_string(getpid()) + ".ctrace";
+    std::string error;
+    if (!compact.SaveTo(path, &error)) {
+        std::printf("profiler-shard study skipped: %s\n\n",
+                    error.c_str());
+        return;
+    }
+    auto mapped = sim::MappedCompactTrace::Open(
+        path, &error, sim::MappedCompactTrace::Verify::kLazy);
+    if (!mapped) {
+        std::printf("profiler-shard study skipped: %s\n\n",
+                    error.c_str());
+        ::unlink(path.c_str());
+        return;
+    }
+
+    const sim::StudySpec spec = ProfilerStudyGrid();
+    // Pin the comparison at min(cores, 8) threads (the acceptance
+    // criterion is phrased at 8 threads; the serial baseline does not
+    // use the pool anyway), floored at 2 so the sharded engine still
+    // engages — and its bit-identity still gets checked — on
+    // single-core runners, where the speedup gate is off.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+        hw = 1;
+    }
+    const sim::SweepRunner runner(std::max(2u, std::min(hw, 8u)));
+
+    // One timed run per engine: each run is seconds long (dozens of
+    // multi-million-entry passes), so run-to-run noise is small
+    // relative to the gated 2x margin.
+    const auto timed_with = [&](const char *env, const char *value,
+                                sim::StudyResult *result) {
+        if (env != nullptr) {
+            ::setenv(env, value, 1);
+        }
+        const double s = TimeRun(
+            [&] { *result = runner.ProfileStudy(*mapped, spec); });
+        if (env != nullptr) {
+            ::unsetenv(env);
+        }
+        return s;
+    };
+
+    sim::StudyResult serial, sharded, no_overlap;
+    const double serial_s =
+        timed_with("PIM_SHARD_PASS", "off", &serial);
+    const double sharded_s = timed_with(nullptr, nullptr, &sharded);
+    const double no_overlap_s =
+        timed_with("PIM_DECODE_AHEAD", "off", &no_overlap);
+    ::unlink(path.c_str());
+
+    const auto same_study = [&](const sim::StudyResult &a,
+                                const sim::StudyResult &b) {
+        bool same = true;
+        for (std::size_t i = 0; i < spec.l1_points.size(); ++i) {
+            for (std::size_t j = 0; j < spec.llc_points.size(); ++j) {
+                same = same && SameCounters(a.host[i][j].counters,
+                                            b.host[i][j].counters) &&
+                       a.host[i][j].writebacks_exact ==
+                           b.host[i][j].writebacks_exact;
+            }
+        }
+        for (std::size_t j = 0; j < spec.pim_points.size(); ++j) {
+            same = same && SameCounters(a.pim[j].counters,
+                                        b.pim[j].counters);
+        }
+        return same;
+    };
+    const bool identical = same_study(serial, sharded) &&
+                           same_study(serial, no_overlap);
+    const double speedup = serial_s / sharded_s;
+
+    const std::size_t points =
+        spec.l1_points.size() * spec.llc_points.size() +
+        spec.pim_points.size();
+    Table table("Sharded profiling passes — " + std::to_string(points) +
+                "-point study, mmap-streamed trace");
+    table.SetHeader({"engine", "shards", "time (ms)", "speedup",
+                     "exact"});
+    const auto row = [&](const char *name, unsigned shards,
+                         double seconds) {
+        table.AddRow({
+            name,
+            std::to_string(shards),
+            Table::Num(seconds * 1e3, 1),
+            Table::Num(serial_s / seconds, 2) + "x",
+            identical ? "bit-identical" : "MISMATCH",
+        });
+    };
+    row("serial passes (PIM_SHARD_PASS=off)", 1, serial_s);
+    row("sharded passes + decode-ahead", sharded.shards, sharded_s);
+    row("sharded passes, no decode overlap", no_overlap.shards,
+        no_overlap_s);
+    out.Emit(table);
+
+    const std::string prefix = "sim_throughput.profiler_shard";
+    out.Metric(prefix + ".grid_points", static_cast<double>(points));
+    out.Metric(prefix + ".entries",
+               static_cast<double>(compact.size()));
+    out.Metric(prefix + ".threads",
+               static_cast<double>(runner.thread_count()));
+    out.Metric(prefix + ".shards",
+               static_cast<double>(sharded.shards));
+    out.Metric(prefix + ".serial_ms", serial_s * 1e3);
+    out.Metric(prefix + ".sharded_ms", sharded_s * 1e3);
+    out.Metric(prefix + ".no_overlap_ms", no_overlap_s * 1e3);
+    out.Metric(prefix + ".speedup", speedup);
+    out.Metric(prefix + ".overlap_gain", no_overlap_s / sharded_s);
+    out.Metric(prefix + ".bit_identical", identical ? 1.0 : 0.0);
+
+    std::printf("sharded study %.2fx vs serial passes (%u shards, "
+                "%u threads, decode overlap %.2fx); counters %s\n\n",
+                speedup, sharded.shards, runner.thread_count(),
+                no_overlap_s / sharded_s,
+                identical ? "bit-identical" : "DO NOT match");
 }
 
 /**
@@ -1251,6 +1425,8 @@ PrintThroughput(bench::BenchOutput &out)
     // The multi-axis study rides the "sweep." prefix too, so CI's
     // --filter=sweep covers its bit-identity + speedup gates.
     out.Section("sweep.profiler", [&] { PrintProfilerStudy(out); });
+    out.Section("sweep.profiler_shard",
+                [&] { PrintProfilerShardStudy(out); });
 
     // Named under "sweep." so CI's existing --filter=sweep runs them.
     out.Section("sweep.shard", [&] { PrintShardStudy(out); });

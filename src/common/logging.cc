@@ -1,17 +1,40 @@
 #include "logging.h"
 
 #include <cstdio>
+#include <mutex>
+#include <unordered_set>
 
 namespace pim {
 
 namespace {
 std::vector<std::string> *g_warn_capture = nullptr;
+
+std::mutex &
+OnceMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_set<std::string> &
+OnceKeys()
+{
+    static std::unordered_set<std::string> keys;
+    return keys;
+}
 } // namespace
 
 void
 SetWarnCapture(std::vector<std::string> *sink)
 {
     g_warn_capture = sink;
+}
+
+bool
+FirstOccurrence(const std::string &key)
+{
+    const std::lock_guard<std::mutex> lock(OnceMutex());
+    return OnceKeys().insert(key).second;
 }
 
 namespace detail {

@@ -56,6 +56,16 @@ void InformImpl(const std::string &msg);
  */
 void SetWarnCapture(std::vector<std::string> *sink);
 
+/**
+ * Process-wide once-per-key guard: returns true exactly once per
+ * distinct @p key for the life of the process, false on every repeat.
+ * Thread-safe — concurrent callers with the same key race to a single
+ * winner.  This is the backbone of PIM_WARN_ONCE: components that run
+ * many instances in parallel (e.g. one stack profiler per shard) share
+ * one warning per condition instead of one per instance.
+ */
+bool FirstOccurrence(const std::string &key);
+
 /** Abort with a message; use for internal invariant violations. */
 #define PIM_PANIC(...)                                                       \
     ::pim::detail::PanicImpl(__FILE__, __LINE__,                             \
@@ -68,6 +78,18 @@ void SetWarnCapture(std::vector<std::string> *sink);
 /** Print a warning and continue. */
 #define PIM_WARN(...)                                                        \
     ::pim::detail::WarnImpl(::pim::detail::FormatMessage(__VA_ARGS__))
+
+/**
+ * Print a warning at most once per process per @p key (a string
+ * identifying the condition, not the instance).  Subsequent calls with
+ * the same key are silent, whatever thread or object they come from.
+ */
+#define PIM_WARN_ONCE(key, ...)                                              \
+    do {                                                                     \
+        if (::pim::FirstOccurrence(key)) {                                   \
+            PIM_WARN(__VA_ARGS__);                                           \
+        }                                                                    \
+    } while (false)
 
 /** Print a status message. */
 #define PIM_INFORM(...)                                                      \

@@ -11,10 +11,12 @@
 #include <unistd.h>
 
 #include "common/digest.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "core/kernel_registry.h"
 #include "serve/protocol.h"
 #include "sim/hierarchy.h"
+#include "sim/sharded_replay.h"
 #include "sim/sweep.h"
 #include "telemetry/report_json.h"
 #include "workloads/catalog.h"
@@ -525,6 +527,21 @@ PimServer::WorkerLoop()
     }
 }
 
+unsigned
+PimServer::SweepThreadBudget() const
+{
+    // The pool each job divides up: the configured per-job count, or
+    // the SweepRunner auto-detected hardware concurrency when 0.
+    unsigned pool = config_.sweep_threads;
+    if (pool == 0) {
+        pool = sim::SweepRunner{}.thread_count();
+    }
+    const std::uint64_t active =
+        std::max<std::uint64_t>(1, jobs_running_.load());
+    return std::max<unsigned>(
+        1, static_cast<unsigned>(pool / active));
+}
+
 void
 PimServer::FailJob(Job &job, const std::string &error)
 {
@@ -634,7 +651,7 @@ PimServer::ExecuteLlcJob(Job &job)
 
     // --- Replay only the gaps, one profiling pass for all of them. -
     if (!missing.empty()) {
-        const sim::SweepRunner runner(config_.sweep_threads);
+        const sim::SweepRunner runner(SweepThreadBudget());
         const std::vector<sim::PerfCounters> results =
             runner.ProfileLlcSweep(stream, base, missing);
         ++replays_executed_;
@@ -762,13 +779,27 @@ PimServer::ExecuteStudyJob(Job &job)
             }
             pcfg.tracked_assocs = std::move(tracked);
         }
-        sim::StackDistanceProfiler prof(pcfg);
-        sim::Cache l1(base.l1, prof);
-        stream.ReplayInto(l1);
-        ++replays_executed_;
         auto fresh = std::make_shared<StudyPassMemo>();
-        fresh->profile = prof.profile();
-        fresh->l1 = l1.stats();
+        // Set-sharded pass when the geometry admits it (bit-identical
+        // to the serial replay below at any shard count); the thread
+        // budget divides the pool among concurrently running jobs.
+        const sim::ShardedReplay sharded{
+            sim::SweepRunner(SweepThreadBudget())};
+        sim::ShardedPassResult sharded_pass;
+        if (EnvSwitch("PIM_SHARD_PASS", true) &&
+            sharded.ProfilePass(stream, &base.l1, {pcfg},
+                                &sharded_pass)) {
+            fresh->profile = std::move(sharded_pass.profiles[0]);
+            fresh->l1 = sharded_pass.l1;
+            ++profiles_sharded_;
+        } else {
+            sim::StackDistanceProfiler prof(pcfg);
+            sim::Cache l1(base.l1, prof);
+            stream.ReplayInto(l1);
+            fresh->profile = prof.profile();
+            fresh->l1 = l1.stats();
+        }
+        ++replays_executed_;
         {
             std::lock_guard<std::mutex> lock(profiles_mu_);
             profiles_.emplace(pass_key, fresh);
@@ -846,6 +877,7 @@ PimServer::StatusJson() const
     queue.Set("capacity",
               static_cast<std::uint64_t>(queue_.capacity()));
     queue.Set("workers", config_.workers);
+    queue.Set("sweep_thread_budget", SweepThreadBudget());
     v.Set("queue", std::move(queue));
 
     // Hit-rate fields make cache effectiveness directly observable
@@ -879,6 +911,7 @@ PimServer::StatusJson() const
     profiles.Set("misses", profile_misses_.load());
     profiles.Set("hit_rate",
                  rate(profile_hits_.load(), profile_misses_.load()));
+    profiles.Set("sharded", profiles_sharded_.load());
     {
         std::lock_guard<std::mutex> lock(profiles_mu_);
         profiles.Set("entries",

@@ -134,6 +134,15 @@ class PimServer
     void ExecuteJob(Job &job);
     void ExecuteLlcJob(Job &job);
     void ExecuteStudyJob(Job &job);
+    /**
+     * Sweep threads the job starting now may use: the configured (or
+     * auto-detected) total divided by the jobs currently running, min
+     * 1.  N concurrent jobs used to EACH take the full default pool —
+     * N x cores threads on an N-worker server; the budget keeps the
+     * product at ~cores.  Purely a resource cap: counters never
+     * depend on the thread count.
+     */
+    unsigned SweepThreadBudget() const;
     /** Memory -> corpus -> record; sets *source to where it came from. */
     std::shared_ptr<const TraceHandle> AcquireTrace(const Job &job,
                                                     std::string *source);
@@ -161,6 +170,8 @@ class PimServer
         profiles_;
     std::atomic<std::uint64_t> profile_hits_{0};
     std::atomic<std::uint64_t> profile_misses_{0};
+    /** Study passes answered by the set-sharded engine. */
+    std::atomic<std::uint64_t> profiles_sharded_{0};
 
     mutable std::mutex jobs_mu_;
     std::condition_variable jobs_cv_;

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "common/env.h"
+#include "common/logging.h"
 #include "sim/affinity.h"
 #include "telemetry/span_tracer.h"
 
@@ -73,6 +80,193 @@ SerialReplay(const TraceSource &trace, const HierarchyConfig &config,
     return mh.Snapshot();
 }
 
+/** PIM_SHARD_WINDOW: window size override, in blocks (testing knob). */
+std::size_t
+WindowOverride()
+{
+    const char *value = std::getenv("PIM_SHARD_WINDOW");
+    if (value == nullptr || *value == '\0') {
+        return 0;
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || v == 0) {
+        PIM_WARN("ignoring invalid PIM_SHARD_WINDOW='%s' (expected a "
+                 "positive block count); keeping the default window",
+                 value);
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
+}
+
+/**
+ * The shared windowed partition pipeline behind Replay and
+ * ProfilePass.  For each window of blocks it fills per-(chunk, shard)
+ * entry buckets (laid out bucket[c * shards + s], chunks in trace
+ * order) and invokes @p replay_window(buckets, chunks) to let the
+ * caller's shard workers consume them.  The first window is
+ * partitioned in parallel on the runner; on multi-window runs with
+ * decode-ahead enabled (PIM_DECODE_AHEAD, default on), a single
+ * producer thread decodes and partitions window w+1 into a second
+ * bucket set while replay_window consumes window w, so out-of-core
+ * replay is no longer bound by inline block decode on the replay
+ * path.  Exceptions from the producer (e.g. a lazy-verify digest
+ * mismatch on a mapped source) are captured and rethrown on the
+ * calling thread after the overlapped replay finishes — never a
+ * worker-thread crash.  Returns false if any access overflowed
+ * TraceEntry::kMaxAddr (the caller reruns serially from scratch).
+ */
+bool
+RunWindowedShardPipeline(
+    const SweepRunner &runner, const TraceSource &trace,
+    std::uint32_t block_shift, unsigned shards,
+    const std::function<void(const std::vector<TraceEntry> *,
+                             std::size_t)> &replay_window)
+{
+    const std::size_t threads =
+        std::max<std::size_t>(1, runner.thread_count());
+    const std::size_t block_count = trace.BlockCount();
+    if (block_count == 0) {
+        return true;
+    }
+    std::size_t window_blocks =
+        trace.resident() ? block_count
+                         : std::max<std::size_t>(64 * threads, 1);
+    if (const std::size_t forced = WindowOverride()) {
+        window_blocks = forced;
+    }
+    const bool decode_ahead = window_blocks < block_count &&
+                              EnvSwitch("PIM_DECODE_AHEAD", true);
+
+    // Double-buffered bucket sets: stores[cur] feeds the shards while
+    // the producer fills stores[cur ^ 1] from the next window.
+    // Bucket capacity survives window to window (clear, not free).
+    const std::size_t max_chunks =
+        std::max<std::size_t>(1, std::min(threads, window_blocks));
+    std::vector<std::vector<TraceEntry>> stores[2];
+    stores[0].resize(max_chunks * shards);
+    if (decode_ahead) {
+        stores[1].resize(max_chunks * shards);
+    }
+    std::atomic<bool> overflow{false};
+
+    auto partition_chunk =
+        [&](std::vector<std::vector<TraceEntry>> &store,
+            std::size_t wbegin, std::size_t wend,
+            std::size_t per_chunk, std::size_t c) {
+            PIM_TRACE_SPAN("sweep", "shard_partition[" +
+                                        std::to_string(c) + "]");
+            const std::size_t begin =
+                std::min(wend, wbegin + c * per_chunk);
+            const std::size_t end = std::min(wend, begin + per_chunk);
+            std::vector<TraceEntry> *out = &store[c * shards];
+            for (unsigned s = 0; s < shards; ++s) {
+                if (out[s].capacity() == 0) {
+                    out[s].reserve((end - begin) *
+                                       TraceSource::kBlockEntries /
+                                       (2 * shards) +
+                                   16);
+                }
+            }
+            alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
+            for (std::size_t b = begin; b < end; ++b) {
+                const TraceSource::Span span = trace.Block(b, buffer);
+                PartitionEntries(span.data, span.count, block_shift,
+                                 shards, out, &overflow);
+                if (overflow.load(std::memory_order_relaxed)) {
+                    return;
+                }
+            }
+        };
+
+    auto partition_window =
+        [&](std::vector<std::vector<TraceEntry>> &store,
+            std::size_t wbegin, std::size_t wend, std::size_t chunks,
+            bool parallel) {
+            const std::size_t per_chunk =
+                (wend - wbegin + chunks - 1) / chunks;
+            for (std::size_t i = 0; i < chunks * shards; ++i) {
+                store[i].clear();
+            }
+            if (parallel) {
+                runner.ForEach(chunks, [&](std::size_t c) {
+                    partition_chunk(store, wbegin, wend, per_chunk, c);
+                });
+            } else {
+                for (std::size_t c = 0; c < chunks; ++c) {
+                    partition_chunk(store, wbegin, wend, per_chunk, c);
+                    if (overflow.load(std::memory_order_relaxed)) {
+                        return;
+                    }
+                }
+            }
+        };
+
+    std::size_t wend = std::min(block_count, window_blocks);
+    std::size_t chunks =
+        std::max<std::size_t>(1, std::min(threads, wend));
+    int cur = 0;
+    // The first window has nothing to overlap with: partition it in
+    // parallel on the runner (a resident source's only window lands
+    // here, as cheap as it ever was).
+    partition_window(stores[cur], 0, wend, chunks, /*parallel=*/true);
+
+    for (;;) {
+        if (overflow.load(std::memory_order_relaxed)) {
+            return false;
+        }
+        const std::size_t nbegin = wend;
+        const std::size_t nend =
+            std::min(block_count, nbegin + window_blocks);
+        const std::size_t nchunks =
+            nbegin < nend ? std::max<std::size_t>(
+                                1, std::min(threads, nend - nbegin))
+                          : 0;
+
+        std::thread producer;
+        std::exception_ptr producer_error;
+        if (nchunks != 0 && decode_ahead) {
+            auto &next_store = stores[cur ^ 1];
+            producer = std::thread([&, nbegin, nend, nchunks] {
+                PIM_TRACE_SPAN("sweep", "decode_ahead");
+                try {
+                    partition_window(next_store, nbegin, nend, nchunks,
+                                     /*parallel=*/false);
+                } catch (...) {
+                    producer_error = std::current_exception();
+                }
+            });
+        }
+
+        std::exception_ptr replay_error;
+        try {
+            replay_window(stores[cur].data(), chunks);
+        } catch (...) {
+            replay_error = std::current_exception();
+        }
+        if (producer.joinable()) {
+            producer.join();
+        }
+        if (replay_error) {
+            std::rethrow_exception(replay_error);
+        }
+        if (producer_error) {
+            std::rethrow_exception(producer_error);
+        }
+        if (nchunks == 0) {
+            return !overflow.load(std::memory_order_relaxed);
+        }
+        if (decode_ahead) {
+            cur ^= 1; // the producer already filled the other set
+        } else {
+            partition_window(stores[cur], nbegin, nend, nchunks,
+                             /*parallel=*/true);
+        }
+        wend = nend;
+        chunks = nchunks;
+    }
+}
+
 } // namespace
 
 ShardedReplayPlan
@@ -138,6 +332,88 @@ ShardedReplay::PlanFor(const HierarchyConfig &config,
     return plan;
 }
 
+ShardedReplayPlan
+ShardedReplay::PlanForPass(
+    const CacheConfig *l1,
+    const std::vector<StackProfilerConfig> &passes,
+    unsigned shard_limit)
+{
+    ShardedReplayPlan plan;
+    if (passes.empty()) {
+        plan.why = "no profiling passes";
+        return plan;
+    }
+    // Every level (the optional nested L1 plus each pass geometry)
+    // constrains the key bits to its set-index range [l, l+n) in byte
+    // terms; the key must fit inside the intersection of them all.
+    std::uint32_t max_line = 0;
+    std::uint32_t min_line = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t min_period =
+        std::numeric_limits<std::uint32_t>::max();
+    auto add_level = [&](Bytes line_bytes, std::size_t sets) {
+        const auto line_shift = static_cast<std::uint32_t>(
+            std::countr_zero(line_bytes));
+        max_line = std::max(max_line, line_shift);
+        min_line = std::min(min_line, line_shift);
+        min_period = std::min(
+            min_period, line_shift + static_cast<std::uint32_t>(
+                                         std::countr_zero(sets)));
+    };
+    for (const StackProfilerConfig &pass : passes) {
+        if (pass.model_prefetcher) {
+            // The stream detector pairs ADJACENT lines — different
+            // sets — so its state cannot be partitioned by set.
+            plan.why = "prefetcher model couples lines across sets";
+            return plan;
+        }
+        if (pass.line_bytes == 0 ||
+            (pass.line_bytes & (pass.line_bytes - 1)) != 0) {
+            plan.why = "pass line size is not a power of two";
+            return plan;
+        }
+        if (pass.num_sets == 0 ||
+            (pass.num_sets & (pass.num_sets - 1)) != 0) {
+            plan.why = "pass set count is not a power of two";
+            return plan;
+        }
+        add_level(pass.line_bytes, pass.num_sets);
+    }
+    if (l1 != nullptr) {
+        const CacheGeometry geo(*l1);
+        if (!geo.pow2_sets) {
+            plan.why = "L1 set count is not a power of two";
+            return plan;
+        }
+        add_level(l1->line_bytes, geo.num_sets);
+    }
+    if (min_period <= max_line) {
+        plan.why = "too few common set bits to stripe";
+        return plan;
+    }
+    std::uint32_t log2_shards =
+        shard_limit == 0
+            ? 0
+            : static_cast<std::uint32_t>(std::bit_width(shard_limit)) -
+                  1;
+    log2_shards = std::min(log2_shards, min_period - max_line);
+    if (log2_shards < 1) {
+        plan.why = "fewer than two shards possible";
+        return plan;
+    }
+    // Block-cyclic striping as in PlanFor: prefer 16 smallest-line
+    // stripes, clamped into [max_line, min_period - S] so every
+    // level's lines stay whole and the stripe cycle divides every
+    // level's set period.
+    const std::uint32_t block_shift = std::max(
+        max_line, std::min(min_line + 4, min_period - log2_shards));
+    plan.supported = true;
+    plan.shards = 1u << log2_shards;
+    plan.block_lines = 1u << (block_shift - min_line);
+    plan.block_shift = block_shift;
+    plan.why = "";
+    return plan;
+}
+
 PerfCounters
 ShardedReplay::Replay(const TraceSource &trace,
                       const HierarchyConfig &config,
@@ -150,97 +426,42 @@ ShardedReplay::Replay(const TraceSource &trace,
     }
     PIM_TRACE_SPAN("sweep", "ShardedReplay");
     const unsigned shards = plan.shards;
-    const std::size_t threads = runner_.thread_count();
-    const std::size_t block_count = trace.BlockCount();
 
-    // Resident sources shard in one window (the buckets hold the whole
-    // trace, as cheap as it ever was).  Non-resident sources stream in
-    // bounded windows of blocks: only one window's buckets exist at a
-    // time, so peak memory is O(window + hierarchies) — ~2 MiB of
-    // decoded entries per worker — no matter how large the on-disk
-    // corpus is.
-    const std::size_t window_blocks =
-        trace.resident() ? block_count
-                         : std::max<std::size_t>(64 * threads, 1);
-
-    std::vector<std::vector<TraceEntry>> buckets(
-        std::max<std::size_t>(
-            1, std::min(threads, window_blocks) * shards));
     // Per-shard hierarchies persist across windows (created lazily by
     // the pinned worker that replays the shard, so first-touch places
     // each one's tag planes on that worker's NUMA node); the counters
     // at the end are exactly those of one uninterrupted replay.
     std::vector<std::unique_ptr<MemoryHierarchy>> hier(shards);
     std::vector<int> cpus(shards, -1);
-    std::atomic<bool> overflow{false};
 
-    for (std::size_t wbegin = 0; wbegin < block_count;
-         wbegin += window_blocks) {
-        const std::size_t wend =
-            std::min(block_count, wbegin + window_blocks);
-        const std::size_t wblocks = wend - wbegin;
-        const std::size_t chunks =
-            std::max<std::size_t>(1, std::min(threads, wblocks));
-        const std::size_t per_chunk = (wblocks + chunks - 1) / chunks;
-        for (std::size_t i = 0; i < chunks * shards; ++i) {
-            buckets[i].clear(); // capacity survives across windows
-        }
-
-        // Phase A: partition the window in parallel over contiguous
-        // chunks of blocks, each decoded into a stack buffer through
-        // the source's cursor.  Each chunk fills its own row of
-        // buckets, so phase B can stream the rows in chunk order and
-        // every shard sees its accesses in global trace order.
-        runner_.ForEach(chunks, [&](std::size_t c) {
-            PIM_TRACE_SPAN("sweep", "shard_partition[" +
-                                        std::to_string(c) + "]");
-            const std::size_t begin =
-                std::min(wend, wbegin + c * per_chunk);
-            const std::size_t end = std::min(wend, begin + per_chunk);
-            std::vector<TraceEntry> *out = &buckets[c * shards];
-            for (unsigned s = 0; s < shards; ++s) {
-                if (out[s].capacity() == 0) {
-                    out[s].reserve((end - begin) *
-                                       TraceSource::kBlockEntries /
-                                       (2 * shards) +
-                                   16);
+    const bool ok = RunWindowedShardPipeline(
+        runner_, trace, plan.block_shift, shards,
+        [&](const std::vector<TraceEntry> *buckets,
+            std::size_t chunks) {
+            // Phase B: every shard replays its window slice in chunk
+            // order (== trace order restricted to the shard).
+            runner_.ForEachPinned(shards, [&](std::size_t s) {
+                PIM_TRACE_SPAN("sweep", "shard_replay[" +
+                                            std::to_string(s) + "]");
+                if (!hier[s]) {
+                    hier[s] =
+                        std::make_unique<MemoryHierarchy>(config);
                 }
-            }
-            alignas(64) TraceEntry buffer[TraceSource::kBlockEntries];
-            for (std::size_t b = begin; b < end; ++b) {
-                const TraceSource::Span span = trace.Block(b, buffer);
-                PartitionEntries(span.data, span.count,
-                                 plan.block_shift, shards, out,
-                                 &overflow);
-                if (overflow.load(std::memory_order_relaxed)) {
-                    return;
+                MemorySink &top = hier[s]->Top();
+                for (std::size_t c = 0; c < chunks; ++c) {
+                    const auto &bucket = buckets[c * shards + s];
+                    if (!bucket.empty()) {
+                        top.AccessBatch(bucket.data(), bucket.size());
+                    }
                 }
-            }
+                cpus[s] = affinity::CurrentCpu();
+            });
         });
-        if (overflow.load(std::memory_order_relaxed)) {
-            // A split sub-entry was unrepresentable: discard the
-            // partially-replayed shard hierarchies and rerun the whole
-            // trace serially from scratch.
-            return SerialReplay(trace, config, placement);
-        }
-
-        // Phase B: every shard replays its window slice in chunk
-        // order (== trace order restricted to the shard).
-        runner_.ForEachPinned(shards, [&](std::size_t s) {
-            PIM_TRACE_SPAN("sweep", "shard_replay[" +
-                                        std::to_string(s) + "]");
-            if (!hier[s]) {
-                hier[s] = std::make_unique<MemoryHierarchy>(config);
-            }
-            MemorySink &top = hier[s]->Top();
-            for (std::size_t c = 0; c < chunks; ++c) {
-                const auto &bucket = buckets[c * shards + s];
-                if (!bucket.empty()) {
-                    top.AccessBatch(bucket.data(), bucket.size());
-                }
-            }
-            cpus[s] = affinity::CurrentCpu();
-        });
+    if (!ok) {
+        // A split sub-entry was unrepresentable: discard the
+        // partially-replayed shard hierarchies and rerun the whole
+        // trace serially from scratch.
+        return SerialReplay(trace, config, placement);
     }
 
     if (placement != nullptr) {
@@ -255,6 +476,95 @@ ShardedReplay::Replay(const TraceSource &trace,
         total += hier[s]->Snapshot();
     }
     return total;
+}
+
+bool
+ShardedReplay::ProfilePass(const TraceSource &trace,
+                           const CacheConfig *l1,
+                           const std::vector<StackProfilerConfig> &passes,
+                           ShardedPassResult *out) const
+{
+    *out = ShardedPassResult{};
+    const ShardedReplayPlan plan =
+        PlanForPass(l1, passes, runner_.thread_count());
+    if (!plan.supported || trace.empty()) {
+        // An empty trace's serial pass is free; don't spin up shards.
+        return false;
+    }
+    PIM_TRACE_SPAN("sweep", "ShardedProfilePass");
+    const unsigned shards = plan.shards;
+
+    // Per-shard private pass state, created lazily by the pinned
+    // worker that replays the shard (first-touch NUMA placement, as in
+    // Replay) and persistent across windows: the profilers for every
+    // pass geometry under one fanout, optionally fed by a cold private
+    // L1 over the shard's set partition.
+    struct ShardState
+    {
+        std::vector<std::unique_ptr<StackDistanceProfiler>> profs;
+        FanoutSink fanout;
+        std::unique_ptr<Cache> l1;
+        MemorySink *top = nullptr;
+    };
+    std::vector<std::unique_ptr<ShardState>> state(shards);
+
+    const bool ok = RunWindowedShardPipeline(
+        runner_, trace, plan.block_shift, shards,
+        [&](const std::vector<TraceEntry> *buckets,
+            std::size_t chunks) {
+            runner_.ForEachPinned(shards, [&](std::size_t s) {
+                PIM_TRACE_SPAN("sweep", "shard_pass[" +
+                                            std::to_string(s) + "]");
+                if (!state[s]) {
+                    auto st = std::make_unique<ShardState>();
+                    st->profs.reserve(passes.size());
+                    for (const StackProfilerConfig &cfg : passes) {
+                        st->profs.push_back(
+                            std::make_unique<StackDistanceProfiler>(
+                                cfg));
+                        st->fanout.AddSink(*st->profs.back());
+                    }
+                    st->top = &st->fanout;
+                    if (l1 != nullptr) {
+                        st->l1 = std::make_unique<Cache>(*l1,
+                                                         st->fanout);
+                        st->top = st->l1.get();
+                    }
+                    state[s] = std::move(st);
+                }
+                MemorySink &top = *state[s]->top;
+                for (std::size_t c = 0; c < chunks; ++c) {
+                    const auto &bucket = buckets[c * shards + s];
+                    if (!bucket.empty()) {
+                        top.AccessBatch(bucket.data(), bucket.size());
+                    }
+                }
+            });
+        });
+    if (!ok) {
+        *out = ShardedPassResult{};
+        return false;
+    }
+
+    // Merge: every counter is a sum over disjoint set partitions (the
+    // trace is non-empty, so every shard's state exists).
+    out->sharded = true;
+    out->shards = shards;
+    out->profiles.reserve(passes.size());
+    for (std::size_t p = 0; p < passes.size(); ++p) {
+        StackProfile merged = state[0]->profs[p]->profile();
+        for (unsigned s = 1; s < shards; ++s) {
+            merged.Merge(state[s]->profs[p]->profile());
+        }
+        out->profiles.push_back(std::move(merged));
+    }
+    if (l1 != nullptr) {
+        out->l1 = state[0]->l1->stats();
+        for (unsigned s = 1; s < shards; ++s) {
+            out->l1 += state[s]->l1->stats();
+        }
+    }
+    return true;
 }
 
 PerfCounters

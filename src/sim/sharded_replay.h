@@ -42,7 +42,13 @@
  * form of the trace never materializes — peak memory stays
  * O(window buckets + hierarchies) however large the on-disk corpus
  * is, and the per-shard hierarchies persist across windows so the
- * counters are exactly those of one uninterrupted replay.  Phase B
+ * counters are exactly those of one uninterrupted replay.  On
+ * multi-window (out-of-core) runs a decode-ahead producer overlaps the
+ * phases: while the shards replay window w, a single producer thread
+ * decodes and partitions window w+1 into a second bucket set, so the
+ * replay workers never wait on inline block decode (double-buffered;
+ * `PIM_DECODE_AHEAD=off` disables the overlap, `PIM_SHARD_WINDOW=N`
+ * overrides the window size in blocks).  Phase B
  * workers are pinned to cores (ForEachPinned) and each shard's
  * hierarchy is allocated by the worker that first replays it, so
  * first-touch places its tag planes NUMA-local; ShardPlacement
@@ -62,6 +68,7 @@
 
 #include "sim/hierarchy.h"
 #include "sim/perf_counters.h"
+#include "sim/stack_profiler.h"
 #include "sim/sweep.h"
 #include "sim/trace.h"
 #include "sim/trace_codec.h"
@@ -94,6 +101,23 @@ struct ShardPlacement
     std::vector<int> shard_cpu;
 };
 
+/**
+ * Result of one set-sharded profiling pass (ShardedReplay::ProfilePass):
+ * the merged profiles of every requested pass geometry, plus the merged
+ * counters of the nested L1 when the pass ran one.  `sharded` is false
+ * when the engine declined (unsupported geometry or address overflow)
+ * and the caller must run the serial pass instead.
+ */
+struct ShardedPassResult
+{
+    bool sharded = false;
+    unsigned shards = 1;
+    /** Merged L1 counters; default-initialized when no L1 was nested. */
+    CacheStats l1;
+    /** Merged pass profiles, parallel to the pass config list. */
+    std::vector<StackProfile> profiles;
+};
+
 /** Intra-trace parallel replay of one trace through one hierarchy. */
 class ShardedReplay
 {
@@ -110,6 +134,45 @@ class ShardedReplay
      */
     static ShardedReplayPlan PlanFor(const HierarchyConfig &config,
                                      unsigned shard_limit);
+
+    /**
+     * The sharding a profiling pass would use: one block-cyclic key
+     * simultaneously valid for the optional nested L1 (@p l1, may be
+     * null for raw-trace passes) and EVERY pass geometry in
+     * @p passes.  Each level with line 2^l and 2^n sets constrains the
+     * key bits to [l, l+n); the key therefore uses bits
+     * [shift, shift+log2 S) with shift >= max(l) and
+     * shift + log2 S <= min(l+n), which makes the shard a function of
+     * each level's set index — so every set's probe subsequence (and
+     * each L1 set's victim writebacks) lives wholly in one shard.
+     * Unsupported when any level has a non-pow2 set count, when a pass
+     * models the stream prefetcher (its sequential-pair detector
+     * couples adjacent lines across sets), or when fewer than two
+     * shards fit the common set bits.
+     */
+    static ShardedReplayPlan
+    PlanForPass(const CacheConfig *l1,
+                const std::vector<StackProfilerConfig> &passes,
+                unsigned shard_limit);
+
+    /**
+     * Set-sharded profiling pass: replay @p trace through per-shard
+     * private state — a cold @p l1 (when non-null) whose miss stream
+     * fans out to one StackDistanceProfiler per entry of @p passes —
+     * on pinned workers, then merge the shard snapshots
+     * (StackProfile::Merge / CacheStats::operator+=) into @p out.
+     * Counters are bit-identical to the serial pass at any shard or
+     * thread count: the shard key keeps every profiler set's (and L1
+     * set's) ordered probe subsequence intact, and every merged
+     * counter is a sum over disjoint sets.  Windowed and
+     * decode-overlapped exactly like Replay for non-resident sources.
+     * Returns false — with *out untouched beyond reset — when the
+     * plan is unsupported or an access overflows TraceEntry::kMaxAddr;
+     * the caller then runs the serial pass.
+     */
+    bool ProfilePass(const TraceSource &trace, const CacheConfig *l1,
+                     const std::vector<StackProfilerConfig> &passes,
+                     ShardedPassResult *out) const;
 
     /**
      * Replay @p trace through a cold hierarchy of shape @p config and

@@ -1,7 +1,6 @@
 #include "sim/stack_profiler.h"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -16,17 +15,30 @@ namespace {
  * write-back, an untracked associativity's writeback count is reported
  * as 0, which downstream JSON could mistake for "exactly zero".
  * Results carry WritebacksExact() so callers can tell, and the first
- * such readout in the process warns loudly.
+ * such readout in the process warns loudly.  The guard is keyed on the
+ * condition, not the profile instance: a sharded pass runs one
+ * profiler per shard, and N shards must not emit N copies.
  */
 void
 WarnUntrackedWritebacksOnce(std::uint32_t assoc)
 {
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true, std::memory_order_relaxed)) {
-        PIM_WARN("stack profiler: writebacks for untracked "
-                 "associativity %u reported as 0 (not exact); check "
-                 "WritebacksExact() / writebacks_exact in results",
-                 assoc);
+    PIM_WARN_ONCE("stack_profiler.untracked_writebacks",
+                  "stack profiler: writebacks for untracked "
+                  "associativity %u reported as 0 (not exact); check "
+                  "WritebacksExact() / writebacks_exact in results",
+                  assoc);
+}
+
+/** hist[d] += other[d], growing hist as needed. */
+void
+AddHistogram(std::vector<std::uint64_t> &hist,
+             const std::vector<std::uint64_t> &other)
+{
+    if (other.size() > hist.size()) {
+        hist.resize(other.size(), 0);
+    }
+    for (std::size_t d = 0; d < other.size(); ++d) {
+        hist[d] += other[d];
     }
 }
 
@@ -65,6 +77,29 @@ std::uint64_t
 StackProfile::TotalWriteProbes() const
 {
     return Total(write_hist, write_cold);
+}
+
+void
+StackProfile::Merge(const StackProfile &other)
+{
+    PIM_ASSERT(line_bytes == other.line_bytes &&
+                   num_sets == other.num_sets &&
+                   write_allocate == other.write_allocate &&
+                   prefetcher == other.prefetcher,
+               "merging profiles of different pass geometry");
+    PIM_ASSERT(tracked == other.tracked,
+               "merging profiles with different tracked lists");
+    AddHistogram(read_hist, other.read_hist);
+    AddHistogram(write_hist, other.write_hist);
+    read_cold += other.read_cold;
+    write_cold += other.write_cold;
+    probes += other.probes;
+    for (std::size_t j = 0; j < writebacks.size(); ++j) {
+        writebacks[j] += other.writebacks[j];
+    }
+    prefetches_issued += other.prefetches_issued;
+    AddHistogram(useful_hist, other.useful_hist);
+    useful_cold += other.useful_cold;
 }
 
 int

@@ -211,6 +211,21 @@ struct StackProfile
 
     /** Index into tracked/writebacks, or -1 if not tracked. */
     int TrackedIndex(std::uint32_t assoc) const;
+
+    /**
+     * Accumulate @p other into this profile.  Valid when the two
+     * profiles come from passes of identical geometry
+     * (line_bytes, num_sets, write_allocate, prefetcher flag, tracked
+     * list) over DISJOINT set partitions of one stream — the sharded
+     * pass shape, where every counter is a sum over per-set
+     * contributions and the partitions touch disjoint sets.  Distance
+     * histograms, cold counts, probe totals, tracked writeback
+     * counters, and prefetch counters all add element-wise; the merged
+     * profile answers every readout with the bit-identical value the
+     * serial pass would have produced.  An empty profile (no probes,
+     * histograms empty) is the identity on either side.
+     */
+    void Merge(const StackProfile &other);
 };
 
 /**

@@ -13,6 +13,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "sim/affinity.h"
+#include "sim/sharded_replay.h"
 #include "sim/stack_profiler.h"
 #include "telemetry/span_tracer.h"
 
@@ -36,6 +37,18 @@ EnvThreadOverride()
 
 /** SetDefaultThreads override; beats the environment when nonzero. */
 std::atomic<unsigned> g_default_threads{0};
+
+/**
+ * PIM_SHARD_PASS (default on) gates the set-sharded profiling-pass
+ * engine everywhere — the off position is the serial-pass baseline the
+ * benchmarks compare against and the safety valve if sharding ever
+ * misbehaves in the field.  Counters are bit-identical either way.
+ */
+bool
+ShardPassEnabled()
+{
+    return EnvSwitch("PIM_SHARD_PASS", true);
+}
 
 } // namespace
 
@@ -317,23 +330,6 @@ SweepRunner::ProfileLlcSweep(
     }
     PIM_TRACE_SPAN("sweep", "ProfileLlcSweep");
 
-    // Pass 1 (shared): replay the kernel stream through the common L1
-    // once, capturing the miss stream it emits.  That stream — fills
-    // and victim writebacks, in emission order — is exactly the input
-    // every swept LLC would see, because the L1's behavior does not
-    // depend on what sits below it.
-    AccessTrace miss_stream;
-    CacheStats l1_stats;
-    {
-        PIM_TRACE_SPAN("sweep", "profile_l1_pass");
-        NullSink null;
-        TraceRecorder recorder(miss_stream, null);
-        Cache l1(base.l1, recorder);
-        trace.ReplayInto(l1);
-        l1_stats = l1.stats();
-        miss_stream.ShrinkToFit();
-    }
-
     // Group design points by profiling geometry: one stack-distance
     // pass per distinct (line size, set count) covers every
     // associativity — i.e. every capacity — in the group.
@@ -360,6 +356,58 @@ SweepRunner::ProfileLlcSweep(
         pgroups[it->second].points.push_back(i);
         pgroups[it->second].assocs.push_back(p.associativity);
     }
+    std::vector<StackProfilerConfig> pass_cfgs;
+    pass_cfgs.reserve(pgroups.size());
+    for (const ProfileGroup &pg : pgroups) {
+        StackProfilerConfig pc;
+        pc.line_bytes = pg.line_bytes;
+        pc.num_sets = pg.num_sets;
+        pc.tracked_assocs = pg.assocs;
+        pass_cfgs.push_back(std::move(pc));
+    }
+
+    // Fast path: one set-sharded nested pass — per-shard private L1s
+    // feeding per-shard profiler fanouts, merged snapshots at the end
+    // (sim/sharded_replay.h).  The miss stream is never materialized,
+    // and the counters are bit-identical to the serial path below.
+    if (ShardPassEnabled()) {
+        const ShardedReplay sharded(*this);
+        ShardedPassResult pass;
+        if (sharded.ProfilePass(trace, &base.l1, pass_cfgs, &pass)) {
+            for (std::size_t g = 0; g < pgroups.size(); ++g) {
+                const ProfileGroup &pg = pgroups[g];
+                const StackProfile &prof = pass.profiles[g];
+                for (std::size_t j = 0; j < pg.points.size(); ++j) {
+                    PerfCounters &out = results[pg.points[j]];
+                    out.l1 = pass.l1;
+                    out.has_llc = true;
+                    out.llc =
+                        prof.StatsForAssociativity(pg.assocs[j]);
+                    out.dram = prof.DramTrafficForAssociativity(
+                        pg.assocs[j]);
+                }
+            }
+            return results;
+        }
+    }
+
+    // Serial path (PIM_SHARD_PASS=off or no valid shard key).
+    // Pass 1 (shared): replay the kernel stream through the common L1
+    // once, capturing the miss stream it emits.  That stream — fills
+    // and victim writebacks, in emission order — is exactly the input
+    // every swept LLC would see, because the L1's behavior does not
+    // depend on what sits below it.
+    AccessTrace miss_stream;
+    CacheStats l1_stats;
+    {
+        PIM_TRACE_SPAN("sweep", "profile_l1_pass");
+        NullSink null;
+        TraceRecorder recorder(miss_stream, null);
+        Cache l1(base.l1, recorder);
+        trace.ReplayInto(l1);
+        l1_stats = l1.stats();
+        miss_stream.ShrinkToFit();
+    }
 
     // Pass 2 (per group): one profiling pass over the miss stream,
     // then an O(histogram) analytic readout per design point.
@@ -368,11 +416,7 @@ SweepRunner::ProfileLlcSweep(
         PIM_TRACE_SPAN("sweep",
                        "profile_pass[" + std::to_string(g) + "]x" +
                            std::to_string(pg.points.size()));
-        StackProfilerConfig pc;
-        pc.line_bytes = pg.line_bytes;
-        pc.num_sets = pg.num_sets;
-        pc.tracked_assocs = pg.assocs;
-        StackDistanceProfiler profiler(std::move(pc));
+        StackDistanceProfiler profiler(pass_cfgs[g]);
         miss_stream.ReplayInto(profiler);
 
         for (std::size_t j = 0; j < pg.points.size(); ++j) {
@@ -565,7 +609,101 @@ SweepRunner::ProfileStudy(const TraceSource &trace,
     result.profile_passes =
         l1_jobs.size() * llc_groups.size() + pim_groups.size();
 
-    ForEach(l1_jobs.size() + pim_jobs, [&](std::size_t job) {
+    // Readout helpers shared by the sharded and serial job bodies:
+    // identical O(histogram) readouts over whichever profile store a
+    // job produced (merged shard snapshots or live profilers).
+    auto read_l1_job =
+        [&](const L1Job &j, const CacheStats &l1_stats,
+            const std::function<const StackProfile &(std::size_t)>
+                &prof) {
+            for (std::size_t g = 0; g < llc_groups.size(); ++g) {
+                const StudyPassGroup &pg = llc_groups[g];
+                for (std::size_t m = 0; m < pg.points.size(); ++m) {
+                    const StudyPointResult point = ReadProfilePoint(
+                        prof(g), pg.assocs[m], pg.policies[m],
+                        spec.model_prefetcher);
+                    for (const std::size_t row : j.rows) {
+                        StudyPointResult &out =
+                            result.host[row][pg.points[m]];
+                        out = point;
+                        out.counters.l1 = l1_stats;
+                        out.counters.has_llc = true;
+                    }
+                }
+            }
+        };
+    auto read_pim_job =
+        [&](const std::function<const StackProfile &(std::size_t)>
+                &prof) {
+            for (std::size_t g = 0; g < pim_groups.size(); ++g) {
+                const StudyPassGroup &pg = pim_groups[g];
+                for (std::size_t m = 0; m < pg.points.size(); ++m) {
+                    // A PIM point is the profiled cache over its DRAM
+                    // path directly: the profiler's stats ARE its L1.
+                    const StudyPointResult point = ReadProfilePoint(
+                        prof(g), pg.assocs[m], pg.policies[m], false);
+                    StudyPointResult &out = result.pim[pg.points[m]];
+                    out = point;
+                    out.counters.l1 = out.counters.llc;
+                    out.counters.llc = CacheStats{};
+                    out.counters.has_llc = false;
+                }
+            }
+        };
+
+    // Pass configs per group, shared by every job of that side.
+    std::vector<StackProfilerConfig> llc_cfgs;
+    llc_cfgs.reserve(llc_groups.size());
+    for (const StudyPassGroup &g : llc_groups) {
+        llc_cfgs.push_back(g.cfg);
+    }
+    std::vector<StackProfilerConfig> pim_pass_cfgs;
+    pim_pass_cfgs.reserve(pim_groups.size());
+    for (const StudyPassGroup &g : pim_groups) {
+        pim_pass_cfgs.push_back(g.cfg);
+    }
+
+    // Sharded-capable jobs run one at a time, each spreading its set
+    // shards over the full worker pool (sim/sharded_replay.h) — this
+    // is what parallelizes the common single-L1 study.  Jobs the
+    // engine declines (prefetcher-model passes, geometries without a
+    // valid shard key, PIM_SHARD_PASS=off) batch into one ForEach
+    // exactly as before.
+    std::vector<std::size_t> serial_jobs;
+    const ShardedReplay sharded(*this);
+    const bool use_sharded = ShardPassEnabled();
+    for (std::size_t job = 0; job < l1_jobs.size() + pim_jobs;
+         ++job) {
+        if (!use_sharded) {
+            serial_jobs.push_back(job);
+            continue;
+        }
+        ShardedPassResult pass;
+        if (job < l1_jobs.size()) {
+            if (!sharded.ProfilePass(trace, &l1_jobs[job].l1,
+                                     llc_cfgs, &pass)) {
+                serial_jobs.push_back(job);
+                continue;
+            }
+            read_l1_job(l1_jobs[job], pass.l1,
+                        [&](std::size_t g) -> const StackProfile & {
+                            return pass.profiles[g];
+                        });
+        } else {
+            if (!sharded.ProfilePass(trace, nullptr, pim_pass_cfgs,
+                                     &pass)) {
+                serial_jobs.push_back(job);
+                continue;
+            }
+            read_pim_job([&](std::size_t g) -> const StackProfile & {
+                return pass.profiles[g];
+            });
+        }
+        result.shards = std::max(result.shards, pass.shards);
+    }
+
+    ForEach(serial_jobs.size(), [&](std::size_t idx) {
+        const std::size_t job = serial_jobs[idx];
         if (job < l1_jobs.size()) {
             const L1Job &j = l1_jobs[job];
             PIM_TRACE_SPAN("sweep",
@@ -584,22 +722,10 @@ SweepRunner::ProfileStudy(const TraceSource &trace,
             }
             Cache l1(j.l1, fanout);
             trace.ReplayInto(l1);
-
-            for (std::size_t g = 0; g < llc_groups.size(); ++g) {
-                const StudyPassGroup &pg = llc_groups[g];
-                for (std::size_t m = 0; m < pg.points.size(); ++m) {
-                    const StudyPointResult point = ReadProfilePoint(
-                        profs[g]->profile(), pg.assocs[m],
-                        pg.policies[m], spec.model_prefetcher);
-                    for (const std::size_t row : j.rows) {
-                        StudyPointResult &out =
-                            result.host[row][pg.points[m]];
-                        out = point;
-                        out.counters.l1 = l1.stats();
-                        out.counters.has_llc = true;
-                    }
-                }
-            }
+            read_l1_job(j, l1.stats(),
+                        [&](std::size_t g) -> const StackProfile & {
+                            return profs[g]->profile();
+                        });
             return;
         }
 
@@ -613,22 +739,9 @@ SweepRunner::ProfileStudy(const TraceSource &trace,
             fanout.AddSink(*profs.back());
         }
         trace.ReplayInto(fanout);
-
-        for (std::size_t g = 0; g < pim_groups.size(); ++g) {
-            const StudyPassGroup &pg = pim_groups[g];
-            for (std::size_t m = 0; m < pg.points.size(); ++m) {
-                // A PIM point is the profiled cache over its DRAM
-                // path directly: the profiler's stats ARE its L1.
-                const StudyPointResult point = ReadProfilePoint(
-                    profs[g]->profile(), pg.assocs[m], pg.policies[m],
-                    false);
-                StudyPointResult &out = result.pim[pg.points[m]];
-                out = point;
-                out.counters.l1 = out.counters.llc;
-                out.counters.llc = CacheStats{};
-                out.counters.has_llc = false;
-            }
-        }
+        read_pim_job([&](std::size_t g) -> const StackProfile & {
+            return profs[g]->profile();
+        });
     });
     return result;
 }

@@ -97,6 +97,13 @@ struct StudyResult
     std::size_t trace_replays = 0;
     /** Stack-distance profiling passes executed across all jobs. */
     std::size_t profile_passes = 0;
+    /**
+     * Largest set-shard count any pass job ran with (1 = every pass
+     * ran serial: PIM_SHARD_PASS=off, prefetcher-model passes, or
+     * geometries without a valid shard key).  Counters never depend on
+     * it — telemetry for attributing study wall-clock.
+     */
+    unsigned shards = 1;
 };
 
 /**
@@ -238,6 +245,12 @@ class SweepRunner
      *
      * Each llc_points[i].size must be divisible by
      * associativity * line_bytes, as for any Cache.
+     *
+     * When the geometries admit a common shard key the whole job is
+     * set-sharded (per-shard L1 + profiler fanouts, merged snapshots;
+     * sim/sharded_replay.h) and the miss stream is never
+     * materialized; PIM_SHARD_PASS=off restores the serial two-pass
+     * path.  Counters are bit-identical either way.
      */
     std::vector<PerfCounters>
     ProfileLlcSweep(const TraceSource &trace,
@@ -280,6 +293,15 @@ class SweepRunner
      * hierarchies wherever writebacks_exact (always, except write-back
      * points beyond 64 tracked associativities per pass — see
      * stack_profiler.h).
+     *
+     * Each replay job is additionally set-sharded across the worker
+     * pool when its geometries admit a common shard key
+     * (sim/sharded_replay.h): per-shard private L1s feed per-shard
+     * profiler fanouts and the shard snapshots merge bit-identically,
+     * so even a single-L1 study uses every core.  Prefetcher-model
+     * passes and non-pow2 geometries fall back to the serial job, and
+     * PIM_SHARD_PASS=off forces the serial path everywhere;
+     * StudyResult::shards reports what ran.
      */
     StudyResult ProfileStudy(const TraceSource &trace,
                              const StudySpec &spec) const;

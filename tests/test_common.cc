@@ -446,5 +446,30 @@ TEST(Env, EnvSwitchReadsTheProcessEnvironment)
     EXPECT_EQ(warns.messages().size(), 1u);
 }
 
+TEST(Logging, WarnOnceEmitsExactlyOncePerKey)
+{
+    WarnCapture warns;
+    // Fresh keys (never used elsewhere in the process) so the counts
+    // below are deterministic whatever ran before this test.
+    for (int i = 0; i < 5; ++i) {
+        PIM_WARN_ONCE("test.warn_once.key_a", "key a fired (%d)", i);
+    }
+    PIM_WARN_ONCE("test.warn_once.key_b", "key b fired");
+    PIM_WARN_ONCE("test.warn_once.key_b", "key b fired again");
+    ASSERT_EQ(warns.messages().size(), 2u);
+    EXPECT_NE(warns.messages()[0].find("key a fired (0)"),
+              std::string::npos);
+    EXPECT_NE(warns.messages()[1].find("key b fired"),
+              std::string::npos);
+}
+
+TEST(Logging, FirstOccurrenceIsProcessWidePerKey)
+{
+    EXPECT_TRUE(FirstOccurrence("test.first_occurrence.fresh"));
+    EXPECT_FALSE(FirstOccurrence("test.first_occurrence.fresh"));
+    // Distinct keys are independent.
+    EXPECT_TRUE(FirstOccurrence("test.first_occurrence.other"));
+}
+
 } // namespace
 } // namespace pim

@@ -11,11 +11,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <limits>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -1382,6 +1385,324 @@ TEST(TraceSourceEquivalence, AllSourcesMatchAllEnginesOnKernelTraces)
         }
         std::remove(path.c_str());
     }
+}
+
+bool
+SameProfile(const StackProfile &a, const StackProfile &b)
+{
+    return a.line_bytes == b.line_bytes && a.num_sets == b.num_sets &&
+           a.write_allocate == b.write_allocate &&
+           a.read_hist == b.read_hist && a.write_hist == b.write_hist &&
+           a.read_cold == b.read_cold && a.write_cold == b.write_cold &&
+           a.probes == b.probes && a.tracked == b.tracked &&
+           a.writebacks == b.writebacks &&
+           a.prefetcher == b.prefetcher &&
+           a.prefetches_issued == b.prefetches_issued &&
+           a.useful_hist == b.useful_hist &&
+           a.useful_cold == b.useful_cold;
+}
+
+TEST(StackProfileMerge, EmptyIsIdentityInBothDirections)
+{
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 16;
+    cfg.tracked_assocs = {2, 4};
+    StackDistanceProfiler full(cfg);
+    RandomTrace(0x31415, 8000).ReplayInto(full);
+    const StackProfile reference = full.profile();
+
+    const StackProfile empty = StackDistanceProfiler(cfg).profile();
+
+    StackProfile a = reference;
+    a.Merge(empty);
+    EXPECT_TRUE(SameProfile(a, reference));
+
+    StackProfile b = empty;
+    b.Merge(reference);
+    EXPECT_TRUE(SameProfile(b, reference));
+}
+
+TEST(StackProfileMerge, SelfMergeDoublesEveryCounter)
+{
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 16;
+    cfg.tracked_assocs = {3};
+    StackDistanceProfiler prof(cfg);
+    RandomTrace(0x27182, 8000).ReplayInto(prof);
+    const StackProfile one = prof.profile();
+
+    StackProfile two = one;
+    two.Merge(one);
+    EXPECT_EQ(two.probes, 2 * one.probes);
+    EXPECT_EQ(two.read_cold, 2 * one.read_cold);
+    EXPECT_EQ(two.write_cold, 2 * one.write_cold);
+    ASSERT_EQ(two.read_hist.size(), one.read_hist.size());
+    for (std::size_t i = 0; i < one.read_hist.size(); ++i) {
+        EXPECT_EQ(two.read_hist[i], 2 * one.read_hist[i]);
+    }
+    ASSERT_EQ(two.writebacks.size(), one.writebacks.size());
+    for (std::size_t i = 0; i < one.writebacks.size(); ++i) {
+        EXPECT_EQ(two.writebacks[i], 2 * one.writebacks[i]);
+    }
+}
+
+TEST(StackProfileMerge, DisjointSetPartitionsSumToWholeTraceProfile)
+{
+    // Route line-granular probes by set parity into two profilers;
+    // each set's ordered subsequence lands wholly in one of them, so
+    // the merged snapshot must equal the whole-trace profile exactly.
+    StackProfilerConfig cfg;
+    cfg.line_bytes = 64;
+    cfg.num_sets = 16;
+    cfg.tracked_assocs = {1, 2, 8};
+
+    Rng rng(0x6A09);
+    AccessTrace whole, even, odd;
+    for (int i = 0; i < 20000; ++i) {
+        const Address addr = 0x100000 + rng.Range(0, 256 * 1024);
+        const AccessType type = rng.Range(0, 99) < 40
+                                    ? AccessType::kWrite
+                                    : AccessType::kRead;
+        // Single-byte probes so no access spans two lines (a span
+        // would straddle the parity partition).
+        whole.Append(addr, 1, type);
+        const std::size_t set = (addr / 64) % 16;
+        (set % 2 == 0 ? even : odd).Append(addr, 1, type);
+    }
+
+    StackDistanceProfiler ref(cfg), pe(cfg), po(cfg);
+    whole.ReplayInto(ref);
+    even.ReplayInto(pe);
+    odd.ReplayInto(po);
+
+    StackProfile merged = pe.profile();
+    merged.Merge(po.profile());
+    EXPECT_TRUE(SameProfile(merged, ref.profile()));
+    // And the analytic readouts agree at every policy.
+    for (const WritePolicy policy :
+         {WritePolicy::kWriteBackAllocate,
+          WritePolicy::kWriteThroughAllocate}) {
+        for (const std::uint32_t assoc : {1u, 2u, 8u}) {
+            EXPECT_TRUE(SameCacheStats(
+                merged.StatsForAssociativity(assoc, policy),
+                ref.profile().StatsForAssociativity(assoc, policy)));
+        }
+    }
+}
+
+/**
+ * Tentpole acceptance for the sharded pass engine: across >= 40
+ * random pass geometries (allocating and non-allocating, tracked and
+ * untracked, nested-L1 and raw-trace), every supported shard/thread
+ * count, and both resident and mmap-streamed sources, the merged
+ * sharded snapshot must equal the serial pass bit for bit.  The
+ * forced 8-block window pushes every run through the windowed
+ * decode-ahead pipeline as well.
+ */
+TEST(ShardedPassProperty, RandomGeometriesBitIdenticalToSerial)
+{
+    const auto traces = KernelTraces();
+
+    // Save each kernel stream once; the mmap side of every geometry
+    // streams from these container files.
+    struct Saved
+    {
+        std::string path;
+        std::optional<MappedCompactTrace> mapped;
+        CompactTrace compact;
+    };
+    std::vector<Saved> saved(traces.size());
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        saved[t].compact = CompactTrace::Encode(traces[t].second);
+        saved[t].path = testing::TempDir() + "pim_shardpass_" +
+                        traces[t].first + ".ctrace";
+        std::string error;
+        ASSERT_TRUE(saved[t].compact.SaveTo(saved[t].path, &error))
+            << error;
+        saved[t].mapped = MappedCompactTrace::Open(
+            saved[t].path, &error,
+            MappedCompactTrace::Verify::kLazy);
+        ASSERT_TRUE(saved[t].mapped.has_value()) << error;
+    }
+
+    // Force small multi-block windows so the decode-ahead pipeline
+    // runs even on these small traces (identity must hold regardless).
+    ::setenv("PIM_SHARD_WINDOW", "8", 1);
+
+    const CacheConfig host_l1 = HostHierarchyConfig().l1;
+    Rng rng(0x5A4D);
+    int sharded_runs = 0;
+    for (int g = 0; g < 48; ++g) {
+        StackProfilerConfig pcfg;
+        pcfg.line_bytes = Bytes{16} << rng.Range(0, 3); // 16..128
+        const std::size_t set_choices[] = {16, 64, 256, 1024};
+        pcfg.num_sets = set_choices[rng.Range(0, 3)];
+        const auto assoc =
+            static_cast<std::uint32_t>(rng.Range(1, 16));
+        pcfg.write_allocate = g % 3 != 2; // wb/wt share, wtna distinct
+        if (g % 2 == 0) {
+            pcfg.tracked_assocs = {assoc};
+        }
+        const bool nested = g % 4 < 2;
+        const CacheConfig *l1 = nested ? &host_l1 : nullptr;
+
+        const std::size_t t = static_cast<std::size_t>(g) %
+                              traces.size();
+        const AccessTrace &trace = traces[t].second;
+
+        // Serial reference: one profiler, optional nested L1.
+        StackDistanceProfiler ref(pcfg);
+        CacheStats ref_l1;
+        if (nested) {
+            Cache l1_cache(host_l1, ref);
+            trace.ReplayInto(l1_cache);
+            ref_l1 = l1_cache.stats();
+        } else {
+            trace.ReplayInto(ref);
+        }
+
+        const AccessTraceSource resident(trace);
+        const TraceSource *const sources[] = {&resident,
+                                              &*saved[t].mapped};
+        const char *const source_names[] = {"resident", "mapped"};
+        const std::string what =
+            std::string(traces[t].first) + " line=" +
+            std::to_string(pcfg.line_bytes) + " sets=" +
+            std::to_string(pcfg.num_sets) + " assoc=" +
+            std::to_string(assoc) +
+            (pcfg.write_allocate ? " alloc" : " noalloc") +
+            (nested ? " nested" : " raw") +
+            (pcfg.tracked_assocs.empty() ? " untracked" : " tracked");
+
+        for (std::size_t s = 0; s < 2; ++s) {
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                const ShardedReplay sharded{SweepRunner(threads)};
+                ShardedPassResult pass;
+                const bool ok = sharded.ProfilePass(
+                    *sources[s], l1, {pcfg}, &pass);
+                const std::string tag = what + " via " +
+                                        source_names[s] + " x" +
+                                        std::to_string(threads);
+                if (threads == 1) {
+                    // One worker never shards; callers run serially.
+                    EXPECT_FALSE(ok) << tag;
+                    continue;
+                }
+                ASSERT_TRUE(ok) << tag;
+                EXPECT_GE(pass.shards, 2u) << tag;
+                ASSERT_EQ(pass.profiles.size(), 1u) << tag;
+                EXPECT_TRUE(SameProfile(pass.profiles[0],
+                                        ref.profile()))
+                    << tag;
+                if (nested) {
+                    EXPECT_TRUE(SameCacheStats(pass.l1, ref_l1))
+                        << tag;
+                }
+                ++sharded_runs;
+            }
+        }
+    }
+    ::unsetenv("PIM_SHARD_WINDOW");
+    // The suite is vacuous if the engine declined everything.
+    EXPECT_GE(sharded_runs, 40 * 2 * 2);
+
+    for (const Saved &s : saved) {
+        std::remove(s.path.c_str());
+    }
+}
+
+TEST(ShardedPass, PlanDeclinesUnshardableGeometries)
+{
+    const CacheConfig host_l1 = HostHierarchyConfig().l1;
+    StackProfilerConfig ok;
+    ok.line_bytes = 64;
+    ok.num_sets = 64;
+
+    const ShardedReplayPlan good =
+        ShardedReplay::PlanForPass(&host_l1, {ok}, 8);
+    EXPECT_TRUE(good.supported);
+    EXPECT_GE(good.shards, 2u);
+
+    StackProfilerConfig pf = ok;
+    pf.model_prefetcher = true;
+    const ShardedReplayPlan decline_pf =
+        ShardedReplay::PlanForPass(&host_l1, {pf}, 8);
+    EXPECT_FALSE(decline_pf.supported);
+    EXPECT_NE(std::string(decline_pf.why).find("prefetcher"),
+              std::string::npos);
+
+    StackProfilerConfig odd_sets = ok;
+    odd_sets.num_sets = 48;
+    EXPECT_FALSE(ShardedReplay::PlanForPass(&host_l1, {odd_sets}, 8)
+                     .supported);
+
+    // A single-stack (fully associative) pass leaves no set bits to
+    // stripe on.
+    StackProfilerConfig one_set = ok;
+    one_set.num_sets = 1;
+    EXPECT_FALSE(ShardedReplay::PlanForPass(&host_l1, {one_set}, 8)
+                     .supported);
+
+    // One worker => fewer than two shards.
+    EXPECT_FALSE(ShardedReplay::PlanForPass(&host_l1, {ok}, 1)
+                     .supported);
+    EXPECT_FALSE(ShardedReplay::PlanForPass(&host_l1, {}, 8)
+                     .supported);
+}
+
+TEST(ShardedPass, DecodeAheadSurfacesLazyVerifyFailureOnCaller)
+{
+    // Corrupt a payload byte in the LAST block of a 7-block container:
+    // with a forced 2-block window the corrupt block is decoded by the
+    // decode-ahead producer thread, and its lazy-verify exception must
+    // resurface on the calling thread as std::runtime_error.
+    const AccessTrace raw =
+        RandomTrace(0xC0DE, 6 * TraceSource::kBlockEntries + 123);
+    const CompactTrace compact = CompactTrace::Encode(raw);
+    const std::string good_path =
+        testing::TempDir() + "pim_shardpass_good.ctrace";
+    const std::string bad_path =
+        testing::TempDir() + "pim_shardpass_bad.ctrace";
+    std::string error;
+    ASSERT_TRUE(compact.SaveTo(good_path, &error)) << error;
+    {
+        std::ifstream in(good_path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        ASSERT_GT(bytes.size(), 16u);
+        bytes[bytes.size() - 7] ^= 0x40;
+        std::ofstream out(bad_path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    auto lazy = MappedCompactTrace::Open(
+        bad_path, &error, MappedCompactTrace::Verify::kLazy);
+    ASSERT_TRUE(lazy.has_value()) << error;
+
+    ::setenv("PIM_SHARD_WINDOW", "2", 1);
+    const CacheConfig host_l1 = HostHierarchyConfig().l1;
+    StackProfilerConfig pcfg;
+    pcfg.line_bytes = 64;
+    pcfg.num_sets = 64;
+    pcfg.tracked_assocs = {4};
+    const ShardedReplay sharded{SweepRunner(2)};
+    ShardedPassResult pass;
+    EXPECT_THROW(sharded.ProfilePass(*lazy, &host_l1, {pcfg}, &pass),
+                 std::runtime_error);
+    // The sharded full-replay pipeline must surface it too.  A mapped
+    // trace runs its digest comparison exactly once (the watermark
+    // latches), so reopen for an un-checked instance.
+    auto lazy2 = MappedCompactTrace::Open(
+        bad_path, &error, MappedCompactTrace::Verify::kLazy);
+    ASSERT_TRUE(lazy2.has_value()) << error;
+    EXPECT_THROW(sharded.Replay(*lazy2, HostHierarchyConfig()),
+                 std::runtime_error);
+    ::unsetenv("PIM_SHARD_WINDOW");
+
+    std::remove(good_path.c_str());
+    std::remove(bad_path.c_str());
 }
 
 TEST(ProfileStudy, PrefetcherAxisIsLayeredNotIntrusive)
